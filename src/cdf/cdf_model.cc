@@ -1,0 +1,154 @@
+#include "src/cdf/cdf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsunami {
+
+int CdfModel::PartitionOf(Value v, int p) const {
+  int idx = static_cast<int>(Cdf(v) * p);
+  return std::clamp(idx, 0, p - 1);
+}
+
+std::pair<int, int> CdfModel::PartitionRange(Value lo, Value hi, int p) const {
+  return {PartitionOf(lo, p), PartitionOf(hi, p)};
+}
+
+std::unique_ptr<EquiDepthCdf> EquiDepthCdf::Build(
+    const std::vector<Value>& column, int knots) {
+  std::vector<Value> sorted = column;
+  std::sort(sorted.begin(), sorted.end());
+  return BuildFromSorted(sorted, knots);
+}
+
+std::unique_ptr<EquiDepthCdf> EquiDepthCdf::BuildFromSorted(
+    const std::vector<Value>& sorted, int knots) {
+  auto model = std::unique_ptr<EquiDepthCdf>(new EquiDepthCdf());
+  if (sorted.empty()) {
+    model->knots_ = {0, 0};
+    return model;
+  }
+  knots = std::max(knots, 2);
+  int64_t n = static_cast<int64_t>(sorted.size());
+  model->knots_.resize(knots);
+  for (int j = 0; j < knots; ++j) {
+    int64_t idx = static_cast<int64_t>(
+        static_cast<double>(j) / (knots - 1) * (n - 1) + 0.5);
+    model->knots_[j] = sorted[idx];
+  }
+  return model;
+}
+
+double EquiDepthCdf::Cdf(Value v) const {
+  const std::vector<Value>& k = knots_;
+  int m = static_cast<int>(k.size());
+  if (v <= k.front()) return 0.0;
+  if (v > k.back()) return 1.0;
+  // Find the knot interval containing v; interpolate within it. Because
+  // knots are equi-depth, knot j sits at CDF j/(m-1).
+  int j = static_cast<int>(std::lower_bound(k.begin(), k.end(), v) -
+                           k.begin());
+  // Now k[j-1] < v <= k[j].
+  double cdf_lo = static_cast<double>(j - 1) / (m - 1);
+  double cdf_hi = static_cast<double>(j) / (m - 1);
+  Value v_lo = k[j - 1], v_hi = k[j];
+  if (v_hi == v_lo) return cdf_lo;
+  double frac = static_cast<double>(v - v_lo) /
+                static_cast<double>(v_hi - v_lo);
+  return cdf_lo + frac * (cdf_hi - cdf_lo);
+}
+
+std::unique_ptr<RmiCdf> RmiCdf::Build(const std::vector<Value>& column,
+                                      int leaves) {
+  auto model = std::unique_ptr<RmiCdf>(new RmiCdf());
+  std::vector<Value> sorted = column;
+  std::sort(sorted.begin(), sorted.end());
+  leaves = std::max(leaves, 1);
+  model->leaves_.resize(leaves);
+  if (sorted.empty()) return model;
+  int64_t n = static_cast<int64_t>(sorted.size());
+
+  // Root: linear map from value to leaf index, fit on (value, rank) pairs.
+  double vmin = static_cast<double>(sorted.front());
+  double vmax = static_cast<double>(sorted.back());
+  if (vmax > vmin) {
+    model->root_slope_ = leaves / (vmax - vmin);
+    model->root_intercept_ = -vmin * model->root_slope_;
+  } else {
+    model->root_slope_ = 0.0;
+    model->root_intercept_ = 0.0;
+  }
+
+  // Assign points to leaves via the root model, then fit each leaf with OLS
+  // of cdf ~ value, clamped to the leaf's observed CDF range.
+  int64_t i = 0;
+  double prev_hi = 0.0;
+  for (int leaf = 0; leaf < leaves; ++leaf) {
+    int64_t begin = i;
+    while (i < n) {
+      double pos = model->root_slope_ * static_cast<double>(sorted[i]) +
+                   model->root_intercept_;
+      int assigned = std::clamp(static_cast<int>(pos), 0, leaves - 1);
+      if (assigned > leaf) break;
+      ++i;
+    }
+    int64_t end = i;
+    Leaf& l = model->leaves_[leaf];
+    if (begin >= end) {
+      l.slope = 0.0;
+      l.intercept = prev_hi;
+      l.cdf_lo = l.cdf_hi = prev_hi;
+      continue;
+    }
+    double mx = 0.0, my = 0.0;
+    for (int64_t r = begin; r < end; ++r) {
+      mx += static_cast<double>(sorted[r]);
+      my += static_cast<double>(r) / n;
+    }
+    int64_t cnt = end - begin;
+    mx /= cnt;
+    my /= cnt;
+    double sxx = 0.0, sxy = 0.0;
+    for (int64_t r = begin; r < end; ++r) {
+      double dx = static_cast<double>(sorted[r]) - mx;
+      sxx += dx * dx;
+      sxy += dx * (static_cast<double>(r) / n - my);
+    }
+    l.slope = sxx > 0.0 ? std::max(sxy / sxx, 0.0) : 0.0;
+    l.intercept = my - l.slope * mx;
+    l.cdf_lo = static_cast<double>(begin) / n;
+    l.cdf_hi = static_cast<double>(end) / n;
+    prev_hi = l.cdf_hi;
+  }
+  return model;
+}
+
+double RmiCdf::Cdf(Value v) const {
+  if (leaves_.empty()) return 0.0;
+  double pos = root_slope_ * static_cast<double>(v) + root_intercept_;
+  int leaf = std::clamp(static_cast<int>(pos), 0,
+                        static_cast<int>(leaves_.size()) - 1);
+  const Leaf& l = leaves_[leaf];
+  double cdf = l.slope * static_cast<double>(v) + l.intercept;
+  return std::clamp(cdf, l.cdf_lo, l.cdf_hi);
+}
+
+void EquiDepthCdf::Serialize(BinaryWriter* writer) const {
+  writer->PutValueVec(knots_);
+}
+
+std::unique_ptr<EquiDepthCdf> EquiDepthCdf::Deserialize(
+    BinaryReader* reader) {
+  auto model = std::make_unique<EquiDepthCdf>();
+  if (!reader->GetValueVec(&model->knots_)) return nullptr;
+  // Knots must be non-decreasing or Cdf() would not be monotone.
+  for (size_t i = 1; i < model->knots_.size(); ++i) {
+    if (model->knots_[i] < model->knots_[i - 1]) {
+      reader->MarkCorrupt();
+      return nullptr;
+    }
+  }
+  return model;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,95 @@
+// Compact per-dimension CDF models (§2.2): grids place a point with value x
+// in dimension i into partition floor(CDF_i(x) * p_i). Any monotone model
+// yields a correct grid; model accuracy controls how equally sized the
+// partitions are.
+#ifndef TSUNAMI_CDF_CDF_MODEL_H_
+#define TSUNAMI_CDF_CDF_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/io/serializer.h"
+
+namespace tsunami {
+
+/// Monotone model of one dimension's cumulative distribution.
+class CdfModel {
+ public:
+  virtual ~CdfModel() = default;
+
+  /// Estimated fraction of points with value strictly less than v, in [0,1].
+  /// Must be non-decreasing in v.
+  virtual double Cdf(Value v) const = 0;
+
+  /// Memory footprint of the model.
+  virtual int64_t SizeBytes() const = 0;
+
+  /// Partition index of value v when the dimension is divided into p
+  /// equi-CDF partitions: clamp(floor(Cdf(v) * p), 0, p - 1).
+  int PartitionOf(Value v, int p) const;
+
+  /// Inclusive partition-index range intersecting the value range [lo, hi].
+  std::pair<int, int> PartitionRange(Value lo, Value hi, int p) const;
+};
+
+/// Equi-depth CDF: `knots` quantile knots with linear interpolation between
+/// them. Exact at the knots, monotone everywhere.
+class EquiDepthCdf : public CdfModel {
+ public:
+  /// Builds from an unsorted column of values. `knots` >= 2.
+  static std::unique_ptr<EquiDepthCdf> Build(const std::vector<Value>& column,
+                                             int knots = 1024);
+
+  /// Builds from an already-sorted column.
+  static std::unique_ptr<EquiDepthCdf> BuildFromSorted(
+      const std::vector<Value>& sorted, int knots = 1024);
+
+  double Cdf(Value v) const override;
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(knots_.size()) * sizeof(Value);
+  }
+
+  Value min_value() const { return knots_.empty() ? 0 : knots_.front(); }
+  Value max_value() const { return knots_.empty() ? 0 : knots_.back(); }
+
+  /// Persistence (§8): the knots round-trip exactly.
+  void Serialize(BinaryWriter* writer) const;
+  static std::unique_ptr<EquiDepthCdf> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<Value> knots_;  // Values at quantiles j/(k-1), j in [0, k).
+};
+
+/// Two-layer recursive model index (RMI, Kraska et al. 2018): a root linear
+/// model routes to one of `leaves` linear leaf models that predict the CDF.
+/// Leaf outputs are clamped to the leaf's observed CDF range and leaf slopes
+/// are non-negative, so the model is monotone by construction.
+class RmiCdf : public CdfModel {
+ public:
+  static std::unique_ptr<RmiCdf> Build(const std::vector<Value>& column,
+                                       int leaves = 64);
+
+  double Cdf(Value v) const override;
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(leaves_.size()) * sizeof(Leaf) +
+           2 * sizeof(double);
+  }
+
+ private:
+  struct Leaf {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double cdf_lo = 0.0;  // Clamp range, non-decreasing across leaves.
+    double cdf_hi = 1.0;
+  };
+
+  double root_slope_ = 0.0;
+  double root_intercept_ = 0.0;
+  std::vector<Leaf> leaves_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_CDF_CDF_MODEL_H_

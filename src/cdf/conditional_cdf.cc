@@ -1,0 +1,110 @@
+#include "src/cdf/conditional_cdf.h"
+
+#include <algorithm>
+
+namespace tsunami {
+
+ConditionalCdf ConditionalCdf::Build(
+    int64_t num_rows, int base_partitions, int dep_partitions,
+    const std::function<int(int64_t)>& base_partition_of,
+    const std::function<Value(int64_t)>& y_of) {
+  ConditionalCdf c;
+  c.dep_partitions_ = std::max(dep_partitions, 1);
+  std::vector<std::vector<Value>> values(std::max(base_partitions, 1));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    int xp = base_partition_of(r);
+    if (xp >= 0 && xp < base_partitions) values[xp].push_back(y_of(r));
+  }
+  c.bounds_.resize(values.size());
+  for (size_t xp = 0; xp < values.size(); ++xp) {
+    std::vector<Value>& v = values[xp];
+    if (v.empty()) continue;  // Empty base partition: bounds stay empty.
+    std::sort(v.begin(), v.end());
+    std::vector<Value>& b = c.bounds_[xp];
+    b.resize(c.dep_partitions_ + 1);
+    int64_t n = static_cast<int64_t>(v.size());
+    for (int j = 0; j <= c.dep_partitions_; ++j) {
+      int64_t idx = std::min<int64_t>(
+          n - 1, static_cast<int64_t>(static_cast<double>(j) /
+                                      c.dep_partitions_ * n));
+      b[j] = v[idx];
+    }
+    b[0] = v.front();
+    b[c.dep_partitions_] = v.back();
+    // Boundaries must be non-decreasing even with heavy duplicates.
+    for (int j = 1; j <= c.dep_partitions_; ++j) b[j] = std::max(b[j], b[j - 1]);
+  }
+  return c;
+}
+
+int ConditionalCdf::PartitionOf(int xp, Value y) const {
+  const std::vector<Value>& b = bounds_[xp];
+  if (b.empty()) return 0;
+  int j = static_cast<int>(std::upper_bound(b.begin(), b.end(), y) -
+                           b.begin()) -
+          1;
+  return std::clamp(j, 0, dep_partitions_ - 1);
+}
+
+std::pair<int, int> ConditionalCdf::PartitionRange(int xp, Value y_lo,
+                                                   Value y_hi) const {
+  const std::vector<Value>& b = bounds_[xp];
+  if (b.empty() || y_hi < b.front() || y_lo > b.back()) {
+    return {1, 0};  // Empty: no points of this base partition can match.
+  }
+  return {PartitionOf(xp, y_lo), PartitionOf(xp, y_hi)};
+}
+
+bool ConditionalCdf::CoversPartition(int xp, int yp, Value y_lo,
+                                     Value y_hi) const {
+  const std::vector<Value>& b = bounds_[xp];
+  if (b.empty()) return true;  // Vacuously: partition holds no points.
+  Value part_lo = b[yp];
+  Value part_hi = yp + 1 < static_cast<int>(b.size()) - 1 ? b[yp + 1] - 1
+                                                          : b.back();
+  return y_lo <= part_lo && part_hi <= y_hi;
+}
+
+int64_t ConditionalCdf::SizeBytes() const {
+  int64_t bytes = 0;
+  for (const std::vector<Value>& b : bounds_) {
+    bytes += static_cast<int64_t>(b.size()) * sizeof(Value);
+  }
+  return bytes;
+}
+
+
+void ConditionalCdf::Serialize(BinaryWriter* writer) const {
+  writer->PutVarI64(dep_partitions_);
+  writer->PutVarU64(bounds_.size());
+  for (const std::vector<Value>& b : bounds_) writer->PutValueVec(b);
+}
+
+bool ConditionalCdf::Deserialize(BinaryReader* reader) {
+  dep_partitions_ = static_cast<int>(reader->GetVarI64());
+  uint64_t n = reader->GetVarU64();
+  if (!reader->ok() || dep_partitions_ < 0 || n > reader->remaining()) {
+    reader->MarkCorrupt();
+    return false;
+  }
+  bounds_.assign(n, {});
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!reader->GetValueVec(&bounds_[i])) return false;
+    // Each table needs dep_partitions_+1 non-decreasing boundaries (or may
+    // be empty for a base partition that held no rows).
+    if (!bounds_[i].empty() &&
+        bounds_[i].size() != static_cast<size_t>(dep_partitions_) + 1) {
+      reader->MarkCorrupt();
+      return false;
+    }
+    for (size_t j = 1; j < bounds_[i].size(); ++j) {
+      if (bounds_[i][j] < bounds_[i][j - 1]) {
+        reader->MarkCorrupt();
+        return false;
+      }
+    }
+  }
+  return reader->ok();
+}
+
+}  // namespace tsunami

@@ -1,0 +1,66 @@
+// Conditional CDF CDF(Y|X) (§5.2.2): the dependent dimension Y is
+// partitioned equi-depth *within each partition of the base dimension X*,
+// producing staggered partition boundaries and equally-sized cells for
+// generically correlated dimension pairs.
+#ifndef TSUNAMI_CDF_CONDITIONAL_CDF_H_
+#define TSUNAMI_CDF_CONDITIONAL_CDF_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/io/serializer.h"
+
+namespace tsunami {
+
+/// Per-base-partition equi-depth partitioning of the dependent dimension.
+///
+/// Storage is p_X * (p_Y + 1) boundary values — negligible next to the
+/// grid's lookup table (§5.2.2).
+class ConditionalCdf {
+ public:
+  ConditionalCdf() = default;
+
+  /// Builds from the rows of a region. `base_partition_of(row)` gives the
+  /// base dimension's partition index in [0, base_partitions); `y_of(row)`
+  /// the dependent dimension's value.
+  static ConditionalCdf Build(
+      int64_t num_rows, int base_partitions, int dep_partitions,
+      const std::function<int(int64_t)>& base_partition_of,
+      const std::function<Value(int64_t)>& y_of);
+
+  int base_partitions() const { return static_cast<int>(bounds_.size()); }
+  int dep_partitions() const { return dep_partitions_; }
+
+  /// Partition of y within base partition xp, in [0, dep_partitions).
+  int PartitionOf(int xp, Value y) const;
+
+  /// Inclusive partition range within base partition xp intersecting
+  /// [y_lo, y_hi]; returns {1, 0} (empty) when the query's Y range does not
+  /// overlap any points in that base partition — the "guaranteed no points"
+  /// skip of Fig. 6.
+  std::pair<int, int> PartitionRange(int xp, Value y_lo, Value y_hi) const;
+
+  /// True if [y_lo, y_hi] covers partition `yp` of base partition `xp`
+  /// entirely (every point of the partition matches the Y filter).
+  bool CoversPartition(int xp, int yp, Value y_lo, Value y_hi) const;
+
+  int64_t SizeBytes() const;
+
+  /// Persistence (§8): boundary tables round-trip exactly.
+  void Serialize(BinaryWriter* writer) const;
+  bool Deserialize(BinaryReader* reader);
+
+ private:
+  int dep_partitions_ = 0;
+  // bounds_[xp] has dep_partitions_+1 entries: partition j of base partition
+  // xp covers values in [bounds_[xp][j], bounds_[xp][j+1]), with the last
+  // partition inclusive of the max value bounds_[xp].back().
+  std::vector<std::vector<Value>> bounds_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_CDF_CONDITIONAL_CDF_H_

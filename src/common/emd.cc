@@ -1,0 +1,50 @@
+#include "src/common/emd.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace tsunami {
+
+double Emd(const std::vector<double>& p, const std::vector<double>& q) {
+  size_t n = p.size();
+  if (n == 0 || q.size() != n) return 0.0;
+  double total_p = 0.0, total_q = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total_p += p[i];
+    total_q += q[i];
+  }
+  if (total_p <= 0.0 || total_q <= 0.0) return 0.0;
+  double scale = total_p / total_q;
+  double carried = 0.0;  // Signed mass carried across the bin boundary.
+  double work = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    carried += p[i] - q[i] * scale;
+    work += std::abs(carried);
+  }
+  return work / n;
+}
+
+double SkewOfMass(const std::vector<double>& pdf) {
+  return SkewOfMassRange(pdf, 0, static_cast<int>(pdf.size()));
+}
+
+double SkewOfMassRange(const std::vector<double>& pdf, int lo, int hi) {
+  if (lo < 0) lo = 0;
+  if (hi > static_cast<int>(pdf.size())) hi = static_cast<int>(pdf.size());
+  int n = hi - lo;
+  // A single bin cannot be distinguished from uniform (§4.3.2).
+  if (n <= 1) return 0.0;
+  double total = 0.0;
+  for (int i = lo; i < hi; ++i) total += pdf[i];
+  if (total <= 0.0) return 0.0;
+  double uniform = total / n;
+  double carried = 0.0;
+  double work = 0.0;
+  for (int i = lo; i < hi; ++i) {
+    carried += pdf[i] - uniform;
+    work += std::abs(carried);
+  }
+  return work / n;
+}
+
+}  // namespace tsunami

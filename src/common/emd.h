@@ -1,0 +1,33 @@
+// One-dimensional Earth Mover's Distance between discrete distributions,
+// used to measure query skew (§4.2.1).
+#ifndef TSUNAMI_COMMON_EMD_H_
+#define TSUNAMI_COMMON_EMD_H_
+
+#include <vector>
+
+namespace tsunami {
+
+/// Earth Mover's Distance between two non-negative mass vectors of equal
+/// length defined over the same equally-spaced bins.
+///
+/// Ground distance between adjacent bins is 1/n (the bin range is normalized
+/// to [0, 1]), so EMD(p, q) <= total mass. If the total masses differ, `q` is
+/// rescaled to match `p`'s mass (EMD requires balanced transport).
+///
+/// For 1-D distributions EMD has the closed form
+///   sum_i |prefix(p)_i - prefix(q)_i| * (1/n).
+double Emd(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Skew of a mass vector: EMD between it and the uniform distribution with
+/// the same total mass over the same bins (§4.2.1). Zero for uniform or
+/// empty vectors; at most total_mass/2 in general.
+double SkewOfMass(const std::vector<double>& pdf);
+
+/// Skew over the sub-range of bins [lo, hi) of `pdf` (Skew_i(Q, x, y) in the
+/// paper): EMD between pdf[lo..hi) and the uniform vector carrying the same
+/// mass over those bins, with ground distance normalized to the sub-range.
+double SkewOfMassRange(const std::vector<double>& pdf, int lo, int hi);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_COMMON_EMD_H_

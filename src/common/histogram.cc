@@ -1,0 +1,69 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+
+namespace tsunami {
+
+MassHistogram::MassHistogram(Value lo, Value hi, int bins)
+    : lo_(lo), hi_(hi), mass_(std::max(bins, 1), 0.0) {
+  if (hi_ < lo_) hi_ = lo_;
+}
+
+MassHistogram::MassHistogram(const std::vector<Value>& unique_sorted)
+    : per_unique_value_(true),
+      edges_(unique_sorted),
+      mass_(std::max<size_t>(unique_sorted.size(), 1), 0.0) {
+  if (!edges_.empty()) {
+    lo_ = edges_.front();
+    hi_ = edges_.back();
+  }
+}
+
+int MassHistogram::BinOf(Value v) const {
+  if (per_unique_value_) {
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+    int idx = static_cast<int>(it - edges_.begin()) - 1;
+    return std::clamp(idx, 0, bins() - 1);
+  }
+  if (v <= lo_) return 0;
+  if (v >= hi_) return bins() - 1;
+  // 128-bit arithmetic: the domain span can be near the full int64 range.
+  __int128 span = static_cast<__int128>(hi_) - lo_ + 1;
+  __int128 off = static_cast<__int128>(v) - lo_;
+  return static_cast<int>(off * bins() / span);
+}
+
+Value MassHistogram::BinLo(int b) const {
+  if (per_unique_value_) return edges_[b];
+  __int128 span = static_cast<__int128>(hi_) - lo_ + 1;
+  return static_cast<Value>(lo_ + span * b / bins());
+}
+
+Value MassHistogram::BinHi(int b) const {
+  if (per_unique_value_) {
+    return b + 1 < bins() ? edges_[b + 1] : hi_ + 1;
+  }
+  __int128 span = static_cast<__int128>(hi_) - lo_ + 1;
+  return static_cast<Value>(lo_ + span * (b + 1) / bins());
+}
+
+void MassHistogram::AddRangeMass(Value lo, Value hi) {
+  if (hi < lo_ || lo > hi_) return;  // No overlap with the domain.
+  Value clo = std::max(lo, lo_);
+  Value chi = std::min(hi, hi_);
+  int b0 = BinOf(clo);
+  int b1 = BinOf(chi);
+  double m = 1.0 / (b1 - b0 + 1);
+  for (int b = b0; b <= b1; ++b) mass_[b] += m;
+  total_mass_ += 1.0;
+}
+
+double MassHistogram::MassInBins(int bin_lo, int bin_hi) const {
+  double sum = 0.0;
+  bin_lo = std::max(bin_lo, 0);
+  bin_hi = std::min(bin_hi, bins());
+  for (int b = bin_lo; b < bin_hi; ++b) sum += mass_[b];
+  return sum;
+}
+
+}  // namespace tsunami

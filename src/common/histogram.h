@@ -1,0 +1,60 @@
+// Equi-width mass histograms used to approximate query PDFs (§4.2.1,
+// Hist_i(Q, a, b, n)): a query whose filter intersects m contiguous bins
+// contributes 1/m mass to each of them.
+#ifndef TSUNAMI_COMMON_HISTOGRAM_H_
+#define TSUNAMI_COMMON_HISTOGRAM_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Fixed-bin mass histogram over the value range [lo, hi] in one dimension.
+///
+/// Bin boundaries are either equi-width over [lo, hi], or — when the
+/// dimension has fewer unique values than the requested bin count (§4.3.2) —
+/// one bin per unique value.
+class MassHistogram {
+ public:
+  /// Equi-width histogram with `bins` bins over [lo, hi] (inclusive).
+  MassHistogram(Value lo, Value hi, int bins);
+
+  /// One bin per unique value. `unique_sorted` must be sorted and distinct.
+  explicit MassHistogram(const std::vector<Value>& unique_sorted);
+
+  int bins() const { return static_cast<int>(mass_.size()); }
+  bool per_unique_value() const { return per_unique_value_; }
+
+  /// Maps a value to its bin index, clamped to [0, bins).
+  int BinOf(Value v) const;
+
+  /// Inclusive-exclusive value range [lo, hi) covered by bin b (the last
+  /// bin's hi is the histogram's upper bound + 1).
+  Value BinLo(int b) const;
+  Value BinHi(int b) const;
+
+  /// Adds one unit of query mass spread uniformly over the bins intersecting
+  /// the inclusive value range [lo, hi]. Ranges are clipped to the domain;
+  /// fully-outside ranges contribute nothing.
+  void AddRangeMass(Value lo, Value hi);
+
+  /// Raw per-bin mass.
+  const std::vector<double>& mass() const { return mass_; }
+  double total_mass() const { return total_mass_; }
+
+  /// Sum of mass over the bin index range [bin_lo, bin_hi).
+  double MassInBins(int bin_lo, int bin_hi) const;
+
+ private:
+  bool per_unique_value_ = false;
+  Value lo_ = 0;
+  Value hi_ = 0;
+  std::vector<Value> edges_;  // Only for per-unique-value histograms.
+  std::vector<double> mass_;
+  double total_mass_ = 0.0;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_COMMON_HISTOGRAM_H_

@@ -1,0 +1,38 @@
+// The common interface implemented by every clustered multi-dimensional
+// index in this library (baselines, Flood, Tsunami).
+#ifndef TSUNAMI_COMMON_INDEX_H_
+#define TSUNAMI_COMMON_INDEX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/storage/column_store.h"
+
+namespace tsunami {
+
+/// A clustered in-memory multi-dimensional index over a column store.
+///
+/// Indexes are built from a Dataset (choosing their own clustered row order)
+/// and answer conjunctive range-filter aggregation queries.
+class MultiDimIndex {
+ public:
+  virtual ~MultiDimIndex() = default;
+
+  /// Human-readable index name for benchmark output.
+  virtual std::string Name() const = 0;
+
+  /// Executes one query and returns its aggregate plus execution counters.
+  virtual QueryResult Execute(const Query& query) const = 0;
+
+  /// Index structure overhead in bytes (lookup tables, models, tree nodes,
+  /// page metadata) — excludes the column data itself.
+  virtual int64_t IndexSizeBytes() const = 0;
+
+  /// The clustered column store this index scans.
+  virtual const ColumnStore& store() const = 0;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_COMMON_INDEX_H_

@@ -1,0 +1,141 @@
+#include "src/common/linear_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsunami {
+namespace {
+
+Value ClampToValue(long double x) {
+  if (x <= static_cast<long double>(kValueMin)) return kValueMin;
+  if (x >= static_cast<long double>(kValueMax)) return kValueMax;
+  return static_cast<Value>(x);
+}
+
+}  // namespace
+
+BoundedLinearModel BoundedLinearModel::Fit(const std::vector<Value>& ys,
+                                           const std::vector<Value>& xs) {
+  BoundedLinearModel m;
+  size_t n = std::min(ys.size(), xs.size());
+  if (n == 0) return m;
+  // Residuals are evaluated in long double: int64 values above 2^53 are not
+  // exactly representable in double, and a bound computed with rounded
+  // arithmetic can exclude actual points (breaking the functional-mapping
+  // guarantee). Long double's 64-bit mantissa represents every Value.
+  long double my = 0.0L, mx = 0.0L;
+  for (size_t i = 0; i < n; ++i) {
+    my += static_cast<long double>(ys[i]);
+    mx += static_cast<long double>(xs[i]);
+  }
+  my /= n;
+  mx /= n;
+  long double syy = 0.0L, syx = 0.0L;
+  for (size_t i = 0; i < n; ++i) {
+    long double dy = ys[i] - my;
+    syy += dy * dy;
+    syx += dy * (xs[i] - mx);
+  }
+  if (syy > 0.0L) {
+    m.slope_ = static_cast<double>(syx / syy);
+    m.intercept_ = static_cast<double>(mx - (syx / syy) * my);
+  } else {
+    m.slope_ = 0.0;
+    m.intercept_ = static_cast<double>(mx);  // Constant Y: predict mean X.
+  }
+  // Residual bounds over the training set, with the same long double
+  // prediction MapRange uses plus an ULP-scaled safety slack.
+  long double lo = 0.0L, hi = 0.0L;
+  for (size_t i = 0; i < n; ++i) {
+    long double resid = static_cast<long double>(xs[i]) - m.PredictL(ys[i]);
+    lo = std::min(lo, resid);
+    hi = std::max(hi, resid);
+  }
+  m.error_lo_ = static_cast<double>(-lo);
+  m.error_hi_ = static_cast<double>(hi);
+  return m;
+}
+
+BoundedLinearModel BoundedLinearModel::FitRobust(const std::vector<Value>& ys,
+                                                 const std::vector<Value>& xs,
+                                                 int max_pairs) {
+  BoundedLinearModel m;
+  size_t n = std::min(ys.size(), xs.size());
+  if (n < 2) return Fit(ys, xs);
+  // Deterministic pair sampling (splitmix-style walk over indices).
+  std::vector<double> slopes;
+  slopes.reserve(max_pairs);
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next_index = [&]() {
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>((z ^ (z >> 31)) % n);
+  };
+  for (int k = 0; k < max_pairs; ++k) {
+    size_t a = next_index(), b = next_index();
+    if (ys[a] == ys[b]) continue;
+    long double dy = static_cast<long double>(ys[a]) - ys[b];
+    long double dx = static_cast<long double>(xs[a]) - xs[b];
+    slopes.push_back(static_cast<double>(dx / dy));
+  }
+  if (slopes.empty()) return Fit(ys, xs);
+  std::nth_element(slopes.begin(), slopes.begin() + slopes.size() / 2,
+                   slopes.end());
+  m.slope_ = slopes[slopes.size() / 2];
+  std::vector<long double> intercepts(n);
+  for (size_t i = 0; i < n; ++i) {
+    intercepts[i] = static_cast<long double>(xs[i]) -
+                    static_cast<long double>(m.slope_) * ys[i];
+  }
+  std::nth_element(intercepts.begin(), intercepts.begin() + n / 2,
+                   intercepts.end());
+  m.intercept_ = static_cast<double>(intercepts[n / 2]);
+  long double lo = 0.0L, hi = 0.0L;
+  for (size_t i = 0; i < n; ++i) {
+    long double resid = static_cast<long double>(xs[i]) - m.PredictL(ys[i]);
+    lo = std::min(lo, resid);
+    hi = std::max(hi, resid);
+  }
+  m.error_lo_ = static_cast<double>(-lo);
+  m.error_hi_ = static_cast<double>(hi);
+  return m;
+}
+
+long double BoundedLinearModel::PredictL(Value y) const {
+  return static_cast<long double>(slope_) * y + intercept_;
+}
+
+std::pair<Value, Value> BoundedLinearModel::MapRange(Value y0, Value y1) const {
+  long double p0 = PredictL(y0);
+  long double p1 = PredictL(y1);
+  long double lo = std::min(p0, p1) - static_cast<long double>(error_lo_);
+  long double hi = std::max(p0, p1) + static_cast<long double>(error_hi_);
+  // Slack for rounding of slope_/intercept_/error bounds to double: a few
+  // ULPs of the magnitudes involved.
+  long double slack =
+      std::max<long double>(1.0L, std::max(std::abs(lo), std::abs(hi)) *
+                                      1e-14L);
+  lo -= slack;
+  hi += slack;
+  return {ClampToValue(std::floor(lo)), ClampToValue(std::ceil(hi))};
+}
+
+
+void BoundedLinearModel::Serialize(BinaryWriter* writer) const {
+  writer->PutDouble(slope_);
+  writer->PutDouble(intercept_);
+  writer->PutDouble(error_lo_);
+  writer->PutDouble(error_hi_);
+}
+
+bool BoundedLinearModel::Deserialize(BinaryReader* reader) {
+  slope_ = reader->GetDouble();
+  intercept_ = reader->GetDouble();
+  error_lo_ = reader->GetDouble();
+  error_hi_ = reader->GetDouble();
+  return reader->ok();
+}
+
+}  // namespace tsunami

@@ -1,0 +1,73 @@
+// Bounded simple linear regression: the functional-mapping primitive (§5.2.1).
+#ifndef TSUNAMI_COMMON_LINEAR_MODEL_H_
+#define TSUNAMI_COMMON_LINEAR_MODEL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/io/serializer.h"
+
+namespace tsunami {
+
+/// Ordinary-least-squares fit of X ~ slope * Y + intercept with lower/upper
+/// error bounds `el`, `eu` such that for every training point
+///   Predict(y) - el <= x <= Predict(y) + eu.
+///
+/// A functional mapping is encoded in four floats (slope, intercept, el, eu)
+/// and transforms a filter [y0, y1] over the mapped dimension Y into the
+/// guaranteed-superset filter [min - el, max + eu] over the target X.
+class BoundedLinearModel {
+ public:
+  BoundedLinearModel() = default;
+
+  /// Fits on paired samples; requires xs.size() == ys.size() >= 2.
+  /// Degenerate inputs (constant Y) fit a constant model.
+  static BoundedLinearModel Fit(const std::vector<Value>& ys,
+                                const std::vector<Value>& xs);
+
+  /// Outlier-robust fit (Theil-Sen over sampled pairs + median intercept).
+  /// Unlike OLS, high-leverage outliers cannot drag the slope, so the
+  /// residuals of true outliers stay extreme — used by the functional-
+  /// mapping outlier buffer (§8) to decide *which* rows to buffer.
+  static BoundedLinearModel FitRobust(const std::vector<Value>& ys,
+                                      const std::vector<Value>& xs,
+                                      int max_pairs = 512);
+
+  double Predict(Value y) const { return slope_ * y + intercept_; }
+
+  /// Long double prediction; exact over the full int64 value range (used
+  /// internally so error bounds are consistent with MapRange).
+  long double PredictL(Value y) const;
+
+  /// Maps the inclusive Y-range [y0, y1] to the inclusive X-range that is
+  /// guaranteed to contain all training points whose Y lies in [y0, y1].
+  std::pair<Value, Value> MapRange(Value y0, Value y1) const;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+  double error_lo() const { return error_lo_; }
+  double error_hi() const { return error_hi_; }
+
+  /// Total error-band width, used by the AGD initialization heuristic
+  /// ("use a functional mapping if the error bound is below 10% of the
+  /// target's domain", §5.3.2).
+  double ErrorBandWidth() const { return error_lo_ + error_hi_; }
+
+  static constexpr int64_t kSizeBytes = 4 * sizeof(double);
+
+  /// Persistence (§8): the four coefficients round-trip bit-exactly.
+  void Serialize(BinaryWriter* writer) const;
+  bool Deserialize(BinaryReader* reader);
+
+ private:
+  double slope_ = 0.0;
+  double intercept_ = 0.0;
+  double error_lo_ = 0.0;
+  double error_hi_ = 0.0;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_COMMON_LINEAR_MODEL_H_

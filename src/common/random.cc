@@ -1,0 +1,102 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace tsunami {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) s = SplitMix64(sm);
+  has_cached_gaussian_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  // Lemire's multiply-shift rejection method for unbiased bounded draws.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+Value Rng::UniformValue(Value lo, Value hi) {
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<Value>(Next());  // Full 64-bit range.
+  return lo + static_cast<Value>(NextBelow(span));
+}
+
+double Rng::NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = NextDouble();
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextExponential(double rate) {
+  double u = 0.0;
+  while (u == 0.0) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+int64_t Rng::NextZipf(int64_t n, double s) {
+  if (s <= 0.0) return static_cast<int64_t>(NextBelow(n));
+  // Inverse-CDF on a truncated power law; approximate but fast and smooth,
+  // adequate for workload skew generation.
+  double u = NextDouble();
+  double exp = 1.0 - s;
+  double v;
+  if (std::abs(exp) < 1e-9) {
+    v = std::pow(static_cast<double>(n), u);
+  } else {
+    v = std::pow(u * (std::pow(static_cast<double>(n), exp) - 1.0) + 1.0,
+                 1.0 / exp);
+  }
+  int64_t r = static_cast<int64_t>(v) - 1;
+  if (r < 0) r = 0;
+  if (r >= n) r = n - 1;
+  return r;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation (xoshiro256**), so that
+// datasets, workloads, and property tests are reproducible across runs.
+#ifndef TSUNAMI_COMMON_RANDOM_H_
+#define TSUNAMI_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Small, fast, deterministic RNG (xoshiro256** seeded via splitmix64).
+/// Not cryptographic; used for data generation and sampling only.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  Value UniformValue(Value lo, Value hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Exponential with the given rate (mean = 1/rate).
+  double NextExponential(double rate);
+
+  /// Zipf-like skewed integer in [0, n) with exponent `s` (s=0 is uniform).
+  int64_t NextZipf(int64_t n, double s);
+
+  /// Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_COMMON_RANDOM_H_

@@ -1,0 +1,45 @@
+// Small numeric helpers: order statistics, summary stats, and a wall timer.
+#ifndef TSUNAMI_COMMON_STATS_H_
+#define TSUNAMI_COMMON_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace tsunami {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double Stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, q in [0, 100]. Copies and sorts.
+double Percentile(std::vector<double> xs, double q);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_COMMON_STATS_H_

@@ -1,0 +1,190 @@
+// Core value, predicate, and query types shared by every index in the library.
+#ifndef TSUNAMI_COMMON_TYPES_H_
+#define TSUNAMI_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tsunami {
+
+/// All attributes are 64-bit integers (strings are dictionary encoded and
+/// floating point values are scaled to integers prior to indexing, §6.1).
+using Value = int64_t;
+
+inline constexpr Value kValueMin = std::numeric_limits<Value>::min();
+inline constexpr Value kValueMax = std::numeric_limits<Value>::max();
+
+/// An inclusive range filter `lo <= R.dim <= hi` over one dimension.
+/// An equality filter is expressed as `lo == hi`.
+struct Predicate {
+  int dim = 0;
+  Value lo = kValueMin;
+  Value hi = kValueMax;
+
+  bool Matches(Value v) const { return lo <= v && v <= hi; }
+  bool IsEquality() const { return lo == hi; }
+};
+
+/// Supported aggregations. All indexes pay the same aggregation cost, so the
+/// paper evaluates COUNT; SUM/MIN/MAX/AVG over a column are provided for the
+/// API ("SUM(R.X) can be replaced by any aggregation", §2).
+enum class AggKind { kCount, kSum, kMin, kMax, kAvg };
+
+/// Identity element for an aggregate's accumulator: the value such that
+/// accumulating any row into it gives that row's contribution.
+constexpr int64_t AggIdentity(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMin:
+      return kValueMax;
+    case AggKind::kMax:
+      return kValueMin;
+    default:
+      return 0;  // COUNT / SUM / AVG accumulate from zero.
+  }
+}
+
+/// Folds one matching row's value `v` into the accumulator `agg`. AVG
+/// accumulates the sum; the mean is `agg / matched` at finalization.
+inline void AccumulateAgg(AggKind kind, Value v, int64_t* agg) {
+  switch (kind) {
+    case AggKind::kCount:
+      ++*agg;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      *agg += v;
+      break;
+    case AggKind::kMin:
+      if (v < *agg) *agg = v;
+      break;
+    case AggKind::kMax:
+      if (v > *agg) *agg = v;
+      break;
+  }
+}
+
+/// A conjunctive range query: `SELECT AGG(col) FROM t WHERE p1 AND p2 ...`.
+///
+/// `type` labels the query type (§4.3.1) when known from the workload
+/// generator; -1 means unlabeled (Tsunami will cluster types itself).
+struct Query {
+  std::vector<Predicate> filters;
+  AggKind agg = AggKind::kCount;
+  int agg_dim = 0;  // Aggregated column for kSum; ignored for kCount.
+  int type = -1;
+
+  /// Returns the filter over `dim`, or nullptr if the query does not
+  /// filter that dimension.
+  const Predicate* FilterOn(int dim) const {
+    for (const Predicate& p : filters) {
+      if (p.dim == dim) return &p;
+    }
+    return nullptr;
+  }
+};
+
+/// Result of executing one query, plus the execution counters used by the
+/// paper's cost model and our benchmark reporting.
+struct QueryResult {
+  int64_t agg = 0;           // Aggregate accumulator (sum for AVG).
+  int64_t scanned = 0;       // Points touched by the scan.
+  int64_t matched = 0;       // Points matching all filters.
+  int64_t cell_ranges = 0;   // Physical storage ranges visited.
+};
+
+/// Merges a partial result into `out`: counters add; the accumulator
+/// combines per the aggregate kind (COUNT/SUM/AVG add, MIN/MAX take the
+/// extremum). Partials must cover disjoint row sets for counts to be
+/// exact. Used by parallel region execution and disjoint-box unions.
+inline void MergeQueryResults(AggKind kind, const QueryResult& in,
+                              QueryResult* out) {
+  out->scanned += in.scanned;
+  out->matched += in.matched;
+  out->cell_ranges += in.cell_ranges;
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      out->agg += in.agg;
+      break;
+    case AggKind::kMin:
+      if (in.agg < out->agg) out->agg = in.agg;
+      break;
+    case AggKind::kMax:
+      if (in.agg > out->agg) out->agg = in.agg;
+      break;
+  }
+}
+
+/// A QueryResult whose accumulator is initialized for the query's aggregate
+/// (0 for COUNT/SUM/AVG, +inf for MIN, -inf for MAX). Every index's Execute
+/// starts from this.
+inline QueryResult InitResult(const Query& query) {
+  QueryResult result;
+  result.agg = AggIdentity(query.agg);
+  return result;
+}
+
+/// Final scalar value of a finished result: the accumulator itself for
+/// COUNT/SUM/MIN/MAX, the mean for AVG. MIN/MAX/AVG over zero matching rows
+/// have no defined value; this returns 0 in that case (SQL would return
+/// NULL).
+inline double FinalAggValue(const Query& query, const QueryResult& result) {
+  if (result.matched == 0 && query.agg != AggKind::kCount &&
+      query.agg != AggKind::kSum) {
+    return 0.0;
+  }
+  if (query.agg == AggKind::kAvg) {
+    return static_cast<double>(result.agg) /
+           static_cast<double>(result.matched);
+  }
+  return static_cast<double>(result.agg);
+}
+
+/// A workload is a list of queries; types, when present, are stored on the
+/// queries themselves.
+using Workload = std::vector<Query>;
+
+/// Row-major multidimensional dataset used at build time. Indexes reorder it
+/// into their clustered layout (via ColumnStore).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(int dims, std::vector<Value> row_major)
+      : dims_(dims), data_(std::move(row_major)) {}
+
+  int dims() const { return dims_; }
+  int64_t size() const {
+    return dims_ == 0 ? 0 : static_cast<int64_t>(data_.size()) / dims_;
+  }
+  Value at(int64_t row, int dim) const { return data_[row * dims_ + dim]; }
+  Value& at(int64_t row, int dim) { return data_[row * dims_ + dim]; }
+
+  const std::vector<Value>& raw() const { return data_; }
+  std::vector<Value>& raw() { return data_; }
+
+  void Reserve(int64_t rows) { data_.reserve(rows * dims_); }
+  void AppendRow(const std::vector<Value>& row) {
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+
+ private:
+  int dims_ = 0;
+  std::vector<Value> data_;
+};
+
+/// A dataset together with its generated workload and metadata; produced by
+/// the generators in src/datasets.
+struct Benchmark {
+  std::string name;
+  Dataset data;
+  Workload workload;
+  std::vector<std::string> dim_names;
+  int num_query_types = 0;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_COMMON_TYPES_H_

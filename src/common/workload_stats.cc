@@ -1,0 +1,99 @@
+#include "src/common/workload_stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tsunami {
+
+Dataset SampleDataset(const Dataset& data, int64_t max_rows, Rng* rng) {
+  int64_t n = data.size();
+  Dataset sample(data.dims(), {});
+  if (n <= max_rows) {
+    sample = data;
+    return sample;
+  }
+  sample.Reserve(max_rows);
+  std::vector<Value> row(data.dims());
+  for (int64_t i = 0; i < max_rows; ++i) {
+    int64_t r = static_cast<int64_t>(rng->NextBelow(n));
+    for (int d = 0; d < data.dims(); ++d) row[d] = data.at(r, d);
+    sample.AppendRow(row);
+  }
+  return sample;
+}
+
+double PredicateSelectivity(const Dataset& sample, const Predicate& p) {
+  int64_t n = sample.size();
+  if (n == 0) return 1.0;
+  int64_t hits = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    if (p.Matches(sample.at(r, p.dim))) ++hits;
+  }
+  return static_cast<double>(hits) / n;
+}
+
+double QuerySelectivity(const Dataset& sample, const Query& q) {
+  int64_t n = sample.size();
+  if (n == 0) return 1.0;
+  int64_t hits = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    bool ok = true;
+    for (const Predicate& p : q.filters) {
+      if (!p.Matches(sample.at(r, p.dim))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++hits;
+  }
+  return static_cast<double>(hits) / n;
+}
+
+std::vector<double> AvgSelectivityPerDim(const Dataset& sample,
+                                         const Workload& workload, int dims) {
+  std::vector<double> sum(dims, 0.0);
+  std::vector<int64_t> count(dims, 0);
+  for (const Query& q : workload) {
+    for (const Predicate& p : q.filters) {
+      if (p.dim < 0 || p.dim >= dims) continue;
+      sum[p.dim] += PredicateSelectivity(sample, p);
+      ++count[p.dim];
+    }
+  }
+  std::vector<double> avg(dims, 1.0);
+  for (int d = 0; d < dims; ++d) {
+    if (count[d] > 0) avg[d] = sum[d] / count[d];
+  }
+  return avg;
+}
+
+std::vector<int> DimsBySelectivity(const Dataset& sample,
+                                   const Workload& workload, int dims) {
+  std::vector<double> avg = AvgSelectivityPerDim(sample, workload, dims);
+  std::vector<int> order(dims);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return avg[a] < avg[b]; });
+  return order;
+}
+
+DimBounds ComputeBounds(const Dataset& data) {
+  DimBounds b;
+  int dims = data.dims();
+  b.lo.assign(dims, 0);
+  b.hi.assign(dims, 0);
+  if (data.size() == 0) return b;
+  for (int d = 0; d < dims; ++d) {
+    Value lo = data.at(0, d), hi = data.at(0, d);
+    for (int64_t r = 1; r < data.size(); ++r) {
+      Value v = data.at(r, d);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    b.lo[d] = lo;
+    b.hi[d] = hi;
+  }
+  return b;
+}
+
+}  // namespace tsunami

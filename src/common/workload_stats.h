@@ -1,0 +1,44 @@
+// Workload statistics shared by index builders: per-dimension filter
+// selectivities (used for sort-dimension choice, k-d tree dimension order,
+// partition initialization, and query-type embeddings, §4.3.1 / §5.3.2).
+#ifndef TSUNAMI_COMMON_WORKLOAD_STATS_H_
+#define TSUNAMI_COMMON_WORKLOAD_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Uniform row sample of a dataset (without replacement for small n).
+Dataset SampleDataset(const Dataset& data, int64_t max_rows, Rng* rng);
+
+/// Fraction of sample rows matching the single predicate `p` (in [0, 1]).
+double PredicateSelectivity(const Dataset& sample, const Predicate& p);
+
+/// Fraction of sample rows matching all of the query's filters.
+double QuerySelectivity(const Dataset& sample, const Query& q);
+
+/// Per-dimension average selectivity over queries filtering that dimension;
+/// dimensions never filtered get 1.0. Lower = more selective = more useful
+/// to index.
+std::vector<double> AvgSelectivityPerDim(const Dataset& sample,
+                                         const Workload& workload, int dims);
+
+/// Dimensions ordered from most selective (smallest average selectivity) to
+/// least; never-filtered dimensions come last.
+std::vector<int> DimsBySelectivity(const Dataset& sample,
+                                   const Workload& workload, int dims);
+
+/// Per-dimension [min, max] over the dataset. Empty datasets yield [0, 0].
+struct DimBounds {
+  std::vector<Value> lo;
+  std::vector<Value> hi;
+};
+DimBounds ComputeBounds(const Dataset& data);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_COMMON_WORKLOAD_STATS_H_

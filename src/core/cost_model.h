@@ -1,0 +1,97 @@
+// The analytic query cost model (§5.3.1):
+//   Time = w0 * (#cell ranges) + w1 * (#scanned points) * (#filtered dims)
+// and a sample-based evaluator that predicts it for any (skeleton,
+// partitions) candidate without building the grid.
+#ifndef TSUNAMI_CORE_COST_MODEL_H_
+#define TSUNAMI_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/common/linear_model.h"
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/core/skeleton.h"
+
+namespace tsunami {
+
+/// Cost-model weights, in nanoseconds. w0 is the cost of one lookup-table
+/// access plus the cache miss of jumping to a new physical range; w1 the
+/// cost of scanning one dimension of one point.
+struct CostWeights {
+  double w0 = 400.0;
+  double w1 = 1.5;
+};
+
+/// Micro-measures w0/w1 on this machine (used by benches for Fig. 12b's
+/// predicted-vs-actual comparison). Takes ~100 ms.
+CostWeights CalibrateCostWeights();
+
+/// Predicts average query time for Augmented Grid candidates over a region,
+/// using a point sample and a query subsample (§5.3.1: "the features of
+/// this cost model can be efficiently computed or estimated").
+class GridCostEvaluator {
+ public:
+  /// `rows` are the region's row ids into `data`; `queries` the queries
+  /// intersecting the region.
+  GridCostEvaluator(const Dataset& data, const std::vector<uint32_t>& rows,
+                    const Workload& queries, int max_sample_points,
+                    int max_sample_queries, uint64_t seed);
+
+  /// Predicted average per-query time in ns over the query subsample.
+  /// `sort_dim` = -1 picks the default heuristic (most selective non-base
+  /// grid dimension); the optimizer searches over explicit choices.
+  double Cost(const Skeleton& skeleton, const std::vector<int>& partitions,
+              const CostWeights& weights, int sort_dim = -1) const;
+
+  /// Predicted time in ns for one specific query (used for Fig. 12b).
+  double PredictQueryNanos(const Skeleton& skeleton,
+                           const std::vector<int>& partitions,
+                           const CostWeights& weights, const Query& query,
+                           int sort_dim = -1) const;
+
+  // --- Workload/data statistics used by the optimizer's heuristics. ---
+  int dims() const { return dims_; }
+  int64_t region_rows() const { return total_rows_; }
+  int sample_points() const { return n_; }
+  double avg_selectivity(int dim) const { return avg_sel_[dim]; }
+  bool is_filtered(int dim) const { return filtered_[dim]; }
+  /// Most- to least-selective dimension order (never-filtered last).
+  const std::vector<int>& selectivity_order() const { return sel_order_; }
+  /// Sample Pearson correlation between two dimensions.
+  double correlation(int x, int y) const { return corr_[x][y]; }
+  /// Width of the functional-mapping error band for mapping x -> y,
+  /// relative to y's domain (the §5.3.2 "10% of Y's domain" heuristic).
+  double FmErrorBandRatio(int x, int y) const;
+  /// Fraction of empty cells in a g-by-g equi-depth grid over (x, y)
+  /// (the §5.3.2 "25% of cells in the XY hyperplane empty" heuristic).
+  double EmptyCellFraction(int x, int y, int g = 16) const;
+
+ private:
+  const BoundedLinearModel& FittedFm(int mapped, int target) const;
+  int PartOfRank(int64_t rank, int p) const {
+    int idx = static_cast<int>(rank * p / std::max(n_, 1));
+    return idx < 0 ? 0 : (idx >= p ? p - 1 : idx);
+  }
+
+  int dims_ = 0;
+  int n_ = 0;  // Sample size.
+  int64_t total_rows_ = 0;
+  double scale_ = 1.0;  // total_rows_ / n_.
+  std::vector<std::vector<Value>> vals_;    // [dim][point].
+  std::vector<std::vector<Value>> sorted_;  // [dim], ascending.
+  std::vector<std::vector<int32_t>> rank_;  // [dim][point], 0..n-1 distinct.
+  std::vector<std::vector<int32_t>> order_;  // [dim], points by ascending value.
+  Workload queries_;
+  std::vector<double> avg_sel_;
+  std::vector<bool> filtered_;
+  std::vector<int> sel_order_;
+  std::vector<std::vector<double>> corr_;
+  mutable std::map<std::pair<int, int>, BoundedLinearModel> fm_cache_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_CORE_COST_MODEL_H_

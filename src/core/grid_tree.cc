@@ -1,0 +1,271 @@
+#include "src/core/grid_tree.h"
+
+#include <algorithm>
+
+#include "src/core/skew.h"
+
+namespace tsunami {
+
+struct GridTree::BuildContext {
+  const Dataset& sample;
+  const Workload& queries;
+  int num_types;
+  const GridTreeOptions& options;
+  int64_t total_rows;
+  int64_t total_queries;
+};
+
+GridTree GridTree::Build(const Dataset& sample, const Workload& typed_queries,
+                         int num_types, const GridTreeOptions& options) {
+  GridTree tree;
+  BuildContext ctx{sample,  typed_queries,
+                   num_types, options,
+                   sample.size(), static_cast<int64_t>(typed_queries.size())};
+  std::vector<int64_t> rows(sample.size());
+  for (int64_t i = 0; i < sample.size(); ++i) rows[i] = i;
+  std::vector<int> queries(typed_queries.size());
+  for (size_t i = 0; i < typed_queries.size(); ++i) {
+    queries[i] = static_cast<int>(i);
+  }
+  std::vector<Value> lo(sample.dims(), kValueMin);
+  std::vector<Value> hi(sample.dims(), kValueMax);
+  tree.BuildNode(&ctx, std::move(rows), std::move(queries), std::move(lo),
+                 std::move(hi), 0);
+  return tree;
+}
+
+int32_t GridTree::BuildNode(BuildContext* ctx, std::vector<int64_t> rows,
+                            std::vector<int> queries,
+                            std::vector<Value> box_lo,
+                            std::vector<Value> box_hi, int depth) {
+  const GridTreeOptions& opts = ctx->options;
+  int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  depth_ = std::max(depth_, depth);
+
+  auto make_leaf = [&]() {
+    nodes_[idx].region = num_regions_++;
+    region_lo_.push_back(box_lo);
+    region_hi_.push_back(box_hi);
+    return idx;
+  };
+
+  bool too_few_points =
+      static_cast<double>(rows.size()) <
+      opts.min_points_frac * static_cast<double>(ctx->total_rows);
+  bool too_few_queries =
+      static_cast<double>(queries.size()) <
+      opts.min_queries_frac * static_cast<double>(ctx->total_queries);
+  if (rows.empty() || too_few_points || too_few_queries ||
+      depth >= opts.max_depth || num_regions_ >= opts.max_regions) {
+    return make_leaf();
+  }
+
+  Workload node_queries;
+  node_queries.reserve(queries.size());
+  for (int qi : queries) node_queries.push_back(ctx->queries[qi]);
+
+  // Pick the split dimension with the largest skew reduction (§4.3.2),
+  // each dimension evaluated independently via its skew tree.
+  const Dataset& sample = ctx->sample;
+  int dims = sample.dims();
+  int best_dim = -1;
+  SplitChoice best;
+  for (int d = 0; d < dims; ++d) {
+    // Histogram domain: the actual data range of this node in dimension d.
+    Value lo = sample.at(rows[0], d), hi = lo;
+    for (int64_t r : rows) {
+      Value v = sample.at(r, d);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (lo == hi) continue;  // Single value: no skew possible.
+    // If there are fewer unique values than bins, bin per unique value.
+    std::vector<Value> unique;
+    {
+      std::vector<Value> vals;
+      vals.reserve(rows.size());
+      for (int64_t r : rows) vals.push_back(sample.at(r, d));
+      std::sort(vals.begin(), vals.end());
+      vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+      if (static_cast<int>(vals.size()) < opts.hist_bins) unique = vals;
+    }
+    std::vector<MassHistogram> hists = BuildTypeHistograms(
+        node_queries, std::max(ctx->num_types, 1), d, lo, hi, opts.hist_bins,
+        unique.empty() ? nullptr : &unique);
+    SplitChoice choice = FindBestSplit(hists, opts.merge_factor);
+    if (choice.reduction > best.reduction) {
+      best = std::move(choice);
+      best_dim = d;
+    }
+  }
+
+  double min_reduction =
+      opts.min_skew_reduction_frac * static_cast<double>(queries.size());
+  if (best_dim < 0 || best.split_values.empty() ||
+      best.reduction < min_reduction) {
+    return make_leaf();
+  }
+
+  // Deduplicate split values and keep only those strictly inside the box.
+  std::vector<Value>& splits = best.split_values;
+  std::sort(splits.begin(), splits.end());
+  splits.erase(std::unique(splits.begin(), splits.end()), splits.end());
+  std::erase_if(splits, [&](Value v) {
+    return v <= box_lo[best_dim] || v > box_hi[best_dim];
+  });
+  if (splits.empty()) return make_leaf();
+
+  int k = static_cast<int>(splits.size());
+  std::vector<std::vector<int64_t>> child_rows(k + 1);
+  for (int64_t r : rows) {
+    Value v = sample.at(r, best_dim);
+    int c = static_cast<int>(
+        std::upper_bound(splits.begin(), splits.end(), v) - splits.begin());
+    child_rows[c].push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  nodes_[idx].split_dim = best_dim;
+  nodes_[idx].split_values = splits;
+  nodes_[idx].children.assign(k + 1, -1);
+  for (int c = 0; c <= k; ++c) {
+    std::vector<Value> clo = box_lo, chi = box_hi;
+    if (c > 0) clo[best_dim] = splits[c - 1];
+    if (c < k) chi[best_dim] = splits[c] - 1;
+    std::vector<int> child_queries;
+    for (int qi : queries) {
+      const Predicate* p = ctx->queries[qi].FilterOn(best_dim);
+      if (p == nullptr ||
+          (p->lo <= chi[best_dim] && p->hi >= clo[best_dim])) {
+        child_queries.push_back(qi);
+      }
+    }
+    int32_t child =
+        BuildNode(ctx, std::move(child_rows[c]), std::move(child_queries),
+                  std::move(clo), std::move(chi), depth + 1);
+    nodes_[idx].children[c] = child;
+  }
+  return idx;
+}
+
+int GridTree::RegionOf(const Dataset& data, int64_t row) const {
+  if (nodes_.empty()) return 0;
+  int32_t node = 0;
+  while (nodes_[node].split_dim >= 0) {
+    const Node& n = nodes_[node];
+    Value v = data.at(row, n.split_dim);
+    int c = static_cast<int>(std::upper_bound(n.split_values.begin(),
+                                              n.split_values.end(), v) -
+                             n.split_values.begin());
+    node = n.children[c];
+  }
+  return nodes_[node].region;
+}
+
+void GridTree::CollectRegions(const Query& query,
+                              std::vector<int>* out) const {
+  out->clear();
+  if (nodes_.empty()) return;
+  Collect(0, query, out);
+}
+
+void GridTree::Collect(int32_t node_idx, const Query& query,
+                       std::vector<int>* out) const {
+  const Node& node = nodes_[node_idx];
+  if (node.split_dim < 0) {
+    out->push_back(node.region);
+    return;
+  }
+  const Predicate* p = query.FilterOn(node.split_dim);
+  int c_lo = 0;
+  int c_hi = static_cast<int>(node.children.size()) - 1;
+  if (p != nullptr) {
+    c_lo = static_cast<int>(std::upper_bound(node.split_values.begin(),
+                                             node.split_values.end(), p->lo) -
+                            node.split_values.begin());
+    c_hi = static_cast<int>(std::upper_bound(node.split_values.begin(),
+                                             node.split_values.end(), p->hi) -
+                            node.split_values.begin());
+  }
+  for (int c = c_lo; c <= c_hi; ++c) Collect(node.children[c], query, out);
+}
+
+int64_t GridTree::SizeBytes() const {
+  int64_t bytes = 0;
+  for (const Node& node : nodes_) {
+    bytes += sizeof(Node) +
+             static_cast<int64_t>(node.split_values.size()) * sizeof(Value) +
+             static_cast<int64_t>(node.children.size()) * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+
+void GridTree::Serialize(BinaryWriter* writer) const {
+  writer->PutVarI64(num_regions_);
+  writer->PutVarI64(depth_);
+  writer->PutVarU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer->PutVarI64(node.split_dim);
+    writer->PutValueVec(node.split_values);
+    writer->PutVarU64(node.children.size());
+    for (int32_t child : node.children) writer->PutVarI64(child);
+    writer->PutVarI64(node.region);
+  }
+  writer->PutVarU64(region_lo_.size());
+  for (size_t r = 0; r < region_lo_.size(); ++r) {
+    writer->PutValueVec(region_lo_[r]);
+    writer->PutValueVec(region_hi_[r]);
+  }
+}
+
+bool GridTree::Deserialize(BinaryReader* reader) {
+  num_regions_ = static_cast<int>(reader->GetVarI64());
+  depth_ = static_cast<int>(reader->GetVarI64());
+  uint64_t num_nodes = reader->GetVarU64();
+  if (!reader->ok() || num_regions_ < 0 || num_nodes > reader->remaining()) {
+    reader->MarkCorrupt();
+    return false;
+  }
+  nodes_.assign(num_nodes, Node{});
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    Node& node = nodes_[i];
+    node.split_dim = static_cast<int>(reader->GetVarI64());
+    if (!reader->GetValueVec(&node.split_values)) return false;
+    uint64_t num_children = reader->GetVarU64();
+    if (!reader->ok() || num_children > reader->remaining()) {
+      reader->MarkCorrupt();
+      return false;
+    }
+    node.children.resize(num_children);
+    for (uint64_t c = 0; c < num_children; ++c) {
+      int64_t child = reader->GetVarI64();
+      if (child < 0 || static_cast<uint64_t>(child) >= num_nodes) {
+        reader->MarkCorrupt();
+        return false;
+      }
+      node.children[c] = static_cast<int32_t>(child);
+    }
+    node.region = static_cast<int>(reader->GetVarI64());
+    if (node.region >= num_regions_) {
+      reader->MarkCorrupt();
+      return false;
+    }
+  }
+  uint64_t num_boxes = reader->GetVarU64();
+  if (!reader->ok() || num_boxes != static_cast<uint64_t>(num_regions_)) {
+    reader->MarkCorrupt();
+    return false;
+  }
+  region_lo_.assign(num_boxes, {});
+  region_hi_.assign(num_boxes, {});
+  for (uint64_t r = 0; r < num_boxes; ++r) {
+    if (!reader->GetValueVec(&region_lo_[r])) return false;
+    if (!reader->GetValueVec(&region_hi_[r])) return false;
+  }
+  return reader->ok();
+}
+
+}  // namespace tsunami

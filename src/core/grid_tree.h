@@ -1,0 +1,92 @@
+// The Grid Tree (§4): a lightweight space-partitioning decision tree whose
+// internal nodes split one dimension at multiple values, chosen greedily to
+// maximally reduce query skew. Leaves are regions; Tsunami indexes each
+// region with its own Augmented Grid.
+#ifndef TSUNAMI_CORE_GRID_TREE_H_
+#define TSUNAMI_CORE_GRID_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/io/serializer.h"
+
+namespace tsunami {
+
+struct GridTreeOptions {
+  int hist_bins = 128;  // §4.3.2: 128-bin histograms, 64-leaf skew trees.
+  /// A split is accepted only if the best skew reduction exceeds this
+  /// fraction of the node's query count (§4.3.2: 5% of |Q|).
+  double min_skew_reduction_frac = 0.05;
+  /// Nodes intersecting fewer points/queries than these fractions of the
+  /// totals become leaves (§4.3.2: 1%).
+  double min_points_frac = 0.01;
+  double min_queries_frac = 0.01;
+  /// Merge-pass regularizer factor (§4.3.2: 10%).
+  double merge_factor = 1.10;
+  int max_depth = 4;     // The optimized trees of Tab. 4 have depth <= 4.
+  int max_regions = 40;  // Tab. 4 trees have 27..39 leaf regions.
+};
+
+/// A built Grid Tree. Queries are routed to all intersecting leaf regions;
+/// points belong to exactly one region.
+class GridTree {
+ public:
+  GridTree() = default;
+
+  /// Builds from a row sample (thresholds scale by fractions, so a sample
+  /// suffices) and a workload whose queries carry type labels (§4.3.1).
+  static GridTree Build(const Dataset& sample, const Workload& typed_queries,
+                        int num_types, const GridTreeOptions& options);
+
+  int num_regions() const { return num_regions_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int depth() const { return depth_; }
+
+  /// Region id of a point (reads `data.at(row, dim)` for split dims).
+  int RegionOf(const Dataset& data, int64_t row) const;
+
+  /// Region ids of all leaf regions intersecting the query's filters.
+  void CollectRegions(const Query& query, std::vector<int>* out) const;
+
+  /// Logical bounding box of region `r` (kValueMin/kValueMax where
+  /// unbounded); used for exactness checks on unindexed regions.
+  const std::vector<Value>& region_lo(int r) const { return region_lo_[r]; }
+  const std::vector<Value>& region_hi(int r) const { return region_hi_[r]; }
+
+  int64_t SizeBytes() const;
+
+  /// Persistence (§8): nodes and region boxes round-trip exactly.
+  void Serialize(BinaryWriter* writer) const;
+  bool Deserialize(BinaryReader* reader);
+
+  /// Human-readable tree dump (EXPLAIN-style). `dim_names` labels split
+  /// dimensions when provided; falls back to "d<i>".
+  std::string Describe(const std::vector<std::string>& dim_names = {}) const;
+
+ private:
+  struct Node {
+    int split_dim = -1;               // -1: leaf.
+    std::vector<Value> split_values;  // Child i covers values < values[i].
+    std::vector<int32_t> children;
+    int region = -1;  // Leaf region id.
+  };
+
+  struct BuildContext;
+  int32_t BuildNode(BuildContext* ctx, std::vector<int64_t> rows,
+                    std::vector<int> queries, std::vector<Value> box_lo,
+                    std::vector<Value> box_hi, int depth);
+
+  void Collect(int32_t node, const Query& query, std::vector<int>* out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<Value>> region_lo_;
+  std::vector<std::vector<Value>> region_hi_;
+  int num_regions_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_CORE_GRID_TREE_H_

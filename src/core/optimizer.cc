@@ -1,0 +1,392 @@
+#include "src/core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace tsunami {
+namespace {
+
+class GridOptimizer {
+ public:
+  GridOptimizer(const GridCostEvaluator& eval, const AgdOptions& opts)
+      : eval_(eval), opts_(opts), rng_(opts.seed) {
+    int d = eval_.dims();
+    candidates_.resize(d);
+    for (int x = 0; x < d; ++x) {
+      std::vector<int> others;
+      for (int y = 0; y < d; ++y) {
+        if (y != x) others.push_back(y);
+      }
+      std::stable_sort(others.begin(), others.end(), [&](int a, int b) {
+        return std::abs(eval_.correlation(x, a)) >
+               std::abs(eval_.correlation(x, b));
+      });
+      if (static_cast<int>(others.size()) > opts_.max_candidate_others) {
+        others.resize(opts_.max_candidate_others);
+      }
+      candidates_[x] = std::move(others);
+    }
+  }
+
+  GridPlan Run(OptimizeMethod method) {
+    GridPlan plan;
+    bool naive = method == OptimizeMethod::kAgdNaiveInit ||
+                 opts_.independent_only;
+    plan.skeleton = naive ? Skeleton::AllIndependent(eval_.dims())
+                          : HeuristicSkeleton();
+    plan.partitions = InitPartitions(plan.skeleton);
+    plan.sort_dim = ChooseSortDim(plan.skeleton, plan.partitions);
+    plan.predicted_cost = Eval(plan.skeleton, plan.partitions, plan.sort_dim);
+    if (method == OptimizeMethod::kBlackBox) return BlackBox(plan);
+
+    bool search_skeletons =
+        method != OptimizeMethod::kGd && !opts_.independent_only;
+    for (int iter = 0; iter < opts_.max_iters; ++iter) {
+      bool moved = GradientStep(&plan);
+      if (search_skeletons) moved = SkeletonSearch(&plan) || moved;
+      if (!moved) break;
+    }
+    return plan;
+  }
+
+ private:
+  double Eval(const Skeleton& s, const std::vector<int>& p,
+              int sort_dim) const {
+    return eval_.Cost(s, p, opts_.weights, sort_dim);
+  }
+
+  // Picks the sort dimension minimizing predicted cost among valid
+  // candidates (grid dims that are not conditional bases).
+  int ChooseSortDim(const Skeleton& s, const std::vector<int>& p) const {
+    int best = -1;
+    double best_cost = 0.0;
+    for (int d = 0; d < s.num_dims(); ++d) {
+      if (s.dims[d].strategy == PartitionStrategy::kMapped || s.IsBase(d)) {
+        continue;
+      }
+      double c = Eval(s, p, d);
+      if (best < 0 || c < best_cost) {
+        best = d;
+        best_cost = c;
+      }
+    }
+    return best;
+  }
+
+  int ClampP(int p) const {
+    return std::clamp(p, 1, opts_.max_partitions_per_dim);
+  }
+
+  // Clamps per-dimension counts and enforces the total-cell cap by halving
+  // the largest partition count until the product fits.
+  void ClampPartitions(const Skeleton& s, std::vector<int>* p) const {
+    std::vector<int> grid = s.GridDims();
+    for (int d = 0; d < s.num_dims(); ++d) {
+      (*p)[d] = s.dims[d].strategy == PartitionStrategy::kMapped
+                    ? 1
+                    : ClampP((*p)[d]);
+    }
+    auto cells = [&]() {
+      double c = 1.0;
+      for (int d : grid) c *= (*p)[d];
+      return c;
+    };
+    while (cells() > static_cast<double>(opts_.max_cells)) {
+      int largest = grid[0];
+      for (int d : grid) {
+        if ((*p)[d] > (*p)[largest]) largest = d;
+      }
+      if ((*p)[largest] <= 1) break;
+      (*p)[largest] = std::max((*p)[largest] / 2, 1);
+    }
+  }
+
+  // §5.3.2 step 1 heuristics: functional mapping when the fit is tight,
+  // conditional CDF when independent partitioning would leave many empty
+  // cells, otherwise independent.
+  Skeleton HeuristicSkeleton() const {
+    int d = eval_.dims();
+    Skeleton s = Skeleton::AllIndependent(d);
+    for (int x = 0; x < d; ++x) {
+      double best_ratio = opts_.fm_error_threshold;
+      int best_fm = -1;
+      for (int y = 0; y < d; ++y) {
+        if (y == x) continue;
+        Skeleton trial = s;
+        trial.dims[x] = DimSpec{PartitionStrategy::kMapped, y};
+        if (!trial.Validate()) continue;
+        double ratio = eval_.FmErrorBandRatio(x, y);
+        if (ratio < best_ratio) {
+          best_ratio = ratio;
+          best_fm = y;
+        }
+      }
+      if (best_fm >= 0) {
+        s.dims[x] = DimSpec{PartitionStrategy::kMapped, best_fm};
+        continue;
+      }
+      double best_empty = opts_.ccdf_empty_threshold;
+      int best_base = -1;
+      for (int y = 0; y < d; ++y) {
+        if (y == x) continue;
+        Skeleton trial = s;
+        trial.dims[x] = DimSpec{PartitionStrategy::kConditional, y};
+        if (!trial.Validate()) continue;
+        double empty = eval_.EmptyCellFraction(x, y);
+        if (empty > best_empty) {
+          best_empty = empty;
+          best_base = y;
+        }
+      }
+      if (best_base >= 0) {
+        s.dims[x] = DimSpec{PartitionStrategy::kConditional, best_base};
+      }
+    }
+    return s;
+  }
+
+  // §5.3.2 step 1: partitions proportional to how selective the workload is
+  // in each grid dimension, within an overall cell budget.
+  std::vector<int> InitPartitions(const Skeleton& s) const {
+    int d = eval_.dims();
+    std::vector<int> p(d, 1);
+    std::vector<double> weight(d, 0.0);
+    double weight_sum = 0.0;
+    for (int dim : s.GridDims()) {
+      if (eval_.is_filtered(dim)) {
+        double sel = std::max(eval_.avg_selectivity(dim), 1e-6);
+        weight[dim] = std::max(0.5, -std::log2(sel));
+      } else if (s.IsBase(dim)) {
+        weight[dim] = 1.0;  // Bases need partitions to stagger dependents.
+      }
+      weight_sum += weight[dim];
+    }
+    double budget = std::clamp(
+        static_cast<double>(eval_.region_rows()) / opts_.rows_per_cell, 16.0,
+        static_cast<double>(opts_.max_cells));
+    double log_budget = std::log2(budget);
+    for (int dim : s.GridDims()) {
+      if (weight[dim] <= 0.0 || weight_sum <= 0.0) continue;
+      double bits = log_budget * weight[dim] / weight_sum;
+      p[dim] = ClampP(static_cast<int>(std::lround(std::exp2(bits))));
+    }
+    ClampPartitions(s, &p);
+    return p;
+  }
+
+  // §5.3.2 step 2: numerical gradient over P in log space, then a short
+  // backtracking line search along the descent direction.
+  bool GradientStep(GridPlan* plan) {
+    std::vector<int> grid = plan->skeleton.GridDims();
+    std::vector<double> grad(eval_.dims(), 0.0);
+    double gmax = 0.0;
+    const double kStep = std::log(1.5);
+    for (int d : grid) {
+      int p = plan->partitions[d];
+      int up = ClampP(static_cast<int>(std::ceil(p * 1.5)));
+      int down = ClampP(std::max(1, static_cast<int>(std::floor(p / 1.5))));
+      if (up == p && down == p) continue;
+      std::vector<int> trial = plan->partitions;
+      trial[d] = up;
+      ClampPartitions(plan->skeleton, &trial);
+      double c_up = Eval(plan->skeleton, trial, plan->sort_dim);
+      trial = plan->partitions;
+      trial[d] = down;
+      ClampPartitions(plan->skeleton, &trial);
+      double c_down = Eval(plan->skeleton, trial, plan->sort_dim);
+      grad[d] = (c_up - c_down) / (2.0 * kStep);
+      gmax = std::max(gmax, std::abs(grad[d]));
+    }
+    if (gmax <= 0.0) return false;
+
+    double best_cost = plan->predicted_cost;
+    std::vector<int> best_p;
+    for (double t : {0.25, 0.5, 1.0, 2.0}) {
+      std::vector<int> trial = plan->partitions;
+      for (int d : grid) {
+        double factor = std::exp(-t * grad[d] / gmax * kStep * 2.0);
+        trial[d] = ClampP(static_cast<int>(
+            std::lround(std::max(1.0, trial[d] * factor))));
+      }
+      ClampPartitions(plan->skeleton, &trial);
+      if (trial == plan->partitions) continue;
+      double c = Eval(plan->skeleton, trial, plan->sort_dim);
+      if (c < best_cost) {
+        best_cost = c;
+        best_p = trial;
+      }
+    }
+    if (best_p.empty()) return false;
+    plan->partitions = std::move(best_p);
+    plan->predicted_cost = best_cost;
+    return true;
+  }
+
+  // §5.3.2 step 3: local search over skeletons one "hop" away — change the
+  // partitioning strategy of a single dimension.
+  bool SkeletonSearch(GridPlan* plan) {
+    GridPlan best = *plan;
+    bool improved = false;
+    int d = eval_.dims();
+    for (int x = 0; x < d; ++x) {
+      std::vector<DimSpec> alts;
+      alts.push_back(DimSpec{PartitionStrategy::kIndependent, -1});
+      for (int y : candidates_[x]) {
+        alts.push_back(DimSpec{PartitionStrategy::kMapped, y});
+        alts.push_back(DimSpec{PartitionStrategy::kConditional, y});
+      }
+      for (const DimSpec& alt : alts) {
+        if (alt == plan->skeleton.dims[x]) continue;
+        Skeleton s = plan->skeleton;
+        s.dims[x] = alt;
+        if (!s.Validate()) continue;
+        std::vector<int> p = plan->partitions;
+        if (alt.strategy == PartitionStrategy::kMapped) {
+          p[x] = 1;
+        } else if (plan->skeleton.dims[x].strategy ==
+                   PartitionStrategy::kMapped) {
+          // Re-entering the grid: start from the geometric mean of the
+          // other grid dims' counts; the next gradient step refines it.
+          double log_sum = 0.0;
+          int cnt = 0;
+          for (int g : s.GridDims()) {
+            if (g != x && p[g] > 1) {
+              log_sum += std::log2(static_cast<double>(p[g]));
+              ++cnt;
+            }
+          }
+          p[x] = ClampP(static_cast<int>(
+              std::lround(std::exp2(cnt > 0 ? log_sum / cnt : 3.0))));
+        }
+        if (alt.strategy == PartitionStrategy::kConditional) {
+          p[alt.other] = std::max(p[alt.other], 8);
+        }
+        ClampPartitions(s, &p);
+        int sort_dim = plan->sort_dim;
+        if (sort_dim < 0 ||
+            s.dims[sort_dim].strategy == PartitionStrategy::kMapped ||
+            s.IsBase(sort_dim)) {
+          sort_dim = ChooseSortDim(s, p);
+        }
+        double c = Eval(s, p, sort_dim);
+        if (c < best.predicted_cost - 1e-9) {
+          best = GridPlan{std::move(s), std::move(p), sort_dim, c};
+          improved = true;
+        }
+      }
+    }
+    if (improved) {
+      *plan = std::move(best);
+      int re_chosen = ChooseSortDim(plan->skeleton, plan->partitions);
+      if (re_chosen >= 0 && re_chosen != plan->sort_dim) {
+        double c = Eval(plan->skeleton, plan->partitions, re_chosen);
+        if (c < plan->predicted_cost) {
+          plan->sort_dim = re_chosen;
+          plan->predicted_cost = c;
+        }
+      }
+    }
+    return improved;
+  }
+
+  // §6.6 comparison: basin hopping over the joint (S, P) space.
+  GridPlan BlackBox(GridPlan init) {
+    GridPlan cur = init;
+    GridPlan best = init;
+    double t0 = 0.3 * std::max(init.predicted_cost, 1.0);
+    int d = eval_.dims();
+    for (int iter = 0; iter < opts_.blackbox_iters; ++iter) {
+      GridPlan cand = cur;
+      if (rng_.NextBool(0.5) && d >= 2) {
+        int x = static_cast<int>(rng_.NextBelow(d));
+        int y = static_cast<int>(rng_.NextBelow(d - 1));
+        if (y >= x) ++y;
+        PartitionStrategy strat = static_cast<PartitionStrategy>(
+            rng_.NextBelow(3));
+        Skeleton s = cand.skeleton;
+        s.dims[x] = strat == PartitionStrategy::kIndependent
+                        ? DimSpec{strat, -1}
+                        : DimSpec{strat, y};
+        if (s.Validate()) {
+          cand.skeleton = s;
+          if (strat == PartitionStrategy::kMapped) {
+            cand.partitions[x] = 1;
+          } else if (cand.partitions[x] <= 1) {
+            cand.partitions[x] = 8;
+          }
+        }
+      }
+      for (int g : cand.skeleton.GridDims()) {
+        double jitter = std::exp((rng_.NextDouble() - 0.5) * 1.4);
+        cand.partitions[g] = ClampP(static_cast<int>(
+            std::lround(std::max(1.0, cand.partitions[g] * jitter))));
+      }
+      ClampPartitions(cand.skeleton, &cand.partitions);
+      if (cand.sort_dim >= 0 &&
+          (cand.skeleton.dims[cand.sort_dim].strategy ==
+               PartitionStrategy::kMapped ||
+           cand.skeleton.IsBase(cand.sort_dim))) {
+        cand.sort_dim = ChooseSortDim(cand.skeleton, cand.partitions);
+      }
+      cand.predicted_cost =
+          Eval(cand.skeleton, cand.partitions, cand.sort_dim);
+      double temp = t0 * std::pow(0.94, iter);
+      if (cand.predicted_cost < cur.predicted_cost ||
+          rng_.NextDouble() <
+              std::exp(-(cand.predicted_cost - cur.predicted_cost) /
+                       std::max(temp, 1e-9))) {
+        cur = cand;
+      }
+      if (cur.predicted_cost < best.predicted_cost) best = cur;
+    }
+    return best;
+  }
+
+  const GridCostEvaluator& eval_;
+  const AgdOptions& opts_;
+  Rng rng_;
+  std::vector<std::vector<int>> candidates_;
+};
+
+}  // namespace
+
+GridPlan OptimizeGridWithEvaluator(const GridCostEvaluator& evaluator,
+                                   OptimizeMethod method,
+                                   const AgdOptions& options) {
+  GridOptimizer optimizer(evaluator, options);
+  return optimizer.Run(method);
+}
+
+GridPlan OptimizeGrid(const Dataset& data, const std::vector<uint32_t>& rows,
+                      const Workload& queries, OptimizeMethod method,
+                      const AgdOptions& options) {
+  if (queries.empty() || rows.empty()) {
+    GridPlan plan;
+    plan.skeleton = Skeleton::AllIndependent(data.dims());
+    plan.partitions.assign(data.dims(), 1);
+    return plan;
+  }
+  GridCostEvaluator evaluator(data, rows, queries, options.max_sample_points,
+                              options.max_sample_queries, options.seed);
+  return OptimizeGridWithEvaluator(evaluator, method, options);
+}
+
+
+void GridPlan::Serialize(BinaryWriter* writer) const {
+  skeleton.Serialize(writer);
+  writer->PutIntVec(partitions);
+  writer->PutVarI64(sort_dim);
+  writer->PutDouble(predicted_cost);
+}
+
+bool GridPlan::Deserialize(BinaryReader* reader) {
+  if (!skeleton.Deserialize(reader)) return false;
+  if (!reader->GetIntVec(&partitions)) return false;
+  sort_dim = static_cast<int>(reader->GetVarI64());
+  predicted_cost = reader->GetDouble();
+  return reader->ok();
+}
+
+}  // namespace tsunami

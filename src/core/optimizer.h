@@ -1,0 +1,78 @@
+// Augmented Grid optimization (§5.3): find the (skeleton, partitions) pair
+// minimizing predicted average query time. Implements Adaptive Gradient
+// Descent plus the three comparison methods of §6.6 (GD, AGD with naive
+// initialization, and black-box basin hopping).
+#ifndef TSUNAMI_CORE_OPTIMIZER_H_
+#define TSUNAMI_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/cost_model.h"
+#include "src/core/skeleton.h"
+
+namespace tsunami {
+
+enum class OptimizeMethod {
+  kAgd,           // Adaptive gradient descent (heuristic init + skeleton
+                  // local search), §5.3.2.
+  kGd,            // Gradient descent over P only, same init as AGD.
+  kAgdNaiveInit,  // AGD starting from the all-independent skeleton.
+  kBlackBox,      // Basin hopping over (S, P), 50 iterations.
+};
+
+struct AgdOptions {
+  int max_sample_points = 2048;
+  int max_sample_queries = 96;
+  int max_iters = 4;
+  int64_t max_cells = int64_t{1} << 20;
+  int max_partitions_per_dim = 1024;
+  /// Initialization heuristics (§5.3.2): functional mapping if the error
+  /// band is below this fraction of the target's domain; conditional CDF if
+  /// the empty-cell fraction in the XY hyperplane exceeds the threshold.
+  double fm_error_threshold = 0.10;
+  double ccdf_empty_threshold = 0.25;
+  /// Candidate other-dims per dimension in the skeleton local search,
+  /// ranked by |correlation|.
+  int max_candidate_others = 4;
+  int blackbox_iters = 50;
+  /// Restrict the skeleton to all-independent and never search skeletons:
+  /// this is exactly Flood's optimization (also used for the "Grid Tree
+  /// only" drill-down variant of §6.6).
+  bool independent_only = false;
+  CostWeights weights;
+  uint64_t seed = 17;
+  /// Initial cell budget: about one cell per this many rows.
+  double rows_per_cell = 1024.0;
+};
+
+/// The optimizer's output: a fully specified Augmented Grid candidate.
+struct GridPlan {
+  Skeleton skeleton;
+  std::vector<int> partitions;
+  /// Sort dimension chosen by cost (points within cells are sorted by it;
+  /// runs along it merge and are refined by binary search).
+  int sort_dim = -1;
+  double predicted_cost = 0.0;  // ns per query under the cost model.
+
+  /// Persistence (§8): plans are saved with index snapshots so incremental
+  /// re-optimization can keep reusing them after a reload.
+  void Serialize(BinaryWriter* writer) const;
+  bool Deserialize(BinaryReader* reader);
+};
+
+/// Optimizes a grid over the region rows `rows` of `data` for `queries`.
+GridPlan OptimizeGrid(const Dataset& data, const std::vector<uint32_t>& rows,
+                      const Workload& queries, OptimizeMethod method,
+                      const AgdOptions& options);
+
+/// Same, reusing an existing evaluator (used by benches to compare methods
+/// on identical samples).
+GridPlan OptimizeGridWithEvaluator(const GridCostEvaluator& evaluator,
+                                   OptimizeMethod method,
+                                   const AgdOptions& options);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_CORE_OPTIMIZER_H_

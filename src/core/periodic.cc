@@ -1,0 +1,160 @@
+#include "src/core/periodic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsunami {
+
+Value PhaseOf(Value v, Value period) {
+  Value m = v % period;
+  return m < 0 ? m + period : m;
+}
+
+std::vector<PeriodFit> ScorePeriods(const Dataset& data, int driver,
+                                    int dependent,
+                                    const std::vector<Value>& candidates,
+                                    const PeriodDetectorOptions& options) {
+  std::vector<PeriodFit> fits;
+  int64_t n = data.size();
+  if (n < 2) return fits;
+  int64_t sample = std::min<int64_t>(n, std::max<int64_t>(options.max_sample, 2));
+  int64_t stride = std::max<int64_t>(1, n / sample);
+
+  // Total variance of the dependent dimension over the sample.
+  double mean = 0.0;
+  int64_t count = 0;
+  for (int64_t r = 0; r < n; r += stride) {
+    mean += static_cast<double>(data.at(r, dependent));
+    ++count;
+  }
+  mean /= static_cast<double>(count);
+  double ss_total = 0.0;
+  for (int64_t r = 0; r < n; r += stride) {
+    double d = static_cast<double>(data.at(r, dependent)) - mean;
+    ss_total += d * d;
+  }
+
+  int bins = std::max(options.bins, 2);
+  std::vector<double> bin_sum(bins);
+  std::vector<int64_t> bin_count(bins);
+  for (Value period : candidates) {
+    if (period <= 0) continue;
+    std::fill(bin_sum.begin(), bin_sum.end(), 0.0);
+    std::fill(bin_count.begin(), bin_count.end(), 0);
+    // Bin rows by phase and accumulate per-bin means of the dependent.
+    for (int64_t r = 0; r < n; r += stride) {
+      Value phase = PhaseOf(data.at(r, driver), period);
+      int bin = static_cast<int>(
+          static_cast<__int128>(phase) * bins / period);
+      bin = std::clamp(bin, 0, bins - 1);
+      bin_sum[bin] += static_cast<double>(data.at(r, dependent));
+      ++bin_count[bin];
+    }
+    // eta^2 = between-bin sum of squares / total sum of squares.
+    double ss_between = 0.0;
+    for (int b = 0; b < bins; ++b) {
+      if (bin_count[b] == 0) continue;
+      double bin_mean = bin_sum[b] / static_cast<double>(bin_count[b]);
+      double d = bin_mean - mean;
+      ss_between += static_cast<double>(bin_count[b]) * d * d;
+    }
+    PeriodFit fit;
+    fit.period = period;
+    fit.score = ss_total > 0.0 ? ss_between / ss_total : 0.0;
+    fits.push_back(fit);
+  }
+  std::stable_sort(fits.begin(), fits.end(),
+                   [](const PeriodFit& a, const PeriodFit& b) {
+                     return a.score > b.score;
+                   });
+  return fits;
+}
+
+PeriodFit DetectPeriod(const Dataset& data, int driver, int dependent,
+                       const std::vector<Value>& candidates,
+                       double min_score,
+                       const PeriodDetectorOptions& options) {
+  // Reject degenerate candidates: a "period" spanning most of the driver's
+  // range explains variance without being periodic at all.
+  Value lo = kValueMax, hi = kValueMin;
+  for (int64_t r = 0; r < data.size(); ++r) {
+    Value v = data.at(r, driver);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::vector<Value> usable;
+  for (Value c : candidates) {
+    if (c > 0 && (data.size() == 0 || c <= (hi - lo) / 2)) usable.push_back(c);
+  }
+  std::vector<PeriodFit> fits =
+      ScorePeriods(data, driver, dependent, usable, options);
+  if (!fits.empty() && fits.front().score >= min_score) return fits.front();
+  return PeriodFit{};
+}
+
+std::vector<PhaseColumnSpec> SuggestPhaseColumns(
+    const Dataset& data, const std::vector<Value>& candidate_periods,
+    double min_score, const PeriodDetectorOptions& options) {
+  std::vector<PhaseColumnSpec> specs;
+  for (int driver = 0; driver < data.dims(); ++driver) {
+    PeriodFit best;
+    for (int dep = 0; dep < data.dims(); ++dep) {
+      if (dep == driver) continue;
+      PeriodFit fit =
+          DetectPeriod(data, driver, dep, candidate_periods, min_score,
+                       options);
+      if (fit.period > 0 && fit.score > best.score) best = fit;
+    }
+    if (best.period > 0) {
+      specs.push_back(PhaseColumnSpec{driver, best.period});
+    }
+  }
+  return specs;
+}
+
+Dataset AugmentWithPhases(const Dataset& data,
+                          const std::vector<PhaseColumnSpec>& specs) {
+  int out_dims = data.dims() + static_cast<int>(specs.size());
+  Dataset out(out_dims, {});
+  out.Reserve(data.size());
+  std::vector<Value> row(out_dims);
+  for (int64_t r = 0; r < data.size(); ++r) {
+    for (int d = 0; d < data.dims(); ++d) row[d] = data.at(r, d);
+    for (size_t s = 0; s < specs.size(); ++s) {
+      row[data.dims() + s] =
+          PhaseOf(data.at(r, specs[s].source_dim), specs[s].period);
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+std::vector<Value> AugmentRow(const std::vector<Value>& row,
+                              const std::vector<PhaseColumnSpec>& specs) {
+  std::vector<Value> out = row;
+  for (const PhaseColumnSpec& spec : specs) {
+    out.push_back(PhaseOf(row[spec.source_dim], spec.period));
+  }
+  return out;
+}
+
+bool PhaseAlignFilter(const Predicate& filter, const PhaseColumnSpec& spec,
+                      int phase_dim, Predicate* out) {
+  if (filter.dim != spec.source_dim) return false;
+  if (filter.lo > filter.hi) return false;
+  // Unbounded ranges touch every phase (and would overflow the span
+  // arithmetic below).
+  if (filter.lo == kValueMin || filter.hi == kValueMax) return false;
+  // The span must fit inside one period; otherwise the filter touches
+  // every phase.
+  if (filter.hi - filter.lo + 1 >= spec.period) return false;
+  Value phase_lo = PhaseOf(filter.lo, spec.period);
+  Value phase_hi = PhaseOf(filter.hi, spec.period);
+  if (phase_lo > phase_hi) return false;  // Wraps across the period boundary.
+  out->dim = phase_dim;
+  out->lo = phase_lo;
+  out->hi = phase_hi;
+  return true;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,102 @@
+// Temporal / periodic correlation support (§8 "Complex Correlations").
+//
+// The Augmented Grid's functional mappings and conditional CDFs capture
+// correlations of the form Y ~ f(X). Periodic patterns — CPU load tracking
+// the hour of day, sales tracking the day of week — are correlations with
+// the *phase* of a dimension, Y ~ f(X mod P), which no monotone mapping
+// over raw X can capture.
+//
+// This module handles them with derived phase columns: a detector finds
+// the period P that best explains a dependent dimension's variance, and an
+// augmentation step appends phase(X) = X mod P as an ordinary column. The
+// existing optimizer then captures the pattern with the machinery it
+// already has — typically CDF(Y | phase) — and queries over phase-aligned
+// ranges ("9am to 10am, any day") become ordinary range filters over the
+// derived dimension.
+#ifndef TSUNAMI_CORE_PERIODIC_H_
+#define TSUNAMI_CORE_PERIODIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Phase of `v` under period `period`: v mod period, normalized into
+/// [0, period) for negative values. Requires period > 0.
+Value PhaseOf(Value v, Value period);
+
+/// One candidate period's fit.
+struct PeriodFit {
+  Value period = 0;
+  /// Correlation ratio eta^2 in [0, 1]: the fraction of the dependent
+  /// dimension's variance explained by the phase bin of the driver.
+  /// ~0 = no periodic relationship, ~1 = Y is a function of phase(X).
+  double score = 0.0;
+};
+
+struct PeriodDetectorOptions {
+  /// Phase-histogram resolution used to estimate the correlation ratio.
+  int bins = 64;
+  /// Subsampled rows (detection is statistical; a sample suffices).
+  int64_t max_sample = 65536;
+};
+
+/// Scores how well each candidate period of dimension `driver` explains
+/// dimension `dependent`, returning fits sorted by descending score.
+/// Candidates must be positive; non-positive candidates are skipped.
+std::vector<PeriodFit> ScorePeriods(const Dataset& data, int driver,
+                                    int dependent,
+                                    const std::vector<Value>& candidates,
+                                    const PeriodDetectorOptions& options = {});
+
+/// The best candidate period, or period = 0 when no candidate clears
+/// `min_score`. A spurious period close to the driver's full range would
+/// trivially explain everything; candidates spanning more than half the
+/// driver's observed range are rejected.
+PeriodFit DetectPeriod(const Dataset& data, int driver, int dependent,
+                       const std::vector<Value>& candidates,
+                       double min_score = 0.25,
+                       const PeriodDetectorOptions& options = {});
+
+/// One derived column: phase(source) under `period`.
+struct PhaseColumnSpec {
+  int source_dim = 0;
+  Value period = 1;
+  bool operator==(const PhaseColumnSpec&) const = default;
+};
+
+/// Scans all ordered dimension pairs (driver, dependent) and returns one
+/// phase-column spec per driver whose best candidate period explains at
+/// least `min_score` of some dependent dimension's variance. At most one
+/// spec per driver dimension (the best-scoring one).
+std::vector<PhaseColumnSpec> SuggestPhaseColumns(
+    const Dataset& data, const std::vector<Value>& candidate_periods,
+    double min_score = 0.25, const PeriodDetectorOptions& options = {});
+
+/// Returns a copy of `data` with one extra column per spec, appended in
+/// spec order. Row order is preserved.
+Dataset AugmentWithPhases(const Dataset& data,
+                          const std::vector<PhaseColumnSpec>& specs);
+
+/// Computes the derived values for a single row (used when inserting into
+/// an index built over an augmented dataset).
+std::vector<Value> AugmentRow(const std::vector<Value>& row,
+                              const std::vector<PhaseColumnSpec>& specs);
+
+/// Derives the phase-range predicate implied by a range filter over
+/// `source_dim` of `spec`: every point matching `filter` also has
+/// phase(source) in [out->lo, out->hi]. Callers add the derived predicate
+/// *alongside* the original (it narrows the index scan; it does not
+/// replace the filter). Derivation succeeds when the filter spans less
+/// than one period and its phase interval does not wrap; wrapped
+/// intervals denote two disjoint phase ranges and are left to the
+/// caller's disjunction support (bool_expr.h). Returns true on success.
+bool PhaseAlignFilter(const Predicate& filter, const PhaseColumnSpec& spec,
+                      int phase_dim, Predicate* out);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_CORE_PERIODIC_H_

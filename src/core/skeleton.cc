@@ -1,0 +1,135 @@
+#include "src/core/skeleton.h"
+
+namespace tsunami {
+
+Skeleton Skeleton::AllIndependent(int d) {
+  Skeleton s;
+  s.dims.assign(d, DimSpec{});
+  return s;
+}
+
+std::vector<int> Skeleton::GridDims() const {
+  std::vector<int> grid;
+  for (int d = 0; d < num_dims(); ++d) {
+    if (dims[d].strategy != PartitionStrategy::kMapped) grid.push_back(d);
+  }
+  return grid;
+}
+
+bool Skeleton::IsBase(int dim) const {
+  for (const DimSpec& spec : dims) {
+    if (spec.strategy == PartitionStrategy::kConditional &&
+        spec.other == dim) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Skeleton::NumMapped() const {
+  int n = 0;
+  for (const DimSpec& spec : dims) {
+    if (spec.strategy == PartitionStrategy::kMapped) ++n;
+  }
+  return n;
+}
+
+int Skeleton::NumConditional() const {
+  int n = 0;
+  for (const DimSpec& spec : dims) {
+    if (spec.strategy == PartitionStrategy::kConditional) ++n;
+  }
+  return n;
+}
+
+bool Skeleton::Validate(std::string* error) const {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  int d = num_dims();
+  if (d == 0) return fail("empty skeleton");
+  int num_grid = 0;
+  for (int x = 0; x < d; ++x) {
+    const DimSpec& spec = dims[x];
+    if (spec.strategy == PartitionStrategy::kIndependent) {
+      ++num_grid;
+      continue;
+    }
+    if (spec.other < 0 || spec.other >= d || spec.other == x) {
+      return fail("dim " + std::to_string(x) + ": other out of range");
+    }
+    const DimSpec& other = dims[spec.other];
+    if (spec.strategy == PartitionStrategy::kMapped) {
+      if (other.strategy == PartitionStrategy::kMapped) {
+        return fail("dim " + std::to_string(x) +
+                    ": target of a mapping cannot itself be mapped");
+      }
+      if (IsBase(x)) {
+        return fail("dim " + std::to_string(x) +
+                    ": a base dimension cannot be mapped");
+      }
+    } else {  // kConditional
+      ++num_grid;
+      if (other.strategy != PartitionStrategy::kIndependent) {
+        return fail("dim " + std::to_string(x) +
+                    ": base of a conditional CDF must be independent");
+      }
+    }
+  }
+  if (num_grid == 0) return fail("no grid dimensions remain");
+  return true;
+}
+
+std::string Skeleton::ToString() const {
+  std::string s = "[";
+  for (int x = 0; x < num_dims(); ++x) {
+    if (x > 0) s += ", ";
+    s += "d" + std::to_string(x);
+    switch (dims[x].strategy) {
+      case PartitionStrategy::kIndependent:
+        break;
+      case PartitionStrategy::kMapped:
+        s += "->d" + std::to_string(dims[x].other);
+        break;
+      case PartitionStrategy::kConditional:
+        s += "|d" + std::to_string(dims[x].other);
+        break;
+    }
+  }
+  return s + "]";
+}
+
+
+void Skeleton::Serialize(BinaryWriter* writer) const {
+  writer->PutVarU64(dims.size());
+  for (const DimSpec& spec : dims) {
+    writer->PutU8(static_cast<uint8_t>(spec.strategy));
+    writer->PutVarI64(spec.other);
+  }
+}
+
+bool Skeleton::Deserialize(BinaryReader* reader) {
+  uint64_t n = reader->GetVarU64();
+  if (!reader->ok() || n > reader->remaining()) {
+    reader->MarkCorrupt();
+    return false;
+  }
+  dims.assign(n, DimSpec{});
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t strategy = reader->GetU8();
+    if (strategy > static_cast<uint8_t>(PartitionStrategy::kConditional)) {
+      reader->MarkCorrupt();
+      return false;
+    }
+    dims[i].strategy = static_cast<PartitionStrategy>(strategy);
+    dims[i].other = static_cast<int>(reader->GetVarI64());
+  }
+  if (!reader->ok() || !Validate()) {
+    reader->MarkCorrupt();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,72 @@
+// Augmented Grid skeletons (§5.2): the per-dimension choice of partitioning
+// strategy. A skeleton plus per-dimension partition counts uniquely defines
+// an Augmented Grid.
+#ifndef TSUNAMI_CORE_SKELETON_H_
+#define TSUNAMI_CORE_SKELETON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/io/serializer.h"
+
+namespace tsunami {
+
+/// How one dimension participates in the grid.
+enum class PartitionStrategy {
+  kIndependent,  // Partitioned uniformly in CDF(X) — what Flood does.
+  kMapped,       // Removed from the grid; filters transformed to the target
+                 // dimension via a functional mapping F: X -> target.
+  kConditional,  // Partitioned uniformly in CDF(X | base).
+};
+
+struct DimSpec {
+  PartitionStrategy strategy = PartitionStrategy::kIndependent;
+  int other = -1;  // Target dim for kMapped; base dim for kConditional.
+
+  bool operator==(const DimSpec&) const = default;
+};
+
+/// A full skeleton: one DimSpec per dimension, e.g. [X, Y|X, Z->X].
+struct Skeleton {
+  std::vector<DimSpec> dims;
+
+  Skeleton() = default;
+  /// All-independent skeleton over `d` dimensions (Flood's structure; also
+  /// the naive initialization of §6.6's AGD-NI).
+  static Skeleton AllIndependent(int d);
+
+  bool operator==(const Skeleton&) const = default;
+
+  int num_dims() const { return static_cast<int>(dims.size()); }
+
+  /// Dimensions that participate in the grid (everything not mapped), in
+  /// ascending dimension order.
+  std::vector<int> GridDims() const;
+
+  /// True if `dim` is the base of at least one conditional dimension.
+  bool IsBase(int dim) const;
+
+  int NumMapped() const;
+  int NumConditional() const;
+
+  /// Checks the structural restrictions of §5.2.1/§5.2.2:
+  ///  - `other` is a distinct, in-range dimension;
+  ///  - a mapped dimension's target is not itself mapped;
+  ///  - a mapped dimension is not the base of a conditional dimension;
+  ///  - a conditional dimension's base is independent;
+  ///  - at least one dimension remains in the grid.
+  /// On failure returns false and, if `error` != nullptr, explains why.
+  bool Validate(std::string* error = nullptr) const;
+
+  /// Compact notation, e.g. "[d0, d1|d0, d2->d0]".
+  std::string ToString() const;
+
+  /// Persistence (§8). Deserialize re-runs Validate() on the decoded
+  /// skeleton and fails on structurally invalid input.
+  void Serialize(BinaryWriter* writer) const;
+  bool Deserialize(BinaryReader* reader);
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_CORE_SKELETON_H_

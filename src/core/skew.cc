@@ -1,0 +1,165 @@
+#include "src/core/skew.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/emd.h"
+
+namespace tsunami {
+
+std::vector<MassHistogram> BuildTypeHistograms(
+    const Workload& queries, int num_types, int dim, Value lo, Value hi,
+    int bins, const std::vector<Value>* unique_values) {
+  bool per_unique = unique_values != nullptr &&
+                    static_cast<int>(unique_values->size()) < bins &&
+                    !unique_values->empty();
+  std::vector<MassHistogram> hists;
+  hists.reserve(std::max(num_types, 1));
+  for (int t = 0; t < std::max(num_types, 1); ++t) {
+    if (per_unique) {
+      hists.emplace_back(*unique_values);
+    } else {
+      hists.emplace_back(lo, hi, bins);
+    }
+  }
+  for (const Query& q : queries) {
+    int t = q.type >= 0 && q.type < num_types ? q.type : 0;
+    const Predicate* p = q.FilterOn(dim);
+    Value qlo = p != nullptr ? p->lo : lo;
+    Value qhi = p != nullptr ? p->hi : hi;
+    hists[t].AddRangeMass(qlo, qhi);
+  }
+  return hists;
+}
+
+double CombinedSkew(const std::vector<MassHistogram>& hists, int bin_lo,
+                    int bin_hi) {
+  double skew = 0.0;
+  for (const MassHistogram& h : hists) {
+    skew += SkewOfMassRange(h.mass(), bin_lo, bin_hi);
+  }
+  return skew;
+}
+
+namespace {
+
+// One node of the skew tree over the bin range [lo, hi).
+struct SkewTreeNode {
+  int lo = 0;
+  int hi = 0;
+  double skew = 0.0;  // Combined skew over [lo, hi).
+  double best = 0.0;  // Min combined skew of any covering of [lo, hi).
+  int left = -1;
+  int right = -1;
+};
+
+// First pass (§4.3.2): bottom-up, annotate the minimum combined skew
+// achievable over each node's subtree.
+int BuildSkewTree(const std::vector<MassHistogram>& hists, int lo, int hi,
+                  int bins_per_leaf, std::vector<SkewTreeNode>* nodes) {
+  int idx = static_cast<int>(nodes->size());
+  nodes->push_back(SkewTreeNode{lo, hi, CombinedSkew(hists, lo, hi), 0.0,
+                                -1, -1});
+  if (hi - lo <= bins_per_leaf) {
+    (*nodes)[idx].best = (*nodes)[idx].skew;
+    return idx;
+  }
+  int mid = lo + (hi - lo) / 2;
+  int left = BuildSkewTree(hists, lo, mid, bins_per_leaf, nodes);
+  int right = BuildSkewTree(hists, mid, hi, bins_per_leaf, nodes);
+  SkewTreeNode& node = (*nodes)[idx];
+  node.left = left;
+  node.right = right;
+  node.best = std::min(node.skew, (*nodes)[left].best + (*nodes)[right].best);
+  return idx;
+}
+
+// Second pass: top-down, a node whose own skew achieves the annotated best
+// joins the covering set; otherwise recurse.
+void ExtractCovering(const std::vector<SkewTreeNode>& nodes, int idx,
+                     std::vector<std::pair<int, int>>* segments) {
+  const SkewTreeNode& node = nodes[idx];
+  if (node.left < 0 || node.skew <= node.best + 1e-12) {
+    segments->emplace_back(node.lo, node.hi);
+    return;
+  }
+  ExtractCovering(nodes, node.left, segments);
+  ExtractCovering(nodes, node.right, segments);
+}
+
+}  // namespace
+
+SplitChoice FindBestSplit(const std::vector<MassHistogram>& hists,
+                          double merge_factor, int bins_per_leaf) {
+  SplitChoice choice;
+  if (hists.empty()) return choice;
+  int nbins = hists[0].bins();
+  if (nbins <= 1) return choice;
+  if (hists[0].per_unique_value()) bins_per_leaf = 1;
+
+  std::vector<SkewTreeNode> nodes;
+  int root = BuildSkewTree(hists, 0, nbins, bins_per_leaf, &nodes);
+  std::vector<std::pair<int, int>> segments;
+  ExtractCovering(nodes, root, &segments);
+
+  // Final ordered merge pass (§4.3.2): merge adjacent covering nodes when
+  // the combined skew is within `merge_factor` of the sum of the parts.
+  // This counteracts superfluous binary-tree boundaries and regularizes
+  // against too many splits.
+  std::vector<std::pair<int, int>> merged;
+  std::vector<double> merged_skew;
+  for (const auto& seg : segments) {
+    if (!merged.empty()) {
+      double combined = CombinedSkew(hists, merged.back().first, seg.second);
+      double parts =
+          merged_skew.back() + CombinedSkew(hists, seg.first, seg.second);
+      if (combined <= parts * merge_factor) {
+        merged.back().second = seg.second;
+        merged_skew.back() = combined;
+        continue;
+      }
+    }
+    merged.push_back(seg);
+    merged_skew.push_back(CombinedSkew(hists, seg.first, seg.second));
+  }
+
+  // Bound the node's fan-out: greedily merge the adjacent pair whose merge
+  // increases combined skew the least until at most `max_segments` remain.
+  // (The Grid Tree stays lightweight — Tab. 4 trees have ~1-2 nodes per
+  // region.)
+  constexpr int kMaxSegments = 8;
+  while (static_cast<int>(merged.size()) > kMaxSegments) {
+    size_t best_i = 0;
+    double best_delta = 0.0;
+    bool first = true;
+    for (size_t i = 0; i + 1 < merged.size(); ++i) {
+      double combined =
+          CombinedSkew(hists, merged[i].first, merged[i + 1].second);
+      double delta = combined - merged_skew[i] - merged_skew[i + 1];
+      if (first || delta < best_delta) {
+        best_delta = delta;
+        best_i = i;
+        first = false;
+      }
+    }
+    merged[best_i].second = merged[best_i + 1].second;
+    merged_skew[best_i] =
+        CombinedSkew(hists, merged[best_i].first, merged[best_i].second);
+    merged.erase(merged.begin() + best_i + 1);
+    merged_skew.erase(merged_skew.begin() + best_i + 1);
+  }
+
+  if (merged.size() <= 1) return choice;  // No useful split.
+  double total = CombinedSkew(hists, 0, nbins);
+  double sum_parts = 0.0;
+  for (double s : merged_skew) sum_parts += s;
+  choice.reduction = total - sum_parts;
+  for (size_t i = 1; i < merged.size(); ++i) {
+    int b = merged[i].first;
+    choice.boundaries.push_back(b);
+    choice.split_values.push_back(hists[0].BinLo(b));
+  }
+  return choice;
+}
+
+}  // namespace tsunami

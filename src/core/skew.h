@@ -1,0 +1,52 @@
+// Query skew (§4.2.1) and the skew tree (§4.3.2): given per-query-type mass
+// histograms over one dimension, find the split values that maximally reduce
+// combined skew via a balanced binary tree + dynamic programming, followed
+// by the merge regularizer.
+#ifndef TSUNAMI_CORE_SKEW_H_
+#define TSUNAMI_CORE_SKEW_H_
+
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Builds one mass histogram per query type over dimension `dim`, domain
+/// [lo, hi] (inclusive). Every query in `queries` contributes one unit of
+/// mass over the bins its filter intersects; queries without a filter on
+/// `dim` span the whole domain. If `unique_values` is non-null and smaller
+/// than `bins`, the histograms use one bin per unique value (§4.3.2).
+std::vector<MassHistogram> BuildTypeHistograms(
+    const Workload& queries, int num_types, int dim, Value lo, Value hi,
+    int bins, const std::vector<Value>* unique_values = nullptr);
+
+/// Combined skew over the bin range [bin_lo, bin_hi): the sum over query
+/// types of the EMD between each type's sub-histogram and the uniform
+/// distribution carrying the same mass (the redefined Skew of §4.3.1).
+double CombinedSkew(const std::vector<MassHistogram>& hists, int bin_lo,
+                    int bin_hi);
+
+/// Result of the skew-tree search over one dimension.
+struct SplitChoice {
+  /// Interior bin boundaries of the chosen covering set (strictly
+  /// increasing, excluding 0 and nbins). Empty means "do not split".
+  std::vector<int> boundaries;
+  /// The corresponding split values V: child i covers values
+  /// [split_values[i-1], split_values[i] - 1].
+  std::vector<Value> split_values;
+  /// Skew(whole range) - sum of segment skews, in query-mass units.
+  double reduction = 0.0;
+};
+
+/// Runs the skew-tree dynamic program (§4.3.2): builds a balanced binary
+/// tree over the histogram bins (leaves cover `bins_per_leaf` bins), solves
+/// for the covering set with minimum combined skew, merges adjacent covering
+/// nodes whose combined skew is within `merge_factor` of the sum of parts,
+/// and returns the resulting split values and skew reduction.
+SplitChoice FindBestSplit(const std::vector<MassHistogram>& hists,
+                          double merge_factor = 1.10, int bins_per_leaf = 2);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_CORE_SKEW_H_

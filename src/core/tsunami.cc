@@ -1,0 +1,470 @@
+#include "src/core/tsunami.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/common/workload_stats.h"
+#include "src/exec/thread_pool.h"
+
+namespace tsunami {
+
+TsunamiIndex::TsunamiIndex(const Dataset& data, const Workload& workload,
+                           const TsunamiOptions& options)
+    : name_(options.name),
+      use_grid_tree_(options.use_grid_tree),
+      delta_(data.dims(), {}) {
+  BuildIndex(data, workload, options, /*previous=*/nullptr);
+}
+
+TsunamiIndex::TsunamiIndex(const TsunamiIndex& previous,
+                           const Workload& new_workload,
+                           const TsunamiOptions& options)
+    : name_(options.name),
+      use_grid_tree_(options.use_grid_tree),
+      delta_(previous.store_.dims(), {}) {
+  Dataset data = previous.MaterializeData();
+  BuildIndex(data, new_workload, options, &previous);
+}
+
+void TsunamiIndex::BuildIndex(const Dataset& data, const Workload& workload,
+                              const TsunamiOptions& options,
+                              const TsunamiIndex* previous) {
+  Timer optimize_timer;
+  Rng rng(options.agd.seed);
+  Dataset sample = SampleDataset(data, options.sample_rows, &rng);
+
+  // Step 0: cluster queries into types (§4.3.1).
+  Workload typed;
+  int num_types = 0;
+  if (options.cluster_queries) {
+    typed = LabelQueryTypes(sample, workload, options.clustering, &num_types);
+  } else {
+    typed = workload;
+    for (const Query& q : typed) num_types = std::max(num_types, q.type + 1);
+    if (num_types == 0) num_types = 1;
+  }
+  stats_.num_query_types = num_types;
+
+  // Step 1: optimize the Grid Tree on the sample + workload (§4.3) — or,
+  // for incremental re-optimization, reuse the previous tree so regions
+  // stay aligned and their plans remain meaningful.
+  bool reuse_tree = previous != nullptr && use_grid_tree_ &&
+                    previous->use_grid_tree_ &&
+                    previous->tree_.num_regions() > 0;
+  if (reuse_tree) {
+    tree_ = previous->tree_;
+  } else if (use_grid_tree_) {
+    tree_ = GridTree::Build(sample, typed, num_types, options.tree);
+  }
+  if (use_grid_tree_) {
+    stats_.tree_nodes = tree_.num_nodes();
+    stats_.tree_depth = tree_.depth();
+  }
+  int num_regions = use_grid_tree_ ? tree_.num_regions() : 1;
+  stats_.num_regions = num_regions;
+
+  // Assign every point to its region and every query to the regions it
+  // intersects.
+  std::vector<std::vector<uint32_t>> region_rows(num_regions);
+  for (int64_t r = 0; r < data.size(); ++r) {
+    int region = use_grid_tree_ ? tree_.RegionOf(data, r) : 0;
+    region_rows[region].push_back(static_cast<uint32_t>(r));
+  }
+  std::vector<Workload> region_queries(num_regions);
+  if (use_grid_tree_) {
+    std::vector<int> hits;
+    for (const Query& q : typed) {
+      tree_.CollectRegions(q, &hits);
+      for (int region : hits) region_queries[region].push_back(q);
+    }
+  } else {
+    region_queries[0] = typed;
+  }
+
+  // Step 2: optimize an Augmented Grid per intersected region (§5.3). The
+  // "Grid Tree only" variant restricts skeletons to all-independent, i.e.
+  // an instance of Flood per region.
+  AgdOptions agd = options.agd;
+  if (!options.use_augmentation) agd.independent_only = true;
+  OptimizeMethod method =
+      options.use_augmentation ? OptimizeMethod::kAgd : OptimizeMethod::kGd;
+
+  regions_.resize(num_regions);
+  // Regions are independent: optimize and build them in parallel (§6.1:
+  // "optimization and data sorting for index creation are performed in
+  // parallel"). Per-region outputs land in pre-sized vectors, so results
+  // are identical for any thread count.
+  std::vector<char> region_reused(num_regions, 0);
+  std::vector<double> region_sort_seconds(num_regions, 0.0);
+  ThreadPool pool(options.build_threads > 1 ? options.build_threads : 0);
+  pool.ParallelFor(0, num_regions, 1, [&](int64_t region) {
+    Region& reg = regions_[region];
+    if (use_grid_tree_) {
+      reg.box_lo = tree_.region_lo(region);
+      reg.box_hi = tree_.region_hi(region);
+    } else {
+      reg.box_lo.assign(data.dims(), kValueMin);
+      reg.box_hi.assign(data.dims(), kValueMax);
+    }
+    std::vector<uint32_t>& rows = region_rows[region];
+    if (region_queries[region].empty() || rows.empty()) return;
+    reg.query_count = static_cast<int64_t>(region_queries[region].size());
+    reg.workload_sel =
+        AvgSelectivityPerDim(sample, region_queries[region], data.dims());
+    // Incremental path: reuse the previous plan when this region's
+    // workload barely moved (similar volume and per-dim selectivities).
+    bool reused = false;
+    if (reuse_tree && region < static_cast<int>(previous->regions_.size())) {
+      const Region& prev = previous->regions_[region];
+      if (prev.has_grid && prev.query_count > 0) {
+        double ratio = static_cast<double>(reg.query_count) /
+                       static_cast<double>(prev.query_count);
+        double max_sel_diff = 0.0;
+        for (int d = 0; d < data.dims(); ++d) {
+          max_sel_diff = std::max(
+              max_sel_diff,
+              std::abs(reg.workload_sel[d] - prev.workload_sel[d]));
+        }
+        if (ratio >= 0.5 && ratio <= 2.0 && max_sel_diff <= 0.25) {
+          reg.plan = prev.plan;
+          reused = true;
+          region_reused[region] = 1;
+        }
+      }
+    }
+    if (!reused) {
+      AgdOptions region_agd = agd;
+      region_agd.seed = options.agd.seed + region;  // Decorrelate samples.
+      reg.plan = OptimizeGrid(data, rows, region_queries[region], method,
+                              region_agd);
+    }
+    const GridPlan& plan = reg.plan;
+    AugmentedGrid::BuildOptions build_options;
+    build_options.selectivity_order =
+        DimsBySelectivity(sample, region_queries[region], data.dims());
+    build_options.sort_dim = plan.sort_dim;
+    build_options.max_cells = agd.max_cells;
+    Timer sort_timer;
+    reg.grid.Build(data, &rows, plan.skeleton, plan.partitions,
+                   build_options);
+    region_sort_seconds[region] = sort_timer.ElapsedSeconds();
+    reg.has_grid = true;
+  });
+
+  // Sequential epilogue: physical layout (regions are concatenated in
+  // region order) and build statistics.
+  double sort_seconds = 0.0;
+  std::vector<uint32_t> perm;
+  perm.reserve(data.size());
+  int64_t total_fms = 0, total_ccdfs = 0;
+  for (int region = 0; region < num_regions; ++region) {
+    Region& reg = regions_[region];
+    const std::vector<uint32_t>& rows = region_rows[region];
+    if (reg.has_grid) {
+      ++stats_.num_indexed_regions;
+      stats_.total_cells += reg.grid.num_cells();
+      total_fms += reg.plan.skeleton.NumMapped();
+      total_ccdfs += reg.plan.skeleton.NumConditional();
+    }
+    stats_.regions_reused += region_reused[region];
+    sort_seconds += region_sort_seconds[region];
+    reg.begin = static_cast<int64_t>(perm.size());
+    perm.insert(perm.end(), rows.begin(), rows.end());
+    reg.end = static_cast<int64_t>(perm.size());
+  }
+  if (stats_.num_indexed_regions > 0) {
+    stats_.avg_fms_per_region =
+        static_cast<double>(total_fms) / stats_.num_indexed_regions;
+    stats_.avg_ccdfs_per_region =
+        static_cast<double>(total_ccdfs) / stats_.num_indexed_regions;
+  }
+
+  // Region point-count distribution (Tab. 4).
+  {
+    std::vector<double> counts;
+    for (const auto& rows : region_rows) {
+      counts.push_back(static_cast<double>(rows.size()));
+    }
+    if (!counts.empty()) {
+      stats_.min_region_points = static_cast<int64_t>(Percentile(counts, 0));
+      stats_.median_region_points =
+          static_cast<int64_t>(Percentile(counts, 50));
+      stats_.max_region_points =
+          static_cast<int64_t>(Percentile(counts, 100));
+    }
+  }
+  stats_.optimize_seconds = optimize_timer.ElapsedSeconds() - sort_seconds;
+
+  // Step 3: materialize the clustered column store and attach the grids.
+  Timer sort_timer;
+  store_ = ColumnStore(data, perm);
+  for (Region& reg : regions_) {
+    if (reg.has_grid) reg.grid.Attach(&store_, reg.begin);
+  }
+  stats_.sort_seconds = sort_seconds + sort_timer.ElapsedSeconds();
+}
+
+void TsunamiIndex::Insert(const std::vector<Value>& row) {
+  delta_.AppendRow(row);
+}
+
+Dataset TsunamiIndex::MaterializeData() const {
+  Dataset data(store_.dims(), {});
+  data.Reserve(store_.size() + delta_.size());
+  std::vector<Value> row(store_.dims());
+  for (int64_t r = 0; r < store_.size(); ++r) {
+    for (int d = 0; d < store_.dims(); ++d) row[d] = store_.Get(r, d);
+    data.AppendRow(row);
+  }
+  data.raw().insert(data.raw().end(), delta_.raw().begin(),
+                    delta_.raw().end());
+  return data;
+}
+
+void TsunamiIndex::ExecuteRegion(int region, const Query& query,
+                                 QueryResult* result) const {
+  const Region& reg = regions_[region];
+  if (reg.has_grid) {
+    reg.grid.Execute(query, result);
+    return;
+  }
+  // Unindexed region (no query type intersected it at build time): scan.
+  bool exact = true;
+  for (const Predicate& p : query.filters) {
+    if (p.lo > reg.box_lo[p.dim] || p.hi < reg.box_hi[p.dim]) {
+      exact = false;
+      break;
+    }
+  }
+  ++result->cell_ranges;
+  store_.ScanRange(reg.begin, reg.end, query, exact, result);
+}
+
+void TsunamiIndex::ExecuteDelta(const Query& query,
+                                QueryResult* result) const {
+  // Inserted-but-unmerged rows: linear scan of the delta buffer.
+  if (delta_.size() == 0) return;
+  ++result->cell_ranges;
+  result->scanned += delta_.size();
+  for (int64_t r = 0; r < delta_.size(); ++r) {
+    bool ok = true;
+    for (const Predicate& p : query.filters) {
+      if (!p.Matches(delta_.at(r, p.dim))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    ++result->matched;
+    if (query.agg == AggKind::kCount) {
+      ++result->agg;
+    } else {
+      AccumulateAgg(query.agg, delta_.at(r, query.agg_dim), &result->agg);
+    }
+  }
+}
+
+QueryResult TsunamiIndex::Execute(const Query& query) const {
+  QueryResult result = InitResult(query);
+  static thread_local std::vector<int> hits;
+  if (use_grid_tree_) {
+    tree_.CollectRegions(query, &hits);
+  } else {
+    hits.assign(1, 0);
+  }
+  for (int region : hits) ExecuteRegion(region, query, &result);
+  ExecuteDelta(query, &result);
+  return result;
+}
+
+QueryResult TsunamiIndex::ExecuteParallel(const Query& query,
+                                          ThreadPool* pool) const {
+  if (pool == nullptr || pool->num_threads() <= 1) return Execute(query);
+  std::vector<int> hits;
+  if (use_grid_tree_) {
+    tree_.CollectRegions(query, &hits);
+  } else {
+    hits.assign(1, 0);
+  }
+  // One partial per region: regions cover disjoint physical ranges, so
+  // counters merge exactly; result equals Execute() for any thread count.
+  std::vector<QueryResult> partials(hits.size());
+  pool->ParallelFor(0, static_cast<int64_t>(hits.size()), 1,
+                    [&](int64_t i) {
+                      partials[i] = InitResult(query);
+                      ExecuteRegion(hits[i], query, &partials[i]);
+                    });
+  QueryResult result = InitResult(query);
+  for (const QueryResult& partial : partials) {
+    MergeQueryResults(query.agg, partial, &result);
+  }
+  ExecuteDelta(query, &result);
+  return result;
+}
+
+int64_t TsunamiIndex::IndexSizeBytes() const {
+  int64_t bytes = use_grid_tree_ ? tree_.SizeBytes() : 0;
+  for (const Region& reg : regions_) {
+    bytes += static_cast<int64_t>(sizeof(Region));
+    if (reg.has_grid) bytes += reg.grid.SizeBytes();
+  }
+  return bytes;
+}
+
+
+namespace {
+
+void SerializeDataset(const Dataset& data, BinaryWriter* writer) {
+  writer->PutVarI64(data.dims());
+  writer->PutValueVec(data.raw());
+}
+
+bool DeserializeDataset(BinaryReader* reader, Dataset* out) {
+  int dims = static_cast<int>(reader->GetVarI64());
+  std::vector<Value> raw;
+  if (!reader->ok() || dims < 0 || !reader->GetValueVec(&raw)) {
+    reader->MarkCorrupt();
+    return false;
+  }
+  if (dims == 0 ? !raw.empty() : raw.size() % dims != 0) {
+    reader->MarkCorrupt();
+    return false;
+  }
+  *out = Dataset(dims, std::move(raw));
+  return true;
+}
+
+}  // namespace
+
+bool TsunamiIndex::SaveToFile(const std::string& path,
+                              std::string* error) const {
+  BinaryWriter writer;
+  writer.PutString(name_);
+  writer.PutBool(use_grid_tree_);
+  SerializeDataset(delta_, &writer);
+  tree_.Serialize(&writer);
+  store_.Serialize(&writer);
+
+  writer.PutVarU64(regions_.size());
+  for (const Region& region : regions_) {
+    writer.PutBool(region.has_grid);
+    if (region.has_grid) {
+      region.grid.Serialize(&writer);
+      region.plan.Serialize(&writer);
+    }
+    writer.PutDoubleVec(region.workload_sel);
+    writer.PutVarI64(region.query_count);
+    writer.PutVarI64(region.begin);
+    writer.PutVarI64(region.end);
+    writer.PutValueVec(region.box_lo);
+    writer.PutValueVec(region.box_hi);
+  }
+
+  writer.PutVarI64(stats_.num_query_types);
+  writer.PutVarI64(stats_.tree_nodes);
+  writer.PutVarI64(stats_.tree_depth);
+  writer.PutVarI64(stats_.num_regions);
+  writer.PutVarI64(stats_.num_indexed_regions);
+  writer.PutVarI64(stats_.min_region_points);
+  writer.PutVarI64(stats_.median_region_points);
+  writer.PutVarI64(stats_.max_region_points);
+  writer.PutDouble(stats_.avg_fms_per_region);
+  writer.PutDouble(stats_.avg_ccdfs_per_region);
+  writer.PutVarI64(stats_.total_cells);
+  writer.PutVarI64(stats_.regions_reused);
+  writer.PutDouble(stats_.optimize_seconds);
+  writer.PutDouble(stats_.sort_seconds);
+
+  return WriteFramedFile(path, FileKind::kTsunamiIndex, writer.buffer(),
+                         error);
+}
+
+std::unique_ptr<TsunamiIndex> TsunamiIndex::LoadFromFile(
+    const std::string& path, std::string* error) {
+  auto fail = [error](const std::string& message)
+      -> std::unique_ptr<TsunamiIndex> {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  std::string payload;
+  if (!ReadFramedFile(path, FileKind::kTsunamiIndex, &payload, error)) {
+    return nullptr;
+  }
+  BinaryReader reader(payload);
+  std::unique_ptr<TsunamiIndex> index(new TsunamiIndex());
+  index->name_ = reader.GetString();
+  index->use_grid_tree_ = reader.GetBool();
+  if (!DeserializeDataset(&reader, &index->delta_)) {
+    return fail("corrupt snapshot: delta buffer");
+  }
+  if (!index->tree_.Deserialize(&reader)) {
+    return fail("corrupt snapshot: grid tree");
+  }
+  if (!index->store_.Deserialize(&reader)) {
+    return fail("corrupt snapshot: column store");
+  }
+
+  uint64_t num_regions = reader.GetVarU64();
+  if (!reader.ok() || num_regions > reader.remaining() + 1) {
+    return fail("corrupt snapshot: region count");
+  }
+  index->regions_.clear();
+  index->regions_.resize(num_regions);
+  const int64_t store_rows = index->store_.size();
+  for (uint64_t i = 0; i < num_regions; ++i) {
+    Region& region = index->regions_[i];
+    region.has_grid = reader.GetBool();
+    if (region.has_grid) {
+      if (!region.grid.Deserialize(&reader)) {
+        return fail("corrupt snapshot: region grid");
+      }
+      if (!region.plan.Deserialize(&reader)) {
+        return fail("corrupt snapshot: region plan");
+      }
+    }
+    if (!reader.GetDoubleVec(&region.workload_sel)) {
+      return fail("corrupt snapshot: region workload summary");
+    }
+    region.query_count = reader.GetVarI64();
+    region.begin = reader.GetVarI64();
+    region.end = reader.GetVarI64();
+    if (!reader.GetValueVec(&region.box_lo) ||
+        !reader.GetValueVec(&region.box_hi)) {
+      return fail("corrupt snapshot: region box");
+    }
+    if (region.begin < 0 || region.begin > region.end ||
+        region.end > store_rows ||
+        (region.has_grid &&
+         region.grid.num_rows() != region.end - region.begin)) {
+      return fail("corrupt snapshot: region range");
+    }
+    if (region.has_grid) {
+      region.grid.Attach(&index->store_, region.begin);
+    }
+  }
+
+  Stats& stats = index->stats_;
+  stats.num_query_types = static_cast<int>(reader.GetVarI64());
+  stats.tree_nodes = static_cast<int>(reader.GetVarI64());
+  stats.tree_depth = static_cast<int>(reader.GetVarI64());
+  stats.num_regions = static_cast<int>(reader.GetVarI64());
+  stats.num_indexed_regions = static_cast<int>(reader.GetVarI64());
+  stats.min_region_points = reader.GetVarI64();
+  stats.median_region_points = reader.GetVarI64();
+  stats.max_region_points = reader.GetVarI64();
+  stats.avg_fms_per_region = reader.GetDouble();
+  stats.avg_ccdfs_per_region = reader.GetDouble();
+  stats.total_cells = reader.GetVarI64();
+  stats.regions_reused = static_cast<int>(reader.GetVarI64());
+  stats.optimize_seconds = reader.GetDouble();
+  stats.sort_seconds = reader.GetDouble();
+
+  if (!reader.ok() || !reader.AtEnd()) {
+    return fail("corrupt snapshot: trailing or truncated payload");
+  }
+  return index;
+}
+
+}  // namespace tsunami

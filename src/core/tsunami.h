@@ -1,0 +1,174 @@
+// Tsunami (§3): the end-to-end learned multi-dimensional index. Clusters
+// the workload into query types, builds a Grid Tree to carve the space into
+// low-skew regions, and indexes each region that queries touch with an
+// optimized Augmented Grid. Regions no query intersects get no index.
+#ifndef TSUNAMI_CORE_TSUNAMI_H_
+#define TSUNAMI_CORE_TSUNAMI_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/index.h"
+#include "src/common/types.h"
+#include "src/core/augmented_grid.h"
+#include "src/core/grid_tree.h"
+#include "src/core/optimizer.h"
+#include "src/core/query_clustering.h"
+#include "src/storage/column_store.h"
+
+namespace tsunami {
+
+class ThreadPool;
+
+struct TsunamiOptions {
+  GridTreeOptions tree;
+  AgdOptions agd;
+  ClusteringOptions clustering;
+  /// Disable to get the "Augmented Grid only" drill-down variant (§6.6):
+  /// one Augmented Grid over the whole space.
+  bool use_grid_tree = true;
+  /// Disable to get the "Grid Tree only" variant: an instance of Flood
+  /// (all-independent skeleton, GD-optimized) in each region.
+  bool use_augmentation = true;
+  /// Cluster query types with DBSCAN (§4.3.1). If false, the `type` labels
+  /// already on the queries are used.
+  bool cluster_queries = true;
+  /// Row-sample size for clustering, selectivity estimation, and the Grid
+  /// Tree build (thresholds are fractions, so a sample suffices).
+  int64_t sample_rows = 100000;
+  /// Threads for per-region optimization and grid building (§6.1 performs
+  /// these in parallel). Regions are independent, so any thread count
+  /// produces an identical index; <= 1 builds inline.
+  int build_threads = 1;
+  /// Display name (benches rename the drill-down variants).
+  std::string name = "Tsunami";
+};
+
+class TsunamiIndex : public MultiDimIndex {
+ public:
+  /// Index statistics after optimization (Tab. 4) plus build timings
+  /// (Fig. 9b: sort time vs optimization time).
+  struct Stats {
+    int num_query_types = 0;
+    int tree_nodes = 0;
+    int tree_depth = 0;
+    int num_regions = 0;
+    int num_indexed_regions = 0;
+    int64_t min_region_points = 0;
+    int64_t median_region_points = 0;
+    int64_t max_region_points = 0;
+    double avg_fms_per_region = 0.0;
+    double avg_ccdfs_per_region = 0.0;
+    int64_t total_cells = 0;
+    /// Regions whose previous plan was reused by the incremental
+    /// constructor (0 for full builds).
+    int regions_reused = 0;
+    double optimize_seconds = 0.0;  // Clustering + tree + grid optimization.
+    double sort_seconds = 0.0;      // Data reorganization.
+  };
+
+  TsunamiIndex(const Dataset& data, const Workload& workload)
+      : TsunamiIndex(data, workload, TsunamiOptions()) {}
+  TsunamiIndex(const Dataset& data, const Workload& workload,
+               const TsunamiOptions& options);
+
+  /// Incremental re-optimization (§8): rebuilds for `new_workload` while
+  /// *reusing* the previous Grid Tree and, for regions whose workload
+  /// barely changed, the previous Augmented Grid plans — only regions that
+  /// saw significant shift pay the optimization cost again. Folds
+  /// `previous`'s delta buffer into the rebuilt index.
+  TsunamiIndex(const TsunamiIndex& previous, const Workload& new_workload,
+               const TsunamiOptions& options);
+
+  std::string Name() const override { return name_; }
+  QueryResult Execute(const Query& query) const override;
+
+  /// Intra-query parallelism: regions the query intersects are executed on
+  /// the pool's threads and the disjoint partials merged. Identical result
+  /// to Execute() for any thread count; pays off for queries spanning many
+  /// regions. A null or inline pool degrades to Execute().
+  QueryResult ExecuteParallel(const Query& query, ThreadPool* pool) const;
+
+  int64_t IndexSizeBytes() const override;
+  const ColumnStore& store() const override { return store_; }
+
+  const Stats& stats() const { return stats_; }
+  const GridTree& grid_tree() const { return tree_; }
+
+  /// EXPLAIN-style description of the optimized structure: the Grid Tree's
+  /// splits plus, per region, its row range, query count, skeleton,
+  /// partition counts, cells, and outlier-buffer size.
+  std::string Describe(const std::vector<std::string>& dim_names = {}) const;
+
+  // --- Insertions via a delta buffer (§8 "Data and Workload Shift") ---
+  // Tsunami is read-optimized; inserts append to an unsorted delta buffer
+  // that every query scans, and are periodically folded into a rebuilt
+  // index (the delta-index scheme of [39] the paper proposes).
+
+  /// Appends a row (one value per dimension) to the delta buffer.
+  void Insert(const std::vector<Value>& row);
+
+  /// Rows currently buffered.
+  int64_t delta_size() const { return delta_.size(); }
+
+  /// The full logical table (indexed rows + delta buffer) as a row-major
+  /// dataset; rebuild via `TsunamiIndex(index.MaterializeData(), ...)` to
+  /// merge the buffer.
+  Dataset MaterializeData() const;
+
+  // --- Persistence (§8 "Persistence") ---
+  // A snapshot holds the clustered column store, the Grid Tree, every
+  // region's Augmented Grid and plan, the delta buffer, and build stats.
+  // Loading re-attaches grids to the store and serves queries immediately,
+  // without re-running optimization or re-sorting data.
+
+  /// Writes a framed, checksummed snapshot to `path`.
+  bool SaveToFile(const std::string& path,
+                  std::string* error = nullptr) const;
+
+  /// Reopens a snapshot. Returns nullptr (with `error` set) on missing
+  /// file, version/kind mismatch, checksum failure, or corrupt payload.
+  static std::unique_ptr<TsunamiIndex> LoadFromFile(
+      const std::string& path, std::string* error = nullptr);
+
+ private:
+  TsunamiIndex() = default;  // For LoadFromFile.
+
+  struct Region {
+    bool has_grid = false;
+    AugmentedGrid grid;
+    GridPlan plan;  // Kept for incremental re-optimization (§8).
+    std::vector<double> workload_sel;  // Per-dim avg selectivity summary.
+    int64_t query_count = 0;
+    int64_t begin = 0;  // Physical range [begin, end) in the store.
+    int64_t end = 0;
+    std::vector<Value> box_lo;  // Logical box (for exactness checks when
+    std::vector<Value> box_hi;  // the region has no grid).
+  };
+
+  // Shared implementation of the two constructors. `previous` != nullptr
+  // enables tree + plan reuse.
+  void BuildIndex(const Dataset& data, const Workload& workload,
+                  const TsunamiOptions& options,
+                  const TsunamiIndex* previous);
+
+  // One region's contribution to a query (grid execution or raw scan).
+  void ExecuteRegion(int region, const Query& query,
+                     QueryResult* result) const;
+  // The delta buffer's contribution (always scanned, §8 insertions).
+  void ExecuteDelta(const Query& query, QueryResult* result) const;
+
+  std::string name_;
+  bool use_grid_tree_ = true;
+  Dataset delta_;  // Row-major insert buffer, scanned by every query.
+  GridTree tree_;
+  std::vector<Region> regions_;
+  ColumnStore store_;
+  Stats stats_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_CORE_TSUNAMI_H_

@@ -1,0 +1,26 @@
+// Umbrella header: all dataset/workload generators (§6.2, §6.5).
+#ifndef TSUNAMI_DATASETS_DATASETS_H_
+#define TSUNAMI_DATASETS_DATASETS_H_
+
+#include "src/datasets/perfmon.h"    // IWYU pragma: export
+#include "src/datasets/stocks.h"     // IWYU pragma: export
+#include "src/datasets/synthetic.h"  // IWYU pragma: export
+#include "src/datasets/taxi.h"       // IWYU pragma: export
+#include "src/datasets/tpch.h"       // IWYU pragma: export
+#include "src/datasets/workload_builder.h"  // IWYU pragma: export
+
+namespace tsunami {
+
+/// The four evaluation benchmarks (Tab. 3) at the given scale.
+inline std::vector<Benchmark> MakeAllBenchmarks(int64_t rows) {
+  std::vector<Benchmark> benchmarks;
+  benchmarks.push_back(MakeTpchBenchmark(rows));
+  benchmarks.push_back(MakeTaxiBenchmark(rows));
+  benchmarks.push_back(MakePerfmonBenchmark(rows));
+  benchmarks.push_back(MakeStocksBenchmark(rows));
+  return benchmarks;
+}
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_DATASETS_DATASETS_H_

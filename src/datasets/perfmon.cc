@@ -1,0 +1,84 @@
+#include "src/datasets/perfmon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/datasets/workload_builder.h"
+
+namespace tsunami {
+
+Benchmark MakePerfmonBenchmark(int64_t rows, uint64_t seed,
+                               int queries_per_type) {
+  Benchmark bench;
+  bench.name = "Perfmon";
+  bench.dim_names = {"log_time", "machine", "cpu_user", "cpu_sys",
+                     "load1",    "load5",   "mem"};
+  Rng rng(seed);
+  constexpr int64_t kYearSec = 365LL * 24 * 3600;
+  Dataset data(7, {});
+  data.Reserve(rows);
+  std::vector<Value> row(7);
+  for (int64_t i = 0; i < rows; ++i) {
+    // CPU usage in basis points: mostly idle, occasional spikes.
+    double burst = std::pow(rng.NextDouble(), 3.0);
+    Value cpu_user = static_cast<Value>(burst * 10000.0);
+    Value cpu_sys = std::clamp<Value>(
+        static_cast<Value>(cpu_user * 0.3 + rng.NextGaussian() * 300.0), 0,
+        10000);
+    Value load1 = std::max<Value>(
+        0, static_cast<Value>(cpu_user * 2.4 +
+                              rng.NextExponential(1.0 / 800.0)));
+    Value load5 = std::max<Value>(
+        0, load1 + static_cast<Value>(rng.NextGaussian() * 150.0));
+    row[0] = rng.UniformValue(0, kYearSec - 1);
+    row[1] = static_cast<Value>(rng.NextBelow(500));
+    row[2] = cpu_user;
+    row[3] = cpu_sys;
+    row[4] = load1;
+    row[5] = load5;
+    row[6] = std::clamp<Value>(
+        static_cast<Value>(6000 + rng.NextGaussian() * 1500.0), 0, 10000);
+    data.AppendRow(row);
+  }
+
+  ColumnQuantiles quant(data, 100000, seed + 1);
+  Workload& w = bench.workload;
+  for (int i = 0; i < queries_per_type; ++i) {
+    // T0: a machine band with high load in the last two months.
+    Query q0;
+    q0.type = 0;
+    q0.filters = {quant.Window(0, 1.0 / 12, 10.0 / 12, 1.0, &rng),
+                  quant.Window(1, 0.5, 0.0, 1.0, &rng),
+                  quant.Range(4, 0.80, 1.0)};
+    w.push_back(q0);
+    // T1: high user CPU in a one-month window of the last quarter.
+    Query q1;
+    q1.type = 1;
+    q1.filters = {quant.Window(0, 1.0 / 12, 0.75, 1.0, &rng),
+                  quant.Range(2, 0.85, 1.0)};
+    w.push_back(q1);
+    // T2: a small machine set over one month, any time (uniform).
+    Query q2;
+    q2.type = 2;
+    q2.filters = {quant.Window(1, 0.10, 0.0, 1.0, &rng),
+                  quant.Window(0, 1.0 / 12, 0.0, 1.0, &rng)};
+    w.push_back(q2);
+    // T3: low memory with high 5-minute load (extremes monitoring).
+    Query q3;
+    q3.type = 3;
+    q3.filters = {quant.Range(6, 0.0, 0.20), quant.Range(5, 0.80, 1.0)};
+    w.push_back(q3);
+    // T4: mid-band system CPU vs 1-minute load.
+    Query q4;
+    q4.type = 4;
+    q4.filters = {quant.Window(3, 0.25, 0.0, 1.0, &rng),
+                  quant.Window(4, 0.25, 0.0, 1.0, &rng)};
+    w.push_back(q4);
+  }
+  bench.num_query_types = 5;
+  bench.data = std::move(data);
+  return bench;
+}
+
+}  // namespace tsunami

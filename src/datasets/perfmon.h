@@ -1,0 +1,21 @@
+// Synthetic emulation of the Perfmon dataset (§6.2): a year of machine
+// monitoring logs — log time, machine, CPU usages, load averages, memory —
+// with correlated cpu_sys ~ cpu_user and load5 ~ load1, and workload skew
+// over time (recent) and CPU usage (high). Five query types.
+#ifndef TSUNAMI_DATASETS_PERFMON_H_
+#define TSUNAMI_DATASETS_PERFMON_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Dimensions: 0 log_time (s), 1 machine_id, 2 cpu_user (bp), 3 cpu_sys
+/// (bp), 4 load1 (milli), 5 load5 (milli), 6 mem (bp).
+Benchmark MakePerfmonBenchmark(int64_t rows, uint64_t seed = 2,
+                               int queries_per_type = 100);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_DATASETS_PERFMON_H_

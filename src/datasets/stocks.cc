@@ -1,0 +1,88 @@
+#include "src/datasets/stocks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/datasets/workload_builder.h"
+
+namespace tsunami {
+
+Benchmark MakeStocksBenchmark(int64_t rows, uint64_t seed,
+                              int queries_per_type) {
+  Benchmark bench;
+  bench.name = "Stocks";
+  bench.dim_names = {"date", "open",   "close",    "low",
+                     "high", "volume", "adj_close"};
+  Rng rng(seed);
+  constexpr int64_t kDays = 48LL * 365;  // 1970..2018.
+  Dataset data(7, {});
+  data.Reserve(rows);
+  std::vector<Value> row(7);
+  for (int64_t i = 0; i < rows; ++i) {
+    Value date = rng.UniformValue(0, kDays - 1);
+    // Prices log-normal in cents; intra-day moves are small percentages, so
+    // open/close/low/high are tightly monotonically correlated.
+    double open = 100.0 * std::exp(rng.NextGaussian() * 1.6 + 2.0);
+    open = std::clamp(open, 50.0, 5.0e6);
+    double close = open * (1.0 + rng.NextGaussian() * 0.02);
+    double low = std::min(open, close) *
+                 (1.0 - std::abs(rng.NextGaussian()) * 0.01);
+    double high = std::max(open, close) *
+                  (1.0 + std::abs(rng.NextGaussian()) * 0.01);
+    double volume = std::exp(rng.NextGaussian() * 1.8 + 10.0);
+    // Split adjustment drifts with date: a loose correlation with close.
+    double adj = close * (0.5 + 0.5 * static_cast<double>(date) / kDays +
+                          rng.NextGaussian() * 0.05);
+    row[0] = date;
+    row[1] = static_cast<Value>(open);
+    row[2] = static_cast<Value>(std::max(close, 1.0));
+    row[3] = static_cast<Value>(std::max(low, 1.0));
+    row[4] = static_cast<Value>(std::max(high, 1.0));
+    row[5] = static_cast<Value>(std::max(volume, 1.0));
+    row[6] = static_cast<Value>(std::max(adj, 1.0));
+    data.AppendRow(row);
+  }
+
+  ColumnQuantiles quant(data, 100000, seed + 1);
+  Workload& w = bench.workload;
+  for (int i = 0; i < queries_per_type; ++i) {
+    // T0: small intra-day change at high volume: a narrow low/high band.
+    double center = rng.NextDouble() * 0.8;
+    Query q0;
+    q0.type = 0;
+    q0.filters = {quant.Range(3, center, center + 0.2),
+                  quant.Range(4, center, center + 0.2),
+                  quant.Range(5, 0.80, 1.0)};
+    w.push_back(q0);
+    // T1: close price band over a one-year span of the past decade.
+    Query q1;
+    q1.type = 1;
+    q1.filters = {quant.Window(0, 1.0 / 48, 38.0 / 48, 1.0, &rng),
+                  quant.Window(2, 0.25, 0.0, 1.0, &rng)};
+    w.push_back(q1);
+    // T2: open price band over recent six-month windows.
+    Query q2;
+    q2.type = 2;
+    q2.filters = {quant.Window(0, 0.5 / 48, 46.0 / 48, 1.0, &rng),
+                  quant.Window(1, 0.20, 0.0, 1.0, &rng)};
+    w.push_back(q2);
+    // T3: very low trading volume over a two-year window, any time.
+    Query q3;
+    q3.type = 3;
+    q3.filters = {quant.Range(5, 0.0, 0.10),
+                  quant.Window(0, 2.0 / 48, 0.0, 1.0, &rng)};
+    w.push_back(q3);
+    // T4: very high volume in the last five years.
+    Query q4;
+    q4.type = 4;
+    q4.filters = {quant.Range(5, 0.95, 1.0),
+                  quant.Window(0, 1.0 / 48, 43.0 / 48, 1.0, &rng)};
+    w.push_back(q4);
+  }
+  bench.num_query_types = 5;
+  bench.data = std::move(data);
+  return bench;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,21 @@
+// Synthetic emulation of the daily-historical-stocks dataset (§6.2): daily
+// open/close/low/high prices (tightly correlated), trading volume, adjusted
+// close, and date, with workload skew over time (recent) and volume
+// (extremes). Five query types.
+#ifndef TSUNAMI_DATASETS_STOCKS_H_
+#define TSUNAMI_DATASETS_STOCKS_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Dimensions: 0 date (days), 1 open, 2 close, 3 low, 4 high (cents),
+/// 5 volume, 6 adj_close (cents).
+Benchmark MakeStocksBenchmark(int64_t rows, uint64_t seed = 3,
+                              int queries_per_type = 100);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_DATASETS_STOCKS_H_

@@ -1,0 +1,146 @@
+#include "src/datasets/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/datasets/workload_builder.h"
+
+namespace tsunami {
+namespace {
+
+constexpr Value kDomain = 1'000'000'000;
+
+std::vector<std::string> DimNames(int dims) {
+  std::vector<std::string> names;
+  for (int d = 0; d < dims; ++d) names.push_back("d" + std::to_string(d));
+  return names;
+}
+
+}  // namespace
+
+Benchmark MakeUniformBenchmark(int dims, int64_t rows, uint64_t seed,
+                               int queries_per_type, int num_types) {
+  Benchmark bench;
+  bench.name = "Uniform" + std::to_string(dims) + "d";
+  bench.dim_names = DimNames(dims);
+  Rng rng(seed);
+  Dataset data(dims, {});
+  data.Reserve(rows);
+  std::vector<Value> row(dims);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int d = 0; d < dims; ++d) row[d] = rng.UniformValue(0, kDomain - 1);
+    data.AppendRow(row);
+  }
+  bench.num_query_types = num_types;
+  for (int t = 0; t < num_types; ++t) {
+    // Type t filters dims {t % dims, (t+1) % dims} with per-type widths.
+    int d0 = t % dims;
+    int d1 = (t + 1) % dims;
+    double w0 = 0.05 + 0.05 * t;
+    double w1 = 0.2;
+    for (int i = 0; i < queries_per_type; ++i) {
+      Query q;
+      q.type = t;
+      double s0 = rng.NextDouble() * (1.0 - w0);
+      q.filters.push_back(Predicate{d0, static_cast<Value>(s0 * kDomain),
+                                    static_cast<Value>((s0 + w0) * kDomain)});
+      if (d1 != d0) {
+        double s1 = rng.NextDouble() * (1.0 - w1);
+        q.filters.push_back(
+            Predicate{d1, static_cast<Value>(s1 * kDomain),
+                      static_cast<Value>((s1 + w1) * kDomain)});
+      }
+      bench.workload.push_back(q);
+    }
+  }
+  bench.data = std::move(data);
+  return bench;
+}
+
+Benchmark MakeScalingBenchmark(int dims, int64_t rows, bool correlated,
+                               uint64_t seed, int queries_per_type) {
+  Benchmark bench;
+  bench.name = std::string(correlated ? "Corr" : "Uncorr") +
+               std::to_string(dims) + "d";
+  bench.dim_names = DimNames(dims);
+  Rng rng(seed);
+  Dataset data(dims, {});
+  data.Reserve(rows);
+  int half = dims / 2;
+  std::vector<Value> row(dims);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int d = 0; d < (correlated ? half : dims); ++d) {
+      row[d] = rng.UniformValue(0, kDomain - 1);
+    }
+    if (correlated) {
+      for (int d = half; d < dims; ++d) {
+        int src = d - half;
+        // Alternate strong (±1%) and loose (±10%) linear correlation.
+        double err = (d % 2 == 0) ? 0.01 : 0.10;
+        double noise = (rng.NextDouble() * 2.0 - 1.0) * err * kDomain;
+        row[d] = std::clamp<Value>(
+            row[src] + static_cast<Value>(noise), 0, kDomain - 1);
+      }
+    }
+    data.AppendRow(row);
+  }
+
+  // Four query types. Earlier dimensions get exponentially higher
+  // selectivity (smaller widths); query centers are skewed towards the top
+  // of the domain in the first four dimensions.
+  bench.num_query_types = 4;
+  for (int t = 0; t < 4; ++t) {
+    // Each type filters three dimensions spread across the space.
+    std::vector<int> fdims = {t % dims, (t + 2) % dims,
+                              (half + t) % dims};
+    std::sort(fdims.begin(), fdims.end());
+    fdims.erase(std::unique(fdims.begin(), fdims.end()), fdims.end());
+    for (int i = 0; i < queries_per_type; ++i) {
+      Query q;
+      q.type = t;
+      for (int d : fdims) {
+        double width = std::min(0.04 * std::pow(2.2, d), 0.9);
+        double start;
+        if (d < 4) {
+          // Skewed placement: most queries land near the top of the domain.
+          double u = std::pow(rng.NextDouble(), 3.0);
+          start = (1.0 - width) * (1.0 - u);
+        } else {
+          start = rng.NextDouble() * (1.0 - width);
+        }
+        q.filters.push_back(
+            Predicate{d, static_cast<Value>(start * kDomain),
+                      static_cast<Value>((start + width) * kDomain)});
+      }
+      bench.workload.push_back(q);
+    }
+  }
+  bench.data = std::move(data);
+  return bench;
+}
+
+Workload MakeSelectivityWorkload(const Dataset& data,
+                                 double target_selectivity, uint64_t seed,
+                                 int num_queries) {
+  Rng rng(seed);
+  ColumnQuantiles quant(data, 100000, seed + 1);
+  // Filter four dimensions with equal per-dimension quantile width so that
+  // the product approximates the target (exact on independent dimensions).
+  const int kFilterDims = std::min(4, data.dims());
+  double width = std::pow(target_selectivity, 1.0 / kFilterDims);
+  Workload w;
+  for (int i = 0; i < num_queries; ++i) {
+    Query q;
+    q.type = 0;
+    for (int d = 0; d < kFilterDims; ++d) {
+      double start = rng.NextDouble() * (1.0 - width);
+      q.filters.push_back(quant.Range(d, start, start + width));
+    }
+    w.push_back(q);
+  }
+  return w;
+}
+
+}  // namespace tsunami

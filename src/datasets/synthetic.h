@@ -1,0 +1,36 @@
+// Synthetic d-dimensional datasets and workloads for the scalability
+// studies (§6.5): uncorrelated (i.i.d. uniform) and correlated (half the
+// dimensions linearly correlated to the other half, strongly ±1% or loosely
+// ±10%), with four query types that filter earlier dimensions exponentially
+// more selectively and skew query placement over the first four dimensions.
+#ifndef TSUNAMI_DATASETS_SYNTHETIC_H_
+#define TSUNAMI_DATASETS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Plain i.i.d.-uniform dataset with a simple multi-type workload; handy
+/// for tests.
+Benchmark MakeUniformBenchmark(int dims, int64_t rows, uint64_t seed = 7,
+                               int queries_per_type = 50, int num_types = 4);
+
+/// The Fig. 10 datasets. `correlated=false`: every dimension i.i.d. uniform.
+/// `correlated=true`: dimensions [0, d/2) uniform; dimension d/2 + j is
+/// linearly correlated to dimension j, alternating strong (±1%) and loose
+/// (±10%) error.
+Benchmark MakeScalingBenchmark(int dims, int64_t rows, bool correlated,
+                               uint64_t seed = 8, int queries_per_type = 100);
+
+/// Fig. 11b: queries over the 8-d correlated dataset with filter ranges
+/// scaled equally in each dimension to hit `target_selectivity` (a
+/// fraction, e.g. 0.001 = 0.1%).
+Workload MakeSelectivityWorkload(const Dataset& data,
+                                 double target_selectivity,
+                                 uint64_t seed = 9, int num_queries = 100);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_DATASETS_SYNTHETIC_H_

@@ -1,0 +1,105 @@
+#include "src/datasets/taxi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/datasets/workload_builder.h"
+
+namespace tsunami {
+namespace {
+
+constexpr int64_t kTwoYearsSec = 2LL * 365 * 24 * 3600;
+
+}  // namespace
+
+Benchmark MakeTaxiBenchmark(int64_t rows, uint64_t seed,
+                            int queries_per_type) {
+  Benchmark bench;
+  bench.name = "Taxi";
+  bench.dim_names = {"pickup_time", "dropoff_time", "passengers",
+                     "distance",    "fare",         "tip",
+                     "total",       "pickup_zone",  "dropoff_zone"};
+  Rng rng(seed);
+  Dataset data(9, {});
+  data.Reserve(rows);
+  std::vector<Value> row(9);
+  for (int64_t i = 0; i < rows; ++i) {
+    Value pickup = rng.UniformValue(0, kTwoYearsSec - 1);
+    Value duration = 60 + static_cast<Value>(
+                              std::min(rng.NextExponential(1.0 / 900), 7200.0));
+    // Passenger count: mostly single riders, a long thin tail.
+    double u = rng.NextDouble();
+    Value passengers = u < 0.70   ? 1
+                       : u < 0.85 ? 2
+                       : u < 0.90 ? 3
+                       : u < 0.94 ? 4
+                       : u < 0.97 ? 5
+                                  : 6;
+    Value distance = static_cast<Value>(
+        std::min(rng.NextExponential(1.0 / 3000.0), 50000.0));
+    Value fare = std::max<Value>(
+        250, 250 + distance / 4 +
+                 static_cast<Value>(rng.NextGaussian() * 200.0));
+    double tip_rate = rng.NextBool(0.3) ? 0.0 : 0.10 + 0.15 * rng.NextDouble();
+    Value tip = static_cast<Value>(fare * tip_rate);
+    row[0] = pickup;
+    row[1] = pickup + duration;
+    row[2] = passengers;
+    row[3] = distance;
+    row[4] = fare;
+    row[5] = tip;
+    row[6] = fare + tip;
+    row[7] = rng.NextZipf(263, 0.6);
+    row[8] = rng.NextZipf(263, 0.6);
+    data.AppendRow(row);
+  }
+
+  ColumnQuantiles quant(data, 100000, seed + 1);
+  Workload& w = bench.workload;
+  for (int i = 0; i < queries_per_type; ++i) {
+    // T0: single-passenger trips between two zone bands, recent months.
+    Query q0;
+    q0.type = 0;
+    q0.filters = {Predicate{2, 1, 1},
+                  quant.Window(7, 0.15, 0.0, 1.0, &rng),
+                  quant.Window(8, 0.15, 0.0, 1.0, &rng),
+                  quant.Window(0, 0.125, 0.75, 1.0, &rng)};
+    w.push_back(q0);
+    // T1: short-distance trips in a one-month window of the past year.
+    Query q1;
+    q1.type = 1;
+    q1.filters = {quant.Window(0, 1.0 / 24, 0.5, 1.0, &rng),
+                  quant.Range(3, 0.0, 0.20 + 0.15 * rng.NextDouble())};
+    w.push_back(q1);
+    // T2: very high passenger counts over a recent half-year window.
+    Query q2;
+    q2.type = 2;
+    q2.filters = {Predicate{2, 5, 6},
+                  quant.Window(0, 0.25, 0.5, 1.0, &rng)};
+    w.push_back(q2);
+    // T3: fare x distance band, uniform over all time (no time filter).
+    Query q3;
+    q3.type = 3;
+    q3.filters = {quant.Window(4, 0.15, 0.0, 1.0, &rng),
+                  quant.Window(3, 0.15, 0.0, 1.0, &rng)};
+    w.push_back(q3);
+    // T4: high tips in the last quarter.
+    Query q4;
+    q4.type = 4;
+    q4.filters = {quant.Range(5, 0.85, 1.0),
+                  quant.Window(0, 1.0 / 24, 0.875, 1.0, &rng)};
+    w.push_back(q4);
+    // T5: drop-off zone band over a drop-off-time month, any time.
+    Query q5;
+    q5.type = 5;
+    q5.filters = {quant.Window(1, 1.0 / 24, 0.0, 1.0, &rng),
+                  quant.Window(8, 0.30, 0.0, 1.0, &rng)};
+    w.push_back(q5);
+  }
+  bench.num_query_types = 6;
+  bench.data = std::move(data);
+  return bench;
+}
+
+}  // namespace tsunami

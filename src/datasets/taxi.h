@@ -1,0 +1,23 @@
+// Synthetic emulation of the NYC yellow-taxi dataset and workload (§6.2):
+// pick-up/drop-off times, passenger count, trip distance, itemized fares,
+// and zones, with the documented correlations (drop-off ~ pick-up time,
+// fare ~ distance, total ~ fare) and workload skew (recent time, extreme
+// passenger counts, short distances). Six query types, 100 queries each.
+#ifndef TSUNAMI_DATASETS_TAXI_H_
+#define TSUNAMI_DATASETS_TAXI_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Dimensions: 0 pickup_time (s), 1 dropoff_time (s), 2 passenger_count,
+/// 3 trip_distance (m), 4 fare (cents), 5 tip (cents), 6 total (cents),
+/// 7 pickup_zone, 8 dropoff_zone.
+Benchmark MakeTaxiBenchmark(int64_t rows, uint64_t seed = 1,
+                            int queries_per_type = 100);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_DATASETS_TAXI_H_

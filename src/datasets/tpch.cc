@@ -1,0 +1,125 @@
+#include "src/datasets/tpch.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/datasets/workload_builder.h"
+
+namespace tsunami {
+namespace {
+
+constexpr int64_t kDays = 7LL * 365;  // 1992..1998 shipping window.
+
+}  // namespace
+
+Benchmark MakeTpchBenchmark(int64_t rows, uint64_t seed,
+                            int queries_per_type) {
+  Benchmark bench;
+  bench.name = "TPC-H";
+  bench.dim_names = {"quantity",  "ext_price",   "discount",
+                     "tax",       "ship_mode",   "ship_date",
+                     "commit_date", "receipt_date"};
+  Rng rng(seed);
+  Dataset data(8, {});
+  data.Reserve(rows);
+  std::vector<Value> row(8);
+  for (int64_t i = 0; i < rows; ++i) {
+    Value quantity = rng.UniformValue(1, 50);
+    // Extended price = quantity * part price; part prices span ~[900, 1100]
+    // dollars, giving a loose monotonic correlation with quantity.
+    Value unit_price = rng.UniformValue(90000, 110000);
+    Value ship = rng.UniformValue(0, kDays - 1);
+    row[0] = quantity;
+    row[1] = quantity * unit_price;
+    row[2] = rng.UniformValue(0, 10);
+    row[3] = rng.UniformValue(0, 8);
+    row[4] = static_cast<Value>(rng.NextBelow(7));
+    row[5] = ship;
+    row[6] = ship + rng.UniformValue(-30, 60);
+    row[7] = ship + rng.UniformValue(1, 30);
+    data.AppendRow(row);
+  }
+
+  ColumnQuantiles quant(data, 100000, seed + 1);
+  Workload& w = bench.workload;
+  for (int i = 0; i < queries_per_type; ++i) {
+    // T0 (Q6-style): shipped in one year, discount band, small quantity.
+    Query q0;
+    q0.type = 0;
+    q0.filters = {quant.Window(5, 1.0 / 7, 0.0, 1.0, &rng),
+                  Predicate{2, 2, 4}, Predicate{0, 1, 24}};
+    w.push_back(q0);
+    // T1 (Q12-style): received recently by one ship mode.
+    Query q1;
+    q1.type = 1;
+    q1.filters = {quant.Window(7, 0.25 / 7, 6.0 / 7, 1.0, &rng),
+                  Predicate{4, static_cast<Value>(rng.NextBelow(7)),
+                            static_cast<Value>(0)}};
+    q1.filters[1].hi = q1.filters[1].lo;  // Equality on ship mode.
+    w.push_back(q1);
+    // T2: high-priced orders with a significant discount, recent two years.
+    Query q2;
+    q2.type = 2;
+    q2.filters = {quant.Range(1, 0.90, 1.0), Predicate{2, 8, 10},
+                  quant.Window(5, 2.0 / 7, 5.0 / 7, 1.0, &rng)};
+    w.push_back(q2);
+    // T3: committed in a half-year window with low tax.
+    Query q3;
+    q3.type = 3;
+    q3.filters = {quant.Window(6, 0.5 / 7, 0.0, 1.0, &rng),
+                  Predicate{3, 0, 2}};
+    w.push_back(q3);
+    // T4 ("shipments by air with below ten items"), recent year.
+    Query q4;
+    q4.type = 4;
+    q4.filters = {Predicate{0, 1, 9},
+                  Predicate{4, 0, 1},
+                  quant.Window(5, 1.0 / 7, 6.0 / 7, 1.0, &rng)};
+    w.push_back(q4);
+  }
+  bench.num_query_types = 5;
+  bench.data = std::move(data);
+  return bench;
+}
+
+Workload MakeTpchShiftedWorkload(const Dataset& data, uint64_t seed,
+                                 int queries_per_type) {
+  Rng rng(seed);
+  ColumnQuantiles quant(data, 100000, seed + 1);
+  Workload w;
+  for (int i = 0; i < queries_per_type; ++i) {
+    // T0': high tax over an old shipping year.
+    Query q0;
+    q0.type = 0;
+    q0.filters = {Predicate{3, 7, 8},
+                  quant.Window(5, 1.0 / 7, 0.0, 3.0 / 7, &rng)};
+    w.push_back(q0);
+    // T1': bulk orders (quantity >= 45) committed in a quarter window.
+    Query q1;
+    q1.type = 1;
+    q1.filters = {Predicate{0, 45, 50},
+                  quant.Window(6, 0.25 / 7, 0.0, 1.0, &rng)};
+    w.push_back(q1);
+    // T2': cheapest orders with no discount.
+    Query q2;
+    q2.type = 2;
+    q2.filters = {quant.Range(1, 0.0, 0.05), Predicate{2, 0, 1}};
+    w.push_back(q2);
+    // T3': received in one month with a steep discount.
+    Query q3;
+    q3.type = 3;
+    q3.filters = {quant.Window(7, 1.0 / 84, 0.0, 1.0, &rng),
+                  Predicate{2, 9, 10}};
+    w.push_back(q3);
+    // T4': one ship mode, mid quantities, mid prices.
+    Query q4;
+    Value mode = static_cast<Value>(rng.NextBelow(7));
+    q4.type = 4;
+    q4.filters = {Predicate{4, mode, mode}, Predicate{0, 20, 30},
+                  quant.Window(1, 0.20, 0.0, 1.0, &rng)};
+    w.push_back(q4);
+  }
+  return w;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,27 @@
+// Synthetic emulation of the TPC-H lineitem fact table and a workload of
+// TPC-H-style filters (§6.2): quantity, extended price (~ quantity), tax,
+// discount, ship mode, and the three tightly correlated dates. Five query
+// types, plus a second five-type workload for the Fig. 9a workload shift.
+#ifndef TSUNAMI_DATASETS_TPCH_H_
+#define TSUNAMI_DATASETS_TPCH_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Dimensions: 0 quantity, 1 extended_price (cents), 2 discount (%),
+/// 3 tax (%), 4 ship_mode (7 values), 5 ship_date, 6 commit_date,
+/// 7 receipt_date (days).
+Benchmark MakeTpchBenchmark(int64_t rows, uint64_t seed = 4,
+                            int queries_per_type = 100);
+
+/// Five *new* query types over the same data (the midnight workload shift
+/// of Fig. 9a).
+Workload MakeTpchShiftedWorkload(const Dataset& data, uint64_t seed = 5,
+                                 int queries_per_type = 100);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_DATASETS_TPCH_H_

@@ -1,0 +1,50 @@
+#include "src/datasets/workload_builder.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tsunami {
+
+ColumnQuantiles::ColumnQuantiles(const Dataset& data, int64_t max_sample,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  int64_t n = data.size();
+  int64_t take = std::min(n, max_sample);
+  sorted_.resize(data.dims());
+  for (int d = 0; d < data.dims(); ++d) {
+    sorted_[d].resize(take);
+    for (int64_t i = 0; i < take; ++i) {
+      int64_t row = n <= max_sample ? i : static_cast<int64_t>(rng.NextBelow(n));
+      sorted_[d][i] = data.at(row, d);
+    }
+    std::sort(sorted_[d].begin(), sorted_[d].end());
+  }
+}
+
+Value ColumnQuantiles::Q(int dim, double q) const {
+  const std::vector<Value>& col = sorted_[dim];
+  if (col.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t idx = static_cast<int64_t>(q * (col.size() - 1) + 0.5);
+  return col[idx];
+}
+
+Predicate ColumnQuantiles::Range(int dim, double q_lo, double q_hi) const {
+  return Predicate{dim, Q(dim, q_lo), Q(dim, q_hi)};
+}
+
+Predicate ColumnQuantiles::Window(int dim, double width, double lo_q,
+                                  double hi_q, Rng* rng) const {
+  double span = std::max(hi_q - lo_q - width, 0.0);
+  double start = lo_q + rng->NextDouble() * span;
+  return Range(dim, start, start + width);
+}
+
+int64_t RowsFromEnv(int64_t fallback) {
+  const char* env = std::getenv("TSUNAMI_SCALE_ROWS");
+  if (env == nullptr) return fallback;
+  int64_t rows = std::atoll(env);
+  return rows > 0 ? rows : fallback;
+}
+
+}  // namespace tsunami

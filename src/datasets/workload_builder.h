@@ -1,0 +1,41 @@
+// Helpers for synthesizing workloads: quantile-based predicate construction
+// so generated queries hit the selectivity ranges the paper reports (§6.2).
+#ifndef TSUNAMI_DATASETS_WORKLOAD_BUILDER_H_
+#define TSUNAMI_DATASETS_WORKLOAD_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Per-dimension sorted value samples for quantile lookups.
+class ColumnQuantiles {
+ public:
+  explicit ColumnQuantiles(const Dataset& data, int64_t max_sample = 100000,
+                           uint64_t seed = 99);
+
+  /// Value at quantile q in [0, 1] of dimension `dim`.
+  Value Q(int dim, double q) const;
+
+  /// Inclusive range predicate covering quantiles [q_lo, q_hi] of `dim`.
+  Predicate Range(int dim, double q_lo, double q_hi) const;
+
+  /// Range of quantile-width `width` whose start is uniform in
+  /// [lo_q, hi_q - width] (a "window" predicate).
+  Predicate Window(int dim, double width, double lo_q, double hi_q,
+                   Rng* rng) const;
+
+ private:
+  std::vector<std::vector<Value>> sorted_;
+};
+
+/// Number of rows for generated datasets: the TSUNAMI_SCALE_ROWS environment
+/// variable if set, else `fallback`.
+int64_t RowsFromEnv(int64_t fallback);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_DATASETS_WORKLOAD_BUILDER_H_

@@ -1,0 +1,40 @@
+#include "src/exec/runner.h"
+
+#include "src/common/stats.h"
+
+namespace tsunami {
+
+std::vector<QueryResult> RunWorkload(const MultiDimIndex& index,
+                                     const Workload& workload,
+                                     ThreadPool* pool) {
+  std::vector<QueryResult> results(workload.size());
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      results[i] = index.Execute(workload[i]);
+    }
+    return results;
+  }
+  pool->ParallelFor(0, static_cast<int64_t>(workload.size()), 4,
+                    [&](int64_t i) { results[i] = index.Execute(workload[i]); });
+  return results;
+}
+
+WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,
+                                 const Workload& workload,
+                                 ThreadPool* pool) {
+  WorkloadRunStats stats;
+  Timer timer;
+  std::vector<QueryResult> results = RunWorkload(index, workload, pool);
+  stats.total_seconds = timer.ElapsedSeconds();
+  if (!workload.empty()) {
+    stats.avg_query_micros = stats.total_seconds * 1e6 / workload.size();
+  }
+  for (const QueryResult& r : results) {
+    stats.total_scanned += r.scanned;
+    stats.total_matched += r.matched;
+    stats.total_cell_ranges += r.cell_ranges;
+  }
+  return stats;
+}
+
+}  // namespace tsunami

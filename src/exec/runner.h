@@ -1,0 +1,39 @@
+// Batch workload execution over any index, optionally in parallel. Built
+// indexes are immutable and their Execute() paths are thread-safe, so
+// queries parallelize without coordination.
+#ifndef TSUNAMI_EXEC_RUNNER_H_
+#define TSUNAMI_EXEC_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/index.h"
+#include "src/common/types.h"
+#include "src/exec/thread_pool.h"
+
+namespace tsunami {
+
+/// Per-run aggregate counters.
+struct WorkloadRunStats {
+  double total_seconds = 0.0;
+  double avg_query_micros = 0.0;
+  int64_t total_scanned = 0;
+  int64_t total_matched = 0;
+  int64_t total_cell_ranges = 0;
+};
+
+/// Executes every query, in workload order. With a non-null pool the
+/// queries are spread across its threads; results are positionally stable
+/// either way.
+std::vector<QueryResult> RunWorkload(const MultiDimIndex& index,
+                                     const Workload& workload,
+                                     ThreadPool* pool = nullptr);
+
+/// Executes and times the workload, returning aggregate counters.
+WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,
+                                 const Workload& workload,
+                                 ThreadPool* pool = nullptr);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_EXEC_RUNNER_H_

@@ -1,0 +1,97 @@
+#include "src/exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace tsunami {
+
+ThreadPool::ThreadPool(int threads) {
+  threads = std::max(threads, 0);
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // Inline pool.
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<int64_t>(grain, 1);
+  if (workers_.empty() || end - begin <= grain) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Bound the number of chunks so tiny grains do not flood the queue.
+  int64_t chunks = std::min<int64_t>((end - begin + grain - 1) / grain,
+                                     8 * num_threads());
+  int64_t step = (end - begin + chunks - 1) / chunks;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int64_t remaining = 0;
+  for (int64_t lo = begin; lo < end; lo += step) ++remaining;
+  int64_t pending = remaining;
+  for (int64_t lo = begin; lo < end; lo += step) {
+    int64_t hi = std::min(lo + step, end);
+    Submit([&, lo, hi] {
+      for (int64_t i = lo; i < hi; ++i) fn(i);
+      std::unique_lock<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+  (void)remaining;
+}
+
+int ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace tsunami

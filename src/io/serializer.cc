@@ -1,0 +1,250 @@
+#include "src/io/serializer.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace tsunami {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x544E534D;  // "TSNM" read little-endian.
+constexpr uint32_t kFormatVersion = 1;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void BinaryWriter::PutFixed32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutFixed64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutVarU64(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void BinaryWriter::PutVarI64(int64_t v) {
+  // Zigzag: small magnitudes of either sign stay short.
+  PutVarU64((static_cast<uint64_t>(v) << 1) ^
+            static_cast<uint64_t>(v >> 63));
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutVarU64(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+void BinaryWriter::PutValueVec(const std::vector<Value>& values) {
+  PutVarU64(values.size());
+  for (Value v : values) PutVarI64(v);
+}
+
+void BinaryWriter::PutIntVec(const std::vector<int>& values) {
+  PutVarU64(values.size());
+  for (int v : values) PutVarI64(v);
+}
+
+void BinaryWriter::PutDoubleVec(const std::vector<double>& values) {
+  PutVarU64(values.size());
+  for (double v : values) PutDouble(v);
+}
+
+uint8_t BinaryReader::GetU8() {
+  if (!ok_ || pos_ >= data_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t BinaryReader::GetFixed32() {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(GetU8()) << (8 * i);
+  return v;
+}
+
+uint64_t BinaryReader::GetFixed64() {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(GetU8()) << (8 * i);
+  return v;
+}
+
+uint64_t BinaryReader::GetVarU64() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t byte = GetU8();
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return ok_ ? v : 0;
+  }
+  ok_ = false;  // Varint longer than 10 bytes.
+  return 0;
+}
+
+int64_t BinaryReader::GetVarI64() {
+  uint64_t z = GetVarU64();
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+double BinaryReader::GetDouble() {
+  uint64_t bits = GetFixed64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+std::string BinaryReader::GetString() {
+  uint64_t n = GetVarU64();
+  if (!ok_ || n > remaining()) {
+    ok_ = false;
+    return std::string();
+  }
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+bool BinaryReader::GetValueVec(std::vector<Value>* out) {
+  uint64_t n = GetVarU64();
+  // A varint needs at least one byte per element: cheap truncation guard.
+  if (!ok_ || n > kMaxElements || n > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n && ok_; ++i) out->push_back(GetVarI64());
+  return ok_;
+}
+
+bool BinaryReader::GetIntVec(std::vector<int>* out) {
+  uint64_t n = GetVarU64();
+  if (!ok_ || n > kMaxElements || n > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n && ok_; ++i) {
+    out->push_back(static_cast<int>(GetVarI64()));
+  }
+  return ok_;
+}
+
+bool BinaryReader::GetDoubleVec(std::vector<double>* out) {
+  uint64_t n = GetVarU64();
+  if (!ok_ || n > remaining() / sizeof(double)) {
+    ok_ = false;
+    return false;
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n && ok_; ++i) out->push_back(GetDouble());
+  return ok_;
+}
+
+bool WriteFramedFile(const std::string& path, FileKind kind,
+                     std::string_view payload, std::string* error) {
+  BinaryWriter header;
+  header.PutFixed32(kMagic);
+  header.PutFixed32(kFormatVersion);
+  header.PutFixed32(static_cast<uint32_t>(kind));
+  header.PutFixed64(payload.size());
+  header.PutFixed32(Crc32(payload));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  bool ok =
+      std::fwrite(header.buffer().data(), 1, header.buffer().size(), f) ==
+          header.buffer().size() &&
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok && error != nullptr) *error = "short write to '" + path + "'";
+  return ok;
+}
+
+bool ReadFramedFile(const std::string& path, FileKind kind,
+                    std::string* payload, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail("cannot open '" + path + "'");
+  std::string contents;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    contents.append(chunk, n);
+  }
+  std::fclose(f);
+
+  constexpr size_t kHeaderSize = 4 + 4 + 4 + 8 + 4;
+  if (contents.size() < kHeaderSize) {
+    return fail("'" + path + "' is truncated (no header)");
+  }
+  BinaryReader header(std::string_view(contents).substr(0, kHeaderSize));
+  if (header.GetFixed32() != kMagic) {
+    return fail("'" + path + "' is not a tsunami file (bad magic)");
+  }
+  uint32_t version = header.GetFixed32();
+  if (version != kFormatVersion) {
+    return fail("'" + path + "' has unsupported format version " +
+                std::to_string(version));
+  }
+  uint32_t got_kind = header.GetFixed32();
+  if (got_kind != static_cast<uint32_t>(kind)) {
+    return fail("'" + path + "' holds object kind " +
+                std::to_string(got_kind) + ", expected " +
+                std::to_string(static_cast<uint32_t>(kind)));
+  }
+  uint64_t payload_size = header.GetFixed64();
+  uint32_t crc = header.GetFixed32();
+  if (contents.size() - kHeaderSize != payload_size) {
+    return fail("'" + path + "' is truncated (payload size mismatch)");
+  }
+  std::string_view body = std::string_view(contents).substr(kHeaderSize);
+  if (Crc32(body) != crc) {
+    return fail("'" + path + "' is corrupt (checksum mismatch)");
+  }
+  payload->assign(body);
+  return true;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,103 @@
+// Binary serialization substrate for index persistence (§8 "Persistence"):
+// a little-endian append-only writer, a bounds-checked reader, CRC-32
+// integrity checksums, and a framed file format with magic, version, and
+// payload checksum. No dependency above src/common.
+#ifndef TSUNAMI_IO_SERIALIZER_H_
+#define TSUNAMI_IO_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Appends primitive values to an in-memory buffer in little-endian order.
+/// Integers use LEB128 varints (signed values zigzag encoded), so sorted or
+/// small-magnitude columns stay compact.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutFixed32(uint32_t v);
+  void PutFixed64(uint64_t v);
+  void PutVarU64(uint64_t v);
+  void PutVarI64(int64_t v);  // Zigzag encoded.
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+
+  void PutValueVec(const std::vector<Value>& values);
+  void PutIntVec(const std::vector<int>& values);
+  void PutDoubleVec(const std::vector<double>& values);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Reads values written by BinaryWriter. Every accessor returns a default
+/// value and latches `ok() == false` on underflow or malformed input; the
+/// caller checks `ok()` once at the end of a structure.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  uint8_t GetU8();
+  bool GetBool() { return GetU8() != 0; }
+  uint32_t GetFixed32();
+  uint64_t GetFixed64();
+  uint64_t GetVarU64();
+  int64_t GetVarI64();
+  double GetDouble();
+  std::string GetString();
+
+  bool GetValueVec(std::vector<Value>* out);
+  bool GetIntVec(std::vector<int>* out);
+  bool GetDoubleVec(std::vector<double>* out);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// Marks the stream corrupt (used by callers on semantic errors, e.g. an
+  /// out-of-range enum value).
+  void MarkCorrupt() { ok_ = false; }
+
+ private:
+  /// Caps element counts read from the stream so a corrupt length prefix
+  /// cannot trigger a huge allocation.
+  static constexpr uint64_t kMaxElements = uint64_t{1} << 40;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Framed file kinds (one per top-level object we persist).
+enum class FileKind : uint32_t {
+  kDataset = 1,
+  kWorkload = 2,
+  kTsunamiIndex = 3,
+};
+
+/// Writes `payload` to `path` framed as:
+///   magic "TSNM" | format version | kind | payload length | crc32 | payload
+/// Returns false (with `error` set) on I/O failure.
+bool WriteFramedFile(const std::string& path, FileKind kind,
+                     std::string_view payload, std::string* error);
+
+/// Reads and validates a framed file; fails on missing file, bad magic,
+/// unsupported version, kind mismatch, truncation, or checksum mismatch.
+bool ReadFramedFile(const std::string& path, FileKind kind,
+                    std::string* payload, std::string* error);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_IO_SERIALIZER_H_

@@ -1,0 +1,42 @@
+#include "src/query/engine.h"
+
+#include "src/query/bool_expr.h"
+
+namespace tsunami {
+
+SqlResult QueryEngine::Run(std::string_view sql) const {
+  SqlResult out;
+  ParseResult parsed = ParseSql(sql, schema_);
+  if (!parsed.ok) {
+    out.error = parsed.error;
+    return out;
+  }
+  out.query = parsed.query;
+  if (parsed.disjunctive) {
+    // OR / NOT / IN: serve the clause as a union of disjoint rectangles,
+    // one index query per rectangle (bool_expr.h).
+    NormalizeResult norm = ToDisjointBoxes(
+        parsed.where, static_cast<int>(schema_.columns.size()));
+    if (!norm.ok) {
+      out.error = norm.error;
+      return out;
+    }
+    out.ok = true;
+    out.stats = ExecuteBoxUnion(*index_, norm.boxes, parsed.query);
+    out.value = FinalAggValue(parsed.query, out.stats);
+    return out;
+  }
+  out.ok = true;
+  if (parsed.empty_result) {
+    // An unsatisfiable predicate (empty range / unknown dictionary string):
+    // answer without touching the index, matching SQL semantics.
+    out.stats = InitResult(parsed.query);
+    out.value = FinalAggValue(parsed.query, out.stats);
+    return out;
+  }
+  out.stats = index_->Execute(parsed.query);
+  out.value = FinalAggValue(parsed.query, out.stats);
+  return out;
+}
+
+}  // namespace tsunami

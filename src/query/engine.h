@@ -1,0 +1,52 @@
+// Executes SQL-subset statements against any MultiDimIndex. This is the
+// thin "analytics accelerator" veneer the paper envisions (§1: Tsunami as a
+// building block for in-memory analytics): parse, bind against the table
+// schema, delegate the filter to the index, finalize the aggregate.
+#ifndef TSUNAMI_QUERY_ENGINE_H_
+#define TSUNAMI_QUERY_ENGINE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/index.h"
+#include "src/common/types.h"
+#include "src/query/sql_parser.h"
+
+namespace tsunami {
+
+/// Outcome of running one statement.
+struct SqlResult {
+  bool ok = false;
+  std::string error;
+  Query query;         // The bound query (for inspection / EXPLAIN-style use).
+  QueryResult stats;   // Raw counters from the index.
+  double value = 0.0;  // Finalized aggregate (mean for AVG).
+};
+
+/// Binds a table schema to an index and runs SQL statements against it.
+/// The engine borrows the index and the schema's dictionaries; both must
+/// outlive it.
+class QueryEngine {
+ public:
+  QueryEngine(const MultiDimIndex* index, TableSchema schema)
+      : index_(index), schema_(std::move(schema)) {}
+
+  /// Parses, binds, and executes one statement.
+  SqlResult Run(std::string_view sql) const;
+
+  /// Parses and binds without executing (EXPLAIN-style).
+  ParseResult Prepare(std::string_view sql) const {
+    return ParseSql(sql, schema_);
+  }
+
+  const TableSchema& schema() const { return schema_; }
+  const MultiDimIndex& index() const { return *index_; }
+
+ private:
+  const MultiDimIndex* index_;
+  TableSchema schema_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_QUERY_ENGINE_H_

@@ -1,0 +1,74 @@
+// A small SQL-subset parser for the query class Tsunami serves (§2):
+//
+//   SELECT <agg> FROM <table> WHERE <expr>
+//
+// where <agg> is COUNT(*), SUM(col), MIN(col), MAX(col) or AVG(col), and
+// <expr> is a boolean combination (AND / OR / NOT, with parentheses; AND
+// binds tighter than OR) of predicates over single columns: `col <= 5`,
+// `3 < col`, `col = 'JFK'`, `col != 7`, `col BETWEEN 2 AND 7`,
+// `col [NOT] IN (1, 2, 3)`. Conjunctions of predicates are merged into one
+// rectangle (the paper's query class); anything with OR / NOT / IN binds to
+// a BoolExpr the engine serves as a union of disjoint rectangles. The
+// parser binds column names against a TableSchema, dictionary-encodes
+// string literals, and scales decimal literals to the column's fixed-point
+// integer domain (§6.1).
+#ifndef TSUNAMI_QUERY_SQL_PARSER_H_
+#define TSUNAMI_QUERY_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/query/bool_expr.h"
+#include "src/storage/dictionary.h"
+
+namespace tsunami {
+
+/// Schema the parser binds column names against. Copies nothing heavy: the
+/// dictionaries are borrowed pointers that must outlive the schema.
+struct TableSchema {
+  std::string table_name;
+  std::vector<std::string> columns;
+  /// Power-of-ten fixed-point scale per column (§6.1: floating point values
+  /// are scaled by the smallest power of 10 that makes them integers).
+  /// A scale of 100 means the stored value for literal 12.34 is 1234.
+  /// Empty means every column has scale 1.
+  std::vector<int64_t> scales;
+  /// Optional order-preserving dictionary per column for string-valued
+  /// columns; empty vector or null entries mean "numeric column".
+  std::vector<const Dictionary*> dictionaries;
+
+  /// Index of `name` in `columns` (case-insensitive), or -1.
+  int ColumnIndex(std::string_view name) const;
+  int64_t ScaleOf(int column) const;
+  const Dictionary* DictionaryOf(int column) const;
+};
+
+/// Outcome of parsing one statement. On failure, `error` names the offending
+/// token and its character offset. On success, `query` is fully bound.
+struct ParseResult {
+  bool ok = false;
+  std::string error;
+  Query query;
+  /// True when a predicate is unsatisfiable (e.g. equality with a string
+  /// not present in the dictionary, or an empty numeric range). The query
+  /// is still well-formed; it just matches no rows. Only meaningful for
+  /// conjunctive statements.
+  bool empty_result = false;
+  /// The bound WHERE clause as a boolean expression (TRUE when absent).
+  BoolExpr where;
+  /// False when the WHERE clause is a pure conjunction — `query` then holds
+  /// the merged rectangle and can be executed directly. True when the
+  /// clause uses OR / NOT / IN in a way that denotes a union of rectangles;
+  /// execute via ToDisjointBoxes + ExecuteBoxUnion (`query` carries only
+  /// the aggregate settings).
+  bool disjunctive = false;
+};
+
+/// Parses and binds one statement against `schema`. Never throws.
+ParseResult ParseSql(std::string_view sql, const TableSchema& schema);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_QUERY_SQL_PARSER_H_

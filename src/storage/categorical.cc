@@ -1,0 +1,117 @@
+#include "src/storage/categorical.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tsunami {
+
+std::vector<Value> CoAccessOrder(
+    int64_t num_values, const std::vector<std::vector<Value>>& access_sets) {
+  // Pairwise co-access weights and per-value access counts.
+  std::map<std::pair<Value, Value>, int64_t> weight;
+  std::vector<int64_t> accesses(num_values, 0);
+  for (const std::vector<Value>& set : access_sets) {
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (set[i] < 0 || set[i] >= num_values) continue;
+      ++accesses[set[i]];
+      for (size_t j = i + 1; j < set.size(); ++j) {
+        if (set[j] < 0 || set[j] >= num_values || set[i] == set[j]) continue;
+        Value a = std::min(set[i], set[j]);
+        Value b = std::max(set[i], set[j]);
+        ++weight[{a, b}];
+      }
+    }
+  }
+
+  std::vector<char> placed(num_values, 0);
+  std::vector<Value> order;
+  order.reserve(num_values);
+  auto pair_weight = [&](Value a, Value b) {
+    auto it = weight.find({std::min(a, b), std::max(a, b)});
+    return it == weight.end() ? int64_t{0} : it->second;
+  };
+
+  // Greedy chains: seed with the most-accessed unplaced value, then keep
+  // appending the unplaced value most co-accessed with the current tail
+  // (falling back to overall access count on ties/zero weight).
+  while (true) {
+    Value seed = -1;
+    for (Value v = 0; v < num_values; ++v) {
+      if (!placed[v] && accesses[v] > 0 &&
+          (seed < 0 || accesses[v] > accesses[seed])) {
+        seed = v;
+      }
+    }
+    if (seed < 0) break;
+    placed[seed] = 1;
+    order.push_back(seed);
+    Value tail = seed;
+    while (true) {
+      Value best = -1;
+      int64_t best_w = 0;
+      for (Value v = 0; v < num_values; ++v) {
+        if (placed[v]) continue;
+        int64_t w = pair_weight(tail, v);
+        if (w > best_w || (w == best_w && w > 0 && best >= 0 &&
+                           accesses[v] > accesses[best])) {
+          best = v;
+          best_w = w;
+        }
+      }
+      if (best < 0 || best_w == 0) break;
+      placed[best] = 1;
+      order.push_back(best);
+      tail = best;
+    }
+  }
+  // Never-accessed (or chain-orphaned) values keep their relative order.
+  for (Value v = 0; v < num_values; ++v) {
+    if (!placed[v]) order.push_back(v);
+  }
+  return order;
+}
+
+std::vector<Value> InvertOrder(const std::vector<Value>& order) {
+  std::vector<Value> new_code(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    new_code[order[i]] = static_cast<Value>(i);
+  }
+  return new_code;
+}
+
+void RemapColumn(Dataset* data, int dim, const std::vector<Value>& new_code) {
+  for (int64_t r = 0; r < data->size(); ++r) {
+    Value old = data->at(r, dim);
+    if (old >= 0 && old < static_cast<Value>(new_code.size())) {
+      data->at(r, dim) = new_code[old];
+    }
+  }
+}
+
+Predicate CoveringRange(int dim, const std::vector<Value>& codes,
+                        const std::vector<Value>& new_code) {
+  Predicate p{dim, kValueMax, kValueMin};
+  for (Value c : codes) {
+    if (c < 0 || c >= static_cast<Value>(new_code.size())) continue;
+    p.lo = std::min(p.lo, new_code[c]);
+    p.hi = std::max(p.hi, new_code[c]);
+  }
+  return p;
+}
+
+int64_t OrderFragmentation(const std::vector<std::vector<Value>>& access_sets,
+                           const std::vector<Value>& new_code) {
+  int64_t total = 0;
+  for (const std::vector<Value>& set : access_sets) {
+    if (set.empty()) continue;
+    std::vector<Value> unique = set;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    Predicate span = CoveringRange(0, unique, new_code);
+    if (span.lo > span.hi) continue;
+    total += (span.hi - span.lo + 1) - static_cast<int64_t>(unique.size());
+  }
+  return total;
+}
+
+}  // namespace tsunami

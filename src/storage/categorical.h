@@ -1,0 +1,48 @@
+// Categorical dimension reordering (§8 "Categorical dimensions"):
+// categorical values have no meaningful sort order, so by default they sort
+// alphanumerically. Re-coding values so that ones commonly accessed
+// together sit adjacently lets a query's value set map to a narrow code
+// range, touching fewer grid partitions and points.
+#ifndef TSUNAMI_STORAGE_CATEGORICAL_H_
+#define TSUNAMI_STORAGE_CATEGORICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Computes a co-access-aware code order for a categorical dimension with
+/// codes in [0, num_values). `access_sets` holds, per query (or query
+/// template), the set of codes it accesses — e.g. the values of an IN-list
+/// or of repeated equality predicates of one query type.
+///
+/// Returns `order` where order[i] is the old code placed at new code i.
+/// Greedy chaining: starting from the most-accessed value, repeatedly
+/// append the value with the strongest co-access weight to the chain's
+/// tail. Never-accessed values keep their relative order at the end.
+std::vector<Value> CoAccessOrder(
+    int64_t num_values, const std::vector<std::vector<Value>>& access_sets);
+
+/// Inverts the order returned by CoAccessOrder: new_code[old_code].
+std::vector<Value> InvertOrder(const std::vector<Value>& order);
+
+/// Rewrites column `dim` of `data` in place with new codes.
+void RemapColumn(Dataset* data, int dim, const std::vector<Value>& new_code);
+
+/// Smallest inclusive code range covering all of `codes` after remapping —
+/// the predicate to use over the remapped column. (The range may still
+/// include codes outside the set; callers needing exactness keep per-value
+/// checks.)
+Predicate CoveringRange(int dim, const std::vector<Value>& codes,
+                        const std::vector<Value>& new_code);
+
+/// Sum over access sets of (covered span - set size): 0 means every set
+/// maps to a gap-free range. Used to quantify an order's quality.
+int64_t OrderFragmentation(const std::vector<std::vector<Value>>& access_sets,
+                           const std::vector<Value>& new_code);
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_STORAGE_CATEGORICAL_H_

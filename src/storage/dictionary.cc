@@ -1,0 +1,40 @@
+#include "src/storage/dictionary.h"
+
+#include <algorithm>
+
+namespace tsunami {
+
+Dictionary Dictionary::Build(std::vector<std::string> values) {
+  Dictionary d;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  d.sorted_ = std::move(values);
+  return d;
+}
+
+Value Dictionary::Encode(const std::string& s) const {
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(), s);
+  if (it == sorted_.end() || *it != s) return -1;
+  return it - sorted_.begin();
+}
+
+Value Dictionary::EncodeLowerBound(const std::string& s) const {
+  return std::lower_bound(sorted_.begin(), sorted_.end(), s) - sorted_.begin();
+}
+
+Value Dictionary::EncodeUpperBound(const std::string& s) const {
+  return static_cast<Value>(std::upper_bound(sorted_.begin(), sorted_.end(),
+                                             s) -
+                            sorted_.begin()) -
+         1;
+}
+
+int64_t Dictionary::SizeBytes() const {
+  int64_t bytes = 0;
+  for (const std::string& s : sorted_) {
+    bytes += static_cast<int64_t>(s.size()) + sizeof(std::string);
+  }
+  return bytes;
+}
+
+}  // namespace tsunami

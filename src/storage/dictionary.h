@@ -1,0 +1,44 @@
+// Order-preserving dictionary encoding for string attributes (§6.1: "any
+// string values are dictionary encoded prior to evaluation").
+#ifndef TSUNAMI_STORAGE_DICTIONARY_H_
+#define TSUNAMI_STORAGE_DICTIONARY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Maps strings to dense integer codes assigned in lexicographic order, so
+/// that range predicates over the encoded column correspond to lexicographic
+/// string ranges.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds the dictionary from (not necessarily unique or sorted) values.
+  static Dictionary Build(std::vector<std::string> values);
+
+  /// Code for `s`, or -1 if `s` was not in the dictionary.
+  Value Encode(const std::string& s) const;
+
+  /// Smallest code whose string is >= s (for lower range endpoints); equals
+  /// size() if all strings are < s.
+  Value EncodeLowerBound(const std::string& s) const;
+
+  /// Largest code whose string is <= s, or -1 if none.
+  Value EncodeUpperBound(const std::string& s) const;
+
+  const std::string& Decode(Value code) const { return sorted_[code]; }
+  int64_t size() const { return static_cast<int64_t>(sorted_.size()); }
+
+  int64_t SizeBytes() const;
+
+ private:
+  std::vector<std::string> sorted_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_STORAGE_DICTIONARY_H_

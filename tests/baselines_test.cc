@@ -1,0 +1,161 @@
+// Tests for the non-learned baselines: Morton-code properties, structural
+// invariants, and query correctness against a full scan.
+#include <gtest/gtest.h>
+
+#include "src/baselines/full_scan.h"
+#include "src/baselines/kdtree.h"
+#include "src/baselines/octree.h"
+#include "src/baselines/single_dim.h"
+#include "src/baselines/zorder.h"
+#include "src/common/random.h"
+#include "src/datasets/datasets.h"
+
+namespace tsunami {
+namespace {
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  Rng rng(61);
+  for (int trial = 0; trial < 200; ++trial) {
+    int dims = 2 + static_cast<int>(rng.NextBelow(6));
+    int bits = 1 + static_cast<int>(rng.NextBelow(63 / dims));
+    std::vector<uint32_t> coords(dims);
+    for (int d = 0; d < dims; ++d) {
+      coords[d] = static_cast<uint32_t>(rng.NextBelow(1u << bits));
+    }
+    uint64_t code = MortonEncode(coords, bits);
+    EXPECT_EQ(MortonDecode(code, dims, bits), coords);
+  }
+}
+
+TEST(MortonTest, MonotonePerCoordinate) {
+  // Increasing one coordinate (others fixed) increases the code; this is
+  // what makes the corner codes of a query box its z-range.
+  Rng rng(62);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint32_t> coords = {static_cast<uint32_t>(rng.NextBelow(255)),
+                                    static_cast<uint32_t>(rng.NextBelow(255)),
+                                    static_cast<uint32_t>(rng.NextBelow(255))};
+    uint64_t before = MortonEncode(coords, 8);
+    int d = static_cast<int>(rng.NextBelow(3));
+    coords[d] += 1;
+    EXPECT_LT(before, MortonEncode(coords, 8));
+  }
+}
+
+TEST(MortonTest, KnownInterleaving) {
+  // 2-D: (x=1, y=0) -> 0b01, (x=0, y=1) -> 0b10, (x=1, y=1) -> 0b11.
+  EXPECT_EQ(MortonEncode({1, 0}, 1), 1u);
+  EXPECT_EQ(MortonEncode({0, 1}, 1), 2u);
+  EXPECT_EQ(MortonEncode({1, 1}, 1), 3u);
+  EXPECT_EQ(MortonEncode({3, 0}, 2), 0b0101u);
+}
+
+TEST(SingleDimTest, PicksMostSelectiveDimension) {
+  Benchmark bench = MakeUniformBenchmark(4, 3000, 63, 20);
+  // Force a workload that's very selective on dim 2 only.
+  Workload w;
+  for (int i = 0; i < 20; ++i) {
+    Query q;
+    q.filters = {Predicate{2, 0, 1000}, Predicate{0, 0, kValueMax}};
+    w.push_back(q);
+  }
+  SingleDimIndex index(bench.data, w);
+  EXPECT_EQ(index.sort_dim(), 2);
+}
+
+TEST(SingleDimTest, FullScanFallbackWithoutSortDimFilter) {
+  Benchmark bench = MakeUniformBenchmark(3, 2000, 64, 10);
+  SingleDimIndex index(bench.data, bench.workload, /*forced_sort_dim=*/0);
+  Query q;
+  q.filters = {Predicate{1, 0, 500000000}};
+  QueryResult r = index.Execute(q);
+  EXPECT_EQ(r.scanned, bench.data.size());
+}
+
+TEST(ZOrderTest, PageCountMatchesPageSize) {
+  Benchmark bench = MakeUniformBenchmark(3, 10000, 65, 5);
+  ZOrderIndex::Options options;
+  options.page_size = 1000;
+  ZOrderIndex index(bench.data, options);
+  EXPECT_EQ(index.num_pages(), 10);
+}
+
+TEST(KdTreeTest, LeavesRespectPageSize) {
+  Benchmark bench = MakeUniformBenchmark(3, 20000, 66, 5);
+  KdTree::Options options;
+  options.page_size = 512;
+  KdTree index(bench.data, bench.workload, options);
+  EXPECT_GE(index.num_leaves(), 20000 / 512);
+  EXPECT_EQ(index.num_nodes(), 2 * index.num_leaves() - 1);
+}
+
+TEST(OctreeTest, HandlesDuplicateHeavyData) {
+  // All rows identical: the tree must terminate and stay correct.
+  Dataset data(2, {});
+  for (int i = 0; i < 5000; ++i) data.AppendRow({7, 7});
+  HyperOctree index(data);
+  Query q;
+  q.filters = {Predicate{0, 0, 10}};
+  EXPECT_EQ(index.Execute(q).agg, 5000);
+  q.filters = {Predicate{0, 8, 10}};
+  EXPECT_EQ(index.Execute(q).agg, 0);
+}
+
+// Property sweep: every baseline matches the full scan on every dataset.
+struct BaselineCase {
+  int index_kind;  // 0 single-dim, 1 z-order, 2 octree, 3 kd-tree.
+  int dataset;     // 0 tpch, 1 taxi, 2 perfmon, 3 stocks, 4 correlated.
+};
+
+class BaselineCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BaselineCorrectness, MatchesFullScan) {
+  auto [kind, dataset] = GetParam();
+  Benchmark bench;
+  switch (dataset) {
+    case 0: bench = MakeTpchBenchmark(6000, 71, 8); break;
+    case 1: bench = MakeTaxiBenchmark(6000, 72, 8); break;
+    case 2: bench = MakePerfmonBenchmark(6000, 73, 8); break;
+    case 3: bench = MakeStocksBenchmark(6000, 74, 8); break;
+    default: bench = MakeScalingBenchmark(6, 6000, true, 75, 8); break;
+  }
+  FullScanIndex reference(bench.data);
+  std::unique_ptr<MultiDimIndex> index;
+  switch (kind) {
+    case 0:
+      index = std::make_unique<SingleDimIndex>(bench.data, bench.workload);
+      break;
+    case 1: {
+      ZOrderIndex::Options options;
+      options.page_size = 512;
+      index = std::make_unique<ZOrderIndex>(bench.data, options);
+      break;
+    }
+    case 2: {
+      HyperOctree::Options options;
+      options.page_size = 512;
+      index = std::make_unique<HyperOctree>(bench.data, options);
+      break;
+    }
+    default: {
+      KdTree::Options options;
+      options.page_size = 512;
+      index = std::make_unique<KdTree>(bench.data, bench.workload, options);
+      break;
+    }
+  }
+  for (const Query& q : bench.workload) {
+    QueryResult expected = reference.Execute(q);
+    QueryResult got = index->Execute(q);
+    ASSERT_EQ(got.agg, expected.agg) << index->Name() << "/" << bench.name;
+  }
+  EXPECT_GE(index->IndexSizeBytes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BaselineCorrectness,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 5)));
+
+}  // namespace
+}  // namespace tsunami

@@ -1,0 +1,103 @@
+// Tests for categorical co-access reordering (§8 "Categorical dimensions").
+#include <gtest/gtest.h>
+
+#include "src/baselines/full_scan.h"
+#include "src/common/random.h"
+#include "src/core/tsunami.h"
+#include "src/storage/categorical.h"
+
+namespace tsunami {
+namespace {
+
+TEST(CoAccessOrderTest, CoAccessedValuesBecomeAdjacent) {
+  // Queries access {0, 7} together and {3, 9} together.
+  std::vector<std::vector<Value>> sets = {{0, 7}, {0, 7}, {3, 9}, {3, 9}};
+  std::vector<Value> order = CoAccessOrder(10, sets);
+  std::vector<Value> new_code = InvertOrder(order);
+  EXPECT_EQ(std::abs(new_code[0] - new_code[7]), 1);
+  EXPECT_EQ(std::abs(new_code[3] - new_code[9]), 1);
+  EXPECT_EQ(OrderFragmentation(sets, new_code), 0);
+}
+
+TEST(CoAccessOrderTest, AlphabeticOrderIsFragmented) {
+  std::vector<std::vector<Value>> sets = {{0, 7}, {0, 7}, {3, 9}, {3, 9}};
+  std::vector<Value> identity(10);
+  for (Value v = 0; v < 10; ++v) identity[v] = v;
+  // {0,7} spans 8 codes for 2 values; {3,9} spans 7 codes for 2 values.
+  EXPECT_EQ(OrderFragmentation(sets, identity), 2 * 6 + 2 * 5);
+}
+
+TEST(CoAccessOrderTest, OrderIsAPermutation) {
+  Rng rng(501);
+  std::vector<std::vector<Value>> sets;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Value> set;
+    for (int j = 0; j < 3; ++j) {
+      set.push_back(static_cast<Value>(rng.NextBelow(40)));
+    }
+    sets.push_back(set);
+  }
+  std::vector<Value> order = CoAccessOrder(40, sets);
+  ASSERT_EQ(order.size(), 40u);
+  std::vector<char> seen(40, 0);
+  for (Value v : order) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 40);
+    ASSERT_FALSE(seen[v]) << "duplicate " << v;
+    seen[v] = 1;
+  }
+}
+
+TEST(CoAccessOrderTest, UnaccessedValuesKeepRelativeOrder) {
+  std::vector<std::vector<Value>> sets = {{5, 6}};
+  std::vector<Value> order = CoAccessOrder(8, sets);
+  // 5 and 6 lead; 0,1,2,3,4,7 follow in original order.
+  std::vector<Value> tail(order.begin() + 2, order.end());
+  EXPECT_EQ(tail, (std::vector<Value>{0, 1, 2, 3, 4, 7}));
+}
+
+TEST(CoAccessOrderTest, ChainKeepsStrongPairsAdjacent) {
+  // 0-1 strong, 1-2 strong, 2-3 strong: every strongly co-accessed pair
+  // must end up adjacent (the exact chain orientation is free).
+  std::vector<std::vector<Value>> sets;
+  for (int i = 0; i < 10; ++i) sets.push_back({0, 1});
+  for (int i = 0; i < 9; ++i) sets.push_back({1, 2});
+  for (int i = 0; i < 8; ++i) sets.push_back({2, 3});
+  std::vector<Value> new_code = InvertOrder(CoAccessOrder(4, sets));
+  EXPECT_EQ(std::abs(new_code[0] - new_code[1]), 1);
+  EXPECT_LE(std::abs(new_code[1] - new_code[2]), 2);
+  EXPECT_LE(std::abs(new_code[2] - new_code[3]), 2);
+  EXPECT_LE(OrderFragmentation(sets, new_code), 10);
+}
+
+TEST(CoAccessOrderTest, RemapAndQueryEndToEnd) {
+  // A categorical "ship mode" column where queries co-access modes {2, 5}.
+  // After reordering, a single range predicate covers exactly those modes
+  // and an index over the remapped data answers it with fewer scans.
+  Rng rng(502);
+  Dataset data(2, {});
+  for (int i = 0; i < 20000; ++i) {
+    data.AppendRow({static_cast<Value>(rng.NextBelow(7)),
+                    rng.UniformValue(0, 1000000)});
+  }
+  std::vector<std::vector<Value>> sets(40, std::vector<Value>{2, 5});
+  std::vector<Value> new_code = InvertOrder(CoAccessOrder(7, sets));
+  Dataset remapped = data;
+  RemapColumn(&remapped, 0, new_code);
+
+  // The covering range over the remapped codes selects exactly {2, 5}.
+  Predicate range = CoveringRange(0, {2, 5}, new_code);
+  EXPECT_EQ(range.hi - range.lo, 1);
+  int64_t expected = 0;
+  for (int64_t r = 0; r < data.size(); ++r) {
+    Value v = data.at(r, 0);
+    expected += v == 2 || v == 5;
+  }
+  FullScanIndex reference(remapped);
+  Query q;
+  q.filters = {range};
+  EXPECT_EQ(reference.Execute(q).agg, expected);
+}
+
+}  // namespace
+}  // namespace tsunami

@@ -1,0 +1,178 @@
+// Tests for the CDF models: monotonicity, equi-depth partition balance,
+// RMI accuracy, and conditional-CDF semantics.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/cdf/cdf_model.h"
+#include "src/cdf/conditional_cdf.h"
+#include "src/common/random.h"
+
+namespace tsunami {
+namespace {
+
+std::vector<Value> SkewedColumn(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> column(n);
+  for (int i = 0; i < n; ++i) {
+    column[i] = static_cast<Value>(rng.NextExponential(1e-5));
+  }
+  return column;
+}
+
+TEST(EquiDepthCdfTest, MonotoneAndBounded) {
+  auto model = EquiDepthCdf::Build(SkewedColumn(20000, 91), 256);
+  double prev = -1.0;
+  for (Value v = -1000; v < 2000000; v += 997) {
+    double c = model->Cdf(v);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(EquiDepthCdfTest, PartitionsAreBalanced) {
+  std::vector<Value> column = SkewedColumn(40000, 92);
+  auto model = EquiDepthCdf::Build(column, 512);
+  const int p = 16;
+  std::vector<int64_t> counts(p, 0);
+  for (Value v : column) ++counts[model->PartitionOf(v, p)];
+  int64_t expected = static_cast<int64_t>(column.size()) / p;
+  for (int64_t c : counts) {
+    EXPECT_GT(c, expected / 2);
+    EXPECT_LT(c, expected * 2);
+  }
+}
+
+TEST(EquiDepthCdfTest, PartitionRangeBracketsMatchingValues) {
+  std::vector<Value> column = SkewedColumn(20000, 93);
+  auto model = EquiDepthCdf::Build(column, 256);
+  const int p = 13;
+  Rng rng(94);
+  for (int trial = 0; trial < 200; ++trial) {
+    Value lo = rng.UniformValue(0, 300000);
+    Value hi = lo + rng.UniformValue(0, 300000);
+    auto [l, h] = model->PartitionRange(lo, hi, p);
+    ASSERT_LE(l, h);
+    for (Value v : {lo, (lo + hi) / 2, hi}) {
+      int part = model->PartitionOf(v, p);
+      EXPECT_GE(part, l);
+      EXPECT_LE(part, h);
+    }
+  }
+}
+
+TEST(EquiDepthCdfTest, DuplicateHeavyColumn) {
+  std::vector<Value> column(10000, 42);
+  for (int i = 0; i < 100; ++i) column.push_back(43);
+  auto model = EquiDepthCdf::Build(column, 64);
+  // All duplicates of 42 must land in one partition.
+  EXPECT_EQ(model->PartitionOf(42, 8), model->PartitionOf(42, 8));
+  EXPECT_LE(model->Cdf(42), 0.01);
+  EXPECT_GT(model->Cdf(44), 0.99);
+}
+
+TEST(EquiDepthCdfTest, EmptyColumn) {
+  auto model = EquiDepthCdf::Build({}, 16);
+  int part = model->PartitionOf(5, 4);
+  EXPECT_GE(part, 0);  // Degenerate model still clamps into range.
+  EXPECT_LT(part, 4);
+}
+
+TEST(RmiCdfTest, MonotoneAndAccurate) {
+  std::vector<Value> column = SkewedColumn(50000, 95);
+  auto model = RmiCdf::Build(column, 128);
+  std::vector<Value> sorted = column;
+  std::sort(sorted.begin(), sorted.end());
+  double prev = -1.0;
+  double max_err = 0.0;
+  for (size_t i = 0; i < sorted.size(); i += 97) {
+    double c = model->Cdf(sorted[i]);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = std::max(prev, c);
+    double truth = static_cast<double>(i) / sorted.size();
+    max_err = std::max(max_err, std::abs(c - truth));
+  }
+  EXPECT_LT(max_err, 0.05);  // A 128-leaf RMI should be within 5%.
+}
+
+TEST(RmiCdfTest, SmallerThanData) {
+  std::vector<Value> column = SkewedColumn(50000, 96);
+  auto model = RmiCdf::Build(column, 64);
+  EXPECT_LT(model->SizeBytes(),
+            static_cast<int64_t>(column.size()) * 8 / 10);
+}
+
+TEST(ConditionalCdfTest, PerBasePartitionsAreBalanced) {
+  // Y strongly depends on X: y ~ x + noise.
+  Rng rng(97);
+  const int n = 30000, pb = 8, pd = 8;
+  std::vector<Value> xs(n), ys(n);
+  std::vector<int> base(n);
+  for (int i = 0; i < n; ++i) {
+    xs[i] = rng.UniformValue(0, 79999);
+    ys[i] = xs[i] + rng.UniformValue(-2000, 2000);
+    base[i] = static_cast<int>(xs[i] / 10000);
+  }
+  ConditionalCdf ccdf = ConditionalCdf::Build(
+      n, pb, pd, [&](int64_t i) { return base[i]; },
+      [&](int64_t i) { return ys[i]; });
+  std::vector<std::vector<int64_t>> counts(pb, std::vector<int64_t>(pd, 0));
+  for (int i = 0; i < n; ++i) ++counts[base[i]][ccdf.PartitionOf(base[i], ys[i])];
+  for (int bp = 0; bp < pb; ++bp) {
+    int64_t total = 0;
+    for (int64_t c : counts[bp]) total += c;
+    for (int64_t c : counts[bp]) {
+      EXPECT_GT(c, total / pd / 3);
+      EXPECT_LT(c, total / pd * 3);
+    }
+  }
+}
+
+TEST(ConditionalCdfTest, EmptyRangeDetection) {
+  // Base partition 0 holds ys in [0, 100); partition 1 ys in [1000, 1100).
+  const int n = 2000;
+  std::vector<Value> ys(n);
+  for (int i = 0; i < n; ++i) {
+    ys[i] = i < n / 2 ? i % 100 : 1000 + i % 100;
+  }
+  ConditionalCdf ccdf = ConditionalCdf::Build(
+      n, 2, 4, [&](int64_t i) { return i < n / 2 ? 0 : 1; },
+      [&](int64_t i) { return ys[i]; });
+  // A filter over [500, 900] touches no points of either base partition:
+  // the "guaranteed no points" skip of Fig. 6.
+  auto [l0, h0] = ccdf.PartitionRange(0, 500, 900);
+  EXPECT_GT(l0, h0);
+  auto [l1, h1] = ccdf.PartitionRange(1, 500, 900);
+  EXPECT_GT(l1, h1);
+  // A filter over [0, 2000] intersects everything.
+  auto [l2, h2] = ccdf.PartitionRange(0, 0, 2000);
+  EXPECT_EQ(l2, 0);
+  EXPECT_EQ(h2, 3);
+}
+
+TEST(ConditionalCdfTest, CoversPartitionSemantics) {
+  const int n = 1000;
+  ConditionalCdf ccdf = ConditionalCdf::Build(
+      n, 1, 2, [](int64_t) { return 0; },
+      [](int64_t i) { return static_cast<Value>(i); });
+  // Partition 0 covers [0, 500), partition 1 covers [500, 999].
+  EXPECT_TRUE(ccdf.CoversPartition(0, 0, 0, 499));
+  EXPECT_FALSE(ccdf.CoversPartition(0, 0, 1, 499));
+  EXPECT_TRUE(ccdf.CoversPartition(0, 1, 500, 999));
+  EXPECT_FALSE(ccdf.CoversPartition(0, 1, 500, 998));
+}
+
+TEST(ConditionalCdfTest, EmptyBasePartition) {
+  ConditionalCdf ccdf = ConditionalCdf::Build(
+      100, 4, 4, [](int64_t) { return 1; },  // Everything in base part 1.
+      [](int64_t i) { return static_cast<Value>(i); });
+  auto [l, h] = ccdf.PartitionRange(0, 0, 1000);  // Empty base partition.
+  EXPECT_GT(l, h);
+  EXPECT_GT(ccdf.SizeBytes(), 0);
+}
+
+}  // namespace
+}  // namespace tsunami

@@ -1,0 +1,170 @@
+// Tests for the dataset emulators: schema shape, documented correlations,
+// workload selectivity ranges, and generator determinism (§6.2, §6.5).
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/common/workload_stats.h"
+#include "src/datasets/datasets.h"
+
+namespace tsunami {
+namespace {
+
+double DimCorrelation(const Dataset& data, int x, int y) {
+  std::vector<double> xs, ys;
+  for (int64_t r = 0; r < data.size(); ++r) {
+    xs.push_back(static_cast<double>(data.at(r, x)));
+    ys.push_back(static_cast<double>(data.at(r, y)));
+  }
+  return PearsonCorrelation(xs, ys);
+}
+
+TEST(TaxiTest, SchemaAndCorrelations) {
+  Benchmark bench = MakeTaxiBenchmark(20000, 1, 10);
+  EXPECT_EQ(bench.data.dims(), 9);
+  EXPECT_EQ(bench.data.size(), 20000);
+  EXPECT_EQ(bench.num_query_types, 6);
+  EXPECT_EQ(bench.workload.size(), 60u);
+  // Documented correlations: dropoff ~ pickup, fare ~ distance, total ~ fare.
+  EXPECT_GT(DimCorrelation(bench.data, 0, 1), 0.99);
+  EXPECT_GT(DimCorrelation(bench.data, 3, 4), 0.8);
+  EXPECT_GT(DimCorrelation(bench.data, 4, 6), 0.9);
+}
+
+TEST(TaxiTest, SelectivitiesInPaperRange) {
+  Benchmark bench = MakeTaxiBenchmark(50000, 2, 30);
+  // Paper: 0.25%..3.9% averaging 1.3%. Allow a generous band.
+  double total = 0.0;
+  for (const Query& q : bench.workload) {
+    double sel = QuerySelectivity(bench.data, q);
+    EXPECT_LT(sel, 0.12) << "query too wide";
+    total += sel;
+  }
+  double avg = total / bench.workload.size();
+  EXPECT_GT(avg, 0.001);
+  EXPECT_LT(avg, 0.05);
+}
+
+TEST(PerfmonTest, SchemaAndCorrelations) {
+  Benchmark bench = MakePerfmonBenchmark(20000, 3, 10);
+  EXPECT_EQ(bench.data.dims(), 7);
+  EXPECT_EQ(bench.num_query_types, 5);
+  EXPECT_GT(DimCorrelation(bench.data, 2, 3), 0.8);  // cpu_sys ~ cpu_user.
+  EXPECT_GT(DimCorrelation(bench.data, 4, 5), 0.9);  // load5 ~ load1.
+}
+
+TEST(StocksTest, SchemaAndTightPriceCorrelations) {
+  Benchmark bench = MakeStocksBenchmark(20000, 4, 10);
+  EXPECT_EQ(bench.data.dims(), 7);
+  EXPECT_GT(DimCorrelation(bench.data, 1, 2), 0.99);  // close ~ open.
+  EXPECT_GT(DimCorrelation(bench.data, 3, 4), 0.99);  // high ~ low.
+  EXPECT_GT(DimCorrelation(bench.data, 2, 6), 0.8);   // adj ~ close, loose.
+}
+
+TEST(TpchTest, SchemaAndDateCorrelations) {
+  Benchmark bench = MakeTpchBenchmark(20000, 5, 10);
+  EXPECT_EQ(bench.data.dims(), 8);
+  EXPECT_GT(DimCorrelation(bench.data, 5, 6), 0.99);  // commit ~ ship.
+  EXPECT_GT(DimCorrelation(bench.data, 5, 7), 0.99);  // receipt ~ ship.
+  EXPECT_GT(DimCorrelation(bench.data, 0, 1), 0.9);   // price ~ quantity.
+  // Quantity in [1, 50]; discount in [0, 10]; mode in [0, 7).
+  DimBounds bounds = ComputeBounds(bench.data);
+  EXPECT_GE(bounds.lo[0], 1);
+  EXPECT_LE(bounds.hi[0], 50);
+  EXPECT_LE(bounds.hi[4], 6);
+}
+
+TEST(TpchTest, ShiftedWorkloadDiffersFromOriginal) {
+  Benchmark bench = MakeTpchBenchmark(20000, 6, 10);
+  Workload shifted = MakeTpchShiftedWorkload(bench.data, 7, 10);
+  EXPECT_EQ(shifted.size(), 50u);
+  // The shifted workload has bulk-order queries (quantity >= 45); the
+  // original workload has none.
+  auto bulk_queries = [](const Workload& w) {
+    int count = 0;
+    for (const Query& q : w) {
+      const Predicate* p = q.FilterOn(0);
+      count += p != nullptr && p->lo >= 45;
+    }
+    return count;
+  };
+  EXPECT_GT(bulk_queries(shifted), 0);
+  EXPECT_EQ(bulk_queries(bench.workload), 0);
+}
+
+TEST(SyntheticTest, CorrelatedHalvesAreCorrelated) {
+  Benchmark bench = MakeScalingBenchmark(8, 20000, true, 8, 10);
+  EXPECT_EQ(bench.data.dims(), 8);
+  // dim 4+j ~ dim j; strong for even target dims, loose for odd ones.
+  EXPECT_GT(DimCorrelation(bench.data, 0, 4), 0.99);
+  EXPECT_GT(DimCorrelation(bench.data, 1, 5), 0.9);
+  EXPECT_LT(std::abs(DimCorrelation(bench.data, 0, 1)), 0.05);
+}
+
+TEST(SyntheticTest, UncorrelatedGroupIsIndependent) {
+  Benchmark bench = MakeScalingBenchmark(8, 20000, false, 9, 10);
+  EXPECT_LT(std::abs(DimCorrelation(bench.data, 0, 4)), 0.05);
+}
+
+TEST(SyntheticTest, SelectivityWorkloadHitsTarget) {
+  Benchmark bench = MakeScalingBenchmark(8, 50000, true, 10, 10);
+  for (double target : {0.001, 0.01, 0.1}) {
+    Workload w = MakeSelectivityWorkload(bench.data, target, 11, 30);
+    double total = 0.0;
+    for (const Query& q : w) total += QuerySelectivity(bench.data, q);
+    double avg = total / w.size();
+    // Correlation distorts the product rule; stay within ~6x of target.
+    EXPECT_GT(avg, target / 6) << target;
+    EXPECT_LT(avg, target * 6) << target;
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  Benchmark a = MakeTaxiBenchmark(5000, 12, 5);
+  Benchmark b = MakeTaxiBenchmark(5000, 12, 5);
+  EXPECT_EQ(a.data.raw(), b.data.raw());
+  ASSERT_EQ(a.workload.size(), b.workload.size());
+  for (size_t i = 0; i < a.workload.size(); ++i) {
+    ASSERT_EQ(a.workload[i].filters.size(), b.workload[i].filters.size());
+    for (size_t f = 0; f < a.workload[i].filters.size(); ++f) {
+      EXPECT_EQ(a.workload[i].filters[f].lo, b.workload[i].filters[f].lo);
+      EXPECT_EQ(a.workload[i].filters[f].hi, b.workload[i].filters[f].hi);
+    }
+  }
+}
+
+TEST(GeneratorTest, AllBenchmarksProduceTypedWorkloads) {
+  for (const Benchmark& bench : MakeAllBenchmarks(3000)) {
+    EXPECT_GT(bench.num_query_types, 0) << bench.name;
+    EXPECT_EQ(bench.dim_names.size(),
+              static_cast<size_t>(bench.data.dims()));
+    for (const Query& q : bench.workload) {
+      EXPECT_GE(q.type, 0);
+      EXPECT_LT(q.type, bench.num_query_types);
+      EXPECT_FALSE(q.filters.empty());
+      for (const Predicate& p : q.filters) {
+        EXPECT_GE(p.dim, 0);
+        EXPECT_LT(p.dim, bench.data.dims());
+        EXPECT_LE(p.lo, p.hi);
+      }
+    }
+  }
+}
+
+TEST(WorkloadBuilderTest, QuantilesAndWindows) {
+  Dataset data(1, {});
+  for (Value v = 0; v < 1000; ++v) data.AppendRow({v});
+  ColumnQuantiles quant(data);
+  EXPECT_NEAR(static_cast<double>(quant.Q(0, 0.5)), 500.0, 2.0);
+  EXPECT_EQ(quant.Q(0, 0.0), 0);
+  EXPECT_EQ(quant.Q(0, 1.0), 999);
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    Predicate p = quant.Window(0, 0.1, 0.5, 1.0, &rng);
+    EXPECT_GE(p.lo, 480);
+    EXPECT_LE(p.hi, 999);
+    EXPECT_LE(p.lo, p.hi);
+  }
+}
+
+}  // namespace
+}  // namespace tsunami

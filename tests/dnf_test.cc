@@ -1,0 +1,421 @@
+// Tests for disjunctive filter support (src/query/bool_expr.*): box
+// subtraction, DNF normalization to disjoint boxes, the extended SQL
+// grammar (OR / NOT / IN / != / <>), and union execution through the
+// engine against brute-force evaluation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/full_scan.h"
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/core/tsunami.h"
+#include "src/query/bool_expr.h"
+#include "src/query/engine.h"
+#include "src/query/sql_parser.h"
+
+namespace tsunami {
+namespace {
+
+using Kind = BoolExpr::Kind;
+
+Box MakeBox(std::vector<Value> lo, std::vector<Value> hi) {
+  Box b;
+  b.lo = std::move(lo);
+  b.hi = std::move(hi);
+  return b;
+}
+
+// Number of integer points of `box` inside the probe grid [0, n)^d.
+int64_t GridVolume(const Box& box, int n) {
+  int64_t v = 1;
+  for (int d = 0; d < box.dims(); ++d) {
+    Value lo = std::max<Value>(box.lo[d], 0);
+    Value hi = std::min<Value>(box.hi[d], n - 1);
+    if (lo > hi) return 0;
+    v *= hi - lo + 1;
+  }
+  return v;
+}
+
+TEST(SubtractBoxTest, DisjointBoxesSurviveWhole) {
+  Box a = MakeBox({0, 0}, {3, 3});
+  Box b = MakeBox({5, 5}, {9, 9});
+  std::vector<Box> out;
+  SubtractBox(a, b, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], a);
+}
+
+TEST(SubtractBoxTest, ContainedBoxVanishes) {
+  Box a = MakeBox({2, 2}, {5, 5});
+  Box b = MakeBox({0, 0}, {9, 9});
+  std::vector<Box> out;
+  SubtractBox(a, b, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SubtractBoxTest, CenterHoleLeavesFourPieces2D) {
+  Box a = MakeBox({0, 0}, {9, 9});
+  Box b = MakeBox({3, 3}, {6, 6});
+  std::vector<Box> out;
+  SubtractBox(a, b, &out);
+  ASSERT_EQ(out.size(), 4u);
+  int64_t volume = 0;
+  for (const Box& piece : out) volume += GridVolume(piece, 10);
+  EXPECT_EQ(volume, 100 - 16);
+}
+
+// Property sweep: subtraction produces pairwise-disjoint pieces whose
+// union is exactly a \ b, checked point-by-point on a small grid.
+class SubtractFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubtractFuzzTest, ExactDifferenceOnGrid) {
+  constexpr int kGrid = 6;
+  constexpr int kDims = 3;
+  Rng rng(1000 + GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    auto random_box = [&] {
+      Box box = Box::All(kDims);
+      for (int d = 0; d < kDims; ++d) {
+        Value x = rng.UniformValue(0, kGrid - 1);
+        Value y = rng.UniformValue(0, kGrid - 1);
+        box.lo[d] = std::min(x, y);
+        box.hi[d] = std::max(x, y);
+      }
+      return box;
+    };
+    Box a = random_box(), b = random_box();
+    std::vector<Box> pieces;
+    SubtractBox(a, b, &pieces);
+    std::vector<Value> point(kDims);
+    for (point[0] = 0; point[0] < kGrid; ++point[0]) {
+      for (point[1] = 0; point[1] < kGrid; ++point[1]) {
+        for (point[2] = 0; point[2] < kGrid; ++point[2]) {
+          int hits = 0;
+          for (const Box& piece : pieces) hits += piece.Contains(point);
+          int expect = a.Contains(point) && !b.Contains(point);
+          ASSERT_LE(hits, 1) << "pieces overlap";
+          ASSERT_EQ(hits, expect);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubtractFuzzTest, ::testing::Range(0, 4));
+
+// Random expression trees normalize to disjoint boxes that cover exactly
+// the matching points.
+BoolExpr RandomExpr(Rng* rng, int dims, int grid, int depth) {
+  if (depth == 0 || rng->NextBool(0.4)) {
+    Predicate p;
+    p.dim = static_cast<int>(rng->NextBelow(dims));
+    Value x = rng->UniformValue(0, grid - 1);
+    Value y = rng->UniformValue(0, grid - 1);
+    p.lo = std::min(x, y);
+    p.hi = std::max(x, y);
+    return BoolExpr::Leaf(p);
+  }
+  switch (rng->NextBelow(3)) {
+    case 0: {
+      std::vector<BoolExpr> cs;
+      int n = 2 + static_cast<int>(rng->NextBelow(2));
+      for (int i = 0; i < n; ++i) {
+        cs.push_back(RandomExpr(rng, dims, grid, depth - 1));
+      }
+      return BoolExpr::And(std::move(cs));
+    }
+    case 1: {
+      std::vector<BoolExpr> cs;
+      int n = 2 + static_cast<int>(rng->NextBelow(2));
+      for (int i = 0; i < n; ++i) {
+        cs.push_back(RandomExpr(rng, dims, grid, depth - 1));
+      }
+      return BoolExpr::Or(std::move(cs));
+    }
+    default:
+      return BoolExpr::Not(RandomExpr(rng, dims, grid, depth - 1));
+  }
+}
+
+class DnfFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DnfFuzzTest, DisjointBoxesMatchExpression) {
+  constexpr int kGrid = 5;
+  constexpr int kDims = 3;
+  Rng rng(7000 + GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    BoolExpr expr = RandomExpr(&rng, kDims, kGrid, 3);
+    NormalizeResult norm = ToDisjointBoxes(expr, kDims);
+    ASSERT_TRUE(norm.ok) << norm.error << " for " << expr.ToString();
+    std::vector<Value> point(kDims);
+    for (point[0] = 0; point[0] < kGrid; ++point[0]) {
+      for (point[1] = 0; point[1] < kGrid; ++point[1]) {
+        for (point[2] = 0; point[2] < kGrid; ++point[2]) {
+          int hits = 0;
+          for (const Box& box : norm.boxes) hits += box.Contains(point);
+          ASSERT_LE(hits, 1) << "boxes overlap for " << expr.ToString();
+          ASSERT_EQ(hits, expr.Matches(point) ? 1 : 0)
+              << expr.ToString() << " at point (" << point[0] << ","
+              << point[1] << "," << point[2] << ")";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfFuzzTest, ::testing::Range(0, 6));
+
+TEST(DnfTest, UnsatisfiableYieldsNoBoxes) {
+  // x <= 3 AND x >= 7.
+  BoolExpr expr = BoolExpr::And(
+      {BoolExpr::Leaf(Predicate{0, kValueMin, 3}),
+       BoolExpr::Leaf(Predicate{0, 7, kValueMax})});
+  NormalizeResult norm = ToDisjointBoxes(expr, 2);
+  ASSERT_TRUE(norm.ok);
+  EXPECT_TRUE(norm.boxes.empty());
+}
+
+TEST(DnfTest, TautologyYieldsAllSpace) {
+  // x <= 3 OR x >= 1 covers everything.
+  BoolExpr expr = BoolExpr::Or({BoolExpr::Leaf(Predicate{0, kValueMin, 3}),
+                                BoolExpr::Leaf(Predicate{0, 1, kValueMax})});
+  NormalizeResult norm = ToDisjointBoxes(expr, 1);
+  ASSERT_TRUE(norm.ok);
+  int64_t covered = 0;
+  for (const Box& box : norm.boxes) {
+    covered += GridVolume(box, 10);  // Probe grid [0,10).
+  }
+  EXPECT_EQ(covered, 10);
+}
+
+TEST(DnfTest, DoubleNegationIsIdentity) {
+  Predicate p{1, 3, 8};
+  BoolExpr expr = BoolExpr::Not(BoolExpr::Not(BoolExpr::Leaf(p)));
+  NormalizeResult norm = ToDisjointBoxes(expr, 2);
+  ASSERT_TRUE(norm.ok);
+  ASSERT_EQ(norm.boxes.size(), 1u);
+  EXPECT_EQ(norm.boxes[0].lo[1], 3);
+  EXPECT_EQ(norm.boxes[0].hi[1], 8);
+}
+
+TEST(DnfTest, BlowupIsCappedCleanly) {
+  // AND of many two-way ORs on distinct dims: 2^16 conjuncts.
+  std::vector<BoolExpr> terms;
+  for (int d = 0; d < 16; ++d) {
+    terms.push_back(BoolExpr::Or({BoolExpr::Leaf(Predicate{d, 0, 1}),
+                                  BoolExpr::Leaf(Predicate{d, 3, 4})}));
+  }
+  NormalizeLimits limits;
+  limits.max_boxes = 1024;
+  NormalizeResult norm =
+      ToDisjointBoxes(BoolExpr::And(std::move(terms)), 16, limits);
+  EXPECT_FALSE(norm.ok);
+  EXPECT_NE(norm.error.find("1024"), std::string::npos);
+}
+
+// --- Extended SQL grammar ---
+
+class DisjunctiveSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = Dataset(3, {});
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+      data_.AppendRow({rng.UniformValue(0, 49), rng.UniformValue(0, 49),
+                       rng.UniformValue(0, 9)});
+    }
+    index_ = std::make_unique<FullScanIndex>(data_);
+    schema_.table_name = "t";
+    schema_.columns = {"a", "b", "c"};
+    engine_ = std::make_unique<QueryEngine>(index_.get(), schema_);
+  }
+
+  // Brute-force COUNT of rows matching `expr`.
+  int64_t BruteCount(const BoolExpr& expr) const {
+    int64_t n = 0;
+    for (int64_t r = 0; r < data_.size(); ++r) {
+      std::vector<Value> row = {data_.at(r, 0), data_.at(r, 1),
+                                data_.at(r, 2)};
+      n += expr.Matches(row);
+    }
+    return n;
+  }
+
+  Dataset data_;
+  TableSchema schema_;
+  std::unique_ptr<FullScanIndex> index_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(DisjunctiveSqlTest, OrDoesNotDoubleCountOverlap) {
+  // The two ranges overlap on [10, 29]; the union must count each row once.
+  SqlResult r = engine_->Run(
+      "SELECT COUNT(*) FROM t WHERE a <= 29 OR a >= 10");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 500);
+}
+
+TEST_F(DisjunctiveSqlTest, ParsesAsDisjunctive) {
+  ParseResult p = ParseSql("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2",
+                           schema_);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_TRUE(p.disjunctive);
+  ParseResult q = ParseSql(
+      "SELECT COUNT(*) FROM t WHERE (a <= 5 AND b <= 5) AND c = 1", schema_);
+  ASSERT_TRUE(q.ok) << q.error;
+  EXPECT_FALSE(q.disjunctive) << "parenthesized conjunction stays flat";
+  EXPECT_EQ(q.query.filters.size(), 3u);
+}
+
+TEST_F(DisjunctiveSqlTest, AndBindsTighterThanOr) {
+  SqlResult got = engine_->Run(
+      "SELECT COUNT(*) FROM t WHERE a <= 5 AND b <= 5 OR c = 1");
+  ASSERT_TRUE(got.ok) << got.error;
+  BoolExpr expect = BoolExpr::Or(
+      {BoolExpr::And({BoolExpr::Leaf(Predicate{0, kValueMin, 5}),
+                      BoolExpr::Leaf(Predicate{1, kValueMin, 5})}),
+       BoolExpr::Leaf(Predicate{2, 1, 1})});
+  EXPECT_EQ(got.value, BruteCount(expect));
+}
+
+TEST_F(DisjunctiveSqlTest, InList) {
+  SqlResult got = engine_->Run("SELECT COUNT(*) FROM t WHERE c IN (1, 3, 5)");
+  ASSERT_TRUE(got.ok) << got.error;
+  BoolExpr expect = BoolExpr::Or({BoolExpr::Leaf(Predicate{2, 1, 1}),
+                                  BoolExpr::Leaf(Predicate{2, 3, 3}),
+                                  BoolExpr::Leaf(Predicate{2, 5, 5})});
+  EXPECT_EQ(got.value, BruteCount(expect));
+  EXPECT_GT(got.value, 0);
+}
+
+TEST_F(DisjunctiveSqlTest, NotInList) {
+  SqlResult in = engine_->Run("SELECT COUNT(*) FROM t WHERE c IN (0, 9)");
+  SqlResult not_in =
+      engine_->Run("SELECT COUNT(*) FROM t WHERE c NOT IN (0, 9)");
+  ASSERT_TRUE(in.ok && not_in.ok);
+  EXPECT_EQ(in.value + not_in.value, 500);
+}
+
+TEST_F(DisjunctiveSqlTest, NotEqualsBothSpellings) {
+  SqlResult ne1 = engine_->Run("SELECT COUNT(*) FROM t WHERE c != 4");
+  SqlResult ne2 = engine_->Run("SELECT COUNT(*) FROM t WHERE c <> 4");
+  SqlResult eq = engine_->Run("SELECT COUNT(*) FROM t WHERE c = 4");
+  ASSERT_TRUE(ne1.ok && ne2.ok && eq.ok);
+  EXPECT_EQ(ne1.value, ne2.value);
+  EXPECT_EQ(ne1.value + eq.value, 500);
+}
+
+TEST_F(DisjunctiveSqlTest, NotBetween) {
+  SqlResult inside =
+      engine_->Run("SELECT COUNT(*) FROM t WHERE a BETWEEN 10 AND 20");
+  SqlResult outside =
+      engine_->Run("SELECT COUNT(*) FROM t WHERE a NOT BETWEEN 10 AND 20");
+  ASSERT_TRUE(inside.ok && outside.ok);
+  EXPECT_EQ(inside.value + outside.value, 500);
+}
+
+TEST_F(DisjunctiveSqlTest, NestedParenthesesAndNot) {
+  SqlResult got = engine_->Run(
+      "SELECT COUNT(*) FROM t WHERE NOT (a <= 9 OR (b >= 40 AND c = 2))");
+  ASSERT_TRUE(got.ok) << got.error;
+  BoolExpr expect = BoolExpr::Not(BoolExpr::Or(
+      {BoolExpr::Leaf(Predicate{0, kValueMin, 9}),
+       BoolExpr::And({BoolExpr::Leaf(Predicate{1, 40, kValueMax}),
+                      BoolExpr::Leaf(Predicate{2, 2, 2})})}));
+  EXPECT_EQ(got.value, BruteCount(expect));
+}
+
+TEST_F(DisjunctiveSqlTest, SumAndAvgAcrossUnion) {
+  // SUM/AVG over a disjunction must equal the brute-force sum over
+  // matching rows.
+  BoolExpr expect = BoolExpr::Or({BoolExpr::Leaf(Predicate{0, 0, 9}),
+                                  BoolExpr::Leaf(Predicate{1, 0, 9})});
+  int64_t sum = 0, n = 0;
+  for (int64_t r = 0; r < data_.size(); ++r) {
+    std::vector<Value> row = {data_.at(r, 0), data_.at(r, 1), data_.at(r, 2)};
+    if (expect.Matches(row)) {
+      sum += data_.at(r, 2);
+      ++n;
+    }
+  }
+  SqlResult s =
+      engine_->Run("SELECT SUM(c) FROM t WHERE a <= 9 OR b <= 9");
+  SqlResult a =
+      engine_->Run("SELECT AVG(c) FROM t WHERE a <= 9 OR b <= 9");
+  ASSERT_TRUE(s.ok && a.ok);
+  EXPECT_EQ(s.value, sum);
+  ASSERT_GT(n, 0);
+  EXPECT_DOUBLE_EQ(a.value, static_cast<double>(sum) / n);
+}
+
+TEST_F(DisjunctiveSqlTest, MinMaxAcrossUnion) {
+  SqlResult lo = engine_->Run(
+      "SELECT MIN(a) FROM t WHERE a BETWEEN 20 AND 25 OR a BETWEEN 5 AND 8");
+  SqlResult hi = engine_->Run(
+      "SELECT MAX(a) FROM t WHERE a BETWEEN 20 AND 25 OR a BETWEEN 5 AND 8");
+  ASSERT_TRUE(lo.ok && hi.ok);
+  EXPECT_GE(lo.value, 5);
+  EXPECT_LE(lo.value, 8);
+  EXPECT_GE(hi.value, 20);
+  EXPECT_LE(hi.value, 25);
+}
+
+TEST_F(DisjunctiveSqlTest, SyntaxErrors) {
+  EXPECT_FALSE(engine_->Run("SELECT COUNT(*) FROM t WHERE a NOT 5").ok);
+  EXPECT_FALSE(engine_->Run("SELECT COUNT(*) FROM t WHERE a IN ()").ok);
+  EXPECT_FALSE(engine_->Run("SELECT COUNT(*) FROM t WHERE (a = 1").ok);
+  EXPECT_FALSE(engine_->Run("SELECT COUNT(*) FROM t WHERE a = 1 OR").ok);
+  EXPECT_FALSE(engine_->Run("SELECT COUNT(*) FROM t WHERE OR a = 1").ok);
+}
+
+// Disjunctive SQL through a real Tsunami index must agree with FullScan.
+TEST(DisjunctiveTsunamiTest, UnionThroughTsunamiMatchesFullScan) {
+  Rng rng(1234);
+  Dataset data(3, {});
+  for (int i = 0; i < 4000; ++i) {
+    Value x = rng.UniformValue(0, 999);
+    data.AppendRow({x, x + rng.UniformValue(-20, 20),
+                    rng.UniformValue(0, 99)});
+  }
+  Workload workload;
+  for (int i = 0; i < 40; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(0, 900);
+    q.filters = {Predicate{0, lo, lo + 60}};
+    q.type = 0;
+    workload.push_back(q);
+  }
+  TsunamiOptions opts;
+  opts.sample_rows = 2000;
+  TsunamiIndex tsunami(data, workload, opts);
+  FullScanIndex full(data);
+
+  TableSchema schema;
+  schema.table_name = "t";
+  schema.columns = {"x", "y", "z"};
+  QueryEngine et(&tsunami, schema);
+  QueryEngine ef(&full, schema);
+  const char* statements[] = {
+      "SELECT COUNT(*) FROM t WHERE x <= 100 OR y >= 900",
+      "SELECT SUM(z) FROM t WHERE x BETWEEN 50 AND 150 OR x BETWEEN 700 "
+      "AND 800 OR z IN (3, 7)",
+      "SELECT COUNT(*) FROM t WHERE NOT (x BETWEEN 100 AND 899)",
+      "SELECT MAX(z) FROM t WHERE x <= 499 OR z NOT IN (1, 2, 3)",
+      "SELECT AVG(y) FROM t WHERE x != 500",
+  };
+  for (const char* sql : statements) {
+    SqlResult a = et.Run(sql);
+    SqlResult b = ef.Run(sql);
+    ASSERT_TRUE(a.ok) << sql << ": " << a.error;
+    ASSERT_TRUE(b.ok) << sql << ": " << b.error;
+    EXPECT_EQ(a.value, b.value) << sql;
+    EXPECT_EQ(a.stats.matched, b.stats.matched) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace tsunami

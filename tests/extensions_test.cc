@@ -1,0 +1,215 @@
+// Tests for the §8 extensions: delta-buffer insertions and workload-shift
+// detection.
+#include <gtest/gtest.h>
+
+#include "src/baselines/full_scan.h"
+#include "src/common/random.h"
+#include "src/core/query_clustering.h"
+#include "src/core/tsunami.h"
+#include "src/core/workload_monitor.h"
+#include "src/datasets/datasets.h"
+
+namespace tsunami {
+namespace {
+
+TsunamiOptions SmallOptions() {
+  TsunamiOptions options;
+  options.sample_rows = 20000;
+  options.agd.max_sample_points = 512;
+  options.agd.max_sample_queries = 32;
+  options.agd.max_iters = 2;
+  options.agd.max_cells = 1 << 12;
+  return options;
+}
+
+TEST(DeltaInsertTest, InsertedRowsAreVisibleImmediately) {
+  Benchmark bench = MakeUniformBenchmark(3, 5000, 401, 10);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  Query all;  // Unfiltered COUNT(*).
+  EXPECT_EQ(index.Execute(all).agg, 5000);
+  index.Insert({1, 2, 3});
+  index.Insert({1000000000, 4, 5});
+  EXPECT_EQ(index.delta_size(), 2);
+  EXPECT_EQ(index.Execute(all).agg, 5002);
+  Query narrow;
+  narrow.filters = {Predicate{0, 1, 1}, Predicate{1, 2, 2}};
+  EXPECT_EQ(index.Execute(narrow).agg, 1);
+}
+
+TEST(DeltaInsertTest, SumIncludesDelta) {
+  Benchmark bench = MakeUniformBenchmark(2, 1000, 402, 5);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  Query sum;
+  sum.agg = AggKind::kSum;
+  sum.agg_dim = 1;
+  int64_t before = index.Execute(sum).agg;
+  index.Insert({0, 1000});
+  index.Insert({0, 234});
+  EXPECT_EQ(index.Execute(sum).agg, before + 1234);
+}
+
+TEST(DeltaInsertTest, MaterializeAndMergeFoldsBuffer) {
+  Benchmark bench = MakeUniformBenchmark(3, 4000, 403, 10);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  Rng rng(404);
+  for (int i = 0; i < 500; ++i) {
+    index.Insert({rng.UniformValue(0, 1000000000),
+                  rng.UniformValue(0, 1000000000),
+                  rng.UniformValue(0, 1000000000)});
+  }
+  Dataset merged_data = index.MaterializeData();
+  EXPECT_EQ(merged_data.size(), 4500);
+  TsunamiIndex merged(merged_data, bench.workload, SmallOptions());
+  EXPECT_EQ(merged.delta_size(), 0);
+  // The merged index answers exactly like the delta-carrying one.
+  FullScanIndex reference(merged_data);
+  for (const Query& q : bench.workload) {
+    int64_t expected = reference.Execute(q).agg;
+    EXPECT_EQ(index.Execute(q).agg, expected);
+    EXPECT_EQ(merged.Execute(q).agg, expected);
+  }
+}
+
+TEST(DeltaInsertTest, DeltaMatchesFullScanUnderRandomQueries) {
+  Benchmark bench = MakeTaxiBenchmark(4000, 405, 8);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  // Insert duplicates of existing rows (hits the same cells' key ranges).
+  std::vector<Value> row(bench.data.dims());
+  for (int64_t r = 0; r < 200; ++r) {
+    for (int d = 0; d < bench.data.dims(); ++d) {
+      row[d] = bench.data.at(r * 7 % bench.data.size(), d);
+    }
+    index.Insert(row);
+  }
+  FullScanIndex reference(index.MaterializeData());
+  for (const Query& q : bench.workload) {
+    ASSERT_EQ(index.Execute(q).agg, reference.Execute(q).agg);
+  }
+}
+
+class WorkloadMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bench_ = MakeTpchBenchmark(20000, 406, 20);
+    int num_types = 0;
+    typed_ = LabelQueryTypes(bench_.data, bench_.workload, {}, &num_types);
+  }
+  Benchmark bench_;
+  Workload typed_;
+};
+
+TEST_F(WorkloadMonitorTest, SteadyWorkloadDoesNotTrigger) {
+  WorkloadMonitorOptions options;
+  options.window = 100;
+  WorkloadMonitor monitor(bench_.data, typed_, options);
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const Query& q : typed_) monitor.Observe(q);
+  }
+  EXPECT_GE(monitor.observed(), 100);
+  EXPECT_FALSE(monitor.ShouldReoptimize()) << monitor.Reason();
+  EXPECT_LT(monitor.unknown_fraction(), 0.2);
+}
+
+TEST_F(WorkloadMonitorTest, ShiftedWorkloadTriggersNewType) {
+  WorkloadMonitorOptions options;
+  options.window = 100;
+  WorkloadMonitor monitor(bench_.data, typed_, options);
+  Workload shifted = MakeTpchShiftedWorkload(bench_.data, 407, 30);
+  for (const Query& q : shifted) monitor.Observe(q);
+  EXPECT_TRUE(monitor.ShouldReoptimize());
+  EXPECT_FALSE(monitor.Reason().empty());
+  EXPECT_GT(monitor.unknown_fraction(), 0.2);
+}
+
+TEST_F(WorkloadMonitorTest, FrequencyDriftTriggers) {
+  WorkloadMonitorOptions options;
+  options.window = 100;
+  WorkloadMonitor monitor(bench_.data, typed_, options);
+  // Only ever observe queries of one build-time type.
+  int count = 0;
+  for (int rep = 0; rep < 20 && count < 150; ++rep) {
+    for (const Query& q : typed_) {
+      if (q.type == 0) {
+        monitor.Observe(q);
+        ++count;
+      }
+    }
+  }
+  EXPECT_TRUE(monitor.ShouldReoptimize());
+  // One type dominating means the others disappeared (or drifted).
+  EXPECT_TRUE(monitor.Reason() == "type disappeared" ||
+              monitor.Reason() == "frequency drift")
+      << monitor.Reason();
+}
+
+TEST_F(WorkloadMonitorTest, ResetClearsTheWindow) {
+  WorkloadMonitorOptions options;
+  options.window = 50;
+  WorkloadMonitor monitor(bench_.data, typed_, options);
+  Workload shifted = MakeTpchShiftedWorkload(bench_.data, 408, 20);
+  for (const Query& q : shifted) monitor.Observe(q);
+  ASSERT_TRUE(monitor.ShouldReoptimize());
+  monitor.Reset();
+  EXPECT_EQ(monitor.observed(), 0);
+  EXPECT_FALSE(monitor.ShouldReoptimize());
+}
+
+TEST_F(WorkloadMonitorTest, WindowGatesDetection) {
+  WorkloadMonitorOptions options;
+  options.window = 1000;  // Larger than what we feed it.
+  WorkloadMonitor monitor(bench_.data, typed_, options);
+  Workload shifted = MakeTpchShiftedWorkload(bench_.data, 409, 20);
+  for (const Query& q : shifted) monitor.Observe(q);
+  EXPECT_FALSE(monitor.ShouldReoptimize());  // Not enough evidence yet.
+}
+
+TEST(IncrementalReoptTest, SameWorkloadReusesEveryRegionPlan) {
+  Benchmark bench = MakeTpchBenchmark(12000, 410, 12);
+  TsunamiIndex first(bench.data, bench.workload, SmallOptions());
+  TsunamiIndex second(first, bench.workload, SmallOptions());
+  EXPECT_EQ(second.stats().regions_reused,
+            second.stats().num_indexed_regions);
+  // The reused index keeps the previous tree.
+  EXPECT_EQ(second.stats().num_regions, first.stats().num_regions);
+  FullScanIndex reference(bench.data);
+  for (const Query& q : bench.workload) {
+    ASSERT_EQ(second.Execute(q).agg, reference.Execute(q).agg);
+  }
+}
+
+TEST(IncrementalReoptTest, ShiftedWorkloadReoptimizesSomeRegions) {
+  Benchmark bench = MakeTpchBenchmark(12000, 411, 12);
+  Workload shifted = MakeTpchShiftedWorkload(bench.data, 412, 12);
+  TsunamiIndex first(bench.data, bench.workload, SmallOptions());
+  TsunamiIndex second(first, shifted, SmallOptions());
+  // A hard shift must re-optimize at least one region, and the result must
+  // stay correct on both workloads.
+  EXPECT_LT(second.stats().regions_reused,
+            second.stats().num_indexed_regions);
+  FullScanIndex reference(bench.data);
+  for (const Workload* w : {&shifted, &bench.workload}) {
+    for (const Query& q : *w) {
+      ASSERT_EQ(second.Execute(q).agg, reference.Execute(q).agg);
+    }
+  }
+}
+
+TEST(IncrementalReoptTest, FoldsDeltaBufferIntoRebuild) {
+  Benchmark bench = MakeUniformBenchmark(3, 5000, 413, 10);
+  TsunamiIndex first(bench.data, bench.workload, SmallOptions());
+  first.Insert({1, 2, 3});
+  first.Insert({4, 5, 6});
+  TsunamiIndex second(first, bench.workload, SmallOptions());
+  EXPECT_EQ(second.delta_size(), 0);
+  Query all;
+  EXPECT_EQ(second.Execute(all).agg, 5002);
+}
+
+TEST(IncrementalReoptTest, FullBuildReportsZeroReuse) {
+  Benchmark bench = MakeUniformBenchmark(3, 3000, 414, 10);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  EXPECT_EQ(index.stats().regions_reused, 0);
+}
+
+}  // namespace
+}  // namespace tsunami

@@ -1,0 +1,143 @@
+// Tests for the Grid Tree (§4): structural invariants (regions partition the
+// space), query routing, skew-driven splitting, and leaf thresholds.
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/grid_tree.h"
+#include "src/datasets/synthetic.h"
+#include "src/datasets/taxi.h"
+
+namespace tsunami {
+namespace {
+
+constexpr Value kDomain = 1'000'000'000;
+
+// Fig. 2's workload: type 0 = wide year-span queries everywhere; type 1 =
+// narrow month queries over the last fifth of the time dimension.
+Benchmark MakeSkewedBench(int64_t rows) {
+  Benchmark bench = MakeUniformBenchmark(2, rows, 111, 1, 1);
+  bench.workload.clear();
+  Rng rng(112);
+  for (int i = 0; i < 60; ++i) {
+    Query wide;
+    wide.type = 0;
+    Value start = rng.UniformValue(0, kDomain / 2);
+    wide.filters = {Predicate{0, start, start + kDomain / 4}};
+    bench.workload.push_back(wide);
+    Query narrow;
+    narrow.type = 1;
+    Value nstart = rng.UniformValue(kDomain * 4 / 5, kDomain - kDomain / 100);
+    narrow.filters = {Predicate{0, nstart, nstart + kDomain / 100}};
+    bench.workload.push_back(narrow);
+  }
+  bench.num_query_types = 2;
+  return bench;
+}
+
+TEST(GridTreeTest, SplitsSkewedWorkload) {
+  Benchmark bench = MakeSkewedBench(20000);
+  GridTree tree =
+      GridTree::Build(bench.data, bench.workload, 2, GridTreeOptions{});
+  EXPECT_GE(tree.num_regions(), 2);
+  EXPECT_GE(tree.depth(), 1);
+  EXPECT_GT(tree.SizeBytes(), 0);
+}
+
+TEST(GridTreeTest, UniformWorkloadStaysOneRegion) {
+  Benchmark bench = MakeUniformBenchmark(2, 20000, 113, 40, 1);
+  GridTree tree =
+      GridTree::Build(bench.data, bench.workload, 1, GridTreeOptions{});
+  EXPECT_EQ(tree.num_regions(), 1);
+  EXPECT_EQ(tree.depth(), 0);
+}
+
+TEST(GridTreeTest, RegionsPartitionEveryPoint) {
+  Benchmark bench = MakeSkewedBench(10000);
+  GridTree tree =
+      GridTree::Build(bench.data, bench.workload, 2, GridTreeOptions{});
+  std::vector<int64_t> counts(tree.num_regions(), 0);
+  for (int64_t r = 0; r < bench.data.size(); ++r) {
+    int region = tree.RegionOf(bench.data, r);
+    ASSERT_GE(region, 0);
+    ASSERT_LT(region, tree.num_regions());
+    ++counts[region];
+  }
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  EXPECT_EQ(total, bench.data.size());
+}
+
+TEST(GridTreeTest, RegionBoxesContainTheirPoints) {
+  Benchmark bench = MakeSkewedBench(10000);
+  GridTree tree =
+      GridTree::Build(bench.data, bench.workload, 2, GridTreeOptions{});
+  for (int64_t r = 0; r < bench.data.size(); r += 17) {
+    int region = tree.RegionOf(bench.data, r);
+    for (int d = 0; d < bench.data.dims(); ++d) {
+      EXPECT_GE(bench.data.at(r, d), tree.region_lo(region)[d]);
+      EXPECT_LE(bench.data.at(r, d), tree.region_hi(region)[d]);
+    }
+  }
+}
+
+TEST(GridTreeTest, CollectRegionsCoversMatchingPoints) {
+  Benchmark bench = MakeSkewedBench(10000);
+  GridTree tree =
+      GridTree::Build(bench.data, bench.workload, 2, GridTreeOptions{});
+  Rng rng(114);
+  std::vector<int> regions;
+  for (int trial = 0; trial < 100; ++trial) {
+    Query q;
+    Value lo = rng.UniformValue(0, kDomain - 1);
+    Value hi = rng.UniformValue(lo, kDomain - 1);
+    q.filters = {Predicate{0, lo, hi}};
+    tree.CollectRegions(q, &regions);
+    ASSERT_FALSE(regions.empty());
+    // Every point matching the query must live in a collected region.
+    for (int64_t r = 0; r < bench.data.size(); r += 23) {
+      if (bench.data.at(r, 0) < lo || bench.data.at(r, 0) > hi) continue;
+      int region = tree.RegionOf(bench.data, r);
+      EXPECT_NE(std::find(regions.begin(), regions.end(), region),
+                regions.end());
+    }
+  }
+}
+
+TEST(GridTreeTest, UnfilteredQueryHitsAllRegions) {
+  Benchmark bench = MakeSkewedBench(10000);
+  GridTree tree =
+      GridTree::Build(bench.data, bench.workload, 2, GridTreeOptions{});
+  Query q;  // No filters.
+  std::vector<int> regions;
+  tree.CollectRegions(q, &regions);
+  EXPECT_EQ(static_cast<int>(regions.size()), tree.num_regions());
+}
+
+TEST(GridTreeTest, MaxDepthIsRespected) {
+  Benchmark bench = MakeSkewedBench(10000);
+  GridTreeOptions options;
+  options.max_depth = 1;
+  GridTree tree = GridTree::Build(bench.data, bench.workload, 2, options);
+  EXPECT_LE(tree.depth(), 1);
+}
+
+TEST(GridTreeTest, MinQueriesThresholdStopsSplitting) {
+  Benchmark bench = MakeSkewedBench(10000);
+  GridTreeOptions options;
+  options.min_queries_frac = 10.0;  // Impossible: every node is a leaf.
+  GridTree tree = GridTree::Build(bench.data, bench.workload, 2, options);
+  EXPECT_EQ(tree.num_regions(), 1);
+}
+
+TEST(GridTreeTest, TreeIsLightweightOnRealWorkloads) {
+  Benchmark bench = MakeTaxiBenchmark(30000, 115, 50);
+  GridTree tree = GridTree::Build(bench.data, bench.workload,
+                                  bench.num_query_types, GridTreeOptions{});
+  // Tab. 4: trees stay small (tens of nodes, depth <= 4ish).
+  EXPECT_LE(tree.num_nodes(), 200);
+  EXPECT_LE(tree.depth(), 8);
+  EXPECT_LT(tree.SizeBytes(), 64 * 1024);
+}
+
+}  // namespace
+}  // namespace tsunami

@@ -1,0 +1,170 @@
+// Cross-module integration tests: determinism, execution-counter
+// invariants, size accounting, and degenerate-shape robustness of the full
+// Tsunami pipeline.
+#include <gtest/gtest.h>
+
+#include "src/baselines/full_scan.h"
+#include "src/core/tsunami.h"
+#include "src/datasets/datasets.h"
+#include "src/flood/flood.h"
+
+namespace tsunami {
+namespace {
+
+TsunamiOptions SmallOptions() {
+  TsunamiOptions options;
+  options.sample_rows = 20000;
+  options.agd.max_sample_points = 512;
+  options.agd.max_sample_queries = 32;
+  options.agd.max_iters = 2;
+  options.agd.max_cells = 1 << 12;
+  return options;
+}
+
+TEST(IntegrationTest, RebuildsAreDeterministic) {
+  Benchmark bench = MakeStocksBenchmark(6000, 601, 10);
+  TsunamiIndex a(bench.data, bench.workload, SmallOptions());
+  TsunamiIndex b(bench.data, bench.workload, SmallOptions());
+  EXPECT_EQ(a.stats().num_regions, b.stats().num_regions);
+  EXPECT_EQ(a.stats().total_cells, b.stats().total_cells);
+  EXPECT_EQ(a.IndexSizeBytes(), b.IndexSizeBytes());
+  for (const Query& q : bench.workload) {
+    QueryResult ra = a.Execute(q);
+    QueryResult rb = b.Execute(q);
+    EXPECT_EQ(ra.agg, rb.agg);
+    EXPECT_EQ(ra.scanned, rb.scanned);
+    EXPECT_EQ(ra.cell_ranges, rb.cell_ranges);
+  }
+}
+
+TEST(IntegrationTest, ExecutionCountersAreConsistent) {
+  Benchmark bench = MakeTpchBenchmark(8000, 602, 10);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  FullScanIndex reference(bench.data);
+  for (const Query& q : bench.workload) {
+    QueryResult r = index.Execute(q);
+    // Matches can exceed scans only through exact ranges (counted, not
+    // scanned); both are bounded by the table size.
+    EXPECT_LE(r.scanned, bench.data.size());
+    EXPECT_LE(r.matched, bench.data.size());
+    EXPECT_EQ(r.matched, reference.Execute(q).matched);
+    EXPECT_GE(r.cell_ranges, 1);
+    // The index must scan far less than the full table on these selective
+    // workloads (paper's whole premise).
+    EXPECT_LT(r.scanned, bench.data.size());
+  }
+}
+
+TEST(IntegrationTest, IndexIsSmallRelativeToData) {
+  for (const Benchmark& bench : MakeAllBenchmarks(8000)) {
+    TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+    int64_t data_bytes =
+        bench.data.size() * bench.data.dims() * sizeof(Value);
+    EXPECT_LT(index.IndexSizeBytes(), data_bytes / 4) << bench.name;
+  }
+}
+
+TEST(IntegrationTest, SingleDimensionDataset) {
+  Dataset data(1, {});
+  Rng rng(603);
+  for (int i = 0; i < 5000; ++i) data.AppendRow({rng.UniformValue(0, 9999)});
+  Workload w;
+  for (int i = 0; i < 20; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(0, 9999);
+    q.filters = {Predicate{0, lo, lo + 500}};
+    w.push_back(q);
+  }
+  TsunamiIndex index(data, w, SmallOptions());
+  FullScanIndex reference(data);
+  for (const Query& q : w) {
+    EXPECT_EQ(index.Execute(q).agg, reference.Execute(q).agg);
+  }
+}
+
+TEST(IntegrationTest, AllRowsIdentical) {
+  Dataset data(3, {});
+  for (int i = 0; i < 2000; ++i) data.AppendRow({5, 5, 5});
+  Workload w;
+  Query q;
+  q.filters = {Predicate{0, 0, 10}};
+  w.push_back(q);
+  TsunamiIndex index(data, w, SmallOptions());
+  EXPECT_EQ(index.Execute(q).agg, 2000);
+  q.filters = {Predicate{1, 6, 10}};
+  EXPECT_EQ(index.Execute(q).agg, 0);
+}
+
+TEST(IntegrationTest, TinyDataset) {
+  Dataset data(2, {});
+  data.AppendRow({1, 2});
+  data.AppendRow({3, 4});
+  Workload w;
+  Query q;
+  q.filters = {Predicate{0, 0, 2}};
+  w.push_back(q);
+  TsunamiIndex index(data, w, SmallOptions());
+  EXPECT_EQ(index.Execute(q).agg, 1);
+  FloodIndex flood(data, w);
+  EXPECT_EQ(flood.Execute(q).agg, 1);
+}
+
+TEST(IntegrationTest, FloodAndTsunamiAgreeEverywhere) {
+  Benchmark bench = MakePerfmonBenchmark(8000, 604, 10);
+  TsunamiIndex tsunami_index(bench.data, bench.workload, SmallOptions());
+  FloodOptions flood_options;
+  flood_options.agd = SmallOptions().agd;
+  FloodIndex flood(bench.data, bench.workload, flood_options);
+  for (const Query& q : bench.workload) {
+    EXPECT_EQ(tsunami_index.Execute(q).agg, flood.Execute(q).agg);
+  }
+}
+
+TEST(IntegrationTest, NegativeValueDomains) {
+  Rng rng(605);
+  Dataset data(3, {});
+  for (int i = 0; i < 5000; ++i) {
+    Value a = rng.UniformValue(-1000000, -1000);
+    data.AppendRow({a, -a, rng.UniformValue(-50, 50)});
+  }
+  Workload w;
+  for (int i = 0; i < 20; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(-1000000, -1000);
+    q.filters = {Predicate{0, lo, lo + 10000},
+                 Predicate{2, -10, 10}};
+    w.push_back(q);
+  }
+  TsunamiIndex index(data, w, SmallOptions());
+  FullScanIndex reference(data);
+  for (const Query& q : w) {
+    EXPECT_EQ(index.Execute(q).agg, reference.Execute(q).agg);
+  }
+}
+
+TEST(IntegrationTest, UnfilteredCountIsExactAndScansNothing) {
+  // COUNT(*) with no filters: every range is exact, so nothing is scanned.
+  Benchmark bench = MakeUniformBenchmark(3, 5000, 606, 5);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  Query all;
+  QueryResult r = index.Execute(all);
+  EXPECT_EQ(r.agg, 5000);
+  EXPECT_EQ(r.scanned, 0);
+}
+
+TEST(IntegrationTest, StoreHoldsPermutedData) {
+  Benchmark bench = MakeUniformBenchmark(2, 1000, 607, 5);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  // Multiset equality: per-column sums and min/max match the input.
+  for (int d = 0; d < 2; ++d) {
+    int64_t sum_in = 0, sum_out = 0;
+    for (int64_t r = 0; r < 1000; ++r) {
+      sum_in += bench.data.at(r, d);
+      sum_out += index.store().Get(r, d);
+    }
+    EXPECT_EQ(sum_in, sum_out);
+  }
+}
+
+}  // namespace
+}  // namespace tsunami

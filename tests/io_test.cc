@@ -1,0 +1,442 @@
+// Tests for the persistence layer: serializer primitives, framed files,
+// structure round-trips, full index snapshots, and corruption injection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "src/common/linear_model.h"
+#include "src/common/random.h"
+#include "src/core/skeleton.h"
+#include "src/core/tsunami.h"
+#include "src/io/serializer.h"
+#include "src/storage/column_store.h"
+
+namespace tsunami {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- Serializer primitives ---------------------------------------------------
+
+TEST(SerializerTest, Crc32KnownVector) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(SerializerTest, VarintRoundTripExtremes) {
+  BinaryWriter writer;
+  const int64_t cases[] = {0,
+                           1,
+                           -1,
+                           127,
+                           -128,
+                           1 << 20,
+                           -(1 << 20),
+                           std::numeric_limits<int64_t>::max(),
+                           std::numeric_limits<int64_t>::min()};
+  for (int64_t v : cases) writer.PutVarI64(v);
+  BinaryReader reader(writer.buffer());
+  for (int64_t v : cases) EXPECT_EQ(reader.GetVarI64(), v);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializerTest, UnsignedVarintBoundaries) {
+  BinaryWriter writer;
+  const uint64_t cases[] = {0, 0x7F, 0x80, 0x3FFF, 0x4000,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) writer.PutVarU64(v);
+  BinaryReader reader(writer.buffer());
+  for (uint64_t v : cases) EXPECT_EQ(reader.GetVarU64(), v);
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(SerializerTest, DoubleRoundTripIsBitExact) {
+  BinaryWriter writer;
+  const double cases[] = {0.0, -0.0, 1.5, -3.25e300, 5e-324,
+                          std::numeric_limits<double>::infinity()};
+  for (double v : cases) writer.PutDouble(v);
+  BinaryReader reader(writer.buffer());
+  for (double v : cases) {
+    double got = reader.GetDouble();
+    EXPECT_EQ(std::memcmp(&got, &v, sizeof(v)), 0);
+  }
+}
+
+TEST(SerializerTest, ReaderUnderflowLatchesNotOk) {
+  BinaryWriter writer;
+  writer.PutFixed32(42);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.GetFixed32(), 42u);
+  EXPECT_TRUE(reader.ok());
+  reader.GetFixed64();  // Underflow.
+  EXPECT_FALSE(reader.ok());
+  // Subsequent reads stay not-ok and return defaults.
+  EXPECT_EQ(reader.GetVarI64(), 0);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerializerTest, MalformedVarintRejected) {
+  std::string bad(11, '\x80');  // 11 continuation bytes: too long.
+  BinaryReader reader(bad);
+  reader.GetVarU64();
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerializerTest, CorruptLengthPrefixDoesNotAllocate) {
+  BinaryWriter writer;
+  writer.PutVarU64(uint64_t{1} << 62);  // Absurd element count.
+  BinaryReader reader(writer.buffer());
+  std::vector<Value> out;
+  EXPECT_FALSE(reader.GetValueVec(&out));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SerializerTest, StringRoundTripAndTruncation) {
+  BinaryWriter writer;
+  writer.PutString("hello");
+  writer.PutString("");
+  {
+    BinaryReader reader(writer.buffer());
+    EXPECT_EQ(reader.GetString(), "hello");
+    EXPECT_EQ(reader.GetString(), "");
+    EXPECT_TRUE(reader.ok());
+  }
+  // Truncated: length prefix says 5, only 3 bytes follow.
+  std::string cut = writer.buffer().substr(0, 4);
+  BinaryReader reader(cut);
+  reader.GetString();
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerializerTest, RandomBytesNeverCrashReader) {
+  // Adversarial decode: feed random garbage to every reader entry point;
+  // the reader must return defaults and latch !ok(), never crash or
+  // over-allocate.
+  Rng rng(123);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string junk(rng.NextBelow(64), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.NextBelow(256));
+    BinaryReader reader(junk);
+    switch (trial % 6) {
+      case 0:
+        reader.GetVarU64();
+        break;
+      case 1:
+        reader.GetVarI64();
+        break;
+      case 2:
+        reader.GetString();
+        break;
+      case 3: {
+        std::vector<Value> out;
+        reader.GetValueVec(&out);
+        break;
+      }
+      case 4: {
+        std::vector<double> out;
+        reader.GetDoubleVec(&out);
+        break;
+      }
+      default:
+        reader.GetDouble();
+        reader.GetFixed32();
+        break;
+    }
+    // Drain the rest; must terminate and stay consistent.
+    while (reader.ok() && !reader.AtEnd()) reader.GetU8();
+  }
+  SUCCEED();
+}
+
+// --- Framed files ------------------------------------------------------------
+
+class FramedFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = TempPath("tsunami_frame_test.bin");
+};
+
+TEST_F(FramedFileTest, RoundTrip) {
+  std::string error;
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset, "payload", &error))
+      << error;
+  std::string payload;
+  ASSERT_TRUE(ReadFramedFile(path_, FileKind::kDataset, &payload, &error))
+      << error;
+  EXPECT_EQ(payload, "payload");
+}
+
+TEST_F(FramedFileTest, MissingFile) {
+  std::string payload, error;
+  EXPECT_FALSE(ReadFramedFile(TempPath("does_not_exist.bin"),
+                              FileKind::kDataset, &payload, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(FramedFileTest, KindMismatch) {
+  std::string error;
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset, "p", &error));
+  std::string payload;
+  EXPECT_FALSE(
+      ReadFramedFile(path_, FileKind::kTsunamiIndex, &payload, &error));
+  EXPECT_NE(error.find("kind"), std::string::npos);
+}
+
+TEST_F(FramedFileTest, BadMagic) {
+  std::ofstream(path_, std::ios::binary) << "this is not a tsunami file!!";
+  std::string payload, error;
+  EXPECT_FALSE(ReadFramedFile(path_, FileKind::kDataset, &payload, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST_F(FramedFileTest, TruncationDetected) {
+  std::string error;
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset,
+                              std::string(1000, 'x'), &error));
+  std::filesystem::resize_file(path_, 500);
+  std::string payload;
+  EXPECT_FALSE(ReadFramedFile(path_, FileKind::kDataset, &payload, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST_F(FramedFileTest, BitFlipDetectedByChecksum) {
+  std::string error;
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset,
+                              std::string(1000, 'x'), &error));
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(600);
+    f.put('y');
+  }
+  std::string payload;
+  EXPECT_FALSE(ReadFramedFile(path_, FileKind::kDataset, &payload, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos);
+}
+
+// --- Structure round-trips ----------------------------------------------------
+
+TEST(StructureIoTest, ColumnStoreRoundTrip) {
+  Rng rng(3);
+  Dataset data(3, {});
+  for (int i = 0; i < 500; ++i) {
+    data.AppendRow({rng.UniformValue(-1000, 1000), i, kValueMax - i});
+  }
+  ColumnStore store(data);
+  BinaryWriter writer;
+  store.Serialize(&writer);
+  ColumnStore loaded;
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(loaded.Deserialize(&reader));
+  ASSERT_EQ(loaded.size(), store.size());
+  ASSERT_EQ(loaded.dims(), store.dims());
+  for (int64_t r = 0; r < store.size(); ++r) {
+    for (int d = 0; d < store.dims(); ++d) {
+      ASSERT_EQ(loaded.Get(r, d), store.Get(r, d));
+    }
+  }
+}
+
+TEST(StructureIoTest, SkeletonRoundTripAndValidation) {
+  Skeleton skel;
+  skel.dims = {DimSpec{PartitionStrategy::kIndependent, -1},
+               DimSpec{PartitionStrategy::kConditional, 0},
+               DimSpec{PartitionStrategy::kMapped, 0}};
+  ASSERT_TRUE(skel.Validate());
+  BinaryWriter writer;
+  skel.Serialize(&writer);
+  Skeleton loaded;
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(loaded.Deserialize(&reader));
+  EXPECT_EQ(loaded, skel);
+
+  // An invalid skeleton (self-referential mapping) must be rejected even if
+  // the encoding is well-formed.
+  BinaryWriter bad;
+  bad.PutVarU64(1);
+  bad.PutU8(1);      // kMapped
+  bad.PutVarI64(0);  // maps to itself
+  Skeleton rejected;
+  BinaryReader bad_reader(bad.buffer());
+  EXPECT_FALSE(rejected.Deserialize(&bad_reader));
+}
+
+TEST(StructureIoTest, BoundedLinearModelRoundTrip) {
+  std::vector<Value> ys, xs;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Value y = rng.UniformValue(0, 10000);
+    ys.push_back(y);
+    xs.push_back(3 * y + 17 + rng.UniformValue(-40, 40));
+  }
+  BoundedLinearModel model = BoundedLinearModel::Fit(ys, xs);
+  BinaryWriter writer;
+  model.Serialize(&writer);
+  BoundedLinearModel loaded;
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(loaded.Deserialize(&reader));
+  EXPECT_EQ(loaded.slope(), model.slope());
+  EXPECT_EQ(loaded.intercept(), model.intercept());
+  EXPECT_EQ(loaded.error_lo(), model.error_lo());
+  EXPECT_EQ(loaded.error_hi(), model.error_hi());
+  auto want = model.MapRange(100, 900);
+  auto got = loaded.MapRange(100, 900);
+  EXPECT_EQ(got, want);
+}
+
+// --- Full index snapshots -----------------------------------------------------
+
+// Builds a Tsunami index over correlated data with a skewed two-type
+// workload, snapshots it, reloads, and checks behavioural equivalence.
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(11);
+    data_ = Dataset(3, {});
+    const int64_t n = 30000;
+    data_.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      Value x = rng.UniformValue(0, 100000);
+      data_.AppendRow(
+          {x, 2 * x + rng.UniformValue(-100, 100), rng.UniformValue(0, 500)});
+    }
+    for (int i = 0; i < 60; ++i) {
+      Query q;
+      // Type 0: narrow recent-x queries; type 1: wide dim-2 queries.
+      if (i % 2 == 0) {
+        Value lo = rng.UniformValue(80000, 99000);
+        q.filters = {Predicate{0, lo, lo + 1000}};
+        q.type = 0;
+      } else {
+        Value lo = rng.UniformValue(0, 400);
+        q.filters = {Predicate{2, lo, lo + 50},
+                     Predicate{1, 0, 150000}};
+        q.type = 1;
+      }
+      workload_.push_back(q);
+    }
+    TsunamiOptions options;
+    options.cluster_queries = false;
+    index_ = std::make_unique<TsunamiIndex>(data_, workload_, options);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_ = TempPath("tsunami_snapshot_test.bin");
+  Dataset data_;
+  Workload workload_;
+  std::unique_ptr<TsunamiIndex> index_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesAnswersAndStructure) {
+  std::string error;
+  ASSERT_TRUE(index_->SaveToFile(path_, &error)) << error;
+  std::unique_ptr<TsunamiIndex> loaded =
+      TsunamiIndex::LoadFromFile(path_, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  EXPECT_EQ(loaded->Name(), index_->Name());
+  EXPECT_EQ(loaded->IndexSizeBytes(), index_->IndexSizeBytes());
+  EXPECT_EQ(loaded->stats().num_regions, index_->stats().num_regions);
+  EXPECT_EQ(loaded->stats().total_cells, index_->stats().total_cells);
+  EXPECT_EQ(loaded->store().size(), index_->store().size());
+
+  for (const Query& q : workload_) {
+    QueryResult want = index_->Execute(q);
+    QueryResult got = loaded->Execute(q);
+    EXPECT_EQ(got.agg, want.agg);
+    EXPECT_EQ(got.matched, want.matched);
+    // Identical structure must touch identical physical ranges.
+    EXPECT_EQ(got.scanned, want.scanned);
+    EXPECT_EQ(got.cell_ranges, want.cell_ranges);
+  }
+}
+
+TEST_F(SnapshotTest, LoadedIndexMatchesFullScanOnUnseenQueries) {
+  std::string error;
+  ASSERT_TRUE(index_->SaveToFile(path_, &error)) << error;
+  std::unique_ptr<TsunamiIndex> loaded =
+      TsunamiIndex::LoadFromFile(path_, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  ColumnStore reference(data_);
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    Query q;
+    Value lo0 = rng.UniformValue(0, 90000);
+    Value lo2 = rng.UniformValue(0, 450);
+    q.filters = {Predicate{0, lo0, lo0 + rng.UniformValue(100, 20000)},
+                 Predicate{2, lo2, lo2 + rng.UniformValue(1, 100)}};
+    QueryResult want = ExecuteFullScan(reference, q);
+    QueryResult got = loaded->Execute(q);
+    EXPECT_EQ(got.agg, want.agg);
+    EXPECT_EQ(got.matched, want.matched);
+  }
+}
+
+TEST_F(SnapshotTest, DeltaBufferSurvivesSnapshot) {
+  index_->Insert({50, 100, 250});
+  index_->Insert({51, 102, 251});
+  std::string error;
+  ASSERT_TRUE(index_->SaveToFile(path_, &error)) << error;
+  std::unique_ptr<TsunamiIndex> loaded =
+      TsunamiIndex::LoadFromFile(path_, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->delta_size(), 2);
+  Query q;
+  q.filters = {Predicate{0, 50, 51}, Predicate{2, 250, 251}};
+  EXPECT_EQ(loaded->Execute(q).agg, index_->Execute(q).agg);
+}
+
+TEST_F(SnapshotTest, CorruptPayloadRejected) {
+  std::string error;
+  ASSERT_TRUE(index_->SaveToFile(path_, &error)) << error;
+  // Flip one byte in the middle of the payload.
+  auto size = std::filesystem::file_size(path_);
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char c = static_cast<char>(f.get());
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  EXPECT_EQ(TsunamiIndex::LoadFromFile(path_, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(SnapshotTest, TruncatedSnapshotRejected) {
+  std::string error;
+  ASSERT_TRUE(index_->SaveToFile(path_, &error)) << error;
+  auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size * 3 / 4);
+  EXPECT_EQ(TsunamiIndex::LoadFromFile(path_, &error), nullptr);
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, WrongKindRejected) {
+  std::string error;
+  ASSERT_TRUE(
+      WriteFramedFile(path_, FileKind::kWorkload, "not an index", &error));
+  EXPECT_EQ(TsunamiIndex::LoadFromFile(path_, &error), nullptr);
+  EXPECT_NE(error.find("kind"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, SnapshotIsCompact) {
+  std::string error;
+  ASSERT_TRUE(index_->SaveToFile(path_, &error)) << error;
+  // Delta+varint encoding should beat raw 8-byte-per-value encoding.
+  int64_t raw_bytes = index_->store().DataSizeBytes();
+  EXPECT_LT(static_cast<int64_t>(std::filesystem::file_size(path_)),
+            raw_bytes);
+}
+
+}  // namespace
+}  // namespace tsunami

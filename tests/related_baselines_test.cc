@@ -1,0 +1,276 @@
+// Tests for the related-work baselines the paper cites but excludes from
+// its evaluation (§6.1): R-tree [3], Grid File [31], and UB-tree [36] —
+// including a brute-force property check of the Tropf-Herzog BIGMIN
+// Z-address jump used by the UB-tree.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/grid_file.h"
+#include "src/baselines/rtree.h"
+#include "src/baselines/ub_tree.h"
+#include "src/baselines/zorder.h"
+#include "src/common/random.h"
+#include "src/datasets/datasets.h"
+#include "src/storage/column_store.h"
+
+namespace tsunami {
+namespace {
+
+// --- BIGMIN ------------------------------------------------------------------
+
+// Smallest Z-address > z inside the box, by exhaustive enumeration.
+bool BruteForceBigMin(uint64_t z, const std::vector<uint32_t>& lo,
+                      const std::vector<uint32_t>& hi, int bits_per_dim,
+                      uint64_t* out) {
+  int dims = static_cast<int>(lo.size());
+  uint64_t total = uint64_t{1} << (dims * bits_per_dim);
+  for (uint64_t cand = z + 1; cand < total; ++cand) {
+    std::vector<uint32_t> coords = MortonDecode(cand, dims, bits_per_dim);
+    bool inside = true;
+    for (int d = 0; d < dims; ++d) {
+      if (coords[d] < lo[d] || coords[d] > hi[d]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) {
+      *out = cand;
+      return true;
+    }
+  }
+  return false;
+}
+
+class BigMinTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigMinTest, MatchesBruteForceOnRandomBoxes) {
+  const int dims = GetParam();
+  const int bits = dims == 2 ? 4 : 3;
+  Rng rng(17 + dims);
+  const uint32_t coord_max = (uint32_t{1} << bits) - 1;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint32_t> lo(dims), hi(dims);
+    for (int d = 0; d < dims; ++d) {
+      uint32_t a = static_cast<uint32_t>(rng.NextBelow(coord_max + 1));
+      uint32_t b = static_cast<uint32_t>(rng.NextBelow(coord_max + 1));
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    uint64_t minz = MortonEncode(lo, bits);
+    uint64_t maxz = MortonEncode(hi, bits);
+    uint64_t total = uint64_t{1} << (dims * bits);
+    uint64_t z = rng.NextBelow(total);
+    uint64_t want = 0, got = 0;
+    bool want_found = BruteForceBigMin(z, lo, hi, bits, &want);
+    bool got_found = ZBigMin(z, minz, maxz, dims, bits, &got);
+    ASSERT_EQ(got_found, want_found)
+        << "dims=" << dims << " z=" << z << " trial=" << trial;
+    if (want_found) {
+      ASSERT_EQ(got, want)
+          << "dims=" << dims << " z=" << z << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BigMinTest, ::testing::Values(2, 3));
+
+TEST(BigMinTest, FullBoxSuccessorIsIncrement) {
+  // Box covering the whole space: successor of z is z + 1.
+  std::vector<uint32_t> lo = {0, 0}, hi = {15, 15};
+  uint64_t minz = MortonEncode(lo, 4), maxz = MortonEncode(hi, 4);
+  uint64_t out = 0;
+  ASSERT_TRUE(ZBigMin(100, minz, maxz, 2, 4, &out));
+  EXPECT_EQ(out, 101u);
+  // The last address has no successor.
+  EXPECT_FALSE(ZBigMin(maxz, minz, maxz, 2, 4, &out));
+}
+
+// --- Correctness vs full scan over the evaluation datasets --------------------
+
+struct BaselineCase {
+  const char* name;
+  int benchmark;  // 0 = TPC-H, 1 = Taxi.
+  int index;      // 0 = RTree, 1 = GridFile, 2 = UBTree.
+};
+
+class RelatedBaselineTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RelatedBaselineTest, MatchesFullScan) {
+  const int which_bench = std::get<0>(GetParam());
+  const int which_index = std::get<1>(GetParam());
+  Benchmark bench = which_bench == 0 ? MakeTpchBenchmark(30000)
+                                     : MakeTaxiBenchmark(30000);
+  std::unique_ptr<MultiDimIndex> index;
+  switch (which_index) {
+    case 0: {
+      RTreeIndex::Options options;
+      options.page_size = 512;
+      index = std::make_unique<RTreeIndex>(bench.data, options);
+      break;
+    }
+    case 1: {
+      GridFileIndex::Options options;
+      options.target_cell_rows = 512;
+      index = std::make_unique<GridFileIndex>(bench.data, options);
+      break;
+    }
+    default: {
+      UbTreeIndex::Options options;
+      options.page_size = 512;
+      index = std::make_unique<UbTreeIndex>(bench.data, options);
+      break;
+    }
+  }
+  ColumnStore reference(bench.data);
+  for (const Query& q : bench.workload) {
+    QueryResult want = ExecuteFullScan(reference, q);
+    QueryResult got = index->Execute(q);
+    EXPECT_EQ(got.agg, want.agg) << index->Name();
+    EXPECT_EQ(got.matched, want.matched) << index->Name();
+    // An index may never scan fewer rows than it matches.
+    EXPECT_GE(got.scanned, got.matched) << index->Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RelatedBaselineTest,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(0, 1, 2)));
+
+// --- Structural sanity ---------------------------------------------------------
+
+Dataset RandomDataset(int dims, int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(dims, {});
+  data.Reserve(rows);
+  std::vector<Value> row(dims);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int d = 0; d < dims; ++d) row[d] = rng.UniformValue(0, 100000);
+    data.AppendRow(row);
+  }
+  return data;
+}
+
+TEST(RTreeTest, PackedStructure) {
+  Dataset data = RandomDataset(3, 10000, 5);
+  RTreeIndex::Options options;
+  options.page_size = 256;
+  options.fanout = 8;
+  RTreeIndex index(data, options);
+  EXPECT_EQ(index.num_leaves(), (10000 + 255) / 256);
+  // height = ceil(log_8(leaves)) + 1 levels.
+  EXPECT_GE(index.height(), 2);
+  EXPECT_LE(index.height(), 4);
+  EXPECT_GT(index.IndexSizeBytes(), 0);
+}
+
+TEST(RTreeTest, EmptyAndTinyDatasets) {
+  Dataset empty(2, {});
+  RTreeIndex index(empty);
+  Query q;
+  q.filters = {Predicate{0, 0, 10}};
+  EXPECT_EQ(index.Execute(q).agg, 0);
+
+  Dataset one(2, {5, 7});
+  RTreeIndex single(one);
+  q.filters = {Predicate{0, 5, 5}, Predicate{1, 7, 7}};
+  EXPECT_EQ(single.Execute(q).agg, 1);
+}
+
+TEST(RTreeTest, ExactLeavesSkipPerRowChecks) {
+  // A query covering everything turns every leaf scan into an exact range:
+  // COUNT touches no data, so scanned == 0.
+  Dataset data = RandomDataset(2, 5000, 6);
+  RTreeIndex index(data);
+  Query q;  // No filters.
+  QueryResult r = index.Execute(q);
+  EXPECT_EQ(r.agg, 5000);
+  EXPECT_EQ(r.scanned, 0);
+}
+
+TEST(GridFileTest, SymmetricPartitions) {
+  Dataset data = RandomDataset(3, 40000, 7);
+  GridFileIndex::Options options;
+  options.target_cell_rows = 512;
+  GridFileIndex index(data, options);
+  const std::vector<int>& parts = index.partitions();
+  ASSERT_EQ(parts.size(), 3u);
+  // All dimensions get the same partition count (no workload tuning).
+  EXPECT_EQ(parts[0], parts[1]);
+  EXPECT_EQ(parts[1], parts[2]);
+  EXPECT_EQ(index.num_cells(),
+            int64_t{parts[0]} * parts[1] * parts[2]);
+}
+
+TEST(GridFileTest, EmptyDatasetAndUnfilteredQuery) {
+  Dataset empty(2, {});
+  GridFileIndex index(empty);
+  Query q;
+  EXPECT_EQ(index.Execute(q).agg, 0);
+
+  Dataset data = RandomDataset(2, 3000, 8);
+  GridFileIndex full(data);
+  EXPECT_EQ(full.Execute(q).agg, 3000);
+}
+
+TEST(GridFileTest, AllEqualValuesInOneDimension) {
+  Dataset data(2, {});
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    data.AppendRow({42, rng.UniformValue(0, 1000)});
+  }
+  GridFileIndex index(data);
+  Query q;
+  q.filters = {Predicate{0, 42, 42}, Predicate{1, 100, 200}};
+  ColumnStore reference(data);
+  EXPECT_EQ(index.Execute(q).agg, ExecuteFullScan(reference, q).agg);
+  q.filters = {Predicate{0, 0, 41}};
+  EXPECT_EQ(index.Execute(q).agg, 0);
+}
+
+TEST(UbTreeTest, PageCountMatchesPageSize) {
+  Dataset data = RandomDataset(2, 10000, 10);
+  UbTreeIndex::Options options;
+  options.page_size = 1000;
+  UbTreeIndex index(data, options);
+  EXPECT_EQ(index.num_pages(), 10);
+}
+
+TEST(UbTreeTest, SkipsPagesOutsideNarrowBox) {
+  // Strongly clustered box query: BIGMIN jumps must avoid scanning the
+  // whole table.
+  Dataset data = RandomDataset(2, 100000, 11);
+  UbTreeIndex::Options options;
+  options.page_size = 256;
+  UbTreeIndex index(data, options);
+  Query q;
+  q.filters = {Predicate{0, 1000, 3000}, Predicate{1, 1000, 3000}};
+  QueryResult r = index.Execute(q);
+  ColumnStore reference(data);
+  EXPECT_EQ(r.agg, ExecuteFullScan(reference, q).agg);
+  EXPECT_LT(r.scanned, data.size() / 4);
+}
+
+TEST(UbTreeTest, RandomQueriesFuzzAgainstFullScan) {
+  Dataset data = RandomDataset(3, 20000, 12);
+  UbTreeIndex index(data);
+  ColumnStore reference(data);
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    Query q;
+    int nf = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int f = 0; f < nf; ++f) {
+      Value lo = rng.UniformValue(-5000, 100000);
+      q.filters.push_back(
+          Predicate{static_cast<int>(rng.NextBelow(3)), lo,
+                    lo + rng.UniformValue(0, 30000)});
+    }
+    EXPECT_EQ(index.Execute(q).agg, ExecuteFullScan(reference, q).agg)
+        << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tsunami

@@ -1,0 +1,166 @@
+// End-to-end tests for TsunamiIndex and FloodIndex: correctness against a
+// full scan across all four dataset emulators and all drill-down variants,
+// structural sanity of the optimized index, and workload-shift rebuilds.
+#include <gtest/gtest.h>
+
+#include "src/baselines/full_scan.h"
+#include "src/core/tsunami.h"
+#include "src/datasets/datasets.h"
+#include "src/flood/flood.h"
+
+namespace tsunami {
+namespace {
+
+TsunamiOptions SmallOptions() {
+  TsunamiOptions options;
+  options.sample_rows = 20000;
+  options.agd.max_sample_points = 512;
+  options.agd.max_sample_queries = 32;
+  options.agd.max_iters = 2;
+  options.agd.max_cells = 1 << 12;
+  return options;
+}
+
+void CheckMatchesFullScan(const MultiDimIndex& index, const Benchmark& bench,
+                          const FullScanIndex& reference) {
+  for (const Query& q : bench.workload) {
+    QueryResult expected = reference.Execute(q);
+    QueryResult got = index.Execute(q);
+    ASSERT_EQ(got.agg, expected.agg)
+        << index.Name() << " on " << bench.name;
+    ASSERT_EQ(got.matched, expected.matched);
+  }
+}
+
+class TsunamiDatasetTest : public ::testing::TestWithParam<int> {
+ protected:
+  Benchmark MakeBench() const {
+    switch (GetParam()) {
+      case 0:
+        return MakeTpchBenchmark(8000, 41, 12);
+      case 1:
+        return MakeTaxiBenchmark(8000, 42, 12);
+      case 2:
+        return MakePerfmonBenchmark(8000, 43, 12);
+      default:
+        return MakeStocksBenchmark(8000, 44, 12);
+    }
+  }
+};
+
+TEST_P(TsunamiDatasetTest, TsunamiMatchesFullScan) {
+  Benchmark bench = MakeBench();
+  FullScanIndex reference(bench.data);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  CheckMatchesFullScan(index, bench, reference);
+}
+
+TEST_P(TsunamiDatasetTest, FloodMatchesFullScan) {
+  Benchmark bench = MakeBench();
+  FullScanIndex reference(bench.data);
+  FloodOptions options;
+  options.agd.max_sample_points = 512;
+  options.agd.max_sample_queries = 32;
+  options.agd.max_iters = 2;
+  FloodIndex index(bench.data, bench.workload, options);
+  CheckMatchesFullScan(index, bench, reference);
+}
+
+TEST_P(TsunamiDatasetTest, GridTreeOnlyVariantMatchesFullScan) {
+  Benchmark bench = MakeBench();
+  FullScanIndex reference(bench.data);
+  TsunamiOptions options = SmallOptions();
+  options.use_augmentation = false;
+  options.name = "GridTreeOnly";
+  TsunamiIndex index(bench.data, bench.workload, options);
+  EXPECT_EQ(index.Name(), "GridTreeOnly");
+  CheckMatchesFullScan(index, bench, reference);
+}
+
+TEST_P(TsunamiDatasetTest, AugmentedGridOnlyVariantMatchesFullScan) {
+  Benchmark bench = MakeBench();
+  FullScanIndex reference(bench.data);
+  TsunamiOptions options = SmallOptions();
+  options.use_grid_tree = false;
+  TsunamiIndex index(bench.data, bench.workload, options);
+  EXPECT_EQ(index.stats().num_regions, 1);
+  CheckMatchesFullScan(index, bench, reference);
+}
+
+std::string DatasetName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"TpcH", "Taxi", "Perfmon", "Stocks"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, TsunamiDatasetTest,
+                         ::testing::Values(0, 1, 2, 3), DatasetName);
+
+TEST(TsunamiIndexTest, StatsAreConsistent) {
+  Benchmark bench = MakeTpchBenchmark(8000, 45, 12);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  const TsunamiIndex::Stats& stats = index.stats();
+  EXPECT_GE(stats.num_query_types, 1);
+  EXPECT_GE(stats.num_regions, 1);
+  EXPECT_GE(stats.tree_nodes, stats.num_regions);
+  EXPECT_LE(stats.num_indexed_regions, stats.num_regions);
+  EXPECT_GE(stats.total_cells, stats.num_indexed_regions);
+  EXPECT_LE(stats.min_region_points, stats.median_region_points);
+  EXPECT_LE(stats.median_region_points, stats.max_region_points);
+  EXPECT_GT(index.IndexSizeBytes(), 0);
+}
+
+TEST(TsunamiIndexTest, RegionsPartitionAllRows) {
+  Benchmark bench = MakeStocksBenchmark(6000, 46, 10);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  // An unfiltered COUNT(*) query must touch every row exactly once.
+  Query all;
+  QueryResult result = index.Execute(all);
+  EXPECT_EQ(result.agg, bench.data.size());
+}
+
+TEST(TsunamiIndexTest, RebuildForShiftedWorkloadStaysCorrect) {
+  Benchmark bench = MakeTpchBenchmark(8000, 47, 12);
+  Workload shifted = MakeTpchShiftedWorkload(bench.data, 48, 12);
+  FullScanIndex reference(bench.data);
+  TsunamiIndex rebuilt(bench.data, shifted, SmallOptions());
+  for (const Query& q : shifted) {
+    QueryResult expected = reference.Execute(q);
+    ASSERT_EQ(rebuilt.Execute(q).agg, expected.agg);
+  }
+  // The old workload still answers correctly (performance may differ).
+  CheckMatchesFullScan(rebuilt, bench, reference);
+}
+
+TEST(TsunamiIndexTest, PreLabeledTypesAreRespected) {
+  Benchmark bench = MakeTaxiBenchmark(6000, 49, 10);
+  TsunamiOptions options = SmallOptions();
+  options.cluster_queries = false;  // Use generator labels (6 types).
+  TsunamiIndex index(bench.data, bench.workload, options);
+  EXPECT_EQ(index.stats().num_query_types, 6);
+  FullScanIndex reference(bench.data);
+  CheckMatchesFullScan(index, bench, reference);
+}
+
+TEST(TsunamiIndexTest, EmptyWorkloadBuildsUnindexedRegions) {
+  Benchmark bench = MakeUniformBenchmark(3, 2000, 50, 5);
+  TsunamiIndex index(bench.data, Workload{}, SmallOptions());
+  FullScanIndex reference(bench.data);
+  CheckMatchesFullScan(index, bench, reference);
+}
+
+TEST(FloodIndexTest, ReportsCellsAndTimings) {
+  Benchmark bench = MakeTpchBenchmark(6000, 51, 10);
+  FloodOptions options;
+  options.agd.max_sample_points = 512;
+  options.agd.max_sample_queries = 32;
+  FloodIndex index(bench.data, bench.workload, options);
+  EXPECT_GE(index.num_cells(), 1);
+  EXPECT_GE(index.optimize_seconds(), 0.0);
+  EXPECT_GE(index.sort_seconds(), 0.0);
+  // Flood never uses augmentation.
+  EXPECT_EQ(index.grid().skeleton().NumMapped(), 0);
+  EXPECT_EQ(index.grid().skeleton().NumConditional(), 0);
+}
+
+}  // namespace
+}  // namespace tsunami
