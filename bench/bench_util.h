@@ -154,6 +154,49 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+/// Minimal JSON record builder for BENCH_*.json artifacts: an ordered flat
+/// object of numeric / string fields. No escaping beyond quoting — bench
+/// keys and names are plain identifiers.
+class JsonRecord {
+ public:
+  JsonRecord& Num(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return Raw(key, buffer);
+  }
+  JsonRecord& Int(const std::string& key, int64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonRecord& Str(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + value + "\"");
+  }
+  std::string Finish() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonRecord& Raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + value;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Writes `{"bench": <name>, "results": [records...]}` to `path`.
+inline bool WriteBenchJson(const std::string& path, const std::string& name,
+                           const std::vector<std::string>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+               name.c_str());
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f, "    %s%s\n", records[i].c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace bench
 }  // namespace tsunami
 

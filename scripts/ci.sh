@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the tier-1 test suite, with
+# -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DTSUNAMI_WERROR=ON
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"

@@ -82,7 +82,10 @@ QueryResult GridFileIndex::Execute(const Query& query) const {
   }
 
   // Odometer over the cell box; runs along the innermost dimension are
-  // contiguous in the directory, so scan them as single ranges.
+  // contiguous in the directory, so scan them as single ranges. Runs are
+  // collected and submitted to the scan kernel as one batch.
+  static thread_local std::vector<RangeTask> tasks;
+  tasks.clear();
   std::vector<int> cur(lo);
   for (;;) {
     int64_t base = 0;
@@ -110,7 +113,7 @@ QueryResult GridFileIndex::Execute(const Query& query) const {
         }
       }
       ++result.cell_ranges;
-      store_.ScanRange(begin, end, query, exact, &result);
+      tasks.push_back(RangeTask{begin, end, exact});
     }
     // Advance the odometer over dims [0, dims_-1).
     int d = dims_ - 2;
@@ -121,6 +124,7 @@ QueryResult GridFileIndex::Execute(const Query& query) const {
     if (d < 0) break;
     ++cur[d];
   }
+  store_.ScanRanges(tasks, query, &result);
   return result;
 }
 

@@ -85,13 +85,16 @@ QueryResult KdTree::Execute(const Query& query) const {
   if (nodes_.empty()) return result;
   std::vector<Value> lo = bounds_.lo;
   std::vector<Value> hi = bounds_.hi;
-  ExecuteNode(0, query, &lo, &hi, &result);
+  static thread_local std::vector<RangeTask> tasks;
+  tasks.clear();
+  PlanNode(0, query, &lo, &hi, &tasks, &result);
+  store_.ScanRanges(tasks, query, &result);
   return result;
 }
 
-void KdTree::ExecuteNode(int32_t node_idx, const Query& query,
-                         std::vector<Value>* lo, std::vector<Value>* hi,
-                         QueryResult* out) const {
+void KdTree::PlanNode(int32_t node_idx, const Query& query,
+                      std::vector<Value>* lo, std::vector<Value>* hi,
+                      std::vector<RangeTask>* tasks, QueryResult* out) const {
   const Node& node = nodes_[node_idx];
   if (node.split_dim < 0) {
     bool exact = true;
@@ -102,7 +105,9 @@ void KdTree::ExecuteNode(int32_t node_idx, const Query& query,
       }
     }
     ++out->cell_ranges;
-    store_.ScanRange(node.begin, node.end, query, exact, out);
+    if (node.begin < node.end) {
+      tasks->push_back(RangeTask{node.begin, node.end, exact});
+    }
     return;
   }
   int dim = node.split_dim;
@@ -111,13 +116,13 @@ void KdTree::ExecuteNode(int32_t node_idx, const Query& query,
   if (p == nullptr || p->lo <= node.split_value) {
     Value saved = (*hi)[dim];
     (*hi)[dim] = std::min(saved, node.split_value);
-    ExecuteNode(node.left, query, lo, hi, out);
+    PlanNode(node.left, query, lo, hi, tasks, out);
     (*hi)[dim] = saved;
   }
   if (p == nullptr || p->hi > node.split_value) {
     Value saved = (*lo)[dim];
     (*lo)[dim] = std::max(saved, node.split_value + 1);
-    ExecuteNode(node.right, query, lo, hi, out);
+    PlanNode(node.right, query, lo, hi, tasks, out);
     (*lo)[dim] = saved;
   }
 }

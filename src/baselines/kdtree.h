@@ -50,9 +50,11 @@ class KdTree : public MultiDimIndex {
                     int64_t begin, int64_t end, int dim_cursor,
                     const Options& options);
 
-  void ExecuteNode(int32_t node_idx, const Query& query,
-                   std::vector<Value>* lo, std::vector<Value>* hi,
-                   QueryResult* out) const;
+  // Collects the leaf ranges the query must scan into `tasks`; the caller
+  // submits them to the scan kernel as one batch.
+  void PlanNode(int32_t node_idx, const Query& query, std::vector<Value>* lo,
+                std::vector<Value>* hi, std::vector<RangeTask>* tasks,
+                QueryResult* out) const;
 
   int dims_ = 0;
   std::vector<int> dim_order_;  // Round-robin order (by selectivity).

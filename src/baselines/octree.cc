@@ -92,13 +92,17 @@ QueryResult HyperOctree::Execute(const Query& query) const {
   if (nodes_.empty()) return result;
   std::vector<Value> lo = bounds_.lo;
   std::vector<Value> hi = bounds_.hi;
-  ExecuteNode(0, query, &lo, &hi, &result);
+  static thread_local std::vector<RangeTask> tasks;
+  tasks.clear();
+  PlanNode(0, query, &lo, &hi, &tasks, &result);
+  store_.ScanRanges(tasks, query, &result);
   return result;
 }
 
-void HyperOctree::ExecuteNode(int32_t node_idx, const Query& query,
-                              std::vector<Value>* lo, std::vector<Value>* hi,
-                              QueryResult* out) const {
+void HyperOctree::PlanNode(int32_t node_idx, const Query& query,
+                           std::vector<Value>* lo, std::vector<Value>* hi,
+                           std::vector<RangeTask>* tasks,
+                           QueryResult* out) const {
   const Node& node = nodes_[node_idx];
   if (node.is_leaf) {
     bool exact = true;
@@ -109,7 +113,9 @@ void HyperOctree::ExecuteNode(int32_t node_idx, const Query& query,
       }
     }
     ++out->cell_ranges;
-    store_.ScanRange(node.begin, node.end, query, exact, out);
+    if (node.begin < node.end) {
+      tasks->push_back(RangeTask{node.begin, node.end, exact});
+    }
     return;
   }
   std::vector<Value> mid(dims_);
@@ -132,7 +138,7 @@ void HyperOctree::ExecuteNode(int32_t node_idx, const Query& query,
         break;
       }
     }
-    if (intersects) ExecuteNode(child, query, &clo, &chi, out);
+    if (intersects) PlanNode(child, query, &clo, &chi, tasks, out);
   }
 }
 

@@ -49,9 +49,11 @@ class HyperOctree : public MultiDimIndex {
                     std::vector<Value>* hi, int depth,
                     const Options& options);
 
-  void ExecuteNode(int32_t node_idx, const Query& query,
-                   std::vector<Value>* lo, std::vector<Value>* hi,
-                   QueryResult* out) const;
+  // Collects the leaf ranges the query must scan into `tasks`; the caller
+  // submits them to the scan kernel as one batch.
+  void PlanNode(int32_t node_idx, const Query& query, std::vector<Value>* lo,
+                std::vector<Value>* hi, std::vector<RangeTask>* tasks,
+                QueryResult* out) const;
 
   int dims_ = 0;
   std::vector<Node> nodes_;

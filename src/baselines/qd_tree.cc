@@ -178,23 +178,30 @@ int32_t QdTreeIndex::BuildNode(const Dataset& data,
   return id;
 }
 
-void QdTreeIndex::ExecuteNode(int32_t node_id, const Query& query,
-                              QueryResult* out) const {
+void QdTreeIndex::PlanNode(int32_t node_id, const Query& query,
+                           std::vector<RangeTask>* tasks,
+                           QueryResult* out) const {
   const Node& node = nodes_[node_id];
   if (!Intersects(query, node.min, node.max)) return;
   if (node.dim < 0) {
     ++out->cell_ranges;
-    store_.ScanRange(node.begin, node.end, query,
-                     Covered(query, node.min, node.max), out);
+    if (node.begin < node.end) {
+      tasks->push_back(RangeTask{node.begin, node.end,
+                                 Covered(query, node.min, node.max)});
+    }
     return;
   }
-  ExecuteNode(node.left, query, out);
-  ExecuteNode(node.right, query, out);
+  PlanNode(node.left, query, tasks, out);
+  PlanNode(node.right, query, tasks, out);
 }
 
 QueryResult QdTreeIndex::Execute(const Query& query) const {
   QueryResult result = InitResult(query);
-  if (!nodes_.empty()) ExecuteNode(0, query, &result);
+  if (nodes_.empty()) return result;
+  static thread_local std::vector<RangeTask> tasks;
+  tasks.clear();
+  PlanNode(0, query, &tasks, &result);
+  store_.ScanRanges(tasks, query, &result);
   return result;
 }
 

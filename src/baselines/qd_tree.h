@@ -70,8 +70,10 @@ class QdTreeIndex : public MultiDimIndex {
                     const std::vector<const Query*>& queries,
                     const Options& options, int depth);
 
-  void ExecuteNode(int32_t node_id, const Query& query,
-                   QueryResult* out) const;
+  // Collects the leaf ranges the query must scan into `tasks`; the caller
+  // submits them to the scan kernel as one batch.
+  void PlanNode(int32_t node_id, const Query& query,
+                std::vector<RangeTask>* tasks, QueryResult* out) const;
 
   int dims_ = 0;
   std::vector<Node> nodes_;

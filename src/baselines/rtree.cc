@@ -116,7 +116,9 @@ QueryResult RTreeIndex::Execute(const Query& query) const {
   if (root_ < 0) return result;
   // Iterative DFS; children of one parent are consecutive node indices.
   static thread_local std::vector<int32_t> stack;
+  static thread_local std::vector<RangeTask> tasks;
   stack.clear();
+  tasks.clear();
   stack.push_back(root_);
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];
@@ -124,14 +126,14 @@ QueryResult RTreeIndex::Execute(const Query& query) const {
     if (!Intersects(node, query)) continue;
     if (node.first_child < 0) {
       ++result.cell_ranges;
-      store_.ScanRange(node.begin, node.end, query, Covered(node, query),
-                       &result);
+      tasks.push_back(RangeTask{node.begin, node.end, Covered(node, query)});
       continue;
     }
     for (int32_t c = 0; c < node.num_children; ++c) {
       stack.push_back(node.first_child + c);
     }
   }
+  store_.ScanRanges(tasks, query, &result);
   return result;
 }
 

@@ -38,7 +38,8 @@ QueryResult SingleDimIndex::Execute(const Query& query) const {
   const Predicate* p = query.FilterOn(sort_dim_);
   if (p == nullptr) {
     // No filter on the sort dimension: full scan.
-    store_.ScanRange(0, store_.size(), query, /*exact=*/false, &result);
+    RangeTask task{0, store_.size(), /*exact=*/false};
+    store_.ScanRanges({&task, 1}, query, &result);
     result.cell_ranges = 1;
     return result;
   }
@@ -46,8 +47,8 @@ QueryResult SingleDimIndex::Execute(const Query& query) const {
   int64_t end = store_.UpperBound(sort_dim_, 0, store_.size(), p->hi);
   // The range is exact when the sort dimension is the only filter: every
   // row in [begin, end) matches by construction.
-  bool exact = query.filters.size() == 1;
-  store_.ScanRange(begin, end, query, exact, &result);
+  RangeTask task{begin, end, /*exact=*/query.filters.size() == 1};
+  store_.ScanRanges({&task, 1}, query, &result);
   result.cell_ranges = 1;
   return result;
 }

@@ -127,7 +127,10 @@ QueryResult UbTreeIndex::Execute(const Query& query) const {
   const uint64_t zmax = MortonEncode(hi_coords, bits_per_dim_);
 
   // Walk pages in Z order, jumping with BIGMIN past pages whose Z-interval
-  // contains no address inside the box.
+  // contains no address inside the box. Page ranges are batched and
+  // submitted to the scan kernel in one call.
+  static thread_local std::vector<RangeTask> tasks;
+  tasks.clear();
   uint64_t cur = zmin;  // Next box address we still have to cover.
   size_t i = static_cast<size_t>(
       std::lower_bound(pages_.begin(), pages_.end(), cur,
@@ -153,11 +156,12 @@ QueryResult UbTreeIndex::Execute(const Query& query) const {
       }
     }
     ++result.cell_ranges;
-    store_.ScanRange(page.begin, page.end, query, /*exact=*/false, &result);
+    tasks.push_back(RangeTask{page.begin, page.end, /*exact=*/false});
     if (page.z_max >= zmax) break;
     if (!ZBigMin(page.z_max, zmin, zmax, dims_, bits_per_dim_, &cur)) break;
     ++i;
   }
+  store_.ScanRanges(tasks, query, &result);
   return result;
 }
 

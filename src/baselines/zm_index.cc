@@ -120,7 +120,8 @@ QueryResult ZmIndex::Execute(const Query& query) const {
 
   if (begin >= end) return result;
   ++result.cell_ranges;
-  store_.ScanRange(begin, end, query, /*exact=*/false, &result);
+  RangeTask task{begin, end, /*exact=*/false};
+  store_.ScanRanges({&task, 1}, query, &result);
   return result;
 }
 

@@ -103,6 +103,8 @@ QueryResult ZOrderIndex::Execute(const Query& query) const {
   auto first = std::partition_point(
       pages_.begin(), pages_.end(),
       [&](const Page& page) { return page.z_max < z_lo; });
+  static thread_local std::vector<RangeTask> tasks;
+  tasks.clear();
   for (auto it = first; it != pages_.end() && it->z_min <= z_hi; ++it) {
     bool intersects = true;
     bool exact = true;
@@ -115,8 +117,9 @@ QueryResult ZOrderIndex::Execute(const Query& query) const {
     }
     if (!intersects) continue;
     ++result.cell_ranges;
-    store_.ScanRange(it->begin, it->end, query, exact, &result);
+    tasks.push_back(RangeTask{it->begin, it->end, exact});
   }
+  store_.ScanRanges(tasks, query, &result);
   return result;
 }
 

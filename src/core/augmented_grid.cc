@@ -273,6 +273,15 @@ void AugmentedGrid::Attach(const ColumnStore* store, int64_t base) {
 }
 
 void AugmentedGrid::Execute(const Query& query, QueryResult* out) const {
+  static thread_local std::vector<RangeTask> tasks;
+  tasks.clear();
+  PlanRanges(query, &tasks, out);
+  if (!tasks.empty()) store_->ScanRanges(tasks, query, out);
+}
+
+void AugmentedGrid::PlanRanges(const Query& query,
+                               std::vector<RangeTask>* tasks,
+                               QueryResult* counters) const {
   if (num_rows_ == 0 || store_ == nullptr) return;
 
   // Effective per-dimension filters: the original filters, narrowed by the
@@ -300,11 +309,11 @@ void AugmentedGrid::Execute(const Query& query, QueryResult* out) const {
   // Outlier rows (§8 buffer) sit outside all cells and mappings; they are
   // scanned with full per-row checks whenever the grid gives up early
   // (e.g. a mapping-narrowed range became empty) and after the runs.
-  auto scan_outliers = [&]() {
+  auto plan_outliers = [&]() {
     if (grid_rows_ < num_rows_) {
-      ++out->cell_ranges;
-      store_->ScanRange(base_ + grid_rows_, base_ + num_rows_, query,
-                        /*exact=*/false, out);
+      ++counters->cell_ranges;
+      tasks->push_back(RangeTask{base_ + grid_rows_, base_ + num_rows_,
+                                 /*exact=*/false});
     }
   };
   bool mapped_covered = true;
@@ -326,7 +335,7 @@ void AugmentedGrid::Execute(const Query& query, QueryResult* out) const {
     if (has_eff[d] && eff_lo[d] > eff_hi[d]) {
       // No grid cell can match, but buffered outliers still might (their
       // values lie outside the mappings' error bands).
-      scan_outliers();
+      plan_outliers();
       return;
     }
   }
@@ -347,9 +356,10 @@ void AugmentedGrid::Execute(const Query& query, QueryResult* out) const {
 
   cur_part.assign(dims_, 0);
   EnumerateRuns(query, indep, eff_lo, eff_hi, has_eff, orig_lo, orig_hi,
-                has_orig, 0, 0, true, mapped_covered, &cur_part, out);
+                has_orig, 0, 0, true, mapped_covered, &cur_part, tasks,
+                counters);
 
-  scan_outliers();
+  plan_outliers();
 }
 
 void AugmentedGrid::EnumerateRuns(
@@ -358,7 +368,8 @@ void AugmentedGrid::EnumerateRuns(
     const std::vector<bool>& has_eff, const std::vector<Value>& orig_lo,
     const std::vector<Value>& orig_hi, const std::vector<bool>& has_orig,
     int depth, int64_t cell_base, bool covered, bool mapped_covered,
-    std::vector<int>* cur_part, QueryResult* out) const {
+    std::vector<int>* cur_part, std::vector<RangeTask>* tasks,
+    QueryResult* counters) const {
   int m = static_cast<int>(grid_dims_.size());
   int dim = grid_dims_[depth];
   bool conditional =
@@ -384,7 +395,7 @@ void AugmentedGrid::EnumerateRuns(
     // contiguous physical run, sorted by this dimension.
     int64_t c_lo = cell_base + range.lo;
     int64_t c_hi = cell_base + range.hi;
-    ++out->cell_ranges;
+    ++counters->cell_ranges;
     int64_t rb = base_ + static_cast<int64_t>(cell_start_[c_lo]);
     int64_t re = base_ + static_cast<int64_t>(cell_start_[c_hi + 1]);
     if (rb >= re) return;
@@ -393,7 +404,9 @@ void AugmentedGrid::EnumerateRuns(
       rb = store_->LowerBound(sort_dim_, rb, re, orig_lo[dim]);
       re = store_->UpperBound(sort_dim_, rb, re, orig_hi[dim]);
     }
-    store_->ScanRange(rb, re, query, covered && mapped_covered, out);
+    if (rb < re) {
+      tasks->push_back(RangeTask{rb, re, covered && mapped_covered});
+    }
     return;
   }
 
@@ -411,7 +424,8 @@ void AugmentedGrid::EnumerateRuns(
     }
     EnumerateRuns(query, indep, eff_lo, eff_hi, has_eff, orig_lo, orig_hi,
                   has_orig, depth + 1, cell_base + idx * strides_[depth],
-                  covered && covered_here, mapped_covered, cur_part, out);
+                  covered && covered_here, mapped_covered, cur_part, tasks,
+                  counters);
   }
 }
 

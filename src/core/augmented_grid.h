@@ -54,7 +54,17 @@ class AugmentedGrid {
   void Attach(const ColumnStore* store, int64_t base);
 
   /// Executes a query over this grid's rows, accumulating into `out`.
+  /// Equivalent to PlanRanges() followed by ColumnStore::ScanRanges().
   void Execute(const Query& query, QueryResult* out) const;
+
+  /// Plans the physical row ranges the query must scan — candidate cell
+  /// runs after binary-search refinement, plus the outlier buffer — and
+  /// appends them to `tasks` without touching row data (beyond the
+  /// refinement binary searches). Counts visited runs into
+  /// counters->cell_ranges. Callers batch tasks across grids/regions and
+  /// submit them to the scan kernel in one go.
+  void PlanRanges(const Query& query, std::vector<RangeTask>* tasks,
+                  QueryResult* counters) const;
 
   int64_t SizeBytes() const;
 
@@ -80,7 +90,7 @@ class AugmentedGrid {
   // Recursive odometer over grid_dims_[depth..]; `cell_base` accumulates
   // partition * stride for the fixed outer dimensions, `covered` tracks
   // whether every filtered outer dimension's partition is fully inside its
-  // original filter.
+  // original filter. Emits one RangeTask per non-empty innermost run.
   void EnumerateRuns(const Query& query, const std::vector<DimRange>& indep,
                      const std::vector<Value>& eff_lo,
                      const std::vector<Value>& eff_hi,
@@ -89,7 +99,9 @@ class AugmentedGrid {
                      const std::vector<Value>& orig_hi,
                      const std::vector<bool>& has_orig, int depth,
                      int64_t cell_base, bool covered, bool mapped_covered,
-                     std::vector<int>* cur_part, QueryResult* out) const;
+                     std::vector<int>* cur_part,
+                     std::vector<RangeTask>* tasks,
+                     QueryResult* counters) const;
 
   int dims_ = 0;
   int64_t num_rows_ = 0;

@@ -6,6 +6,7 @@
 #include "src/common/random.h"
 #include "src/common/stats.h"
 #include "src/common/workload_stats.h"
+#include "src/exec/runner.h"
 #include "src/exec/thread_pool.h"
 
 namespace tsunami {
@@ -223,14 +224,16 @@ Dataset TsunamiIndex::MaterializeData() const {
   return data;
 }
 
-void TsunamiIndex::ExecuteRegion(int region, const Query& query,
-                                 QueryResult* result) const {
+void TsunamiIndex::PlanRegion(int region, const Query& query,
+                              std::vector<RangeTask>* tasks,
+                              QueryResult* counters) const {
   const Region& reg = regions_[region];
   if (reg.has_grid) {
-    reg.grid.Execute(query, result);
+    reg.grid.PlanRanges(query, tasks, counters);
     return;
   }
-  // Unindexed region (no query type intersected it at build time): scan.
+  // Unindexed region (no query type intersected it at build time): scan it
+  // whole; exact when the query's box contains the region's box.
   bool exact = true;
   for (const Predicate& p : query.filters) {
     if (p.lo > reg.box_lo[p.dim] || p.hi < reg.box_hi[p.dim]) {
@@ -238,8 +241,18 @@ void TsunamiIndex::ExecuteRegion(int region, const Query& query,
       break;
     }
   }
-  ++result->cell_ranges;
-  store_.ScanRange(reg.begin, reg.end, query, exact, result);
+  ++counters->cell_ranges;
+  if (reg.begin < reg.end) {
+    tasks->push_back(RangeTask{reg.begin, reg.end, exact});
+  }
+}
+
+void TsunamiIndex::ExecuteRegion(int region, const Query& query,
+                                 QueryResult* result) const {
+  static thread_local std::vector<RangeTask> tasks;
+  tasks.clear();
+  PlanRegion(region, query, &tasks, result);
+  if (!tasks.empty()) store_.ScanRanges(tasks, query, result);
 }
 
 void TsunamiIndex::ExecuteDelta(const Query& query,
@@ -269,12 +282,17 @@ void TsunamiIndex::ExecuteDelta(const Query& query,
 QueryResult TsunamiIndex::Execute(const Query& query) const {
   QueryResult result = InitResult(query);
   static thread_local std::vector<int> hits;
+  static thread_local std::vector<RangeTask> tasks;
+  tasks.clear();
   if (use_grid_tree_) {
     tree_.CollectRegions(query, &hits);
   } else {
     hits.assign(1, 0);
   }
-  for (int region : hits) ExecuteRegion(region, query, &result);
+  // Batch submission: plan every intersected region's ranges first, then
+  // hand the whole batch to the scan kernel in one call.
+  for (int region : hits) PlanRegion(region, query, &tasks, &result);
+  store_.ScanRanges(tasks, query, &result);
   ExecuteDelta(query, &result);
   return result;
 }
@@ -288,18 +306,15 @@ QueryResult TsunamiIndex::ExecuteParallel(const Query& query,
   } else {
     hits.assign(1, 0);
   }
-  // One partial per region: regions cover disjoint physical ranges, so
-  // counters merge exactly; result equals Execute() for any thread count.
-  std::vector<QueryResult> partials(hits.size());
-  pool->ParallelFor(0, static_cast<int64_t>(hits.size()), 1,
-                    [&](int64_t i) {
-                      partials[i] = InitResult(query);
-                      ExecuteRegion(hits[i], query, &partials[i]);
-                    });
+  // Planning is cheap and serial; the scans are the work. Batch every
+  // region's ranges and let the executor split them row-balanced across
+  // the pool with per-thread partials merged once — result equals
+  // Execute() for any thread count.
   QueryResult result = InitResult(query);
-  for (const QueryResult& partial : partials) {
-    MergeQueryResults(query.agg, partial, &result);
-  }
+  std::vector<RangeTask> tasks;
+  for (int region : hits) PlanRegion(region, query, &tasks, &result);
+  QueryResult scans = ExecuteRangeTasks(store_, tasks, query, pool);
+  MergeQueryResults(query.agg, scans, &result);
   ExecuteDelta(query, &result);
   return result;
 }

@@ -157,6 +157,10 @@ class TsunamiIndex : public MultiDimIndex {
   // One region's contribution to a query (grid execution or raw scan).
   void ExecuteRegion(int region, const Query& query,
                      QueryResult* result) const;
+  // Plans one region's RangeTasks (grid runs or the raw region range)
+  // without scanning; counts visited ranges into counters->cell_ranges.
+  void PlanRegion(int region, const Query& query,
+                  std::vector<RangeTask>* tasks, QueryResult* counters) const;
   // The delta buffer's contribution (always scanned, §8 insertions).
   void ExecuteDelta(const Query& query, QueryResult* result) const;
 

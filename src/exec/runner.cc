@@ -1,5 +1,7 @@
 #include "src/exec/runner.h"
 
+#include <algorithm>
+
 #include "src/common/stats.h"
 
 namespace tsunami {
@@ -17,6 +19,66 @@ std::vector<QueryResult> RunWorkload(const MultiDimIndex& index,
   pool->ParallelFor(0, static_cast<int64_t>(workload.size()), 4,
                     [&](int64_t i) { results[i] = index.Execute(workload[i]); });
   return results;
+}
+
+QueryResult ExecuteRangeTasks(const ColumnStore& store,
+                              std::span<const RangeTask> tasks,
+                              const Query& query, ThreadPool* pool,
+                              const ScanOptions& options) {
+  QueryResult total = InitResult(query);
+  int64_t total_rows = 0;
+  for (const RangeTask& task : tasks) total_rows += task.end - task.begin;
+  const int threads = pool == nullptr ? 0 : pool->num_threads();
+  // Below ~4 blocks per thread the merge and dispatch overhead exceeds the
+  // scan itself; run the batch inline.
+  if (threads <= 1 || total_rows < threads * 4 * kScanBlockRows) {
+    store.ScanRanges(tasks, query, &total, options);
+    return total;
+  }
+  // Row-balanced chunks: split the batch (and any oversized task, at block
+  // boundaries so full-block zone-map paths stay aligned) into ~4 chunks
+  // per thread. Chunks cover disjoint rows, so partials merge exactly.
+  const int64_t target = std::max<int64_t>(
+      kScanBlockRows, (total_rows + threads * 4 - 1) / (threads * 4));
+  std::vector<std::vector<RangeTask>> chunks;
+  chunks.emplace_back();
+  int64_t chunk_rows = 0;
+  auto emit = [&](RangeTask task) {
+    while (task.end - task.begin + chunk_rows > target) {
+      int64_t take = target - chunk_rows;
+      // Round the split point down to a block boundary (but always make
+      // progress) so neither side scans a partial block unnecessarily.
+      int64_t split = task.begin + take;
+      split -= split % kScanBlockRows;
+      if (split <= task.begin) split = task.begin + take;
+      chunks.back().push_back(RangeTask{task.begin, split, task.exact});
+      chunks.emplace_back();
+      chunk_rows = 0;
+      task.begin = split;
+    }
+    chunks.back().push_back(task);
+    chunk_rows += task.end - task.begin;
+    if (chunk_rows >= target) {
+      chunks.emplace_back();
+      chunk_rows = 0;
+    }
+  };
+  for (const RangeTask& task : tasks) {
+    if (task.begin < task.end) emit(task);
+  }
+  if (chunks.back().empty()) chunks.pop_back();
+
+  std::vector<QueryResult> partials(chunks.size());
+  pool->ParallelFor(0, static_cast<int64_t>(chunks.size()), 1,
+                    [&](int64_t i) {
+                      partials[i] = InitResult(query);
+                      store.ScanRanges(chunks[i], query, &partials[i],
+                                       options);
+                    });
+  for (const QueryResult& partial : partials) {
+    MergeQueryResults(query.agg, partial, &total);
+  }
+  return total;
 }
 
 WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,

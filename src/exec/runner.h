@@ -5,11 +5,13 @@
 #define TSUNAMI_EXEC_RUNNER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/index.h"
 #include "src/common/types.h"
 #include "src/exec/thread_pool.h"
+#include "src/storage/column_store.h"
 
 namespace tsunami {
 
@@ -33,6 +35,17 @@ std::vector<QueryResult> RunWorkload(const MultiDimIndex& index,
 WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,
                                  const Workload& workload,
                                  ThreadPool* pool = nullptr);
+
+/// Batched multi-range executor: scans every planned RangeTask against the
+/// store, splitting the batch into row-balanced chunks across the pool's
+/// threads (large tasks are split at zone-map block boundaries). Each
+/// thread accumulates a private partial QueryResult; partials are merged
+/// exactly once, so the result is bit-identical to a serial ScanRanges for
+/// any thread count. Does not touch cell_ranges (the planner counts runs).
+QueryResult ExecuteRangeTasks(const ColumnStore& store,
+                              std::span<const RangeTask> tasks,
+                              const Query& query, ThreadPool* pool,
+                              const ScanOptions& options = {});
 
 }  // namespace tsunami
 

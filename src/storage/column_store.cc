@@ -10,6 +10,7 @@ ColumnStore::ColumnStore(const Dataset& data) : num_rows_(data.size()) {
     columns_[d].resize(num_rows_);
     for (int64_t r = 0; r < num_rows_; ++r) columns_[d][r] = data.at(r, d);
   }
+  zones_.Build(columns_);
 }
 
 ColumnStore::ColumnStore(const Dataset& data,
@@ -22,48 +23,19 @@ ColumnStore::ColumnStore(const Dataset& data,
       columns_[d][r] = data.at(perm[r], d);
     }
   }
+  zones_.Build(columns_);
 }
 
 void ColumnStore::ScanRange(int64_t begin, int64_t end, const Query& query,
-                            bool exact, QueryResult* out) const {
-  if (begin >= end) return;
-  if (exact) {
-    // Exact ranges skip per-value checks entirely; COUNT touches no data.
-    int64_t n = end - begin;
-    out->matched += n;
-    if (query.agg == AggKind::kCount) {
-      out->agg += n;
-    } else {
-      const std::vector<Value>& agg_col = columns_[query.agg_dim];
-      for (int64_t r = begin; r < end; ++r) {
-        AccumulateAgg(query.agg, agg_col[r], &out->agg);
-      }
-      out->scanned += n;
-    }
-    return;
-  }
-  out->scanned += end - begin;
-  // Column-at-a-time filtering: start with all rows live, narrow per filter.
-  // For the small per-cell ranges indexes produce, a row-at-a-time loop with
-  // early exit is fastest; we use that with columnar access order.
-  const std::vector<Predicate>& filters = query.filters;
-  for (int64_t r = begin; r < end; ++r) {
-    bool ok = true;
-    for (const Predicate& p : filters) {
-      Value v = columns_[p.dim][r];
-      if (v < p.lo || v > p.hi) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
-    ++out->matched;
-    if (query.agg == AggKind::kCount) {
-      ++out->agg;
-    } else {
-      AccumulateAgg(query.agg, columns_[query.agg_dim][r], &out->agg);
-    }
-  }
+                            bool exact, QueryResult* out,
+                            const ScanOptions& options) const {
+  kernel().Scan(begin, end, query, exact, out, options);
+}
+
+void ColumnStore::ScanRanges(std::span<const RangeTask> tasks,
+                             const Query& query, QueryResult* out,
+                             const ScanOptions& options) const {
+  kernel().ScanBatch(tasks, query, out, options);
 }
 
 int64_t ColumnStore::LowerBound(int dim, int64_t begin, int64_t end,
@@ -125,6 +97,8 @@ bool ColumnStore::Deserialize(BinaryReader* reader) {
       columns_[d][r] = prev;
     }
   }
+  // Zone maps are derived state: cheaper to rebuild than to persist.
+  if (reader->ok()) zones_.Build(columns_);
   return reader->ok();
 }
 

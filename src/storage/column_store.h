@@ -6,10 +6,12 @@
 #define TSUNAMI_STORAGE_COLUMN_STORE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/types.h"
 #include "src/io/serializer.h"
+#include "src/storage/scan_kernel.h"
 
 namespace tsunami {
 
@@ -39,9 +41,24 @@ class ColumnStore {
   /// Scans physical rows [begin, end), accumulating the query's aggregate
   /// over rows matching every filter into `out`. Updates out->scanned /
   /// matched. If `exact` is true, all rows in the range are known to match
-  /// and per-row filter checks are skipped.
+  /// and per-row filter checks are skipped. Runs the vectorized block
+  /// kernel by default; pass ScanOptions{ScanOptions::kScalar} for the
+  /// row-at-a-time reference path (both produce bit-identical results).
   void ScanRange(int64_t begin, int64_t end, const Query& query, bool exact,
-                 QueryResult* out) const;
+                 QueryResult* out, const ScanOptions& options = {}) const;
+
+  /// Batched multi-range execution: scans every task in order into one
+  /// accumulator. Indexes plan all candidate ranges (cells, runs, pages)
+  /// and submit them in a single call. Does not touch out->cell_ranges.
+  void ScanRanges(std::span<const RangeTask> tasks, const Query& query,
+                  QueryResult* out, const ScanOptions& options = {}) const;
+
+  /// The block zone maps (per-block min/max/sum per dimension), built at
+  /// construction and after Deserialize.
+  const ZoneMaps& zone_maps() const { return zones_; }
+
+  /// A scan-kernel view over this store's columns and zone maps.
+  ScanKernel kernel() const { return ScanKernel(columns_, zones_); }
 
   /// First row in sorted-by-`dim` range [begin, end) with value >= v.
   /// Precondition: rows [begin, end) are sorted by `dim`.
@@ -61,6 +78,7 @@ class ColumnStore {
  private:
   int64_t num_rows_ = 0;
   std::vector<std::vector<Value>> columns_;
+  ZoneMaps zones_;
 };
 
 /// Executes `query` by scanning the full store; the reference answer used by

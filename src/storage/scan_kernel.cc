@@ -1,0 +1,279 @@
+#include "src/storage/scan_kernel.h"
+
+#include <algorithm>
+
+namespace tsunami {
+
+void ZoneMaps::Build(const std::vector<std::vector<Value>>& columns) {
+  Clear();
+  if (columns.empty() || columns[0].empty()) return;
+  const int dims = static_cast<int>(columns.size());
+  const int64_t rows = static_cast<int64_t>(columns[0].size());
+  num_blocks_ = (rows + kScanBlockRows - 1) / kScanBlockRows;
+  min_.assign(dims, {});
+  max_.assign(dims, {});
+  sum_.assign(dims, {});
+  for (int d = 0; d < dims; ++d) {
+    min_[d].resize(num_blocks_);
+    max_[d].resize(num_blocks_);
+    sum_[d].resize(num_blocks_);
+    const Value* col = columns[d].data();
+    for (int64_t b = 0; b < num_blocks_; ++b) {
+      int64_t lo = b * kScanBlockRows;
+      int64_t hi = std::min(rows, lo + kScanBlockRows);
+      Value mn = col[lo], mx = col[lo];
+      int64_t s = 0;
+      for (int64_t r = lo; r < hi; ++r) {
+        Value v = col[r];
+        mn = v < mn ? v : mn;
+        mx = v > mx ? v : mx;
+        s += v;
+      }
+      min_[d][b] = mn;
+      max_[d][b] = mx;
+      sum_[d][b] = s;
+    }
+  }
+}
+
+void ZoneMaps::Clear() {
+  num_blocks_ = 0;
+  min_.clear();
+  max_.clear();
+  sum_.clear();
+}
+
+int64_t ZoneMaps::SizeBytes() const {
+  return num_blocks_ * static_cast<int64_t>(min_.size()) *
+         (2 * sizeof(Value) + sizeof(int64_t));
+}
+
+void ScanKernel::Scan(int64_t begin, int64_t end, const Query& query,
+                      bool exact, QueryResult* out,
+                      const ScanOptions& options) const {
+  if (begin >= end) return;
+  if (options.mode == ScanMode::kScalar) {
+    ScanScalar(begin, end, query, exact, out);
+  } else if (exact) {
+    ScanExactVectorized(begin, end, query, out);
+  } else {
+    ScanVectorized(begin, end, query, out);
+  }
+}
+
+void ScanKernel::ScanBatch(std::span<const RangeTask> tasks,
+                           const Query& query, QueryResult* out,
+                           const ScanOptions& options) const {
+  for (const RangeTask& task : tasks) {
+    Scan(task.begin, task.end, query, task.exact, out, options);
+  }
+}
+
+// The pre-kernel reference path: row-at-a-time with early exit. Kept
+// verbatim so ScanMode::kScalar A/Bs against exactly the old behavior.
+void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
+                            bool exact, QueryResult* out) const {
+  const std::vector<std::vector<Value>>& columns = *columns_;
+  if (exact) {
+    // Exact ranges skip per-value checks entirely; COUNT touches no data.
+    int64_t n = end - begin;
+    out->matched += n;
+    if (query.agg == AggKind::kCount) {
+      out->agg += n;
+    } else {
+      const std::vector<Value>& agg_col = columns[query.agg_dim];
+      for (int64_t r = begin; r < end; ++r) {
+        AccumulateAgg(query.agg, agg_col[r], &out->agg);
+      }
+      out->scanned += n;
+    }
+    return;
+  }
+  out->scanned += end - begin;
+  const std::vector<Predicate>& filters = query.filters;
+  for (int64_t r = begin; r < end; ++r) {
+    bool ok = true;
+    for (const Predicate& p : filters) {
+      Value v = columns[p.dim][r];
+      if (v < p.lo || v > p.hi) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    ++out->matched;
+    if (query.agg == AggKind::kCount) {
+      ++out->agg;
+    } else {
+      AccumulateAgg(query.agg, columns[query.agg_dim][r], &out->agg);
+    }
+  }
+}
+
+int ScanKernel::BuildSelection(int64_t begin, int64_t end,
+                               const std::vector<Predicate>& filters,
+                               uint32_t* sel) const {
+  const std::vector<std::vector<Value>>& columns = *columns_;
+  const int count = static_cast<int>(end - begin);
+  int n = 0;
+  {
+    // First predicate compacts [0, count) into sel; no branch on the value.
+    const Predicate& p = filters[0];
+    const Value* col = columns[p.dim].data() + begin;
+    for (int i = 0; i < count; ++i) {
+      sel[n] = static_cast<uint32_t>(i);
+      n += static_cast<int>((col[i] >= p.lo) & (col[i] <= p.hi));
+    }
+  }
+  for (size_t f = 1; f < filters.size() && n > 0; ++f) {
+    // Later predicates compact the survivors in place.
+    const Predicate& p = filters[f];
+    const Value* col = columns[p.dim].data() + begin;
+    int m = 0;
+    for (int j = 0; j < n; ++j) {
+      uint32_t i = sel[j];
+      sel[m] = i;
+      m += static_cast<int>((col[i] >= p.lo) & (col[i] <= p.hi));
+    }
+    n = m;
+  }
+  return n;
+}
+
+void ScanKernel::AggregateRun(int64_t begin, int64_t end, int64_t block,
+                              const Query& query, QueryResult* out) const {
+  if (query.agg == AggKind::kCount) {
+    out->agg += end - begin;
+    return;
+  }
+  const bool full = !zones_->empty() && CoversBlock(begin, end, block);
+  const Value* col = (*columns_)[query.agg_dim].data();
+  switch (query.agg) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (full) {
+        out->agg += zones_->Sum(query.agg_dim, block);
+      } else {
+        int64_t s = 0;
+        for (int64_t r = begin; r < end; ++r) s += col[r];
+        out->agg += s;
+      }
+      break;
+    case AggKind::kMin: {
+      Value m = full ? zones_->Min(query.agg_dim, block) : col[begin];
+      if (!full) {
+        for (int64_t r = begin + 1; r < end; ++r) {
+          m = col[r] < m ? col[r] : m;
+        }
+      }
+      if (m < out->agg) out->agg = m;
+      break;
+    }
+    case AggKind::kMax: {
+      Value m = full ? zones_->Max(query.agg_dim, block) : col[begin];
+      if (!full) {
+        for (int64_t r = begin + 1; r < end; ++r) {
+          m = col[r] > m ? col[r] : m;
+        }
+      }
+      if (m > out->agg) out->agg = m;
+      break;
+    }
+  }
+}
+
+void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
+                                const Query& query, QueryResult* out) const {
+  out->scanned += end - begin;
+  const std::vector<Predicate>& filters = query.filters;
+  const int64_t b_first = begin / kScanBlockRows;
+  const int64_t b_last = (end - 1) / kScanBlockRows;
+  uint32_t sel[kScanBlockRows];
+  for (int64_t b = b_first; b <= b_last; ++b) {
+    const int64_t lo = std::max(begin, b * kScanBlockRows);
+    const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
+    // Zone-map triage: a block disjoint from any filter contributes
+    // nothing; a block inside every filter needs no per-row checks.
+    bool all_match = true;
+    bool skip = false;
+    if (!zones_->empty()) {
+      for (const Predicate& p : filters) {
+        const Value zmin = zones_->Min(p.dim, b);
+        const Value zmax = zones_->Max(p.dim, b);
+        if (zmin > p.hi || zmax < p.lo) {
+          skip = true;
+          break;
+        }
+        all_match = all_match && p.lo <= zmin && zmax <= p.hi;
+      }
+    } else {
+      all_match = filters.empty();
+    }
+    if (skip) continue;
+    if (all_match) {
+      out->matched += hi - lo;
+      AggregateRun(lo, hi, b, query, out);
+      continue;
+    }
+    const int n = BuildSelection(lo, hi, filters, sel);
+    if (n == 0) continue;
+    out->matched += n;
+    const Value* col = (*columns_)[query.agg_dim].data() + lo;
+    switch (query.agg) {
+      case AggKind::kCount:
+        out->agg += n;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        int64_t s = 0;
+        for (int j = 0; j < n; ++j) s += col[sel[j]];
+        out->agg += s;
+        break;
+      }
+      case AggKind::kMin: {
+        Value m = col[sel[0]];
+        for (int j = 1; j < n; ++j) {
+          Value v = col[sel[j]];
+          m = v < m ? v : m;
+        }
+        if (m < out->agg) out->agg = m;
+        break;
+      }
+      case AggKind::kMax: {
+        Value m = col[sel[0]];
+        for (int j = 1; j < n; ++j) {
+          Value v = col[sel[j]];
+          m = v > m ? v : m;
+        }
+        if (m > out->agg) out->agg = m;
+        break;
+      }
+    }
+  }
+}
+
+// Exact ranges: every row matches, so only the aggregate remains. COUNT is
+// arithmetic; SUM reads block sums for fully covered blocks (and only the
+// ragged edges row-by-row); MIN/MAX read block extrema the same way.
+void ScanKernel::ScanExactVectorized(int64_t begin, int64_t end,
+                                     const Query& query,
+                                     QueryResult* out) const {
+  const int64_t n = end - begin;
+  out->matched += n;
+  if (query.agg == AggKind::kCount) {
+    out->agg += n;
+    return;
+  }
+  out->scanned += n;
+  const int64_t b_first = begin / kScanBlockRows;
+  const int64_t b_last = (end - 1) / kScanBlockRows;
+  for (int64_t b = b_first; b <= b_last; ++b) {
+    const int64_t lo = std::max(begin, b * kScanBlockRows);
+    const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
+    AggregateRun(lo, hi, b, query, out);
+  }
+}
+
+}  // namespace tsunami

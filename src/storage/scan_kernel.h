@@ -1,0 +1,136 @@
+// Vectorized block-based scan kernel (the in-cell half of query execution).
+// The column store is divided into fixed-size blocks of kScanBlockRows rows;
+// per block and per dimension a zone map records min/max/sum, built once at
+// cluster time. Scans process one block at a time, column-at-a-time, into a
+// selection vector with branchless predicate evaluation; zone maps let whole
+// blocks be skipped (disjoint from a filter) or aggregated without per-row
+// checks (fully covered by every filter, with SUM served straight from the
+// block sums). The old row-at-a-time path is kept behind ScanOptions::kScalar
+// so benchmarks and tests can A/B the kernels; both produce bit-identical
+// QueryResults.
+#ifndef TSUNAMI_STORAGE_SCAN_KERNEL_H_
+#define TSUNAMI_STORAGE_SCAN_KERNEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace tsunami {
+
+/// Rows per zone-map block. Small enough that a block's columns stay cache
+/// resident across the predicate passes, large enough to amortize per-block
+/// bookkeeping.
+inline constexpr int64_t kScanBlockRows = 1024;
+
+enum class ScanMode {
+  kScalar,      // Row-at-a-time loop with early exit (the pre-kernel path).
+  kVectorized,  // Block-at-a-time selection-vector kernel with zone maps.
+};
+
+/// Per-scan execution options. Defaults to the vectorized kernel.
+struct ScanOptions {
+  static constexpr ScanMode kScalar = ScanMode::kScalar;
+  static constexpr ScanMode kVectorized = ScanMode::kVectorized;
+
+  ScanMode mode = ScanMode::kVectorized;
+};
+
+/// One physical row range an index has decided must be scanned. `exact`
+/// means every row in [begin, end) is known to match the query's filters,
+/// so per-row checks can be skipped (§6.1's exact-range optimization).
+struct RangeTask {
+  int64_t begin = 0;
+  int64_t end = 0;  // Exclusive.
+  bool exact = false;
+};
+
+/// Per-block min/max/sum per dimension over a set of columns. Blocks are
+/// aligned to absolute row index (block b covers rows
+/// [b * kScanBlockRows, (b+1) * kScanBlockRows), the last block truncated),
+/// so any caller-supplied range maps directly onto blocks.
+class ZoneMaps {
+ public:
+  /// (Re)builds the maps; O(rows * dims). Called at cluster time.
+  void Build(const std::vector<std::vector<Value>>& columns);
+  void Clear();
+
+  bool empty() const { return num_blocks_ == 0; }
+  int64_t num_blocks() const { return num_blocks_; }
+  Value Min(int dim, int64_t block) const { return min_[dim][block]; }
+  Value Max(int dim, int64_t block) const { return max_[dim][block]; }
+  int64_t Sum(int dim, int64_t block) const { return sum_[dim][block]; }
+
+  int64_t SizeBytes() const;
+
+ private:
+  int64_t num_blocks_ = 0;
+  std::vector<std::vector<Value>> min_;    // [dim][block]
+  std::vector<std::vector<Value>> max_;    // [dim][block]
+  std::vector<std::vector<int64_t>> sum_;  // [dim][block]
+};
+
+/// A non-owning view over a table's columns plus its zone maps that executes
+/// scans. Construction is two pointers; ColumnStore hands one out per call.
+///
+/// Both kernels accumulate into the same QueryResult fields with identical
+/// semantics: `scanned` counts the rows the range was responsible for (not
+/// the rows actually touched after block skipping), so results are
+/// bit-for-bit comparable across modes.
+class ScanKernel {
+ public:
+  ScanKernel(const std::vector<std::vector<Value>>& columns,
+             const ZoneMaps& zones)
+      : columns_(&columns),
+        zones_(&zones),
+        num_rows_(columns.empty() ? 0
+                                  : static_cast<int64_t>(columns[0].size())) {}
+
+  /// Scans [begin, end), accumulating the query's aggregate over matching
+  /// rows into `out` (does not touch out->cell_ranges).
+  void Scan(int64_t begin, int64_t end, const Query& query, bool exact,
+            QueryResult* out, const ScanOptions& options = {}) const;
+
+  /// Scans every task in order into one accumulator. The batch seam: index
+  /// code plans all candidate ranges, then submits them in one call.
+  void ScanBatch(std::span<const RangeTask> tasks, const Query& query,
+                 QueryResult* out, const ScanOptions& options = {}) const;
+
+ private:
+  void ScanScalar(int64_t begin, int64_t end, const Query& query, bool exact,
+                  QueryResult* out) const;
+  void ScanVectorized(int64_t begin, int64_t end, const Query& query,
+                      QueryResult* out) const;
+  void ScanExactVectorized(int64_t begin, int64_t end, const Query& query,
+                           QueryResult* out) const;
+
+  // Fills `sel` with the block-relative indices (offsets from `begin`) of
+  // rows in [begin, end) matching every filter; returns the match count.
+  // Requires a non-empty filter list and end - begin <= kScanBlockRows.
+  int BuildSelection(int64_t begin, int64_t end,
+                     const std::vector<Predicate>& filters,
+                     uint32_t* sel) const;
+
+  // Folds rows [begin, end) — all known to match — inside block `block`
+  // into out->agg, using zone-map sums/extrema when the rows span the full
+  // block. Leaves the matched/scanned counters to the caller.
+  void AggregateRun(int64_t begin, int64_t end, int64_t block,
+                    const Query& query, QueryResult* out) const;
+
+  // True when [begin, end) covers every row of `block`.
+  bool CoversBlock(int64_t begin, int64_t end, int64_t block) const {
+    int64_t block_begin = block * kScanBlockRows;
+    int64_t block_end = std::min(num_rows_, block_begin + kScanBlockRows);
+    return begin <= block_begin && end >= block_end;
+  }
+
+  const std::vector<std::vector<Value>>* columns_;
+  const ZoneMaps* zones_;
+  int64_t num_rows_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_STORAGE_SCAN_KERNEL_H_

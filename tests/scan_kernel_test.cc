@@ -1,0 +1,271 @@
+// Cross-checks for the vectorized block-based scan kernel: the vectorized
+// and scalar paths must agree bit-for-bit on every QueryResult field, for
+// every aggregate, range shape (empty / exact / ragged block edges), filter
+// count, and through the batched multi-range executor and the grid's
+// outlier buffer.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/full_scan.h"
+#include "src/common/random.h"
+#include "src/core/augmented_grid.h"
+#include "src/exec/runner.h"
+#include "src/exec/thread_pool.h"
+#include "src/storage/column_store.h"
+#include "src/storage/scan_kernel.h"
+
+namespace tsunami {
+namespace {
+
+constexpr AggKind kAggs[] = {AggKind::kCount, AggKind::kSum, AggKind::kMin,
+                             AggKind::kMax, AggKind::kAvg};
+
+// Random multi-dimensional data; `clustered` sorts by dim 0 so zone maps
+// actually prune (the layout every clustering index produces).
+Dataset MakeData(int64_t rows, int dims, bool clustered, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(dims, {});
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<Value> row(dims);
+    for (int d = 0; d < dims; ++d) row[d] = rng.UniformValue(-5000, 5000);
+    data.AppendRow(row);
+  }
+  if (clustered) {
+    std::vector<Value>& raw = data.raw();
+    std::vector<int64_t> order(rows);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return raw[a * dims] < raw[b * dims];
+    });
+    Dataset sorted(dims, {});
+    for (int64_t i : order) {
+      std::vector<Value> row(dims);
+      for (int d = 0; d < dims; ++d) row[d] = data.at(i, d);
+      sorted.AppendRow(row);
+    }
+    return sorted;
+  }
+  return data;
+}
+
+Query RandomQuery(Rng* rng, int dims, int num_filters, AggKind agg) {
+  Query q;
+  q.agg = agg;
+  q.agg_dim = static_cast<int>(rng->NextBelow(dims));
+  for (int f = 0; f < num_filters; ++f) {
+    int dim = static_cast<int>(rng->NextBelow(dims));
+    Value lo = rng->UniformValue(-6000, 6000);
+    // Mix narrow, wide, and occasionally empty/equality ranges.
+    Value width = rng->NextBelow(4) == 0 ? rng->UniformValue(0, 100)
+                                         : rng->UniformValue(0, 8000);
+    q.filters.push_back(Predicate{dim, lo, lo + width});
+  }
+  return q;
+}
+
+void ExpectSameResult(const QueryResult& vec, const QueryResult& scalar,
+                      const char* what) {
+  EXPECT_EQ(vec.agg, scalar.agg) << what;
+  EXPECT_EQ(vec.scanned, scalar.scanned) << what;
+  EXPECT_EQ(vec.matched, scalar.matched) << what;
+  EXPECT_EQ(vec.cell_ranges, scalar.cell_ranges) << what;
+}
+
+TEST(ScanKernelTest, RandomizedCrossCheckAgainstScalar) {
+  for (bool clustered : {false, true}) {
+    Dataset data = MakeData(20000, 4, clustered, 901);
+    ColumnStore store(data);
+    Rng rng(902);
+    for (int trial = 0; trial < 400; ++trial) {
+      AggKind agg = kAggs[trial % 5];
+      int num_filters = 1 + static_cast<int>(rng.NextBelow(8));
+      Query q = RandomQuery(&rng, 4, num_filters, agg);
+      // Ranges with ragged block edges, empty ranges, and full scans.
+      int64_t begin = rng.UniformValue(0, store.size());
+      int64_t end = rng.UniformValue(begin, store.size());
+      if (trial % 17 == 0) end = begin;       // Empty.
+      if (trial % 23 == 0) {                  // Full store.
+        begin = 0;
+        end = store.size();
+      }
+      QueryResult vec = InitResult(q), scalar = InitResult(q);
+      store.ScanRange(begin, end, q, /*exact=*/false, &vec,
+                      ScanOptions{ScanOptions::kVectorized});
+      store.ScanRange(begin, end, q, /*exact=*/false, &scalar,
+                      ScanOptions{ScanOptions::kScalar});
+      ExpectSameResult(vec, scalar, clustered ? "clustered" : "random");
+    }
+  }
+}
+
+TEST(ScanKernelTest, ExactRangesCrossCheck) {
+  Dataset data = MakeData(10000, 3, /*clustered=*/true, 903);
+  ColumnStore store(data);
+  Rng rng(904);
+  for (int trial = 0; trial < 200; ++trial) {
+    Query q;
+    q.agg = kAggs[trial % 5];
+    q.agg_dim = static_cast<int>(rng.NextBelow(3));
+    int64_t begin = rng.UniformValue(0, store.size());
+    int64_t end = rng.UniformValue(begin, store.size());
+    QueryResult vec = InitResult(q), scalar = InitResult(q);
+    store.ScanRange(begin, end, q, /*exact=*/true, &vec,
+                    ScanOptions{ScanOptions::kVectorized});
+    store.ScanRange(begin, end, q, /*exact=*/true, &scalar,
+                    ScanOptions{ScanOptions::kScalar});
+    ExpectSameResult(vec, scalar, "exact");
+  }
+}
+
+TEST(ScanKernelTest, ExactSumUsesZoneMapSums) {
+  // Beyond agreeing with the scalar path, the exact-range SUM must equal a
+  // directly computed sum — block sums included.
+  Dataset data = MakeData(5000, 2, /*clustered=*/false, 905);
+  ColumnStore store(data);
+  Rng rng(906);
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t begin = rng.UniformValue(0, store.size());
+    int64_t end = rng.UniformValue(begin, store.size());
+    Query q;
+    q.agg = AggKind::kSum;
+    q.agg_dim = 1;
+    int64_t expected = 0;
+    for (int64_t r = begin; r < end; ++r) expected += data.at(r, 1);
+    QueryResult vec;
+    store.ScanRange(begin, end, q, /*exact=*/true, &vec);
+    EXPECT_EQ(vec.agg, expected);
+    EXPECT_EQ(vec.matched, end - begin);
+  }
+}
+
+TEST(ScanKernelTest, BatchMatchesSequentialScans) {
+  Dataset data = MakeData(30000, 3, /*clustered=*/true, 907);
+  ColumnStore store(data);
+  Rng rng(908);
+  for (int trial = 0; trial < 60; ++trial) {
+    Query q = RandomQuery(&rng, 3, 2, kAggs[trial % 5]);
+    std::vector<RangeTask> tasks;
+    int64_t cursor = 0;
+    while (cursor < store.size()) {
+      int64_t len = rng.UniformValue(0, 3000);
+      int64_t end = std::min(store.size(), cursor + len);
+      if (rng.NextBelow(3) != 0) {  // Leave gaps between tasks.
+        tasks.push_back(
+            RangeTask{cursor, end, /*exact=*/rng.NextBelow(5) == 0});
+      }
+      cursor = end + rng.UniformValue(0, 500);
+    }
+    QueryResult batched = InitResult(q), sequential = InitResult(q);
+    store.ScanRanges(tasks, q, &batched);
+    for (const RangeTask& t : tasks) {
+      store.ScanRange(t.begin, t.end, q, t.exact, &sequential,
+                      ScanOptions{ScanOptions::kScalar});
+    }
+    ExpectSameResult(batched, sequential, "batch");
+  }
+}
+
+TEST(ScanKernelTest, ParallelRangeTasksMatchSerial) {
+  Dataset data = MakeData(50000, 3, /*clustered=*/true, 909);
+  ColumnStore store(data);
+  ThreadPool pool(4);
+  Rng rng(910);
+  for (int trial = 0; trial < 40; ++trial) {
+    Query q = RandomQuery(&rng, 3, 1 + trial % 3, kAggs[trial % 5]);
+    std::vector<RangeTask> tasks;
+    // One oversized task plus several small ones exercises the splitter.
+    tasks.push_back(RangeTask{0, store.size() / 2, /*exact=*/false});
+    for (int t = 0; t < 8; ++t) {
+      int64_t begin = rng.UniformValue(store.size() / 2, store.size());
+      int64_t end = std::min(store.size(), begin + rng.UniformValue(0, 2000));
+      tasks.push_back(RangeTask{begin, end, /*exact=*/t % 4 == 0});
+    }
+    QueryResult parallel = ExecuteRangeTasks(store, tasks, q, &pool);
+    QueryResult serial = ExecuteRangeTasks(store, tasks, q, nullptr);
+    ExpectSameResult(parallel, serial, "parallel");
+  }
+}
+
+TEST(ScanKernelTest, GridWithOutlierBufferCrossChecksAllAggregates) {
+  // y ~ 2x with a few wild rows: the grid moves them to the outlier
+  // buffer, which every query scans as a trailing (non-exact) task.
+  Rng rng(911);
+  Dataset data(2, {});
+  for (int64_t i = 0; i < 8000; ++i) {
+    Value x = rng.UniformValue(0, 1000000);
+    Value y = 2 * x + rng.UniformValue(-50, 50);
+    if (i < 10) y = rng.UniformValue(500000000, 600000000);
+    data.AppendRow({x, y});
+  }
+  Skeleton s = Skeleton::AllIndependent(2);
+  s.dims[1] = {PartitionStrategy::kMapped, 0};
+  AugmentedGrid grid;
+  AugmentedGrid::BuildOptions options;
+  options.fm_outlier_fraction = 0.001;
+  std::vector<uint32_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), 0u);
+  grid.Build(data, &rows, s, {16, 1}, options);
+  ColumnStore store(data, rows);
+  grid.Attach(&store, 0);
+  ASSERT_GT(grid.num_outliers(), 0);
+  FullScanIndex reference(data);
+  for (int trial = 0; trial < 100; ++trial) {
+    Query q;
+    q.agg = kAggs[trial % 5];
+    q.agg_dim = trial % 2;
+    Value lo = rng.UniformValue(0, 600000000);
+    q.filters.push_back(Predicate{1, lo, lo + rng.UniformValue(0, 100000000)});
+    if (trial % 2 == 0) {
+      Value xlo = rng.UniformValue(0, 1000000);
+      q.filters.push_back(Predicate{0, xlo, xlo + rng.UniformValue(0, 300000)});
+    }
+    QueryResult got = InitResult(q);
+    grid.Execute(q, &got);
+    QueryResult expected = reference.Execute(q);
+    EXPECT_EQ(got.agg, expected.agg) << "trial " << trial;
+    EXPECT_EQ(got.matched, expected.matched) << "trial " << trial;
+  }
+}
+
+TEST(ScanKernelTest, PlanRangesMatchesExecute) {
+  Dataset data = MakeData(20000, 3, /*clustered=*/false, 912);
+  Skeleton s = Skeleton::AllIndependent(3);
+  AugmentedGrid grid;
+  std::vector<uint32_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), 0u);
+  grid.Build(data, &rows, s, {8, 8, 8}, {});
+  ColumnStore store(data, rows);
+  grid.Attach(&store, 0);
+  Rng rng(913);
+  for (int trial = 0; trial < 100; ++trial) {
+    Query q = RandomQuery(&rng, 3, 1 + trial % 3, kAggs[trial % 5]);
+    QueryResult direct = InitResult(q);
+    grid.Execute(q, &direct);
+    QueryResult planned = InitResult(q);
+    std::vector<RangeTask> tasks;
+    grid.PlanRanges(q, &tasks, &planned);
+    store.ScanRanges(tasks, q, &planned);
+    ExpectSameResult(planned, direct, "plan+scan");
+  }
+}
+
+TEST(ScanKernelTest, ZoneMapsCoverEveryBlock) {
+  Dataset data = MakeData(kScanBlockRows * 3 + 37, 2, false, 914);
+  ColumnStore store(data);
+  const ZoneMaps& zones = store.zone_maps();
+  ASSERT_EQ(zones.num_blocks(), 4);
+  for (int d = 0; d < 2; ++d) {
+    int64_t total = 0;
+    for (int64_t b = 0; b < zones.num_blocks(); ++b) {
+      total += zones.Sum(d, b);
+      EXPECT_LE(zones.Min(d, b), zones.Max(d, b));
+    }
+    int64_t expected = 0;
+    for (int64_t r = 0; r < data.size(); ++r) expected += data.at(r, d);
+    EXPECT_EQ(total, expected);
+  }
+}
+
+}  // namespace
+}  // namespace tsunami
