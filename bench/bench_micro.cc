@@ -24,6 +24,7 @@
 #include "src/query/router.h"
 #include "src/storage/column_store.h"
 #include "src/storage/scan_kernel.h"
+#include "src/storage/simd_dispatch.h"
 
 namespace tsunami {
 namespace {
@@ -222,13 +223,14 @@ void BM_RouterDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_RouterDispatch);
 
-// --- Scan-kernel A/B: scalar vs vectorized over selectivities ------------
+// --- Scan-kernel A/B/C: scalar vs vectorized vs SIMD over selectivities --
 //
 // Clustered data (sorted by dim 0, the layout every clustering index
 // produces) so the zone maps see the locality they were built for. Two
 // shapes: full-store scans at swept selectivities (the "large range" case
 // where the kernel must win big) and short ranges at the sizes grid cells
-// produce after refinement (where it must at least not lose).
+// produce after refinement (where it must at least not lose). The C column
+// is the SIMD tier at the best runtime-dispatched instruction set.
 
 Dataset MakeClusteredData(int64_t rows, int dims, uint64_t seed) {
   Rng rng(seed);
@@ -270,7 +272,9 @@ double TimeScan(const ColumnStore& store, std::span<const RangeTask> tasks,
 }
 
 void RunScanKernelAB() {
-  bench::PrintHeader("scan kernel A/B (scalar vs vectorized)");
+  const char* tier = SimdTierName(DetectSimdTier());
+  bench::PrintHeader("scan kernel A/B/C (scalar vs vectorized vs SIMD)");
+  std::printf("SIMD tier: %s\n", tier);
   const int64_t kRows = 1 << 20;
   const int kDims = 4;
   Dataset data = MakeClusteredData(kRows, kDims, 401);
@@ -280,8 +284,8 @@ void RunScanKernelAB() {
 
   // Full-range scans over swept selectivities: a filter on the clustered
   // dimension sized to the target fraction plus a 50% filter on dim 1.
-  std::printf("%-22s %12s %12s %9s\n", "shape", "scalar ns/row",
-              "vector ns/row", "speedup");
+  std::printf("%-22s %13s %13s %13s %10s %10s\n", "shape", "scalar ns/row",
+              "vector ns/row", "simd ns/row", "vec/scal", "simd/vec");
   for (double sel : {0.001, 0.01, 0.1, 0.5, 0.9}) {
     Query q;
     Value width = static_cast<Value>(sel * (1 << 20));
@@ -293,21 +297,31 @@ void RunScanKernelAB() {
     RangeTask task{0, store.size(), false};
     double scalar = TimeScan(store, {&task, 1}, q, ScanMode::kScalar, 5);
     double vec = TimeScan(store, {&task, 1}, q, ScanMode::kVectorized, 5);
+    double simd = TimeScan(store, {&task, 1}, q, ScanMode::kSimd, 5);
     double speedup = vec > 0 ? scalar / vec : 0.0;
-    std::printf("full sel=%-13g %12.3f %12.3f %8.2fx\n", sel,
-                scalar * 1e9 / kRows, vec * 1e9 / kRows, speedup);
+    double simd_vs_vec = simd > 0 ? vec / simd : 0.0;
+    std::printf("full sel=%-13g %13.3f %13.3f %13.3f %9.2fx %9.2fx\n", sel,
+                scalar * 1e9 / kRows, vec * 1e9 / kRows, simd * 1e9 / kRows,
+                speedup, simd_vs_vec);
     records.push_back(bench::JsonRecord()
                           .Str("shape", "full_range")
+                          .Str("simd_tier", tier)
                           .Num("selectivity", sel)
                           .Int("rows_per_scan", kRows)
                           .Num("scalar_ns_per_row", scalar * 1e9 / kRows)
                           .Num("vector_ns_per_row", vec * 1e9 / kRows)
+                          .Num("simd_ns_per_row", simd * 1e9 / kRows)
                           .Num("speedup", speedup)
+                          .Num("simd_speedup_vs_vector", simd_vs_vec)
+                          .Num("simd_speedup_vs_scalar",
+                               simd > 0 ? scalar / simd : 0.0)
                           .Finish());
   }
 
   // Short per-cell ranges: the sizes indexes hand the kernel after grid
-  // refinement. Random offsets, moderately selective residual filters.
+  // refinement. Random offsets, moderately selective residual filters —
+  // the per-block predicate passes where compare+compress has to earn its
+  // keep (no zone-map skipping to hide behind).
   for (int64_t range_len : {256, 1024, 4096}) {
     Query q;
     q.filters.push_back(Predicate{1, 0, 1 << 19});
@@ -322,17 +336,25 @@ void RunScanKernelAB() {
     int64_t scanned = range_len * kTasks;
     double scalar = TimeScan(store, tasks, q, ScanMode::kScalar, 5);
     double vec = TimeScan(store, tasks, q, ScanMode::kVectorized, 5);
+    double simd = TimeScan(store, tasks, q, ScanMode::kSimd, 5);
     double speedup = vec > 0 ? scalar / vec : 0.0;
-    std::printf("cell rows=%-12lld %12.3f %12.3f %8.2fx\n",
+    double simd_vs_vec = simd > 0 ? vec / simd : 0.0;
+    std::printf("cell rows=%-12lld %13.3f %13.3f %13.3f %9.2fx %9.2fx\n",
                 static_cast<long long>(range_len), scalar * 1e9 / scanned,
-                vec * 1e9 / scanned, speedup);
+                vec * 1e9 / scanned, simd * 1e9 / scanned, speedup,
+                simd_vs_vec);
     records.push_back(bench::JsonRecord()
                           .Str("shape", "per_cell_range")
+                          .Str("simd_tier", tier)
                           .Int("rows_per_scan", range_len)
                           .Int("num_ranges", kTasks)
                           .Num("scalar_ns_per_row", scalar * 1e9 / scanned)
                           .Num("vector_ns_per_row", vec * 1e9 / scanned)
+                          .Num("simd_ns_per_row", simd * 1e9 / scanned)
                           .Num("speedup", speedup)
+                          .Num("simd_speedup_vs_vector", simd_vs_vec)
+                          .Num("simd_speedup_vs_scalar",
+                               simd > 0 ? scalar / simd : 0.0)
                           .Finish());
   }
 

@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, and run the tier-1 test suite, with
 # -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
+#
+# Two passes: the default build (SIMD tiers compiled in, runtime-dispatched)
+# and a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
+# kernel, so the fallback path can never silently rot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . -DTSUNAMI_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+cmake -B build-nosimd -S . -DTSUNAMI_WERROR=ON -DTSUNAMI_DISABLE_SIMD=ON
+cmake --build build-nosimd -j"$(nproc)"
+ctest --test-dir build-nosimd --output-on-failure -j"$(nproc)"

@@ -34,6 +34,8 @@ void ProbeRow(const ColumnStore& store, int64_t row, const Query& query,
 }
 
 /// Scan bounded by the host filter when present, else the whole store.
+/// Planned as a RangeTask batch (of one) through the ScanBatch seam, the
+/// same code path the grid and baselines execute.
 QueryResult HostScan(const ColumnStore& store, int host_dim,
                      const Query& query) {
   QueryResult result = InitResult(query);
@@ -43,8 +45,9 @@ QueryResult HostScan(const ColumnStore& store, int host_dim,
     end = store.UpperBound(host_dim, begin, store.size(), p->hi);
   }
   if (begin >= end) return result;
+  RangeTask task{begin, end, /*exact=*/false};
   result.cell_ranges = 1;
-  store.ScanRange(begin, end, query, /*exact=*/false, &result);
+  store.ScanRanges({&task, 1}, query, &result);
   return result;
 }
 
@@ -207,10 +210,15 @@ QueryResult CorrelationSecondaryIndex::Execute(const Query& query) const {
       merged.push_back(r);
     }
   }
+  // Plan-then-batch: all merged host ranges go to the kernel in one
+  // ScanBatch submission instead of per-range calls.
+  std::vector<RangeTask> tasks;
+  tasks.reserve(merged.size());
   for (const auto& [begin, end] : merged) {
-    ++result.cell_ranges;
-    store_.ScanRange(begin, end, query, /*exact=*/false, &result);
+    tasks.push_back(RangeTask{begin, end, /*exact=*/false});
   }
+  result.cell_ranges += static_cast<int64_t>(tasks.size());
+  store_.ScanRanges(tasks, query, &result);
 
   // Outliers live outside their segment's model band, but the band of
   // *another* segment may still cover them — probe only rows no scanned

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "src/storage/scan_kernel_simd.h"
+
 namespace tsunami {
 
 void ZoneMaps::Build(const std::vector<std::vector<Value>>& columns) {
   Clear();
   if (columns.empty() || columns[0].empty()) return;
+  const SimdOps& ops = OpsForTier(SimdTier::kAuto);
   const int dims = static_cast<int>(columns.size());
   const int64_t rows = static_cast<int64_t>(columns[0].size());
   num_blocks_ = (rows + kScanBlockRows - 1) / kScanBlockRows;
@@ -21,17 +24,8 @@ void ZoneMaps::Build(const std::vector<std::vector<Value>>& columns) {
     for (int64_t b = 0; b < num_blocks_; ++b) {
       int64_t lo = b * kScanBlockRows;
       int64_t hi = std::min(rows, lo + kScanBlockRows);
-      Value mn = col[lo], mx = col[lo];
-      int64_t s = 0;
-      for (int64_t r = lo; r < hi; ++r) {
-        Value v = col[r];
-        mn = v < mn ? v : mn;
-        mx = v > mx ? v : mx;
-        s += v;
-      }
-      min_[d][b] = mn;
-      max_[d][b] = mx;
-      sum_[d][b] = s;
+      ops.block_stats(col + lo, hi - lo, &min_[d][b], &max_[d][b],
+                      &sum_[d][b]);
     }
   }
 }
@@ -54,10 +48,17 @@ void ScanKernel::Scan(int64_t begin, int64_t end, const Query& query,
   if (begin >= end) return;
   if (options.mode == ScanMode::kScalar) {
     ScanScalar(begin, end, query, exact, out);
-  } else if (exact) {
-    ScanExactVectorized(begin, end, query, out);
+    return;
+  }
+  // kVectorized is pinned to the scalar-branchless ops; kSimd resolves the
+  // requested tier (kAuto -> best supported) through runtime dispatch.
+  const SimdOps& ops = options.mode == ScanMode::kSimd
+                           ? OpsForTier(options.tier)
+                           : ScalarSimdOps();
+  if (exact) {
+    ScanExactVectorized(begin, end, query, ops, out);
   } else {
-    ScanVectorized(begin, end, query, out);
+    ScanVectorized(begin, end, query, ops, out);
   }
 }
 
@@ -112,36 +113,25 @@ void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
 
 int ScanKernel::BuildSelection(int64_t begin, int64_t end,
                                const std::vector<Predicate>& filters,
-                               uint32_t* sel) const {
+                               const SimdOps& ops, uint32_t* sel) const {
   const std::vector<std::vector<Value>>& columns = *columns_;
   const int count = static_cast<int>(end - begin);
-  int n = 0;
-  {
-    // First predicate compacts [0, count) into sel; no branch on the value.
-    const Predicate& p = filters[0];
-    const Value* col = columns[p.dim].data() + begin;
-    for (int i = 0; i < count; ++i) {
-      sel[n] = static_cast<uint32_t>(i);
-      n += static_cast<int>((col[i] >= p.lo) & (col[i] <= p.hi));
-    }
-  }
+  // First predicate compacts [0, count) into sel; later predicates compact
+  // the survivors in place. All passes are compare+compress, lane-parallel
+  // under the SIMD tiers.
+  const Predicate& first = filters[0];
+  int n = ops.first_pass(columns[first.dim].data() + begin, count, first.lo,
+                         first.hi, sel);
   for (size_t f = 1; f < filters.size() && n > 0; ++f) {
-    // Later predicates compact the survivors in place.
     const Predicate& p = filters[f];
-    const Value* col = columns[p.dim].data() + begin;
-    int m = 0;
-    for (int j = 0; j < n; ++j) {
-      uint32_t i = sel[j];
-      sel[m] = i;
-      m += static_cast<int>((col[i] >= p.lo) & (col[i] <= p.hi));
-    }
-    n = m;
+    n = ops.refine_pass(columns[p.dim].data() + begin, sel, n, p.lo, p.hi);
   }
   return n;
 }
 
 void ScanKernel::AggregateRun(int64_t begin, int64_t end, int64_t block,
-                              const Query& query, QueryResult* out) const {
+                              const Query& query, const SimdOps& ops,
+                              QueryResult* out) const {
   if (query.agg == AggKind::kCount) {
     out->agg += end - begin;
     return;
@@ -153,31 +143,18 @@ void ScanKernel::AggregateRun(int64_t begin, int64_t end, int64_t block,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      if (full) {
-        out->agg += zones_->Sum(query.agg_dim, block);
-      } else {
-        int64_t s = 0;
-        for (int64_t r = begin; r < end; ++r) s += col[r];
-        out->agg += s;
-      }
+      out->agg += full ? zones_->Sum(query.agg_dim, block)
+                       : ops.sum_range(col + begin, end - begin);
       break;
     case AggKind::kMin: {
-      Value m = full ? zones_->Min(query.agg_dim, block) : col[begin];
-      if (!full) {
-        for (int64_t r = begin + 1; r < end; ++r) {
-          m = col[r] < m ? col[r] : m;
-        }
-      }
+      Value m = full ? zones_->Min(query.agg_dim, block)
+                     : ops.min_range(col + begin, end - begin);
       if (m < out->agg) out->agg = m;
       break;
     }
     case AggKind::kMax: {
-      Value m = full ? zones_->Max(query.agg_dim, block) : col[begin];
-      if (!full) {
-        for (int64_t r = begin + 1; r < end; ++r) {
-          m = col[r] > m ? col[r] : m;
-        }
-      }
+      Value m = full ? zones_->Max(query.agg_dim, block)
+                     : ops.max_range(col + begin, end - begin);
       if (m > out->agg) out->agg = m;
       break;
     }
@@ -185,7 +162,8 @@ void ScanKernel::AggregateRun(int64_t begin, int64_t end, int64_t block,
 }
 
 void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
-                                const Query& query, QueryResult* out) const {
+                                const Query& query, const SimdOps& ops,
+                                QueryResult* out) const {
   out->scanned += end - begin;
   const std::vector<Predicate>& filters = query.filters;
   const int64_t b_first = begin / kScanBlockRows;
@@ -214,10 +192,10 @@ void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
     if (skip) continue;
     if (all_match) {
       out->matched += hi - lo;
-      AggregateRun(lo, hi, b, query, out);
+      AggregateRun(lo, hi, b, query, ops, out);
       continue;
     }
-    const int n = BuildSelection(lo, hi, filters, sel);
+    const int n = BuildSelection(lo, hi, filters, ops, sel);
     if (n == 0) continue;
     out->matched += n;
     const Value* col = (*columns_)[query.agg_dim].data() + lo;
@@ -226,27 +204,16 @@ void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
         out->agg += n;
         break;
       case AggKind::kSum:
-      case AggKind::kAvg: {
-        int64_t s = 0;
-        for (int j = 0; j < n; ++j) s += col[sel[j]];
-        out->agg += s;
+      case AggKind::kAvg:
+        out->agg += ops.sum_gather(col, sel, n);
         break;
-      }
       case AggKind::kMin: {
-        Value m = col[sel[0]];
-        for (int j = 1; j < n; ++j) {
-          Value v = col[sel[j]];
-          m = v < m ? v : m;
-        }
+        Value m = ops.min_gather(col, sel, n);
         if (m < out->agg) out->agg = m;
         break;
       }
       case AggKind::kMax: {
-        Value m = col[sel[0]];
-        for (int j = 1; j < n; ++j) {
-          Value v = col[sel[j]];
-          m = v > m ? v : m;
-        }
+        Value m = ops.max_gather(col, sel, n);
         if (m > out->agg) out->agg = m;
         break;
       }
@@ -258,7 +225,7 @@ void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
 // arithmetic; SUM reads block sums for fully covered blocks (and only the
 // ragged edges row-by-row); MIN/MAX read block extrema the same way.
 void ScanKernel::ScanExactVectorized(int64_t begin, int64_t end,
-                                     const Query& query,
+                                     const Query& query, const SimdOps& ops,
                                      QueryResult* out) const {
   const int64_t n = end - begin;
   out->matched += n;
@@ -272,7 +239,7 @@ void ScanKernel::ScanExactVectorized(int64_t begin, int64_t end,
   for (int64_t b = b_first; b <= b_last; ++b) {
     const int64_t lo = std::max(begin, b * kScanBlockRows);
     const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
-    AggregateRun(lo, hi, b, query, out);
+    AggregateRun(lo, hi, b, query, ops, out);
   }
 }
 

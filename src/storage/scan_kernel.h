@@ -5,9 +5,16 @@
 // selection vector with branchless predicate evaluation; zone maps let whole
 // blocks be skipped (disjoint from a filter) or aggregated without per-row
 // checks (fully covered by every filter, with SUM served straight from the
-// block sums). The old row-at-a-time path is kept behind ScanOptions::kScalar
-// so benchmarks and tests can A/B the kernels; both produce bit-identical
-// QueryResults.
+// block sums).
+//
+// The kernel's inner loops (predicate compare+compress, selection-driven
+// aggregation, run folds, zone-map builds) come in three tiers: the
+// row-at-a-time reference path (ScanMode::kScalar), the scalar-branchless
+// block kernel (kVectorized), and lane-parallel SIMD (kSimd — AVX-512,
+// AVX2, or NEON, chosen at startup by runtime CPU dispatch, falling back
+// to the branchless loops on unsupported hardware; see simd_dispatch.h).
+// All tiers produce bit-identical QueryResults; ScanOptions can force any
+// tier for tests and benchmarks.
 #ifndef TSUNAMI_STORAGE_SCAN_KERNEL_H_
 #define TSUNAMI_STORAGE_SCAN_KERNEL_H_
 
@@ -17,8 +24,11 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/storage/simd_dispatch.h"
 
 namespace tsunami {
+
+struct SimdOps;
 
 /// Rows per zone-map block. Small enough that a block's columns stay cache
 /// resident across the predicate passes, large enough to amortize per-block
@@ -28,14 +38,20 @@ inline constexpr int64_t kScanBlockRows = 1024;
 enum class ScanMode {
   kScalar,      // Row-at-a-time loop with early exit (the pre-kernel path).
   kVectorized,  // Block-at-a-time selection-vector kernel with zone maps.
+  kSimd,        // kVectorized with SIMD inner loops (runtime-dispatched).
 };
 
-/// Per-scan execution options. Defaults to the vectorized kernel.
+/// Per-scan execution options. Defaults to the SIMD kernel at the best
+/// runtime-supported tier; `tier` pins a specific instruction set when
+/// `mode` is kSimd (an unsupported tier degrades to the scalar ops, which
+/// is exactly the kVectorized behavior).
 struct ScanOptions {
   static constexpr ScanMode kScalar = ScanMode::kScalar;
   static constexpr ScanMode kVectorized = ScanMode::kVectorized;
+  static constexpr ScanMode kSimd = ScanMode::kSimd;
 
-  ScanMode mode = ScanMode::kVectorized;
+  ScanMode mode = ScanMode::kSimd;
+  SimdTier tier = SimdTier::kAuto;
 };
 
 /// One physical row range an index has decided must be scanned. `exact`
@@ -53,7 +69,9 @@ struct RangeTask {
 /// so any caller-supplied range maps directly onto blocks.
 class ZoneMaps {
  public:
-  /// (Re)builds the maps; O(rows * dims). Called at cluster time.
+  /// (Re)builds the maps; O(rows * dims), SIMD-accelerated when the CPU
+  /// supports it (the per-block stats are order-insensitive, so every tier
+  /// produces identical maps). Called at cluster time.
   void Build(const std::vector<std::vector<Value>>& columns);
   void Clear();
 
@@ -75,10 +93,10 @@ class ZoneMaps {
 /// A non-owning view over a table's columns plus its zone maps that executes
 /// scans. Construction is two pointers; ColumnStore hands one out per call.
 ///
-/// Both kernels accumulate into the same QueryResult fields with identical
+/// All kernels accumulate into the same QueryResult fields with identical
 /// semantics: `scanned` counts the rows the range was responsible for (not
 /// the rows actually touched after block skipping), so results are
-/// bit-for-bit comparable across modes.
+/// bit-for-bit comparable across modes and tiers.
 class ScanKernel {
  public:
   ScanKernel(const std::vector<std::vector<Value>>& columns,
@@ -102,22 +120,23 @@ class ScanKernel {
   void ScanScalar(int64_t begin, int64_t end, const Query& query, bool exact,
                   QueryResult* out) const;
   void ScanVectorized(int64_t begin, int64_t end, const Query& query,
-                      QueryResult* out) const;
+                      const SimdOps& ops, QueryResult* out) const;
   void ScanExactVectorized(int64_t begin, int64_t end, const Query& query,
-                           QueryResult* out) const;
+                           const SimdOps& ops, QueryResult* out) const;
 
   // Fills `sel` with the block-relative indices (offsets from `begin`) of
   // rows in [begin, end) matching every filter; returns the match count.
   // Requires a non-empty filter list and end - begin <= kScanBlockRows.
   int BuildSelection(int64_t begin, int64_t end,
-                     const std::vector<Predicate>& filters,
+                     const std::vector<Predicate>& filters, const SimdOps& ops,
                      uint32_t* sel) const;
 
   // Folds rows [begin, end) — all known to match — inside block `block`
   // into out->agg, using zone-map sums/extrema when the rows span the full
   // block. Leaves the matched/scanned counters to the caller.
   void AggregateRun(int64_t begin, int64_t end, int64_t block,
-                    const Query& query, QueryResult* out) const;
+                    const Query& query, const SimdOps& ops,
+                    QueryResult* out) const;
 
   // True when [begin, end) covers every row of `block`.
   bool CoversBlock(int64_t begin, int64_t end, int64_t block) const {

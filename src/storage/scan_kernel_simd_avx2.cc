@@ -1,0 +1,282 @@
+// AVX2 tier: 4 x int64 lanes. Range predicates become two signed compares
+// whose lane masks are folded to a 4-bit movemask; the matching lanes'
+// selection indices are compressed with a 16-entry byte-shuffle lookup
+// table (there is no integer compress instruction below AVX-512).
+// Selection-driven aggregation uses vpgatherqq on the 32-bit selection
+// indices. This TU is the only place compiled with -mavx2 (see
+// CMakeLists.txt); everything here is reached strictly behind the runtime
+// CPUID check in simd_dispatch.cc.
+#include "src/storage/scan_kernel_simd.h"
+
+#if defined(__AVX2__) && !defined(TSUNAMI_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+namespace tsunami {
+
+namespace {
+
+// kCompress4[mask] is the _mm_shuffle_epi8 control that packs the uint32
+// lanes whose mask bit is set to the front, in ascending lane order. The
+// unused tail bytes are 0x80 (shuffle emits zeros there); those garbage
+// lanes land below the next write cursor — the store at sel + n ends at
+// sel[n + 3] <= sel[i + 3], inside the vector window just consumed — so
+// they are overwritten or sit past the final count, never exposed.
+#define TSUNAMI_LANE(x) 4 * (x), 4 * (x) + 1, 4 * (x) + 2, 4 * (x) + 3
+#define TSUNAMI_ZERO 0x80, 0x80, 0x80, 0x80
+alignas(16) constexpr uint8_t kCompress4[16][16] = {
+    {TSUNAMI_ZERO, TSUNAMI_ZERO, TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(0), TSUNAMI_ZERO, TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(1), TSUNAMI_ZERO, TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(0), TSUNAMI_LANE(1), TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(2), TSUNAMI_ZERO, TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(0), TSUNAMI_LANE(2), TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(1), TSUNAMI_LANE(2), TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(0), TSUNAMI_LANE(1), TSUNAMI_LANE(2), TSUNAMI_ZERO},
+    {TSUNAMI_LANE(3), TSUNAMI_ZERO, TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(0), TSUNAMI_LANE(3), TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(1), TSUNAMI_LANE(3), TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(0), TSUNAMI_LANE(1), TSUNAMI_LANE(3), TSUNAMI_ZERO},
+    {TSUNAMI_LANE(2), TSUNAMI_LANE(3), TSUNAMI_ZERO, TSUNAMI_ZERO},
+    {TSUNAMI_LANE(0), TSUNAMI_LANE(2), TSUNAMI_LANE(3), TSUNAMI_ZERO},
+    {TSUNAMI_LANE(1), TSUNAMI_LANE(2), TSUNAMI_LANE(3), TSUNAMI_ZERO},
+    {TSUNAMI_LANE(0), TSUNAMI_LANE(1), TSUNAMI_LANE(2), TSUNAMI_LANE(3)},
+};
+#undef TSUNAMI_LANE
+#undef TSUNAMI_ZERO
+
+inline const long long* AsLL(const Value* p) {
+  return reinterpret_cast<const long long*>(p);
+}
+
+// 4-bit mask of lanes with lo <= v <= hi (bit i = lane i).
+inline int InRangeMask(__m256i v, __m256i vlo, __m256i vhi) {
+  __m256i below = _mm256_cmpgt_epi64(vlo, v);  // v < lo
+  __m256i above = _mm256_cmpgt_epi64(v, vhi);  // v > hi
+  __m256i out = _mm256_or_si256(below, above);
+  return ~_mm256_movemask_pd(_mm256_castsi256_pd(out)) & 0xF;
+}
+
+inline int64_t HorizontalSum(__m256i v) {
+  __m128i lo = _mm256_castsi256_si128(v);
+  __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi64(lo, hi);
+  return _mm_cvtsi128_si64(s) + _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s));
+}
+
+inline Value HorizontalMin(__m256i v) {
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  Value m = lanes[0];
+  for (int i = 1; i < 4; ++i) m = lanes[i] < m ? lanes[i] : m;
+  return m;
+}
+
+inline Value HorizontalMax(__m256i v) {
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  Value m = lanes[0];
+  for (int i = 1; i < 4; ++i) m = lanes[i] > m ? lanes[i] : m;
+  return m;
+}
+
+// a < b lanewise (signed); used to build min/max via blend.
+inline __m256i Min64(__m256i a, __m256i b) {
+  return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+}
+
+inline __m256i Max64(__m256i a, __m256i b) {
+  return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(b, a));
+}
+
+int Avx2FirstPass(const Value* col, int count, Value lo, Value hi,
+                  uint32_t* sel) {
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  const __m256i vhi = _mm256_set1_epi64x(hi);
+  __m128i idx = _mm_setr_epi32(0, 1, 2, 3);
+  const __m128i step = _mm_set1_epi32(4);
+  int n = 0;
+  int i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
+    int mask = InRangeMask(v, vlo, vhi);
+    __m128i packed = _mm_shuffle_epi8(
+        idx, _mm_load_si128(reinterpret_cast<const __m128i*>(kCompress4[mask])));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sel + n), packed);
+    n += __builtin_popcount(static_cast<unsigned>(mask));
+    idx = _mm_add_epi32(idx, step);
+  }
+  for (; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((col[i] >= lo) & (col[i] <= hi));
+  }
+  return n;
+}
+
+int Avx2RefinePass(const Value* col, uint32_t* sel, int n, Value lo,
+                   Value hi) {
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  const __m256i vhi = _mm256_set1_epi64x(hi);
+  int m = 0;
+  int j = 0;
+  // In place is safe: m <= j holds throughout, so the 16-byte store at
+  // sel + m ends at sel[m + 3] <= sel[j + 3], inside the window this
+  // iteration already loaded — never in unread territory (the scalar tail
+  // [n & ~3, n) included).
+  for (; j + 4 <= n; j += 4) {
+    __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + j));
+    __m256i v = _mm256_i32gather_epi64(AsLL(col), idx, 8);
+    int mask = InRangeMask(v, vlo, vhi);
+    __m128i packed = _mm_shuffle_epi8(
+        idx, _mm_load_si128(reinterpret_cast<const __m128i*>(kCompress4[mask])));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sel + m), packed);
+    m += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; j < n; ++j) {
+    uint32_t i = sel[j];
+    sel[m] = i;
+    m += static_cast<int>((col[i] >= lo) & (col[i] <= hi));
+  }
+  return m;
+}
+
+int64_t Avx2SumGather(const Value* col, const uint32_t* sel, int n) {
+  __m256i acc = _mm256_setzero_si256();
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + j));
+    acc = _mm256_add_epi64(acc, _mm256_i32gather_epi64(AsLL(col), idx, 8));
+  }
+  int64_t s = HorizontalSum(acc);
+  for (; j < n; ++j) s += col[sel[j]];
+  return s;
+}
+
+Value Avx2MinGather(const Value* col, const uint32_t* sel, int n) {
+  Value m = col[sel[0]];
+  int j = 0;
+  if (n >= 4) {
+    __m256i acc = _mm256_set1_epi64x(m);
+    for (; j + 4 <= n; j += 4) {
+      __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + j));
+      acc = Min64(acc, _mm256_i32gather_epi64(AsLL(col), idx, 8));
+    }
+    m = HorizontalMin(acc);
+  }
+  for (; j < n; ++j) {
+    Value v = col[sel[j]];
+    m = v < m ? v : m;
+  }
+  return m;
+}
+
+Value Avx2MaxGather(const Value* col, const uint32_t* sel, int n) {
+  Value m = col[sel[0]];
+  int j = 0;
+  if (n >= 4) {
+    __m256i acc = _mm256_set1_epi64x(m);
+    for (; j + 4 <= n; j += 4) {
+      __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + j));
+      acc = Max64(acc, _mm256_i32gather_epi64(AsLL(col), idx, 8));
+    }
+    m = HorizontalMax(acc);
+  }
+  for (; j < n; ++j) {
+    Value v = col[sel[j]];
+    m = v > m ? v : m;
+  }
+  return m;
+}
+
+int64_t Avx2SumRange(const Value* col, int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + r)));
+  }
+  int64_t s = HorizontalSum(acc);
+  for (; r < n; ++r) s += col[r];
+  return s;
+}
+
+Value Avx2MinRange(const Value* col, int64_t n) {
+  Value m = col[0];
+  int64_t r = 0;
+  if (n >= 4) {
+    __m256i acc = _mm256_set1_epi64x(m);
+    for (; r + 4 <= n; r += 4) {
+      acc = Min64(acc,
+                  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + r)));
+    }
+    m = HorizontalMin(acc);
+  }
+  for (; r < n; ++r) m = col[r] < m ? col[r] : m;
+  return m;
+}
+
+Value Avx2MaxRange(const Value* col, int64_t n) {
+  Value m = col[0];
+  int64_t r = 0;
+  if (n >= 4) {
+    __m256i acc = _mm256_set1_epi64x(m);
+    for (; r + 4 <= n; r += 4) {
+      acc = Max64(acc,
+                  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + r)));
+    }
+    m = HorizontalMax(acc);
+  }
+  for (; r < n; ++r) m = col[r] > m ? col[r] : m;
+  return m;
+}
+
+void Avx2BlockStats(const Value* col, int64_t n, Value* mn, Value* mx,
+                    int64_t* sum) {
+  Value lo = col[0], hi = col[0];
+  int64_t s = 0;
+  int64_t r = 0;
+  if (n >= 4) {
+    __m256i vmin = _mm256_set1_epi64x(lo);
+    __m256i vmax = vmin;
+    __m256i vsum = _mm256_setzero_si256();
+    for (; r + 4 <= n; r += 4) {
+      __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + r));
+      vmin = Min64(vmin, v);
+      vmax = Max64(vmax, v);
+      vsum = _mm256_add_epi64(vsum, v);
+    }
+    lo = HorizontalMin(vmin);
+    hi = HorizontalMax(vmax);
+    s = HorizontalSum(vsum);
+  }
+  for (; r < n; ++r) {
+    Value v = col[r];
+    lo = v < lo ? v : lo;
+    hi = v > hi ? v : hi;
+    s += v;
+  }
+  *mn = lo;
+  *mx = hi;
+  *sum = s;
+}
+
+constexpr SimdOps kAvx2Ops = {
+    "avx2",        Avx2FirstPass, Avx2RefinePass, Avx2SumGather,
+    Avx2MinGather, Avx2MaxGather, Avx2SumRange,   Avx2MinRange,
+    Avx2MaxRange,  Avx2BlockStats,
+};
+
+}  // namespace
+
+const SimdOps* Avx2SimdOps() { return &kAvx2Ops; }
+
+}  // namespace tsunami
+
+#else  // !__AVX2__ || TSUNAMI_DISABLE_SIMD
+
+namespace tsunami {
+const SimdOps* Avx2SimdOps() { return nullptr; }
+}  // namespace tsunami
+
+#endif

@@ -1,0 +1,209 @@
+// AVX-512 tier: 8 x int64 lanes. Compares produce mask registers directly
+// (__mmask8) and the selection vector is compressed with the native
+// vpcompressd mask store — no lookup table, and the masked store writes
+// only the surviving indices, so there is no overhang to pad for.
+// Requires AVX512F + AVX512VL (the 256-bit compress-store on the 32-bit
+// index vector); simd_dispatch.cc checks both CPUID bits before handing
+// this table out. This TU is the only place compiled with
+// -mavx512f -mavx512vl (see CMakeLists.txt).
+#include "src/storage/scan_kernel_simd.h"
+
+#if defined(__AVX512F__) && defined(__AVX512VL__) && \
+    !defined(TSUNAMI_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+namespace tsunami {
+
+namespace {
+
+// 8-bit mask of lanes with lo <= v <= hi.
+inline __mmask8 InRangeMask(__m512i v, __m512i vlo, __m512i vhi) {
+  return _mm512_cmp_epi64_mask(vlo, v, _MM_CMPINT_LE) &
+         _mm512_cmp_epi64_mask(v, vhi, _MM_CMPINT_LE);
+}
+
+int Avx512FirstPass(const Value* col, int count, Value lo, Value hi,
+                    uint32_t* sel) {
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i step = _mm256_set1_epi32(8);
+  int n = 0;
+  int i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m512i v = _mm512_loadu_si512(col + i);
+    __mmask8 mask = InRangeMask(v, vlo, vhi);
+    _mm256_mask_compressstoreu_epi32(sel + n, mask, idx);
+    n += __builtin_popcount(mask);
+    idx = _mm256_add_epi32(idx, step);
+  }
+  for (; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((col[i] >= lo) & (col[i] <= hi));
+  }
+  return n;
+}
+
+int Avx512RefinePass(const Value* col, uint32_t* sel, int n, Value lo,
+                     Value hi) {
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  int m = 0;
+  int j = 0;
+  // In place is safe: m <= j throughout and the compress-store writes only
+  // popcount(mask) <= 8 entries at sel + m, all inside the window this
+  // iteration already loaded.
+  for (; j + 8 <= n; j += 8) {
+    __m256i idx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + j));
+    __m512i v = _mm512_i32gather_epi64(idx, col, 8);
+    __mmask8 mask = InRangeMask(v, vlo, vhi);
+    _mm256_mask_compressstoreu_epi32(sel + m, mask, idx);
+    m += __builtin_popcount(mask);
+  }
+  for (; j < n; ++j) {
+    uint32_t i = sel[j];
+    sel[m] = i;
+    m += static_cast<int>((col[i] >= lo) & (col[i] <= hi));
+  }
+  return m;
+}
+
+int64_t Avx512SumGather(const Value* col, const uint32_t* sel, int n) {
+  __m512i acc = _mm512_setzero_si512();
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256i idx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + j));
+    acc = _mm512_add_epi64(acc, _mm512_i32gather_epi64(idx, col, 8));
+  }
+  int64_t s = _mm512_reduce_add_epi64(acc);
+  for (; j < n; ++j) s += col[sel[j]];
+  return s;
+}
+
+Value Avx512MinGather(const Value* col, const uint32_t* sel, int n) {
+  Value m = col[sel[0]];
+  int j = 0;
+  if (n >= 8) {
+    __m512i acc = _mm512_set1_epi64(m);
+    for (; j + 8 <= n; j += 8) {
+      __m256i idx =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + j));
+      acc = _mm512_min_epi64(acc, _mm512_i32gather_epi64(idx, col, 8));
+    }
+    m = _mm512_reduce_min_epi64(acc);
+  }
+  for (; j < n; ++j) {
+    Value v = col[sel[j]];
+    m = v < m ? v : m;
+  }
+  return m;
+}
+
+Value Avx512MaxGather(const Value* col, const uint32_t* sel, int n) {
+  Value m = col[sel[0]];
+  int j = 0;
+  if (n >= 8) {
+    __m512i acc = _mm512_set1_epi64(m);
+    for (; j + 8 <= n; j += 8) {
+      __m256i idx =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + j));
+      acc = _mm512_max_epi64(acc, _mm512_i32gather_epi64(idx, col, 8));
+    }
+    m = _mm512_reduce_max_epi64(acc);
+  }
+  for (; j < n; ++j) {
+    Value v = col[sel[j]];
+    m = v > m ? v : m;
+  }
+  return m;
+}
+
+int64_t Avx512SumRange(const Value* col, int64_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  int64_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_loadu_si512(col + r));
+  }
+  int64_t s = _mm512_reduce_add_epi64(acc);
+  for (; r < n; ++r) s += col[r];
+  return s;
+}
+
+Value Avx512MinRange(const Value* col, int64_t n) {
+  Value m = col[0];
+  int64_t r = 0;
+  if (n >= 8) {
+    __m512i acc = _mm512_set1_epi64(m);
+    for (; r + 8 <= n; r += 8) {
+      acc = _mm512_min_epi64(acc, _mm512_loadu_si512(col + r));
+    }
+    m = _mm512_reduce_min_epi64(acc);
+  }
+  for (; r < n; ++r) m = col[r] < m ? col[r] : m;
+  return m;
+}
+
+Value Avx512MaxRange(const Value* col, int64_t n) {
+  Value m = col[0];
+  int64_t r = 0;
+  if (n >= 8) {
+    __m512i acc = _mm512_set1_epi64(m);
+    for (; r + 8 <= n; r += 8) {
+      acc = _mm512_max_epi64(acc, _mm512_loadu_si512(col + r));
+    }
+    m = _mm512_reduce_max_epi64(acc);
+  }
+  for (; r < n; ++r) m = col[r] > m ? col[r] : m;
+  return m;
+}
+
+void Avx512BlockStats(const Value* col, int64_t n, Value* mn, Value* mx,
+                      int64_t* sum) {
+  Value lo = col[0], hi = col[0];
+  int64_t s = 0;
+  int64_t r = 0;
+  if (n >= 8) {
+    __m512i vmin = _mm512_set1_epi64(lo);
+    __m512i vmax = vmin;
+    __m512i vsum = _mm512_setzero_si512();
+    for (; r + 8 <= n; r += 8) {
+      __m512i v = _mm512_loadu_si512(col + r);
+      vmin = _mm512_min_epi64(vmin, v);
+      vmax = _mm512_max_epi64(vmax, v);
+      vsum = _mm512_add_epi64(vsum, v);
+    }
+    lo = _mm512_reduce_min_epi64(vmin);
+    hi = _mm512_reduce_max_epi64(vmax);
+    s = _mm512_reduce_add_epi64(vsum);
+  }
+  for (; r < n; ++r) {
+    Value v = col[r];
+    lo = v < lo ? v : lo;
+    hi = v > hi ? v : hi;
+    s += v;
+  }
+  *mn = lo;
+  *mx = hi;
+  *sum = s;
+}
+
+constexpr SimdOps kAvx512Ops = {
+    "avx512",        Avx512FirstPass, Avx512RefinePass, Avx512SumGather,
+    Avx512MinGather, Avx512MaxGather, Avx512SumRange,   Avx512MinRange,
+    Avx512MaxRange,  Avx512BlockStats,
+};
+
+}  // namespace
+
+const SimdOps* Avx512SimdOps() { return &kAvx512Ops; }
+
+}  // namespace tsunami
+
+#else  // !AVX512F/VL || TSUNAMI_DISABLE_SIMD
+
+namespace tsunami {
+const SimdOps* Avx512SimdOps() { return nullptr; }
+}  // namespace tsunami
+
+#endif

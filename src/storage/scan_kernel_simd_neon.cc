@@ -1,0 +1,142 @@
+// NEON tier (AArch64): 2 x int64 lanes. NEON is baseline on AArch64, so
+// this TU needs no special arch flags — it simply compiles empty on other
+// architectures. Contiguous passes (predicate compare, run folds, zone-map
+// stats) are vectorized; the 64-bit compares (vcgeq_s64/vcleq_s64) are
+// A64-only, hence the __aarch64__ guard. Gathered (selection-driven)
+// passes point straight at the shared scalar_ops loops: at 2 lanes a
+// software gather costs more than the loads it replaces, and reusing the
+// reference implementations keeps the tiers drift-proof by construction.
+#include "src/storage/scan_kernel_simd.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON) && \
+    !defined(TSUNAMI_DISABLE_SIMD)
+
+#include <arm_neon.h>
+
+namespace tsunami {
+
+namespace {
+
+inline int64x2_t Min64(int64x2_t a, int64x2_t b) {
+  return vbslq_s64(vcgtq_s64(a, b), b, a);  // Where a > b, take b.
+}
+
+inline int64x2_t Max64(int64x2_t a, int64x2_t b) {
+  return vbslq_s64(vcgtq_s64(b, a), b, a);  // Where b > a, take b.
+}
+
+int NeonFirstPass(const Value* col, int count, Value lo, Value hi,
+                  uint32_t* sel) {
+  const int64x2_t vlo = vdupq_n_s64(lo);
+  const int64x2_t vhi = vdupq_n_s64(hi);
+  int n = 0;
+  int i = 0;
+  for (; i + 2 <= count; i += 2) {
+    int64x2_t v = vld1q_s64(col + i);
+    uint64x2_t ok = vandq_u64(vcgeq_s64(v, vlo), vcleq_s64(v, vhi));
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>(vgetq_lane_u64(ok, 0) & 1);
+    sel[n] = static_cast<uint32_t>(i + 1);
+    n += static_cast<int>(vgetq_lane_u64(ok, 1) & 1);
+  }
+  for (; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((col[i] >= lo) & (col[i] <= hi));
+  }
+  return n;
+}
+
+int64_t NeonSumRange(const Value* col, int64_t n) {
+  int64x2_t acc = vdupq_n_s64(0);
+  int64_t r = 0;
+  for (; r + 2 <= n; r += 2) acc = vaddq_s64(acc, vld1q_s64(col + r));
+  int64_t s = vgetq_lane_s64(acc, 0) + vgetq_lane_s64(acc, 1);
+  for (; r < n; ++r) s += col[r];
+  return s;
+}
+
+Value NeonMinRange(const Value* col, int64_t n) {
+  Value m = col[0];
+  int64_t r = 0;
+  if (n >= 2) {
+    int64x2_t acc = vdupq_n_s64(m);
+    for (; r + 2 <= n; r += 2) acc = Min64(acc, vld1q_s64(col + r));
+    Value a = vgetq_lane_s64(acc, 0), b = vgetq_lane_s64(acc, 1);
+    m = a < b ? a : b;
+  }
+  for (; r < n; ++r) m = col[r] < m ? col[r] : m;
+  return m;
+}
+
+Value NeonMaxRange(const Value* col, int64_t n) {
+  Value m = col[0];
+  int64_t r = 0;
+  if (n >= 2) {
+    int64x2_t acc = vdupq_n_s64(m);
+    for (; r + 2 <= n; r += 2) acc = Max64(acc, vld1q_s64(col + r));
+    Value a = vgetq_lane_s64(acc, 0), b = vgetq_lane_s64(acc, 1);
+    m = a > b ? a : b;
+  }
+  for (; r < n; ++r) m = col[r] > m ? col[r] : m;
+  return m;
+}
+
+void NeonBlockStats(const Value* col, int64_t n, Value* mn, Value* mx,
+                    int64_t* sum) {
+  Value lo = col[0], hi = col[0];
+  int64_t s = 0;
+  int64_t r = 0;
+  if (n >= 2) {
+    int64x2_t vmin = vdupq_n_s64(lo);
+    int64x2_t vmax = vmin;
+    int64x2_t vsum = vdupq_n_s64(0);
+    for (; r + 2 <= n; r += 2) {
+      int64x2_t v = vld1q_s64(col + r);
+      vmin = Min64(vmin, v);
+      vmax = Max64(vmax, v);
+      vsum = vaddq_s64(vsum, v);
+    }
+    Value a = vgetq_lane_s64(vmin, 0), b = vgetq_lane_s64(vmin, 1);
+    lo = a < b ? a : b;
+    a = vgetq_lane_s64(vmax, 0);
+    b = vgetq_lane_s64(vmax, 1);
+    hi = a > b ? a : b;
+    s = vgetq_lane_s64(vsum, 0) + vgetq_lane_s64(vsum, 1);
+  }
+  for (; r < n; ++r) {
+    Value v = col[r];
+    lo = v < lo ? v : lo;
+    hi = v > hi ? v : hi;
+    s += v;
+  }
+  *mn = lo;
+  *mx = hi;
+  *sum = s;
+}
+
+constexpr SimdOps kNeonOps = {
+    "neon",
+    NeonFirstPass,
+    scalar_ops::RefinePass,
+    scalar_ops::SumGather,
+    scalar_ops::MinGather,
+    scalar_ops::MaxGather,
+    NeonSumRange,
+    NeonMinRange,
+    NeonMaxRange,
+    NeonBlockStats,
+};
+
+}  // namespace
+
+const SimdOps* NeonSimdOps() { return &kNeonOps; }
+
+}  // namespace tsunami
+
+#else  // !__aarch64__ || TSUNAMI_DISABLE_SIMD
+
+namespace tsunami {
+const SimdOps* NeonSimdOps() { return nullptr; }
+}  // namespace tsunami
+
+#endif

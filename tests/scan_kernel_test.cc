@@ -1,8 +1,8 @@
-// Cross-checks for the vectorized block-based scan kernel: the vectorized
-// and scalar paths must agree bit-for-bit on every QueryResult field, for
-// every aggregate, range shape (empty / exact / ragged block edges), filter
-// count, and through the batched multi-range executor and the grid's
-// outlier buffer.
+// Cross-checks for the vectorized block-based scan kernel: the vectorized,
+// SIMD (every compiled tier), and scalar paths must agree bit-for-bit on
+// every QueryResult field, for every aggregate, range shape (empty / exact
+// / ragged block edges / sub-SIMD-width tails), filter count, and through
+// the batched multi-range executor and the grid's outlier buffer.
 #include <numeric>
 
 #include <gtest/gtest.h>
@@ -14,6 +14,8 @@
 #include "src/exec/thread_pool.h"
 #include "src/storage/column_store.h"
 #include "src/storage/scan_kernel.h"
+#include "src/storage/scan_kernel_simd.h"
+#include "src/storage/simd_dispatch.h"
 
 namespace tsunami {
 namespace {
@@ -73,30 +75,156 @@ void ExpectSameResult(const QueryResult& vec, const QueryResult& scalar,
 }
 
 TEST(ScanKernelTest, RandomizedCrossCheckAgainstScalar) {
-  for (bool clustered : {false, true}) {
-    Dataset data = MakeData(20000, 4, clustered, 901);
-    ColumnStore store(data);
-    Rng rng(902);
-    for (int trial = 0; trial < 400; ++trial) {
-      AggKind agg = kAggs[trial % 5];
-      int num_filters = 1 + static_cast<int>(rng.NextBelow(8));
-      Query q = RandomQuery(&rng, 4, num_filters, agg);
-      // Ranges with ragged block edges, empty ranges, and full scans.
-      int64_t begin = rng.UniformValue(0, store.size());
-      int64_t end = rng.UniformValue(begin, store.size());
-      if (trial % 17 == 0) end = begin;       // Empty.
-      if (trial % 23 == 0) {                  // Full store.
-        begin = 0;
-        end = store.size();
+  for (ScanMode mode : {ScanMode::kVectorized, ScanMode::kSimd}) {
+    for (bool clustered : {false, true}) {
+      Dataset data = MakeData(20000, 4, clustered, 901);
+      ColumnStore store(data);
+      Rng rng(902);
+      for (int trial = 0; trial < 400; ++trial) {
+        AggKind agg = kAggs[trial % 5];
+        int num_filters = 1 + static_cast<int>(rng.NextBelow(8));
+        Query q = RandomQuery(&rng, 4, num_filters, agg);
+        // Ranges with ragged block edges, empty ranges, and full scans.
+        int64_t begin = rng.UniformValue(0, store.size());
+        int64_t end = rng.UniformValue(begin, store.size());
+        if (trial % 17 == 0) end = begin;       // Empty.
+        if (trial % 23 == 0) {                  // Full store.
+          begin = 0;
+          end = store.size();
+        }
+        QueryResult vec = InitResult(q), scalar = InitResult(q);
+        store.ScanRange(begin, end, q, /*exact=*/false, &vec,
+                        ScanOptions{mode});
+        store.ScanRange(begin, end, q, /*exact=*/false, &scalar,
+                        ScanOptions{ScanOptions::kScalar});
+        ExpectSameResult(vec, scalar, clustered ? "clustered" : "random");
       }
-      QueryResult vec = InitResult(q), scalar = InitResult(q);
-      store.ScanRange(begin, end, q, /*exact=*/false, &vec,
-                      ScanOptions{ScanOptions::kVectorized});
-      store.ScanRange(begin, end, q, /*exact=*/false, &scalar,
-                      ScanOptions{ScanOptions::kScalar});
-      ExpectSameResult(vec, scalar, clustered ? "clustered" : "random");
     }
   }
+}
+
+// Every SIMD tier (including forced-but-unsupported ones, which must fall
+// back to the scalar ops) agrees bit-for-bit with the scalar kernel on
+// adversarial range shapes: begin/end straddling block boundaries, tails
+// shorter than one SIMD width, empty-filter queries, no-match filters, and
+// all-match blocks.
+TEST(ScanKernelTest, SimdTiersBitForBitOnUnalignedRanges) {
+  const SimdTier kTiers[] = {SimdTier::kAuto, SimdTier::kNone,
+                             SimdTier::kNeon, SimdTier::kAvx2,
+                             SimdTier::kAvx512};
+  for (bool clustered : {false, true}) {
+    Dataset data = MakeData(3 * kScanBlockRows + 117, 3, clustered, 921);
+    ColumnStore store(data);
+    // Hand-picked range shapes around the block/SIMD seams.
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    for (int64_t edge : {kScanBlockRows, 2 * kScanBlockRows}) {
+      for (int64_t d : {1, 2, 3, 5, 7, 9, 15, 17}) {
+        ranges.push_back({edge - d, edge + d});  // Straddles the boundary.
+        ranges.push_back({edge, edge + d});      // Tail shorter than SIMD.
+        ranges.push_back({edge - d, edge});
+      }
+    }
+    ranges.push_back({0, store.size()});
+    ranges.push_back({3, 4});
+    // Filter shapes: normal, no-match, all-match, and no filters at all.
+    std::vector<std::vector<Predicate>> filter_sets = {
+        {Predicate{0, -2000, 2000}, Predicate{1, 0, 5000}},
+        {Predicate{2, 99999, 99999}},                       // Matches nothing.
+        {Predicate{0, -5000, 5000}, Predicate{1, -5000, 5000}},  // All match.
+        {},                                                 // No filters.
+    };
+    for (SimdTier tier : kTiers) {
+      ScanOptions options;
+      options.mode = ScanMode::kSimd;
+      options.tier = tier;
+      for (const auto& filters : filter_sets) {
+        for (const auto& [begin, end] : ranges) {
+          for (AggKind agg : kAggs) {
+            Query q;
+            q.agg = agg;
+            q.agg_dim = 2;
+            q.filters = filters;
+            QueryResult simd = InitResult(q), scalar = InitResult(q);
+            store.ScanRange(begin, end, q, /*exact=*/false, &simd, options);
+            store.ScanRange(begin, end, q, /*exact=*/false, &scalar,
+                            ScanOptions{ScanOptions::kScalar});
+            ExpectSameResult(simd, scalar, SimdTierName(tier));
+          }
+        }
+      }
+    }
+  }
+}
+
+// Ops-table-level cross-check: every available tier's inner loops agree
+// with the scalar table on random inputs at every length around the SIMD
+// widths (0/1/.../17, 63, 64, 100, 1024), including empty and all-match
+// selections.
+TEST(ScanKernelTest, SimdOpsMatchScalarOpsAtEveryLength) {
+  const SimdOps& ref = ScalarSimdOps();
+  Rng rng(922);
+  for (SimdTier tier :
+       {SimdTier::kNeon, SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (!SimdTierSupported(tier)) continue;
+    const SimdOps& ops = OpsForTier(tier);
+    for (int n : {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 100, 1024}) {
+      std::vector<Value> col(n);
+      for (Value& v : col) v = rng.UniformValue(-1000, 1000);
+      for (auto [lo, hi] : std::initializer_list<std::pair<Value, Value>>{
+               {-300, 300}, {2000, 3000}, {-1000, 1000}, {5, 5}}) {
+        std::vector<uint32_t> got(n);
+        std::vector<uint32_t> want(n);
+        int got_n = ops.first_pass(col.data(), n, lo, hi, got.data());
+        int want_n = ref.first_pass(col.data(), n, lo, hi, want.data());
+        ASSERT_EQ(got_n, want_n) << ops.name << " n=" << n;
+        for (int i = 0; i < got_n; ++i) {
+          EXPECT_EQ(got[i], want[i]) << ops.name << " n=" << n;
+        }
+        // Refine the survivors by a second predicate over the same column.
+        std::vector<uint32_t> got2(got.begin(), got.end());
+        std::vector<uint32_t> want2(want.begin(), want.end());
+        int got2_n = ops.refine_pass(col.data(), got2.data(), got_n, -100, 150);
+        int want2_n =
+            ref.refine_pass(col.data(), want2.data(), want_n, -100, 150);
+        ASSERT_EQ(got2_n, want2_n) << ops.name << " n=" << n;
+        for (int i = 0; i < got2_n; ++i) {
+          EXPECT_EQ(got2[i], want2[i]) << ops.name << " n=" << n;
+        }
+        EXPECT_EQ(ops.sum_gather(col.data(), got.data(), got_n),
+                  ref.sum_gather(col.data(), want.data(), want_n));
+        if (got_n > 0) {
+          EXPECT_EQ(ops.min_gather(col.data(), got.data(), got_n),
+                    ref.min_gather(col.data(), want.data(), want_n));
+          EXPECT_EQ(ops.max_gather(col.data(), got.data(), got_n),
+                    ref.max_gather(col.data(), want.data(), want_n));
+        }
+      }
+      EXPECT_EQ(ops.sum_range(col.data(), n), ref.sum_range(col.data(), n))
+          << ops.name << " n=" << n;
+      if (n > 0) {
+        EXPECT_EQ(ops.min_range(col.data(), n), ref.min_range(col.data(), n));
+        EXPECT_EQ(ops.max_range(col.data(), n), ref.max_range(col.data(), n));
+        Value mn_got, mx_got, mn_want, mx_want;
+        int64_t s_got, s_want;
+        ops.block_stats(col.data(), n, &mn_got, &mx_got, &s_got);
+        ref.block_stats(col.data(), n, &mn_want, &mx_want, &s_want);
+        EXPECT_EQ(mn_got, mn_want) << ops.name << " n=" << n;
+        EXPECT_EQ(mx_got, mx_want) << ops.name << " n=" << n;
+        EXPECT_EQ(s_got, s_want) << ops.name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ScanKernelTest, DispatchResolvesToSupportedTier) {
+  SimdTier best = DetectSimdTier();
+  EXPECT_TRUE(SimdTierSupported(best)) << SimdTierName(best);
+  EXPECT_EQ(&OpsForTier(SimdTier::kAuto), &OpsForTier(best));
+  EXPECT_EQ(&OpsForTier(SimdTier::kNone), &ScalarSimdOps());
+#if defined(TSUNAMI_DISABLE_SIMD)
+  // The portable configuration must never dispatch off the scalar table.
+  EXPECT_EQ(best, SimdTier::kNone);
+#endif
 }
 
 TEST(ScanKernelTest, ExactRangesCrossCheck) {
