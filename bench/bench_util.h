@@ -19,7 +19,9 @@
 #include "src/common/types.h"
 #include "src/core/tsunami.h"
 #include "src/datasets/datasets.h"
+#include "src/exec/thread_pool.h"
 #include "src/flood/flood.h"
+#include "src/storage/simd_dispatch.h"
 
 namespace tsunami {
 namespace bench {
@@ -73,6 +75,26 @@ inline double MeasureAvgQueryNanos(const MultiDimIndex& index,
 inline double ThroughputQps(double avg_nanos) {
   return avg_nanos > 0 ? 1e9 / avg_nanos : 0.0;
 }
+
+/// Average wall-clock nanoseconds per query driving the workload through
+/// the batch API: one ExecuteBatch submission per repeat, sharing `ctx`'s
+/// thread pool and scan options.
+inline double MeasureAvgQueryNanosBatch(const MultiDimIndex& index,
+                                        const Workload& workload,
+                                        ExecContext& ctx, int repeats = 1) {
+  if (workload.empty()) return 0.0;
+  int64_t sink = 0;
+  Timer timer;
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::vector<QueryResult> results = index.ExecuteBatch(
+        std::span<const Query>(workload.data(), workload.size()), ctx);
+    for (const QueryResult& r : results) sink += r.agg;
+  }
+  double total = static_cast<double>(timer.ElapsedNanos());
+  if (sink == INT64_MIN) std::fprintf(stderr, "impossible\n");
+  return total / (static_cast<double>(workload.size()) * repeats);
+}
+
 
 /// Picks the fastest page size for a page-based baseline by building at a
 /// few page sizes and timing a query subsample — the "optimally tuned"
@@ -180,6 +202,21 @@ class JsonRecord {
   }
   std::string body_;
 };
+
+/// A BENCH_*.json record pre-stamped with the execution environment every
+/// perf record needs to stay attributable across machines and configs: the
+/// active SIMD tier, the thread count, and the batch size the measurement
+/// used (1 = per-query dispatch).
+inline JsonRecord EnvRecord(const std::string& shape,
+                            const std::string& simd_tier, int threads,
+                            int64_t batch_size) {
+  JsonRecord record;
+  record.Str("shape", shape)
+      .Str("simd_tier", simd_tier)
+      .Int("threads", threads)
+      .Int("batch_size", batch_size);
+  return record;
+}
 
 /// Writes `{"bench": <name>, "results": [records...]}` to `path`.
 inline bool WriteBenchJson(const std::string& path, const std::string& name,

@@ -30,8 +30,10 @@ void RunStatement(const QueryEngine& engine, const std::string& sql) {
     std::printf("  error: %s\n", result.error.c_str());
     return;
   }
-  std::printf("  = %.4f   (matched %lld rows, scanned %lld, %lld ranges)\n",
-              result.value, static_cast<long long>(result.stats.matched),
+  std::printf("  =");
+  for (double v : result.values) std::printf(" %.4f", v);
+  std::printf("   (matched %lld rows, scanned %lld, %lld ranges)\n",
+              static_cast<long long>(result.stats.matched),
               static_cast<long long>(result.stats.scanned),
               static_cast<long long>(result.stats.cell_ranges));
 }

@@ -2,9 +2,14 @@
 # CI entry point: configure, build, and run the tier-1 test suite, with
 # -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
 #
-# Two passes: the default build (SIMD tiers compiled in, runtime-dispatched)
-# and a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
-# kernel, so the fallback path can never silently rot.
+# Three passes:
+#  1. the default build (SIMD tiers compiled in, runtime-dispatched);
+#  2. a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
+#     kernel, so the fallback path can never silently rot;
+#  3. the examples (including the batch-API demo, which self-checks batch
+#     results against per-query execution) plus a ctest run under
+#     TSUNAMI_FORCE_SCALAR, exercising the runtime-degraded dispatch path
+#     in the full-SIMD binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,3 +20,10 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 cmake -B build-nosimd -S . -DTSUNAMI_WERROR=ON -DTSUNAMI_DISABLE_SIMD=ON
 cmake --build build-nosimd -j"$(nproc)"
 ctest --test-dir build-nosimd --output-on-failure -j"$(nproc)"
+
+# Third pass: examples build + degraded-dispatch run.
+cmake --build build -j"$(nproc)" --target \
+  batch_api quickstart sql_shell access_paths index_explorer
+./build/batch_api
+TSUNAMI_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
+  -j"$(nproc)"

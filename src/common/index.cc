@@ -1,0 +1,99 @@
+#include "src/common/index.h"
+
+#include "src/exec/runner.h"
+#include "src/exec/thread_pool.h"
+
+namespace tsunami {
+
+QueryPlan MultiDimIndex::Prepare(const Query& query) const {
+  QueryPlan plan;
+  plan.query = query;
+  plan.counters = InitResult(query);
+  return plan;
+}
+
+QueryResult MultiDimIndex::ExecutePlan(const QueryPlan& plan,
+                                       ExecContext& ctx) const {
+  if (!plan.use_tasks) return Execute(plan.query);
+  QueryResult result = plan.counters;
+  QueryResult scans =
+      ExecuteRangeTasks(store(), plan.tasks, plan.query, ctx);
+  MergeQueryResults(plan.query, scans, &result);
+  return result;
+}
+
+namespace {
+
+/// Shared batch loop: runs `one(i)` for every position, spread across the
+/// context's pool when it is multi-threaded (each item's scans inline on
+/// its worker — a per-worker context without the pool avoids nested
+/// ParallelFor deadlocks and oversubscription), serially otherwise.
+/// Cancellation is checked before each item; skipped items get their
+/// identity result. Fills ctx.stats from the results.
+template <typename ExecuteOne, typename IdentityOf>
+std::vector<QueryResult> BatchLoop(int64_t count, ExecContext& ctx,
+                                   const ExecuteOne& one,
+                                   const IdentityOf& identity) {
+  ctx.StartBatch();
+  Timer timer;
+  std::vector<QueryResult> results(count);
+  std::atomic<int64_t> executed{0};
+  auto run = [&](int64_t i, ExecContext& item_ctx) {
+    if (ctx.ShouldStop()) {
+      results[i] = identity(i);
+      return;
+    }
+    QueryResult result = one(i, item_ctx);
+    if (ctx.ShouldStop()) {
+      // Cancellation fired while this item ran: its scans may have stopped
+      // between range tasks, leaving a partial accumulation. Never pass a
+      // partial off as an answer — the item reverts to its identity result
+      // and is not counted as executed. (Conservative: an item finishing
+      // exactly as the flag/deadline fires is discarded too.)
+      results[i] = identity(i);
+      return;
+    }
+    results[i] = std::move(result);
+    executed.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (ctx.pool != nullptr && ctx.pool->num_threads() > 1 && count > 1) {
+    ctx.pool->ParallelFor(0, count, 1, [&](int64_t i) {
+      // Fork per item so the batch deadline keeps applying between range
+      // tasks inside the item's scans; drop the pool (no nested
+      // ParallelFor).
+      ExecContext inline_ctx = ctx.Fork();
+      inline_ctx.pool = nullptr;
+      run(i, inline_ctx);
+    });
+  } else {
+    for (int64_t i = 0; i < count; ++i) run(i, ctx);
+  }
+  ctx.stats.queries += executed.load(std::memory_order_relaxed);
+  for (const QueryResult& r : results) ctx.stats.AddResult(r);
+  ctx.stats.seconds += timer.ElapsedSeconds();
+  return results;
+}
+
+}  // namespace
+
+std::vector<QueryResult> MultiDimIndex::ExecuteBatch(
+    std::span<const Query> queries, ExecContext& ctx) const {
+  return BatchLoop(
+      static_cast<int64_t>(queries.size()), ctx,
+      [&](int64_t i, ExecContext& item_ctx) {
+        return ExecutePlan(Prepare(queries[i]), item_ctx);
+      },
+      [&](int64_t i) { return InitResult(queries[i]); });
+}
+
+std::vector<QueryResult> MultiDimIndex::ExecutePlans(
+    std::span<const QueryPlan> plans, ExecContext& ctx) const {
+  return BatchLoop(
+      static_cast<int64_t>(plans.size()), ctx,
+      [&](int64_t i, ExecContext& item_ctx) {
+        return ExecutePlan(plans[i], item_ctx);
+      },
+      [&](int64_t i) { return InitResult(plans[i].query); });
+}
+
+}  // namespace tsunami

@@ -1,15 +1,137 @@
 // The common interface implemented by every clustered multi-dimensional
-// index in this library (baselines, Flood, Tsunami).
+// index in this library (baselines, Flood, Tsunami, secondary indexes, the
+// access-path router).
+//
+// Two execution surfaces:
+//  * the legacy per-query path — Execute(query) — one synchronous query;
+//  * the batch path — Prepare(query) -> QueryPlan, then
+//    ExecutePlan(plan, ctx) or ExecuteBatch(queries, ctx) — which amortizes
+//    planning, runs scans through the shared thread pool and forced SIMD
+//    tier carried by the ExecContext, and computes every aggregate of a
+//    multi-aggregate query in one pass.
+// Both surfaces are bit-identical: ExecuteBatch over any permutation of a
+// workload returns exactly what per-query Execute returns.
 #ifndef TSUNAMI_COMMON_INDEX_H_
 #define TSUNAMI_COMMON_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/storage/column_store.h"
 
 namespace tsunami {
+
+class ThreadPool;
+
+/// A prepared query: the bound query plus, when the index supports
+/// plan-then-scan execution, the physical row ranges to scan. Plans borrow
+/// nothing but are only executable by the index that produced them (the
+/// tasks address that index's clustered store).
+struct QueryPlan {
+  Query query;
+  /// Physical ranges to scan, in submission order. Meaningful only when
+  /// `use_tasks` is true.
+  std::vector<RangeTask> tasks;
+  /// Plan-time counters: initialized accumulators plus the cell_ranges
+  /// visited during planning. Execution merges scan counters into a copy.
+  QueryResult counters;
+  /// False: the index has no plan-then-scan path; execution falls back to
+  /// Execute(query). True: execution scans `tasks` against store().
+  bool use_tasks = false;
+  /// Position of the owning access path within a routing layer; set by
+  /// AccessPathRouter::Prepare so replays skip re-routing. -1 = not routed.
+  int routed_index = -1;
+};
+
+/// Aggregate counters for one ExecuteBatch call (accumulated across calls
+/// when the same context is reused).
+struct BatchStats {
+  int64_t queries = 0;       // Queries actually executed (not skipped).
+  int64_t scanned = 0;
+  int64_t matched = 0;
+  int64_t cell_ranges = 0;
+  double seconds = 0.0;      // Wall time inside ExecuteBatch.
+
+  /// Folds one executed query's counters in.
+  void AddResult(const QueryResult& r) {
+    scanned += r.scanned;
+    matched += r.matched;
+    cell_ranges += r.cell_ranges;
+  }
+
+  /// Folds a forwarded sub-batch's stats in. `seconds` is excluded on
+  /// purpose: each layer accounts its own wall clock, and sub-batch time
+  /// is already inside it.
+  void MergeCounters(const BatchStats& other) {
+    queries += other.queries;
+    scanned += other.scanned;
+    matched += other.matched;
+    cell_ranges += other.cell_ranges;
+  }
+};
+
+/// Execution context for the batch path. Carries the resources a batch
+/// shares — the thread pool, scan options (kernel mode + forced SIMD tier)
+/// — plus cooperative cancellation (an external flag and/or a deadline,
+/// both checked between range tasks and between queries) and per-batch
+/// stats. Copyable: forwarding layers fork a context per sub-batch and
+/// merge stats back.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  explicit ExecContext(ThreadPool* pool) : pool(pool) {}
+  ExecContext(ThreadPool* pool, const ScanOptions& scan)
+      : pool(pool), scan(scan) {}
+
+  ThreadPool* pool = nullptr;   // Borrowed; null = run inline.
+  ScanOptions scan;             // Kernel mode and SIMD tier for every scan.
+  /// External cancellation flag (borrowed, may be null). Once set, the
+  /// remaining work is skipped and unexecuted queries return their
+  /// initialized (identity) results.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Soft deadline in seconds from the last StartBatch(); 0 disables.
+  double deadline_seconds = 0.0;
+
+  BatchStats stats;             // Filled by ExecuteBatch.
+
+  /// Restarts the deadline clock; ExecuteBatch calls this on entry.
+  void StartBatch() { timer_.Reset(); }
+
+  /// True when the batch should stop issuing further work (flag set or
+  /// deadline passed). Safe to call concurrently.
+  bool ShouldStop() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline_seconds > 0.0 &&
+           timer_.ElapsedSeconds() >= deadline_seconds;
+  }
+
+  /// A child context for running a slice of this batch elsewhere (a routed
+  /// sub-batch, one worker's query, one statement): same pool, scan
+  /// options, and cancel flag; fresh stats; deadline clipped to this
+  /// batch's *remaining* time, so the child's StartBatch cannot extend the
+  /// parent's deadline. Forwarding layers must fork rather than copy.
+  ExecContext Fork() const {
+    ExecContext child(pool, scan);
+    child.cancel = cancel;
+    if (deadline_seconds > 0.0) {
+      double remaining = deadline_seconds - timer_.ElapsedSeconds();
+      // An expired parent leaves a child that stops immediately (0 would
+      // mean "no deadline").
+      child.deadline_seconds = remaining > 1e-9 ? remaining : 1e-9;
+    }
+    return child;
+  }
+
+ private:
+  Timer timer_;
+};
 
 /// A clustered in-memory multi-dimensional index over a column store.
 ///
@@ -22,8 +144,41 @@ class MultiDimIndex {
   /// Human-readable index name for benchmark output.
   virtual std::string Name() const = 0;
 
-  /// Executes one query and returns its aggregate plus execution counters.
+  /// Executes one query and returns its aggregate(s) plus execution
+  /// counters. Multi-aggregate queries get every aggregate in one pass.
   virtual QueryResult Execute(const Query& query) const = 0;
+
+  /// Plans `query` without scanning row data. The default returns a
+  /// passthrough plan (use_tasks = false) that ExecutePlan serves via
+  /// Execute(); indexes with a plan-then-scan path override this to emit
+  /// their RangeTasks up front so batches amortize planning.
+  virtual QueryPlan Prepare(const Query& query) const;
+
+  /// Executes a prepared plan. Task-backed plans scan through the context's
+  /// thread pool and scan options (one batched submission, row-balanced
+  /// across threads); passthrough plans delegate to Execute(). Bit-identical
+  /// to Execute(plan.query) for any pool size and supported tier.
+  virtual QueryResult ExecutePlan(const QueryPlan& plan,
+                                  ExecContext& ctx) const;
+
+  /// Executes a batch: plans every query first, then runs the scans. With a
+  /// multi-threaded pool the batch is spread across its threads (each
+  /// query's scans run inline on one worker — no nested parallelism);
+  /// results are positionally stable and bit-identical to per-query
+  /// Execute() either way. Cancellation is checked between queries; skipped
+  /// queries — and the query in flight when cancellation fires, whose scans
+  /// may have stopped early — return their initialized (identity) results,
+  /// so a partial aggregate is never passed off as an answer. Fills
+  /// ctx.stats (counting only fully executed queries).
+  virtual std::vector<QueryResult> ExecuteBatch(std::span<const Query> queries,
+                                                ExecContext& ctx) const;
+
+  /// Executes a batch of already-prepared plans: the amortization lever for
+  /// served workloads — Prepare once, ExecutePlans every time the batch
+  /// recurs, paying only the scans. Same pool/cancellation/stats semantics
+  /// as ExecuteBatch, and the same results as executing each plan's query.
+  std::vector<QueryResult> ExecutePlans(std::span<const QueryPlan> plans,
+                                        ExecContext& ctx) const;
 
   /// Index structure overhead in bytes (lookup tables, models, tree nodes,
   /// page metadata) — excludes the column data itself.

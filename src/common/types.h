@@ -5,7 +5,17 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
+
+/// Deprecation marker for the pre-batch-API surface. Legacy integrations
+/// that cannot migrate yet define TSUNAMI_ALLOW_DEPRECATED (the single
+/// opt-out) to keep building under -Werror without warnings.
+#if defined(TSUNAMI_ALLOW_DEPRECATED)
+#define TSUNAMI_DEPRECATED(msg)
+#else
+#define TSUNAMI_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
 
 namespace tsunami {
 
@@ -65,7 +75,30 @@ inline void AccumulateAgg(AggKind kind, Value v, int64_t* agg) {
   }
 }
 
-/// A conjunctive range query: `SELECT AGG(col) FROM t WHERE p1 AND p2 ...`.
+/// One aggregate of a (possibly multi-aggregate) query: the operation and
+/// the aggregated column (`column` is ignored for kCount).
+struct AggregateSpec {
+  AggKind op = AggKind::kCount;
+  int column = 0;
+
+  bool operator==(const AggregateSpec&) const = default;
+};
+
+/// SELECT-list length the SQL parser accepts. Enforced only at the parser:
+/// programmatic queries may carry longer lists (every kernel loops over the
+/// full list; accumulators live in QueryResult::extra, not a fixed array) —
+/// the cap just keeps statement cost proportional to what a user would
+/// reasonably write.
+inline constexpr int kMaxQueryAggs = 8;
+
+/// A conjunctive range query:
+/// `SELECT AGG1(col), AGG2(col), ... FROM t WHERE p1 AND p2 ...`.
+///
+/// Aggregates: the common single-aggregate form lives in `agg` / `agg_dim`
+/// (back-compat: every pre-batch-API call site reads these). Multi-
+/// aggregate queries additionally fill `aggs`, whose first entry mirrors
+/// `agg` / `agg_dim` — use SetAggregates() to keep that invariant. All
+/// aggregates of one query are computed in a single scan pass.
 ///
 /// `type` labels the query type (§4.3.1) when known from the workload
 /// generator; -1 means unlabeled (Tsunami will cluster types itself).
@@ -74,6 +107,44 @@ struct Query {
   AggKind agg = AggKind::kCount;
   int agg_dim = 0;  // Aggregated column for kSum; ignored for kCount.
   int type = -1;
+  /// Multi-aggregate list; empty means the single aggregate in `agg` /
+  /// `agg_dim`. When non-empty, aggs[0] == {agg, agg_dim}.
+  std::vector<AggregateSpec> aggs;
+
+  Query() = default;
+  TSUNAMI_DEPRECATED(
+      "single-aggregate shim; use Query(filters, {AggregateSpec{...}, ...})")
+  Query(std::vector<Predicate> fs, AggKind a, int a_dim = 0)
+      : filters(std::move(fs)), agg(a), agg_dim(a_dim) {}
+  Query(std::vector<Predicate> fs, std::vector<AggregateSpec> specs)
+      : filters(std::move(fs)) {
+    SetAggregates(std::move(specs));
+  }
+
+  /// Number of aggregates this query computes (at least 1).
+  int num_aggs() const {
+    return aggs.empty() ? 1 : static_cast<int>(aggs.size());
+  }
+
+  /// The i-th aggregate; i == 0 is the primary `agg` / `agg_dim` pair.
+  AggregateSpec agg_spec(int i) const {
+    return aggs.empty() ? AggregateSpec{agg, agg_dim} : aggs[i];
+  }
+
+  /// Installs `specs` as this query's aggregates, keeping the legacy
+  /// `agg` / `agg_dim` fields mirrored on specs[0]. An empty list resets
+  /// to the default COUNT. A single spec stores no `aggs` vector at all,
+  /// so single-aggregate queries stay bit-identical to the legacy form.
+  void SetAggregates(std::vector<AggregateSpec> specs) {
+    if (specs.empty()) specs.push_back(AggregateSpec{});
+    agg = specs[0].op;
+    agg_dim = specs[0].column;
+    if (specs.size() == 1) {
+      aggs.clear();
+    } else {
+      aggs = std::move(specs);
+    }
+  }
 
   /// Returns the filter over `dim`, or nullptr if the query does not
   /// filter that dimension.
@@ -87,17 +158,28 @@ struct Query {
 
 /// Result of executing one query, plus the execution counters used by the
 /// paper's cost model and our benchmark reporting.
+///
+/// Multi-aggregate queries keep their first accumulator in `agg` (so every
+/// single-aggregate code path keeps working unchanged) and the accumulators
+/// for aggs[1..] in `extra`, parallel to the query's aggregate list.
 struct QueryResult {
-  int64_t agg = 0;           // Aggregate accumulator (sum for AVG).
+  int64_t agg = 0;           // First aggregate's accumulator (sum for AVG).
   int64_t scanned = 0;       // Points touched by the scan.
   int64_t matched = 0;       // Points matching all filters.
   int64_t cell_ranges = 0;   // Physical storage ranges visited.
+  std::vector<int64_t> extra;  // Accumulators for aggregates 1..N-1.
+
+  /// Accumulator for the query's i-th aggregate.
+  int64_t agg_value(int i) const { return i == 0 ? agg : extra[i - 1]; }
+  int64_t* agg_accumulator(int i) { return i == 0 ? &agg : &extra[i - 1]; }
 };
 
 /// Merges a partial result into `out`: counters add; the accumulator
 /// combines per the aggregate kind (COUNT/SUM/AVG add, MIN/MAX take the
 /// extremum). Partials must cover disjoint row sets for counts to be
 /// exact. Used by parallel region execution and disjoint-box unions.
+/// This overload merges the primary accumulator only; use the Query
+/// overload when multi-aggregate extras may be present.
 inline void MergeQueryResults(AggKind kind, const QueryResult& in,
                               QueryResult* out) {
   out->scanned += in.scanned;
@@ -118,29 +200,76 @@ inline void MergeQueryResults(AggKind kind, const QueryResult& in,
   }
 }
 
-/// A QueryResult whose accumulator is initialized for the query's aggregate
-/// (0 for COUNT/SUM/AVG, +inf for MIN, -inf for MAX). Every index's Execute
-/// starts from this.
+/// Folds one accumulator value into another per the aggregate kind
+/// (COUNT/SUM/AVG add, MIN/MAX take the extremum).
+inline void MergeAggValue(AggKind kind, int64_t in, int64_t* out) {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      *out += in;
+      break;
+    case AggKind::kMin:
+      if (in < *out) *out = in;
+      break;
+    case AggKind::kMax:
+      if (in > *out) *out = in;
+      break;
+  }
+}
+
+/// Multi-aggregate merge: counters add once; every accumulator (primary +
+/// extras) combines per its aggregate's kind from `query`. Kinds are read
+/// through agg_spec() — the same source the scan kernels use — so a Query
+/// whose `aggs` was filled directly (without SetAggregates keeping the
+/// `agg` mirror in sync) still merges every accumulator correctly.
+inline void MergeQueryResults(const Query& query, const QueryResult& in,
+                              QueryResult* out) {
+  out->scanned += in.scanned;
+  out->matched += in.matched;
+  out->cell_ranges += in.cell_ranges;
+  MergeAggValue(query.agg_spec(0).op, in.agg, &out->agg);
+  for (size_t i = 0; i < out->extra.size(); ++i) {
+    MergeAggValue(query.agg_spec(static_cast<int>(i) + 1).op, in.extra[i],
+                  &out->extra[i]);
+  }
+}
+
+/// A QueryResult whose accumulators are initialized for the query's
+/// aggregates (0 for COUNT/SUM/AVG, +inf for MIN, -inf for MAX). Every
+/// index's Execute starts from this. Reads kinds through agg_spec(), like
+/// the kernels and MergeQueryResults.
 inline QueryResult InitResult(const Query& query) {
   QueryResult result;
-  result.agg = AggIdentity(query.agg);
+  result.agg = AggIdentity(query.agg_spec(0).op);
+  result.extra.resize(query.num_aggs() - 1);
+  for (int i = 1; i < query.num_aggs(); ++i) {
+    result.extra[i - 1] = AggIdentity(query.agg_spec(i).op);
+  }
   return result;
 }
 
-/// Final scalar value of a finished result: the accumulator itself for
-/// COUNT/SUM/MIN/MAX, the mean for AVG. MIN/MAX/AVG over zero matching rows
-/// have no defined value; this returns 0 in that case (SQL would return
-/// NULL).
-inline double FinalAggValue(const Query& query, const QueryResult& result) {
-  if (result.matched == 0 && query.agg != AggKind::kCount &&
-      query.agg != AggKind::kSum) {
+/// Final scalar value of the `index`-th aggregate of a finished result: the
+/// accumulator itself for COUNT/SUM/MIN/MAX, the mean for AVG. MIN/MAX/AVG
+/// over zero matching rows have no defined value; this returns 0 in that
+/// case (SQL would return NULL).
+inline double FinalAggValue(const Query& query, const QueryResult& result,
+                            int index) {
+  const AggregateSpec spec = query.agg_spec(index);
+  const int64_t acc = result.agg_value(index);
+  if (result.matched == 0 && spec.op != AggKind::kCount &&
+      spec.op != AggKind::kSum) {
     return 0.0;
   }
-  if (query.agg == AggKind::kAvg) {
-    return static_cast<double>(result.agg) /
-           static_cast<double>(result.matched);
+  if (spec.op == AggKind::kAvg) {
+    return static_cast<double>(acc) / static_cast<double>(result.matched);
   }
-  return static_cast<double>(result.agg);
+  return static_cast<double>(acc);
+}
+
+/// Final scalar value of the primary (first) aggregate.
+inline double FinalAggValue(const Query& query, const QueryResult& result) {
+  return FinalAggValue(query, result, 0);
 }
 
 /// A workload is a list of queries; types, when present, are stored on the

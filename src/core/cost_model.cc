@@ -4,13 +4,18 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/common/index.h"
 #include "src/common/stats.h"
 #include "src/storage/column_store.h"
 #include "src/common/workload_stats.h"
 
 namespace tsunami {
 
-CostWeights CalibrateCostWeights() {
+CostWeights CalibrateCostWeights(const ExecContext& ctx) {
+  return CalibrateCostWeights(ctx.scan);
+}
+
+CostWeights CalibrateCostWeights(const ScanOptions& options) {
   CostWeights weights;
   Rng rng(123);
   // w1: per-(point, filtered-dimension) cost of the *actual* scan loop,
@@ -32,8 +37,9 @@ CostWeights CalibrateCostWeights() {
       query.filters.push_back(Predicate{c, 1000, 700000});
     }
     // Plan the scattered chunks up front and submit one ScanBatch, so the
-    // calibration times the same batched kernel path (SIMD tier included)
-    // that real queries execute.
+    // calibration times the same batched kernel path — under the caller's
+    // scan options, so a forced SIMD tier calibrates the costs that tier
+    // actually pays at execution time.
     const int64_t chunk = 2048;
     std::vector<RangeTask> tasks;
     for (int64_t begin = 0; begin + chunk <= n; begin += 7 * chunk) {
@@ -41,7 +47,7 @@ CostWeights CalibrateCostWeights() {
     }
     QueryResult result;
     Timer timer;
-    store.ScanRanges(tasks, query, &result);
+    store.ScanRanges(tasks, query, &result, options);
     double ns = result.scanned > 0 ? static_cast<double>(timer.ElapsedNanos()) /
                                          (static_cast<double>(result.scanned) *
                                           kCols)

@@ -14,8 +14,11 @@
 #include "src/common/random.h"
 #include "src/common/types.h"
 #include "src/core/skeleton.h"
+#include "src/storage/scan_kernel.h"
 
 namespace tsunami {
+
+class ExecContext;
 
 /// Cost-model weights, in nanoseconds. w0 is the cost of one lookup-table
 /// access plus the cache miss of jumping to a new physical range; w1 the
@@ -26,8 +29,15 @@ struct CostWeights {
 };
 
 /// Micro-measures w0/w1 on this machine (used by benches for Fig. 12b's
-/// predicted-vs-actual comparison). Takes ~100 ms.
-CostWeights CalibrateCostWeights();
+/// predicted-vs-actual comparison). Takes ~100 ms. The scan half runs the
+/// same batched kernel path real queries execute, under `options` — pass
+/// the ExecContext's ScanOptions (e.g. a forced SIMD tier) so calibrated
+/// costs match the tier used at execution time.
+CostWeights CalibrateCostWeights(const ScanOptions& options = {});
+
+/// Calibrates with the scan options (kernel mode + SIMD tier) of the
+/// context that will execute the queries.
+CostWeights CalibrateCostWeights(const ExecContext& ctx);
 
 /// Predicts average query time for Augmented Grid candidates over a region,
 /// using a point sample and a query subsample (§5.3.1: "the features of

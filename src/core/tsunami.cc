@@ -271,10 +271,12 @@ void TsunamiIndex::ExecuteDelta(const Query& query,
     }
     if (!ok) continue;
     ++result->matched;
-    if (query.agg == AggKind::kCount) {
-      ++result->agg;
-    } else {
-      AccumulateAgg(query.agg, delta_.at(r, query.agg_dim), &result->agg);
+    for (int a = 0; a < query.num_aggs(); ++a) {
+      const AggregateSpec spec = query.agg_spec(a);
+      AccumulateAgg(
+          spec.op,
+          spec.op == AggKind::kCount ? 0 : delta_.at(r, spec.column),
+          result->agg_accumulator(a));
     }
   }
 }
@@ -297,26 +299,42 @@ QueryResult TsunamiIndex::Execute(const Query& query) const {
   return result;
 }
 
-QueryResult TsunamiIndex::ExecuteParallel(const Query& query,
-                                          ThreadPool* pool) const {
-  if (pool == nullptr || pool->num_threads() <= 1) return Execute(query);
+QueryPlan TsunamiIndex::Prepare(const Query& query) const {
+  QueryPlan plan;
+  plan.query = query;
+  plan.counters = InitResult(query);
+  plan.use_tasks = true;
   std::vector<int> hits;
   if (use_grid_tree_) {
     tree_.CollectRegions(query, &hits);
   } else {
     hits.assign(1, 0);
   }
-  // Planning is cheap and serial; the scans are the work. Batch every
-  // region's ranges and let the executor split them row-balanced across
-  // the pool with per-thread partials merged once — result equals
+  for (int region : hits) {
+    PlanRegion(region, query, &plan.tasks, &plan.counters);
+  }
+  return plan;
+}
+
+QueryResult TsunamiIndex::ExecutePlan(const QueryPlan& plan,
+                                      ExecContext& ctx) const {
+  if (!plan.use_tasks) return Execute(plan.query);
+  // Planning was cheap and serial; the scans are the work. The whole batch
+  // of region ranges goes to the executor, which splits them row-balanced
+  // across the pool with per-thread partials merged once — result equals
   // Execute() for any thread count.
-  QueryResult result = InitResult(query);
-  std::vector<RangeTask> tasks;
-  for (int region : hits) PlanRegion(region, query, &tasks, &result);
-  QueryResult scans = ExecuteRangeTasks(store_, tasks, query, pool);
-  MergeQueryResults(query.agg, scans, &result);
-  ExecuteDelta(query, &result);
+  QueryResult result = plan.counters;
+  QueryResult scans = ExecuteRangeTasks(store_, plan.tasks, plan.query, ctx);
+  MergeQueryResults(plan.query, scans, &result);
+  ExecuteDelta(plan.query, &result);
   return result;
+}
+
+QueryResult TsunamiIndex::ExecuteParallel(const Query& query,
+                                          ThreadPool* pool) const {
+  if (pool == nullptr || pool->num_threads() <= 1) return Execute(query);
+  ExecContext ctx(pool);
+  return ExecutePlan(Prepare(query), ctx);
 }
 
 int64_t TsunamiIndex::IndexSizeBytes() const {

@@ -85,10 +85,20 @@ class TsunamiIndex : public MultiDimIndex {
   std::string Name() const override { return name_; }
   QueryResult Execute(const Query& query) const override;
 
-  /// Intra-query parallelism: regions the query intersects are executed on
-  /// the pool's threads and the disjoint partials merged. Identical result
-  /// to Execute() for any thread count; pays off for queries spanning many
-  /// regions. A null or inline pool degrades to Execute().
+  /// Plans every intersected region's RangeTasks up front (the batch path's
+  /// planning half). The returned plan scans through ExecutePlan.
+  QueryPlan Prepare(const Query& query) const override;
+
+  /// Executes a prepared plan: one batched range submission through the
+  /// context's pool (row-balanced chunks, partials merged once) plus the
+  /// delta-buffer contribution. Identical result to Execute() for any
+  /// thread count; pays off for queries spanning many regions.
+  QueryResult ExecutePlan(const QueryPlan& plan,
+                          ExecContext& ctx) const override;
+
+  /// Pre-batch-API intra-query parallelism, absorbed into the interface:
+  /// now a shim over Prepare + ExecutePlan.
+  TSUNAMI_DEPRECATED("use ExecutePlan(Prepare(query), ctx) or ExecuteBatch")
   QueryResult ExecuteParallel(const Query& query, ThreadPool* pool) const;
 
   int64_t IndexSizeBytes() const override;

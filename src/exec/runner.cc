@@ -25,14 +25,32 @@ QueryResult ExecuteRangeTasks(const ColumnStore& store,
                               std::span<const RangeTask> tasks,
                               const Query& query, ThreadPool* pool,
                               const ScanOptions& options) {
+  ExecContext ctx(pool, options);
+  return ExecuteRangeTasks(store, tasks, query, ctx);
+}
+
+QueryResult ExecuteRangeTasks(const ColumnStore& store,
+                              std::span<const RangeTask> tasks,
+                              const Query& query, ExecContext& ctx) {
+  ThreadPool* pool = ctx.pool;
+  const ScanOptions& options = ctx.scan;
   QueryResult total = InitResult(query);
   int64_t total_rows = 0;
   for (const RangeTask& task : tasks) total_rows += task.end - task.begin;
   const int threads = pool == nullptr ? 0 : pool->num_threads();
   // Below ~4 blocks per thread the merge and dispatch overhead exceeds the
-  // scan itself; run the batch inline.
+  // scan itself; run the batch inline (cancellation checked between tasks).
   if (threads <= 1 || total_rows < threads * 4 * kScanBlockRows) {
-    store.ScanRanges(tasks, query, &total, options);
+    const bool cancellable =
+        ctx.cancel != nullptr || ctx.deadline_seconds > 0.0;
+    if (!cancellable) {
+      store.ScanRanges(tasks, query, &total, options);
+      return total;
+    }
+    for (const RangeTask& task : tasks) {
+      if (ctx.ShouldStop()) break;
+      store.ScanRanges({&task, 1}, query, &total, options);
+    }
     return total;
   }
   // Row-balanced chunks: split the batch (and any oversized task, at block
@@ -72,13 +90,41 @@ QueryResult ExecuteRangeTasks(const ColumnStore& store,
   pool->ParallelFor(0, static_cast<int64_t>(chunks.size()), 1,
                     [&](int64_t i) {
                       partials[i] = InitResult(query);
+                      // Cancellation boundary: whole chunks are skipped
+                      // once the flag is seen (partials stay exact for the
+                      // chunks that did run).
+                      if (ctx.ShouldStop()) return;
                       store.ScanRanges(chunks[i], query, &partials[i],
                                        options);
                     });
   for (const QueryResult& partial : partials) {
-    MergeQueryResults(query.agg, partial, &total);
+    MergeQueryResults(query, partial, &total);
   }
   return total;
+}
+
+std::vector<QueryResult> RunWorkload(const MultiDimIndex& index,
+                                     const Workload& workload,
+                                     ExecContext& ctx) {
+  return index.ExecuteBatch(
+      std::span<const Query>(workload.data(), workload.size()), ctx);
+}
+
+WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,
+                                 const Workload& workload, ExecContext& ctx) {
+  WorkloadRunStats stats;
+  Timer timer;
+  std::vector<QueryResult> results = RunWorkload(index, workload, ctx);
+  stats.total_seconds = timer.ElapsedSeconds();
+  if (!workload.empty()) {
+    stats.avg_query_micros = stats.total_seconds * 1e6 / workload.size();
+  }
+  for (const QueryResult& r : results) {
+    stats.total_scanned += r.scanned;
+    stats.total_matched += r.matched;
+    stats.total_cell_ranges += r.cell_ranges;
+  }
+  return stats;
 }
 
 WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,

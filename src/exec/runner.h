@@ -31,10 +31,20 @@ std::vector<QueryResult> RunWorkload(const MultiDimIndex& index,
                                      const Workload& workload,
                                      ThreadPool* pool = nullptr);
 
+/// Batch-API variant: executes the workload through the index's
+/// ExecuteBatch with `ctx` (pool, scan options, cancellation, stats).
+std::vector<QueryResult> RunWorkload(const MultiDimIndex& index,
+                                     const Workload& workload,
+                                     ExecContext& ctx);
+
 /// Executes and times the workload, returning aggregate counters.
 WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,
                                  const Workload& workload,
                                  ThreadPool* pool = nullptr);
+
+/// Batch-API variant of MeasureWorkload: times one ExecuteBatch call.
+WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,
+                                 const Workload& workload, ExecContext& ctx);
 
 /// Batched multi-range executor: scans every planned RangeTask against the
 /// store, splitting the batch into row-balanced chunks across the pool's
@@ -46,6 +56,13 @@ QueryResult ExecuteRangeTasks(const ColumnStore& store,
                               std::span<const RangeTask> tasks,
                               const Query& query, ThreadPool* pool,
                               const ScanOptions& options = {});
+
+/// ExecContext-aware variant: scans through ctx's pool and scan options and
+/// honors cooperative cancellation, checked between range tasks / chunks —
+/// a cancelled call returns the partial accumulated so far.
+QueryResult ExecuteRangeTasks(const ColumnStore& store,
+                              std::span<const RangeTask> tasks,
+                              const Query& query, ExecContext& ctx);
 
 }  // namespace tsunami
 

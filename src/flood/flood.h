@@ -34,6 +34,19 @@ class FloodIndex : public MultiDimIndex {
     grid_.Execute(query, &result);
     return result;
   }
+
+  /// Plans the grid's candidate runs up front; the base ExecutePlan /
+  /// ExecuteBatch then submit them as one batched scan through the
+  /// context's pool and scan options.
+  QueryPlan Prepare(const Query& query) const override {
+    QueryPlan plan;
+    plan.query = query;
+    plan.counters = InitResult(query);
+    plan.use_tasks = true;
+    grid_.PlanRanges(query, &plan.tasks, &plan.counters);
+    return plan;
+  }
+
   int64_t IndexSizeBytes() const override { return grid_.SizeBytes(); }
   const ColumnStore& store() const override { return store_; }
 

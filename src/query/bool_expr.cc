@@ -35,6 +35,7 @@ Query Box::ToQuery(const Query& proto) const {
   Query q;
   q.agg = proto.agg;
   q.agg_dim = proto.agg_dim;
+  q.aggs = proto.aggs;
   q.type = proto.type;
   for (int d = 0; d < dims(); ++d) {
     if (lo[d] != kValueMin || hi[d] != kValueMax) {
@@ -285,11 +286,10 @@ NormalizeResult ToDisjointBoxes(const BoolExpr& expr, int dims,
 QueryResult ExecuteBoxUnion(const MultiDimIndex& index,
                             const std::vector<Box>& boxes,
                             const Query& proto) {
-  QueryResult total;
-  total.agg = AggIdentity(proto.agg);
+  QueryResult total = InitResult(proto);
   for (const Box& box : boxes) {
     if (box.Empty()) continue;
-    MergeQueryResults(proto.agg, index.Execute(box.ToQuery(proto)), &total);
+    MergeQueryResults(proto, index.Execute(box.ToQuery(proto)), &total);
   }
   return total;
 }

@@ -96,7 +96,8 @@ void SubtractBox(const Box& a, const Box& b, std::vector<Box>* out);
 
 /// Executes the union of pairwise-disjoint boxes over `index`, combining
 /// per-box results into one QueryResult (counters add; MIN/MAX combine by
-/// min/max). `proto` supplies the aggregate kind and column.
+/// min/max). `proto` supplies the aggregate list (all aggregates of a
+/// multi-aggregate proto are combined).
 QueryResult ExecuteBoxUnion(const MultiDimIndex& index,
                             const std::vector<Box>& boxes,
                             const Query& proto);

@@ -1,42 +1,122 @@
 #include "src/query/engine.h"
 
-#include "src/query/bool_expr.h"
+#include "src/common/stats.h"
 
 namespace tsunami {
 
-SqlResult QueryEngine::Run(std::string_view sql) const {
-  SqlResult out;
+PreparedStatement QueryEngine::Prepare(std::string_view sql) const {
+  PreparedStatement stmt;
   ParseResult parsed = ParseSql(sql, schema_);
   if (!parsed.ok) {
-    out.error = parsed.error;
-    return out;
+    stmt.error = parsed.error;
+    return stmt;
   }
-  out.query = parsed.query;
+  stmt.query = parsed.query;
+  stmt.empty_result = parsed.empty_result;
   if (parsed.disjunctive) {
     // OR / NOT / IN: serve the clause as a union of disjoint rectangles,
-    // one index query per rectangle (bool_expr.h).
+    // one index query per rectangle (bool_expr.h). Normalization happens
+    // here, at prepare time, so repeated executions pay only the scans.
     NormalizeResult norm = ToDisjointBoxes(
         parsed.where, static_cast<int>(schema_.columns.size()));
     if (!norm.ok) {
-      out.error = norm.error;
-      return out;
+      stmt.error = norm.error;
+      return stmt;
     }
-    out.ok = true;
-    out.stats = ExecuteBoxUnion(*index_, norm.boxes, parsed.query);
-    out.value = FinalAggValue(parsed.query, out.stats);
+    stmt.disjunctive = true;
+    // Plan every non-empty box now; executions replay the plans.
+    for (const Box& box : norm.boxes) {
+      if (box.Empty()) continue;
+      stmt.box_plans.push_back(index_->Prepare(box.ToQuery(stmt.query)));
+    }
+    stmt.ok = true;
+    return stmt;
+  }
+  if (!stmt.empty_result) stmt.plan = index_->Prepare(parsed.query);
+  stmt.ok = true;
+  return stmt;
+}
+
+SqlResult QueryEngine::Finalize(const PreparedStatement& stmt,
+                                QueryResult stats) const {
+  SqlResult out;
+  out.ok = true;
+  out.query = stmt.query;
+  out.stats = std::move(stats);
+  out.values.resize(stmt.query.num_aggs());
+  for (int a = 0; a < stmt.query.num_aggs(); ++a) {
+    out.values[a] = FinalAggValue(stmt.query, out.stats, a);
+  }
+  out.value = out.values[0];
+  return out;
+}
+
+SqlResult QueryEngine::RunPrepared(const PreparedStatement& stmt,
+                                   ExecContext& ctx) const {
+  if (!stmt.ok) {
+    SqlResult out;
+    out.error = stmt.error;
     return out;
   }
-  out.ok = true;
-  if (parsed.empty_result) {
+  if (stmt.empty_result) {
     // An unsatisfiable predicate (empty range / unknown dictionary string):
     // answer without touching the index, matching SQL semantics.
-    out.stats = InitResult(parsed.query);
-    out.value = FinalAggValue(parsed.query, out.stats);
+    return Finalize(stmt, InitResult(stmt.query));
+  }
+  QueryResult stats;
+  if (stmt.disjunctive) {
+    stats = InitResult(stmt.query);
+    for (const QueryPlan& plan : stmt.box_plans) {
+      if (ctx.ShouldStop()) break;
+      MergeQueryResults(stmt.query, index_->ExecutePlan(plan, ctx), &stats);
+    }
+  } else {
+    stats = index_->ExecutePlan(stmt.plan, ctx);
+  }
+  if (ctx.ShouldStop()) {
+    // Execution was (or may have been) cut short mid-flight: never pass a
+    // partial aggregate off as an answer.
+    SqlResult out;
+    out.query = stmt.query;
+    out.error = "cancelled";
     return out;
   }
-  out.stats = index_->Execute(parsed.query);
-  out.value = FinalAggValue(parsed.query, out.stats);
-  return out;
+  return Finalize(stmt, std::move(stats));
+}
+
+std::vector<SqlResult> QueryEngine::RunBatch(
+    std::span<const PreparedStatement> stmts, ExecContext& ctx) const {
+  ctx.StartBatch();
+  Timer timer;
+  std::vector<SqlResult> results(stmts.size());
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    if (ctx.ShouldStop()) {
+      results[i].error = "cancelled";
+      continue;
+    }
+    // Fork per statement: the statement sees only the batch's remaining
+    // deadline, and its nested StartBatch/stats cannot clobber the
+    // batch-level bookkeeping.
+    ExecContext stmt_ctx = ctx.Fork();
+    results[i] = RunPrepared(stmts[i], stmt_ctx);
+    if (results[i].ok) {
+      ++ctx.stats.queries;
+      ctx.stats.AddResult(results[i].stats);
+    }
+  }
+  ctx.stats.seconds += timer.ElapsedSeconds();
+  return results;
+}
+
+SqlResult QueryEngine::Run(std::string_view sql) const {
+  PreparedStatement stmt = Prepare(sql);
+  if (!stmt.ok) {
+    SqlResult out;
+    out.error = stmt.error;
+    return out;
+  }
+  ExecContext ctx;
+  return RunPrepared(stmt, ctx);
 }
 
 }  // namespace tsunami

@@ -1,15 +1,28 @@
 // Executes SQL-subset statements against any MultiDimIndex. This is the
 // thin "analytics accelerator" veneer the paper envisions (§1: Tsunami as a
 // building block for in-memory analytics): parse, bind against the table
-// schema, delegate the filter to the index, finalize the aggregate.
+// schema, plan against the index, execute, finalize the aggregates.
+//
+// Two surfaces:
+//  * Run(sql) — parse + plan + execute one statement, inline.
+//  * Prepare(sql) -> PreparedStatement, then RunPrepared / RunBatch with an
+//    ExecContext — planning (parse, bind, disjunctive normalization, index
+//    range planning) happens once at Prepare time; execution reuses the
+//    plan, shares the context's thread pool and scan options, and honors
+//    its cancellation/deadline.
+// Statements may compute several aggregates in one pass:
+// `SELECT SUM(x), COUNT(*), MIN(y) FROM t WHERE ...`.
 #ifndef TSUNAMI_QUERY_ENGINE_H_
 #define TSUNAMI_QUERY_ENGINE_H_
 
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/index.h"
 #include "src/common/types.h"
+#include "src/query/bool_expr.h"
 #include "src/query/sql_parser.h"
 
 namespace tsunami {
@@ -20,29 +33,65 @@ struct SqlResult {
   std::string error;
   Query query;         // The bound query (for inspection / EXPLAIN-style use).
   QueryResult stats;   // Raw counters from the index.
-  double value = 0.0;  // Finalized aggregate (mean for AVG).
+  double value = 0.0;  // Finalized first aggregate (mean for AVG).
+  /// Finalized value per SELECT-list aggregate; values[0] == value.
+  std::vector<double> values;
+};
+
+/// A parsed, bound, and planned statement, ready for (repeated) execution.
+/// Holds the index's QueryPlan for conjunctive statements and the
+/// pre-normalized disjoint boxes for disjunctive ones, so per-execution
+/// work is the scans alone. Produced by QueryEngine::Prepare; only
+/// executable by the engine (and index) that prepared it.
+struct PreparedStatement {
+  bool ok = false;
+  std::string error;
+  Query query;              // Bound aggregates (+ filters when conjunctive).
+  bool empty_result = false;  // Unsatisfiable predicate: answer without I/O.
+  bool disjunctive = false;   // Executes as a union of disjoint boxes.
+  QueryPlan plan;             // Conjunctive case: the index's range plan.
+  /// Disjunctive case: one index plan per non-empty disjoint box, built at
+  /// Prepare time so repeated executions replay instead of re-planning.
+  std::vector<QueryPlan> box_plans;
 };
 
 /// Binds a table schema to an index and runs SQL statements against it.
 /// The engine borrows the index and the schema's dictionaries; both must
-/// outlive it.
+/// outlive it (and any PreparedStatement it hands out).
 class QueryEngine {
  public:
   QueryEngine(const MultiDimIndex* index, TableSchema schema)
       : index_(index), schema_(std::move(schema)) {}
 
-  /// Parses, binds, and executes one statement.
+  /// Parses, binds, plans, and executes one statement inline.
   SqlResult Run(std::string_view sql) const;
 
-  /// Parses and binds without executing (EXPLAIN-style).
-  ParseResult Prepare(std::string_view sql) const {
-    return ParseSql(sql, schema_);
-  }
+  /// Parses, binds, and plans one statement without executing it.
+  PreparedStatement Prepare(std::string_view sql) const;
+
+  /// Executes a prepared statement with the context's pool, scan options,
+  /// and cancellation. A statement whose execution was cut short by the
+  /// context's cancel flag or deadline comes back ok = false with
+  /// error = "cancelled" — partial aggregates are never passed off as
+  /// answers. (Conservative: a statement finishing exactly as the deadline
+  /// expires may also be flagged.)
+  SqlResult RunPrepared(const PreparedStatement& stmt, ExecContext& ctx) const;
+
+  /// Executes a batch of prepared statements. Cancellation/deadline is
+  /// checked between statements; skipped statements come back with
+  /// ok = false and error = "cancelled" (unlike the index-level
+  /// ExecuteBatch, which returns identity results — SQL callers need to
+  /// tell an aborted statement from a zero-row answer). Fills ctx.stats
+  /// across the batch.
+  std::vector<SqlResult> RunBatch(std::span<const PreparedStatement> stmts,
+                                  ExecContext& ctx) const;
 
   const TableSchema& schema() const { return schema_; }
   const MultiDimIndex& index() const { return *index_; }
 
  private:
+  SqlResult Finalize(const PreparedStatement& stmt, QueryResult stats) const;
+
   const MultiDimIndex* index_;
   TableSchema schema_;
 };

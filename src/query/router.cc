@@ -118,8 +118,8 @@ std::vector<double> AccessPathRouter::Embed(const Query& query,
   return embedding;
 }
 
-const MultiDimIndex& AccessPathRouter::Route(const Query& query) const {
-  if (types_.empty()) return *indexes_[fallback_];
+int AccessPathRouter::RouteIndex(const Query& query) const {
+  if (types_.empty()) return fallback_;
   uint64_t mask = 0;
   std::vector<double> embedding = Embed(query, &mask);
   const CalibratedType* best = nullptr;
@@ -137,8 +137,67 @@ const MultiDimIndex& AccessPathRouter::Route(const Query& query) const {
     }
   }
   // Unseen dimension signature: fall back to the global winner.
-  int choice = best != nullptr ? best->winner : fallback_;
-  return *indexes_[choice];
+  return best != nullptr ? best->winner : fallback_;
+}
+
+const MultiDimIndex& AccessPathRouter::Route(const Query& query) const {
+  return *indexes_[RouteIndex(query)];
+}
+
+QueryPlan AccessPathRouter::Prepare(const Query& query) const {
+  int choice = RouteIndex(query);
+  QueryPlan plan = indexes_[choice]->Prepare(query);
+  plan.routed_index = choice;
+  return plan;
+}
+
+QueryResult AccessPathRouter::ExecutePlan(const QueryPlan& plan,
+                                          ExecContext& ctx) const {
+  // Plans this router prepared carry their access path; replays skip the
+  // embed + nearest-type routing cost. A foreign (untagged) plan's tasks
+  // address some other index's clustered store and cannot be trusted here,
+  // so only its query is honored: route and execute from scratch.
+  if (plan.routed_index >= 0 &&
+      plan.routed_index < static_cast<int>(indexes_.size())) {
+    return indexes_[plan.routed_index]->ExecutePlan(plan, ctx);
+  }
+  return Route(plan.query).Execute(plan.query);
+}
+
+std::vector<QueryResult> AccessPathRouter::ExecuteBatch(
+    std::span<const Query> queries, ExecContext& ctx) const {
+  ctx.StartBatch();
+  Timer timer;
+  std::vector<QueryResult> results(queries.size());
+  // Group per chosen access path, preserving in-group order, then forward
+  // one sub-batch per index and scatter results back positionally.
+  std::vector<std::vector<int64_t>> groups(indexes_.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    groups[RouteIndex(queries[i])].push_back(static_cast<int64_t>(i));
+  }
+  for (size_t x = 0; x < indexes_.size(); ++x) {
+    if (groups[x].empty()) continue;
+    if (ctx.ShouldStop()) {
+      // Deadline/cancel between groups: the skipped groups' queries keep
+      // their identity results, matching ExecuteBatch semantics.
+      for (int64_t i : groups[x]) results[i] = InitResult(queries[i]);
+      continue;
+    }
+    Workload sub;
+    sub.reserve(groups[x].size());
+    for (int64_t i : groups[x]) sub.push_back(queries[i]);
+    // Fork: the sub-batch inherits only the *remaining* deadline, so one
+    // routed group cannot restart the batch's clock.
+    ExecContext sub_ctx = ctx.Fork();
+    std::vector<QueryResult> sub_results = indexes_[x]->ExecuteBatch(
+        std::span<const Query>(sub.data(), sub.size()), sub_ctx);
+    for (size_t j = 0; j < groups[x].size(); ++j) {
+      results[groups[x][j]] = std::move(sub_results[j]);
+    }
+    ctx.stats.MergeCounters(sub_ctx.stats);
+  }
+  ctx.stats.seconds += timer.ElapsedSeconds();
+  return results;
 }
 
 int64_t AccessPathRouter::IndexSizeBytes() const {

@@ -64,6 +64,20 @@ class AccessPathRouter : public MultiDimIndex {
     return Route(query).Execute(query);
   }
 
+  /// Routes and plans: the returned plan is the routed index's plan,
+  /// tagged with the chosen access path (QueryPlan::routed_index) so
+  /// ExecutePlan forwards straight back to it without re-routing — the
+  /// tasks address that index's clustered store.
+  QueryPlan Prepare(const Query& query) const override;
+  QueryResult ExecutePlan(const QueryPlan& plan,
+                          ExecContext& ctx) const override;
+
+  /// Routes a batch by grouping the queries per chosen access path and
+  /// forwarding one sub-batch per index; results are scattered back to
+  /// their original positions, so output order matches input order.
+  std::vector<QueryResult> ExecuteBatch(std::span<const Query> queries,
+                                        ExecContext& ctx) const override;
+
   /// The router's own overhead: the selectivity sample plus the
   /// calibration table (the routed indexes account for themselves).
   int64_t IndexSizeBytes() const override;
@@ -78,6 +92,9 @@ class AccessPathRouter : public MultiDimIndex {
   int num_types() const { return static_cast<int>(types_.size()); }
 
  private:
+  /// Position in indexes_ of the access path Route() would pick.
+  int RouteIndex(const Query& query) const;
+
   struct CalibratedType {
     uint64_t dim_mask = 0;  // Bit d set when dimension d is filtered.
     std::vector<double> centroid;  // Selectivity embedding (size = dims).

@@ -181,7 +181,7 @@ class Parser {
     out.where = BoolExpr::And({});  // No WHERE clause == TRUE.
 
     if (!Expect("SELECT")) return Fail();
-    if (!ParseAggregate(&out.query)) return Fail();
+    if (!ParseAggregateList(&out.query)) return Fail();
     if (!Expect("FROM")) return Fail();
     if (!ParseTableName()) return Fail();
     if (Peek().IsKeyword("WHERE")) {
@@ -254,7 +254,8 @@ class Parser {
     return false;
   }
 
-  bool ParseAggregate(Query* query) {
+  /// One `AGG(col)` / `COUNT(*)` term of the SELECT list.
+  bool ParseAggregate(AggregateSpec* spec) {
     const Token& fn = Peek();
     AggKind kind;
     if (fn.IsKeyword("COUNT")) {
@@ -274,7 +275,8 @@ class Parser {
     }
     Advance();
     if (!ExpectSymbol("(")) return false;
-    query->agg = kind;
+    spec->op = kind;
+    spec->column = 0;
     if (kind == AggKind::kCount && Peek().IsSymbol("*")) {
       Advance();
     } else {
@@ -289,10 +291,33 @@ class Parser {
         error_ = "unknown column '" + std::string(col.text) + "'";
         return false;
       }
-      query->agg_dim = dim;
+      spec->column = dim;
       Advance();
     }
     return ExpectSymbol(")");
+  }
+
+  /// Comma-separated aggregate list; every aggregate of one statement is
+  /// computed in a single scan pass.
+  bool ParseAggregateList(Query* query) {
+    std::vector<AggregateSpec> specs;
+    while (true) {
+      AggregateSpec spec;
+      if (!ParseAggregate(&spec)) return false;
+      specs.push_back(spec);
+      if (static_cast<int>(specs.size()) > kMaxQueryAggs) {
+        error_ = "too many aggregates in SELECT list (max " +
+                 std::to_string(kMaxQueryAggs) + ")";
+        return false;
+      }
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    query->SetAggregates(std::move(specs));
+    return true;
   }
 
   bool ParseTableName() {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/exec/runner.h"
+
 namespace tsunami {
 
 namespace {
@@ -30,24 +32,41 @@ void ProbeRow(const ColumnStore& store, int64_t row, const Query& query,
     if (v < p.lo || v > p.hi) return;
   }
   ++out->matched;
-  AccumulateAgg(query.agg, store.Get(row, query.agg_dim), &out->agg);
+  for (int a = 0; a < query.num_aggs(); ++a) {
+    const AggregateSpec spec = query.agg_spec(a);
+    AccumulateAgg(spec.op,
+                  spec.op == AggKind::kCount ? 0 : store.Get(row, spec.column),
+                  out->agg_accumulator(a));
+  }
 }
 
-/// Scan bounded by the host filter when present, else the whole store.
-/// Planned as a RangeTask batch (of one) through the ScanBatch seam, the
-/// same code path the grid and baselines execute.
-QueryResult HostScan(const ColumnStore& store, int host_dim,
-                     const Query& query) {
-  QueryResult result = InitResult(query);
+/// Plans the scan bounded by the host filter when present, else the whole
+/// store, as a RangeTask batch (of one) — the same ScanBatch seam the grid
+/// and baselines execute.
+QueryPlan PlanHostScan(const ColumnStore& store, int host_dim,
+                       const Query& query) {
+  QueryPlan plan;
+  plan.query = query;
+  plan.counters = InitResult(query);
+  plan.use_tasks = true;
   int64_t begin = 0, end = store.size();
   if (const Predicate* p = query.FilterOn(host_dim)) {
     begin = store.LowerBound(host_dim, 0, store.size(), p->lo);
     end = store.UpperBound(host_dim, begin, store.size(), p->hi);
   }
-  if (begin >= end) return result;
-  RangeTask task{begin, end, /*exact=*/false};
-  result.cell_ranges = 1;
-  store.ScanRanges({&task, 1}, query, &result);
+  if (begin < end) {
+    plan.counters.cell_ranges = 1;
+    plan.tasks.push_back(RangeTask{begin, end, /*exact=*/false});
+  }
+  return plan;
+}
+
+/// Serial execution of a host-scan plan (the legacy Execute path).
+QueryResult HostScan(const ColumnStore& store, int host_dim,
+                     const Query& query) {
+  QueryPlan plan = PlanHostScan(store, host_dim, query);
+  QueryResult result = plan.counters;
+  store.ScanRanges(plan.tasks, query, &result);
   return result;
 }
 
@@ -66,6 +85,14 @@ SortedSecondaryIndex::SortedSecondaryIndex(const Dataset& data, int host_dim,
   });
   keys_.resize(n);
   for (int64_t i = 0; i < n; ++i) keys_[i] = key_col[rows_[i]];
+}
+
+QueryPlan SortedSecondaryIndex::Prepare(const Query& query) const {
+  if (query.FilterOn(key_dim_) != nullptr) {
+    // Probe path: row-id chasing has no contiguous ranges to plan.
+    return MultiDimIndex::Prepare(query);
+  }
+  return PlanHostScan(store_, host_dim_, query);
 }
 
 QueryResult SortedSecondaryIndex::Execute(const Query& query) const {
@@ -177,12 +204,15 @@ CorrelationSecondaryIndex::CorrelationSecondaryIndex(const Dataset& data,
   std::sort(outliers_.begin(), outliers_.end());
 }
 
-QueryResult CorrelationSecondaryIndex::Execute(const Query& query) const {
+QueryPlan CorrelationSecondaryIndex::Prepare(const Query& query) const {
   const Predicate* key_filter = query.FilterOn(key_dim_);
   if (key_filter == nullptr || segments_.empty()) {
-    return HostScan(store_, host_dim_, query);
+    return PlanHostScan(store_, host_dim_, query);
   }
-  QueryResult result = InitResult(query);
+  QueryPlan plan;
+  plan.query = query;
+  plan.counters = InitResult(query);
+  plan.use_tasks = true;
 
   // Map the key range through each overlapping segment's model. The host
   // ranges of different segments can overlap arbitrarily (and are not even
@@ -202,34 +232,38 @@ QueryResult CorrelationSecondaryIndex::Execute(const Query& query) const {
     if (begin < end) ranges.emplace_back(begin, end);
   }
   std::sort(ranges.begin(), ranges.end());
-  std::vector<std::pair<int64_t, int64_t>> merged;
   for (const auto& r : ranges) {
-    if (!merged.empty() && r.first <= merged.back().second) {
-      merged.back().second = std::max(merged.back().second, r.second);
+    if (!plan.tasks.empty() && r.first <= plan.tasks.back().end) {
+      plan.tasks.back().end = std::max(plan.tasks.back().end, r.second);
     } else {
-      merged.push_back(r);
+      plan.tasks.push_back(RangeTask{r.first, r.second, /*exact=*/false});
     }
   }
-  // Plan-then-batch: all merged host ranges go to the kernel in one
-  // ScanBatch submission instead of per-range calls.
-  std::vector<RangeTask> tasks;
-  tasks.reserve(merged.size());
-  for (const auto& [begin, end] : merged) {
-    tasks.push_back(RangeTask{begin, end, /*exact=*/false});
-  }
-  result.cell_ranges += static_cast<int64_t>(tasks.size());
-  store_.ScanRanges(tasks, query, &result);
+  plan.counters.cell_ranges += static_cast<int64_t>(plan.tasks.size());
+  return plan;
+}
+
+QueryResult CorrelationSecondaryIndex::ExecutePlan(const QueryPlan& plan,
+                                                   ExecContext& ctx) const {
+  if (!plan.use_tasks) return Execute(plan.query);
+  const Query& query = plan.query;
+  // Plan-then-batch: all merged host ranges go to the executor in one
+  // submission instead of per-range calls.
+  QueryResult result = plan.counters;
+  QueryResult scans = ExecuteRangeTasks(store_, plan.tasks, query, ctx);
+  MergeQueryResults(query, scans, &result);
+
+  const Predicate* key_filter = query.FilterOn(key_dim_);
+  if (key_filter == nullptr || segments_.empty()) return result;
 
   // Outliers live outside their segment's model band, but the band of
   // *another* segment may still cover them — probe only rows no scanned
-  // range already visited.
+  // range (the plan's merged, sorted tasks) already visited.
   auto covered = [&](int64_t row) {
     auto it = std::upper_bound(
-        merged.begin(), merged.end(), row,
-        [](int64_t r, const std::pair<int64_t, int64_t>& range) {
-          return r < range.first;
-        });
-    return it != merged.begin() && row < (it - 1)->second;
+        plan.tasks.begin(), plan.tasks.end(), row,
+        [](int64_t r, const RangeTask& range) { return r < range.begin; });
+    return it != plan.tasks.begin() && row < (it - 1)->end;
   };
   for (uint32_t row : outliers_) {
     Value key = store_.Get(row, key_dim_);
@@ -238,6 +272,11 @@ QueryResult CorrelationSecondaryIndex::Execute(const Query& query) const {
     ProbeRow(store_, row, query, &result);
   }
   return result;
+}
+
+QueryResult CorrelationSecondaryIndex::Execute(const Query& query) const {
+  ExecContext ctx;
+  return ExecutePlan(Prepare(query), ctx);
 }
 
 int64_t CorrelationSecondaryIndex::IndexSizeBytes() const {

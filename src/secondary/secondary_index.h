@@ -45,6 +45,13 @@ class SortedSecondaryIndex : public MultiDimIndex {
 
   std::string Name() const override { return "SecondaryBTree"; }
   QueryResult Execute(const Query& query) const override;
+
+  /// Host-scan queries (no key filter) plan their bounded host range as a
+  /// task batch; key-filtered queries keep the probe path (random row-id
+  /// chasing cannot be expressed as contiguous RangeTasks) and return a
+  /// passthrough plan.
+  QueryPlan Prepare(const Query& query) const override;
+
   /// The entry list: one (value, row id) pair per row.
   int64_t IndexSizeBytes() const override;
   const ColumnStore& store() const override { return store_; }
@@ -83,6 +90,14 @@ class CorrelationSecondaryIndex : public MultiDimIndex {
 
   std::string Name() const override { return "SecondaryHermit"; }
   QueryResult Execute(const Query& query) const override;
+
+  /// Plans the merged host ranges (key-filtered queries) or the bounded
+  /// host scan up front; ExecutePlan scans them as one batch and then
+  /// probes the uncovered outliers.
+  QueryPlan Prepare(const Query& query) const override;
+  QueryResult ExecutePlan(const QueryPlan& plan,
+                          ExecContext& ctx) const override;
+
   /// Segment boundaries + models + outlier row ids: model-sized.
   int64_t IndexSizeBytes() const override;
   const ColumnStore& store() const override { return store_; }

@@ -71,23 +71,32 @@ void ScanKernel::ScanBatch(std::span<const RangeTask> tasks,
 }
 
 // The pre-kernel reference path: row-at-a-time with early exit. Kept
-// verbatim so ScanMode::kScalar A/Bs against exactly the old behavior.
+// verbatim (modulo the multi-aggregate loop, which runs once for
+// single-aggregate queries) so ScanMode::kScalar A/Bs against exactly the
+// old behavior.
 void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
                             bool exact, QueryResult* out) const {
   const std::vector<std::vector<Value>>& columns = *columns_;
+  const int num_aggs = query.num_aggs();
   if (exact) {
     // Exact ranges skip per-value checks entirely; COUNT touches no data.
     int64_t n = end - begin;
     out->matched += n;
-    if (query.agg == AggKind::kCount) {
-      out->agg += n;
-    } else {
-      const std::vector<Value>& agg_col = columns[query.agg_dim];
-      for (int64_t r = begin; r < end; ++r) {
-        AccumulateAgg(query.agg, agg_col[r], &out->agg);
+    bool touched_data = false;
+    for (int a = 0; a < num_aggs; ++a) {
+      const AggregateSpec spec = query.agg_spec(a);
+      int64_t* acc = out->agg_accumulator(a);
+      if (spec.op == AggKind::kCount) {
+        *acc += n;
+        continue;
       }
-      out->scanned += n;
+      touched_data = true;
+      const std::vector<Value>& agg_col = columns[spec.column];
+      for (int64_t r = begin; r < end; ++r) {
+        AccumulateAgg(spec.op, agg_col[r], acc);
+      }
     }
+    if (touched_data) out->scanned += n;
     return;
   }
   out->scanned += end - begin;
@@ -103,10 +112,11 @@ void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
     }
     if (!ok) continue;
     ++out->matched;
-    if (query.agg == AggKind::kCount) {
-      ++out->agg;
-    } else {
-      AccumulateAgg(query.agg, columns[query.agg_dim][r], &out->agg);
+    for (int a = 0; a < num_aggs; ++a) {
+      const AggregateSpec spec = query.agg_spec(a);
+      AccumulateAgg(spec.op,
+                    spec.op == AggKind::kCount ? 0 : columns[spec.column][r],
+                    out->agg_accumulator(a));
     }
   }
 }
@@ -132,31 +142,40 @@ int ScanKernel::BuildSelection(int64_t begin, int64_t end,
 void ScanKernel::AggregateRun(int64_t begin, int64_t end, int64_t block,
                               const Query& query, const SimdOps& ops,
                               QueryResult* out) const {
-  if (query.agg == AggKind::kCount) {
+  const int num_aggs = query.num_aggs();
+  if (num_aggs == 1 && query.agg_spec(0).op == AggKind::kCount) {
     out->agg += end - begin;
     return;
   }
   const bool full = !zones_->empty() && CoversBlock(begin, end, block);
-  const Value* col = (*columns_)[query.agg_dim].data();
-  switch (query.agg) {
-    case AggKind::kCount:
-      break;
-    case AggKind::kSum:
-    case AggKind::kAvg:
-      out->agg += full ? zones_->Sum(query.agg_dim, block)
-                       : ops.sum_range(col + begin, end - begin);
-      break;
-    case AggKind::kMin: {
-      Value m = full ? zones_->Min(query.agg_dim, block)
-                     : ops.min_range(col + begin, end - begin);
-      if (m < out->agg) out->agg = m;
-      break;
+  for (int a = 0; a < num_aggs; ++a) {
+    const AggregateSpec spec = query.agg_spec(a);
+    int64_t* acc = out->agg_accumulator(a);
+    if (spec.op == AggKind::kCount) {
+      *acc += end - begin;
+      continue;
     }
-    case AggKind::kMax: {
-      Value m = full ? zones_->Max(query.agg_dim, block)
-                     : ops.max_range(col + begin, end - begin);
-      if (m > out->agg) out->agg = m;
-      break;
+    const Value* col = (*columns_)[spec.column].data();
+    switch (spec.op) {
+      case AggKind::kCount:
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        *acc += full ? zones_->Sum(spec.column, block)
+                     : ops.sum_range(col + begin, end - begin);
+        break;
+      case AggKind::kMin: {
+        Value m = full ? zones_->Min(spec.column, block)
+                       : ops.min_range(col + begin, end - begin);
+        if (m < *acc) *acc = m;
+        break;
+      }
+      case AggKind::kMax: {
+        Value m = full ? zones_->Max(spec.column, block)
+                       : ops.max_range(col + begin, end - begin);
+        if (m > *acc) *acc = m;
+        break;
+      }
     }
   }
 }
@@ -198,24 +217,34 @@ void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
     const int n = BuildSelection(lo, hi, filters, ops, sel);
     if (n == 0) continue;
     out->matched += n;
-    const Value* col = (*columns_)[query.agg_dim].data() + lo;
-    switch (query.agg) {
-      case AggKind::kCount:
-        out->agg += n;
-        break;
-      case AggKind::kSum:
-      case AggKind::kAvg:
-        out->agg += ops.sum_gather(col, sel, n);
-        break;
-      case AggKind::kMin: {
-        Value m = ops.min_gather(col, sel, n);
-        if (m < out->agg) out->agg = m;
-        break;
+    // One selection vector feeds every aggregate: the compare+compress
+    // passes above run once per block regardless of how many aggregates
+    // the query computes; only the gather tails repeat per aggregate.
+    for (int a = 0; a < query.num_aggs(); ++a) {
+      const AggregateSpec spec = query.agg_spec(a);
+      int64_t* acc = out->agg_accumulator(a);
+      if (spec.op == AggKind::kCount) {
+        *acc += n;
+        continue;
       }
-      case AggKind::kMax: {
-        Value m = ops.max_gather(col, sel, n);
-        if (m > out->agg) out->agg = m;
-        break;
+      const Value* col = (*columns_)[spec.column].data() + lo;
+      switch (spec.op) {
+        case AggKind::kCount:
+          break;
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          *acc += ops.sum_gather(col, sel, n);
+          break;
+        case AggKind::kMin: {
+          Value m = ops.min_gather(col, sel, n);
+          if (m < *acc) *acc = m;
+          break;
+        }
+        case AggKind::kMax: {
+          Value m = ops.max_gather(col, sel, n);
+          if (m > *acc) *acc = m;
+          break;
+        }
       }
     }
   }
@@ -229,8 +258,12 @@ void ScanKernel::ScanExactVectorized(int64_t begin, int64_t end,
                                      QueryResult* out) const {
   const int64_t n = end - begin;
   out->matched += n;
-  if (query.agg == AggKind::kCount) {
-    out->agg += n;
+  bool all_count = true;
+  for (int a = 0; a < query.num_aggs(); ++a) {
+    all_count = all_count && query.agg_spec(a).op == AggKind::kCount;
+  }
+  if (all_count) {
+    for (int a = 0; a < query.num_aggs(); ++a) *out->agg_accumulator(a) += n;
     return;
   }
   out->scanned += n;

@@ -106,8 +106,10 @@ class ScanKernel {
         num_rows_(columns.empty() ? 0
                                   : static_cast<int64_t>(columns[0].size())) {}
 
-  /// Scans [begin, end), accumulating the query's aggregate over matching
-  /// rows into `out` (does not touch out->cell_ranges).
+  /// Scans [begin, end), accumulating every aggregate of the query over
+  /// matching rows into `out` (does not touch out->cell_ranges). Multi-
+  /// aggregate queries share one compare+compress pass; only the aggregate
+  /// tails repeat, so SUM+COUNT+MIN+MAX cost one pass over the predicates.
   void Scan(int64_t begin, int64_t end, const Query& query, bool exact,
             QueryResult* out, const ScanOptions& options = {}) const;
 
@@ -132,8 +134,8 @@ class ScanKernel {
                      uint32_t* sel) const;
 
   // Folds rows [begin, end) — all known to match — inside block `block`
-  // into out->agg, using zone-map sums/extrema when the rows span the full
-  // block. Leaves the matched/scanned counters to the caller.
+  // into every aggregate accumulator, using zone-map sums/extrema when the
+  // rows span the full block. Leaves matched/scanned to the caller.
   void AggregateRun(int64_t begin, int64_t end, int64_t block,
                     const Query& query, const SimdOps& ops,
                     QueryResult* out) const;

@@ -1,5 +1,7 @@
 #include "src/storage/simd_dispatch.h"
 
+#include <cstdlib>
+
 #include "src/storage/scan_kernel_simd.h"
 
 namespace tsunami {
@@ -148,6 +150,13 @@ bool SimdTierSupported(SimdTier tier) {
 
 SimdTier DetectSimdTier() {
   static const SimdTier tier = [] {
+    // Environment escape hatch for CI and debugging: pins the auto-resolved
+    // tier to the portable scalar ops so the degraded path gets exercised
+    // without a separate build. Explicitly forced tiers are unaffected.
+    const char* force = std::getenv("TSUNAMI_FORCE_SCALAR");
+    if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+      return SimdTier::kNone;
+    }
     if (SimdTierSupported(SimdTier::kAvx512)) return SimdTier::kAvx512;
     if (SimdTierSupported(SimdTier::kAvx2)) return SimdTier::kAvx2;
     if (SimdTierSupported(SimdTier::kNeon)) return SimdTier::kNeon;

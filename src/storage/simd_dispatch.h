@@ -29,8 +29,9 @@ const char* SimdTierName(SimdTier tier);
 bool SimdTierSupported(SimdTier tier);
 
 /// Best supported tier on this machine (cached after the first call).
-/// Returns kNone when the build disabled SIMD (TSUNAMI_DISABLE_SIMD) or
-/// the CPU has no supported extension.
+/// Returns kNone when the build disabled SIMD (TSUNAMI_DISABLE_SIMD), the
+/// CPU has no supported extension, or the TSUNAMI_FORCE_SCALAR environment
+/// variable is set non-empty/non-zero (CI's degraded-path pass).
 SimdTier DetectSimdTier();
 
 /// The inner-loop implementations for `tier`; falls back to the scalar ops

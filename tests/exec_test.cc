@@ -132,12 +132,13 @@ TEST_F(ParallelRunTest, IntraQueryParallelismMatchesSerialExecute) {
   probes.push_back(everything);
   for (int threads : {0, 1, 2, 4}) {
     ThreadPool pool(threads);
+    ExecContext ctx(&pool);
     for (Query q : probes) {
       for (AggKind agg : {AggKind::kCount, AggKind::kSum, AggKind::kMin}) {
         q.agg = agg;
         q.agg_dim = 1;
         QueryResult serial = index.Execute(q);
-        QueryResult parallel = index.ExecuteParallel(q, &pool);
+        QueryResult parallel = index.ExecutePlan(index.Prepare(q), ctx);
         ASSERT_EQ(parallel.agg, serial.agg) << threads << " threads";
         ASSERT_EQ(parallel.matched, serial.matched);
         ASSERT_EQ(parallel.scanned, serial.scanned);
@@ -154,10 +155,11 @@ TEST_F(ParallelRunTest, IntraQueryParallelismCoversDeltaBuffer) {
   index.Insert({100, 100, 100});
   index.Insert({200, 250, 500});
   ThreadPool pool(2);
+  ExecContext ctx(&pool);
   Query q;
   q.filters = {Predicate{0, 0, 50000}};
   QueryResult serial = index.Execute(q);
-  QueryResult parallel = index.ExecuteParallel(q, &pool);
+  QueryResult parallel = index.ExecutePlan(index.Prepare(q), ctx);
   EXPECT_EQ(parallel.agg, serial.agg);
   EXPECT_EQ(parallel.matched, serial.matched);
 }
