@@ -1,0 +1,165 @@
+// Multi-client soak demo of the QueryService serving path:
+//   1. build Tsunami over a synthetic correlated table;
+//   2. several "dashboard" client threads fire repeated ad-hoc SQL through
+//      a service-attached QueryEngine — after the first arrival of each
+//      statement shape, every re-Prepare binds to the plan cache;
+//   3. concurrently, "analyst" client threads submit skewed batches (one
+//      giant region query + many needles) via SubmitBatch/Await, whose
+//      chunks interleave in the work-stealing deques;
+//   4. everything self-checks against per-query Execute, and the service
+//      stats (cache hit rate, steals, queue depth) are printed at the end.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/core/tsunami.h"
+#include "src/query/engine.h"
+#include "src/serve/query_service.h"
+
+using namespace tsunami;
+
+int main() {
+  Rng rng(11);
+  const int64_t n = 200000;
+  Dataset data(3, {});
+  data.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    Value x = rng.UniformValue(0, 1000000);
+    data.AppendRow(
+        {x, x + rng.UniformValue(-5000, 5000), rng.UniformValue(0, 10000)});
+  }
+  Workload workload;
+  for (int i = 0; i < 256; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(0, 900000);
+    q.filters.push_back(Predicate{0, lo, lo + 50000});
+    q.type = i % 2;
+    workload.push_back(q);
+  }
+  TsunamiOptions options;
+  options.cluster_queries = false;
+  TsunamiIndex index(data, workload, options);
+  std::printf("built %s over %lld rows\n", index.Name().c_str(),
+              static_cast<long long>(data.size()));
+
+  QueryService service(&index);  // Hardware threads, 1024-plan cache.
+  std::printf("service up: %d workers\n", service.scheduler().num_threads());
+
+  TableSchema schema;
+  schema.table_name = "t";
+  schema.columns = {"a", "b", "c"};
+
+  // --- Soak: dashboard SQL clients + skewed-batch analyst clients ----------
+  const int kSqlClients = 3;
+  const int kBatchClients = 2;
+  const int kRounds = 24;
+  std::atomic<int64_t> sql_checked{0}, sql_mismatches{0};
+  std::atomic<int64_t> batch_checked{0}, batch_mismatches{0};
+  Timer timer;
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kSqlClients; ++t) {
+    clients.emplace_back([&, t] {
+      // Each dashboard refreshes the same handful of templated statements
+      // with recurring constants — the plan cache's bread and butter.
+      QueryEngine engine(&index, schema);
+      engine.AttachService(&service);
+      std::vector<std::string> sqls = {
+          "SELECT COUNT(*) FROM t WHERE a < " + std::to_string(300000 + t),
+          "SELECT SUM(b), COUNT(*) FROM t WHERE a BETWEEN 100000 AND 600000",
+          "SELECT MAX(c) FROM t WHERE c >= 2500",
+      };
+      QueryEngine check(&index, schema);  // Unattached reference.
+      for (int round = 0; round < kRounds; ++round) {
+        for (const std::string& sql : sqls) {
+          PreparedStatement stmt = engine.Prepare(sql);
+          ExecContext ctx;
+          SqlResult got = engine.RunPrepared(stmt, ctx);
+          SqlResult want = check.Run(sql);
+          sql_checked.fetch_add(1, std::memory_order_relaxed);
+          if (!got.ok || got.value != want.value ||
+              got.stats.matched != want.stats.matched) {
+            sql_mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kBatchClients; ++t) {
+    clients.emplace_back([&, t] {
+      Rng client_rng(77 + t);
+      for (int round = 0; round < kRounds; ++round) {
+        // One giant region query buried among needles.
+        Workload batch;
+        for (int i = 0; i < 15; ++i) {
+          Query q;
+          Value lo = client_rng.UniformValue(0, 990000);
+          q.filters.push_back(Predicate{0, lo, lo + 4000});
+          batch.push_back(q);
+        }
+        Query region;
+        region.filters.push_back(Predicate{0, 10000, 990000});
+        region.SetAggregates({{AggKind::kSum, 1}, {AggKind::kCount, 0}});
+        batch.insert(batch.begin() + 7, region);
+        std::vector<QueryService::Ticket> tickets =
+            service.SubmitBatch(std::span<const Query>(batch));
+        for (size_t i = 0; i < batch.size(); ++i) {
+          QueryResult got = service.Await(tickets[i]);
+          QueryResult want = index.Execute(batch[i]);
+          batch_checked.fetch_add(1, std::memory_order_relaxed);
+          if (got.agg != want.agg || got.matched != want.matched ||
+              got.scanned != want.scanned) {
+            batch_mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double soak_seconds = timer.ElapsedSeconds();
+
+  std::printf(
+      "soak: %lld SQL runs (%lld mismatches), %lld batch queries "
+      "(%lld mismatches) in %.2fs\n",
+      static_cast<long long>(sql_checked.load()),
+      static_cast<long long>(sql_mismatches.load()),
+      static_cast<long long>(batch_checked.load()),
+      static_cast<long long>(batch_mismatches.load()), soak_seconds);
+
+  // --- Deadlines: a giant scan cancelled mid-flight -------------------------
+  Query region;
+  region.filters.push_back(Predicate{0, 0, 1000000});
+  SubmitOptions strict;
+  strict.deadline_seconds = 1e-7;
+  bool cancelled = false;
+  QueryResult cut = service.Run(region, strict, &cancelled);
+  std::printf("1e-7s deadline on a full-region query: %s (agg=%lld)\n",
+              cancelled ? "cancelled, identity result" : "finished",
+              static_cast<long long>(cut.agg));
+
+  ServiceStats stats = service.stats();
+  std::printf(
+      "service stats: submitted=%lld completed=%lld cancelled=%lld\n"
+      "  plan cache: %lld hits / %lld misses (%.0f%% hit rate, %lld "
+      "entries)\n"
+      "  scheduler: %lld chunks, %lld steals, queue depth %lld\n",
+      static_cast<long long>(stats.submitted),
+      static_cast<long long>(stats.completed),
+      static_cast<long long>(stats.cancelled),
+      static_cast<long long>(stats.cache.hits),
+      static_cast<long long>(stats.cache.misses),
+      100.0 * stats.cache.HitRate(),
+      static_cast<long long>(stats.cache.size),
+      static_cast<long long>(stats.scheduler.chunks),
+      static_cast<long long>(stats.scheduler.steals),
+      static_cast<long long>(stats.queue_depth));
+
+  const bool ok = sql_mismatches.load() == 0 && batch_mismatches.load() == 0;
+  std::printf("%s\n", ok ? "OK: service results bit-identical to Execute"
+                         : "FAILED: mismatches detected");
+  return ok ? 0 : 1;
+}

@@ -2,14 +2,17 @@
 # CI entry point: configure, build, and run the tier-1 test suite, with
 # -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
 #
-# Three passes:
+# Four passes:
 #  1. the default build (SIMD tiers compiled in, runtime-dispatched);
 #  2. a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
 #     kernel, so the fallback path can never silently rot;
-#  3. the examples (including the batch-API demo, which self-checks batch
-#     results against per-query execution) plus a ctest run under
+#  3. the examples (including the batch-API and query-service demos, which
+#     self-check against per-query execution) plus a ctest run under
 #     TSUNAMI_FORCE_SCALAR, exercising the runtime-degraded dispatch path
-#     in the full-SIMD binary.
+#     in the full-SIMD binary;
+#  4. a ThreadSanitizer build gating the concurrency suites (work-stealing
+#     scheduler, query service, thread pool/runner) — the serving path is
+#     lock-and-deque code and must stay race-clean, not just correct.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +26,16 @@ ctest --test-dir build-nosimd --output-on-failure -j"$(nproc)"
 
 # Third pass: examples build + degraded-dispatch run.
 cmake --build build -j"$(nproc)" --target \
-  batch_api quickstart sql_shell access_paths index_explorer
+  batch_api query_service quickstart sql_shell access_paths index_explorer
 ./build/batch_api
+./build/query_service
 TSUNAMI_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
   -j"$(nproc)"
+
+# Fourth pass: ThreadSanitizer on the scheduler/service suites.
+cmake -B build-tsan -S . -DTSUNAMI_WERROR=ON -DTSUNAMI_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j"$(nproc)" --target \
+  task_scheduler_test query_service_test exec_test
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  -R 'task_scheduler_test|query_service_test|exec_test'

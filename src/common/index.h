@@ -26,6 +26,7 @@
 
 namespace tsunami {
 
+class TaskScheduler;
 class ThreadPool;
 
 /// A prepared query: the bound query plus, when the index supports
@@ -89,6 +90,16 @@ class ExecContext {
       : pool(pool), scan(scan) {}
 
   ThreadPool* pool = nullptr;   // Borrowed; null = run inline.
+  /// Borrowed work-stealing scheduler (src/exec/task_scheduler.h); when set
+  /// (and `pool` is not), ExecuteRangeTasks feeds its chunks into the
+  /// shared per-worker deques instead of a private ParallelFor, so chunks
+  /// of concurrent queries interleave and idle workers steal. Only set
+  /// this on contexts executed from OUTSIDE the scheduler's own workers:
+  /// the executor blocks in TaskScheduler::Wait without helping, so a
+  /// worker submitting its own chunks would deadlock the deques. (This is
+  /// why QueryService's chunk closures keep their contexts scheduler-free
+  /// and the service decomposes plans itself.)
+  TaskScheduler* scheduler = nullptr;
   ScanOptions scan;             // Kernel mode and SIMD tier for every scan.
   /// External cancellation flag (borrowed, may be null). Once set, the
   /// remaining work is skipped and unexecuted queries return their
@@ -96,6 +107,10 @@ class ExecContext {
   const std::atomic<bool>* cancel = nullptr;
   /// Soft deadline in seconds from the last StartBatch(); 0 disables.
   double deadline_seconds = 0.0;
+  /// Serving-path priority (higher = sooner). Not consulted by the batch
+  /// executors themselves; QueryService hands it to the scheduler, which
+  /// queues a high-priority query's chunks ahead of backlog.
+  int priority = 0;
 
   BatchStats stats;             // Filled by ExecuteBatch.
 
@@ -112,6 +127,28 @@ class ExecContext {
            timer_.ElapsedSeconds() >= deadline_seconds;
   }
 
+  /// True when this context can stop work early at all — i.e. whether scan
+  /// paths must bother wiring the stop probe.
+  bool Cancellable() const {
+    return cancel != nullptr || deadline_seconds > 0.0;
+  }
+
+  /// This context's scan options with the cooperative stop probe bound to
+  /// ShouldStop(), so ColumnStore::ScanRanges checks the deadline/flag
+  /// between block-aligned slices and a single giant scan cancels
+  /// mid-flight. The probe borrows `this`: the context must outlive the
+  /// scan (every executor here owns its context for the call's duration).
+  ScanOptions CancellableScan() const {
+    ScanOptions options = scan;
+    if (Cancellable()) {
+      options.stop_probe = [](const void* self) {
+        return static_cast<const ExecContext*>(self)->ShouldStop();
+      };
+      options.stop_arg = this;
+    }
+    return options;
+  }
+
   /// A child context for running a slice of this batch elsewhere (a routed
   /// sub-batch, one worker's query, one statement): same pool, scan
   /// options, and cancel flag; fresh stats; deadline clipped to this
@@ -119,7 +156,9 @@ class ExecContext {
   /// parent's deadline. Forwarding layers must fork rather than copy.
   ExecContext Fork() const {
     ExecContext child(pool, scan);
+    child.scheduler = scheduler;
     child.cancel = cancel;
+    child.priority = priority;
     if (deadline_seconds > 0.0) {
       double remaining = deadline_seconds - timer_.ElapsedSeconds();
       // An expired parent leaves a child that stops immediately (0 would
@@ -156,10 +195,39 @@ class MultiDimIndex {
 
   /// Executes a prepared plan. Task-backed plans scan through the context's
   /// thread pool and scan options (one batched submission, row-balanced
-  /// across threads); passthrough plans delegate to Execute(). Bit-identical
-  /// to Execute(plan.query) for any pool size and supported tier.
+  /// across threads) and then run FinishPlan(); passthrough plans delegate
+  /// to Execute(). Bit-identical to Execute(plan.query) for any pool size
+  /// and supported tier.
   virtual QueryResult ExecutePlan(const QueryPlan& plan,
                                   ExecContext& ctx) const;
+
+  /// The non-range epilogue of a task-backed plan: whatever Execute() does
+  /// besides scanning the planned ranges (Tsunami's delta buffer, the
+  /// Hermit index's uncovered-outlier probes). The decomposition contract
+  /// every external executor (ExecutePlan here, QueryService's chunked
+  /// scheduler jobs) relies on is:
+  ///
+  ///   Execute(plan.query) == plan.counters
+  ///                          (+) scan of plan.tasks against PlanTarget's
+  ///                              store, split anywhere on task/block
+  ///                              boundaries, partials merged in any order
+  ///                          (+) FinishPlan(plan, &result)
+  ///
+  /// Default: nothing to finish. Must be thread-safe and must not depend on
+  /// how the task scans were chunked.
+  virtual void FinishPlan(const QueryPlan& plan, QueryResult* result) const {
+    (void)plan;
+    (void)result;
+  }
+
+  /// The index whose clustered store a plan's tasks actually address: this
+  /// index for everything except routing layers (AccessPathRouter returns
+  /// the routed access path). External executors must scan
+  /// PlanTarget(plan).store() and call PlanTarget(plan).FinishPlan().
+  virtual const MultiDimIndex& PlanTarget(const QueryPlan& plan) const {
+    (void)plan;
+    return *this;
+  }
 
   /// Executes a batch: plans every query first, then runs the scans. With a
   /// multi-threaded pool the batch is spread across its threads (each

@@ -2,6 +2,7 @@
 #ifndef TSUNAMI_COMMON_TYPES_H_
 #define TSUNAMI_COMMON_TYPES_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -270,6 +271,100 @@ inline double FinalAggValue(const Query& query, const QueryResult& result,
 /// Final scalar value of the primary (first) aggregate.
 inline double FinalAggValue(const Query& query, const QueryResult& result) {
   return FinalAggValue(query, result, 0);
+}
+
+/// 64-bit hash combiner (boost-style golden-ratio mix) used for plan
+/// fingerprints.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// The query's filters normalized into a canonical rectangle: one predicate
+/// per filtered dimension (same-dim conjuncts intersect), sorted by
+/// dimension. Two queries with equal normalized filters and equal aggregate
+/// lists are answer-equivalent on any index, which is exactly the
+/// equivalence a plan cache needs.
+inline std::vector<Predicate> NormalizedFilters(const Query& query) {
+  std::vector<Predicate> rect;
+  for (const Predicate& p : query.filters) {
+    bool merged = false;
+    for (Predicate& r : rect) {
+      if (r.dim == p.dim) {
+        r.lo = std::max(r.lo, p.lo);
+        r.hi = std::min(r.hi, p.hi);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) rect.push_back(p);
+  }
+  std::sort(rect.begin(), rect.end(),
+            [](const Predicate& a, const Predicate& b) { return a.dim < b.dim; });
+  return rect;
+}
+
+/// Fingerprint of a query's normalized filter rectangle plus its aggregate
+/// list — the plan-cache key half that depends on the query (the other half
+/// is the index the plan addresses). Collisions are possible (64-bit hash);
+/// a cache must confirm semantic equivalence on a fingerprint match by
+/// comparing the normalized rectangles (NormalizedRectEqual) and aggregate
+/// lists — FingerprintEquivalent is the Query-level form. The (rect, aggs)
+/// overload lets a caller that already normalized the query hash without
+/// renormalizing.
+inline uint64_t QueryFingerprint(const std::vector<Predicate>& rect,
+                                 const std::vector<AggregateSpec>& aggs) {
+  uint64_t h = 0x5161'7573'6572'7631ULL;  // Arbitrary non-zero seed.
+  for (const Predicate& p : rect) {
+    h = HashCombine(h, static_cast<uint64_t>(p.dim));
+    h = HashCombine(h, static_cast<uint64_t>(p.lo));
+    h = HashCombine(h, static_cast<uint64_t>(p.hi));
+  }
+  h = HashCombine(h, static_cast<uint64_t>(aggs.size()));
+  for (const AggregateSpec& spec : aggs) {
+    h = HashCombine(h, static_cast<uint64_t>(spec.op));
+    h = HashCombine(h, static_cast<uint64_t>(spec.column));
+  }
+  return h;
+}
+
+/// The query's aggregate list as a vector (the fingerprint/cache-key
+/// shape).
+inline std::vector<AggregateSpec> AggregateList(const Query& query) {
+  std::vector<AggregateSpec> aggs;
+  aggs.reserve(query.num_aggs());
+  for (int a = 0; a < query.num_aggs(); ++a) {
+    aggs.push_back(query.agg_spec(a));
+  }
+  return aggs;
+}
+
+inline uint64_t QueryFingerprint(const Query& query) {
+  return QueryFingerprint(NormalizedFilters(query), AggregateList(query));
+}
+
+/// Element-wise equality of two normalized rectangles — the one
+/// fingerprint-collision comparator, shared by FingerprintEquivalent and
+/// the plan cache's key so the two can never drift apart.
+inline bool NormalizedRectEqual(const std::vector<Predicate>& a,
+                                const std::vector<Predicate>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].dim != b[i].dim || a[i].lo != b[i].lo || a[i].hi != b[i].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True when two queries are answer-equivalent for caching purposes: same
+/// normalized filter rectangle and same aggregate list. (The `type` label
+/// is irrelevant to execution and deliberately excluded.)
+inline bool FingerprintEquivalent(const Query& a, const Query& b) {
+  if (a.num_aggs() != b.num_aggs()) return false;
+  for (int i = 0; i < a.num_aggs(); ++i) {
+    if (!(a.agg_spec(i) == b.agg_spec(i))) return false;
+  }
+  return NormalizedRectEqual(NormalizedFilters(a), NormalizedFilters(b));
 }
 
 /// A workload is a list of queries; types, when present, are stored on the

@@ -6,7 +6,6 @@
 #include "src/common/random.h"
 #include "src/common/stats.h"
 #include "src/common/workload_stats.h"
-#include "src/exec/runner.h"
 #include "src/exec/thread_pool.h"
 
 namespace tsunami {
@@ -316,25 +315,11 @@ QueryPlan TsunamiIndex::Prepare(const Query& query) const {
   return plan;
 }
 
-QueryResult TsunamiIndex::ExecutePlan(const QueryPlan& plan,
-                                      ExecContext& ctx) const {
-  if (!plan.use_tasks) return Execute(plan.query);
-  // Planning was cheap and serial; the scans are the work. The whole batch
-  // of region ranges goes to the executor, which splits them row-balanced
-  // across the pool with per-thread partials merged once — result equals
-  // Execute() for any thread count.
-  QueryResult result = plan.counters;
-  QueryResult scans = ExecuteRangeTasks(store_, plan.tasks, plan.query, ctx);
-  MergeQueryResults(plan.query, scans, &result);
-  ExecuteDelta(plan.query, &result);
-  return result;
-}
-
-QueryResult TsunamiIndex::ExecuteParallel(const Query& query,
-                                          ThreadPool* pool) const {
-  if (pool == nullptr || pool->num_threads() <= 1) return Execute(query);
-  ExecContext ctx(pool);
-  return ExecutePlan(Prepare(query), ctx);
+void TsunamiIndex::FinishPlan(const QueryPlan& plan,
+                              QueryResult* result) const {
+  // Planned range scans cover the clustered store only; the delta buffer
+  // is the plan's non-range epilogue, whatever executor ran the scans.
+  ExecuteDelta(plan.query, result);
 }
 
 int64_t TsunamiIndex::IndexSizeBytes() const {

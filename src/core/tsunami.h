@@ -20,8 +20,6 @@
 
 namespace tsunami {
 
-class ThreadPool;
-
 struct TsunamiOptions {
   GridTreeOptions tree;
   AgdOptions agd;
@@ -89,17 +87,10 @@ class TsunamiIndex : public MultiDimIndex {
   /// planning half). The returned plan scans through ExecutePlan.
   QueryPlan Prepare(const Query& query) const override;
 
-  /// Executes a prepared plan: one batched range submission through the
-  /// context's pool (row-balanced chunks, partials merged once) plus the
-  /// delta-buffer contribution. Identical result to Execute() for any
-  /// thread count; pays off for queries spanning many regions.
-  QueryResult ExecutePlan(const QueryPlan& plan,
-                          ExecContext& ctx) const override;
-
-  /// Pre-batch-API intra-query parallelism, absorbed into the interface:
-  /// now a shim over Prepare + ExecutePlan.
-  TSUNAMI_DEPRECATED("use ExecutePlan(Prepare(query), ctx) or ExecuteBatch")
-  QueryResult ExecuteParallel(const Query& query, ThreadPool* pool) const;
+  /// Plan epilogue: the delta buffer's contribution (§8 insertions), which
+  /// every executor of a Tsunami plan — base ExecutePlan, QueryService's
+  /// chunked scheduler jobs — adds after the planned range scans.
+  void FinishPlan(const QueryPlan& plan, QueryResult* result) const override;
 
   int64_t IndexSizeBytes() const override;
   const ColumnStore& store() const override { return store_; }

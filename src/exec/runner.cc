@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/stats.h"
+#include "src/exec/task_scheduler.h"
 
 namespace tsunami {
 
@@ -29,35 +30,9 @@ QueryResult ExecuteRangeTasks(const ColumnStore& store,
   return ExecuteRangeTasks(store, tasks, query, ctx);
 }
 
-QueryResult ExecuteRangeTasks(const ColumnStore& store,
-                              std::span<const RangeTask> tasks,
-                              const Query& query, ExecContext& ctx) {
-  ThreadPool* pool = ctx.pool;
-  const ScanOptions& options = ctx.scan;
-  QueryResult total = InitResult(query);
-  int64_t total_rows = 0;
-  for (const RangeTask& task : tasks) total_rows += task.end - task.begin;
-  const int threads = pool == nullptr ? 0 : pool->num_threads();
-  // Below ~4 blocks per thread the merge and dispatch overhead exceeds the
-  // scan itself; run the batch inline (cancellation checked between tasks).
-  if (threads <= 1 || total_rows < threads * 4 * kScanBlockRows) {
-    const bool cancellable =
-        ctx.cancel != nullptr || ctx.deadline_seconds > 0.0;
-    if (!cancellable) {
-      store.ScanRanges(tasks, query, &total, options);
-      return total;
-    }
-    for (const RangeTask& task : tasks) {
-      if (ctx.ShouldStop()) break;
-      store.ScanRanges({&task, 1}, query, &total, options);
-    }
-    return total;
-  }
-  // Row-balanced chunks: split the batch (and any oversized task, at block
-  // boundaries so full-block zone-map paths stay aligned) into ~4 chunks
-  // per thread. Chunks cover disjoint rows, so partials merge exactly.
-  const int64_t target = std::max<int64_t>(
-      kScanBlockRows, (total_rows + threads * 4 - 1) / (threads * 4));
+std::vector<std::vector<RangeTask>> ChunkRangeTasks(
+    std::span<const RangeTask> tasks, int64_t target_rows) {
+  const int64_t target = std::max<int64_t>(target_rows, kScanBlockRows);
   std::vector<std::vector<RangeTask>> chunks;
   chunks.emplace_back();
   int64_t chunk_rows = 0;
@@ -85,18 +60,51 @@ QueryResult ExecuteRangeTasks(const ColumnStore& store,
     if (task.begin < task.end) emit(task);
   }
   if (chunks.back().empty()) chunks.pop_back();
+  return chunks;
+}
 
+QueryResult ExecuteRangeTasks(const ColumnStore& store,
+                              std::span<const RangeTask> tasks,
+                              const Query& query, ExecContext& ctx) {
+  ThreadPool* pool = ctx.pool;
+  QueryResult total = InitResult(query);
+  int64_t total_rows = 0;
+  for (const RangeTask& task : tasks) total_rows += task.end - task.begin;
+  const int threads =
+      pool != nullptr ? pool->num_threads()
+                      : (ctx.scheduler != nullptr
+                             ? ctx.scheduler->num_threads()
+                             : 0);
+  // Below ~4 blocks per thread the merge and dispatch overhead exceeds the
+  // scan itself; run the batch inline. The stop probe rides in the scan
+  // options, so cancellation lands between tasks and mid-task.
+  if (threads <= 1 || total_rows < threads * 4 * kScanBlockRows) {
+    store.ScanRanges(tasks, query, &total, ctx.CancellableScan());
+    return total;
+  }
+  // Row-balanced chunks, ~4 per thread. Chunks cover disjoint rows, so
+  // partials merge exactly.
+  const int64_t target = (total_rows + threads * 4 - 1) / (threads * 4);
+  std::vector<std::vector<RangeTask>> chunks = ChunkRangeTasks(tasks, target);
   std::vector<QueryResult> partials(chunks.size());
-  pool->ParallelFor(0, static_cast<int64_t>(chunks.size()), 1,
-                    [&](int64_t i) {
-                      partials[i] = InitResult(query);
-                      // Cancellation boundary: whole chunks are skipped
-                      // once the flag is seen (partials stay exact for the
-                      // chunks that did run).
-                      if (ctx.ShouldStop()) return;
-                      store.ScanRanges(chunks[i], query, &partials[i],
-                                       options);
-                    });
+  auto run_chunk = [&](int64_t i) {
+    partials[i] = InitResult(query);
+    // Cancellation boundary: whole chunks are skipped once the flag is
+    // seen (partials stay exact for the chunks that did run); inside a
+    // chunk the probe stops at the next block-aligned slice.
+    if (ctx.ShouldStop()) return;
+    store.ScanRanges(chunks[i], query, &partials[i], ctx.CancellableScan());
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, static_cast<int64_t>(chunks.size()), 1, run_chunk);
+  } else {
+    // Scheduler path: the chunks join the shared work-stealing deques, so
+    // a concurrent caller's idle workers pick them up too.
+    TaskScheduler::JobRef job = ctx.scheduler->Submit(
+        static_cast<int64_t>(chunks.size()),
+        [&](int64_t i, int) { run_chunk(i); }, ctx.priority);
+    ctx.scheduler->Wait(job);
+  }
   for (const QueryResult& partial : partials) {
     MergeQueryResults(query, partial, &total);
   }

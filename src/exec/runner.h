@@ -46,6 +46,15 @@ WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,
 WorkloadRunStats MeasureWorkload(const MultiDimIndex& index,
                                  const Workload& workload, ExecContext& ctx);
 
+/// Splits a RangeTask batch into row-balanced chunks of roughly
+/// `target_rows` rows each, cutting oversized tasks at zone-map block
+/// boundaries (so full-block fast paths stay aligned and any re-split is
+/// bit-identical). Chunks cover disjoint rows in submission order — the
+/// shared decomposition for the pool executor below and for QueryService's
+/// per-query scheduler jobs.
+std::vector<std::vector<RangeTask>> ChunkRangeTasks(
+    std::span<const RangeTask> tasks, int64_t target_rows);
+
 /// Batched multi-range executor: scans every planned RangeTask against the
 /// store, splitting the batch into row-balanced chunks across the pool's
 /// threads (large tasks are split at zone-map block boundaries). Each
@@ -57,9 +66,13 @@ QueryResult ExecuteRangeTasks(const ColumnStore& store,
                               const Query& query, ThreadPool* pool,
                               const ScanOptions& options = {});
 
-/// ExecContext-aware variant: scans through ctx's pool and scan options and
-/// honors cooperative cancellation, checked between range tasks / chunks —
-/// a cancelled call returns the partial accumulated so far.
+/// ExecContext-aware variant: scans through ctx's pool (or, when the
+/// context carries a TaskScheduler instead, through the shared
+/// work-stealing deques — chunks of concurrent callers interleave and idle
+/// workers steal) and honors cooperative cancellation: the deadline/flag
+/// is probed between chunks *and* mid-chunk at block-aligned slices
+/// (ScanOptions::stop_probe), so even one giant scan stops promptly — a
+/// cancelled call returns the partial accumulated so far.
 QueryResult ExecuteRangeTasks(const ColumnStore& store,
                               std::span<const RangeTask> tasks,
                               const Query& query, ExecContext& ctx);

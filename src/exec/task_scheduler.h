@@ -1,0 +1,140 @@
+// Work-stealing task scheduler: the serving path's execution substrate.
+//
+// ThreadPool (thread_pool.h) drains one FIFO queue, which is exactly right
+// for homogeneous build work but wrong for a skewed query batch: once each
+// worker holds one query, a giant region query serializes on its worker
+// while the needle queries finish and the rest of the machine idles. The
+// scheduler closes that gap with the classic per-worker-deque design: each
+// worker owns a deque, submitted jobs spread their chunks round-robin
+// across all deques, a worker pops from the front of its own deque and —
+// when empty — steals from the back of a victim's, so the chunks of a
+// decomposed giant query are picked up by every idle core regardless of
+// which deques they landed in.
+//
+// Jobs are chunk-indexed fan-outs (`fn(chunk, worker)` for chunk in
+// [0, num_chunks)) with an asynchronous completion handle, which is the
+// shape both clients need: QueryService decomposes each admitted query's
+// QueryPlan into block-aligned RangeTask chunks and submits one job per
+// query (Await blocks on the handle), and ExecuteRangeTasks submits its
+// row-balanced chunk lists and waits inline. Chunks of concurrently
+// submitted jobs interleave in the deques — that is the point: one shared
+// scheduler parallelizes *across* queries and *within* each query at once.
+//
+// Chunks must not throw and must be independent; result aggregation is the
+// caller's job (per-chunk partials merged after Wait, the same
+// disjoint-rows argument ExecuteRangeTasks already relies on).
+#ifndef TSUNAMI_EXEC_TASK_SCHEDULER_H_
+#define TSUNAMI_EXEC_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsunami {
+
+class TaskScheduler {
+ public:
+  /// One submitted fan-out. Opaque to callers; pass the handle back to
+  /// Wait() / Finished(). Held by shared_ptr so in-flight chunks keep the
+  /// job alive even if the submitter abandons the handle.
+  class Job {
+   public:
+    bool finished() const { return done_.load(std::memory_order_acquire); }
+
+   private:
+    friend class TaskScheduler;
+    std::function<void(int64_t, int)> fn_;
+    std::atomic<int64_t> remaining_{0};
+    std::atomic<bool> done_{false};
+    std::mutex mu_;
+    std::condition_variable cv_;
+  };
+  using JobRef = std::shared_ptr<Job>;
+
+  /// Cumulative counters since construction. `steals` is the health metric
+  /// for skewed batches: zero on a balanced batch, large when workers ran
+  /// dry and pulled a straggler's chunks.
+  struct Stats {
+    int64_t jobs = 0;
+    int64_t chunks = 0;
+    int64_t steals = 0;
+  };
+
+  /// With `threads <= 0` the scheduler degenerates to inline execution on
+  /// the submitting thread (deterministic chunk order; nothing to steal),
+  /// mirroring ThreadPool's inline mode.
+  explicit TaskScheduler(int threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Enqueues `fn(chunk, worker)` for chunk in [0, num_chunks), spreading
+  /// chunks round-robin across the per-worker deques, and returns
+  /// immediately. `worker` is the index of the executing worker (0 on the
+  /// submitting thread for inline schedulers) — useful for per-worker
+  /// scratch. Chunks with `priority > 0` are pushed to the *front* of the
+  /// deques, so a latency-sensitive query's chunks run ahead of queued
+  /// backlog (stealing still takes victims' backs, preserving the jump).
+  JobRef Submit(int64_t num_chunks, std::function<void(int64_t, int)> fn,
+                int priority = 0);
+
+  /// Blocks until every chunk of `job` has finished.
+  void Wait(const JobRef& job);
+
+  /// Non-blocking completion check.
+  static bool Finished(const JobRef& job) { return job->finished(); }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Chunks currently queued (not yet picked up); the service's queue-depth
+  /// gauge.
+  int64_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  Stats stats() const;
+
+ private:
+  struct Task {
+    JobRef job;
+    int64_t chunk = 0;
+  };
+  /// One worker's deque. Guarded by its own mutex — chunk granularity is
+  /// thousands of rows, so a short critical section per pop/steal is noise
+  /// next to the scan itself, and plain mutexes keep the stealing protocol
+  /// obviously correct under TSan.
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;
+  };
+
+  void WorkerLoop(int id);
+  /// Pops from the front of worker `id`'s own deque, or steals from the
+  /// back of another's. Returns false when every deque is empty.
+  bool NextTask(int id, Task* out);
+  void RunTask(const Task& task, int worker);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable work_cv_;
+  bool shutting_down_ = false;
+
+  std::atomic<int64_t> queued_{0};
+  std::atomic<uint64_t> next_worker_{0};  // Round-robin submission cursor.
+  std::atomic<int64_t> jobs_{0};
+  std::atomic<int64_t> chunks_{0};
+  std::atomic<int64_t> steals_{0};
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_EXEC_TASK_SCHEDULER_H_

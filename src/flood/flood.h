@@ -37,7 +37,9 @@ class FloodIndex : public MultiDimIndex {
 
   /// Plans the grid's candidate runs up front; the base ExecutePlan /
   /// ExecuteBatch then submit them as one batched scan through the
-  /// context's pool and scan options.
+  /// context's pool and scan options. Flood plans are pure range scans
+  /// (no FinishPlan epilogue), so QueryService decomposes them into
+  /// work-stealing chunks with no index-specific hook needed.
   QueryPlan Prepare(const Query& query) const override {
     QueryPlan plan;
     plan.query = query;

@@ -1,8 +1,22 @@
 #include "src/query/engine.h"
 
+#include <type_traits>
+
 #include "src/common/stats.h"
+#include "src/serve/query_service.h"
 
 namespace tsunami {
+
+std::shared_ptr<const QueryPlan> QueryEngine::PlanQuery(
+    const Query& query) const {
+  if (service_ != nullptr) {
+    // Bind through the service's plan cache: repeated ad-hoc statements
+    // over the same rectangle (and repeated disjunctive boxes) share one
+    // prepared plan instead of re-planning per Prepare call.
+    return service_->CachedPlan(query);
+  }
+  return std::make_shared<const QueryPlan>(index_->Prepare(query));
+}
 
 PreparedStatement QueryEngine::Prepare(std::string_view sql) const {
   PreparedStatement stmt;
@@ -27,12 +41,12 @@ PreparedStatement QueryEngine::Prepare(std::string_view sql) const {
     // Plan every non-empty box now; executions replay the plans.
     for (const Box& box : norm.boxes) {
       if (box.Empty()) continue;
-      stmt.box_plans.push_back(index_->Prepare(box.ToQuery(stmt.query)));
+      stmt.box_plans.push_back(PlanQuery(box.ToQuery(stmt.query)));
     }
     stmt.ok = true;
     return stmt;
   }
-  if (!stmt.empty_result) stmt.plan = index_->Prepare(parsed.query);
+  if (!stmt.empty_result) stmt.plan = PlanQuery(parsed.query);
   stmt.ok = true;
   return stmt;
 }
@@ -51,6 +65,61 @@ SqlResult QueryEngine::Finalize(const PreparedStatement& stmt,
   return out;
 }
 
+static_assert(std::is_same_v<QueryService::Ticket, uint64_t>,
+              "engine.h declares service tickets as uint64_t");
+
+std::vector<uint64_t> QueryEngine::SubmitToService(
+    const PreparedStatement& stmt, ExecContext& ctx) const {
+  // Carry the context's remaining budget into per-query submit options
+  // (Fork computes the remaining deadline without restarting any clock).
+  ExecContext remaining = ctx.Fork();
+  SubmitOptions sub;
+  sub.deadline_seconds = remaining.deadline_seconds;
+  sub.cancel = ctx.cancel;
+  sub.scan = ctx.scan;
+  sub.priority = ctx.priority;
+
+  // A disjunctive statement's boxes are all admitted at once, so they
+  // execute concurrently on the service's workers.
+  std::vector<uint64_t> tickets;
+  if (stmt.disjunctive) {
+    tickets.reserve(stmt.box_plans.size());
+    for (const std::shared_ptr<const QueryPlan>& plan : stmt.box_plans) {
+      tickets.push_back(service_->SubmitPlan(plan, sub));
+    }
+  } else {
+    tickets.push_back(service_->SubmitPlan(stmt.plan, sub));
+  }
+  return tickets;
+}
+
+SqlResult QueryEngine::AwaitService(
+    const PreparedStatement& stmt, std::span<const uint64_t> tickets) const {
+  QueryResult stats = InitResult(stmt.query);
+  bool any_cancelled = false;
+  for (uint64_t ticket : tickets) {
+    bool cancelled = false;
+    QueryResult partial = service_->Await(ticket, &cancelled);
+    any_cancelled = any_cancelled || cancelled;
+    // Boxes are disjoint rectangles, so merging their full results keeps
+    // counts exact — same as ExecuteBoxUnion.
+    MergeQueryResults(stmt.query, partial, &stats);
+  }
+  if (any_cancelled) {
+    SqlResult out;
+    out.query = stmt.query;
+    out.error = "cancelled";
+    return out;
+  }
+  return Finalize(stmt, std::move(stats));
+}
+
+SqlResult QueryEngine::RunViaService(const PreparedStatement& stmt,
+                                     ExecContext& ctx) const {
+  std::vector<uint64_t> tickets = SubmitToService(stmt, ctx);
+  return AwaitService(stmt, tickets);
+}
+
 SqlResult QueryEngine::RunPrepared(const PreparedStatement& stmt,
                                    ExecContext& ctx) const {
   if (!stmt.ok) {
@@ -63,15 +132,16 @@ SqlResult QueryEngine::RunPrepared(const PreparedStatement& stmt,
     // answer without touching the index, matching SQL semantics.
     return Finalize(stmt, InitResult(stmt.query));
   }
+  if (service_ != nullptr) return RunViaService(stmt, ctx);
   QueryResult stats;
   if (stmt.disjunctive) {
     stats = InitResult(stmt.query);
-    for (const QueryPlan& plan : stmt.box_plans) {
+    for (const std::shared_ptr<const QueryPlan>& plan : stmt.box_plans) {
       if (ctx.ShouldStop()) break;
-      MergeQueryResults(stmt.query, index_->ExecutePlan(plan, ctx), &stats);
+      MergeQueryResults(stmt.query, index_->ExecutePlan(*plan, ctx), &stats);
     }
   } else {
-    stats = index_->ExecutePlan(stmt.plan, ctx);
+    stats = index_->ExecutePlan(*stmt.plan, ctx);
   }
   if (ctx.ShouldStop()) {
     // Execution was (or may have been) cut short mid-flight: never pass a
@@ -89,16 +159,35 @@ std::vector<SqlResult> QueryEngine::RunBatch(
   ctx.StartBatch();
   Timer timer;
   std::vector<SqlResult> results(stmts.size());
+  // With a service attached, admit every executable statement's plans up
+  // front, then await in order: all statements' chunks interleave on the
+  // shared scheduler (cross-statement overlap, not just the boxes within
+  // one disjunctive statement).
+  std::vector<std::vector<uint64_t>> tickets;
+  if (service_ != nullptr) {
+    tickets.resize(stmts.size());
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      if (stmts[i].ok && !stmts[i].empty_result && !ctx.ShouldStop()) {
+        tickets[i] = SubmitToService(stmts[i], ctx);
+      }
+    }
+  }
   for (size_t i = 0; i < stmts.size(); ++i) {
-    if (ctx.ShouldStop()) {
+    if (service_ != nullptr && !tickets[i].empty()) {
+      // Already in flight: always awaited, even if the batch was cancelled
+      // meanwhile (the tickets must be consumed; a cut-short statement
+      // comes back as "cancelled").
+      results[i] = AwaitService(stmts[i], tickets[i]);
+    } else if (ctx.ShouldStop()) {
       results[i].error = "cancelled";
       continue;
+    } else {
+      // Fork per statement: the statement sees only the batch's remaining
+      // deadline, and its nested StartBatch/stats cannot clobber the
+      // batch-level bookkeeping.
+      ExecContext stmt_ctx = ctx.Fork();
+      results[i] = RunPrepared(stmts[i], stmt_ctx);
     }
-    // Fork per statement: the statement sees only the batch's remaining
-    // deadline, and its nested StartBatch/stats cannot clobber the
-    // batch-level bookkeeping.
-    ExecContext stmt_ctx = ctx.Fork();
-    results[i] = RunPrepared(stmts[i], stmt_ctx);
     if (results[i].ok) {
       ++ctx.stats.queries;
       ctx.stats.AddResult(results[i].stats);

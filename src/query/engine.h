@@ -15,6 +15,8 @@
 #ifndef TSUNAMI_QUERY_ENGINE_H_
 #define TSUNAMI_QUERY_ENGINE_H_
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -38,21 +40,26 @@ struct SqlResult {
   std::vector<double> values;
 };
 
+class QueryService;
+
 /// A parsed, bound, and planned statement, ready for (repeated) execution.
 /// Holds the index's QueryPlan for conjunctive statements and the
 /// pre-normalized disjoint boxes for disjunctive ones, so per-execution
 /// work is the scans alone. Produced by QueryEngine::Prepare; only
-/// executable by the engine (and index) that prepared it.
+/// executable by the engine (and index) that prepared it. Plans are
+/// shared_ptr so a statement bound through an attached QueryService aliases
+/// the service's plan cache instead of copying task lists.
 struct PreparedStatement {
   bool ok = false;
   std::string error;
   Query query;              // Bound aggregates (+ filters when conjunctive).
   bool empty_result = false;  // Unsatisfiable predicate: answer without I/O.
   bool disjunctive = false;   // Executes as a union of disjoint boxes.
-  QueryPlan plan;             // Conjunctive case: the index's range plan.
+  /// Conjunctive case: the index's range plan (null when empty_result).
+  std::shared_ptr<const QueryPlan> plan;
   /// Disjunctive case: one index plan per non-empty disjoint box, built at
   /// Prepare time so repeated executions replay instead of re-planning.
-  std::vector<QueryPlan> box_plans;
+  std::vector<std::shared_ptr<const QueryPlan>> box_plans;
 };
 
 /// Binds a table schema to an index and runs SQL statements against it.
@@ -62,6 +69,17 @@ class QueryEngine {
  public:
   QueryEngine(const MultiDimIndex* index, TableSchema schema)
       : index_(index), schema_(std::move(schema)) {}
+
+  /// Routes this engine through a serving layer (borrowed; must outlive
+  /// the engine and wrap the same index): Prepare binds statements to the
+  /// service's plan cache — repeated ad-hoc SQL over the same rectangle
+  /// stops re-planning — and RunPrepared / RunBatch submit plans to the
+  /// service's work-stealing scheduler instead of executing on the calling
+  /// thread (RunBatch's statements run concurrently, box unions of one
+  /// disjunctive statement too). Results stay bit-identical to the
+  /// unattached engine. Pass nullptr to detach.
+  void AttachService(QueryService* service) { service_ = service; }
+  QueryService* service() const { return service_; }
 
   /// Parses, binds, plans, and executes one statement inline.
   SqlResult Run(std::string_view sql) const;
@@ -91,9 +109,26 @@ class QueryEngine {
 
  private:
   SqlResult Finalize(const PreparedStatement& stmt, QueryResult stats) const;
+  /// Admits the statement's plan(s) to the attached service (deadline /
+  /// cancel / priority carried over from `ctx`) and returns the tickets
+  /// (QueryService::Ticket, i.e. uint64_t — kept untyped here so the
+  /// header need not pull in the serve layer).
+  std::vector<uint64_t> SubmitToService(const PreparedStatement& stmt,
+                                        ExecContext& ctx) const;
+  /// Awaits previously submitted tickets and finalizes the statement
+  /// (identity + "cancelled" if any ticket was cut short).
+  SqlResult AwaitService(const PreparedStatement& stmt,
+                         std::span<const uint64_t> tickets) const;
+  /// Service path for RunPrepared: SubmitToService + AwaitService.
+  SqlResult RunViaService(const PreparedStatement& stmt,
+                          ExecContext& ctx) const;
+  /// Plans one bound conjunctive query: through the service's plan cache
+  /// when attached, directly against the index otherwise.
+  std::shared_ptr<const QueryPlan> PlanQuery(const Query& query) const;
 
   const MultiDimIndex* index_;
   TableSchema schema_;
+  QueryService* service_ = nullptr;  // Borrowed; null = execute inline.
 };
 
 }  // namespace tsunami

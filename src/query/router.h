@@ -72,6 +72,17 @@ class AccessPathRouter : public MultiDimIndex {
   QueryResult ExecutePlan(const QueryPlan& plan,
                           ExecContext& ctx) const override;
 
+  /// A routed plan's tasks address the chosen access path's clustered
+  /// store, not the router's; external executors (QueryService) must scan
+  /// and finish against that index.
+  const MultiDimIndex& PlanTarget(const QueryPlan& plan) const override {
+    if (plan.routed_index >= 0 &&
+        plan.routed_index < static_cast<int>(indexes_.size())) {
+      return indexes_[plan.routed_index]->PlanTarget(plan);
+    }
+    return *this;
+  }
+
   /// Routes a batch by grouping the queries per chosen access path and
   /// forwarding one sub-batch per index; results are scattered back to
   /// their original positions, so output order matches input order.

@@ -4,8 +4,6 @@
 #include <cmath>
 #include <numeric>
 
-#include "src/exec/runner.h"
-
 namespace tsunami {
 
 namespace {
@@ -243,22 +241,17 @@ QueryPlan CorrelationSecondaryIndex::Prepare(const Query& query) const {
   return plan;
 }
 
-QueryResult CorrelationSecondaryIndex::ExecutePlan(const QueryPlan& plan,
-                                                   ExecContext& ctx) const {
-  if (!plan.use_tasks) return Execute(plan.query);
+void CorrelationSecondaryIndex::FinishPlan(const QueryPlan& plan,
+                                           QueryResult* result) const {
   const Query& query = plan.query;
-  // Plan-then-batch: all merged host ranges go to the executor in one
-  // submission instead of per-range calls.
-  QueryResult result = plan.counters;
-  QueryResult scans = ExecuteRangeTasks(store_, plan.tasks, query, ctx);
-  MergeQueryResults(query, scans, &result);
-
   const Predicate* key_filter = query.FilterOn(key_dim_);
-  if (key_filter == nullptr || segments_.empty()) return result;
+  if (key_filter == nullptr || segments_.empty()) return;
 
   // Outliers live outside their segment's model band, but the band of
   // *another* segment may still cover them — probe only rows no scanned
-  // range (the plan's merged, sorted tasks) already visited.
+  // range (the plan's merged, sorted tasks) already visited. Depends on
+  // the plan alone, not on how the scans were chunked, so any executor of
+  // the plan (base ExecutePlan, QueryService) runs it after the scans.
   auto covered = [&](int64_t row) {
     auto it = std::upper_bound(
         plan.tasks.begin(), plan.tasks.end(), row,
@@ -269,9 +262,8 @@ QueryResult CorrelationSecondaryIndex::ExecutePlan(const QueryPlan& plan,
     Value key = store_.Get(row, key_dim_);
     if (key < key_filter->lo || key > key_filter->hi) continue;
     if (covered(row)) continue;
-    ProbeRow(store_, row, query, &result);
+    ProbeRow(store_, row, query, result);
   }
-  return result;
 }
 
 QueryResult CorrelationSecondaryIndex::Execute(const Query& query) const {

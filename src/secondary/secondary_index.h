@@ -92,11 +92,14 @@ class CorrelationSecondaryIndex : public MultiDimIndex {
   QueryResult Execute(const Query& query) const override;
 
   /// Plans the merged host ranges (key-filtered queries) or the bounded
-  /// host scan up front; ExecutePlan scans them as one batch and then
-  /// probes the uncovered outliers.
+  /// host scan up front; execution scans them as one batch and then probes
+  /// the uncovered outliers (the plan epilogue below).
   QueryPlan Prepare(const Query& query) const override;
-  QueryResult ExecutePlan(const QueryPlan& plan,
-                          ExecContext& ctx) const override;
+
+  /// Probes the outlier rows no planned range covers — the non-range half
+  /// of a Hermit plan, run by base ExecutePlan and by QueryService's
+  /// chunked jobs after the task scans.
+  void FinishPlan(const QueryPlan& plan, QueryResult* result) const override;
 
   /// Segment boundaries + models + outlier row ids: model-sized.
   int64_t IndexSizeBytes() const override;

@@ -1,0 +1,112 @@
+#include "src/serve/plan_cache.h"
+
+#include <utility>
+
+namespace tsunami {
+
+PlanCache::Key PlanCache::Key::Of(const Query& query) {
+  Key key;
+  key.rect = NormalizedFilters(query);
+  key.aggs = AggregateList(query);
+  key.fingerprint = QueryFingerprint(key.rect, key.aggs);
+  return key;
+}
+
+bool PlanCache::Key::Matches(const Key& other) const {
+  return aggs == other.aggs && NormalizedRectEqual(rect, other.rect);
+}
+
+PlanCache::LruList::iterator PlanCache::FindLocked(const MultiDimIndex& index,
+                                                   const Key& key) {
+  auto [first, last] = map_.equal_range(key.fingerprint);
+  for (auto it = first; it != last; ++it) {
+    LruList::iterator entry = it->second;
+    if (entry->index == &index && entry->key.Matches(key)) {
+      return entry;
+    }
+  }
+  return lru_.end();
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::LookupKeyed(
+    const MultiDimIndex& index, const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LruList::iterator entry = FindLocked(index, key);
+  if (entry == lru_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, entry);  // Touch: move to MRU position.
+  return entry->plan;
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::Lookup(const MultiDimIndex& index,
+                                                   const Query& query) {
+  return LookupKeyed(index, Key::Of(query));
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::GetOrPrepare(
+    const MultiDimIndex& index, const Query& query) {
+  // Normalize and hash once, outside the lock; hits and the miss's insert
+  // both reuse the key.
+  Key key = Key::Of(query);
+  if (std::shared_ptr<const QueryPlan> plan = LookupKeyed(index, key)) {
+    return plan;
+  }
+  // Prepare outside the lock: planning is the expensive part and must not
+  // serialize concurrent submitters. A racing miss on the same key wastes
+  // one Prepare; Insert below deduplicates the cache itself.
+  auto plan = std::make_shared<const QueryPlan>(index.Prepare(query));
+  InsertKeyed(index, std::move(key), plan);
+  return plan;
+}
+
+void PlanCache::InsertKeyed(const MultiDimIndex& index, Key key,
+                            std::shared_ptr<const QueryPlan> plan) {
+  if (capacity_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  LruList::iterator existing = FindLocked(index, key);
+  if (existing != lru_.end()) {
+    // Racing preparer got here first: refresh (the plans are equivalent)
+    // and touch.
+    existing->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, existing);
+    return;
+  }
+  const uint64_t fp = key.fingerprint;
+  lru_.push_front(Entry{&index, std::move(key), std::move(plan)});
+  map_.emplace(fp, lru_.begin());
+  if (static_cast<int64_t>(lru_.size()) > capacity_) {
+    LruList::iterator victim = std::prev(lru_.end());
+    auto [first, last] = map_.equal_range(victim->key.fingerprint);
+    for (auto it = first; it != last; ++it) {
+      if (it->second == victim) {
+        map_.erase(it);
+        break;
+      }
+    }
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::Insert(const MultiDimIndex& index, const Query& query,
+                       std::shared_ptr<const QueryPlan> plan) {
+  InsertKeyed(index, Key::Of(query), std::move(plan));
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.size = static_cast<int64_t>(lru_.size());
+  return out;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,128 @@
+// Bounded LRU cache of prepared QueryPlans, keyed on a normalized
+// filter-rectangle fingerprint.
+//
+// The serving path's planning cost (region collection, grid cell
+// enumeration, binary-search refinement, secondary-range merging) repeats
+// on every arrival of ad-hoc traffic even when the traffic itself repeats —
+// dashboards refresh the same rectangles, applications template the same
+// statements with identical constants. The cache closes that gap: a plan is
+// keyed by (index identity, normalized filter rectangle, aggregate list),
+// so any later query answer-equivalent to a cached one replays the prepared
+// ExecutePlan path without re-routing or re-planning. Normalization
+// (NormalizedFilters in types.h) sorts predicates by dimension and
+// intersects same-dimension conjuncts, so filter order and redundant
+// conjuncts do not fragment the cache; the `type` label is excluded — it
+// never affects answers.
+//
+// Plans are handed out as shared_ptr<const QueryPlan>: hits are a hash
+// probe plus a refcount, never a task-vector copy, and an evicted plan
+// stays alive for whoever is still executing it.
+//
+// Invalidation is the owner's job: plans address an index's clustered
+// store, so a cache must not outlive its index or survive an index rebuild
+// (QueryService owns one cache per index for exactly this reason). Delta
+// inserts (TsunamiIndex::Insert) do NOT invalidate — the delta buffer is a
+// FinishPlan epilogue read at execution time, not part of the plan.
+//
+// Thread-safe; one mutex. Lookups are a short critical section and misses
+// prepare *outside* the lock, so concurrent submitters never serialize
+// behind each other's planning (two racing misses on the same key both
+// prepare and the loser's insert becomes a refresh — wasted work, never a
+// wrong answer).
+#ifndef TSUNAMI_SERVE_PLAN_CACHE_H_
+#define TSUNAMI_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/index.h"
+#include "src/common/types.h"
+
+namespace tsunami {
+
+class PlanCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t size = 0;  // Entries currently cached.
+
+    double HitRate() const {
+      int64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+
+  /// `capacity` caps the number of cached plans; 0 disables caching
+  /// entirely (every GetOrPrepare prepares fresh — the cold baseline the
+  /// bench A/Bs against).
+  explicit PlanCache(int64_t capacity) : capacity_(capacity) {}
+
+  /// The cached plan for a query answer-equivalent to `query` on `index`,
+  /// or nullptr. Counts a hit or miss.
+  std::shared_ptr<const QueryPlan> Lookup(const MultiDimIndex& index,
+                                          const Query& query);
+
+  /// Cache-through prepare: Lookup, and on a miss call index.Prepare
+  /// (outside the lock) and insert the result.
+  std::shared_ptr<const QueryPlan> GetOrPrepare(const MultiDimIndex& index,
+                                                const Query& query);
+
+  /// Inserts (or refreshes) the plan for `query`, evicting the least
+  /// recently used entry when over capacity. No-op at capacity 0.
+  void Insert(const MultiDimIndex& index, const Query& query,
+              std::shared_ptr<const QueryPlan> plan);
+
+  /// Drops every entry (stats persist). Call when the backing index is
+  /// rebuilt in place.
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  /// A query's cache identity, normalized once per call — *outside* mu_ —
+  /// so the locked sections compare plain vectors instead of re-running
+  /// NormalizedFilters (which allocates) per candidate entry.
+  struct Key {
+    uint64_t fingerprint = 0;
+    std::vector<Predicate> rect;       // NormalizedFilters(query).
+    std::vector<AggregateSpec> aggs;   // The query's aggregate list.
+
+    static Key Of(const Query& query);
+    bool Matches(const Key& other) const;
+  };
+  struct Entry {
+    const MultiDimIndex* index = nullptr;
+    Key key;  // For collision confirmation on fingerprint match.
+    std::shared_ptr<const QueryPlan> plan;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Finds the entry for (index, key) in the bucket map, confirming
+  /// semantic equivalence allocation-free. Caller holds mu_.
+  LruList::iterator FindLocked(const MultiDimIndex& index, const Key& key);
+
+  std::shared_ptr<const QueryPlan> LookupKeyed(const MultiDimIndex& index,
+                                               const Key& key);
+  void InsertKeyed(const MultiDimIndex& index, Key key,
+                   std::shared_ptr<const QueryPlan> plan);
+
+  int64_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // Front = most recently used.
+  /// fingerprint -> entries (collisions chain); iterators into lru_ stay
+  /// valid across splices.
+  std::unordered_multimap<uint64_t, LruList::iterator> map_;
+  Stats stats_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,198 @@
+#include "src/serve/query_service.h"
+
+#include "src/exec/runner.h"
+#include "src/exec/thread_pool.h"
+
+namespace tsunami {
+
+QueryService::QueryService(const MultiDimIndex* index,
+                           const ServiceOptions& options)
+    : index_(index),
+      options_(options),
+      cache_(options.plan_cache_capacity),
+      scheduler_(options.threads < 0 ? ThreadPool::DefaultThreads()
+                                     : options.threads) {}
+
+QueryService::~QueryService() = default;
+
+QueryService::Ticket QueryService::Submit(const Query& query,
+                                          const SubmitOptions& options) {
+  return Admit(cache_.GetOrPrepare(*index_, query), options);
+}
+
+QueryService::Ticket QueryService::SubmitPlan(
+    std::shared_ptr<const QueryPlan> plan, const SubmitOptions& options) {
+  return Admit(std::move(plan), options);
+}
+
+std::vector<QueryService::Ticket> QueryService::SubmitBatch(
+    std::span<const Query> queries, const SubmitOptions& options) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(queries.size());
+  for (const Query& query : queries) {
+    tickets.push_back(Submit(query, options));
+  }
+  return tickets;
+}
+
+QueryService::Ticket QueryService::Admit(
+    std::shared_ptr<const QueryPlan> plan, const SubmitOptions& options) {
+  auto pending = std::make_unique<Pending>();
+  Pending* p = pending.get();
+  p->plan = std::move(plan);
+  p->target = &index_->PlanTarget(*p->plan);
+  p->ctx.scan = options.scan;
+  p->ctx.cancel = options.cancel;
+  p->ctx.deadline_seconds = options.deadline_seconds;
+  p->ctx.priority = options.priority;
+  p->ctx.StartBatch();  // Deadline clock starts at admission.
+
+  int64_t num_chunks;
+  if (p->plan->use_tasks) {
+    p->chunks = ChunkRangeTasks(
+        std::span<const RangeTask>(p->plan->tasks), options_.chunk_rows);
+    num_chunks = static_cast<int64_t>(p->chunks.size());
+    p->partials.resize(p->chunks.size());
+  } else {
+    // Passthrough plan (no plan-then-scan path): one chunk running the
+    // index's own ExecutePlan inline on a worker — still overlapped with
+    // other queries, just not decomposed within itself.
+    num_chunks = 1;
+    p->partials.resize(1);
+  }
+
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const bool use_tasks = p->plan->use_tasks;
+  p->stop_target = {&p->ctx, &p->stopped};
+  p->chunks_left.store(num_chunks, std::memory_order_relaxed);
+  p->job = scheduler_.Submit(
+      num_chunks,
+      [p, use_tasks](int64_t chunk, int /*worker*/) {
+        QueryResult& partial = p->partials[chunk];
+        partial = InitResult(p->plan->query);
+        if (p->ctx.ShouldStop()) {
+          // Skipped outright: record it, so Await returns the identity
+          // result even if a borrowed cancel flag is cleared again later.
+          p->stopped.store(true, std::memory_order_relaxed);
+        } else if (use_tasks) {
+          // One disjoint slice of the planned ranges. The stop probe rides
+          // in the scan options so a deadline lands mid-chunk too — and it
+          // records the cut on the Pending the instant it fires, which is
+          // the only race-free witness that this scan was abandoned.
+          ScanOptions scan = p->ctx.scan;
+          if (p->ctx.Cancellable()) {
+            scan.stop_probe = [](const void* arg) {
+              const auto* t = static_cast<const Pending::StopTarget*>(arg);
+              if (!t->ctx->ShouldStop()) return false;
+              t->stopped->store(true, std::memory_order_relaxed);
+              return true;
+            };
+            scan.stop_arg = &p->stop_target;
+          }
+          p->target->store().ScanRanges(p->chunks[chunk], p->plan->query,
+                                        &partial, scan);
+        } else {
+          ExecContext inline_ctx = p->ctx.Fork();
+          partial = p->target->ExecutePlan(*p->plan, inline_ctx);
+          // The passthrough executor checks the context internally; a stop
+          // it observed is still observable here (deadlines never
+          // un-expire, and a toggled flag closes an ~ns window at worst).
+          if (inline_ctx.ShouldStop()) {
+            p->stopped.store(true, std::memory_order_relaxed);
+          }
+        }
+        // Last chunk out stamps the query's true completion time, on the
+        // worker — Await's return can be much later on a saturated host.
+        if (p->chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          p->latency_seconds = p->admit_timer.ElapsedSeconds();
+        }
+      },
+      options.priority);
+  // Register only after the Pending is fully initialized (job assigned):
+  // tickets are sequential, so a concurrent Await guessing the next id
+  // must find either nothing or a complete entry — never a null JobRef.
+  // Chunks already running don't care; they hold `p`, not the ticket.
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket = next_ticket_++;
+    tickets_.emplace(ticket, std::move(pending));
+  }
+  return ticket;
+}
+
+QueryResult QueryService::Await(Ticket ticket, bool* cancelled) {
+  AwaitInfo info;
+  QueryResult result = Await(ticket, &info);
+  if (cancelled != nullptr) *cancelled = info.cancelled;
+  return result;
+}
+
+QueryResult QueryService::Await(Ticket ticket, AwaitInfo* info) {
+  bool* cancelled = info != nullptr ? &info->cancelled : nullptr;
+  std::unique_ptr<Pending> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tickets_.find(ticket);
+    if (it != tickets_.end()) {
+      pending = std::move(it->second);
+      tickets_.erase(it);
+    }
+  }
+  if (pending == nullptr) {
+    // Unknown or already-awaited ticket: nothing to wait for.
+    if (cancelled != nullptr) *cancelled = true;
+    return QueryResult{};
+  }
+  scheduler_.Wait(pending->job);
+  if (info != nullptr) info->latency_seconds = pending->latency_seconds;
+  const Query& query = pending->plan->query;
+  if (pending->stopped.load(std::memory_order_relaxed)) {
+    // A worker recorded that it skipped or cut short at least one chunk:
+    // some partials may be partial accumulations. Never pass those off as
+    // an answer — the query reverts to its identity result. (The record is
+    // consulted instead of re-evaluating ShouldStop() here: a query whose
+    // chunks all finished before the deadline expired is returned intact,
+    // and a cancel flag cleared again after cutting a scan short cannot
+    // smuggle partials through.)
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    if (cancelled != nullptr) *cancelled = true;
+    return InitResult(query);
+  }
+  if (cancelled != nullptr) *cancelled = false;
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (!pending->plan->use_tasks) {
+    return std::move(pending->partials[0]);
+  }
+  // Merge: plan counters + every disjoint chunk partial + the target's
+  // non-range epilogue — the FinishPlan contract that makes this equal to
+  // Execute(query) bit for bit.
+  QueryResult result = pending->plan->counters;
+  for (const QueryResult& partial : pending->partials) {
+    MergeQueryResults(query, partial, &result);
+  }
+  pending->target->FinishPlan(*pending->plan, &result);
+  return result;
+}
+
+QueryResult QueryService::Run(const Query& query,
+                              const SubmitOptions& options, bool* cancelled) {
+  return Await(Submit(query, options), cancelled);
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.queue_depth = scheduler_.queue_depth();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.tickets_in_flight = static_cast<int64_t>(tickets_.size());
+  }
+  s.cache = cache_.stats();
+  s.scheduler = scheduler_.stats();
+  return s;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,221 @@
+// QueryService: the asynchronous, plan-cached, work-stealing serving API
+// over any MultiDimIndex.
+//
+// The batch API (src/common/index.h) executes a batch well when the caller
+// *has* a batch; a serving front-end has a stream of concurrent clients.
+// The service turns that stream into scheduler work:
+//
+//   QueryService service(&index, options);
+//   Ticket t = service.Submit(query);        // admit: cache-probe + plan +
+//                                            // decompose, returns at once
+//   ... submit more, from any thread ...
+//   QueryResult r = service.Await(t);        // block for this answer only
+//   QueryResult r = service.Run(query);      // Submit + Await convenience
+//
+// Admission looks the query up in a bounded-LRU plan cache (plan_cache.h)
+// keyed on the normalized filter rectangle + aggregate list, so repeated
+// ad-hoc traffic replays prepared plans instead of re-routing and
+// re-planning. The admitted plan's RangeTasks are decomposed into
+// block-aligned chunks (the same ChunkRangeTasks decomposition the pool
+// executor uses) and submitted as one job to the shared work-stealing
+// TaskScheduler: chunks of *all* in-flight queries interleave in the
+// per-worker deques and idle workers steal, so a skewed batch — one giant
+// region query among needles — keeps every core busy instead of
+// serializing behind its largest member. Per-query deadline / cancel flag /
+// priority ride in SubmitOptions; the deadline clock starts at admission
+// (queue wait counts) and is probed mid-scan at block-aligned slices.
+//
+// Results are bit-identical to per-query Execute() for every index, thread
+// count, and SIMD tier. The decomposition leans on the MultiDimIndex plan
+// contract (FinishPlan / PlanTarget): a query's answer is the plan's
+// counters, plus the planned range scans (split anywhere on block
+// boundaries, partials merged in any order — integer aggregation is
+// associative and chunks cover disjoint rows), plus the target index's
+// FinishPlan epilogue. A query whose execution was actually cut short
+// (a worker skipped or abandoned a chunk — recorded at the moment it
+// happens, not re-derived at Await time) returns its identity result with
+// the `cancelled` flag set: partial aggregates are never passed off as
+// answers, and a query that completed before its deadline expired is
+// returned intact no matter how late it is awaited.
+#ifndef TSUNAMI_SERVE_QUERY_SERVICE_H_
+#define TSUNAMI_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/index.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/exec/task_scheduler.h"
+#include "src/serve/plan_cache.h"
+
+namespace tsunami {
+
+struct ServiceOptions {
+  /// Scheduler workers. -1 = hardware concurrency; 0 = inline execution on
+  /// the submitting thread (deterministic; useful for tests).
+  int threads = -1;
+  /// Plan-cache entries; 0 disables caching (every Submit re-plans).
+  int64_t plan_cache_capacity = 1024;
+  /// Decomposition grain: target rows per scheduler chunk. Smaller chunks
+  /// steal and cancel at finer granularity but pay more per-chunk
+  /// bookkeeping.
+  int64_t chunk_rows = 16 * kScanBlockRows;
+};
+
+/// Per-query admission options.
+struct SubmitOptions {
+  /// Soft deadline in seconds from Submit (0 = none). Queue wait counts;
+  /// expiry is probed between and inside chunk scans.
+  double deadline_seconds = 0.0;
+  /// Higher runs sooner: the query's chunks are queued ahead of backlog.
+  int priority = 0;
+  /// External cancel flag (borrowed; may be null).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Kernel mode / forced SIMD tier for this query's scans.
+  ScanOptions scan;
+};
+
+/// Per-query completion report, filled by Await. `latency_seconds` is
+/// stamped on the worker that finishes the query's last chunk (admission →
+/// completion, queue wait included), so it stays truthful even when the
+/// awaiting thread is descheduled behind busy workers — on a saturated
+/// host, Await's *return* time can be far later than the query's actual
+/// completion.
+struct AwaitInfo {
+  bool cancelled = false;
+  double latency_seconds = 0.0;
+};
+
+/// Service-level counters: admission, the cache, and the scheduler.
+struct ServiceStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;   // Awaited with a real answer.
+  int64_t cancelled = 0;   // Awaited after cancel/deadline: identity result.
+  int64_t queue_depth = 0;     // Chunks queued, not yet picked up.
+  int64_t tickets_in_flight = 0;  // Submitted, not yet awaited.
+  PlanCache::Stats cache;
+  TaskScheduler::Stats scheduler;
+};
+
+class QueryService {
+ public:
+  /// An opaque handle to one submitted query. Await exactly once.
+  using Ticket = uint64_t;
+
+  /// `index` is borrowed and must outlive the service (and must not be
+  /// rebuilt under it — cached plans address its clustered store).
+  explicit QueryService(const MultiDimIndex* index,
+                        const ServiceOptions& options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits one query: plan-cache probe (Prepare on a miss), chunk
+  /// decomposition, scheduler enqueue. Returns immediately; execution
+  /// proceeds on the workers. Thread-safe.
+  Ticket Submit(const Query& query, const SubmitOptions& options = {});
+
+  /// Admits a batch (same options per query); tickets are positionally
+  /// parallel to `queries`.
+  std::vector<Ticket> SubmitBatch(std::span<const Query> queries,
+                                  const SubmitOptions& options = {});
+
+  /// Admits an externally prepared plan without a cache probe (the SQL
+  /// engine's seam: its statements were already bound to cached plans at
+  /// Prepare time — including each disjoint box of a disjunctive
+  /// statement — so execution must not pay a second lookup). The plan must
+  /// have been produced by this service's index.
+  Ticket SubmitPlan(std::shared_ptr<const QueryPlan> plan,
+                    const SubmitOptions& options = {});
+
+  /// Blocks until the ticket's query finishes and returns its result,
+  /// consuming the ticket. A query cut short by its cancel flag or
+  /// deadline returns its identity result with `*cancelled = true`.
+  QueryResult Await(Ticket ticket, bool* cancelled = nullptr);
+
+  /// As above, also reporting the query's worker-stamped completion
+  /// latency (see AwaitInfo).
+  QueryResult Await(Ticket ticket, AwaitInfo* info);
+
+  /// Synchronous convenience: Submit + Await. The calling thread blocks,
+  /// but the chunks still run on (all) the workers.
+  QueryResult Run(const Query& query, const SubmitOptions& options = {},
+                  bool* cancelled = nullptr);
+
+  /// Cache-through planning without admission: the engine's Prepare path
+  /// uses this so repeated ad-hoc SQL binds to cached plans.
+  std::shared_ptr<const QueryPlan> CachedPlan(const Query& query) {
+    return cache_.GetOrPrepare(*index_, query);
+  }
+
+  ServiceStats stats() const;
+
+  const MultiDimIndex& index() const { return *index_; }
+  PlanCache& plan_cache() { return cache_; }
+  TaskScheduler& scheduler() { return scheduler_; }
+
+ private:
+  /// One in-flight query: its plan, per-chunk partials, and the scheduler
+  /// job that fills them. Lives in tickets_ from Submit until Await; chunk
+  /// closures borrow it, so the scheduler (declared last) must drain
+  /// before any Pending is destroyed.
+  struct Pending {
+    std::shared_ptr<const QueryPlan> plan;
+    const MultiDimIndex* target = nullptr;  // PlanTarget(*plan).
+    ExecContext ctx;  // Deadline/cancel/scan; pool- and scheduler-free.
+    std::vector<std::vector<RangeTask>> chunks;
+    std::vector<QueryResult> partials;  // One per chunk, disjoint rows.
+    /// Chunks not yet finished; the closure that takes it to zero stamps
+    /// `latency_seconds` (admission → completion) on its worker. The write
+    /// is published to the awaiter by the job's completion release/acquire
+    /// chain, so no atomic double is needed.
+    std::atomic<int64_t> chunks_left{0};
+    Timer admit_timer;
+    double latency_seconds = 0.0;
+    /// Set by a worker the moment it actually skips or cuts short any
+    /// chunk. Await consults this record — NOT a fresh ShouldStop() — so a
+    /// query whose chunks all completed before the deadline expired is
+    /// returned intact, and a cancel flag that was cleared again after
+    /// cutting a scan short can never pass partial aggregates off as a
+    /// completed answer.
+    std::atomic<bool> stopped{false};
+    /// Stable target for the recording stop probe (borrowed by ScanOptions
+    /// for the chunk scans).
+    struct StopTarget {
+      const ExecContext* ctx = nullptr;
+      std::atomic<bool>* stopped = nullptr;
+    };
+    StopTarget stop_target;
+    TaskScheduler::JobRef job;
+  };
+
+  Ticket Admit(std::shared_ptr<const QueryPlan> plan,
+               const SubmitOptions& options);
+
+  const MultiDimIndex* index_;
+  const ServiceOptions options_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;  // Guards tickets_ and next_ticket_.
+  std::unordered_map<Ticket, std::unique_ptr<Pending>> tickets_;
+  Ticket next_ticket_ = 1;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> cancelled_{0};
+
+  /// Declared last: destroyed first, draining every in-flight chunk while
+  /// the Pendings they borrow are still alive.
+  TaskScheduler scheduler_;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_SERVE_QUERY_SERVICE_H_

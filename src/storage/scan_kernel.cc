@@ -65,8 +65,32 @@ void ScanKernel::Scan(int64_t begin, int64_t end, const Query& query,
 void ScanKernel::ScanBatch(std::span<const RangeTask> tasks,
                            const Query& query, QueryResult* out,
                            const ScanOptions& options) const {
+  if (options.stop_probe == nullptr) {
+    for (const RangeTask& task : tasks) {
+      Scan(task.begin, task.end, query, task.exact, out, options);
+    }
+    return;
+  }
+  // Cancellable batch: probe between tasks and, inside oversized tasks,
+  // between block-aligned kScanStopProbeRows slices, so a deadline or
+  // cancel flag lands mid-scan instead of after the largest range. The
+  // accumulation is a left-to-right fold over the same rows, so an
+  // uncancelled probed batch is bit-identical to the unprobed loop above.
   for (const RangeTask& task : tasks) {
-    Scan(task.begin, task.end, query, task.exact, out, options);
+    int64_t begin = task.begin;
+    while (begin < task.end) {
+      if (options.ShouldStop()) return;
+      int64_t end = task.end;
+      if (end - begin > kScanStopProbeRows) {
+        // Slice on a block boundary so full-block zone-map paths (and the
+        // exact-range SUM-from-block-sums path) see whole blocks.
+        end = begin + kScanStopProbeRows;
+        end -= end % kScanBlockRows;
+        if (end <= begin) end = std::min(task.end, begin + kScanBlockRows);
+      }
+      Scan(begin, end, query, task.exact, out, options);
+      begin = end;
+    }
   }
 }
 

@@ -41,10 +41,24 @@ enum class ScanMode {
   kSimd,        // kVectorized with SIMD inner loops (runtime-dispatched).
 };
 
+/// Rows between cooperative-stop probes inside a batched scan: frequent
+/// enough that a deadline lands within tens of microseconds even on one
+/// giant range, rare enough that the probe (a clock read at worst) is noise.
+inline constexpr int64_t kScanStopProbeRows = 16 * 1024;
+
 /// Per-scan execution options. Defaults to the SIMD kernel at the best
 /// runtime-supported tier; `tier` pins a specific instruction set when
 /// `mode` is kSimd (an unsupported tier degrades to the scalar ops, which
 /// is exactly the kVectorized behavior).
+///
+/// `stop_probe` is the cooperative-cancellation seam: when non-null,
+/// ScanBatch slices ranges at block-aligned kScanStopProbeRows boundaries
+/// and calls `stop_probe(stop_arg)` between slices, abandoning the rest of
+/// the batch once it returns true — so even one giant scan can be cancelled
+/// mid-flight. Kept as a raw function pointer + argument (not std::function)
+/// so ScanOptions stays trivially copyable; the slicing is block-aligned and
+/// integer aggregation is associative, so a probed scan that is never
+/// stopped stays bit-identical to an unprobed one.
 struct ScanOptions {
   static constexpr ScanMode kScalar = ScanMode::kScalar;
   static constexpr ScanMode kVectorized = ScanMode::kVectorized;
@@ -52,6 +66,12 @@ struct ScanOptions {
 
   ScanMode mode = ScanMode::kSimd;
   SimdTier tier = SimdTier::kAuto;
+  bool (*stop_probe)(const void*) = nullptr;  // Borrowed; null = never stop.
+  const void* stop_arg = nullptr;
+
+  bool ShouldStop() const {
+    return stop_probe != nullptr && stop_probe(stop_arg);
+  }
 };
 
 /// One physical row range an index has decided must be scanned. `exact`

@@ -11,6 +11,7 @@
 #include "src/common/random.h"
 #include "src/core/tsunami.h"
 #include "src/exec/runner.h"
+#include "src/exec/task_scheduler.h"
 #include "src/exec/thread_pool.h"
 #include "src/flood/flood.h"
 
@@ -143,6 +144,38 @@ TEST_F(ParallelRunTest, IntraQueryParallelismMatchesSerialExecute) {
         ASSERT_EQ(parallel.matched, serial.matched);
         ASSERT_EQ(parallel.scanned, serial.scanned);
         ASSERT_EQ(parallel.cell_ranges, serial.cell_ranges);
+      }
+    }
+  }
+}
+
+TEST_F(ParallelRunTest, SchedulerBackedExecuteRangeTasksMatchesSerial) {
+  // A pool-less context with a work-stealing scheduler attached: the
+  // runner submits its row-balanced chunks to the shared deques instead of
+  // ParallelFor. Must be bit-identical to serial Execute for every worker
+  // count. (Only legal from outside the scheduler's workers — the runner
+  // blocks in Wait; see ExecContext::scheduler.)
+  TsunamiOptions options;
+  options.cluster_queries = false;
+  TsunamiIndex index(data_, workload_, options);
+  Workload probes = workload_;
+  Query wide;
+  wide.filters = {Predicate{0, 0, 50000}};
+  probes.push_back(wide);
+  for (int threads : {1, 2, 4}) {
+    TaskScheduler scheduler(threads);
+    ExecContext ctx;
+    ctx.scheduler = &scheduler;
+    for (Query q : probes) {
+      q.SetAggregates({{AggKind::kSum, 1}, {AggKind::kCount, 0}});
+      QueryResult serial = index.Execute(q);
+      QueryResult stolen = index.ExecutePlan(index.Prepare(q), ctx);
+      ASSERT_EQ(stolen.agg, serial.agg) << threads << " workers";
+      ASSERT_EQ(stolen.matched, serial.matched);
+      ASSERT_EQ(stolen.scanned, serial.scanned);
+      ASSERT_EQ(stolen.cell_ranges, serial.cell_ranges);
+      for (size_t i = 0; i < stolen.extra.size(); ++i) {
+        ASSERT_EQ(stolen.extra[i], serial.extra[i]);
       }
     }
   }

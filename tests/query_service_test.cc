@@ -1,0 +1,534 @@
+// Randomized equivalence + concurrency suite for the serving layer:
+//  * QueryService Submit/Await (and Run) is bit-identical to per-query
+//    Execute and to ExecuteBatch for every index — including on skewed
+//    batches (one giant region query + many needles) — across service
+//    thread counts and SIMD tiers;
+//  * the plan cache stays correct under eviction pressure and concurrent
+//    Submit from many client threads, and actually hits;
+//  * cancellation and deadlines are honored mid-scan (a single giant range
+//    stops inside the chunk loop, not after it);
+//  * the SQL engine attached to a service returns exactly what the
+//    unattached engine returns.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/full_scan.h"
+#include "src/baselines/single_dim.h"
+#include "src/baselines/zorder.h"
+#include "src/common/random.h"
+#include "src/core/tsunami.h"
+#include "src/exec/thread_pool.h"
+#include "src/flood/flood.h"
+#include "src/query/engine.h"
+#include "src/query/router.h"
+#include "src/secondary/secondary_index.h"
+#include "src/serve/query_service.h"
+
+namespace tsunami {
+namespace {
+
+void ExpectBitIdentical(const QueryResult& got, const QueryResult& want,
+                        const std::string& context) {
+  EXPECT_EQ(got.agg, want.agg) << context;
+  EXPECT_EQ(got.scanned, want.scanned) << context;
+  EXPECT_EQ(got.matched, want.matched) << context;
+  EXPECT_EQ(got.cell_ranges, want.cell_ranges) << context;
+  ASSERT_EQ(got.extra.size(), want.extra.size()) << context;
+  for (size_t i = 0; i < got.extra.size(); ++i) {
+    EXPECT_EQ(got.extra[i], want.extra[i]) << context << " extra " << i;
+  }
+}
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(91);
+    const int64_t n = 24000;
+    data_ = Dataset(3, {});
+    data_.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      Value x = rng.UniformValue(0, 40000);
+      data_.AppendRow(
+          {x, x + rng.UniformValue(-300, 300), rng.UniformValue(0, 1000)});
+    }
+    for (int i = 0; i < 32; ++i) {
+      workload_.push_back(Needle(rng));
+    }
+  }
+
+  /// A cheap, selective query (the "needle" half of a skewed batch).
+  Query Needle(Rng& rng) const {
+    Query q;
+    Value lo = rng.UniformValue(0, 38000);
+    q.filters.push_back(Predicate{0, lo, lo + 1500});
+    switch (rng.NextBelow(3)) {
+      case 0:
+        q.SetAggregates({{AggKind::kCount, 0}});
+        break;
+      case 1:
+        q.SetAggregates({{AggKind::kSum, 1}});
+        break;
+      default:
+        q.SetAggregates({{AggKind::kSum, 2},
+                         {AggKind::kCount, 0},
+                         {AggKind::kMin, 1},
+                         {AggKind::kMax, 0}});
+        break;
+    }
+    return q;
+  }
+
+  /// The giant region query: touches nearly everything, multi-aggregate.
+  Query Region() const {
+    Query q;
+    q.filters.push_back(Predicate{0, 100, 39900});
+    q.filters.push_back(Predicate{2, 0, 990});
+    q.SetAggregates(
+        {{AggKind::kSum, 1}, {AggKind::kCount, 0}, {AggKind::kMax, 2}});
+    return q;
+  }
+
+  /// A randomized skewed batch: one region query somewhere among needles.
+  Workload SkewedBatch(Rng& rng, int needles) const {
+    Workload batch;
+    size_t region_at = rng.NextBelow(needles + 1);
+    for (int i = 0; i < needles; ++i) {
+      if (batch.size() == region_at) batch.push_back(Region());
+      batch.push_back(Needle(rng));
+    }
+    if (batch.size() == region_at) batch.push_back(Region());
+    return batch;
+  }
+
+  std::vector<std::unique_ptr<MultiDimIndex>> BuildRoster() const {
+    std::vector<std::unique_ptr<MultiDimIndex>> xs;
+    xs.push_back(std::make_unique<FullScanIndex>(data_));
+    xs.push_back(std::make_unique<SingleDimIndex>(data_, workload_));
+    xs.push_back(std::make_unique<ZOrderIndex>(data_, ZOrderIndex::Options()));
+    xs.push_back(std::make_unique<FloodIndex>(data_, workload_));
+    TsunamiOptions options;
+    options.cluster_queries = false;
+    xs.push_back(std::make_unique<TsunamiIndex>(data_, workload_, options));
+    xs.push_back(std::make_unique<SortedSecondaryIndex>(data_, /*host_dim=*/0,
+                                                        /*key_dim=*/2));
+    xs.push_back(std::make_unique<CorrelationSecondaryIndex>(
+        data_, /*host_dim=*/0, /*key_dim=*/1));
+    return xs;
+  }
+
+  Dataset data_;
+  Workload workload_;
+};
+
+TEST_F(QueryServiceTest, SubmitAwaitBitIdenticalToExecuteAndExecuteBatch) {
+  std::vector<std::unique_ptr<MultiDimIndex>> roster = BuildRoster();
+  Rng rng(92);
+  for (const auto& index : roster) {
+    Workload batch = SkewedBatch(rng, 24);
+    for (int threads : {0, 2, 4}) {
+      for (ScanMode mode : {ScanMode::kSimd, ScanMode::kScalar}) {
+        ServiceOptions options;
+        options.threads = threads;
+        QueryService service(index.get(), options);
+        SubmitOptions sub;
+        sub.scan = ScanOptions{mode};
+        std::vector<QueryService::Ticket> tickets =
+            service.SubmitBatch(std::span<const Query>(batch), sub);
+        ASSERT_EQ(tickets.size(), batch.size());
+        // Also the ExecuteBatch path, as the second reference.
+        ThreadPool pool(threads);
+        ExecContext ctx(&pool, ScanOptions{mode});
+        std::vector<QueryResult> via_batch = index->ExecuteBatch(
+            std::span<const Query>(batch.data(), batch.size()), ctx);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          bool cancelled = true;
+          QueryResult got = service.Await(tickets[i], &cancelled);
+          EXPECT_FALSE(cancelled);
+          std::string context = index->Name() + " query " +
+                                std::to_string(i) + " threads " +
+                                std::to_string(threads);
+          ExpectBitIdentical(got, index->Execute(batch[i]), context);
+          ExpectBitIdentical(got, via_batch[i], context + " (vs batch)");
+        }
+        ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.submitted, static_cast<int64_t>(batch.size()));
+        EXPECT_EQ(stats.completed, static_cast<int64_t>(batch.size()));
+        EXPECT_EQ(stats.cancelled, 0);
+        EXPECT_EQ(stats.tickets_in_flight, 0);
+      }
+    }
+  }
+}
+
+TEST_F(QueryServiceTest, RouterPlansExecuteAgainstRoutedStore) {
+  std::vector<std::unique_ptr<MultiDimIndex>> roster = BuildRoster();
+  // A router over indexes with *different* clustered stores: the service
+  // must scan each plan against PlanTarget's store, not the router's.
+  AccessPathRouter router(
+      {roster[0].get(), roster[4].get(), roster[5].get()}, data_, workload_);
+  ServiceOptions options;
+  options.threads = 3;
+  QueryService service(&router, options);
+  Rng rng(93);
+  Workload batch = SkewedBatch(rng, 16);
+  std::vector<QueryService::Ticket> tickets =
+      service.SubmitBatch(std::span<const Query>(batch));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectBitIdentical(service.Await(tickets[i]), router.Execute(batch[i]),
+                       "router query " + std::to_string(i));
+  }
+}
+
+TEST_F(QueryServiceTest, TsunamiDeltaBufferReachesServicePath) {
+  TsunamiOptions options;
+  options.cluster_queries = false;
+  TsunamiIndex index(data_, workload_, options);
+  index.Insert({120, 160, 480});
+  index.Insert({36000, 35800, 220});
+  ServiceOptions service_options;
+  service_options.threads = 2;
+  QueryService service(&index, service_options);
+  Rng rng(94);
+  Workload batch = SkewedBatch(rng, 8);
+  for (const Query& q : batch) {
+    ExpectBitIdentical(service.Run(q), index.Execute(q), "delta query");
+  }
+}
+
+TEST_F(QueryServiceTest, PlanCacheHitsRepeatEvictsAndStaysCorrect) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 2;
+  options.plan_cache_capacity = 2;  // Tiny: forces eviction churn.
+  QueryService service(&index, options);
+  Rng rng(95);
+  std::vector<Query> distinct;
+  for (int i = 0; i < 5; ++i) distinct.push_back(Needle(rng));
+  // Cycle the 5 queries repeatedly through a capacity-2 cache: every
+  // arrival must still answer exactly, evictions notwithstanding.
+  for (int round = 0; round < 6; ++round) {
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      ExpectBitIdentical(service.Run(distinct[i]),
+                         index.Execute(distinct[i]),
+                         "round " + std::to_string(round) + " query " +
+                             std::to_string(i));
+    }
+  }
+  PlanCache::Stats cache = service.plan_cache().stats();
+  EXPECT_GT(cache.evictions, 0);
+  EXPECT_LE(cache.size, 2);
+  EXPECT_EQ(cache.hits + cache.misses, 6 * 5);
+
+  // A warm cache (capacity comfortably above the distinct count) must
+  // actually hit: same traffic, ~4/5 hit rate.
+  ServiceOptions warm_options;
+  warm_options.threads = 2;
+  warm_options.plan_cache_capacity = 64;
+  QueryService warm(&index, warm_options);
+  for (int round = 0; round < 6; ++round) {
+    for (const Query& q : distinct) {
+      ExpectBitIdentical(warm.Run(q), index.Execute(q), "warm");
+    }
+  }
+  PlanCache::Stats warm_stats = warm.plan_cache().stats();
+  EXPECT_EQ(warm_stats.misses, 5);
+  EXPECT_EQ(warm_stats.hits, 6 * 5 - 5);
+  EXPECT_GT(warm_stats.HitRate(), 0.8);
+}
+
+TEST_F(QueryServiceTest, FingerprintNormalizesFilterOrderAndTypeLabel) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 1;
+  QueryService service(&index, options);
+  Query a = Region();
+  Query b = Region();
+  // Same rectangle, different filter order and type label: one plan.
+  std::swap(b.filters[0], b.filters[1]);
+  b.type = 7;
+  // The Query-level helpers agree with the cache's behavior.
+  EXPECT_EQ(QueryFingerprint(a), QueryFingerprint(b));
+  EXPECT_TRUE(FingerprintEquivalent(a, b));
+  Query c = a;
+  c.filters[0].hi += 1;
+  EXPECT_FALSE(FingerprintEquivalent(a, c));
+  ExpectBitIdentical(service.Run(a), index.Execute(a), "fingerprint a");
+  ExpectBitIdentical(service.Run(b), index.Execute(a), "fingerprint b");
+  EXPECT_EQ(service.plan_cache().stats().misses, 1);
+  EXPECT_EQ(service.plan_cache().stats().hits, 1);
+}
+
+TEST_F(QueryServiceTest, ConcurrentSubmittersShareTheCacheCorrectly) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 3;
+  QueryService service(&index, options);
+  Rng seed_rng(96);
+  std::vector<Query> mix;
+  for (int i = 0; i < 8; ++i) mix.push_back(Needle(seed_rng));
+  std::vector<QueryResult> want;
+  for (const Query& q : mix) want.push_back(index.Execute(q));
+  const int kClients = 6;
+  const int kRounds = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int r = 0; r < kRounds; ++r) {
+        size_t pick = rng.NextBelow(mix.size());
+        QueryResult got = service.Run(mix[pick]);
+        if (got.agg != want[pick].agg || got.matched != want[pick].matched ||
+            got.scanned != want[pick].scanned) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  PlanCache::Stats cache = service.plan_cache().stats();
+  EXPECT_EQ(cache.hits + cache.misses, kClients * kRounds);
+  // 8 distinct rectangles, 72 arrivals: the cache must have absorbed the
+  // repeats (racing first-arrivals may double-prepare, hence >=).
+  EXPECT_GT(cache.hits, 0);
+  EXPECT_GE(cache.misses, 8);
+}
+
+TEST_F(QueryServiceTest, PreCancelledQueryReturnsIdentity) {
+  FullScanIndex index(data_);
+  ServiceOptions options;
+  options.threads = 2;
+  QueryService service(&index, options);
+  std::atomic<bool> cancel{true};
+  SubmitOptions sub;
+  sub.cancel = &cancel;
+  bool cancelled = false;
+  QueryResult got = service.Run(Region(), sub, &cancelled);
+  EXPECT_TRUE(cancelled);
+  ExpectBitIdentical(got, InitResult(Region()), "pre-cancelled");
+  EXPECT_EQ(service.stats().cancelled, 1);
+  EXPECT_EQ(service.stats().completed, 0);
+}
+
+// The mid-scan satellite: a single giant range scan must observe a
+// mid-flight cancel between block-aligned slices — before the scan
+// completes — not merely between range tasks.
+TEST_F(QueryServiceTest, CancelLandsMidScanInsideOneGiantRange) {
+  // One huge task, inline context, no chunking help: only the in-kernel
+  // stop probe can stop this early.
+  ColumnStore store(data_);
+  Query q = Region();
+  std::atomic<bool> cancel{false};
+  ExecContext ctx;
+  ctx.cancel = &cancel;
+  // Trip the flag from inside the probe itself after the first slice, by
+  // keying on progress: probe sees the flag unset, sets it, and the next
+  // probe stops the scan. (Deterministic: no timing involved.)
+  struct Trip {
+    const std::atomic<bool>* read;
+    std::atomic<bool>* write;
+    std::atomic<int> calls{0};
+  } trip{&cancel, &cancel};
+  ScanOptions options = ctx.scan;
+  options.stop_probe = [](const void* arg) {
+    Trip* t = const_cast<Trip*>(static_cast<const Trip*>(arg));
+    t->calls.fetch_add(1, std::memory_order_relaxed);
+    if (t->calls.load(std::memory_order_relaxed) > 1) {
+      return t->read->load(std::memory_order_relaxed);
+    }
+    t->write->store(true, std::memory_order_relaxed);
+    return false;
+  };
+  options.stop_arg = &trip;
+  QueryResult partial = InitResult(q);
+  RangeTask whole{0, store.size(), false};
+  store.ScanRanges({&whole, 1}, q, &partial, options);
+  // The scan stopped after roughly one probe slice, far short of the
+  // full store.
+  EXPECT_LT(partial.scanned, store.size());
+  EXPECT_GT(partial.scanned, 0);
+  EXPECT_GE(trip.calls.load(), 2);
+
+  // And end-to-end: a service query with an expired deadline comes back
+  // cancelled with the identity result, never a partial.
+  FullScanIndex index(data_);
+  ServiceOptions service_options;
+  service_options.threads = 2;
+  QueryService service(&index, service_options);
+  SubmitOptions sub;
+  sub.deadline_seconds = 1e-9;
+  bool cancelled = false;
+  QueryResult got = service.Run(q, sub, &cancelled);
+  EXPECT_TRUE(cancelled);
+  ExpectBitIdentical(got, InitResult(q), "deadline");
+}
+
+TEST_F(QueryServiceTest, ProbedUncancelledScanIsBitIdentical) {
+  // The probe slices the scan into sub-ranges; when the probe never fires,
+  // the sliced scan must equal the unsliced one bit for bit, in every mode.
+  ColumnStore store(data_);
+  std::atomic<bool> cancel{false};
+  ExecContext ctx;
+  ctx.cancel = &cancel;  // Cancellable, never cancelled.
+  Rng rng(97);
+  for (int trial = 0; trial < 6; ++trial) {
+    Query q = trial % 2 == 0 ? Region() : Needle(rng);
+    for (ScanMode mode :
+         {ScanMode::kScalar, ScanMode::kVectorized, ScanMode::kSimd}) {
+      for (bool exact : {false, true}) {
+        ctx.scan = ScanOptions{mode};
+        RangeTask whole{0, store.size(), exact};
+        QueryResult probed = InitResult(q);
+        store.ScanRanges({&whole, 1}, q, &probed, ctx.CancellableScan());
+        QueryResult plain = InitResult(q);
+        store.ScanRanges({&whole, 1}, q, &plain, ScanOptions{mode});
+        ExpectBitIdentical(probed, plain,
+                           "mode " + std::to_string(static_cast<int>(mode)) +
+                               " exact " + std::to_string(exact));
+      }
+    }
+  }
+}
+
+TEST_F(QueryServiceTest, EngineAttachedToServiceMatchesUnattached) {
+  FloodIndex index(data_, workload_);
+  TableSchema schema;
+  schema.table_name = "t";
+  schema.columns = {"a", "b", "c"};
+  QueryEngine plain(&index, schema);
+  QueryEngine served(&index, schema);
+  ServiceOptions options;
+  options.threads = 3;
+  QueryService service(&index, options);
+  served.AttachService(&service);
+
+  std::vector<std::string> sqls = {
+      "SELECT COUNT(*) FROM t WHERE a < 5000",
+      "SELECT SUM(c), AVG(c) FROM t WHERE b > 10000",
+      "SELECT COUNT(*) FROM t WHERE a < 1000 OR c > 900",
+      "SELECT MIN(b) FROM t WHERE a > 20000 AND a < 1000",
+      "SELECT SUM(b), COUNT(*), MAX(c) FROM t WHERE a BETWEEN 2000 AND "
+      "38000",
+  };
+  std::vector<PreparedStatement> stmts;
+  for (const std::string& sql : sqls) stmts.push_back(served.Prepare(sql));
+  ExecContext ctx;
+  std::vector<SqlResult> got = served.RunBatch(stmts, ctx);
+  ASSERT_EQ(got.size(), sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    SqlResult want = plain.Run(sqls[i]);
+    ASSERT_EQ(got[i].ok, want.ok) << sqls[i];
+    if (!want.ok) continue;
+    ASSERT_EQ(got[i].values.size(), want.values.size()) << sqls[i];
+    for (size_t a = 0; a < want.values.size(); ++a) {
+      EXPECT_DOUBLE_EQ(got[i].values[a], want.values[a]) << sqls[i];
+    }
+    EXPECT_EQ(got[i].stats.matched, want.stats.matched) << sqls[i];
+  }
+  // Re-preparing the same statements binds through the plan cache.
+  PlanCache::Stats before = service.plan_cache().stats();
+  for (const std::string& sql : sqls) (void)served.Prepare(sql);
+  PlanCache::Stats after = service.plan_cache().stats();
+  EXPECT_GT(after.hits, before.hits);
+}
+
+TEST_F(QueryServiceTest, PriorityQueriesAreServed) {
+  // Smoke: priority rides through admission (ordering itself is covered
+  // deterministically in task_scheduler_test); results stay exact.
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 2;
+  QueryService service(&index, options);
+  Rng rng(98);
+  Workload batch = SkewedBatch(rng, 12);
+  std::vector<QueryService::Ticket> tickets;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SubmitOptions sub;
+    sub.priority = static_cast<int>(i % 2);
+    tickets.push_back(service.Submit(batch[i], sub));
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectBitIdentical(service.Await(tickets[i]), index.Execute(batch[i]),
+                       "priority query " + std::to_string(i));
+  }
+}
+
+TEST_F(QueryServiceTest, AwaitInfoReportsWorkerStampedLatency) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 2;
+  QueryService service(&index, options);
+  Rng rng(99);
+
+  // A completed query reports a positive latency and no cancellation, and
+  // the result matches Execute regardless of which Await overload is used.
+  Query needle = Needle(rng);
+  AwaitInfo info;
+  ExpectBitIdentical(service.Await(service.Submit(needle), &info),
+                     index.Execute(needle), "await-info needle");
+  EXPECT_FALSE(info.cancelled);
+  EXPECT_GT(info.latency_seconds, 0.0);
+  // Stamped at completion on the worker: far below any sane wall bound.
+  EXPECT_LT(info.latency_seconds, 60.0);
+
+  // A pre-cancelled query still reports its (tiny) latency and the flag.
+  std::atomic<bool> cancel{true};
+  SubmitOptions sub;
+  sub.cancel = &cancel;
+  AwaitInfo cancelled_info;
+  QueryResult result =
+      service.Await(service.Submit(Region(), sub), &cancelled_info);
+  EXPECT_TRUE(cancelled_info.cancelled);
+  EXPECT_EQ(result.matched, 0);
+
+  // An unknown ticket is reported as cancelled, not a hang.
+  AwaitInfo unknown_info;
+  service.Await(static_cast<QueryService::Ticket>(1u << 20), &unknown_info);
+  EXPECT_TRUE(unknown_info.cancelled);
+}
+
+TEST_F(QueryServiceTest, CompletedQueryIsNotCancelledByLateAwait) {
+  // Cancellation is recorded by the workers when execution is actually cut
+  // short — never re-derived from the deadline clock at Await time. A query
+  // whose chunks all finished inside the deadline must be returned intact
+  // even when the client picks the result up long after expiry.
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 0;  // Inline: chunks run (and finish) inside Submit.
+  QueryService service(&index, options);
+  Query region = Region();
+  SubmitOptions sub;
+  // Roomy enough for the inline execution (a ~24k-row scan), short enough
+  // to expire before the late Await below.
+  sub.deadline_seconds = 0.25;
+  QueryService::Ticket ticket = service.Submit(region, sub);
+
+  // Same stale-state hazard with a borrowed cancel flag: set after the
+  // query completed, it must not retroactively cancel the answer.
+  std::atomic<bool> late_cancel{false};
+  SubmitOptions flagged;
+  flagged.cancel = &late_cancel;
+  QueryService::Ticket flagged_ticket = service.Submit(region, flagged);
+  late_cancel.store(true);
+
+  // Let the deadline lapse before picking up the (already complete) result.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  bool cancelled = true;
+  ExpectBitIdentical(service.Await(ticket, &cancelled),
+                     index.Execute(region), "late await");
+  EXPECT_FALSE(cancelled);
+  cancelled = true;
+  ExpectBitIdentical(service.Await(flagged_ticket, &cancelled),
+                     index.Execute(region), "late cancel flag");
+  EXPECT_FALSE(cancelled);
+}
+
+}  // namespace
+}  // namespace tsunami

@@ -1,0 +1,186 @@
+// Tests for the work-stealing task scheduler: every chunk runs exactly
+// once (any thread count, concurrent submitters), Wait/Finished semantics,
+// inline determinism, priority jumping the queue, and stealing actually
+// firing on a skewed job mix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/exec/task_scheduler.h"
+
+namespace tsunami {
+namespace {
+
+TEST(TaskSchedulerTest, InlineSchedulerRunsChunksInOrderOnCaller) {
+  TaskScheduler scheduler(0);
+  EXPECT_EQ(scheduler.num_threads(), 0);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<int64_t> order;
+  TaskScheduler::JobRef job = scheduler.Submit(8, [&](int64_t c, int worker) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(worker, 0);
+    order.push_back(c);
+  });
+  // Inline submission completes before returning.
+  EXPECT_TRUE(TaskScheduler::Finished(job));
+  ASSERT_EQ(order.size(), 8u);
+  for (int64_t c = 0; c < 8; ++c) EXPECT_EQ(order[c], c);
+  scheduler.Wait(job);  // Must not hang on a finished job.
+}
+
+TEST(TaskSchedulerTest, EveryChunkRunsExactlyOnce) {
+  TaskScheduler scheduler(4);
+  const int kJobs = 16;
+  const int64_t kChunks = 257;  // Not a multiple of the worker count.
+  std::vector<std::vector<std::atomic<int>>> hits(kJobs);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kChunks);
+  }
+  std::vector<TaskScheduler::JobRef> jobs;
+  for (int j = 0; j < kJobs; ++j) {
+    jobs.push_back(scheduler.Submit(kChunks, [&hits, j](int64_t c, int) {
+      hits[j][c].fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (const auto& job : jobs) scheduler.Wait(job);
+  for (int j = 0; j < kJobs; ++j) {
+    for (int64_t c = 0; c < kChunks; ++c) {
+      EXPECT_EQ(hits[j][c].load(), 1) << "job " << j << " chunk " << c;
+    }
+  }
+  TaskScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.jobs, kJobs);
+  EXPECT_EQ(stats.chunks, kJobs * kChunks);
+  EXPECT_EQ(scheduler.queue_depth(), 0);
+}
+
+TEST(TaskSchedulerTest, ConcurrentSubmittersAllComplete) {
+  TaskScheduler scheduler(3);
+  const int kClients = 6;
+  const int kJobsPerClient = 20;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&] {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        TaskScheduler::JobRef job = scheduler.Submit(
+            5, [&](int64_t, int) {
+              total.fetch_add(1, std::memory_order_relaxed);
+            });
+        scheduler.Wait(job);
+        EXPECT_TRUE(TaskScheduler::Finished(job));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(total.load(), kClients * kJobsPerClient * 5);
+}
+
+TEST(TaskSchedulerTest, EmptyJobIsImmediatelyFinished) {
+  TaskScheduler scheduler(2);
+  TaskScheduler::JobRef job = scheduler.Submit(0, [](int64_t, int) {
+    FAIL() << "no chunks should run";
+  });
+  EXPECT_TRUE(TaskScheduler::Finished(job));
+  scheduler.Wait(job);
+}
+
+// One chunk blocks its worker while the rest of the job's chunks sit in
+// that worker's deque: the other workers must drain their own deques and
+// then steal the blocked worker's queued chunks, so the job finishes long
+// before the blocker releases — and the steal counter moves.
+TEST(TaskSchedulerTest, IdleWorkersStealFromBusyWorkersDeque) {
+  TaskScheduler scheduler(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> fast_done{0};
+  const int64_t kChunks = 64;
+  TaskScheduler::JobRef job =
+      scheduler.Submit(kChunks, [&](int64_t c, int) {
+        if (c == 0) {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return release; });
+          return;
+        }
+        fast_done.fetch_add(1, std::memory_order_relaxed);
+      });
+  // All non-blocking chunks finish while chunk 0 still holds its worker —
+  // half of them lived in the blocked worker's deque and must be stolen.
+  while (fast_done.load(std::memory_order_relaxed) < kChunks - 1) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(TaskScheduler::Finished(job));
+  EXPECT_GE(scheduler.stats().steals, 1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Wait(job);
+  EXPECT_TRUE(TaskScheduler::Finished(job));
+}
+
+// With a single worker pinned by a blocker, later high-priority chunks
+// must run before earlier normal-priority backlog.
+TEST(TaskSchedulerTest, PriorityChunksJumpTheQueue) {
+  TaskScheduler scheduler(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  TaskScheduler::JobRef blocker =
+      scheduler.Submit(1, [&](int64_t, int) {
+        started.store(true, std::memory_order_release);
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+      });
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Worker is pinned: everything below queues in its deque.
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(tag);
+  };
+  TaskScheduler::JobRef low = scheduler.Submit(
+      3, [&](int64_t, int) { record(0); }, /*priority=*/0);
+  TaskScheduler::JobRef high = scheduler.Submit(
+      3, [&](int64_t, int) { record(1); }, /*priority=*/1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Wait(low);
+  scheduler.Wait(high);
+  scheduler.Wait(blocker);
+  ASSERT_EQ(order.size(), 6u);
+  // All high-priority chunks ran before every normal-priority one.
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(order[i], 1) << i;
+  for (size_t i = 3; i < 6; ++i) EXPECT_EQ(order[i], 0) << i;
+}
+
+TEST(TaskSchedulerTest, DestructorDrainsQueuedChunks) {
+  std::atomic<int64_t> ran{0};
+  {
+    TaskScheduler scheduler(2);
+    for (int j = 0; j < 32; ++j) {
+      scheduler.Submit(16, [&](int64_t, int) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No Wait: destruction must drain everything.
+  }
+  EXPECT_EQ(ran.load(), 32 * 16);
+}
+
+}  // namespace
+}  // namespace tsunami
