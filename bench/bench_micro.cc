@@ -363,6 +363,97 @@ void RunScanKernelAB(SimdTier forced_tier,
   }
 }
 
+// --- Encoded column blocks: raw vs FOR-narrowed code scans -----------------
+//
+// A/B for the compressed-execution layer: the same data built into a
+// raw-block store (encode=false) and an encoded store (8/16/32-bit codes,
+// chosen per block), scanned with identical queries per tier x code width
+// x selectivity. The filter and aggregate columns carry block-local ranges
+// sized to the target width and spanning every block (so zone maps neither
+// skip nor cover blocks — the measurement isolates the compare+compress
+// passes, which is where narrow lanes pay). Single-threaded throughput on
+// this 1-core container; hw_threads and first-pass bytes_scanned are
+// stamped with each record.
+void RunEncodingAB(std::vector<std::string>* records) {
+  bench::PrintHeader("encoded blocks (raw vs 8/16/32-bit code scans)");
+  const int64_t kRows = 1 << 21;
+  const int kDims = 3;
+  const int64_t hw_threads = ThreadPool::DefaultThreads();
+  struct WidthCase {
+    const char* name;
+    int bits;
+    Value range;  // Block-local value range -> code width.
+  };
+  const WidthCase kCases[] = {
+      {"u8", 8, 250}, {"u16", 16, 60000}, {"u32", 32, 1 << 20}};
+  std::vector<SimdTier> tiers;
+  for (SimdTier tier :
+       {SimdTier::kAvx512, SimdTier::kAvx2, SimdTier::kNeon}) {
+    if (SimdTierSupported(tier)) tiers.push_back(tier);
+  }
+  tiers.push_back(SimdTier::kNone);
+  std::printf("%-6s %-8s %-6s %14s %14s %10s\n", "width", "tier", "sel",
+              "raw ns/row", "coded ns/row", "speedup");
+  for (const WidthCase& wc : kCases) {
+    Rng rng(501);
+    Dataset data(kDims, {});
+    data.Reserve(kRows);
+    std::vector<Value> row(kDims);
+    for (int64_t i = 0; i < kRows; ++i) {
+      // Every block spans [base, base + range] on every dimension: the
+      // codec narrows to exactly wc.bits, and any interior filter is
+      // checked per row in every block.
+      for (int d = 0; d < kDims; ++d) {
+        row[d] = 1000 + rng.UniformValue(0, wc.range);
+      }
+      data.AppendRow(row);
+    }
+    ColumnStore raw(data, /*encode=*/false);
+    ColumnStore coded(data, /*encode=*/true);
+    int64_t widths[4] = {0, 0, 0, 0};
+    coded.encoded(0).WidthHistogram(widths);
+    const int64_t narrow_blocks =
+        widths[0] + widths[1] + widths[2];  // Sanity: all but maybe none.
+    for (SimdTier tier : tiers) {
+      const char* tier_name = SimdTierName(tier);
+      for (double sel : {0.01, 0.1, 0.5}) {
+        Query q;
+        Value width = std::max<Value>(1, static_cast<Value>(sel * wc.range));
+        q.filters.push_back(
+            Predicate{0, 1000 + wc.range / 4, 1000 + wc.range / 4 + width});
+        q.agg = AggKind::kSum;
+        q.agg_dim = 1;
+        RangeTask task{0, raw.size(), false};
+        double t_raw =
+            TimeScan(raw, {&task, 1}, q, ScanMode::kSimd, 5, tier);
+        double t_coded =
+            TimeScan(coded, {&task, 1}, q, ScanMode::kSimd, 5, tier);
+        double speedup = t_coded > 0 ? t_raw / t_coded : 0.0;
+        std::printf("%-6s %-8s %-6g %14.3f %14.3f %9.2fx\n", wc.name,
+                    tier_name, sel, t_raw * 1e9 / kRows,
+                    t_coded * 1e9 / kRows, speedup);
+        records->push_back(
+            bench::EnvRecord("encoded_scan", tier_name, /*threads=*/1,
+                             /*batch_size=*/1)
+                .Int("hw_threads", hw_threads)
+                .Int("code_width_bits", wc.bits)
+                .Num("selectivity", sel)
+                .Int("rows_per_scan", kRows)
+                // First-pass bytes for the filter column: what the
+                // compare+compress pass actually streams.
+                .Int("bytes_scanned_raw",
+                     kRows * static_cast<int64_t>(sizeof(Value)))
+                .Int("bytes_scanned_encoded", kRows * (wc.bits / 8))
+                .Int("narrow_blocks", narrow_blocks)
+                .Num("raw_ns_per_row", t_raw * 1e9 / kRows)
+                .Num("encoded_ns_per_row", t_coded * 1e9 / kRows)
+                .Num("speedup", speedup)
+                .Finish());
+      }
+    }
+  }
+}
+
 // --- Batch API throughput: prepared plans vs per-query dispatch ------------
 //
 // Fig7-style serving shape: Tsunami over the shared 8-d benchmark, the
@@ -752,15 +843,39 @@ bool ParseServiceFlag(int* argc, char** argv) {
   return service_only;
 }
 
+/// Parses and strips a `--encoding` argument (run only the encoded-block
+/// raw-vs-coded sweep and write it to BENCH_scan_kernel.json).
+bool ParseEncodingFlag(int* argc, char** argv) {
+  bool encoding_only = false;
+  StripArgs(argc, argv, [&encoding_only](std::string_view arg) {
+    if (arg != "--encoding") return false;
+    encoding_only = true;
+    return true;
+  });
+  return encoding_only;
+}
+
 }  // namespace
 }  // namespace tsunami
 
 int main(int argc, char** argv) {
   bool service_only = tsunami::ParseServiceFlag(&argc, argv);
+  bool encoding_only = tsunami::ParseEncodingFlag(&argc, argv);
   tsunami::SimdTier tier = tsunami::ParseSimdFlag(&argc, argv);
   std::vector<std::string> records;
+  if (encoding_only) {
+    // Encoding-only run: the raw-vs-coded sweep is part of the scan-kernel
+    // bench family, so its records land in BENCH_scan_kernel.json.
+    tsunami::RunEncodingAB(&records);
+    if (tsunami::bench::WriteBenchJson("BENCH_scan_kernel.json",
+                                       "scan_kernel", records)) {
+      std::printf("wrote BENCH_scan_kernel.json\n");
+    }
+    return 0;
+  }
   if (!service_only) {
     tsunami::RunScanKernelAB(tier, &records);
+    tsunami::RunEncodingAB(&records);
     tsunami::RunBatchApiThroughput(&records);
   }
   // The serving-path records land in the full run's JSON; a --service run

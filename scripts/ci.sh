@@ -2,15 +2,18 @@
 # CI entry point: configure, build, and run the tier-1 test suite, with
 # -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
 #
-# Four passes:
-#  1. the default build (SIMD tiers compiled in, runtime-dispatched);
+# Five passes:
+#  1. the default build (SIMD tiers compiled in, runtime-dispatched; column
+#     blocks FOR + bit-width encoded);
 #  2. a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
 #     kernel, so the fallback path can never silently rot;
-#  3. the examples (including the batch-API and query-service demos, which
+#  3. a -DTSUNAMI_DISABLE_ENCODING=ON build that pins every column block to
+#     raw 64-bit storage, so the unencoded scan path stays exercised;
+#  4. the examples (including the batch-API and query-service demos, which
 #     self-check against per-query execution) plus a ctest run under
 #     TSUNAMI_FORCE_SCALAR, exercising the runtime-degraded dispatch path
 #     in the full-SIMD binary;
-#  4. a ThreadSanitizer build gating the concurrency suites (work-stealing
+#  5. a ThreadSanitizer build gating the concurrency suites (work-stealing
 #     scheduler, query service, thread pool/runner) — the serving path is
 #     lock-and-deque code and must stay race-clean, not just correct.
 set -euo pipefail
@@ -24,7 +27,13 @@ cmake -B build-nosimd -S . -DTSUNAMI_WERROR=ON -DTSUNAMI_DISABLE_SIMD=ON
 cmake --build build-nosimd -j"$(nproc)"
 ctest --test-dir build-nosimd --output-on-failure -j"$(nproc)"
 
-# Third pass: examples build + degraded-dispatch run.
+# Third pass: raw-block (no narrowing) build — scans, serialization, and
+# size reporting must hold without the codec layer.
+cmake -B build-noenc -S . -DTSUNAMI_WERROR=ON -DTSUNAMI_DISABLE_ENCODING=ON
+cmake --build build-noenc -j"$(nproc)"
+ctest --test-dir build-noenc --output-on-failure -j"$(nproc)"
+
+# Fourth pass: examples build + degraded-dispatch run.
 cmake --build build -j"$(nproc)" --target \
   batch_api query_service quickstart sql_shell access_paths index_explorer
 ./build/batch_api
@@ -32,7 +41,7 @@ cmake --build build -j"$(nproc)" --target \
 TSUNAMI_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
   -j"$(nproc)"
 
-# Fourth pass: ThreadSanitizer on the scheduler/service suites.
+# Fifth pass: ThreadSanitizer on the scheduler/service suites.
 cmake -B build-tsan -S . -DTSUNAMI_WERROR=ON -DTSUNAMI_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j"$(nproc)" --target \

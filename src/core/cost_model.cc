@@ -18,28 +18,31 @@ CostWeights CalibrateCostWeights(const ExecContext& ctx) {
 CostWeights CalibrateCostWeights(const ScanOptions& options) {
   CostWeights weights;
   Rng rng(123);
-  // w1: per-(point, filtered-dimension) cost of the *actual* scan loop,
-  // measured by running ColumnStore::ScanRange over short non-exact ranges
-  // at scattered offsets (the access pattern real queries produce).
-  {
+  // Scan-cost probe shared by w1 and the per-width terms: builds a
+  // 3-column store over Uniform(0, domain) values — so every block encodes
+  // at the code width `domain` implies — and times the *actual* batched
+  // kernel over short non-exact ranges at scattered offsets (the access
+  // pattern real queries produce), under the caller's scan options, so a
+  // forced SIMD tier calibrates the costs that tier actually pays at
+  // execution time. Returns ns per (point, filtered dimension).
+  auto scan_cost = [&](Value domain, bool encode) -> double {
     const int64_t n = 1 << 20;
     const int kCols = 3;
     Dataset data(kCols, {});
     data.Reserve(n);
     std::vector<Value> row(kCols);
     for (int64_t i = 0; i < n; ++i) {
-      for (int c = 0; c < kCols; ++c) row[c] = rng.UniformValue(0, 1 << 20);
+      for (int c = 0; c < kCols; ++c) row[c] = rng.UniformValue(0, domain);
       data.AppendRow(row);
     }
-    ColumnStore store(data);
+    ColumnStore store(data, encode);
     Query query;
     for (int c = 0; c < kCols; ++c) {
-      query.filters.push_back(Predicate{c, 1000, 700000});
+      // ~2/3 selective per dimension, like the original {1000, 700000}
+      // filters over the 2^20 domain.
+      query.filters.push_back(
+          Predicate{c, domain / 1000, domain - domain / 3});
     }
-    // Plan the scattered chunks up front and submit one ScanBatch, so the
-    // calibration times the same batched kernel path — under the caller's
-    // scan options, so a forced SIMD tier calibrates the costs that tier
-    // actually pays at execution time.
     const int64_t chunk = 2048;
     std::vector<RangeTask> tasks;
     for (int64_t begin = 0; begin + chunk <= n; begin += 7 * chunk) {
@@ -52,7 +55,22 @@ CostWeights CalibrateCostWeights(const ScanOptions& options) {
                                          (static_cast<double>(result.scanned) *
                                           kCols)
                                    : 1.5;
-    weights.w1 = std::max(ns, 0.2);
+    return std::max(ns, 0.2);
+  };
+  // w1: the representative blended term, measured under the deployment's
+  // default encoding (so the optimizer trades lookups vs scans at the
+  // costs queries actually pay).
+  const bool encoding = EncodingEnabledByDefault();
+  weights.w1 = scan_cost(1 << 20, encoding);
+  // Per-width terms: domains sized so every block narrows to 8/16/32-bit
+  // codes. When narrowing is disabled (build define or environment), they
+  // stay 0 — ScanCostForSpan falls back to the raw-measured w1, which is
+  // what execution pays. The 2^20 domain already narrows to u32, so the
+  // w1 probe doubles as the u32 term.
+  if (encoding) {
+    weights.w1_u8 = scan_cost(250, /*encode=*/true);
+    weights.w1_u16 = scan_cost(50000, /*encode=*/true);
+    weights.w1_u32 = weights.w1;
   }
   // w0: per-cell-range overhead — a lookup-table access, the cache miss of
   // jumping to a random physical position, and binary-search refinement.
@@ -161,6 +179,30 @@ GridCostEvaluator::GridCostEvaluator(const Dataset& data,
       if (cnt[d] > 0) avg_sel_[d] = sum[d] / cnt[d];
     }
   }
+  // Per-dim span estimates for block code widths (see CostWeights): a
+  // kScanBlockRows-row window of the full data maps to a window of
+  // ~n_ * 1024 / total_rows sorted sample values; average a few evenly
+  // spaced windows. Full span is the domain a cell-partitioned dimension
+  // divides.
+  local_span_.assign(dims_, 0.0);
+  full_span_.assign(dims_, 0.0);
+  if (n_ > 0) {
+    const int64_t window = std::clamp<int64_t>(
+        total_rows_ > 0 ? n_ * kScanBlockRows / total_rows_ : n_, 1, n_);
+    for (int d = 0; d < dims_; ++d) {
+      full_span_[d] = static_cast<double>(sorted_[d].back()) -
+                      static_cast<double>(sorted_[d].front());
+      double sum = 0.0;
+      const int kWindows = 16;
+      for (int s = 0; s < kWindows; ++s) {
+        const int64_t j = (n_ - window) * s / kWindows;
+        sum += static_cast<double>(sorted_[d][j + window - 1]) -
+               static_cast<double>(sorted_[d][j]);
+      }
+      local_span_[d] = sum / kWindows;
+    }
+  }
+
   sel_order_.resize(dims_);
   std::iota(sel_order_.begin(), sel_order_.end(), 0);
   std::stable_sort(sel_order_.begin(), sel_order_.end(), [&](int a, int b) {
@@ -444,9 +486,31 @@ double GridCostEvaluator::PredictQueryNanos(const Skeleton& skeleton,
     scanned += in && !interior;
   }
 
-  double filtered_dims = static_cast<double>(query.filters.size());
+  // Scan cost per point: one term per filter, at the cost of the filtered
+  // dimension's estimated block code width under this layout — the sort
+  // dimension's blocks span a 1024-row window of its sorted order, other
+  // grid dimensions span about one cell, mapped/conditional dimensions
+  // stay conservative at the full domain. Uncalibrated weights collapse
+  // every term to w1, reproducing the original
+  // w1 * scanned * #filtered-dims formula exactly.
+  double scan_ns = 0.0;
+  for (const Predicate& p : query.filters) {
+    const int d = p.dim;
+    double span = -1.0;  // Unknown: ScanCostForSpan falls back to w1.
+    if (d >= 0 && d < dims_ && n_ > 0) {
+      if (d == sort_dim) {
+        span = local_span_[d];
+      } else if (skeleton.dims[d].strategy ==
+                 PartitionStrategy::kIndependent) {
+        span = full_span_[d] / std::max(partitions[d], 1);
+      } else {
+        span = full_span_[d];
+      }
+    }
+    scan_ns += weights.ScanCostForSpan(span);
+  }
   return weights.w0 * ranges +
-         weights.w1 * static_cast<double>(scanned) * scale_ * filtered_dims;
+         static_cast<double>(scanned) * scale_ * scan_ns;
 }
 
 }  // namespace tsunami

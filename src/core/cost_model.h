@@ -23,9 +23,32 @@ class ExecContext;
 /// Cost-model weights, in nanoseconds. w0 is the cost of one lookup-table
 /// access plus the cache miss of jumping to a new physical range; w1 the
 /// cost of scanning one dimension of one point.
+///
+/// The per-width terms refine w1 for encoded blocks: scanning a dimension
+/// whose blocks narrowed to 8/16/32-bit codes costs proportionally less
+/// bandwidth and packs more lanes per vector. 0 means uncalibrated — every
+/// consumer falls back to w1, which keeps default-constructed weights
+/// exactly at the pre-encoding model. CalibrateCostWeights measures all
+/// four terms; the evaluator picks one per filtered dimension from an
+/// estimate of that dimension's block value span under the candidate
+/// layout (the sort dimension's blocks are narrow, other dimensions span
+/// roughly one cell).
 struct CostWeights {
   double w0 = 400.0;
   double w1 = 1.5;
+  double w1_u8 = 0.0;
+  double w1_u16 = 0.0;
+  double w1_u32 = 0.0;
+
+  /// The scan term for a dimension whose typical block spans `span` values
+  /// (w1 when uncalibrated, narrowing disabled, or the span needs raw
+  /// 64-bit blocks).
+  double ScanCostForSpan(double span) const {
+    if (span < 0.0 || span > 4294967295.0) return w1;
+    if (span <= 255.0) return w1_u8 > 0.0 ? w1_u8 : w1;
+    if (span <= 65535.0) return w1_u16 > 0.0 ? w1_u16 : w1;
+    return w1_u32 > 0.0 ? w1_u32 : w1;
+  }
 };
 
 /// Micro-measures w0/w1 on this machine (used by benches for Fig. 12b's
@@ -92,6 +115,11 @@ class GridCostEvaluator {
   double scale_ = 1.0;  // total_rows_ / n_.
   std::vector<std::vector<Value>> vals_;    // [dim][point].
   std::vector<std::vector<Value>> sorted_;  // [dim], ascending.
+  // Per-dim value spans used to estimate block code widths: the typical
+  // span of a kScanBlockRows-row window of the dimension's sorted order
+  // (what blocks of the sort dimension see) and the full domain span.
+  std::vector<double> local_span_;
+  std::vector<double> full_span_;
   std::vector<std::vector<int32_t>> rank_;  // [dim][point], 0..n-1 distinct.
   std::vector<std::vector<int32_t>> order_;  // [dim], points by ascending value.
   Workload queries_;

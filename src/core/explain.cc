@@ -97,6 +97,32 @@ std::string TsunamiIndex::Describe(
                   stats_.num_query_types,
                   static_cast<long long>(stats_.total_cells),
                   static_cast<long long>(IndexSizeBytes()));
+  // Storage footprint: per-column encoded bytes vs the logical raw
+  // (8 B/value) footprint, with the block codec-width mix.
+  if (store_.size() > 0) {
+    const int64_t raw_col_bytes =
+        store_.size() * static_cast<int64_t>(sizeof(Value));
+    AppendFormatted(
+        &out, "storage: %lld B encoded of %lld B raw (%.2fx)\n",
+        static_cast<long long>(store_.DataSizeBytes()),
+        static_cast<long long>(raw_col_bytes * store_.dims()),
+        static_cast<double>(raw_col_bytes * store_.dims()) /
+            static_cast<double>(store_.DataSizeBytes()));
+    for (int d = 0; d < store_.dims(); ++d) {
+      const int64_t bytes = store_.encoded(d).SizeBytes();
+      int64_t widths[4] = {0, 0, 0, 0};
+      store_.encoded(d).WidthHistogram(widths);
+      AppendFormatted(
+          &out,
+          "  column %s: %lld B (%.2fx; blocks w8:%lld w16:%lld w32:%lld "
+          "raw:%lld)\n",
+          DimName(dim_names, d).c_str(), static_cast<long long>(bytes),
+          static_cast<double>(raw_col_bytes) / static_cast<double>(bytes),
+          static_cast<long long>(widths[0]), static_cast<long long>(widths[1]),
+          static_cast<long long>(widths[2]),
+          static_cast<long long>(widths[3]));
+    }
+  }
   if (use_grid_tree_) out += tree_.Describe(dim_names);
   for (size_t r = 0; r < regions_.size(); ++r) {
     const Region& region = regions_[r];
@@ -127,9 +153,9 @@ std::string TsunamiIndex::Describe(
                     static_cast<long long>(region.grid.num_cells()),
                     static_cast<long long>(region.grid.num_outliers()));
   }
-  if (delta_.size() > 0) {
+  if (delta_rows_ > 0) {
     AppendFormatted(&out, "delta buffer: %lld unmerged rows\n",
-                    static_cast<long long>(delta_.size()));
+                    static_cast<long long>(delta_rows_));
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include "src/common/stats.h"
 #include "src/common/workload_stats.h"
 #include "src/exec/thread_pool.h"
+#include "src/storage/scan_kernel_simd.h"
 
 namespace tsunami {
 
@@ -14,7 +15,7 @@ TsunamiIndex::TsunamiIndex(const Dataset& data, const Workload& workload,
                            const TsunamiOptions& options)
     : name_(options.name),
       use_grid_tree_(options.use_grid_tree),
-      delta_(data.dims(), {}) {
+      delta_cols_(data.dims()) {
   BuildIndex(data, workload, options, /*previous=*/nullptr);
 }
 
@@ -23,7 +24,7 @@ TsunamiIndex::TsunamiIndex(const TsunamiIndex& previous,
                            const TsunamiOptions& options)
     : name_(options.name),
       use_grid_tree_(options.use_grid_tree),
-      delta_(previous.store_.dims(), {}) {
+      delta_cols_(previous.store_.dims()) {
   Dataset data = previous.MaterializeData();
   BuildIndex(data, new_workload, options, &previous);
 }
@@ -207,19 +208,24 @@ void TsunamiIndex::BuildIndex(const Dataset& data, const Workload& workload,
 }
 
 void TsunamiIndex::Insert(const std::vector<Value>& row) {
-  delta_.AppendRow(row);
+  for (size_t d = 0; d < delta_cols_.size(); ++d) {
+    delta_cols_[d].push_back(row[d]);
+  }
+  ++delta_rows_;
 }
 
 Dataset TsunamiIndex::MaterializeData() const {
   Dataset data(store_.dims(), {});
-  data.Reserve(store_.size() + delta_.size());
+  data.Reserve(store_.size() + delta_rows_);
   std::vector<Value> row(store_.dims());
   for (int64_t r = 0; r < store_.size(); ++r) {
     for (int d = 0; d < store_.dims(); ++d) row[d] = store_.Get(r, d);
     data.AppendRow(row);
   }
-  data.raw().insert(data.raw().end(), delta_.raw().begin(),
-                    delta_.raw().end());
+  for (int64_t r = 0; r < delta_rows_; ++r) {
+    for (int d = 0; d < store_.dims(); ++d) row[d] = delta_cols_[d][r];
+    data.AppendRow(row);
+  }
   return data;
 }
 
@@ -256,26 +262,64 @@ void TsunamiIndex::ExecuteRegion(int region, const Query& query,
 
 void TsunamiIndex::ExecuteDelta(const Query& query,
                                 QueryResult* result) const {
-  // Inserted-but-unmerged rows: linear scan of the delta buffer.
-  if (delta_.size() == 0) return;
+  // Inserted-but-unmerged rows: columnar scan of the delta buffer through
+  // the same SimdOps compare+compress passes as the clustered store —
+  // kScanBlockRows-sized chunks build a selection vector, then the
+  // aggregate tails gather the survivors. Sums are associative modulo 2^64
+  // and min/max are associative, so the result is bit-identical to the old
+  // row-at-a-time loop.
+  if (delta_rows_ == 0) return;
   ++result->cell_ranges;
-  result->scanned += delta_.size();
-  for (int64_t r = 0; r < delta_.size(); ++r) {
-    bool ok = true;
-    for (const Predicate& p : query.filters) {
-      if (!p.Matches(delta_.at(r, p.dim))) {
-        ok = false;
-        break;
+  result->scanned += delta_rows_;
+  const SimdOps& ops = OpsForTier(SimdTier::kAuto);
+  const std::vector<Predicate>& filters = query.filters;
+  const int num_aggs = query.num_aggs();
+  uint32_t sel[kScanBlockRows];
+  for (int64_t begin = 0; begin < delta_rows_; begin += kScanBlockRows) {
+    const int count =
+        static_cast<int>(std::min(kScanBlockRows, delta_rows_ - begin));
+    int n;
+    if (filters.empty()) {
+      for (int i = 0; i < count; ++i) sel[i] = static_cast<uint32_t>(i);
+      n = count;
+    } else {
+      const Predicate& first = filters[0];
+      n = ops.first_pass(delta_cols_[first.dim].data() + begin, count,
+                         first.lo, first.hi, sel);
+      for (size_t f = 1; f < filters.size() && n > 0; ++f) {
+        const Predicate& p = filters[f];
+        n = ops.refine_pass(delta_cols_[p.dim].data() + begin, sel, n, p.lo,
+                            p.hi);
       }
     }
-    if (!ok) continue;
-    ++result->matched;
-    for (int a = 0; a < query.num_aggs(); ++a) {
+    if (n == 0) continue;
+    result->matched += n;
+    for (int a = 0; a < num_aggs; ++a) {
       const AggregateSpec spec = query.agg_spec(a);
-      AccumulateAgg(
-          spec.op,
-          spec.op == AggKind::kCount ? 0 : delta_.at(r, spec.column),
-          result->agg_accumulator(a));
+      int64_t* acc = result->agg_accumulator(a);
+      if (spec.op == AggKind::kCount) {
+        *acc += n;
+        continue;
+      }
+      const Value* col = delta_cols_[spec.column].data() + begin;
+      switch (spec.op) {
+        case AggKind::kCount:
+          break;
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          *acc += ops.sum_gather(col, sel, n);
+          break;
+        case AggKind::kMin: {
+          Value m = ops.min_gather(col, sel, n);
+          if (m < *acc) *acc = m;
+          break;
+        }
+        case AggKind::kMax: {
+          Value m = ops.max_gather(col, sel, n);
+          if (m > *acc) *acc = m;
+          break;
+        }
+      }
     }
   }
 }
@@ -332,36 +376,15 @@ int64_t TsunamiIndex::IndexSizeBytes() const {
 }
 
 
-namespace {
-
-void SerializeDataset(const Dataset& data, BinaryWriter* writer) {
-  writer->PutVarI64(data.dims());
-  writer->PutValueVec(data.raw());
-}
-
-bool DeserializeDataset(BinaryReader* reader, Dataset* out) {
-  int dims = static_cast<int>(reader->GetVarI64());
-  std::vector<Value> raw;
-  if (!reader->ok() || dims < 0 || !reader->GetValueVec(&raw)) {
-    reader->MarkCorrupt();
-    return false;
-  }
-  if (dims == 0 ? !raw.empty() : raw.size() % dims != 0) {
-    reader->MarkCorrupt();
-    return false;
-  }
-  *out = Dataset(dims, std::move(raw));
-  return true;
-}
-
-}  // namespace
-
 bool TsunamiIndex::SaveToFile(const std::string& path,
                               std::string* error) const {
   BinaryWriter writer;
   writer.PutString(name_);
   writer.PutBool(use_grid_tree_);
-  SerializeDataset(delta_, &writer);
+  // Delta buffer, columnar (mirrors the in-memory layout).
+  writer.PutVarI64(static_cast<int64_t>(delta_cols_.size()));
+  writer.PutVarI64(delta_rows_);
+  for (const std::vector<Value>& col : delta_cols_) writer.PutValueVec(col);
   tree_.Serialize(&writer);
   store_.Serialize(&writer);
 
@@ -414,8 +437,21 @@ std::unique_ptr<TsunamiIndex> TsunamiIndex::LoadFromFile(
   std::unique_ptr<TsunamiIndex> index(new TsunamiIndex());
   index->name_ = reader.GetString();
   index->use_grid_tree_ = reader.GetBool();
-  if (!DeserializeDataset(&reader, &index->delta_)) {
-    return fail("corrupt snapshot: delta buffer");
+  {
+    const int64_t delta_dims = reader.GetVarI64();
+    const int64_t delta_rows = reader.GetVarI64();
+    if (!reader.ok() || delta_dims < 0 || delta_dims > 4096 ||
+        delta_rows < 0) {
+      return fail("corrupt snapshot: delta buffer");
+    }
+    index->delta_cols_.assign(delta_dims, {});
+    for (int64_t d = 0; d < delta_dims; ++d) {
+      if (!reader.GetValueVec(&index->delta_cols_[d]) ||
+          static_cast<int64_t>(index->delta_cols_[d].size()) != delta_rows) {
+        return fail("corrupt snapshot: delta buffer");
+      }
+    }
+    index->delta_rows_ = delta_rows;
   }
   if (!index->tree_.Deserialize(&reader)) {
     return fail("corrupt snapshot: grid tree");

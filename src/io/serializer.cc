@@ -9,7 +9,10 @@ namespace tsunami {
 namespace {
 
 constexpr uint32_t kMagic = 0x544E534D;  // "TSNM" read little-endian.
-constexpr uint32_t kFormatVersion = 1;
+// Version 2: ColumnStore payloads hold per-block codecs + code arrays
+// (encoded_column.h) instead of delta-varint raw columns, and the Tsunami
+// delta buffer is columnar. Version-1 files are rejected cleanly.
+constexpr uint32_t kFormatVersion = 2;
 
 std::array<uint32_t, 256> BuildCrcTable() {
   std::array<uint32_t, 256> table{};

@@ -77,7 +77,9 @@ SortedSecondaryIndex::SortedSecondaryIndex(const Dataset& data, int host_dim,
   int64_t n = store_.size();
   rows_.resize(n);
   std::iota(rows_.begin(), rows_.end(), 0u);
-  const std::vector<Value>& key_col = store_.column(key_dim_);
+  // Build-time materialization: the key sort needs random access to the
+  // whole column, which the encoded store serves as a decoded copy.
+  const std::vector<Value> key_col = store_.DecodeColumn(key_dim_);
   std::stable_sort(rows_.begin(), rows_.end(), [&](uint32_t a, uint32_t b) {
     return key_col[a] < key_col[b];
   });
@@ -120,8 +122,8 @@ CorrelationSecondaryIndex::CorrelationSecondaryIndex(const Dataset& data,
   store_ = ColumnStore(data, SortPermByDim(data, host_dim));
   int64_t n = store_.size();
   if (n == 0) return;
-  const std::vector<Value>& key_col = store_.column(key_dim_);
-  const std::vector<Value>& host_col = store_.column(host_dim_);
+  const std::vector<Value> key_col = store_.DecodeColumn(key_dim_);
+  const std::vector<Value> host_col = store_.DecodeColumn(host_dim_);
 
   // Equi-depth segmentation of the key domain.
   std::vector<uint32_t> by_key(n);

@@ -1,29 +1,50 @@
 #include "src/storage/column_store.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace tsunami {
 
-ColumnStore::ColumnStore(const Dataset& data) : num_rows_(data.size()) {
-  columns_.resize(data.dims());
-  for (int d = 0; d < data.dims(); ++d) {
-    columns_[d].resize(num_rows_);
-    for (int64_t r = 0; r < num_rows_; ++r) columns_[d][r] = data.at(r, d);
+namespace {
+
+/// Builds the encoded columns (and, first, the zone maps) from fully
+/// materialized raw columns. Raw vectors are released as each column is
+/// encoded, so peak memory is the full raw footprint plus one encoded
+/// column (the zone-map build needs every raw column at once); the raw
+/// copies are all gone by the time the constructor returns.
+void EncodeColumns(std::vector<std::vector<Value>>* raw, bool encode,
+                   std::vector<EncodedColumn>* columns, ZoneMaps* zones) {
+  zones->Build(*raw);
+  columns->assign(raw->size(), {});
+  for (size_t d = 0; d < raw->size(); ++d) {
+    (*columns)[d].Encode((*raw)[d], encode);
+    std::vector<Value>().swap((*raw)[d]);
   }
-  zones_.Build(columns_);
+}
+
+}  // namespace
+
+ColumnStore::ColumnStore(const Dataset& data, bool encode)
+    : num_rows_(data.size()) {
+  std::vector<std::vector<Value>> raw(data.dims());
+  for (int d = 0; d < data.dims(); ++d) {
+    raw[d].resize(num_rows_);
+    for (int64_t r = 0; r < num_rows_; ++r) raw[d][r] = data.at(r, d);
+  }
+  EncodeColumns(&raw, encode, &columns_, &zones_);
 }
 
 ColumnStore::ColumnStore(const Dataset& data,
-                         const std::vector<uint32_t>& perm)
+                         const std::vector<uint32_t>& perm, bool encode)
     : num_rows_(data.size()) {
-  columns_.resize(data.dims());
+  std::vector<std::vector<Value>> raw(data.dims());
   for (int d = 0; d < data.dims(); ++d) {
-    columns_[d].resize(num_rows_);
+    raw[d].resize(num_rows_);
     for (int64_t r = 0; r < num_rows_; ++r) {
-      columns_[d][r] = data.at(perm[r], d);
+      raw[d][r] = data.at(perm[r], d);
     }
   }
-  zones_.Build(columns_);
+  EncodeColumns(&raw, encode, &columns_, &zones_);
 }
 
 void ColumnStore::ScanRange(int64_t begin, int64_t end, const Query& query,
@@ -40,16 +61,36 @@ void ColumnStore::ScanRanges(std::span<const RangeTask> tasks,
 
 int64_t ColumnStore::LowerBound(int dim, int64_t begin, int64_t end,
                                 Value v) const {
-  const std::vector<Value>& col = columns_[dim];
-  return std::lower_bound(col.begin() + begin, col.begin() + end, v) -
-         col.begin();
+  const EncodedColumn& col = columns_[dim];
+  while (begin < end) {
+    const int64_t mid = begin + (end - begin) / 2;
+    if (col.Get(mid) < v) {
+      begin = mid + 1;
+    } else {
+      end = mid;
+    }
+  }
+  return begin;
 }
 
 int64_t ColumnStore::UpperBound(int dim, int64_t begin, int64_t end,
                                 Value v) const {
-  const std::vector<Value>& col = columns_[dim];
-  return std::upper_bound(col.begin() + begin, col.begin() + end, v) -
-         col.begin();
+  const EncodedColumn& col = columns_[dim];
+  while (begin < end) {
+    const int64_t mid = begin + (end - begin) / 2;
+    if (col.Get(mid) <= v) {
+      begin = mid + 1;
+    } else {
+      end = mid;
+    }
+  }
+  return begin;
+}
+
+int64_t ColumnStore::DataSizeBytes() const {
+  int64_t bytes = 0;
+  for (const EncodedColumn& col : columns_) bytes += col.SizeBytes();
+  return bytes;
 }
 
 QueryResult ExecuteFullScan(const ColumnStore& store, const Query& query) {
@@ -59,20 +100,10 @@ QueryResult ExecuteFullScan(const ColumnStore& store, const Query& query) {
   return result;
 }
 
-
 void ColumnStore::Serialize(BinaryWriter* writer) const {
   writer->PutVarI64(num_rows_);
   writer->PutVarU64(columns_.size());
-  for (const std::vector<Value>& column : columns_) {
-    // Delta-encode: clustered columns are locally smooth, so deltas stay
-    // in the one- or two-byte varint range.
-    writer->PutVarU64(column.size());
-    Value prev = 0;
-    for (Value v : column) {
-      writer->PutVarI64(v - prev);
-      prev = v;
-    }
-  }
+  for (const EncodedColumn& column : columns_) column.Serialize(writer);
 }
 
 bool ColumnStore::Deserialize(BinaryReader* reader) {
@@ -84,17 +115,10 @@ bool ColumnStore::Deserialize(BinaryReader* reader) {
   }
   columns_.assign(dims, {});
   for (uint64_t d = 0; d < dims; ++d) {
-    uint64_t n = reader->GetVarU64();
-    if (!reader->ok() || n != static_cast<uint64_t>(num_rows_) ||
-        n > reader->remaining()) {
+    if (!columns_[d].Deserialize(reader) ||
+        columns_[d].rows() != num_rows_) {
       reader->MarkCorrupt();
       return false;
-    }
-    columns_[d].resize(n);
-    Value prev = 0;
-    for (uint64_t r = 0; r < n; ++r) {
-      prev += reader->GetVarI64();
-      columns_[d][r] = prev;
     }
   }
   // Zone maps are derived state: cheaper to rebuild than to persist.

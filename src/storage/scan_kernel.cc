@@ -6,6 +6,173 @@
 
 namespace tsunami {
 
+namespace {
+
+// ---- Aggregation over one block's codes -----------------------------------
+//
+// The compare+compress passes run on codes; only the surviving rows are
+// materialized, and for narrow blocks materialization is a single
+// frame-of-reference add folded into the accumulator algebraically:
+// sum(ref + c_j) = n * ref + sum(c_j) (exact modulo 2^64, the same ring the
+// scalar kernel accumulates in), min(ref + c_j) = ref + min(c_j) (exact —
+// it reconstructs an original value), likewise max. Raw fallback blocks
+// gather values directly through the tier's SIMD ops.
+
+template <typename T>
+int64_t SumCodesGather(const T* codes, Value ref, const uint32_t* sel,
+                       int n) {
+  uint64_t s = 0;
+  for (int j = 0; j < n; ++j) s += codes[sel[j]];
+  return static_cast<int64_t>(
+      s + static_cast<uint64_t>(ref) * static_cast<uint64_t>(n));
+}
+
+template <typename T>
+Value MinCodesGather(const T* codes, Value ref, const uint32_t* sel, int n) {
+  T m = codes[sel[0]];
+  for (int j = 1; j < n; ++j) m = codes[sel[j]] < m ? codes[sel[j]] : m;
+  return static_cast<Value>(static_cast<uint64_t>(ref) + m);
+}
+
+template <typename T>
+Value MaxCodesGather(const T* codes, Value ref, const uint32_t* sel, int n) {
+  T m = codes[sel[0]];
+  for (int j = 1; j < n; ++j) m = codes[sel[j]] > m ? codes[sel[j]] : m;
+  return static_cast<Value>(static_cast<uint64_t>(ref) + m);
+}
+
+template <typename T>
+int64_t SumCodesRange(const T* codes, Value ref, int64_t n) {
+  uint64_t s = 0;
+  for (int64_t i = 0; i < n; ++i) s += codes[i];
+  return static_cast<int64_t>(s + static_cast<uint64_t>(ref) *
+                                      static_cast<uint64_t>(n));
+}
+
+template <typename T>
+Value MinCodesRange(const T* codes, Value ref, int64_t n) {
+  T m = codes[0];
+  for (int64_t i = 1; i < n; ++i) m = codes[i] < m ? codes[i] : m;
+  return static_cast<Value>(static_cast<uint64_t>(ref) + m);
+}
+
+template <typename T>
+Value MaxCodesRange(const T* codes, Value ref, int64_t n) {
+  T m = codes[0];
+  for (int64_t i = 1; i < n; ++i) m = codes[i] > m ? codes[i] : m;
+  return static_cast<Value>(static_cast<uint64_t>(ref) + m);
+}
+
+// Width dispatchers: `view` is the block, `off` the first row's offset
+// inside it. n >= 1 for min/max.
+
+int64_t GatherSum(const EncodedColumn::BlockView& view, int64_t off,
+                  const SimdOps& ops, const uint32_t* sel, int n) {
+  switch (view.width) {
+    case 1:
+      return SumCodesGather(static_cast<const uint8_t*>(view.codes) + off,
+                            view.ref, sel, n);
+    case 2:
+      return SumCodesGather(static_cast<const uint16_t*>(view.codes) + off,
+                            view.ref, sel, n);
+    case 4:
+      return SumCodesGather(static_cast<const uint32_t*>(view.codes) + off,
+                            view.ref, sel, n);
+    default:
+      return ops.sum_gather(static_cast<const Value*>(view.codes) + off, sel,
+                            n);
+  }
+}
+
+Value GatherMin(const EncodedColumn::BlockView& view, int64_t off,
+                const SimdOps& ops, const uint32_t* sel, int n) {
+  switch (view.width) {
+    case 1:
+      return MinCodesGather(static_cast<const uint8_t*>(view.codes) + off,
+                            view.ref, sel, n);
+    case 2:
+      return MinCodesGather(static_cast<const uint16_t*>(view.codes) + off,
+                            view.ref, sel, n);
+    case 4:
+      return MinCodesGather(static_cast<const uint32_t*>(view.codes) + off,
+                            view.ref, sel, n);
+    default:
+      return ops.min_gather(static_cast<const Value*>(view.codes) + off, sel,
+                            n);
+  }
+}
+
+Value GatherMax(const EncodedColumn::BlockView& view, int64_t off,
+                const SimdOps& ops, const uint32_t* sel, int n) {
+  switch (view.width) {
+    case 1:
+      return MaxCodesGather(static_cast<const uint8_t*>(view.codes) + off,
+                            view.ref, sel, n);
+    case 2:
+      return MaxCodesGather(static_cast<const uint16_t*>(view.codes) + off,
+                            view.ref, sel, n);
+    case 4:
+      return MaxCodesGather(static_cast<const uint32_t*>(view.codes) + off,
+                            view.ref, sel, n);
+    default:
+      return ops.max_gather(static_cast<const Value*>(view.codes) + off, sel,
+                            n);
+  }
+}
+
+int64_t RangeSum(const EncodedColumn::BlockView& view, int64_t off,
+                 const SimdOps& ops, int64_t n) {
+  switch (view.width) {
+    case 1:
+      return SumCodesRange(static_cast<const uint8_t*>(view.codes) + off,
+                           view.ref, n);
+    case 2:
+      return SumCodesRange(static_cast<const uint16_t*>(view.codes) + off,
+                           view.ref, n);
+    case 4:
+      return SumCodesRange(static_cast<const uint32_t*>(view.codes) + off,
+                           view.ref, n);
+    default:
+      return ops.sum_range(static_cast<const Value*>(view.codes) + off, n);
+  }
+}
+
+Value RangeMin(const EncodedColumn::BlockView& view, int64_t off,
+               const SimdOps& ops, int64_t n) {
+  switch (view.width) {
+    case 1:
+      return MinCodesRange(static_cast<const uint8_t*>(view.codes) + off,
+                           view.ref, n);
+    case 2:
+      return MinCodesRange(static_cast<const uint16_t*>(view.codes) + off,
+                           view.ref, n);
+    case 4:
+      return MinCodesRange(static_cast<const uint32_t*>(view.codes) + off,
+                           view.ref, n);
+    default:
+      return ops.min_range(static_cast<const Value*>(view.codes) + off, n);
+  }
+}
+
+Value RangeMax(const EncodedColumn::BlockView& view, int64_t off,
+               const SimdOps& ops, int64_t n) {
+  switch (view.width) {
+    case 1:
+      return MaxCodesRange(static_cast<const uint8_t*>(view.codes) + off,
+                           view.ref, n);
+    case 2:
+      return MaxCodesRange(static_cast<const uint16_t*>(view.codes) + off,
+                           view.ref, n);
+    case 4:
+      return MaxCodesRange(static_cast<const uint32_t*>(view.codes) + off,
+                           view.ref, n);
+    default:
+      return ops.max_range(static_cast<const Value*>(view.codes) + off, n);
+  }
+}
+
+}  // namespace
+
 void ZoneMaps::Build(const std::vector<std::vector<Value>>& columns) {
   Clear();
   if (columns.empty() || columns[0].empty()) return;
@@ -25,6 +192,31 @@ void ZoneMaps::Build(const std::vector<std::vector<Value>>& columns) {
       int64_t lo = b * kScanBlockRows;
       int64_t hi = std::min(rows, lo + kScanBlockRows);
       ops.block_stats(col + lo, hi - lo, &min_[d][b], &max_[d][b],
+                      &sum_[d][b]);
+    }
+  }
+}
+
+void ZoneMaps::Build(const std::vector<EncodedColumn>& columns) {
+  Clear();
+  if (columns.empty() || columns[0].rows() == 0) return;
+  const SimdOps& ops = OpsForTier(SimdTier::kAuto);
+  const int dims = static_cast<int>(columns.size());
+  const int64_t rows = columns[0].rows();
+  num_blocks_ = (rows + kScanBlockRows - 1) / kScanBlockRows;
+  min_.assign(dims, {});
+  max_.assign(dims, {});
+  sum_.assign(dims, {});
+  Value scratch[kScanBlockRows];
+  for (int d = 0; d < dims; ++d) {
+    min_[d].resize(num_blocks_);
+    max_[d].resize(num_blocks_);
+    sum_[d].resize(num_blocks_);
+    for (int64_t b = 0; b < num_blocks_; ++b) {
+      int64_t lo = b * kScanBlockRows;
+      int64_t hi = std::min(rows, lo + kScanBlockRows);
+      columns[d].Decode(lo, hi, scratch);
+      ops.block_stats(scratch, hi - lo, &min_[d][b], &max_[d][b],
                       &sum_[d][b]);
     }
   }
@@ -96,11 +288,11 @@ void ScanKernel::ScanBatch(std::span<const RangeTask> tasks,
 
 // The pre-kernel reference path: row-at-a-time with early exit. Kept
 // verbatim (modulo the multi-aggregate loop, which runs once for
-// single-aggregate queries) so ScanMode::kScalar A/Bs against exactly the
-// old behavior.
+// single-aggregate queries, and per-row decode through EncodedColumn::Get)
+// so ScanMode::kScalar A/Bs against exactly the old behavior.
 void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
                             bool exact, QueryResult* out) const {
-  const std::vector<std::vector<Value>>& columns = *columns_;
+  const std::vector<EncodedColumn>& columns = *columns_;
   const int num_aggs = query.num_aggs();
   if (exact) {
     // Exact ranges skip per-value checks entirely; COUNT touches no data.
@@ -115,9 +307,9 @@ void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
         continue;
       }
       touched_data = true;
-      const std::vector<Value>& agg_col = columns[spec.column];
+      const EncodedColumn& agg_col = columns[spec.column];
       for (int64_t r = begin; r < end; ++r) {
-        AccumulateAgg(spec.op, agg_col[r], acc);
+        AccumulateAgg(spec.op, agg_col.Get(r), acc);
       }
     }
     if (touched_data) out->scanned += n;
@@ -128,7 +320,7 @@ void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
   for (int64_t r = begin; r < end; ++r) {
     bool ok = true;
     for (const Predicate& p : filters) {
-      Value v = columns[p.dim][r];
+      Value v = columns[p.dim].Get(r);
       if (v < p.lo || v > p.hi) {
         ok = false;
         break;
@@ -139,26 +331,77 @@ void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
     for (int a = 0; a < num_aggs; ++a) {
       const AggregateSpec spec = query.agg_spec(a);
       AccumulateAgg(spec.op,
-                    spec.op == AggKind::kCount ? 0 : columns[spec.column][r],
+                    spec.op == AggKind::kCount ? 0
+                                               : columns[spec.column].Get(r),
                     out->agg_accumulator(a));
     }
   }
 }
 
-int ScanKernel::BuildSelection(int64_t begin, int64_t end,
+int ScanKernel::BuildSelection(int64_t begin, int64_t end, int64_t block,
                                const std::vector<Predicate>& filters,
                                const SimdOps& ops, uint32_t* sel) const {
-  const std::vector<std::vector<Value>>& columns = *columns_;
+  const std::vector<EncodedColumn>& columns = *columns_;
   const int count = static_cast<int>(end - begin);
-  // First predicate compacts [0, count) into sel; later predicates compact
-  // the survivors in place. All passes are compare+compress, lane-parallel
-  // under the SIMD tiers.
-  const Predicate& first = filters[0];
-  int n = ops.first_pass(columns[first.dim].data() + begin, count, first.lo,
-                         first.hi, sel);
-  for (size_t f = 1; f < filters.size() && n > 0; ++f) {
-    const Predicate& p = filters[f];
-    n = ops.refine_pass(columns[p.dim].data() + begin, sel, n, p.lo, p.hi);
+  const int64_t off = begin - block * kScanBlockRows;
+  // First effective predicate compacts [0, count) into sel; later ones
+  // compact the survivors in place. All passes are compare+compress at the
+  // block's code width, lane-parallel under the SIMD tiers. n == -1 means
+  // no pass has run yet (every predicate so far covered the whole block's
+  // code domain).
+  int n = -1;
+  for (const Predicate& p : filters) {
+    const EncodedColumn::BlockView view = columns[p.dim].block(block);
+    if (view.width == 8) {
+      // Raw fallback block: compare values directly, untranslated.
+      const Value* col = static_cast<const Value*>(view.codes) + off;
+      n = n < 0 ? ops.first_pass(col, count, p.lo, p.hi, sel)
+                : ops.refine_pass(col, sel, n, p.lo, p.hi);
+    } else {
+      const CodeRange cr = TranslateToCodeSpace(p.lo, p.hi, view.ref,
+                                                CodeDomainMax(view.width));
+      if (cr.state == CodeRange::kEmpty) return 0;
+      if (cr.state == CodeRange::kAll) continue;  // Pass is the identity.
+      switch (view.width) {
+        case 1: {
+          const uint8_t* c = static_cast<const uint8_t*>(view.codes) + off;
+          n = n < 0 ? ops.first_pass_u8(c, count, static_cast<uint8_t>(cr.lo),
+                                        static_cast<uint8_t>(cr.hi), sel)
+                    : ops.refine_pass_u8(c, sel, n,
+                                         static_cast<uint8_t>(cr.lo),
+                                         static_cast<uint8_t>(cr.hi));
+          break;
+        }
+        case 2: {
+          const uint16_t* c = static_cast<const uint16_t*>(view.codes) + off;
+          n = n < 0
+                  ? ops.first_pass_u16(c, count, static_cast<uint16_t>(cr.lo),
+                                       static_cast<uint16_t>(cr.hi), sel)
+                  : ops.refine_pass_u16(c, sel, n,
+                                        static_cast<uint16_t>(cr.lo),
+                                        static_cast<uint16_t>(cr.hi));
+          break;
+        }
+        default: {
+          const uint32_t* c = static_cast<const uint32_t*>(view.codes) + off;
+          n = n < 0
+                  ? ops.first_pass_u32(c, count, static_cast<uint32_t>(cr.lo),
+                                       static_cast<uint32_t>(cr.hi), sel)
+                  : ops.refine_pass_u32(c, sel, n,
+                                        static_cast<uint32_t>(cr.lo),
+                                        static_cast<uint32_t>(cr.hi));
+          break;
+        }
+      }
+    }
+    if (n == 0) return 0;
+  }
+  if (n < 0) {
+    // Every predicate covered the whole code domain: identity selection.
+    // (With zone maps present this block would have been aggregated as
+    // all-match before reaching here; kept for the no-zones path.)
+    for (int i = 0; i < count; ++i) sel[i] = static_cast<uint32_t>(i);
+    n = count;
   }
   return n;
 }
@@ -172,6 +415,7 @@ void ScanKernel::AggregateRun(int64_t begin, int64_t end, int64_t block,
     return;
   }
   const bool full = !zones_->empty() && CoversBlock(begin, end, block);
+  const int64_t off = begin - block * kScanBlockRows;
   for (int a = 0; a < num_aggs; ++a) {
     const AggregateSpec spec = query.agg_spec(a);
     int64_t* acc = out->agg_accumulator(a);
@@ -179,24 +423,25 @@ void ScanKernel::AggregateRun(int64_t begin, int64_t end, int64_t block,
       *acc += end - begin;
       continue;
     }
-    const Value* col = (*columns_)[spec.column].data();
+    const EncodedColumn::BlockView view =
+        (*columns_)[spec.column].block(block);
     switch (spec.op) {
       case AggKind::kCount:
         break;
       case AggKind::kSum:
       case AggKind::kAvg:
         *acc += full ? zones_->Sum(spec.column, block)
-                     : ops.sum_range(col + begin, end - begin);
+                     : RangeSum(view, off, ops, end - begin);
         break;
       case AggKind::kMin: {
         Value m = full ? zones_->Min(spec.column, block)
-                       : ops.min_range(col + begin, end - begin);
+                       : RangeMin(view, off, ops, end - begin);
         if (m < *acc) *acc = m;
         break;
       }
       case AggKind::kMax: {
         Value m = full ? zones_->Max(spec.column, block)
-                       : ops.max_range(col + begin, end - begin);
+                       : RangeMax(view, off, ops, end - begin);
         if (m > *acc) *acc = m;
         break;
       }
@@ -238,12 +483,13 @@ void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
       AggregateRun(lo, hi, b, query, ops, out);
       continue;
     }
-    const int n = BuildSelection(lo, hi, filters, ops, sel);
+    const int n = BuildSelection(lo, hi, b, filters, ops, sel);
     if (n == 0) continue;
     out->matched += n;
     // One selection vector feeds every aggregate: the compare+compress
     // passes above run once per block regardless of how many aggregates
     // the query computes; only the gather tails repeat per aggregate.
+    const int64_t off = lo - b * kScanBlockRows;
     for (int a = 0; a < query.num_aggs(); ++a) {
       const AggregateSpec spec = query.agg_spec(a);
       int64_t* acc = out->agg_accumulator(a);
@@ -251,21 +497,21 @@ void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
         *acc += n;
         continue;
       }
-      const Value* col = (*columns_)[spec.column].data() + lo;
+      const EncodedColumn::BlockView view = (*columns_)[spec.column].block(b);
       switch (spec.op) {
         case AggKind::kCount:
           break;
         case AggKind::kSum:
         case AggKind::kAvg:
-          *acc += ops.sum_gather(col, sel, n);
+          *acc += GatherSum(view, off, ops, sel, n);
           break;
         case AggKind::kMin: {
-          Value m = ops.min_gather(col, sel, n);
+          Value m = GatherMin(view, off, ops, sel, n);
           if (m < *acc) *acc = m;
           break;
         }
         case AggKind::kMax: {
-          Value m = ops.max_gather(col, sel, n);
+          Value m = GatherMax(view, off, ops, sel, n);
           if (m > *acc) *acc = m;
           break;
         }
@@ -276,7 +522,8 @@ void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
 
 // Exact ranges: every row matches, so only the aggregate remains. COUNT is
 // arithmetic; SUM reads block sums for fully covered blocks (and only the
-// ragged edges row-by-row); MIN/MAX read block extrema the same way.
+// ragged edges through the decode-and-fold tail); MIN/MAX read block
+// extrema the same way.
 void ScanKernel::ScanExactVectorized(int64_t begin, int64_t end,
                                      const Query& query, const SimdOps& ops,
                                      QueryResult* out) const {

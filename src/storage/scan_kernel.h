@@ -24,16 +24,16 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/storage/encoded_column.h"
 #include "src/storage/simd_dispatch.h"
 
 namespace tsunami {
 
 struct SimdOps;
 
-/// Rows per zone-map block. Small enough that a block's columns stay cache
-/// resident across the predicate passes, large enough to amortize per-block
-/// bookkeeping.
-inline constexpr int64_t kScanBlockRows = 1024;
+// kScanBlockRows (rows per zone-map / codec block) lives in
+// encoded_column.h, which this header re-exports: the zone maps and the
+// per-block codecs share one block grid by construction.
 
 enum class ScanMode {
   kScalar,      // Row-at-a-time loop with early exit (the pre-kernel path).
@@ -93,6 +93,10 @@ class ZoneMaps {
   /// supports it (the per-block stats are order-insensitive, so every tier
   /// produces identical maps). Called at cluster time.
   void Build(const std::vector<std::vector<Value>>& columns);
+  /// Rebuild from encoded columns (the Deserialize path): each block is
+  /// decoded into a scratch buffer first, so the stats are identical to a
+  /// raw-column build of the same data.
+  void Build(const std::vector<EncodedColumn>& columns);
   void Clear();
 
   bool empty() const { return num_blocks_ == 0; }
@@ -110,21 +114,23 @@ class ZoneMaps {
   std::vector<std::vector<int64_t>> sum_;  // [dim][block]
 };
 
-/// A non-owning view over a table's columns plus its zone maps that executes
-/// scans. Construction is two pointers; ColumnStore hands one out per call.
+/// A non-owning view over a table's encoded columns plus its zone maps that
+/// executes scans. Construction is two pointers; ColumnStore hands one out
+/// per call. Predicates are evaluated on the per-block codes (bounds
+/// translated into code space once per block, with empty/full fast-outs);
+/// values are materialized only for the surviving selection vector, via a
+/// frame-of-reference add — or gathered raw for fallback blocks.
 ///
 /// All kernels accumulate into the same QueryResult fields with identical
 /// semantics: `scanned` counts the rows the range was responsible for (not
 /// the rows actually touched after block skipping), so results are
-/// bit-for-bit comparable across modes and tiers.
+/// bit-for-bit comparable across modes, tiers, and codecs.
 class ScanKernel {
  public:
-  ScanKernel(const std::vector<std::vector<Value>>& columns,
-             const ZoneMaps& zones)
+  ScanKernel(const std::vector<EncodedColumn>& columns, const ZoneMaps& zones)
       : columns_(&columns),
         zones_(&zones),
-        num_rows_(columns.empty() ? 0
-                                  : static_cast<int64_t>(columns[0].size())) {}
+        num_rows_(columns.empty() ? 0 : columns[0].rows()) {}
 
   /// Scans [begin, end), accumulating every aggregate of the query over
   /// matching rows into `out` (does not touch out->cell_ranges). Multi-
@@ -148,8 +154,12 @@ class ScanKernel {
 
   // Fills `sel` with the block-relative indices (offsets from `begin`) of
   // rows in [begin, end) matching every filter; returns the match count.
-  // Requires a non-empty filter list and end - begin <= kScanBlockRows.
-  int BuildSelection(int64_t begin, int64_t end,
+  // [begin, end) must lie inside block `block`. Each predicate runs at the
+  // block's code width with bounds translated into code space; a predicate
+  // empty after translation returns 0 without reading a code, and one that
+  // covers the whole code domain skips its pass. Requires a non-empty
+  // filter list and end - begin <= kScanBlockRows.
+  int BuildSelection(int64_t begin, int64_t end, int64_t block,
                      const std::vector<Predicate>& filters, const SimdOps& ops,
                      uint32_t* sel) const;
 
@@ -167,7 +177,7 @@ class ScanKernel {
     return begin <= block_begin && end >= block_end;
   }
 
-  const std::vector<std::vector<Value>>* columns_;
+  const std::vector<EncodedColumn>* columns_;
   const ZoneMaps* zones_;
   int64_t num_rows_;
 };

@@ -39,6 +39,25 @@ struct SimdOps {
   int (*refine_pass)(const Value* col, uint32_t* sel, int n, Value lo,
                      Value hi);
 
+  /// Width-parameterized variants of the two predicate passes over
+  /// FOR-encoded code arrays (see encoded_column.h): same contract as
+  /// first_pass / refine_pass but the column is uint8/16/32 codes and the
+  /// bounds are unsigned, already translated into code space
+  /// (TranslateToCodeSpace) with lo <= hi. Narrower lanes pack 2-8x more
+  /// values per vector, which is the whole point of encoded execution.
+  int (*first_pass_u8)(const uint8_t* codes, int count, uint8_t lo,
+                       uint8_t hi, uint32_t* sel);
+  int (*first_pass_u16)(const uint16_t* codes, int count, uint16_t lo,
+                        uint16_t hi, uint32_t* sel);
+  int (*first_pass_u32)(const uint32_t* codes, int count, uint32_t lo,
+                        uint32_t hi, uint32_t* sel);
+  int (*refine_pass_u8)(const uint8_t* codes, uint32_t* sel, int n,
+                        uint8_t lo, uint8_t hi);
+  int (*refine_pass_u16)(const uint16_t* codes, uint32_t* sel, int n,
+                         uint16_t lo, uint16_t hi);
+  int (*refine_pass_u32)(const uint32_t* codes, uint32_t* sel, int n,
+                         uint32_t lo, uint32_t hi);
+
   /// Aggregates col[sel[j]] over j in [0, n). min/max require n >= 1.
   int64_t (*sum_gather)(const Value* col, const uint32_t* sel, int n);
   Value (*min_gather)(const Value* col, const uint32_t* sel, int n);
@@ -64,6 +83,18 @@ const SimdOps& ScalarSimdOps();
 namespace scalar_ops {
 int FirstPass(const Value* col, int count, Value lo, Value hi, uint32_t* sel);
 int RefinePass(const Value* col, uint32_t* sel, int n, Value lo, Value hi);
+int FirstPassU8(const uint8_t* codes, int count, uint8_t lo, uint8_t hi,
+                uint32_t* sel);
+int FirstPassU16(const uint16_t* codes, int count, uint16_t lo, uint16_t hi,
+                 uint32_t* sel);
+int FirstPassU32(const uint32_t* codes, int count, uint32_t lo, uint32_t hi,
+                 uint32_t* sel);
+int RefinePassU8(const uint8_t* codes, uint32_t* sel, int n, uint8_t lo,
+                 uint8_t hi);
+int RefinePassU16(const uint16_t* codes, uint32_t* sel, int n, uint16_t lo,
+                  uint16_t hi);
+int RefinePassU32(const uint32_t* codes, uint32_t* sel, int n, uint32_t lo,
+                  uint32_t hi);
 int64_t SumGather(const Value* col, const uint32_t* sel, int n);
 Value MinGather(const Value* col, const uint32_t* sel, int n);
 Value MaxGather(const Value* col, const uint32_t* sel, int n);

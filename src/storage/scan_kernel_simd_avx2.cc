@@ -1,9 +1,13 @@
-// AVX2 tier: 4 x int64 lanes. Range predicates become two signed compares
-// whose lane masks are folded to a 4-bit movemask; the matching lanes'
-// selection indices are compressed with a 16-entry byte-shuffle lookup
-// table (there is no integer compress instruction below AVX-512).
-// Selection-driven aggregation uses vpgatherqq on the 32-bit selection
-// indices. This TU is the only place compiled with -mavx2 (see
+// AVX2 tier: 4 x int64 lanes on raw values, and 32/16/8 x uint8/16/32
+// lanes on FOR-encoded code blocks. Range predicates become two compares
+// (signed for values; unsigned min/max + equality for codes) whose lane
+// masks are folded to a movemask; the matching lanes' selection indices
+// are compressed with a 16-entry byte-shuffle lookup table, one 4-index
+// nibble group at a time (there is no integer compress instruction below
+// AVX-512). A zero compare mask — the common case in selective scans —
+// skips the whole emit, so the narrow passes track the smaller code
+// footprint. Selection-driven aggregation uses vpgatherqq on the 32-bit
+// selection indices. This TU is the only place compiled with -mavx2 (see
 // CMakeLists.txt); everything here is reached strictly behind the runtime
 // CPUID check in simd_dispatch.cc.
 #include "src/storage/scan_kernel_simd.h"
@@ -140,6 +144,145 @@ int Avx2RefinePass(const Value* col, uint32_t* sel, int n, Value lo,
   return m;
 }
 
+// Emits the selection indices for a `bits`-wide compare mask (bit k = code
+// base + k matches) through the 4-index shuffle LUT, nibble by nibble.
+// Every group emits unconditionally: a per-nibble skip branch mispredicts
+// badly at the 3-30% selectivities real refine chains produce, while the
+// unconditional shuffle+store is a handful of cheap ops (callers still
+// skip whole all-zero masks, which covers the highly selective case). The
+// 16-byte store at sel + n is bounded by the same argument as the 64-bit
+// passes: n <= base before the group, so the store ends inside the vector
+// window just consumed.
+inline int EmitMaskLut(uint32_t mask, int bits, int base, uint32_t* sel,
+                       int n) {
+  const __m128i iota = _mm_setr_epi32(0, 1, 2, 3);
+  for (int g = 0; g < bits / 4; ++g, mask >>= 4) {
+    const uint32_t nib = mask & 0xF;
+    __m128i idx = _mm_add_epi32(_mm_set1_epi32(base + 4 * g), iota);
+    __m128i packed = _mm_shuffle_epi8(
+        idx, _mm_load_si128(reinterpret_cast<const __m128i*>(kCompress4[nib])));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sel + n), packed);
+    n += __builtin_popcount(nib);
+  }
+  return n;
+}
+
+int Avx2FirstPassU8(const uint8_t* codes, int count, uint8_t lo, uint8_t hi,
+                    uint32_t* sel) {
+  const __m256i vlo = _mm256_set1_epi8(static_cast<char>(lo));
+  const __m256i vhi = _mm256_set1_epi8(static_cast<char>(hi));
+  int n = 0;
+  int i = 0;
+  for (; i + 32 <= count; i += 32) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    // Unsigned range check: c >= lo <=> max(c, lo) == c, c <= hi <=>
+    // min(c, hi) == c (AVX2 has no unsigned compare, but has epu8 min/max).
+    __m256i ge = _mm256_cmpeq_epi8(_mm256_max_epu8(v, vlo), v);
+    __m256i le = _mm256_cmpeq_epi8(_mm256_min_epu8(v, vhi), v);
+    uint32_t mask = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_and_si256(ge, le)));
+    if (mask == 0) continue;
+    n = EmitMaskLut(mask, 32, i, sel, n);
+  }
+  for (; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((codes[i] >= lo) & (codes[i] <= hi));
+  }
+  return n;
+}
+
+int Avx2FirstPassU16(const uint16_t* codes, int count, uint16_t lo,
+                     uint16_t hi, uint32_t* sel) {
+  const __m256i vlo = _mm256_set1_epi16(static_cast<short>(lo));
+  const __m256i vhi = _mm256_set1_epi16(static_cast<short>(hi));
+  int n = 0;
+  int i = 0;
+  for (; i + 16 <= count; i += 16) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    __m256i ge = _mm256_cmpeq_epi16(_mm256_max_epu16(v, vlo), v);
+    __m256i le = _mm256_cmpeq_epi16(_mm256_min_epu16(v, vhi), v);
+    __m256i ok = _mm256_and_si256(ge, le);
+    // One bit per 16-bit lane: saturate each lane to a byte (0xFFFF -> 0xFF,
+    // 0 -> 0) and movemask. vpacksswb interleaves 128-bit halves, so lanes
+    // 0-7 land in mask bits 0-7 and lanes 8-15 in bits 16-23.
+    uint32_t m = static_cast<uint32_t>(_mm256_movemask_epi8(
+        _mm256_packs_epi16(ok, _mm256_setzero_si256())));
+    uint32_t mask = (m & 0xFFu) | ((m >> 8) & 0xFF00u);
+    if (mask == 0) continue;
+    n = EmitMaskLut(mask, 16, i, sel, n);
+  }
+  for (; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((codes[i] >= lo) & (codes[i] <= hi));
+  }
+  return n;
+}
+
+// 8 x uint32 lanes: compare mask via the sign-bit movemask after the same
+// unsigned min/max trick.
+inline uint32_t InRangeMaskU32(__m256i v, __m256i vlo, __m256i vhi) {
+  __m256i ge = _mm256_cmpeq_epi32(_mm256_max_epu32(v, vlo), v);
+  __m256i le = _mm256_cmpeq_epi32(_mm256_min_epu32(v, vhi), v);
+  return static_cast<uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_and_si256(ge, le))));
+}
+
+int Avx2FirstPassU32(const uint32_t* codes, int count, uint32_t lo,
+                     uint32_t hi, uint32_t* sel) {
+  const __m256i vlo = _mm256_set1_epi32(static_cast<int>(lo));
+  const __m256i vhi = _mm256_set1_epi32(static_cast<int>(hi));
+  int n = 0;
+  int i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    uint32_t mask = InRangeMaskU32(v, vlo, vhi);
+    if (mask == 0) continue;
+    n = EmitMaskLut(mask, 8, i, sel, n);
+  }
+  for (; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((codes[i] >= lo) & (codes[i] <= hi));
+  }
+  return n;
+}
+
+// 32-bit codes have vpgatherdd, so the refine pass stays lane-parallel;
+// 8/16-bit refines fall back to the shared scalar loops (no hardware
+// gather at those widths, and survivor counts are small).
+int Avx2RefinePassU32(const uint32_t* codes, uint32_t* sel, int n,
+                      uint32_t lo, uint32_t hi) {
+  const __m256i vlo = _mm256_set1_epi32(static_cast<int>(lo));
+  const __m256i vhi = _mm256_set1_epi32(static_cast<int>(hi));
+  int m = 0;
+  int j = 0;
+  // In place is safe: m <= j throughout, so both nibble-group stores at
+  // sel + m end inside the window this iteration already loaded.
+  for (; j + 8 <= n; j += 8) {
+    __m256i idx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + j));
+    __m256i v = _mm256_i32gather_epi32(reinterpret_cast<const int*>(codes),
+                                       idx, 4);
+    uint32_t mask = InRangeMaskU32(v, vlo, vhi);
+    __m128i lo_idx = _mm256_castsi256_si128(idx);
+    __m128i hi_idx = _mm256_extracti128_si256(idx, 1);
+    __m128i packed_lo = _mm_shuffle_epi8(
+        lo_idx, _mm_load_si128(
+                    reinterpret_cast<const __m128i*>(kCompress4[mask & 0xF])));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sel + m), packed_lo);
+    m += __builtin_popcount(mask & 0xF);
+    __m128i packed_hi = _mm_shuffle_epi8(
+        hi_idx, _mm_load_si128(
+                    reinterpret_cast<const __m128i*>(kCompress4[mask >> 4])));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sel + m), packed_hi);
+    m += __builtin_popcount(mask >> 4);
+  }
+  for (; j < n; ++j) {
+    uint32_t i = sel[j];
+    sel[m] = i;
+    m += static_cast<int>((codes[i] >= lo) & (codes[i] <= hi));
+  }
+  return m;
+}
+
 int64_t Avx2SumGather(const Value* col, const uint32_t* sel, int n) {
   __m256i acc = _mm256_setzero_si256();
   int j = 0;
@@ -262,9 +405,22 @@ void Avx2BlockStats(const Value* col, int64_t n, Value* mn, Value* mx,
 }
 
 constexpr SimdOps kAvx2Ops = {
-    "avx2",        Avx2FirstPass, Avx2RefinePass, Avx2SumGather,
-    Avx2MinGather, Avx2MaxGather, Avx2SumRange,   Avx2MinRange,
-    Avx2MaxRange,  Avx2BlockStats,
+    "avx2",
+    Avx2FirstPass,
+    Avx2RefinePass,
+    Avx2FirstPassU8,
+    Avx2FirstPassU16,
+    Avx2FirstPassU32,
+    scalar_ops::RefinePassU8,
+    scalar_ops::RefinePassU16,
+    Avx2RefinePassU32,
+    Avx2SumGather,
+    Avx2MinGather,
+    Avx2MaxGather,
+    Avx2SumRange,
+    Avx2MinRange,
+    Avx2MaxRange,
+    Avx2BlockStats,
 };
 
 }  // namespace

@@ -1,11 +1,15 @@
-// NEON tier (AArch64): 2 x int64 lanes. NEON is baseline on AArch64, so
-// this TU needs no special arch flags — it simply compiles empty on other
+// NEON tier (AArch64): 2 x int64 lanes on raw values, 16/8/4 x uint8/16/32
+// lanes on FOR-encoded code blocks. NEON is baseline on AArch64, so this
+// TU needs no special arch flags — it simply compiles empty on other
 // architectures. Contiguous passes (predicate compare, run folds, zone-map
 // stats) are vectorized; the 64-bit compares (vcgeq_s64/vcleq_s64) are
-// A64-only, hence the __aarch64__ guard. Gathered (selection-driven)
-// passes point straight at the shared scalar_ops loops: at 2 lanes a
-// software gather costs more than the loads it replaces, and reusing the
-// reference implementations keeps the tiers drift-proof by construction.
+// A64-only, hence the __aarch64__ guard. The narrow first passes compare a
+// full vector of codes and fold the lane masks to a scalar bitmask with
+// the vshrn-by-4 narrowing trick, then emit indices branchlessly per lane.
+// Gathered (selection-driven) passes and the narrow refines point straight
+// at the shared scalar_ops loops: at these lane counts a software gather
+// costs more than the loads it replaces, and reusing the reference
+// implementations keeps the tiers drift-proof by construction.
 #include "src/storage/scan_kernel_simd.h"
 
 #if defined(__aarch64__) && defined(__ARM_NEON) && \
@@ -42,6 +46,80 @@ int NeonFirstPass(const Value* col, int count, Value lo, Value hi,
   for (; i < count; ++i) {
     sel[n] = static_cast<uint32_t>(i);
     n += static_cast<int>((col[i] >= lo) & (col[i] <= hi));
+  }
+  return n;
+}
+
+int NeonFirstPassU8(const uint8_t* codes, int count, uint8_t lo, uint8_t hi,
+                    uint32_t* sel) {
+  const uint8x16_t vlo = vdupq_n_u8(lo);
+  const uint8x16_t vhi = vdupq_n_u8(hi);
+  int n = 0;
+  int i = 0;
+  for (; i + 16 <= count; i += 16) {
+    uint8x16_t v = vld1q_u8(codes + i);
+    uint8x16_t ok = vandq_u8(vcgeq_u8(v, vlo), vcleq_u8(v, vhi));
+    // Narrow each byte's 0xFF/0x00 mask to a nibble: 4 bits per lane in m.
+    uint64_t m = vget_lane_u64(
+        vreinterpret_u64_u8(vshrn_n_u16(vreinterpretq_u16_u8(ok), 4)), 0);
+    if (m == 0) continue;
+    for (int k = 0; k < 16; ++k) {
+      sel[n] = static_cast<uint32_t>(i + k);
+      n += static_cast<int>((m >> (4 * k)) & 1);
+    }
+  }
+  for (; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((codes[i] >= lo) & (codes[i] <= hi));
+  }
+  return n;
+}
+
+int NeonFirstPassU16(const uint16_t* codes, int count, uint16_t lo,
+                     uint16_t hi, uint32_t* sel) {
+  const uint16x8_t vlo = vdupq_n_u16(lo);
+  const uint16x8_t vhi = vdupq_n_u16(hi);
+  int n = 0;
+  int i = 0;
+  for (; i + 8 <= count; i += 8) {
+    uint16x8_t v = vld1q_u16(codes + i);
+    uint16x8_t ok = vandq_u16(vcgeq_u16(v, vlo), vcleq_u16(v, vhi));
+    // Narrow each 16-bit 0xFFFF/0 mask to a byte: 8 bits per lane in m.
+    uint64_t m = vget_lane_u64(vreinterpret_u64_u8(vshrn_n_u16(ok, 4)), 0);
+    if (m == 0) continue;
+    for (int k = 0; k < 8; ++k) {
+      sel[n] = static_cast<uint32_t>(i + k);
+      n += static_cast<int>((m >> (8 * k)) & 1);
+    }
+  }
+  for (; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((codes[i] >= lo) & (codes[i] <= hi));
+  }
+  return n;
+}
+
+int NeonFirstPassU32(const uint32_t* codes, int count, uint32_t lo,
+                     uint32_t hi, uint32_t* sel) {
+  const uint32x4_t vlo = vdupq_n_u32(lo);
+  const uint32x4_t vhi = vdupq_n_u32(hi);
+  int n = 0;
+  int i = 0;
+  for (; i + 4 <= count; i += 4) {
+    uint32x4_t v = vld1q_u32(codes + i);
+    uint32x4_t ok = vandq_u32(vcgeq_u32(v, vlo), vcleq_u32(v, vhi));
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>(vgetq_lane_u32(ok, 0) & 1);
+    sel[n] = static_cast<uint32_t>(i + 1);
+    n += static_cast<int>(vgetq_lane_u32(ok, 1) & 1);
+    sel[n] = static_cast<uint32_t>(i + 2);
+    n += static_cast<int>(vgetq_lane_u32(ok, 2) & 1);
+    sel[n] = static_cast<uint32_t>(i + 3);
+    n += static_cast<int>(vgetq_lane_u32(ok, 3) & 1);
+  }
+  for (; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((codes[i] >= lo) & (codes[i] <= hi));
   }
   return n;
 }
@@ -118,6 +196,12 @@ constexpr SimdOps kNeonOps = {
     "neon",
     NeonFirstPass,
     scalar_ops::RefinePass,
+    NeonFirstPassU8,
+    NeonFirstPassU16,
+    NeonFirstPassU32,
+    scalar_ops::RefinePassU8,
+    scalar_ops::RefinePassU16,
+    scalar_ops::RefinePassU32,
     scalar_ops::SumGather,
     scalar_ops::MinGather,
     scalar_ops::MaxGather,

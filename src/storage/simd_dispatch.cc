@@ -29,6 +29,65 @@ int RefinePass(const Value* col, uint32_t* sel, int n, Value lo, Value hi) {
   return m;
 }
 
+// Width-parameterized predicate passes over FOR codes: the same branchless
+// store-and-advance loops as FirstPass/RefinePass, instantiated per code
+// width. Bounds arrive pre-translated into code space (see
+// TranslateToCodeSpace), so the comparisons are plain unsigned.
+namespace {
+
+template <typename T>
+int FirstPassCodes(const T* codes, int count, T lo, T hi, uint32_t* sel) {
+  int n = 0;
+  for (int i = 0; i < count; ++i) {
+    sel[n] = static_cast<uint32_t>(i);
+    n += static_cast<int>((codes[i] >= lo) & (codes[i] <= hi));
+  }
+  return n;
+}
+
+template <typename T>
+int RefinePassCodes(const T* codes, uint32_t* sel, int n, T lo, T hi) {
+  int m = 0;
+  for (int j = 0; j < n; ++j) {
+    uint32_t i = sel[j];
+    sel[m] = i;
+    m += static_cast<int>((codes[i] >= lo) & (codes[i] <= hi));
+  }
+  return m;
+}
+
+}  // namespace
+
+int FirstPassU8(const uint8_t* codes, int count, uint8_t lo, uint8_t hi,
+                uint32_t* sel) {
+  return FirstPassCodes(codes, count, lo, hi, sel);
+}
+
+int FirstPassU16(const uint16_t* codes, int count, uint16_t lo, uint16_t hi,
+                 uint32_t* sel) {
+  return FirstPassCodes(codes, count, lo, hi, sel);
+}
+
+int FirstPassU32(const uint32_t* codes, int count, uint32_t lo, uint32_t hi,
+                 uint32_t* sel) {
+  return FirstPassCodes(codes, count, lo, hi, sel);
+}
+
+int RefinePassU8(const uint8_t* codes, uint32_t* sel, int n, uint8_t lo,
+                 uint8_t hi) {
+  return RefinePassCodes(codes, sel, n, lo, hi);
+}
+
+int RefinePassU16(const uint16_t* codes, uint32_t* sel, int n, uint16_t lo,
+                  uint16_t hi) {
+  return RefinePassCodes(codes, sel, n, lo, hi);
+}
+
+int RefinePassU32(const uint32_t* codes, uint32_t* sel, int n, uint32_t lo,
+                  uint32_t hi) {
+  return RefinePassCodes(codes, sel, n, lo, hi);
+}
+
 int64_t SumGather(const Value* col, const uint32_t* sel, int n) {
   int64_t s = 0;
   for (int j = 0; j < n; ++j) s += col[sel[j]];
@@ -94,6 +153,12 @@ constexpr SimdOps kScalarOps = {
     "scalar",
     scalar_ops::FirstPass,
     scalar_ops::RefinePass,
+    scalar_ops::FirstPassU8,
+    scalar_ops::FirstPassU16,
+    scalar_ops::FirstPassU32,
+    scalar_ops::RefinePassU8,
+    scalar_ops::RefinePassU16,
+    scalar_ops::RefinePassU32,
     scalar_ops::SumGather,
     scalar_ops::MinGather,
     scalar_ops::MaxGather,
@@ -138,9 +203,13 @@ bool SimdTierSupported(SimdTier tier) {
 #endif
     case SimdTier::kAvx512:
 #if defined(__x86_64__) || defined(__i386__)
+      // BW joined F+VL when the narrow-code passes landed: the 8/16-bit
+      // lane compares (vpcmpub/vpcmpuw) are AVX512BW, and the whole TU is
+      // compiled with -mavx512bw, so the CPU must have all three.
       return Avx512SimdOps() != nullptr &&
              __builtin_cpu_supports("avx512f") &&
-             __builtin_cpu_supports("avx512vl");
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512bw");
 #else
       return false;
 #endif

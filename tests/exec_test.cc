@@ -245,7 +245,7 @@ TEST_F(ParallelRunTest, ParallelBuildProducesIdenticalIndex) {
   EXPECT_EQ(parallel.IndexSizeBytes(), serial.IndexSizeBytes());
   ASSERT_EQ(parallel.store().size(), serial.store().size());
   for (int d = 0; d < serial.store().dims(); ++d) {
-    EXPECT_EQ(parallel.store().column(d), serial.store().column(d))
+    EXPECT_EQ(parallel.store().DecodeColumn(d), serial.store().DecodeColumn(d))
         << "clustered layout differs in dimension " << d;
   }
   // And answers + work done must match query by query.

@@ -87,6 +87,80 @@ TEST(DeltaInsertTest, DeltaMatchesFullScanUnderRandomQueries) {
   }
 }
 
+// The columnarized delta buffer (scanned through the SimdOps
+// compare+compress passes) must be bit-identical to the old row-major
+// row-at-a-time loop — every QueryResult field, every aggregate kind,
+// multi-aggregate lists included. The reference below *is* that old loop.
+TEST(DeltaInsertTest, ColumnarDeltaBitIdenticalToRowMajorLoop) {
+  Benchmark bench = MakeUniformBenchmark(3, 6000, 407, 10);
+  TsunamiIndex index(bench.data, bench.workload, SmallOptions());
+  Rng rng(408);
+  std::vector<std::vector<Value>> inserted;
+  // Enough rows to span several kScanBlockRows chunks, plus extremes.
+  for (int i = 0; i < 2600; ++i) {
+    std::vector<Value> row = {rng.UniformValue(-1000000, 1000000),
+                              rng.UniformValue(-1000000, 1000000),
+                              rng.UniformValue(-1000000, 1000000)};
+    if (i % 97 == 0) row[1] = kValueMax - i;
+    if (i % 89 == 0) row[2] = kValueMin + i;
+    inserted.push_back(row);
+    index.Insert(row);
+  }
+  const AggKind kAggs[] = {AggKind::kCount, AggKind::kSum, AggKind::kMin,
+                           AggKind::kMax, AggKind::kAvg};
+  // A delta-free twin provides the clustered store's contribution; both
+  // indexes are built from identical inputs, so their stores match.
+  TsunamiIndex no_delta(bench.data, bench.workload, SmallOptions());
+  for (int trial = 0; trial < 120; ++trial) {
+    Query q;
+    q.agg = kAggs[trial % 5];
+    q.agg_dim = trial % 3;
+    if (trial % 4 == 0) {
+      q.SetAggregates({{q.agg, q.agg_dim},
+                       {AggKind::kSum, (trial + 1) % 3},
+                       {AggKind::kMax, (trial + 2) % 3}});
+    }
+    int num_filters = trial % 3;  // 0, 1, or 2 (empty filters included).
+    for (int f = 0; f < num_filters; ++f) {
+      Value lo = rng.UniformValue(-1200000, 1200000);
+      q.filters.push_back(
+          Predicate{static_cast<int>(rng.NextBelow(3)), lo,
+                    lo + rng.UniformValue(0, 800000)});
+    }
+    // The reference: the clustered store's contribution plus the exact
+    // pre-columnarization delta loop, row-at-a-time in insert order.
+    QueryResult want = no_delta.Execute(q);
+    ++want.cell_ranges;
+    want.scanned += static_cast<int64_t>(inserted.size());
+    for (const std::vector<Value>& row : inserted) {
+      bool ok = true;
+      for (const Predicate& p : q.filters) {
+        if (!p.Matches(row[p.dim])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      ++want.matched;
+      for (int a = 0; a < q.num_aggs(); ++a) {
+        const AggregateSpec spec = q.agg_spec(a);
+        AccumulateAgg(spec.op,
+                      spec.op == AggKind::kCount ? 0 : row[spec.column],
+                      want.agg_accumulator(a));
+      }
+    }
+    QueryResult got = index.Execute(q);
+    EXPECT_EQ(got.agg, want.agg) << "trial " << trial;
+    EXPECT_EQ(got.scanned, want.scanned) << "trial " << trial;
+    EXPECT_EQ(got.matched, want.matched) << "trial " << trial;
+    EXPECT_EQ(got.cell_ranges, want.cell_ranges) << "trial " << trial;
+    ASSERT_EQ(got.extra.size(), want.extra.size());
+    for (size_t e = 0; e < got.extra.size(); ++e) {
+      EXPECT_EQ(got.extra[e], want.extra[e]) << "trial " << trial;
+    }
+  }
+}
+
 class WorkloadMonitorTest : public ::testing::Test {
  protected:
   void SetUp() override {

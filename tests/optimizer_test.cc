@@ -179,6 +179,25 @@ TEST(CalibrationTest, WeightsArePlausible) {
   EXPECT_LT(w.w0, 100000.0);
   EXPECT_GT(w.w1, 0.1);
   EXPECT_LT(w.w1, 1000.0);
+  // Per-code-width scan terms are calibrated (non-zero) when narrowing is
+  // on, and stay 0 — falling back to w1 — when it is disabled, so the
+  // model always prices the kernel execution actually runs.
+  if (EncodingEnabledByDefault()) {
+    for (double term : {w.w1_u8, w.w1_u16, w.w1_u32}) {
+      EXPECT_GT(term, 0.05);
+      EXPECT_LT(term, 1000.0);
+    }
+    EXPECT_EQ(w.ScanCostForSpan(100.0), w.w1_u8);
+    EXPECT_EQ(w.ScanCostForSpan(1000.0), w.w1_u16);
+    EXPECT_EQ(w.ScanCostForSpan(100000.0), w.w1_u32);
+  } else {
+    EXPECT_EQ(w.w1_u8, 0.0);
+    EXPECT_EQ(w.ScanCostForSpan(100.0), w.w1);
+  }
+  EXPECT_EQ(w.ScanCostForSpan(-1.0), w.w1);   // Unknown span.
+  EXPECT_EQ(w.ScanCostForSpan(1e18), w.w1);   // Raw 64-bit blocks.
+  CostWeights defaults;
+  EXPECT_EQ(defaults.ScanCostForSpan(100.0), defaults.w1);
 }
 
 }  // namespace
