@@ -720,7 +720,7 @@ void RunQueryServiceBench(std::vector<std::string>* records) {
       {
         Timer timer;
         QueryService::Ticket region_ticket = service.Submit(batch[0]);
-        std::vector<QueryService::Ticket> tickets =
+        std::vector<QueryService::Admission> tickets =
             service.SubmitBatch(needles, needle_options);
         for (QueryService::Ticket t : tickets) {
           // Worker-stamped completion latency: on a saturated host the
@@ -782,6 +782,133 @@ void RunQueryServiceBench(std::vector<std::string>* records) {
             .Int("steal_count", steals)
             .Finish());
     if (threads == ThreadPool::DefaultThreads()) break;  // No duplicate row.
+  }
+}
+
+// --- Overload sweep: bounded admission + shedding vs an unbounded queue. ---
+//
+// Offered load is a burst of 32 * mult queries (80% priority-0 best-effort,
+// 20% priority-1 with a deadline) fired without awaiting — deliberately
+// past capacity from mult >= 4 on this host. The bounded service must keep
+// its in-use chunk budget under the cap at every instant, shed or reject
+// low-priority traffic first, and keep the worker-stamped p99 of *admitted*
+// queries bounded as the burst grows; the unbounded baseline instead lets
+// its queue depth grow with the burst size (every offered query is
+// admitted, so latency is open-loop queueing delay).
+void RunOverloadBench(std::vector<std::string>* records) {
+  bench::PrintHeader("overload shedding (bounded admission)");
+  const Benchmark& b = SharedBench();
+  TsunamiIndex index(b.data, b.workload, TsunamiOptions());
+  const char* tier = SimdTierName(DetectSimdTier());
+  const int hw = ThreadPool::DefaultThreads();
+  const int64_t kQueryCap = 32;
+  const int64_t kChunkCap = 256;
+
+  Rng rng(505);
+  for (int mult : {1, 2, 4, 8}) {
+    const int offered = 32 * mult;
+    // This burst's traffic: cycled workload needles, every 8th query a
+    // full-table multi-aggregate region query so chunks pile up fast.
+    // 20% of arrivals are priority-1 dashboards with a deadline; the rest
+    // is best-effort backlog.
+    std::vector<std::pair<Query, SubmitOptions>> traffic;
+    for (int i = 0; i < offered; ++i) {
+      Query q;
+      if (i % 8 == 7) {
+        q.filters.push_back(Predicate{0, 0, kValueMax});
+        q.SetAggregates({{AggKind::kSum, 1}, {AggKind::kCount, 0}});
+      } else {
+        q = b.workload[rng.NextBelow(b.workload.size())];
+      }
+      SubmitOptions sub;
+      if (i % 5 == 4) {
+        sub.priority = 1;
+        sub.deadline_seconds = 0.25;
+      }
+      traffic.emplace_back(q, sub);
+    }
+
+    struct BurstResult {
+      int64_t admitted = 0;
+      int64_t rejected = 0;
+      int64_t completed = 0;
+      int64_t not_completed = 0;  // Shed / timed out / cancelled awaits.
+      int64_t max_chunks = 0;     // Max admitted-chunk gauge mid-burst.
+      int64_t max_queue_depth = 0;
+      std::vector<double> latencies;  // Worker-stamped, completed only.
+    };
+    auto run_burst = [&traffic](QueryService& service) {
+      BurstResult out;
+      std::vector<QueryService::Admission> tickets;
+      tickets.reserve(traffic.size());
+      for (const auto& [q, sub] : traffic) {
+        tickets.push_back(service.Submit(q, sub));
+        ServiceStats mid = service.stats();
+        out.max_chunks = std::max(out.max_chunks, mid.admitted_chunks);
+        out.max_queue_depth = std::max(out.max_queue_depth, mid.queue_depth);
+        ++(tickets.back().admitted() ? out.admitted : out.rejected);
+      }
+      for (const QueryService::Admission& t : tickets) {
+        if (!t.admitted()) continue;
+        AwaitInfo info;
+        service.Await(t, &info);
+        if (info.outcome == QueryOutcome::kCompleted) {
+          ++out.completed;
+          out.latencies.push_back(info.latency_seconds);
+        } else {
+          ++out.not_completed;
+        }
+      }
+      return out;
+    };
+
+    ServiceOptions bounded_options;
+    bounded_options.threads = hw;
+    bounded_options.chunk_rows = 4 * kScanBlockRows;
+    bounded_options.max_queued_queries = kQueryCap;
+    bounded_options.max_queued_chunks = kChunkCap;
+    QueryService bounded(&index, bounded_options);
+    ServiceOptions unbounded_options = bounded_options;
+    unbounded_options.max_queued_queries = 0;
+    unbounded_options.max_queued_chunks = 0;
+    QueryService open(&index, unbounded_options);
+
+    BurstResult bs = run_burst(bounded);
+    BurstResult us = run_burst(open);
+    ServiceStats bstats = bounded.stats();
+
+    double b_p50 = Percentile(bs.latencies, 50) * 1e6;
+    double b_p99 = Percentile(bs.latencies, 99) * 1e6;
+    double u_p99 = Percentile(us.latencies, 99) * 1e6;
+    std::printf(
+        "overload x%d: offered %3d  bounded admitted %3lld rejected %3lld "
+        "shed %3lld (max chunks %3lld/%lld)  admitted p99 %9.1f us  |  "
+        "unbounded admitted %3d, max queue depth %4lld, p99 %9.1f us\n",
+        mult, offered, static_cast<long long>(bs.admitted),
+        static_cast<long long>(bs.rejected),
+        static_cast<long long>(bstats.shed),
+        static_cast<long long>(bs.max_chunks),
+        static_cast<long long>(kChunkCap), b_p99, offered,
+        static_cast<long long>(us.max_queue_depth), u_p99);
+    records->push_back(
+        bench::EnvRecord("overload_shedding", tier, hw, offered)
+            .Int("hw_threads", hw)
+            .Int("burst_multiplier", mult)
+            .Int("query_cap", kQueryCap)
+            .Int("chunk_cap", kChunkCap)
+            .Int("offered", offered)
+            .Int("admitted", bs.admitted)
+            .Int("rejected", bs.rejected)
+            .Int("shed", bstats.shed)
+            .Int("completed", bs.completed)
+            .Int("not_completed", bs.not_completed)
+            .Int("max_admitted_chunks", bs.max_chunks)
+            .Num("admitted_p50_us", b_p50)
+            .Num("admitted_p99_us", b_p99)
+            .Int("unbounded_admitted", us.admitted)
+            .Int("unbounded_max_queue_depth", us.max_queue_depth)
+            .Num("unbounded_p99_us", u_p99)
+            .Finish());
   }
 }
 
@@ -855,14 +982,37 @@ bool ParseEncodingFlag(int* argc, char** argv) {
   return encoding_only;
 }
 
+/// Parses and strips a `--overload` argument (run only the bounded-vs-
+/// unbounded overload shedding sweep).
+bool ParseOverloadFlag(int* argc, char** argv) {
+  bool overload_only = false;
+  StripArgs(argc, argv, [&overload_only](std::string_view arg) {
+    if (arg != "--overload") return false;
+    overload_only = true;
+    return true;
+  });
+  return overload_only;
+}
+
 }  // namespace
 }  // namespace tsunami
 
 int main(int argc, char** argv) {
   bool service_only = tsunami::ParseServiceFlag(&argc, argv);
   bool encoding_only = tsunami::ParseEncodingFlag(&argc, argv);
+  bool overload_only = tsunami::ParseOverloadFlag(&argc, argv);
   tsunami::SimdTier tier = tsunami::ParseSimdFlag(&argc, argv);
   std::vector<std::string> records;
+  if (overload_only) {
+    // Overload-only run: writes its own artifact (like --service) so it
+    // never truncates a previous full run's scan-kernel sections.
+    tsunami::RunOverloadBench(&records);
+    if (tsunami::bench::WriteBenchJson("BENCH_query_service.json",
+                                       "scan_kernel", records)) {
+      std::printf("wrote BENCH_query_service.json\n");
+    }
+    return 0;
+  }
   if (encoding_only) {
     // Encoding-only run: the raw-vs-coded sweep is part of the scan-kernel
     // bench family, so its records land in BENCH_scan_kernel.json.
@@ -882,6 +1032,7 @@ int main(int argc, char** argv) {
   // writes its own artifact so it never truncates the scan-kernel and
   // batch-API sections a previous full run recorded.
   tsunami::RunQueryServiceBench(&records);
+  tsunami::RunOverloadBench(&records);
   const char* json_path =
       service_only ? "BENCH_query_service.json" : "BENCH_scan_kernel.json";
   if (tsunami::bench::WriteBenchJson(json_path, "scan_kernel", records)) {

@@ -2,7 +2,7 @@
 # CI entry point: configure, build, and run the tier-1 test suite, with
 # -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
 #
-# Five passes:
+# Six passes:
 #  1. the default build (SIMD tiers compiled in, runtime-dispatched; column
 #     blocks FOR + bit-width encoded);
 #  2. a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
@@ -15,7 +15,14 @@
 #     in the full-SIMD binary;
 #  5. a ThreadSanitizer build gating the concurrency suites (work-stealing
 #     scheduler, query service, thread pool/runner) — the serving path is
-#     lock-and-deque code and must stay race-clean, not just correct.
+#     lock-and-deque code and must stay race-clean, not just correct. Built
+#     with -DTSUNAMI_FAULT_INJECTION=ON so the fault-injection soaks
+#     (thrown chunks, flipped checksums, injected stalls) run *under* TSan:
+#     the error paths must be as race-clean as the happy path;
+#  6. an AddressSanitizer+UBSanitizer build, also with fault injection on,
+#     over the robustness-relevant suites — corrupt-block quarantine,
+#     short-read/truncation handling, and exception unwinding through the
+#     scheduler must not scribble, leak-on-throw, or hit UB.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,10 +48,24 @@ cmake --build build -j"$(nproc)" --target \
 TSUNAMI_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
   -j"$(nproc)"
 
-# Fifth pass: ThreadSanitizer on the scheduler/service suites.
+# Fifth pass: ThreadSanitizer on the scheduler/service suites, fault
+# injection compiled in so the injected-fault soaks run under TSan.
 cmake -B build-tsan -S . -DTSUNAMI_WERROR=ON -DTSUNAMI_SANITIZE=thread \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  -DTSUNAMI_FAULT_INJECTION=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j"$(nproc)" --target \
   task_scheduler_test query_service_test exec_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
   -R 'task_scheduler_test|query_service_test|exec_test'
+
+# Sixth pass: ASan+UBSan on the robustness suites (storage integrity, file
+# error paths, scheduler exception-safety, service overload/degrade), fault
+# injection compiled in. Scoped to the relevant suites: this is a 1-core CI
+# host and a full ASan ctest would double the wall time for no new signal.
+cmake -B build-asan -S . -DTSUNAMI_WERROR=ON \
+  -DTSUNAMI_SANITIZE=address,undefined -DTSUNAMI_FAULT_INJECTION=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j"$(nproc)" --target \
+  io_test encoded_column_test storage_test scan_kernel_test \
+  task_scheduler_test query_service_test tsunami_test
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)" -R \
+  'io_test|encoded_column_test|storage_test|scan_kernel_test|task_scheduler_test|query_service_test|tsunami_test'

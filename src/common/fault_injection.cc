@@ -1,0 +1,98 @@
+#include "src/common/fault_injection.h"
+
+#if defined(TSUNAMI_FAULT_INJECTION)
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace tsunami {
+namespace fault {
+namespace {
+
+// One armed site plus its counters. `hits` counts matching hits (after the
+// match_arg filter), so skip_hits and the seeded coin flip are indexed by a
+// stable per-site sequence number.
+struct SiteState {
+  FaultSpec spec;
+  int64_t hits = 0;
+  int64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Leaked: outlives all threads.
+  return *registry;
+}
+
+// SplitMix64: the (seed, hit index) → coin-flip hash. Any good 64-bit mixer
+// works; what matters is determinism across platforms and runs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void Arm(std::string_view site, const FaultSpec& spec) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  SiteState& state = r.sites[std::string(site)];
+  state.spec = spec;
+  state.hits = 0;
+  state.fires = 0;
+}
+
+void Disarm(std::string_view site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end()) r.sites.erase(it);
+}
+
+void DisarmAll() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+}
+
+bool Fires(std::string_view site, int64_t arg) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  SiteState& state = it->second;
+  const FaultSpec& spec = state.spec;
+  if (spec.match_arg >= 0 && arg != spec.match_arg) return false;
+  const int64_t hit = state.hits++;
+  if (hit < spec.skip_hits) return false;
+  if (spec.max_fires >= 0 && state.fires >= spec.max_fires) return false;
+  if (spec.probability < 1.0) {
+    // Deterministic coin flip for this hit index: top 53 bits as a uniform
+    // double in [0, 1).
+    const uint64_t h = Mix64(spec.seed ^ Mix64(static_cast<uint64_t>(hit)));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= spec.probability) return false;
+  }
+  ++state.fires;
+  return true;
+}
+
+int64_t FireCount(std::string_view site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+}  // namespace fault
+}  // namespace tsunami
+
+#endif  // TSUNAMI_FAULT_INJECTION

@@ -170,6 +170,13 @@ struct QueryResult {
   int64_t cell_ranges = 0;   // Physical storage ranges visited.
   std::vector<int64_t> extra;  // Accumulators for aggregates 1..N-1.
 
+  /// True when the scan had to skip quarantined (checksum-failed) storage
+  /// blocks: the answer is complete over every healthy block but may be
+  /// missing rows. `quarantined_blocks` counts the skipped block touches
+  /// (the same block reached through two range tasks counts twice).
+  bool degraded = false;
+  int64_t quarantined_blocks = 0;
+
   /// Accumulator for the query's i-th aggregate.
   int64_t agg_value(int i) const { return i == 0 ? agg : extra[i - 1]; }
   int64_t* agg_accumulator(int i) { return i == 0 ? &agg : &extra[i - 1]; }
@@ -186,6 +193,8 @@ inline void MergeQueryResults(AggKind kind, const QueryResult& in,
   out->scanned += in.scanned;
   out->matched += in.matched;
   out->cell_ranges += in.cell_ranges;
+  out->degraded = out->degraded || in.degraded;
+  out->quarantined_blocks += in.quarantined_blocks;
   switch (kind) {
     case AggKind::kCount:
     case AggKind::kSum:
@@ -229,6 +238,8 @@ inline void MergeQueryResults(const Query& query, const QueryResult& in,
   out->scanned += in.scanned;
   out->matched += in.matched;
   out->cell_ranges += in.cell_ranges;
+  out->degraded = out->degraded || in.degraded;
+  out->quarantined_blocks += in.quarantined_blocks;
   MergeAggValue(query.agg_spec(0).op, in.agg, &out->agg);
   for (size_t i = 0; i < out->extra.size(); ++i) {
     MergeAggValue(query.agg_spec(static_cast<int>(i) + 1).op, in.extra[i],

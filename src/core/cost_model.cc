@@ -15,6 +15,30 @@ CostWeights CalibrateCostWeights(const ExecContext& ctx) {
   return CalibrateCostWeights(ctx.scan);
 }
 
+double PredictPlanNanos(const QueryPlan& plan, const CostWeights& weights) {
+  if (!plan.use_tasks) return 0.0;
+  int64_t inexact_rows = 0;
+  int64_t exact_rows = 0;
+  for (const RangeTask& task : plan.tasks) {
+    (task.exact ? exact_rows : inexact_rows) += task.end - task.begin;
+  }
+  const int filtered =
+      static_cast<int>(NormalizedFilters(plan.query).size());
+  int agg_cols = 0;
+  for (int a = 0; a < plan.query.num_aggs(); ++a) {
+    if (plan.query.agg_spec(a).op != AggKind::kCount) ++agg_cols;
+  }
+  // Inexact rows pay the filter passes; exact rows skip them and pay only
+  // the aggregate reads (an exact COUNT range is free, matching the
+  // kernel's touch-no-data path).
+  double nanos = weights.w0 * static_cast<double>(plan.tasks.size());
+  nanos += weights.w1 * static_cast<double>(inexact_rows) *
+           static_cast<double>(std::max(filtered, 1));
+  nanos += weights.w1 * static_cast<double>(exact_rows) *
+           static_cast<double>(agg_cols);
+  return nanos;
+}
+
 CostWeights CalibrateCostWeights(const ScanOptions& options) {
   CostWeights weights;
   Rng rng(123);

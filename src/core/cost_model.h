@@ -19,6 +19,7 @@
 namespace tsunami {
 
 class ExecContext;
+struct QueryPlan;
 
 /// Cost-model weights, in nanoseconds. w0 is the cost of one lookup-table
 /// access plus the cache miss of jumping to a new physical range; w1 the
@@ -61,6 +62,16 @@ CostWeights CalibrateCostWeights(const ScanOptions& options = {});
 /// Calibrates with the scan options (kernel mode + SIMD tier) of the
 /// context that will execute the queries.
 CostWeights CalibrateCostWeights(const ExecContext& ctx);
+
+/// Predicted execution time in nanoseconds for an already-prepared plan,
+/// straight from the §5.3.1 analytic form: w0 per planned range plus the
+/// per-row scan term over the rows the ranges cover — filtered dimensions
+/// for inexact ranges, aggregate columns for exact ones. This is the
+/// admission-control half of the model: QueryService compares it against a
+/// query's deadline budget and rejects (kDeadlineInfeasible) work that
+/// could not finish even on an idle machine. Plans without range tasks
+/// (passthrough indexes) predict 0 — never rejected.
+double PredictPlanNanos(const QueryPlan& plan, const CostWeights& weights);
 
 /// Predicts average query time for Augmented Grid candidates over a region,
 /// using a point sample and a query subsample (§5.3.1: "the features of

@@ -205,6 +205,54 @@ void TsunamiIndex::BuildIndex(const Dataset& data, const Workload& workload,
     if (reg.has_grid) reg.grid.Attach(&store_, reg.begin);
   }
   stats_.sort_seconds = sort_seconds + sort_timer.ElapsedSeconds();
+
+  // Retain the folded delta rows' raw values keyed by physical position:
+  // the incremental rebuild consumed `previous`'s delta buffer (its rows
+  // are the tail of MaterializeData's output), and keeping their values
+  // lets RepairQuarantinedFromDelta re-encode a freshly folded block whose
+  // checksum later fails, instead of serving it degraded until the next
+  // full rebuild.
+  fold_backup_ = FoldBackup{};
+  if (previous != nullptr && previous->delta_rows_ > 0) {
+    const uint32_t first_delta =
+        static_cast<uint32_t>(previous->store_.size());
+    fold_backup_.cols.assign(data.dims(), {});
+    for (int64_t i = 0; i < static_cast<int64_t>(perm.size()); ++i) {
+      if (perm[i] < first_delta) continue;
+      fold_backup_.pos.push_back(i);
+      for (int d = 0; d < data.dims(); ++d) {
+        fold_backup_.cols[d].push_back(data.at(perm[i], d));
+      }
+    }
+  }
+}
+
+int64_t TsunamiIndex::RepairQuarantinedFromDelta() {
+  if (fold_backup_.pos.empty() || store_.QuarantinedBlocks() == 0) return 0;
+  int64_t repaired = 0;
+  const int64_t rows = store_.size();
+  const int64_t num_blocks = (rows + kScanBlockRows - 1) / kScanBlockRows;
+  const std::vector<int64_t>& pos = fold_backup_.pos;
+  for (int d = 0; d < store_.dims(); ++d) {
+    const EncodedColumn& col = store_.encoded(d);
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      if (!col.IsQuarantined(b)) continue;
+      const int64_t lo = b * kScanBlockRows;
+      const int64_t hi = std::min(lo + kScanBlockRows, rows);
+      const int64_t n = hi - lo;
+      // Repairable iff every row of the block was a folded delta row:
+      // `pos` is strictly ascending, so covering [lo, hi) takes exactly n
+      // consecutive entries starting at value lo.
+      const auto it = std::lower_bound(pos.begin(), pos.end(), lo);
+      const int64_t idx = it - pos.begin();
+      if (idx + n > static_cast<int64_t>(pos.size())) continue;
+      if (pos[idx] != lo || pos[idx + n - 1] != hi - 1) continue;
+      if (store_.RepairBlock(d, b, fold_backup_.cols[d].data() + idx, n)) {
+        ++repaired;
+      }
+    }
+  }
+  return repaired;
 }
 
 void TsunamiIndex::Insert(const std::vector<Value>& row) {

@@ -122,6 +122,16 @@ class TsunamiIndex : public MultiDimIndex {
   /// merge the buffer.
   Dataset MaterializeData() const;
 
+  /// Re-materializes quarantined (checksum-failed) encoded blocks whose
+  /// rows all came from the most recent incremental rebuild's delta fold,
+  /// using the raw values retained from that fold — corruption confined to
+  /// freshly folded blocks heals in place instead of degrading every query
+  /// that touches them. Returns the number of blocks repaired; blocks with
+  /// any pre-fold row (and everything on an index without a fold, or
+  /// loaded from a snapshot — the backup is not persisted) are left
+  /// quarantined for a full rebuild to clear.
+  int64_t RepairQuarantinedFromDelta();
+
   // --- Persistence (§8 "Persistence") ---
   // A snapshot holds the clustered column store, the Grid Tree, every
   // region's Augmented Grid and plan, the delta buffer, and build stats.
@@ -175,6 +185,16 @@ class TsunamiIndex : public MultiDimIndex {
   // Columnar insert buffer, scanned by every query; one vector per dim.
   std::vector<std::vector<Value>> delta_cols_;
   int64_t delta_rows_ = 0;
+  /// Raw values of the rows folded out of the delta buffer by the most
+  /// recent incremental rebuild, keyed by their physical positions in the
+  /// clustered store (ascending). The redundancy RepairQuarantinedFromDelta
+  /// trades for: a corrupt freshly-folded block can be re-encoded from
+  /// here. In-memory only — snapshots do not carry it.
+  struct FoldBackup {
+    std::vector<int64_t> pos;              // Ascending physical rows.
+    std::vector<std::vector<Value>> cols;  // [dim][i]: value at pos[i].
+  };
+  FoldBackup fold_backup_;
   GridTree tree_;
   std::vector<Region> regions_;
   ColumnStore store_;

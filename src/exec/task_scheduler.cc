@@ -1,5 +1,11 @@
 #include "src/exec/task_scheduler.h"
 
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "src/common/fault_injection.h"
+
 namespace tsunami {
 
 TaskScheduler::TaskScheduler(int threads) {
@@ -84,7 +90,25 @@ TaskScheduler::Stats TaskScheduler::stats() const {
   s.jobs = jobs_.load(std::memory_order_relaxed);
   s.chunks = chunks_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
+  s.boosts = boosts_.load(std::memory_order_relaxed);
+  s.task_failures = task_failures_.load(std::memory_order_relaxed);
   return s;
+}
+
+void TaskScheduler::Boost(const JobRef& job) {
+  if (job == nullptr || job->finished() || workers_.empty()) return;
+  bool moved = false;
+  for (std::unique_ptr<Worker>& wp : workers_) {
+    Worker& w = *wp;
+    std::unique_lock<std::mutex> lock(w.mu);
+    // Stable partition keeps both the job's chunks and the rest in their
+    // existing relative order; only the boundary between them moves.
+    auto mid = std::stable_partition(
+        w.deque.begin(), w.deque.end(),
+        [&job](const Task& t) { return t.job == job; });
+    moved = moved || mid != w.deque.begin();
+  }
+  if (moved) boosts_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool TaskScheduler::NextTask(int id, Task* out) {
@@ -118,7 +142,23 @@ bool TaskScheduler::NextTask(int id, Task* out) {
 }
 
 void TaskScheduler::RunTask(const Task& task, int worker) {
-  task.job->fn_(task.chunk, worker);
+  try {
+    // Fault sites: a chunk that throws (exercises the failed-job path) and
+    // a worker that stalls mid-chunk (exercises deadline enforcement and
+    // stealing under stragglers).
+    if (TSUNAMI_FAULT_FIRES("sched.task_throw", task.chunk)) {
+      throw std::runtime_error("injected task fault");
+    }
+    if (TSUNAMI_FAULT_FIRES("sched.stall", task.chunk)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    task.job->fn_(task.chunk, worker);
+  } catch (...) {
+    // Swallow: the worker survives, the job completes (below) but is
+    // marked failed so the caller knows its partials are untrustworthy.
+    task.job->failed_.store(true, std::memory_order_release);
+    task_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
   chunks_.fetch_add(1, std::memory_order_relaxed);
   if (task.job->remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last chunk: publish completion under the job mutex so a waiter

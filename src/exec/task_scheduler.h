@@ -20,9 +20,13 @@
 // submitted jobs interleave in the deques — that is the point: one shared
 // scheduler parallelizes *across* queries and *within* each query at once.
 //
-// Chunks must not throw and must be independent; result aggregation is the
-// caller's job (per-chunk partials merged after Wait, the same
-// disjoint-rows argument ExecuteRangeTasks already relies on).
+// Chunks must be independent; result aggregation is the caller's job
+// (per-chunk partials merged after Wait, the same disjoint-rows argument
+// ExecuteRangeTasks already relies on). A chunk that throws does not take
+// the worker down: the exception is swallowed, the job is marked failed()
+// and still completes (Wait never hangs), and the caller decides what a
+// failed job's partials are worth — QueryService discards them and reports
+// the query as failed.
 #ifndef TSUNAMI_EXEC_TASK_SCHEDULER_H_
 #define TSUNAMI_EXEC_TASK_SCHEDULER_H_
 
@@ -47,11 +51,17 @@ class TaskScheduler {
    public:
     bool finished() const { return done_.load(std::memory_order_acquire); }
 
+    /// True when any chunk of this job threw. The job still completes (every
+    /// chunk runs or is drained); the caller must treat its partials as
+    /// untrustworthy.
+    bool failed() const { return failed_.load(std::memory_order_acquire); }
+
    private:
     friend class TaskScheduler;
     std::function<void(int64_t, int)> fn_;
     std::atomic<int64_t> remaining_{0};
     std::atomic<bool> done_{false};
+    std::atomic<bool> failed_{false};
     std::mutex mu_;
     std::condition_variable cv_;
   };
@@ -64,6 +74,8 @@ class TaskScheduler {
     int64_t jobs = 0;
     int64_t chunks = 0;
     int64_t steals = 0;
+    int64_t boosts = 0;         // Jobs moved to deque fronts by Boost().
+    int64_t task_failures = 0;  // Chunks that threw (swallowed, job failed).
   };
 
   /// With `threads <= 0` the scheduler degenerates to inline execution on
@@ -87,6 +99,15 @@ class TaskScheduler {
 
   /// Blocks until every chunk of `job` has finished.
   void Wait(const JobRef& job);
+
+  /// Moves every still-queued chunk of `job` to the front of its deque,
+  /// preserving their relative order — the dynamic half of prioritization:
+  /// priorities are otherwise fixed at Submit, but a query drifting toward
+  /// its deadline can be boosted past queued backlog mid-flight
+  /// (QueryService does this when a pending query's remaining deadline
+  /// budget falls below half). Chunks already running or finished are
+  /// unaffected; a no-op for null/finished jobs and inline schedulers.
+  void Boost(const JobRef& job);
 
   /// Non-blocking completion check.
   static bool Finished(const JobRef& job) { return job->finished(); }
@@ -133,6 +154,8 @@ class TaskScheduler {
   std::atomic<int64_t> jobs_{0};
   std::atomic<int64_t> chunks_{0};
   std::atomic<int64_t> steals_{0};
+  std::atomic<int64_t> boosts_{0};
+  std::atomic<int64_t> task_failures_{0};
 };
 
 }  // namespace tsunami

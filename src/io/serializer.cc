@@ -4,15 +4,16 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/common/fault_injection.h"
+
 namespace tsunami {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x544E534D;  // "TSNM" read little-endian.
-// Version 2: ColumnStore payloads hold per-block codecs + code arrays
-// (encoded_column.h) instead of delta-varint raw columns, and the Tsunami
-// delta buffer is columnar. Version-1 files are rejected cleanly.
-constexpr uint32_t kFormatVersion = 2;
+// Oldest format version ReadFramedFile still accepts (see the version
+// history on kTsunamiFormatVersion in the header).
+constexpr uint32_t kMinFormatVersion = 2;
 
 std::array<uint32_t, 256> BuildCrcTable() {
   std::array<uint32_t, 256> table{};
@@ -35,6 +36,90 @@ uint32_t Crc32(std::string_view data) {
     crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+constexpr uint64_t kXxPrime1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kXxPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kXxPrime3 = 0x165667B19E3779F9ull;
+constexpr uint64_t kXxPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr uint64_t kXxPrime5 = 0x27D4EB2F165667C5ull;
+
+uint64_t XxRotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+uint64_t XxRead64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // Little-endian hosts only, like the rest of the serializer.
+}
+
+uint32_t XxRead32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t XxRound(uint64_t acc, uint64_t input) {
+  acc += input * kXxPrime2;
+  acc = XxRotl(acc, 31);
+  return acc * kXxPrime1;
+}
+
+uint64_t XxMergeRound(uint64_t acc, uint64_t val) {
+  acc ^= XxRound(0, val);
+  return acc * kXxPrime1 + kXxPrime4;
+}
+
+}  // namespace
+
+uint64_t XxHash64(std::string_view data, uint64_t seed) {
+  const char* p = data.data();
+  const char* const end = p + data.size();
+  uint64_t h;
+  if (data.size() >= 32) {
+    uint64_t v1 = seed + kXxPrime1 + kXxPrime2;
+    uint64_t v2 = seed + kXxPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kXxPrime1;
+    const char* const limit = end - 32;
+    do {
+      v1 = XxRound(v1, XxRead64(p));
+      v2 = XxRound(v2, XxRead64(p + 8));
+      v3 = XxRound(v3, XxRead64(p + 16));
+      v4 = XxRound(v4, XxRead64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = XxRotl(v1, 1) + XxRotl(v2, 7) + XxRotl(v3, 12) + XxRotl(v4, 18);
+    h = XxMergeRound(h, v1);
+    h = XxMergeRound(h, v2);
+    h = XxMergeRound(h, v3);
+    h = XxMergeRound(h, v4);
+  } else {
+    h = seed + kXxPrime5;
+  }
+  h += static_cast<uint64_t>(data.size());
+  while (p + 8 <= end) {
+    h ^= XxRound(0, XxRead64(p));
+    h = XxRotl(h, 27) * kXxPrime1 + kXxPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(XxRead32(p)) * kXxPrime1;
+    h = XxRotl(h, 23) * kXxPrime2 + kXxPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint8_t>(*p) * kXxPrime5;
+    h = XxRotl(h, 11) * kXxPrime1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= kXxPrime2;
+  h ^= h >> 29;
+  h *= kXxPrime3;
+  h ^= h >> 32;
+  return h;
 }
 
 void BinaryWriter::PutFixed32(uint32_t v) {
@@ -183,7 +268,7 @@ bool WriteFramedFile(const std::string& path, FileKind kind,
                      std::string_view payload, std::string* error) {
   BinaryWriter header;
   header.PutFixed32(kMagic);
-  header.PutFixed32(kFormatVersion);
+  header.PutFixed32(kTsunamiFormatVersion);
   header.PutFixed32(static_cast<uint32_t>(kind));
   header.PutFixed64(payload.size());
   header.PutFixed32(Crc32(payload));
@@ -203,13 +288,18 @@ bool WriteFramedFile(const std::string& path, FileKind kind,
 }
 
 bool ReadFramedFile(const std::string& path, FileKind kind,
-                    std::string* payload, std::string* error) {
-  auto fail = [error](const std::string& message) {
+                    std::string* payload, std::string* error,
+                    FileError* code, uint32_t* version_out) {
+  if (code != nullptr) *code = FileError::kNone;
+  auto fail = [error, code](FileError c, const std::string& message) {
     if (error != nullptr) *error = message;
+    if (code != nullptr) *code = c;
     return false;
   };
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return fail("cannot open '" + path + "'");
+  if (f == nullptr) {
+    return fail(FileError::kIoError, "cannot open '" + path + "'");
+  }
   std::string contents;
   char chunk[1 << 16];
   size_t n;
@@ -218,35 +308,48 @@ bool ReadFramedFile(const std::string& path, FileKind kind,
   }
   std::fclose(f);
 
+  // Fault site: simulate a short read (a crash mid-write, a torn copy). The
+  // truncation checks below must turn this into a typed error, never UB.
+  if (TSUNAMI_FAULT_FIRES("io.short_read", contents.size())) {
+    contents.resize(contents.size() / 2);
+  }
+
   constexpr size_t kHeaderSize = 4 + 4 + 4 + 8 + 4;
   if (contents.size() < kHeaderSize) {
-    return fail("'" + path + "' is truncated (no header)");
+    return fail(FileError::kTruncated,
+                "'" + path + "' is truncated (no header)");
   }
   BinaryReader header(std::string_view(contents).substr(0, kHeaderSize));
   if (header.GetFixed32() != kMagic) {
-    return fail("'" + path + "' is not a tsunami file (bad magic)");
+    return fail(FileError::kBadMagic,
+                "'" + path + "' is not a tsunami file (bad magic)");
   }
   uint32_t version = header.GetFixed32();
-  if (version != kFormatVersion) {
-    return fail("'" + path + "' has unsupported format version " +
-                std::to_string(version));
+  if (version < kMinFormatVersion || version > kTsunamiFormatVersion) {
+    return fail(FileError::kBadVersion,
+                "'" + path + "' has unsupported format version " +
+                    std::to_string(version));
   }
   uint32_t got_kind = header.GetFixed32();
   if (got_kind != static_cast<uint32_t>(kind)) {
-    return fail("'" + path + "' holds object kind " +
-                std::to_string(got_kind) + ", expected " +
-                std::to_string(static_cast<uint32_t>(kind)));
+    return fail(FileError::kBadKind,
+                "'" + path + "' holds object kind " +
+                    std::to_string(got_kind) + ", expected " +
+                    std::to_string(static_cast<uint32_t>(kind)));
   }
   uint64_t payload_size = header.GetFixed64();
   uint32_t crc = header.GetFixed32();
   if (contents.size() - kHeaderSize != payload_size) {
-    return fail("'" + path + "' is truncated (payload size mismatch)");
+    return fail(FileError::kTruncated,
+                "'" + path + "' is truncated (payload size mismatch)");
   }
   std::string_view body = std::string_view(contents).substr(kHeaderSize);
   if (Crc32(body) != crc) {
-    return fail("'" + path + "' is corrupt (checksum mismatch)");
+    return fail(FileError::kChecksumMismatch,
+                "'" + path + "' is corrupt (checksum mismatch)");
   }
   payload->assign(body);
+  if (version_out != nullptr) *version_out = version;
   return true;
 }
 

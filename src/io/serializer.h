@@ -17,6 +17,22 @@ namespace tsunami {
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `data`.
 uint32_t Crc32(std::string_view data);
 
+/// 64-bit xxhash-style hash over `data` (XXH64 algorithm). Used for the
+/// per-block storage checksums: wider and cheaper per byte than CRC-32, so
+/// a scan can afford to verify a block on first touch.
+uint64_t XxHash64(std::string_view data, uint64_t seed = 0);
+
+/// Current framed-file format version.
+/// Version 2: ColumnStore payloads hold per-block codecs + code arrays
+/// (encoded_column.h) instead of delta-varint raw columns, and the Tsunami
+/// delta buffer is columnar.
+/// Version 3: encoded columns append per-block XxHash64 checksums so a
+/// corrupt block can be quarantined (not fatal) at load or on first scan
+/// touch. Version-2 files are still read (checksums recomputed from the
+/// payload, which the frame CRC already validated); version-1 files are
+/// rejected cleanly.
+inline constexpr uint32_t kTsunamiFormatVersion = 3;
+
 /// Appends primitive values to an in-memory buffer in little-endian order.
 /// Integers use LEB128 varints (signed values zigzag encoded), so sorted or
 /// small-magnitude columns stay compact.
@@ -70,6 +86,12 @@ class BinaryReader {
   /// out-of-range enum value).
   void MarkCorrupt() { ok_ = false; }
 
+  /// Framed-file format version this payload was written under. Defaults to
+  /// the current version; ReadFramedFile's caller sets it for older files so
+  /// structures with versioned layouts (EncodedColumn) can branch.
+  void set_version(uint32_t v) { version_ = v; }
+  uint32_t version() const { return version_; }
+
  private:
   /// Caps element counts read from the stream so a corrupt length prefix
   /// cannot trigger a huge allocation.
@@ -78,6 +100,7 @@ class BinaryReader {
   std::string_view data_;
   size_t pos_ = 0;
   bool ok_ = true;
+  uint32_t version_ = kTsunamiFormatVersion;
 };
 
 /// Framed file kinds (one per top-level object we persist).
@@ -85,6 +108,18 @@ enum class FileKind : uint32_t {
   kDataset = 1,
   kWorkload = 2,
   kTsunamiIndex = 3,
+};
+
+/// Typed failure cause for ReadFramedFile, so callers (and tests) can react
+/// to *why* a file was rejected without parsing the human-readable message.
+enum class FileError : uint8_t {
+  kNone = 0,
+  kIoError,            // Missing file / unreadable.
+  kBadMagic,           // Not a tsunami file.
+  kBadVersion,         // Format version we cannot read.
+  kBadKind,            // Frame holds a different object kind.
+  kTruncated,          // Short read: header or payload cut off.
+  kChecksumMismatch,   // Payload bytes fail the frame CRC.
 };
 
 /// Writes `payload` to `path` framed as:
@@ -95,8 +130,12 @@ bool WriteFramedFile(const std::string& path, FileKind kind,
 
 /// Reads and validates a framed file; fails on missing file, bad magic,
 /// unsupported version, kind mismatch, truncation, or checksum mismatch.
+/// On failure `code` (when non-null) carries the typed cause; on success it
+/// is kNone and `version` (when non-null) carries the file's format version
+/// — pass it to BinaryReader::set_version before decoding the payload.
 bool ReadFramedFile(const std::string& path, FileKind kind,
-                    std::string* payload, std::string* error);
+                    std::string* payload, std::string* error,
+                    FileError* code = nullptr, uint32_t* version = nullptr);
 
 }  // namespace tsunami
 

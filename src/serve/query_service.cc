@@ -1,5 +1,10 @@
 #include "src/serve/query_service.h"
 
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
 #include "src/exec/runner.h"
 #include "src/exec/thread_pool.h"
 
@@ -15,27 +20,142 @@ QueryService::QueryService(const MultiDimIndex* index,
 
 QueryService::~QueryService() = default;
 
-QueryService::Ticket QueryService::Submit(const Query& query,
-                                          const SubmitOptions& options) {
+QueryService::Admission QueryService::Submit(const Query& query,
+                                             const SubmitOptions& options) {
   return Admit(cache_.GetOrPrepare(*index_, query), options);
 }
 
-QueryService::Ticket QueryService::SubmitPlan(
+QueryService::Admission QueryService::SubmitPlan(
     std::shared_ptr<const QueryPlan> plan, const SubmitOptions& options) {
   return Admit(std::move(plan), options);
 }
 
-std::vector<QueryService::Ticket> QueryService::SubmitBatch(
+std::vector<QueryService::Admission> QueryService::SubmitBatch(
     std::span<const Query> queries, const SubmitOptions& options) {
-  std::vector<Ticket> tickets;
-  tickets.reserve(queries.size());
+  std::vector<Admission> admissions;
+  admissions.reserve(queries.size());
   for (const Query& query : queries) {
-    tickets.push_back(Submit(query, options));
+    admissions.push_back(Submit(query, options));
   }
-  return tickets;
+  return admissions;
 }
 
-QueryService::Ticket QueryService::Admit(
+void QueryService::RecordStop(const Pending* p, uint8_t cause) {
+  // First writer wins: the earliest recorded cause is the truthful one (a
+  // deadline expiring after a shed does not relabel the shed).
+  uint8_t expected = Pending::kStopNone;
+  p->stop_cause.compare_exchange_strong(expected, cause,
+                                        std::memory_order_relaxed);
+}
+
+uint8_t QueryService::CauseOf(const ExecContext& ctx) {
+  if (ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed)) {
+    return Pending::kStopCancelled;
+  }
+  return Pending::kStopTimedOut;
+}
+
+bool QueryService::HasRoom(int64_t num_chunks, int priority) const {
+  // Low-priority traffic only fills up to the watermark; the remainder is
+  // headroom for latency-sensitive queries.
+  const bool low = priority <= 0;
+  if (options_.max_queued_queries > 0) {
+    int64_t cap = options_.max_queued_queries;
+    if (low) {
+      cap = std::max<int64_t>(
+          1, static_cast<int64_t>(cap * options_.low_priority_watermark));
+    }
+    if (active_queries_.load(std::memory_order_relaxed) + 1 > cap) {
+      return false;
+    }
+  }
+  if (options_.max_queued_chunks > 0) {
+    int64_t cap = options_.max_queued_chunks;
+    if (low) {
+      cap = std::max<int64_t>(
+          1, static_cast<int64_t>(cap * options_.low_priority_watermark));
+    }
+    if (admitted_chunks_.load(std::memory_order_relaxed) + num_chunks > cap) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void QueryService::ReleaseChunks(Pending* p, int64_t n) {
+  // CAS-take: a finishing chunk (n = 1) and a shed releasing the remainder
+  // (n = max) race here; each unit of the held budget is returned exactly
+  // once no matter how the takes interleave.
+  int64_t held = p->gauge_held.load(std::memory_order_relaxed);
+  int64_t take;
+  do {
+    take = std::min(held, n);
+    if (take <= 0) return;
+  } while (!p->gauge_held.compare_exchange_weak(held, held - take,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed));
+  admitted_chunks_.fetch_sub(take, std::memory_order_relaxed);
+}
+
+void QueryService::ReleaseQuery(Pending* p) {
+  bool expected = false;
+  if (p->query_released.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+    active_queries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryService::ShedVictims(int priority, int64_t num_chunks) {
+  // admission_mu_ is held: no new victims can be admitted under us, and no
+  // competing shed can double-release (ReleaseChunks is race-free anyway).
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<int, Pending*>> victims;
+  for (auto& entry : tickets_) {
+    Pending* v = entry.second.get();
+    if (v->ctx.priority >= priority) continue;
+    if (v->stop_cause.load(std::memory_order_relaxed) != Pending::kStopNone) {
+      continue;
+    }
+    // A finished query holds no reclaimable budget — and must not be
+    // relabelled as shed under its awaiter. (A victim finishing between
+    // this check and the stop record loses a completed answer, but never
+    // yields a wrong one: its Await returns the identity result as shed.)
+    if (v->job != nullptr && v->job->finished()) continue;
+    victims.emplace_back(v->ctx.priority, v);
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const std::pair<int, Pending*>& a,
+               const std::pair<int, Pending*>& b) {
+              return a.first < b.first;
+            });
+  for (const auto& victim : victims) {
+    if (HasRoom(num_chunks, priority)) break;
+    Pending* v = victim.second;
+    RecordStop(v, Pending::kStopShed);
+    ReleaseChunks(v, std::numeric_limits<int64_t>::max());
+    ReleaseQuery(v);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryService::BoostNearDeadline() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : tickets_) {
+    Pending* p = entry.second.get();
+    if (p->ctx.deadline_seconds <= 0.0) continue;
+    if (p->boosted.load(std::memory_order_relaxed)) continue;
+    if (p->stop_cause.load(std::memory_order_relaxed) != Pending::kStopNone) {
+      continue;
+    }
+    if (p->job == nullptr || p->job->finished()) continue;
+    if (p->admit_timer.ElapsedSeconds() > 0.5 * p->ctx.deadline_seconds) {
+      scheduler_.Boost(p->job);
+      p->boosted.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+QueryService::Admission QueryService::Admit(
     std::shared_ptr<const QueryPlan> plan, const SubmitOptions& options) {
   auto pending = std::make_unique<Pending>();
   Pending* p = pending.get();
@@ -45,7 +165,19 @@ QueryService::Ticket QueryService::Admit(
   p->ctx.cancel = options.cancel;
   p->ctx.deadline_seconds = options.deadline_seconds;
   p->ctx.priority = options.priority;
-  p->ctx.StartBatch();  // Deadline clock starts at admission.
+
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fail fast on work that could not finish in budget even on an idle
+  // machine: burning workers on a query that must time out only adds queue
+  // wait to every other query's deadline.
+  if (options_.reject_infeasible_deadlines && options.deadline_seconds > 0.0) {
+    const double predicted = PredictPlanNanos(*p->plan, options_.cost_weights);
+    if (predicted > options.deadline_seconds * 1e9) {
+      rejected_infeasible_.fetch_add(1, std::memory_order_relaxed);
+      return Admission{0, AdmissionOutcome::kDeadlineInfeasible};
+    }
+  }
 
   int64_t num_chunks;
   if (p->plan->use_tasks) {
@@ -61,33 +193,64 @@ QueryService::Ticket QueryService::Admit(
     p->partials.resize(1);
   }
 
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Reserve admission budget. The gauges are maintained for unbounded
+  // services too (the stats are useful either way); only bounded ones can
+  // reject.
+  if (bounded()) {
+    std::lock_guard<std::mutex> admit(admission_mu_);
+    if (!HasRoom(num_chunks, options.priority)) {
+      if (options.priority > 0) ShedVictims(options.priority, num_chunks);
+      if (!HasRoom(num_chunks, options.priority)) {
+        rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+        return Admission{0, AdmissionOutcome::kQueueFull};
+      }
+    }
+    active_queries_.fetch_add(1, std::memory_order_relaxed);
+    admitted_chunks_.fetch_add(num_chunks, std::memory_order_relaxed);
+  } else {
+    active_queries_.fetch_add(1, std::memory_order_relaxed);
+    admitted_chunks_.fetch_add(num_chunks, std::memory_order_relaxed);
+  }
+  p->gauge_held.store(num_chunks, std::memory_order_relaxed);
+
+  p->ctx.StartBatch();  // Deadline clock starts at admission.
   const bool use_tasks = p->plan->use_tasks;
-  p->stop_target = {&p->ctx, &p->stopped};
+  // Shedding can stop any query in a bounded service, so the in-scan stop
+  // probe is installed whenever a mid-flight stop is possible at all.
+  const bool stoppable = p->ctx.Cancellable() || bounded();
   p->chunks_left.store(num_chunks, std::memory_order_relaxed);
   p->job = scheduler_.Submit(
       num_chunks,
-      [p, use_tasks](int64_t chunk, int /*worker*/) {
+      [this, p, use_tasks, stoppable](int64_t chunk, int /*worker*/) {
         QueryResult& partial = p->partials[chunk];
         partial = InitResult(p->plan->query);
-        if (p->ctx.ShouldStop()) {
+        if (p->stop_cause.load(std::memory_order_relaxed) !=
+            Pending::kStopNone) {
+          // Already stopped (shed, cancelled, or expired): leave the
+          // identity partial — Await returns the identity result anyway.
+        } else if (p->ctx.ShouldStop()) {
           // Skipped outright: record it, so Await returns the identity
           // result even if a borrowed cancel flag is cleared again later.
-          p->stopped.store(true, std::memory_order_relaxed);
+          RecordStop(p, CauseOf(p->ctx));
         } else if (use_tasks) {
           // One disjoint slice of the planned ranges. The stop probe rides
-          // in the scan options so a deadline lands mid-chunk too — and it
-          // records the cut on the Pending the instant it fires, which is
-          // the only race-free witness that this scan was abandoned.
+          // in the scan options so a deadline (or a shed) lands mid-chunk
+          // too — and it records the cut on the Pending the instant it
+          // fires, which is the only race-free witness that this scan was
+          // abandoned.
           ScanOptions scan = p->ctx.scan;
-          if (p->ctx.Cancellable()) {
+          if (stoppable) {
             scan.stop_probe = [](const void* arg) {
-              const auto* t = static_cast<const Pending::StopTarget*>(arg);
-              if (!t->ctx->ShouldStop()) return false;
-              t->stopped->store(true, std::memory_order_relaxed);
+              const auto* q = static_cast<const Pending*>(arg);
+              if (q->stop_cause.load(std::memory_order_relaxed) !=
+                  Pending::kStopNone) {
+                return true;
+              }
+              if (!q->ctx.ShouldStop()) return false;
+              RecordStop(q, CauseOf(q->ctx));
               return true;
             };
-            scan.stop_arg = &p->stop_target;
+            scan.stop_arg = p;
           }
           p->target->store().ScanRanges(p->chunks[chunk], p->plan->query,
                                         &partial, scan);
@@ -98,13 +261,17 @@ QueryService::Ticket QueryService::Admit(
           // it observed is still observable here (deadlines never
           // un-expire, and a toggled flag closes an ~ns window at worst).
           if (inline_ctx.ShouldStop()) {
-            p->stopped.store(true, std::memory_order_relaxed);
+            RecordStop(p, CauseOf(inline_ctx));
           }
         }
-        // Last chunk out stamps the query's true completion time, on the
-        // worker — Await's return can be much later on a saturated host.
+        // Return this chunk's admission-budget unit; the last chunk out
+        // releases the query's unit and stamps its true completion time,
+        // on the worker — Await's return can be much later on a saturated
+        // host.
+        ReleaseChunks(p, 1);
         if (p->chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           p->latency_seconds = p->admit_timer.ElapsedSeconds();
+          ReleaseQuery(p);
         }
       },
       options.priority);
@@ -118,7 +285,8 @@ QueryService::Ticket QueryService::Admit(
     ticket = next_ticket_++;
     tickets_.emplace(ticket, std::move(pending));
   }
-  return ticket;
+  BoostNearDeadline();
+  return Admission{ticket, AdmissionOutcome::kAdmitted};
 }
 
 QueryResult QueryService::Await(Ticket ticket, bool* cancelled) {
@@ -129,7 +297,16 @@ QueryResult QueryService::Await(Ticket ticket, bool* cancelled) {
 }
 
 QueryResult QueryService::Await(Ticket ticket, AwaitInfo* info) {
-  bool* cancelled = info != nullptr ? &info->cancelled : nullptr;
+  AwaitInfo local;
+  AwaitInfo& out = info != nullptr ? *info : local;
+  out = AwaitInfo{};
+  if (ticket == 0) {
+    // A rejected Admission: the query never ran, nothing to wait for.
+    out.cancelled = true;
+    out.outcome = QueryOutcome::kRejected;
+    return QueryResult{};
+  }
+  BoostNearDeadline();
   std::unique_ptr<Pending> pending;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -140,33 +317,62 @@ QueryResult QueryService::Await(Ticket ticket, AwaitInfo* info) {
     }
   }
   if (pending == nullptr) {
-    // Unknown or already-awaited ticket: nothing to wait for.
-    if (cancelled != nullptr) *cancelled = true;
+    // A ticket is consumed by exactly one Await; a second (or a
+    // never-issued ticket) is a caller bug. Loud in debug builds, a
+    // defined non-answer in release: never a hang, never someone else's
+    // result.
+    assert(!"QueryService::Await: ticket already awaited or never issued");
+    out.cancelled = true;
+    out.outcome = QueryOutcome::kAlreadyConsumed;
     return QueryResult{};
   }
   scheduler_.Wait(pending->job);
-  if (info != nullptr) info->latency_seconds = pending->latency_seconds;
+  out.latency_seconds = pending->latency_seconds;
   const Query& query = pending->plan->query;
-  if (pending->stopped.load(std::memory_order_relaxed)) {
-    // A worker recorded that it skipped or cut short at least one chunk:
-    // some partials may be partial accumulations. Never pass those off as
-    // an answer — the query reverts to its identity result. (The record is
-    // consulted instead of re-evaluating ShouldStop() here: a query whose
-    // chunks all finished before the deadline expired is returned intact,
-    // and a cancel flag cleared again after cutting a scan short cannot
-    // smuggle partials through.)
-    cancelled_.fetch_add(1, std::memory_order_relaxed);
-    if (cancelled != nullptr) *cancelled = true;
+  if (pending->job->failed()) {
+    // A chunk threw: the scheduler swallowed it and completed the job, but
+    // any partial it half-filled is untrustworthy — as is the merge.
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    out.cancelled = true;
+    out.outcome = QueryOutcome::kFailed;
     return InitResult(query);
   }
-  if (cancelled != nullptr) *cancelled = false;
+  const uint8_t cause = pending->stop_cause.load(std::memory_order_relaxed);
+  if (cause != Pending::kStopNone) {
+    // A worker (or a shedding admitter) recorded that execution was cut
+    // short: some partials may be partial accumulations. Never pass those
+    // off as an answer — the query reverts to its identity result. (The
+    // record is consulted instead of re-evaluating ShouldStop() here: a
+    // query whose chunks all finished before the deadline expired is
+    // returned intact, and a cancel flag cleared again after cutting a
+    // scan short cannot smuggle partials through.)
+    out.cancelled = true;
+    switch (cause) {
+      case Pending::kStopCancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        out.outcome = QueryOutcome::kCancelled;
+        break;
+      case Pending::kStopTimedOut:
+        timed_out_.fetch_add(1, std::memory_order_relaxed);
+        out.outcome = QueryOutcome::kTimedOut;
+        break;
+      default:
+        // shed_ was counted when the victim was evicted.
+        out.outcome = QueryOutcome::kShed;
+        break;
+    }
+    return InitResult(query);
+  }
+  out.cancelled = false;
+  out.outcome = QueryOutcome::kCompleted;
   completed_.fetch_add(1, std::memory_order_relaxed);
   if (!pending->plan->use_tasks) {
     return std::move(pending->partials[0]);
   }
   // Merge: plan counters + every disjoint chunk partial + the target's
   // non-range epilogue — the FinishPlan contract that makes this equal to
-  // Execute(query) bit for bit.
+  // Execute(query) bit for bit. Degradation (quarantined blocks skipped by
+  // any chunk) propagates through the merge.
   QueryResult result = pending->plan->counters;
   for (const QueryResult& partial : pending->partials) {
     MergeQueryResults(query, partial, &result);
@@ -177,7 +383,12 @@ QueryResult QueryService::Await(Ticket ticket, AwaitInfo* info) {
 
 QueryResult QueryService::Run(const Query& query,
                               const SubmitOptions& options, bool* cancelled) {
-  return Await(Submit(query, options), cancelled);
+  Admission admission = Submit(query, options);
+  if (!admission.admitted()) {
+    if (cancelled != nullptr) *cancelled = true;
+    return InitResult(query);
+  }
+  return Await(admission.ticket, cancelled);
 }
 
 ServiceStats QueryService::stats() const {
@@ -185,7 +396,14 @@ ServiceStats QueryService::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.rejected_infeasible = rejected_infeasible_.load(std::memory_order_relaxed);
   s.queue_depth = scheduler_.queue_depth();
+  s.active_queries = active_queries_.load(std::memory_order_relaxed);
+  s.admitted_chunks = admitted_chunks_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.tickets_in_flight = static_cast<int64_t>(tickets_.size());

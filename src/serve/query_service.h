@@ -6,11 +6,11 @@
 // The service turns that stream into scheduler work:
 //
 //   QueryService service(&index, options);
-//   Ticket t = service.Submit(query);        // admit: cache-probe + plan +
-//                                            // decompose, returns at once
+//   auto a = service.Submit(query);           // admit: cache-probe + plan +
+//                                             // decompose, returns at once
 //   ... submit more, from any thread ...
-//   QueryResult r = service.Await(t);        // block for this answer only
-//   QueryResult r = service.Run(query);      // Submit + Await convenience
+//   QueryResult r = service.Await(a);         // block for this answer only
+//   QueryResult r = service.Run(query);       // Submit + Await convenience
 //
 // Admission looks the query up in a bounded-LRU plan cache (plan_cache.h)
 // keyed on the normalized filter rectangle + aggregate list, so repeated
@@ -25,6 +25,27 @@
 // priority ride in SubmitOptions; the deadline clock starts at admission
 // (queue wait counts) and is probed mid-scan at block-aligned slices.
 //
+// Overload robustness. By default admission is unbounded (every Submit is
+// admitted), which is right for embedded use but wrong for a service: an
+// offered load above capacity grows the queue without bound and every
+// query's latency with it. Setting `max_queued_queries` and/or
+// `max_queued_chunks` turns on *bounded admission*: Submit returns an
+// Admission whose outcome says whether the query was admitted, rejected
+// because the queue is full (kQueueFull), or rejected because the §5.3.1
+// cost model predicts it cannot finish inside its deadline even on an
+// idle machine (kDeadlineInfeasible, opt-in via
+// `reject_infeasible_deadlines`). Low-priority queries (priority <= 0)
+// may only fill the queue up to `low_priority_watermark`, reserving
+// headroom for latency-sensitive traffic; when a high-priority query
+// arrives at a full queue, strictly-lower-priority in-flight queries are
+// *shed* (lowest priority first) to make room — a shed query's remaining
+// chunks early-exit and its Await reports QueryOutcome::kShed with the
+// identity result, never partial aggregates. A query drifting past half
+// its deadline budget is boosted to the front of the scheduler deques
+// (TaskScheduler::Boost). Await distinguishes every terminal state via
+// AwaitInfo::outcome: completed, cancelled, timed out, shed, failed (a
+// chunk threw — partials are discarded), rejected, already-consumed.
+//
 // Results are bit-identical to per-query Execute() for every index, thread
 // count, and SIMD tier. The decomposition leans on the MultiDimIndex plan
 // contract (FinishPlan / PlanTarget): a query's answer is the plan's
@@ -36,7 +57,10 @@
 // happens, not re-derived at Await time) returns its identity result with
 // the `cancelled` flag set: partial aggregates are never passed off as
 // answers, and a query that completed before its deadline expired is
-// returned intact no matter how late it is awaited.
+// returned intact no matter how late it is awaited. A scan that skipped
+// quarantined blocks (see storage/encoded_column.h) completes with
+// `QueryResult::degraded` set — degradation propagates through the merge,
+// it does not cancel the query.
 #ifndef TSUNAMI_SERVE_QUERY_SERVICE_H_
 #define TSUNAMI_SERVE_QUERY_SERVICE_H_
 
@@ -51,10 +75,36 @@
 #include "src/common/index.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
+#include "src/core/cost_model.h"
 #include "src/exec/task_scheduler.h"
 #include "src/serve/plan_cache.h"
 
 namespace tsunami {
+
+/// Why Submit did (or did not) admit a query.
+enum class AdmissionOutcome : uint8_t {
+  kAdmitted = 0,
+  /// Bounded admission: the queue (queries or chunks) is at capacity for
+  /// this priority class, and shedding lower-priority work (only attempted
+  /// for priority > 0) could not make room.
+  kQueueFull,
+  /// The cost model predicts the plan cannot finish inside its deadline
+  /// budget even on an idle machine (reject_infeasible_deadlines only).
+  kDeadlineInfeasible,
+};
+
+/// How an admitted query's life ended, reported by Await. Everything but
+/// kCompleted also sets AwaitInfo::cancelled and returns the identity
+/// result: partial aggregates are never passed off as answers.
+enum class QueryOutcome : uint8_t {
+  kCompleted = 0,
+  kCancelled,        // The borrowed cancel flag cut execution short.
+  kTimedOut,         // The deadline expired mid-flight.
+  kShed,             // Evicted by admission control for higher priority.
+  kFailed,           // A chunk threw; its partials are untrustworthy.
+  kRejected,         // Awaited a never-admitted ticket (Admission.ticket 0).
+  kAlreadyConsumed,  // Ticket already awaited (or never issued).
+};
 
 struct ServiceOptions {
   /// Scheduler workers. -1 = hardware concurrency; 0 = inline execution on
@@ -66,6 +116,30 @@ struct ServiceOptions {
   /// steal and cancel at finer granularity but pay more per-chunk
   /// bookkeeping.
   int64_t chunk_rows = 16 * kScanBlockRows;
+
+  // --- Bounded admission (0 = unbounded, the embedded default). ---
+
+  /// Cap on queries admitted and not yet finished. Beyond it, Submit
+  /// rejects with kQueueFull instead of queueing without bound.
+  int64_t max_queued_queries = 0;
+  /// Cap on chunks admitted and not yet finished — the finer-grained bound
+  /// (one giant query is many chunks). A single query whose decomposition
+  /// alone exceeds the cap is always rejected: size the cap (or
+  /// chunk_rows) above the largest plan you intend to serve.
+  int64_t max_queued_chunks = 0;
+  /// Fraction of the caps available to priority <= 0 queries; the rest is
+  /// headroom reserved for higher-priority traffic (which can also shed
+  /// lower-priority work when even the full cap is exhausted).
+  double low_priority_watermark = 0.5;
+  /// When set, Submit rejects (kDeadlineInfeasible) a query whose
+  /// cost-model-predicted execution time (PredictPlanNanos under
+  /// `cost_weights`) already exceeds its deadline budget — failing fast
+  /// instead of burning workers on a query that must time out.
+  bool reject_infeasible_deadlines = false;
+  /// Weights for the feasibility prediction (calibrate with
+  /// CalibrateCostWeights for real nanoseconds; the defaults are sane
+  /// relative costs).
+  CostWeights cost_weights;
 };
 
 /// Per-query admission options.
@@ -86,18 +160,31 @@ struct SubmitOptions {
 /// completion, queue wait included), so it stays truthful even when the
 /// awaiting thread is descheduled behind busy workers — on a saturated
 /// host, Await's *return* time can be far later than the query's actual
-/// completion.
+/// completion. `cancelled` is true for every outcome but kCompleted (the
+/// pre-outcome API; outcome says why).
 struct AwaitInfo {
   bool cancelled = false;
+  QueryOutcome outcome = QueryOutcome::kCompleted;
   double latency_seconds = 0.0;
 };
 
-/// Service-level counters: admission, the cache, and the scheduler.
+/// Service-level counters: admission, terminal outcomes, the cache, and
+/// the scheduler. `submitted` counts admission *attempts* (rejections
+/// included); completed/cancelled/timed_out/shed/failed partition the
+/// awaited outcomes (shed is counted at shed time, not Await time).
 struct ServiceStats {
   int64_t submitted = 0;
-  int64_t completed = 0;   // Awaited with a real answer.
-  int64_t cancelled = 0;   // Awaited after cancel/deadline: identity result.
-  int64_t queue_depth = 0;     // Chunks queued, not yet picked up.
+  int64_t completed = 0;  // Awaited with a real answer.
+  int64_t cancelled = 0;  // Cancel flag cut execution: identity result.
+  int64_t timed_out = 0;  // Deadline cut execution: identity result.
+  int64_t shed = 0;       // Evicted for higher-priority work.
+  int64_t failed = 0;     // A chunk threw; partials discarded.
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_infeasible = 0;
+  int64_t queue_depth = 0;        // Chunks queued, not yet picked up.
+  int64_t active_queries = 0;     // Admitted, not yet finished (gauge).
+  int64_t admitted_chunks = 0;    // Their unfinished chunks (gauge; the
+                                  // max_queued_chunks budget in use).
   int64_t tickets_in_flight = 0;  // Submitted, not yet awaited.
   PlanCache::Stats cache;
   TaskScheduler::Stats scheduler;
@@ -107,6 +194,17 @@ class QueryService {
  public:
   /// An opaque handle to one submitted query. Await exactly once.
   using Ticket = uint64_t;
+
+  /// Submit's return: the ticket plus why admission succeeded or failed.
+  /// Ticket 0 (never issued) means rejected; Await(0) reports kRejected
+  /// without blocking. Converts to Ticket so pre-admission-control call
+  /// sites (`Ticket t = service.Submit(q)`) keep compiling.
+  struct Admission {
+    Ticket ticket = 0;
+    AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+    bool admitted() const { return ticket != 0; }
+    operator Ticket() const { return ticket; }
+  };
 
   /// `index` is borrowed and must outlive the service (and must not be
   /// rebuilt under it — cached plans address its clustered store).
@@ -118,34 +216,41 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Admits one query: plan-cache probe (Prepare on a miss), chunk
-  /// decomposition, scheduler enqueue. Returns immediately; execution
-  /// proceeds on the workers. Thread-safe.
-  Ticket Submit(const Query& query, const SubmitOptions& options = {});
+  /// decomposition, admission check (bounded services only), scheduler
+  /// enqueue. Returns immediately; execution proceeds on the workers.
+  /// Thread-safe.
+  Admission Submit(const Query& query, const SubmitOptions& options = {});
 
-  /// Admits a batch (same options per query); tickets are positionally
-  /// parallel to `queries`.
-  std::vector<Ticket> SubmitBatch(std::span<const Query> queries,
-                                  const SubmitOptions& options = {});
+  /// Admits a batch (same options per query); admissions are positionally
+  /// parallel to `queries`. Under bounded admission, individual members
+  /// may be rejected while others are admitted.
+  std::vector<Admission> SubmitBatch(std::span<const Query> queries,
+                                     const SubmitOptions& options = {});
 
   /// Admits an externally prepared plan without a cache probe (the SQL
   /// engine's seam: its statements were already bound to cached plans at
   /// Prepare time — including each disjoint box of a disjunctive
   /// statement — so execution must not pay a second lookup). The plan must
   /// have been produced by this service's index.
-  Ticket SubmitPlan(std::shared_ptr<const QueryPlan> plan,
-                    const SubmitOptions& options = {});
+  Admission SubmitPlan(std::shared_ptr<const QueryPlan> plan,
+                       const SubmitOptions& options = {});
 
   /// Blocks until the ticket's query finishes and returns its result,
-  /// consuming the ticket. A query cut short by its cancel flag or
-  /// deadline returns its identity result with `*cancelled = true`.
+  /// consuming the ticket. A query cut short by its cancel flag, deadline,
+  /// or shedding returns its identity result with `*cancelled = true`
+  /// (use the AwaitInfo overload to distinguish why). Ticket 0 (a rejected
+  /// Admission) returns at once. Awaiting a ticket twice is a caller bug:
+  /// it returns a defined empty/cancelled result (kAlreadyConsumed) in
+  /// release builds and asserts in debug builds.
   QueryResult Await(Ticket ticket, bool* cancelled = nullptr);
 
-  /// As above, also reporting the query's worker-stamped completion
-  /// latency (see AwaitInfo).
+  /// As above, also reporting the outcome and the query's worker-stamped
+  /// completion latency (see AwaitInfo).
   QueryResult Await(Ticket ticket, AwaitInfo* info);
 
   /// Synchronous convenience: Submit + Await. The calling thread blocks,
-  /// but the chunks still run on (all) the workers.
+  /// but the chunks still run on (all) the workers. A rejected admission
+  /// reports `*cancelled = true` with the identity result.
   QueryResult Run(const Query& query, const SubmitOptions& options = {},
                   bool* cancelled = nullptr);
 
@@ -167,6 +272,20 @@ class QueryService {
   /// closures borrow it, so the scheduler (declared last) must drain
   /// before any Pending is destroyed.
   struct Pending {
+    /// Why execution was cut short, recorded first-writer-wins the moment
+    /// it happens. Await consults this record — NOT a fresh ShouldStop() —
+    /// so a query whose chunks all completed before the deadline expired
+    /// is returned intact, and a cancel flag that was cleared again after
+    /// cutting a scan short can never pass partial aggregates off as a
+    /// completed answer. kStopShed is written by an *admitting* thread
+    /// evicting this query; its remaining chunks observe it and early-exit.
+    enum : uint8_t {
+      kStopNone = 0,
+      kStopCancelled,
+      kStopTimedOut,
+      kStopShed,
+    };
+
     std::shared_ptr<const QueryPlan> plan;
     const MultiDimIndex* target = nullptr;  // PlanTarget(*plan).
     ExecContext ctx;  // Deadline/cancel/scan; pool- and scheduler-free.
@@ -179,29 +298,51 @@ class QueryService {
     std::atomic<int64_t> chunks_left{0};
     Timer admit_timer;
     double latency_seconds = 0.0;
-    /// Set by a worker the moment it actually skips or cuts short any
-    /// chunk. Await consults this record — NOT a fresh ShouldStop() — so a
-    /// query whose chunks all completed before the deadline expired is
-    /// returned intact, and a cancel flag that was cleared again after
-    /// cutting a scan short can never pass partial aggregates off as a
-    /// completed answer.
-    std::atomic<bool> stopped{false};
-    /// Stable target for the recording stop probe (borrowed by ScanOptions
-    /// for the chunk scans).
-    struct StopTarget {
-      const ExecContext* ctx = nullptr;
-      std::atomic<bool>* stopped = nullptr;
-    };
-    StopTarget stop_target;
+    /// Mutable: the stop record is written through const pointers (the
+    /// scan kernel's stop probe sees a const arg).
+    mutable std::atomic<uint8_t> stop_cause{kStopNone};
+    /// Admission-budget units (chunks) this query still holds against the
+    /// service's admitted_chunks gauge. Finishing chunks release one each;
+    /// shedding releases the remainder at once — the CAS take protocol in
+    /// ReleaseChunks makes the two race-free (never double-released).
+    std::atomic<int64_t> gauge_held{0};
+    std::atomic<bool> query_released{false};  // active_queries released?
+    std::atomic<bool> boosted{false};         // Boost() already applied?
     TaskScheduler::JobRef job;
   };
 
-  Ticket Admit(std::shared_ptr<const QueryPlan> plan,
-               const SubmitOptions& options);
+  Admission Admit(std::shared_ptr<const QueryPlan> plan,
+                  const SubmitOptions& options);
+  bool bounded() const {
+    return options_.max_queued_queries > 0 || options_.max_queued_chunks > 0;
+  }
+  /// Capacity check against the gauges; admission_mu_ must be held so
+  /// check+reserve is atomic with respect to other admitters (workers only
+  /// ever decrement, which is conservative).
+  bool HasRoom(int64_t num_chunks, int priority) const;
+  /// Evicts strictly-lower-priority in-flight queries (lowest first) until
+  /// HasRoom for the incoming query or no victims remain. admission_mu_
+  /// must be held; takes mu_ (lock order: admission_mu_ before mu_).
+  void ShedVictims(int priority, int64_t num_chunks);
+  /// Returns up to `n` of `p`'s held chunk-budget units to the gauge.
+  void ReleaseChunks(Pending* p, int64_t n);
+  /// Returns `p`'s query-budget unit (idempotent).
+  void ReleaseQuery(Pending* p);
+  /// Moves any unstarted in-flight query past half its deadline budget to
+  /// the front of the scheduler deques. Called on the admit and await
+  /// paths — no timer thread; a service touched at all keeps deadlines
+  /// honest.
+  void BoostNearDeadline();
+  static void RecordStop(const Pending* p, uint8_t cause);
+  static uint8_t CauseOf(const ExecContext& ctx);
 
   const MultiDimIndex* index_;
   const ServiceOptions options_;
   PlanCache cache_;
+
+  /// Serializes bounded admission (check + reserve + shed). Ordered
+  /// strictly before mu_; never taken by workers.
+  std::mutex admission_mu_;
 
   mutable std::mutex mu_;  // Guards tickets_ and next_ticket_.
   std::unordered_map<Ticket, std::unique_ptr<Pending>> tickets_;
@@ -210,6 +351,13 @@ class QueryService {
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> timed_out_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> rejected_queue_full_{0};
+  std::atomic<int64_t> rejected_infeasible_{0};
+  std::atomic<int64_t> active_queries_{0};
+  std::atomic<int64_t> admitted_chunks_{0};
 
   /// Declared last: destroyed first, draining every in-flight chunk while
   /// the Pendings they borrow are still alive.

@@ -93,6 +93,22 @@ int64_t ColumnStore::DataSizeBytes() const {
   return bytes;
 }
 
+int64_t ColumnStore::QuarantinedBlocks() const {
+  int64_t total = 0;
+  for (const EncodedColumn& col : columns_) total += col.quarantined_blocks();
+  return total;
+}
+
+bool ColumnStore::RepairBlock(int dim, int64_t block, const Value* values,
+                              int64_t n) {
+  if (dim < 0 || dim >= dims()) return false;
+  if (!columns_[dim].RepairBlock(block, values, n)) return false;
+  // The block's zone entry may have been built from the corrupt bytes
+  // (Deserialize decodes to rebuild zones); recompute it from the repair.
+  if (!zones_.empty()) zones_.UpdateBlock(dim, block, values, n);
+  return true;
+}
+
 QueryResult ExecuteFullScan(const ColumnStore& store, const Query& query) {
   QueryResult result = InitResult(query);
   store.ScanRange(0, store.size(), query, /*exact=*/false, &result);

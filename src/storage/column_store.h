@@ -60,6 +60,17 @@ class ColumnStore {
   /// compressed size) — introspection for EXPLAIN output and tests.
   const EncodedColumn& encoded(int dim) const { return columns_[dim]; }
 
+  /// Quarantined (checksum-failed) blocks across all columns. Scans skip
+  /// these and flag their results degraded.
+  int64_t QuarantinedBlocks() const;
+
+  /// Re-encodes one quarantined (or healthy) block of one column in place
+  /// from `values` — exactly the block's row count — clearing quarantine
+  /// and fixing that block's zone-map entry. Fails when the data no longer
+  /// fits the block's stored code width. The repair path for
+  /// TsunamiIndex::RepairQuarantinedFromDelta.
+  bool RepairBlock(int dim, int64_t block, const Value* values, int64_t n);
+
   /// Scans physical rows [begin, end), accumulating the query's aggregate
   /// over rows matching every filter into `out`. Updates out->scanned /
   /// matched. If `exact` is true, all rows in the range are known to match

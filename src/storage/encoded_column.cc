@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
+
+#include "src/common/fault_injection.h"
 
 namespace tsunami {
 
@@ -125,6 +128,137 @@ void EncodedColumn::Encode(const std::vector<Value>& values, bool narrow) {
         break;
     }
   }
+  checksums_.resize(num_blocks);
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    checksums_[b] = ComputeBlockChecksum(b);
+  }
+  // Freshly encoded blocks are trivially verified: the checksum was just
+  // computed from the bytes it covers.
+  ResetIntegrity(kIntegrityVerified);
+}
+
+uint64_t EncodedColumn::ComputeBlockChecksum(int64_t b) const {
+  const BlockView v = block(b);
+  const size_t bytes =
+      static_cast<size_t>(BlockRowCount(b)) * static_cast<size_t>(v.width);
+  // Seed folds the codec (width + frame of reference) into the hash, so a
+  // corrupted codec byte is as detectable as a corrupted code.
+  const uint64_t seed =
+      static_cast<uint64_t>(v.width) * 0x9E3779B97F4A7C15ull ^
+      static_cast<uint64_t>(v.ref);
+  return XxHash64(
+      std::string_view(static_cast<const char*>(v.codes), bytes), seed);
+}
+
+void EncodedColumn::ResetIntegrity(uint8_t state) {
+  integrity_.assign(static_cast<size_t>(num_blocks()), AtomicState(state));
+  unverified_left_.v.store(
+      state == kIntegrityUnverified ? num_blocks() : 0,
+      std::memory_order_relaxed);
+  quarantined_.v.store(0, std::memory_order_relaxed);
+}
+
+bool EncodedColumn::EnsureReadableSlow(int64_t b) const {
+  uint8_t state = integrity_[b].v.load(std::memory_order_acquire);
+  if (state == kIntegrityVerified) return true;
+  if (state == kIntegrityQuarantined) return false;
+  uint64_t computed = ComputeBlockChecksum(b);
+  // Fault site: pretend block b's bytes hash wrong, driving the quarantine
+  // path deterministically without actually corrupting memory.
+  if (TSUNAMI_FAULT_FIRES("storage.checksum", b)) computed ^= 1;
+  const uint8_t next = computed == checksums_[b] ? kIntegrityVerified
+                                                 : kIntegrityQuarantined;
+  uint8_t expected = kIntegrityUnverified;
+  if (integrity_[b].v.compare_exchange_strong(expected, next,
+                                              std::memory_order_acq_rel)) {
+    unverified_left_.v.fetch_sub(1, std::memory_order_relaxed);
+    if (next == kIntegrityQuarantined) {
+      quarantined_.v.fetch_add(1, std::memory_order_relaxed);
+    }
+    return next == kIntegrityVerified;
+  }
+  // Another thread settled the block first; its verdict stands.
+  return expected == kIntegrityVerified;
+}
+
+bool EncodedColumn::VerifyAll() const {
+  for (int64_t b = 0; b < num_blocks(); ++b) EnsureReadableSlow(b);
+  return quarantined_blocks() == 0;
+}
+
+void EncodedColumn::Quarantine(int64_t b) const {
+  const uint8_t prev =
+      integrity_[b].v.exchange(kIntegrityQuarantined,
+                               std::memory_order_acq_rel);
+  if (prev == kIntegrityQuarantined) return;
+  if (prev == kIntegrityUnverified) {
+    unverified_left_.v.fetch_sub(1, std::memory_order_relaxed);
+  }
+  quarantined_.v.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EncodedColumn::MarkAllUnverified() const {
+  int64_t unverified = 0;
+  for (int64_t b = 0; b < num_blocks(); ++b) {
+    if (integrity_[b].v.load(std::memory_order_relaxed) ==
+        kIntegrityQuarantined) {
+      continue;  // Quarantine sticks until an explicit repair.
+    }
+    integrity_[b].v.store(kIntegrityUnverified, std::memory_order_relaxed);
+    ++unverified;
+  }
+  unverified_left_.v.store(unverified, std::memory_order_release);
+}
+
+bool EncodedColumn::RepairBlock(int64_t b, const Value* values, int64_t n) {
+  if (b < 0 || b >= num_blocks() || n != BlockRowCount(b)) return false;
+  Value mn = values[0], mx = values[0];
+  for (int64_t i = 1; i < n; ++i) {
+    mn = values[i] < mn ? values[i] : mn;
+    mx = values[i] > mx ? values[i] : mx;
+  }
+  const uint64_t range =
+      static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn);
+  const int width = widths_[b];
+  if (width < 8 && range > CodeDomainMax(width)) {
+    return false;  // In-place repair cannot widen the block's code array.
+  }
+  const uint64_t off = offsets_[b];
+  switch (width) {
+    case 1:
+      refs_[b] = mn;
+      for (int64_t i = 0; i < n; ++i) {
+        codes8_[off + i] = static_cast<uint8_t>(
+            static_cast<uint64_t>(values[i]) - static_cast<uint64_t>(mn));
+      }
+      break;
+    case 2:
+      refs_[b] = mn;
+      for (int64_t i = 0; i < n; ++i) {
+        codes16_[off + i] = static_cast<uint16_t>(
+            static_cast<uint64_t>(values[i]) - static_cast<uint64_t>(mn));
+      }
+      break;
+    case 4:
+      refs_[b] = mn;
+      for (int64_t i = 0; i < n; ++i) {
+        codes32_[off + i] = static_cast<uint32_t>(
+            static_cast<uint64_t>(values[i]) - static_cast<uint64_t>(mn));
+      }
+      break;
+    default:
+      std::copy_n(values, n, raw_.data() + off);
+      break;
+  }
+  checksums_[b] = ComputeBlockChecksum(b);
+  const uint8_t prev =
+      integrity_[b].v.exchange(kIntegrityVerified, std::memory_order_acq_rel);
+  if (prev == kIntegrityQuarantined) {
+    quarantined_.v.fetch_sub(1, std::memory_order_relaxed);
+  } else if (prev == kIntegrityUnverified) {
+    unverified_left_.v.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
 }
 
 void EncodedColumn::Decode(int64_t begin, int64_t end, Value* out) const {
@@ -206,6 +340,9 @@ void EncodedColumn::Serialize(BinaryWriter* writer) const {
     writer->PutVarI64(v - prev);
     prev = v;
   }
+  // Format v3: per-block checksums ride at the tail so v2 layouts are a
+  // strict prefix of v3 layouts.
+  for (uint64_t checksum : checksums_) writer->PutFixed64(checksum);
 }
 
 bool EncodedColumn::Deserialize(BinaryReader* reader) {
@@ -264,6 +401,25 @@ bool EncodedColumn::Deserialize(BinaryReader* reader) {
   for (uint64_t i = 0; i < raw_elems; ++i) {
     prev += reader->GetVarI64();
     raw_[i] = prev;
+  }
+  if (!reader->ok()) return false;
+  checksums_.resize(num_blocks);
+  if (reader->version() >= 3) {
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      checksums_[b] = reader->GetFixed64();
+    }
+    if (!reader->ok()) return false;
+    // Verify everything now; a mismatch quarantines the block (scans skip
+    // it and report degraded results) rather than failing the load.
+    ResetIntegrity(kIntegrityUnverified);
+    VerifyAll();
+  } else {
+    // v2 payload: no stored checksums. Recompute from bytes the frame CRC
+    // already validated; the blocks are trivially verified.
+    ResetIntegrity(kIntegrityVerified);
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      checksums_[b] = ComputeBlockChecksum(b);
+    }
   }
   return reader->ok();
 }

@@ -8,9 +8,16 @@
 // evaluated *on the codes*: query bounds are translated once per block into
 // code space (TranslateToCodeSpace) and the scan kernel's compare+compress
 // runs on 2-8x more values per SIMD vector while touching 2-8x fewer bytes.
+//
+// Every block additionally carries an XxHash64 checksum (computed at encode
+// time, persisted as format v3). A block that fails verification — at load,
+// or lazily on first scan touch — is *quarantined*, not fatal: scans skip it
+// and flag their result degraded (QueryResult::degraded), and Tsunami can
+// re-materialize a quarantined block from its fold backup when possible.
 #ifndef TSUNAMI_STORAGE_ENCODED_COLUMN_H_
 #define TSUNAMI_STORAGE_ENCODED_COLUMN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -141,14 +148,110 @@ class EncodedColumn {
   void WidthHistogram(int64_t counts[4]) const;
 
   /// Persistence: codecs and code payloads round-trip verbatim (the store
-  /// is *stored* encoded; nothing re-derives widths on load).
+  /// is *stored* encoded; nothing re-derives widths on load). Format v3
+  /// appends the per-block checksums; Deserialize of a v2 payload (see
+  /// BinaryReader::version) recomputes them — the frame CRC already
+  /// validated those bytes. Deserialize verifies every block, quarantining
+  /// (not failing on) checksum mismatches.
   void Serialize(BinaryWriter* writer) const;
   bool Deserialize(BinaryReader* reader);
 
+  // ---- Block integrity -------------------------------------------------
+  //
+  // Integrity state is lazily-maintained, thread-safe *metadata* over the
+  // immutable code payload, so the mutators below are const: scans (const)
+  // verify blocks on first touch. The fast path — everything verified,
+  // nothing quarantined — is two relaxed loads.
+
+  /// True when block b's bytes may be read. Verifies the checksum on the
+  /// block's first touch; a mismatch quarantines the block and returns
+  /// false (the caller skips the block and flags its result degraded).
+  bool EnsureReadable(int64_t b) const {
+    if (unverified_left_.v.load(std::memory_order_relaxed) == 0 &&
+        quarantined_.v.load(std::memory_order_relaxed) == 0) {
+      return true;
+    }
+    return EnsureReadableSlow(b);
+  }
+
+  bool IsQuarantined(int64_t b) const {
+    return !integrity_.empty() &&
+           integrity_[b].v.load(std::memory_order_acquire) ==
+               kIntegrityQuarantined;
+  }
+
+  int64_t quarantined_blocks() const {
+    return quarantined_.v.load(std::memory_order_relaxed);
+  }
+
+  /// Verifies every still-unverified block now (the eager load-time pass).
+  /// Returns true when no block is quarantined afterwards.
+  bool VerifyAll() const;
+
+  /// Ops/test hook: marks block b quarantined as if its checksum failed.
+  void Quarantine(int64_t b) const;
+
+  /// Forgets verification state so every healthy block re-verifies on its
+  /// next touch (a scrubber pass; also how tests exercise lazy detection
+  /// of in-memory corruption). Not safe concurrent with scans.
+  void MarkAllUnverified() const;
+
+  /// Re-encodes block b in place from `values` (exactly the block's row
+  /// count), clearing quarantine and recomputing the checksum. Fails when
+  /// the replacement data no longer fits the block's stored code width
+  /// (in-place repair cannot grow the typed arrays).
+  bool RepairBlock(int64_t b, const Value* values, int64_t n);
+
+  uint64_t block_checksum(int64_t b) const { return checksums_[b]; }
+
  private:
+  enum : uint8_t {
+    kIntegrityVerified = 0,
+    kIntegrityUnverified = 1,
+    kIntegrityQuarantined = 2,
+  };
+
+  // Copyable atomic wrappers so EncodedColumn keeps value semantics.
+  // Copying is only meaningful while the source is quiescent (build/load
+  // time), like copying the vectors themselves.
+  struct AtomicState {
+    std::atomic<uint8_t> v{kIntegrityVerified};
+    AtomicState() = default;
+    explicit AtomicState(uint8_t s) : v(s) {}
+    AtomicState(const AtomicState& o)
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    AtomicState& operator=(const AtomicState& o) {
+      v.store(o.v.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  struct AtomicCount {
+    std::atomic<int64_t> v{0};
+    AtomicCount() = default;
+    AtomicCount(const AtomicCount& o)
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    AtomicCount& operator=(const AtomicCount& o) {
+      v.store(o.v.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
   static Value Decoded(Value ref, uint64_t code) {
     return static_cast<Value>(static_cast<uint64_t>(ref) + code);
   }
+
+  int64_t BlockRowCount(int64_t b) const {
+    const int64_t lo = b * kScanBlockRows;
+    const int64_t hi = lo + kScanBlockRows;
+    return (hi < rows_ ? hi : rows_) - lo;
+  }
+
+  uint64_t ComputeBlockChecksum(int64_t b) const;
+  bool EnsureReadableSlow(int64_t b) const;
+  /// Resets integrity bookkeeping after (re-)building block metadata.
+  void ResetIntegrity(uint8_t state);
 
   int64_t rows_ = 0;
   std::vector<uint8_t> widths_;    // Bytes per code, per block: 1, 2, 4, 8.
@@ -158,6 +261,10 @@ class EncodedColumn {
   std::vector<uint16_t> codes16_;
   std::vector<uint32_t> codes32_;
   std::vector<Value> raw_;
+  std::vector<uint64_t> checksums_;  // XxHash64 per block (codes+codec).
+  mutable std::vector<AtomicState> integrity_;  // Per-block 3-state.
+  mutable AtomicCount unverified_left_;  // Blocks still to verify lazily.
+  mutable AtomicCount quarantined_;      // Blocks failed + quarantined.
 };
 
 }  // namespace tsunami

@@ -222,6 +222,13 @@ void ZoneMaps::Build(const std::vector<EncodedColumn>& columns) {
   }
 }
 
+void ZoneMaps::UpdateBlock(int dim, int64_t block, const Value* values,
+                           int64_t n) {
+  const SimdOps& ops = OpsForTier(SimdTier::kAuto);
+  ops.block_stats(values, n, &min_[dim][block], &max_[dim][block],
+                  &sum_[dim][block]);
+}
+
 void ZoneMaps::Clear() {
   num_blocks_ = 0;
   min_.clear();
@@ -295,47 +302,99 @@ void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
   const std::vector<EncodedColumn>& columns = *columns_;
   const int num_aggs = query.num_aggs();
   if (exact) {
-    // Exact ranges skip per-value checks entirely; COUNT touches no data.
-    int64_t n = end - begin;
-    out->matched += n;
-    bool touched_data = false;
+    // Exact ranges skip per-value checks entirely; COUNT touches no data
+    // (so it needs no integrity gate and stays exact even over a
+    // quarantined store).
+    const int64_t n = end - begin;
+    bool touches_data = false;
     for (int a = 0; a < num_aggs; ++a) {
-      const AggregateSpec spec = query.agg_spec(a);
-      int64_t* acc = out->agg_accumulator(a);
-      if (spec.op == AggKind::kCount) {
-        *acc += n;
+      touches_data = touches_data || query.agg_spec(a).op != AggKind::kCount;
+    }
+    if (!touches_data) {
+      out->matched += n;
+      for (int a = 0; a < num_aggs; ++a) *out->agg_accumulator(a) += n;
+      return;
+    }
+    out->scanned += n;
+    for (int64_t lo = begin; lo < end;) {
+      const int64_t b = lo / kScanBlockRows;
+      const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
+      if (!BlockReadable(b, query, /*exact=*/true, out)) {
+        lo = hi;
         continue;
       }
-      touched_data = true;
-      const EncodedColumn& agg_col = columns[spec.column];
-      for (int64_t r = begin; r < end; ++r) {
-        AccumulateAgg(spec.op, agg_col.Get(r), acc);
+      const int64_t seg = hi - lo;
+      out->matched += seg;
+      for (int a = 0; a < num_aggs; ++a) {
+        const AggregateSpec spec = query.agg_spec(a);
+        int64_t* acc = out->agg_accumulator(a);
+        if (spec.op == AggKind::kCount) {
+          *acc += seg;
+          continue;
+        }
+        const EncodedColumn& agg_col = columns[spec.column];
+        for (int64_t r = lo; r < hi; ++r) {
+          AccumulateAgg(spec.op, agg_col.Get(r), acc);
+        }
       }
+      lo = hi;
     }
-    if (touched_data) out->scanned += n;
     return;
   }
   out->scanned += end - begin;
   const std::vector<Predicate>& filters = query.filters;
-  for (int64_t r = begin; r < end; ++r) {
-    bool ok = true;
-    for (const Predicate& p : filters) {
-      Value v = columns[p.dim].Get(r);
-      if (v < p.lo || v > p.hi) {
-        ok = false;
-        break;
+  for (int64_t lo = begin; lo < end;) {
+    const int64_t b = lo / kScanBlockRows;
+    const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
+    if (!BlockReadable(b, query, /*exact=*/false, out)) {
+      lo = hi;
+      continue;
+    }
+    for (int64_t r = lo; r < hi; ++r) {
+      bool ok = true;
+      for (const Predicate& p : filters) {
+        Value v = columns[p.dim].Get(r);
+        if (v < p.lo || v > p.hi) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      ++out->matched;
+      for (int a = 0; a < num_aggs; ++a) {
+        const AggregateSpec spec = query.agg_spec(a);
+        AccumulateAgg(
+            spec.op,
+            spec.op == AggKind::kCount ? 0 : columns[spec.column].Get(r),
+            out->agg_accumulator(a));
       }
     }
-    if (!ok) continue;
-    ++out->matched;
-    for (int a = 0; a < num_aggs; ++a) {
-      const AggregateSpec spec = query.agg_spec(a);
-      AccumulateAgg(spec.op,
-                    spec.op == AggKind::kCount ? 0
-                                               : columns[spec.column].Get(r),
-                    out->agg_accumulator(a));
+    lo = hi;
+  }
+}
+
+bool ScanKernel::BlockReadable(int64_t block, const Query& query, bool exact,
+                               QueryResult* out) const {
+  const std::vector<EncodedColumn>& columns = *columns_;
+  // No short-circuit: every involved column advances its lazy verification
+  // even when an earlier one is already quarantined.
+  bool ok = true;
+  if (!exact) {
+    for (const Predicate& p : query.filters) {
+      ok = columns[p.dim].EnsureReadable(block) && ok;
     }
   }
+  for (int a = 0; a < query.num_aggs(); ++a) {
+    const AggregateSpec spec = query.agg_spec(a);
+    if (spec.op != AggKind::kCount) {
+      ok = columns[spec.column].EnsureReadable(block) && ok;
+    }
+  }
+  if (!ok) {
+    out->degraded = true;
+    ++out->quarantined_blocks;
+  }
+  return ok;
 }
 
 int ScanKernel::BuildSelection(int64_t begin, int64_t end, int64_t block,
@@ -460,6 +519,10 @@ void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
   for (int64_t b = b_first; b <= b_last; ++b) {
     const int64_t lo = std::max(begin, b * kScanBlockRows);
     const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
+    // Integrity gate before zone triage: a quarantined block's zone entries
+    // may themselves derive from the corrupt bytes (Deserialize rebuilds
+    // zones by decoding), so they cannot be trusted even to skip it.
+    if (!BlockReadable(b, query, /*exact=*/false, out)) continue;
     // Zone-map triage: a block disjoint from any filter contributes
     // nothing; a block inside every filter needs no per-row checks.
     bool all_match = true;
@@ -528,12 +591,14 @@ void ScanKernel::ScanExactVectorized(int64_t begin, int64_t end,
                                      const Query& query, const SimdOps& ops,
                                      QueryResult* out) const {
   const int64_t n = end - begin;
-  out->matched += n;
   bool all_count = true;
   for (int a = 0; a < query.num_aggs(); ++a) {
     all_count = all_count && query.agg_spec(a).op == AggKind::kCount;
   }
   if (all_count) {
+    // Pure counting touches no column bytes: exact even over a quarantined
+    // store, so no integrity gate (matching ScanScalar's exact path).
+    out->matched += n;
     for (int a = 0; a < query.num_aggs(); ++a) *out->agg_accumulator(a) += n;
     return;
   }
@@ -543,6 +608,8 @@ void ScanKernel::ScanExactVectorized(int64_t begin, int64_t end,
   for (int64_t b = b_first; b <= b_last; ++b) {
     const int64_t lo = std::max(begin, b * kScanBlockRows);
     const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
+    if (!BlockReadable(b, query, /*exact=*/true, out)) continue;
+    out->matched += hi - lo;
     AggregateRun(lo, hi, b, query, ops, out);
   }
 }

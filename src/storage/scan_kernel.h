@@ -105,6 +105,10 @@ class ZoneMaps {
   Value Max(int dim, int64_t block) const { return max_[dim][block]; }
   int64_t Sum(int dim, int64_t block) const { return sum_[dim][block]; }
 
+  /// Recomputes one block's stats for one dimension from `values` (the
+  /// block's rows, in order) — the block-repair path.
+  void UpdateBlock(int dim, int64_t block, const Value* values, int64_t n);
+
   int64_t SizeBytes() const;
 
  private:
@@ -151,6 +155,17 @@ class ScanKernel {
                       const SimdOps& ops, QueryResult* out) const;
   void ScanExactVectorized(int64_t begin, int64_t end, const Query& query,
                            const SimdOps& ops, QueryResult* out) const;
+
+  // Integrity gate, shared by all three scan modes so they skip the same
+  // blocks: true when every column this query must read — filter dims for
+  // non-exact ranges, plus non-COUNT aggregate columns — is readable
+  // (checksum-verified, not quarantined) in `block`. On failure the block
+  // is counted into out->quarantined_blocks and the result flagged
+  // degraded; the caller skips the block. Columns the query never reads
+  // (e.g. everything, for an exact COUNT) are not checked, so zone-map- or
+  // count-only answers stay exact even over a quarantined store.
+  bool BlockReadable(int64_t block, const Query& query, bool exact,
+                     QueryResult* out) const;
 
   // Fills `sel` with the block-relative indices (offsets from `begin`) of
   // rows in [begin, end) matching every filter; returns the match count.

@@ -223,6 +223,176 @@ TEST_F(FramedFileTest, BitFlipDetectedByChecksum) {
   EXPECT_NE(error.find("checksum"), std::string::npos);
 }
 
+TEST(SerializerTest, XxHash64KnownVectorsAndSeeding) {
+  // XXH64 reference check values.
+  EXPECT_EQ(XxHash64(""), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(XxHash64("abc"), 0x44BC2CF5AD770999ull);
+  // Seed perturbs the hash; same input + seed replays identically.
+  EXPECT_NE(XxHash64("abc", 1), XxHash64("abc", 0));
+  EXPECT_EQ(XxHash64("abc", 7), XxHash64("abc", 7));
+  // Exercise the >32-byte striped path too.
+  std::string long_input(1000, 'q');
+  EXPECT_NE(XxHash64(long_input), XxHash64(long_input.substr(0, 999)));
+}
+
+TEST_F(FramedFileTest, TypedErrorCodesReportWhy) {
+  std::string payload, error;
+  FileError code = FileError::kNone;
+
+  EXPECT_FALSE(ReadFramedFile(TempPath("io_test_absent.bin"),
+                              FileKind::kDataset, &payload, &error, &code));
+  EXPECT_EQ(code, FileError::kIoError);
+
+  std::ofstream(path_, std::ios::binary)
+      << "garbage garbage garbage garbage!";
+  EXPECT_FALSE(
+      ReadFramedFile(path_, FileKind::kDataset, &payload, &error, &code));
+  EXPECT_EQ(code, FileError::kBadMagic);
+
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset, "p", &error));
+  EXPECT_FALSE(
+      ReadFramedFile(path_, FileKind::kWorkload, &payload, &error, &code));
+  EXPECT_EQ(code, FileError::kBadKind);
+
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset,
+                              std::string(400, 'x'), &error));
+  std::filesystem::resize_file(path_, 100);
+  EXPECT_FALSE(
+      ReadFramedFile(path_, FileKind::kDataset, &payload, &error, &code));
+  EXPECT_EQ(code, FileError::kTruncated);
+
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset,
+                              std::string(400, 'x'), &error));
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200);
+    f.put('y');
+  }
+  EXPECT_FALSE(
+      ReadFramedFile(path_, FileKind::kDataset, &payload, &error, &code));
+  EXPECT_EQ(code, FileError::kChecksumMismatch);
+
+  // Success resets the code and surfaces the file's version.
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset, "ok", &error));
+  uint32_t version = 0;
+  EXPECT_TRUE(ReadFramedFile(path_, FileKind::kDataset, &payload, &error,
+                             &code, &version));
+  EXPECT_EQ(code, FileError::kNone);
+  EXPECT_EQ(version, kTsunamiFormatVersion);
+}
+
+// Overwrites the framed header's version field (bytes 4..7, little-endian).
+// The frame CRC covers only the payload, so this forgery stays "valid" —
+// exactly what the version gate must catch (or accept, for supported
+// older versions).
+void PatchFileVersion(const std::string& path, uint32_t version) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(4);
+  for (int i = 0; i < 4; ++i) {
+    f.put(static_cast<char>((version >> (8 * i)) & 0xFF));
+  }
+}
+
+TEST_F(FramedFileTest, VersionOneRejectedWithTypedCode) {
+  std::string error;
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset, "old", &error));
+  PatchFileVersion(path_, 1);
+  std::string payload;
+  FileError code = FileError::kNone;
+  EXPECT_FALSE(
+      ReadFramedFile(path_, FileKind::kDataset, &payload, &error, &code));
+  EXPECT_EQ(code, FileError::kBadVersion);
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST_F(FramedFileTest, VersionTwoColumnPayloadStillReads) {
+  // A genuine v2 EncodedColumn payload is a strict prefix of the v3 one:
+  // v3 appends num_blocks Fixed64 checksums at the tail. Build the v2
+  // bytes by stripping that tail, frame them under a patched version-2
+  // header, and read the whole pipeline back.
+  Rng rng(17);
+  std::vector<Value> values;
+  for (int i = 0; i < 3000; ++i) values.push_back(rng.UniformValue(0, 5000));
+  EncodedColumn column;
+  column.Encode(values, EncodingEnabledByDefault());
+  BinaryWriter writer;
+  column.Serialize(&writer);
+  const size_t tail = static_cast<size_t>(column.num_blocks()) * 8;
+  std::string v2_payload =
+      writer.buffer().substr(0, writer.buffer().size() - tail);
+
+  std::string error;
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset, v2_payload, &error));
+  PatchFileVersion(path_, 2);
+  std::string payload;
+  FileError code = FileError::kNone;
+  uint32_t version = 0;
+  ASSERT_TRUE(ReadFramedFile(path_, FileKind::kDataset, &payload, &error,
+                             &code, &version))
+      << error;
+  ASSERT_EQ(version, 2u);
+
+  BinaryReader reader(payload);
+  reader.set_version(version);
+  EncodedColumn loaded;
+  ASSERT_TRUE(loaded.Deserialize(&reader));
+  EXPECT_TRUE(reader.AtEnd());
+  // Checksums were recomputed from the (CRC-validated) payload: nothing
+  // quarantined, every value intact.
+  EXPECT_EQ(loaded.quarantined_blocks(), 0);
+  std::vector<Value> decoded = loaded.DecodeAll();
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(decoded[i], values[i]) << "row " << i;
+  }
+}
+
+TEST(StructureIoTest, FlippedBlockChecksumQuarantinesInsteadOfFailing) {
+  // Corrupt one *stored checksum* in a serialized ColumnStore (the last 8
+  // payload bytes are the final column's final block checksum; the frame
+  // CRC is bypassed by deserializing the buffer directly, as a torn disk
+  // sector would present). The load must succeed with the block
+  // quarantined, scans over it must come back flagged degraded — and
+  // queries that never touch the bad column stay exact.
+  Rng rng(29);
+  Dataset data(3, {});
+  for (int i = 0; i < 5000; ++i) {
+    data.AppendRow({rng.UniformValue(0, 100000), rng.UniformValue(0, 800),
+                    rng.UniformValue(-50, 50)});
+  }
+  ColumnStore pristine(data);
+  BinaryWriter writer;
+  pristine.Serialize(&writer);
+  std::string buffer = writer.Release();
+  buffer[buffer.size() - 4] = static_cast<char>(buffer[buffer.size() - 4] ^ 0x5A);
+
+  ColumnStore loaded;
+  BinaryReader reader(buffer);
+  ASSERT_TRUE(loaded.Deserialize(&reader));
+  EXPECT_EQ(loaded.QuarantinedBlocks(), 1);
+  const int last_dim = loaded.dims() - 1;
+  const int64_t last_block = loaded.encoded(last_dim).num_blocks() - 1;
+  EXPECT_TRUE(loaded.encoded(last_dim).IsQuarantined(last_block));
+
+  // SUM over the quarantined column: degraded, flagged, not a crash.
+  Query sum;
+  sum.filters.push_back(Predicate{0, 0, 100000});
+  sum.SetAggregates({{AggKind::kSum, last_dim}});
+  QueryResult got = ExecuteFullScan(loaded, sum);
+  EXPECT_TRUE(got.degraded);
+  EXPECT_EQ(got.quarantined_blocks, 1);
+
+  // COUNT filtered on a healthy column: exact, equal to the pristine store.
+  Query count;
+  count.filters.push_back(Predicate{0, 0, 50000});
+  count.SetAggregates({{AggKind::kCount, 0}});
+  QueryResult got_count = ExecuteFullScan(loaded, count);
+  QueryResult want_count = ExecuteFullScan(pristine, count);
+  EXPECT_FALSE(got_count.degraded);
+  EXPECT_EQ(got_count.agg, want_count.agg);
+  EXPECT_EQ(got_count.matched, want_count.matched);
+}
+
 // --- Structure round-trips ----------------------------------------------------
 
 TEST(StructureIoTest, ColumnStoreRoundTrip) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/baselines/full_scan.h"
+#include "src/common/fault_injection.h"
 #include "src/baselines/single_dim.h"
 #include "src/baselines/zorder.h"
 #include "src/common/random.h"
@@ -138,7 +139,7 @@ TEST_F(QueryServiceTest, SubmitAwaitBitIdenticalToExecuteAndExecuteBatch) {
         QueryService service(index.get(), options);
         SubmitOptions sub;
         sub.scan = ScanOptions{mode};
-        std::vector<QueryService::Ticket> tickets =
+        std::vector<QueryService::Admission> tickets =
             service.SubmitBatch(std::span<const Query>(batch), sub);
         ASSERT_EQ(tickets.size(), batch.size());
         // Also the ExecuteBatch path, as the second reference.
@@ -177,7 +178,7 @@ TEST_F(QueryServiceTest, RouterPlansExecuteAgainstRoutedStore) {
   QueryService service(&router, options);
   Rng rng(93);
   Workload batch = SkewedBatch(rng, 16);
-  std::vector<QueryService::Ticket> tickets =
+  std::vector<QueryService::Admission> tickets =
       service.SubmitBatch(std::span<const Query>(batch));
   for (size_t i = 0; i < batch.size(); ++i) {
     ExpectBitIdentical(service.Await(tickets[i]), router.Execute(batch[i]),
@@ -488,10 +489,14 @@ TEST_F(QueryServiceTest, AwaitInfoReportsWorkerStampedLatency) {
   EXPECT_TRUE(cancelled_info.cancelled);
   EXPECT_EQ(result.matched, 0);
 
-  // An unknown ticket is reported as cancelled, not a hang.
+#ifdef NDEBUG
+  // An unknown ticket is reported as cancelled/kAlreadyConsumed, not a
+  // hang. (Release builds only: debug builds assert on this caller bug.)
   AwaitInfo unknown_info;
   service.Await(static_cast<QueryService::Ticket>(1u << 20), &unknown_info);
   EXPECT_TRUE(unknown_info.cancelled);
+  EXPECT_EQ(unknown_info.outcome, QueryOutcome::kAlreadyConsumed);
+#endif
 }
 
 TEST_F(QueryServiceTest, CompletedQueryIsNotCancelledByLateAwait) {
@@ -528,6 +533,315 @@ TEST_F(QueryServiceTest, CompletedQueryIsNotCancelledByLateAwait) {
   ExpectBitIdentical(service.Await(flagged_ticket, &cancelled),
                      index.Execute(region), "late cancel flag");
   EXPECT_FALSE(cancelled);
+}
+
+// --- Overload robustness: bounded admission, shedding, degradation -------
+
+/// Occupies every worker of `scheduler` until Release() — the deterministic
+/// way to keep submitted queries *queued* while a test inspects admission.
+class WorkerJam {
+ public:
+  WorkerJam(TaskScheduler* scheduler, int workers) : scheduler_(scheduler) {
+    job_ = scheduler_->Submit(workers, [this](int64_t, int) {
+      started_.fetch_add(1, std::memory_order_relaxed);
+      while (!release_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    while (started_.load(std::memory_order_relaxed) < workers) {
+      std::this_thread::yield();
+    }
+  }
+  void Release() {
+    release_.store(true, std::memory_order_release);
+    scheduler_->Wait(job_);
+  }
+
+ private:
+  TaskScheduler* scheduler_;
+  TaskScheduler::JobRef job_;
+  std::atomic<int> started_{0};
+  std::atomic<bool> release_{false};
+};
+
+TEST_F(QueryServiceTest, BoundedAdmissionRejectsAndReservesHeadroom) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 1;
+  options.max_queued_queries = 2;  // Low-priority watermark: floor(2*0.5)=1.
+  QueryService service(&index, options);
+  WorkerJam jam(&service.scheduler(), 1);
+
+  Rng rng(200);
+  Query needle = Needle(rng);
+  // Low-priority traffic may only fill up to the watermark...
+  QueryService::Admission low1 = service.Submit(needle);
+  EXPECT_TRUE(low1.admitted());
+  QueryService::Admission low2 = service.Submit(needle);
+  EXPECT_FALSE(low2.admitted());
+  EXPECT_EQ(low2.outcome, AdmissionOutcome::kQueueFull);
+  // ...while the headroom above it stays available to high priority.
+  SubmitOptions high;
+  high.priority = 1;
+  QueryService::Admission hi = service.Submit(needle, high);
+  EXPECT_TRUE(hi.admitted());
+
+  jam.Release();
+  // Awaiting a rejection returns immediately with the rejected outcome.
+  AwaitInfo rejected_info;
+  QueryResult rejected = service.Await(low2, &rejected_info);
+  EXPECT_TRUE(rejected_info.cancelled);
+  EXPECT_EQ(rejected_info.outcome, QueryOutcome::kRejected);
+  EXPECT_EQ(rejected.matched, 0);
+  // Admitted queries complete exactly despite the rejection in between.
+  ExpectBitIdentical(service.Await(low1), index.Execute(needle), "low1");
+  ExpectBitIdentical(service.Await(hi), index.Execute(needle), "high");
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_queue_full, 1);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.active_queries, 0);
+  EXPECT_EQ(stats.admitted_chunks, 0);
+}
+
+TEST_F(QueryServiceTest, AdmittedChunksGaugeNeverExceedsCap) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 1;
+  options.chunk_rows = kScanBlockRows;  // Region() decomposes to ~24 chunks.
+  options.max_queued_chunks = 32;
+  QueryService service(&index, options);
+  WorkerJam jam(&service.scheduler(), 1);
+
+  Rng rng(201);
+  std::vector<QueryService::Admission> admissions;
+  int64_t rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    QueryService::Admission a =
+        service.Submit(i % 4 == 0 ? Region() : Needle(rng));
+    admissions.push_back(a);
+    rejected += a.admitted() ? 0 : 1;
+    // The admission invariant under offered overload: the in-use chunk
+    // budget never exceeds the cap, no matter how many Submits arrive.
+    EXPECT_LE(service.stats().admitted_chunks, options.max_queued_chunks);
+  }
+  EXPECT_GT(rejected, 0);  // 16 queries cannot all fit in 32 chunks.
+
+  jam.Release();
+  for (size_t i = 0; i < admissions.size(); ++i) {
+    AwaitInfo info;
+    QueryResult got = service.Await(admissions[i], &info);
+    if (admissions[i].admitted()) {
+      EXPECT_EQ(info.outcome, QueryOutcome::kCompleted) << "query " << i;
+    } else {
+      EXPECT_EQ(info.outcome, QueryOutcome::kRejected) << "query " << i;
+      EXPECT_EQ(got.matched, 0);
+    }
+  }
+  EXPECT_EQ(service.stats().admitted_chunks, 0);
+}
+
+TEST_F(QueryServiceTest, HighPriorityShedsLowPriorityAtCapacity) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 1;
+  options.max_queued_queries = 1;
+  QueryService service(&index, options);
+  WorkerJam jam(&service.scheduler(), 1);
+
+  Query region = Region();
+  QueryService::Admission victim = service.Submit(region);
+  EXPECT_TRUE(victim.admitted());
+
+  Rng rng(202);
+  Query needle = Needle(rng);
+  SubmitOptions high;
+  high.priority = 1;
+  QueryService::Admission hi = service.Submit(needle, high);
+  EXPECT_TRUE(hi.admitted());  // Made room by shedding the low query.
+  EXPECT_EQ(service.stats().shed, 1);
+
+  jam.Release();
+  // The shed query reports kShed with the identity result — its chunks
+  // early-exited and none of their partials leak into the answer.
+  AwaitInfo shed_info;
+  QueryResult shed_result = service.Await(victim, &shed_info);
+  EXPECT_TRUE(shed_info.cancelled);
+  EXPECT_EQ(shed_info.outcome, QueryOutcome::kShed);
+  ExpectBitIdentical(shed_result, InitResult(region), "shed identity");
+  // The high-priority query that displaced it completes exactly.
+  AwaitInfo hi_info;
+  ExpectBitIdentical(service.Await(hi, &hi_info), index.Execute(needle),
+                     "high-priority");
+  EXPECT_EQ(hi_info.outcome, QueryOutcome::kCompleted);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.active_queries, 0);
+  EXPECT_EQ(stats.admitted_chunks, 0);
+}
+
+TEST_F(QueryServiceTest, InfeasibleDeadlineIsRejectedUpFront) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 0;
+  options.reject_infeasible_deadlines = true;
+  QueryService service(&index, options);
+
+  // A 1 ns budget for a ~24k-row region scan: the cost model cannot call
+  // that feasible under any calibration.
+  SubmitOptions hopeless;
+  hopeless.deadline_seconds = 1e-9;
+  QueryService::Admission a = service.Submit(Region(), hopeless);
+  EXPECT_FALSE(a.admitted());
+  EXPECT_EQ(a.outcome, AdmissionOutcome::kDeadlineInfeasible);
+  EXPECT_EQ(service.stats().rejected_infeasible, 1);
+
+  // A roomy budget admits and completes as usual.
+  SubmitOptions roomy;
+  roomy.deadline_seconds = 100.0;
+  QueryService::Admission ok = service.Submit(Region(), roomy);
+  ASSERT_TRUE(ok.admitted());
+  AwaitInfo info;
+  ExpectBitIdentical(service.Await(ok, &info), index.Execute(Region()),
+                     "feasible deadline");
+  EXPECT_EQ(info.outcome, QueryOutcome::kCompleted);
+
+  // Run() on a rejected query reports cancelled with the identity result.
+  bool cancelled = false;
+  QueryResult r = service.Run(Region(), hopeless, &cancelled);
+  EXPECT_TRUE(cancelled);
+  ExpectBitIdentical(r, InitResult(Region()), "rejected Run");
+}
+
+#ifdef NDEBUG
+TEST_F(QueryServiceTest, DoubleAwaitReturnsAlreadyConsumed) {
+  // Release builds only: debug builds assert on the double-Await bug.
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 0;
+  QueryService service(&index, options);
+  Rng rng(203);
+  Query needle = Needle(rng);
+  QueryService::Ticket t = service.Submit(needle);
+  ExpectBitIdentical(service.Await(t), index.Execute(needle), "first await");
+  AwaitInfo info;
+  QueryResult second = service.Await(t, &info);
+  EXPECT_TRUE(info.cancelled);
+  EXPECT_EQ(info.outcome, QueryOutcome::kAlreadyConsumed);
+  EXPECT_EQ(second.matched, 0);
+  EXPECT_EQ(second.agg, 0);
+}
+#endif
+
+TEST_F(QueryServiceTest, QuarantinedBlockDegradesInsteadOfWrongOrCrash) {
+  // Two identical stores; one gets a block of the aggregated column
+  // quarantined (as the checksum path would on corruption).
+  FullScanIndex index(data_);
+  FullScanIndex pristine(data_);
+  index.store().encoded(1).Quarantine(0);
+
+  ServiceOptions options;
+  options.threads = 2;
+  QueryService service(&index, options);
+
+  // A SUM over the quarantined column: the answer is degraded — flagged,
+  // not wrong-and-silent, not a crash — and identical across kernel modes.
+  Query sum;
+  sum.filters.push_back(Predicate{0, 0, 40000});
+  sum.SetAggregates({{AggKind::kSum, 1}});
+  QueryResult got_default;
+  for (ScanMode mode : {ScanMode::kSimd, ScanMode::kVectorized,
+                        ScanMode::kScalar}) {
+    SubmitOptions sub;
+    sub.scan = ScanOptions{mode};
+    AwaitInfo info;
+    QueryResult got = service.Await(service.Submit(sum, sub), &info);
+    EXPECT_EQ(info.outcome, QueryOutcome::kCompleted);
+    EXPECT_TRUE(got.degraded);
+    EXPECT_GE(got.quarantined_blocks, 1);
+    if (mode == ScanMode::kSimd) {
+      got_default = got;
+    } else {
+      EXPECT_EQ(got.agg, got_default.agg) << "mode diverged";
+      EXPECT_EQ(got.matched, got_default.matched) << "mode diverged";
+      EXPECT_EQ(got.quarantined_blocks, got_default.quarantined_blocks);
+    }
+  }
+
+  // A COUNT that never reads the quarantined column stays exact.
+  Query count;
+  count.filters.push_back(Predicate{0, 0, 40000});
+  count.SetAggregates({{AggKind::kCount, 0}});
+  AwaitInfo count_info;
+  QueryResult got_count = service.Await(service.Submit(count), &count_info);
+  EXPECT_EQ(count_info.outcome, QueryOutcome::kCompleted);
+  EXPECT_FALSE(got_count.degraded);
+  ExpectBitIdentical(got_count, pristine.Execute(count), "count unaffected");
+}
+
+TEST_F(QueryServiceTest, InjectedFaultSoakFailsClosedAndReplaysClean) {
+#if !defined(TSUNAMI_FAULT_INJECTION)
+  GTEST_SKIP() << "built without TSUNAMI_FAULT_INJECTION";
+#else
+  // Storms of injected faults under a 4-thread scheduler: chunks that
+  // throw, workers that stall, and checksums that fail verification. The
+  // service must fail *closed* — every Await returns either an exact
+  // answer, a flagged-degraded answer, or an identity result with a
+  // truthful outcome — and a quiesced replay with faults disarmed must be
+  // bit-identical to per-query Execute.
+  FullScanIndex index(data_);
+  ServiceOptions options;
+  options.threads = 4;
+  QueryService service(&index, options);
+  Rng rng(204);
+  Workload batch = SkewedBatch(rng, 24);
+
+  fault::FaultSpec throw_spec;
+  throw_spec.probability = 0.2;
+  throw_spec.seed = 41;
+  fault::Arm("sched.task_throw", throw_spec);
+  fault::FaultSpec stall_spec;
+  stall_spec.probability = 0.1;
+  stall_spec.seed = 42;
+  fault::Arm("sched.stall", stall_spec);
+  fault::FaultSpec checksum_spec;
+  checksum_spec.probability = 0.05;
+  checksum_spec.seed = 43;
+  fault::Arm("storage.checksum", checksum_spec);
+  index.store().encoded(0).MarkAllUnverified();
+  index.store().encoded(1).MarkAllUnverified();
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<QueryService::Admission> admissions =
+        service.SubmitBatch(std::span<const Query>(batch));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      AwaitInfo info;
+      QueryResult got = service.Await(admissions[i], &info);
+      if (info.outcome == QueryOutcome::kFailed) {
+        // Failed queries return the identity result, never partials.
+        EXPECT_EQ(got.agg, InitResult(batch[i]).agg) << "query " << i;
+        EXPECT_EQ(got.matched, 0) << "query " << i;
+      } else {
+        EXPECT_EQ(info.outcome, QueryOutcome::kCompleted) << "query " << i;
+      }
+    }
+  }
+  EXPECT_GT(fault::FireCount("sched.task_throw"), 0);
+  EXPECT_GT(service.stats().failed, 0);
+  fault::DisarmAll();
+
+  // Quiesced replay: faults off, quarantine state frozen (it is sticky by
+  // design). Service answers must now be bit-identical to Execute on the
+  // same store — including the degraded flag and quarantine counts.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    AwaitInfo info;
+    QueryResult got = service.Await(service.Submit(batch[i]), &info);
+    ASSERT_EQ(info.outcome, QueryOutcome::kCompleted) << "replay " << i;
+    QueryResult want = index.Execute(batch[i]);
+    ExpectBitIdentical(got, want, "replay " + std::to_string(i));
+    EXPECT_EQ(got.degraded, want.degraded) << "replay " << i;
+    EXPECT_EQ(got.quarantined_blocks, want.quarantined_blocks)
+        << "replay " << i;
+  }
+#endif
 }
 
 }  // namespace

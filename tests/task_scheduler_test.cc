@@ -8,7 +8,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/exec/task_scheduler.h"
@@ -166,6 +168,82 @@ TEST(TaskSchedulerTest, PriorityChunksJumpTheQueue) {
   // All high-priority chunks ran before every normal-priority one.
   for (size_t i = 0; i < 3; ++i) EXPECT_EQ(order[i], 1) << i;
   for (size_t i = 3; i < 6; ++i) EXPECT_EQ(order[i], 0) << i;
+}
+
+// A chunk that throws must not take the worker down or hang Wait: the job
+// completes, is marked failed, and the failure counter moves. (No fault
+// injection needed — the chunk function throws directly.)
+TEST(TaskSchedulerTest, ThrowingChunkFailsJobWithoutHangingWait) {
+  TaskScheduler scheduler(2);
+  std::atomic<int64_t> ran{0};
+  TaskScheduler::JobRef job = scheduler.Submit(16, [&](int64_t c, int) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (c == 5 || c == 11) throw std::runtime_error("injected chunk fault");
+  });
+  scheduler.Wait(job);  // Must return despite the throws.
+  EXPECT_TRUE(TaskScheduler::Finished(job));
+  EXPECT_TRUE(job->failed());
+  EXPECT_EQ(ran.load(), 16);  // Sibling chunks still ran.
+  EXPECT_GE(scheduler.stats().task_failures, 2);
+
+  // A healthy job on the same scheduler afterwards is unaffected.
+  std::atomic<int64_t> healthy{0};
+  TaskScheduler::JobRef ok = scheduler.Submit(8, [&](int64_t, int) {
+    healthy.fetch_add(1, std::memory_order_relaxed);
+  });
+  scheduler.Wait(ok);
+  EXPECT_FALSE(ok->failed());
+  EXPECT_EQ(healthy.load(), 8);
+}
+
+// Boost() moves a job's still-queued chunks to the deque front: with one
+// pinned worker, a later-submitted boosted job runs entirely before the
+// earlier backlog, in its original chunk order.
+TEST(TaskSchedulerTest, BoostMovesQueuedChunksAheadOfBacklog) {
+  TaskScheduler scheduler(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  TaskScheduler::JobRef blocker =
+      scheduler.Submit(1, [&](int64_t, int) {
+        started.store(true, std::memory_order_release);
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+      });
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::mutex order_mu;
+  std::vector<std::pair<int, int64_t>> order;
+  auto record = [&](int tag, int64_t c) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.emplace_back(tag, c);
+  };
+  TaskScheduler::JobRef job_a = scheduler.Submit(
+      2, [&](int64_t c, int) { record(0, c); });
+  TaskScheduler::JobRef job_b = scheduler.Submit(
+      2, [&](int64_t c, int) { record(1, c); });
+  scheduler.Boost(job_b);
+  EXPECT_GE(scheduler.stats().boosts, 1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Wait(job_a);
+  scheduler.Wait(job_b);
+  scheduler.Wait(blocker);
+  ASSERT_EQ(order.size(), 4u);
+  // B's chunks first (relative order preserved), then A's.
+  EXPECT_EQ(order[0], (std::pair<int, int64_t>{1, 0}));
+  EXPECT_EQ(order[1], (std::pair<int, int64_t>{1, 1}));
+  EXPECT_EQ(order[2], (std::pair<int, int64_t>{0, 0}));
+  EXPECT_EQ(order[3], (std::pair<int, int64_t>{0, 1}));
+
+  // Boosting null / finished jobs is a harmless no-op.
+  scheduler.Boost(nullptr);
+  scheduler.Boost(job_b);
 }
 
 TEST(TaskSchedulerTest, DestructorDrainsQueuedChunks) {

@@ -3,7 +3,11 @@
 // structural sanity of the optimized index, and workload-shift rebuilds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/baselines/full_scan.h"
+#include "src/common/random.h"
 #include "src/core/tsunami.h"
 #include "src/datasets/datasets.h"
 #include "src/flood/flood.h"
@@ -146,6 +150,73 @@ TEST(TsunamiIndexTest, EmptyWorkloadBuildsUnindexedRegions) {
   TsunamiIndex index(bench.data, Workload{}, SmallOptions());
   FullScanIndex reference(bench.data);
   CheckMatchesFullScan(index, bench, reference);
+}
+
+TEST(TsunamiIndexTest, RepairsQuarantinedBlocksFromDeltaFold) {
+  // Initial table lives entirely in dim0 <= 10000; the inserted delta rows
+  // live far above, so after the incremental rebuild folds them in, the
+  // clustered store's tail blocks hold *only* delta-origin rows — exactly
+  // the blocks the fold backup can re-materialize if they go corrupt.
+  Rng rng(53);
+  Dataset data(2, {});
+  for (int i = 0; i < 6000; ++i) {
+    Value x = rng.UniformValue(0, 10000);
+    data.AppendRow({x, rng.UniformValue(0, 500)});
+  }
+  Workload workload;
+  for (int i = 0; i < 12; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(0, 9000);
+    q.filters.push_back(Predicate{0, lo, lo + 800});
+    workload.push_back(q);
+  }
+  TsunamiIndex initial(data, workload, SmallOptions());
+  for (int i = 0; i < 3000; ++i) {
+    initial.Insert(
+        {rng.UniformValue(100000, 110000), rng.UniformValue(0, 500)});
+  }
+  TsunamiIndex rebuilt(initial, workload, SmallOptions());
+  ASSERT_EQ(rebuilt.delta_size(), 0);  // Fold consumed the buffer.
+
+  Query over_new;
+  over_new.filters.push_back(Predicate{0, 100000, 110000});
+  over_new.SetAggregates({{AggKind::kSum, 1}, {AggKind::kCount, 0}});
+  QueryResult want = rebuilt.Execute(over_new);
+  EXPECT_EQ(want.matched, 3000);
+  EXPECT_FALSE(want.degraded);
+
+  // Find the wholly-delta blocks (every row's dim0 is in the insert
+  // range — only delta rows live there) and quarantine them in both dims.
+  const ColumnStore& store = rebuilt.store();
+  std::vector<int64_t> delta_blocks;
+  for (int64_t b = 0; b * kScanBlockRows < store.size(); ++b) {
+    const int64_t lo = b * kScanBlockRows;
+    const int64_t hi = std::min(store.size(), lo + kScanBlockRows);
+    bool all_delta = true;
+    for (int64_t r = lo; r < hi && all_delta; ++r) {
+      all_delta = store.Get(r, 0) >= 100000;
+    }
+    if (all_delta) delta_blocks.push_back(b);
+  }
+  ASSERT_GE(delta_blocks.size(), 1u);  // 3000 tail rows span >= 1 block.
+  for (int64_t b : delta_blocks) {
+    store.encoded(0).Quarantine(b);
+    store.encoded(1).Quarantine(b);
+  }
+  const int64_t quarantined = static_cast<int64_t>(delta_blocks.size()) * 2;
+  EXPECT_EQ(store.QuarantinedBlocks(), quarantined);
+  QueryResult degraded = rebuilt.Execute(over_new);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_LT(degraded.matched, want.matched);
+
+  // Repair from the fold backup: every quarantined block was wholly
+  // delta-origin, so every one heals — and the query is exact again.
+  EXPECT_EQ(rebuilt.RepairQuarantinedFromDelta(), quarantined);
+  EXPECT_EQ(store.QuarantinedBlocks(), 0);
+  QueryResult healed = rebuilt.Execute(over_new);
+  EXPECT_FALSE(healed.degraded);
+  EXPECT_EQ(healed.agg, want.agg);
+  EXPECT_EQ(healed.matched, want.matched);
 }
 
 TEST(FloodIndexTest, ReportsCellsAndTimings) {
