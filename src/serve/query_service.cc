@@ -10,10 +10,23 @@
 
 namespace tsunami {
 
+namespace {
+
+ServiceOptions SanitizeOptions(ServiceOptions options) {
+  // The watermark is a fraction of the admission caps; a value outside
+  // [0, 1] would silently disable (or invert) the low-priority
+  // reservation, so it is clamped rather than trusted.
+  options.low_priority_watermark =
+      std::clamp(options.low_priority_watermark, 0.0, 1.0);
+  return options;
+}
+
+}  // namespace
+
 QueryService::QueryService(const MultiDimIndex* index,
                            const ServiceOptions& options)
     : index_(index),
-      options_(options),
+      options_(SanitizeOptions(options)),
       cache_(options.plan_cache_capacity),
       scheduler_(options.threads < 0 ? ThreadPool::DefaultThreads()
                                      : options.threads) {}
@@ -40,12 +53,14 @@ std::vector<QueryService::Admission> QueryService::SubmitBatch(
   return admissions;
 }
 
-void QueryService::RecordStop(const Pending* p, uint8_t cause) {
+bool QueryService::RecordStop(const Pending* p, uint8_t cause) {
   // First writer wins: the earliest recorded cause is the truthful one (a
-  // deadline expiring after a shed does not relabel the shed).
+  // deadline expiring after a shed does not relabel the shed). Returns
+  // whether this call installed the cause, so a caller that counts an
+  // outcome (the shedder) counts only causes it actually recorded.
   uint8_t expected = Pending::kStopNone;
-  p->stop_cause.compare_exchange_strong(expected, cause,
-                                        std::memory_order_relaxed);
+  return p->stop_cause.compare_exchange_strong(expected, cause,
+                                               std::memory_order_relaxed);
 }
 
 uint8_t QueryService::CauseOf(const ExecContext& ctx) {
@@ -131,10 +146,14 @@ void QueryService::ShedVictims(int priority, int64_t num_chunks) {
   for (const auto& victim : victims) {
     if (HasRoom(num_chunks, priority)) break;
     Pending* v = victim.second;
-    RecordStop(v, Pending::kStopShed);
+    // A worker may record kStopTimedOut/kStopCancelled between our
+    // stop_cause check above and here; count the shed only when this CAS
+    // installed it, so the query lands in exactly one outcome stat.
+    if (RecordStop(v, Pending::kStopShed)) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    }
     ReleaseChunks(v, std::numeric_limits<int64_t>::max());
     ReleaseQuery(v);
-    shed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -222,6 +241,27 @@ QueryService::Admission QueryService::Admit(
   p->job = scheduler_.Submit(
       num_chunks,
       [this, p, use_tasks, stoppable](int64_t chunk, int /*worker*/) {
+        // The budget tail is RAII: a chunk whose scan throws (the scheduler
+        // swallows the exception and marks the job failed) must still
+        // return its admission unit and, if it is the last chunk out,
+        // release the query's unit and stamp its completion time —
+        // otherwise every failed chunk permanently consumes bounded-service
+        // budget until all traffic is rejected kQueueFull.
+        struct BudgetTail {
+          QueryService* service;
+          Pending* p;
+          ~BudgetTail() {
+            // The last chunk out releases the query's unit and stamps its
+            // true completion time, on the worker — Await's return can be
+            // much later on a saturated host.
+            service->ReleaseChunks(p, 1);
+            if (p->chunks_left.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+              p->latency_seconds = p->admit_timer.ElapsedSeconds();
+              service->ReleaseQuery(p);
+            }
+          }
+        } tail{this, p};
         QueryResult& partial = p->partials[chunk];
         partial = InitResult(p->plan->query);
         if (p->stop_cause.load(std::memory_order_relaxed) !=
@@ -263,15 +303,6 @@ QueryService::Admission QueryService::Admit(
           if (inline_ctx.ShouldStop()) {
             RecordStop(p, CauseOf(inline_ctx));
           }
-        }
-        // Return this chunk's admission-budget unit; the last chunk out
-        // releases the query's unit and stamps its true completion time,
-        // on the worker — Await's return can be much later on a saturated
-        // host.
-        ReleaseChunks(p, 1);
-        if (p->chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          p->latency_seconds = p->admit_timer.ElapsedSeconds();
-          ReleaseQuery(p);
         }
       },
       options.priority);
@@ -327,6 +358,19 @@ QueryResult QueryService::Await(Ticket ticket, AwaitInfo* info) {
     return QueryResult{};
   }
   scheduler_.Wait(pending->job);
+  // Backstop reclaim: the chunk closures' RAII tail returns every unit for
+  // chunks that ran at all, but a chunk can fail *before* its closure runs
+  // (the scheduler's injected task-throw site sits ahead of the dispatch),
+  // so take whatever is still held — the CAS-take in ReleaseChunks and the
+  // idempotent ReleaseQuery make this free when nothing remains, and it
+  // guarantees a consumed ticket can never strand bounded-service budget.
+  ReleaseChunks(pending.get(), std::numeric_limits<int64_t>::max());
+  ReleaseQuery(pending.get());
+  if (pending->chunks_left.load(std::memory_order_relaxed) > 0) {
+    // Some chunk never ran its tail, so the worker-side stamp never fired:
+    // stamp completion now (Await time is the earliest truthful witness).
+    pending->latency_seconds = pending->admit_timer.ElapsedSeconds();
+  }
   out.latency_seconds = pending->latency_seconds;
   const Query& query = pending->plan->query;
   if (pending->job->failed()) {

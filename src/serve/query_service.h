@@ -124,12 +124,16 @@ struct ServiceOptions {
   int64_t max_queued_queries = 0;
   /// Cap on chunks admitted and not yet finished — the finer-grained bound
   /// (one giant query is many chunks). A single query whose decomposition
-  /// alone exceeds the cap is always rejected: size the cap (or
+  /// alone exceeds its cap is always rejected, even on an idle service —
+  /// and for priority <= 0 queries the cap is the watermark-scaled one, so
+  /// the largest admissible low-priority query is
+  /// `low_priority_watermark * max_queued_chunks` chunks. Size the cap (or
   /// chunk_rows) above the largest plan you intend to serve.
   int64_t max_queued_chunks = 0;
   /// Fraction of the caps available to priority <= 0 queries; the rest is
   /// headroom reserved for higher-priority traffic (which can also shed
-  /// lower-priority work when even the full cap is exhausted).
+  /// lower-priority work when even the full cap is exhausted). Clamped to
+  /// [0, 1] at construction.
   double low_priority_watermark = 0.5;
   /// When set, Submit rejects (kDeadlineInfeasible) a query whose
   /// cost-model-predicted execution time (PredictPlanNanos under
@@ -333,7 +337,8 @@ class QueryService {
   /// paths — no timer thread; a service touched at all keeps deadlines
   /// honest.
   void BoostNearDeadline();
-  static void RecordStop(const Pending* p, uint8_t cause);
+  /// Records `cause` first-writer-wins; true when this call installed it.
+  static bool RecordStop(const Pending* p, uint8_t cause);
   static uint8_t CauseOf(const ExecContext& ctx);
 
   const MultiDimIndex* index_;

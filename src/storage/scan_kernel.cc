@@ -320,6 +320,7 @@ void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
       const int64_t b = lo / kScanBlockRows;
       const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
       if (!BlockReadable(b, query, /*exact=*/true, out)) {
+        out->scanned -= hi - lo;  // Skipped, never read: not scanned.
         lo = hi;
         continue;
       }
@@ -347,6 +348,7 @@ void ScanKernel::ScanScalar(int64_t begin, int64_t end, const Query& query,
     const int64_t b = lo / kScanBlockRows;
     const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
     if (!BlockReadable(b, query, /*exact=*/false, out)) {
+      out->scanned -= hi - lo;  // Skipped, never read: not scanned.
       lo = hi;
       continue;
     }
@@ -522,7 +524,10 @@ void ScanKernel::ScanVectorized(int64_t begin, int64_t end,
     // Integrity gate before zone triage: a quarantined block's zone entries
     // may themselves derive from the corrupt bytes (Deserialize rebuilds
     // zones by decoding), so they cannot be trusted even to skip it.
-    if (!BlockReadable(b, query, /*exact=*/false, out)) continue;
+    if (!BlockReadable(b, query, /*exact=*/false, out)) {
+      out->scanned -= hi - lo;  // Skipped, never read: not scanned.
+      continue;
+    }
     // Zone-map triage: a block disjoint from any filter contributes
     // nothing; a block inside every filter needs no per-row checks.
     bool all_match = true;
@@ -608,7 +613,10 @@ void ScanKernel::ScanExactVectorized(int64_t begin, int64_t end,
   for (int64_t b = b_first; b <= b_last; ++b) {
     const int64_t lo = std::max(begin, b * kScanBlockRows);
     const int64_t hi = std::min(end, (b + 1) * kScanBlockRows);
-    if (!BlockReadable(b, query, /*exact=*/true, out)) continue;
+    if (!BlockReadable(b, query, /*exact=*/true, out)) {
+      out->scanned -= hi - lo;  // Skipped, never read: not scanned.
+      continue;
+    }
     out->matched += hi - lo;
     AggregateRun(lo, hi, b, query, ops, out);
   }

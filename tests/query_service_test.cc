@@ -844,5 +844,64 @@ TEST_F(QueryServiceTest, InjectedFaultSoakFailsClosedAndReplaysClean) {
 #endif
 }
 
+TEST_F(QueryServiceTest, FailedChunksReturnBoundedAdmissionBudget) {
+#if !defined(TSUNAMI_FAULT_INJECTION)
+  GTEST_SKIP() << "built without TSUNAMI_FAULT_INJECTION";
+#else
+  // Regression: a chunk that fails must still return its admission-budget
+  // units — whether its scan threw mid-closure (the RAII tail) or the
+  // injected scheduler fault threw before the closure ever ran (the Await
+  // backstop). Before the fix, every failed chunk permanently consumed
+  // admitted_chunks_/active_queries_ budget, so a bounded service under
+  // faults drifted into rejecting all traffic with kQueueFull.
+  FullScanIndex index(data_);
+  ServiceOptions options;
+  options.threads = 2;
+  options.chunk_rows = kScanBlockRows;
+  options.max_queued_queries = 4;
+  options.max_queued_chunks = 64;
+  QueryService service(&index, options);
+
+  fault::FaultSpec throw_spec;
+  throw_spec.probability = 1.0;  // Deterministic: every chunk throws.
+  throw_spec.seed = 7;
+  fault::Arm("sched.task_throw", throw_spec);
+
+  Rng rng(205);
+  Workload batch = SkewedBatch(rng, 8);
+  // Far more failed queries than the query cap: any leaked unit surfaces
+  // as a kQueueFull rejection (Await on a rejected ticket reports
+  // kRejected, failing the kFailed expectation below).
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      SubmitOptions high;
+      high.priority = 1;  // Full cap — no watermark scaling in the way.
+      AwaitInfo info;
+      QueryResult got = service.Await(service.Submit(batch[i], high), &info);
+      EXPECT_EQ(info.outcome, QueryOutcome::kFailed)
+          << "round " << round << " query " << i;
+      EXPECT_GT(info.latency_seconds, 0.0);  // Stamped even on failure.
+      EXPECT_EQ(got.matched, 0);
+    }
+  }
+  fault::DisarmAll();
+
+  // Every unit came back: gauges empty, nothing was ever rejected, and the
+  // service still admits and answers exactly.
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.active_queries, 0);
+  EXPECT_EQ(stats.admitted_chunks, 0);
+  EXPECT_EQ(stats.rejected_queue_full, 0);
+  EXPECT_GT(stats.failed, 0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    AwaitInfo info;
+    QueryResult got = service.Await(service.Submit(batch[i]), &info);
+    ASSERT_EQ(info.outcome, QueryOutcome::kCompleted) << "query " << i;
+    ExpectBitIdentical(got, index.Execute(batch[i]),
+                       "post-fault " + std::to_string(i));
+  }
+#endif
+}
+
 }  // namespace
 }  // namespace tsunami
