@@ -4,7 +4,9 @@
 // scalar-vs-vectorized scan-kernel A/B sweep and writes
 // BENCH_scan_kernel.json before the registered benchmarks.
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include <benchmark/benchmark.h>
 
@@ -630,6 +632,7 @@ void RunQueryServiceBench(std::vector<std::string>* records) {
             .Int("service_run_threads", service.scheduler().num_threads())
             .Num("speedup", hit_s > 0 ? cold_s / hit_s : 0.0)
             .Num("cache_hit_rate", hit_rate)
+            .Int("rng_seed", 201)  // SharedBench workload generator.
             .Finish());
   }
 
@@ -780,6 +783,7 @@ void RunQueryServiceBench(std::vector<std::string>* records) {
             .Num("needle_p50_speedup",
                  sv_needle_p50 > 0 ? eb_needle_p50 / sv_needle_p50 : 0.0)
             .Int("steal_count", steals)
+            .Int("rng_seed", 404)  // Workload generator for this sweep.
             .Finish());
     if (threads == ThreadPool::DefaultThreads()) break;  // No duplicate row.
   }
@@ -908,6 +912,146 @@ void RunOverloadBench(std::vector<std::string>* records) {
             .Int("unbounded_admitted", us.admitted)
             .Int("unbounded_max_queue_depth", us.max_queue_depth)
             .Num("unbounded_p99_us", u_p99)
+            .Int("rng_seed", 505)  // Burst traffic generator.
+            .Finish());
+  }
+}
+
+// --- Client fairness: per-client caps vs one greedy client. ---
+//
+// One greedy client keeps the service's bounded admission budget saturated
+// with full-table queries (open loop, topped up every round) while four
+// polite clients each run a needle closed-loop: submit, retry on rejection
+// with a short pause (what a real client's bounded-backoff loop does), then
+// await. Without a per-client cap the greedy client holds the entire
+// low-priority query budget, so every polite query must out-wait the whole
+// greedy backlog — end-to-end p99 and retry counts blow up. With
+// max_inflight_per_client set, the greedy client is bounced with
+// kClientBusy beyond its slots and the polite experience stays bounded.
+void RunClientFairnessBench(std::vector<std::string>* records) {
+  bench::PrintHeader("client fairness (per-client admission caps)");
+  const Benchmark& b = SharedBench();
+  TsunamiIndex index(b.data, b.workload, TsunamiOptions());
+  const char* tier = SimdTierName(DetectSimdTier());
+  const int hw = ThreadPool::DefaultThreads();
+
+  Query heavy;
+  heavy.filters.push_back(Predicate{0, 0, kValueMax});
+  heavy.SetAggregates({{AggKind::kSum, 1}, {AggKind::kCount, 0}});
+
+  const int kRounds = 16;
+  const int kPolite = 4;
+  const int kGreedyPerRound = 16;
+  const int kMaxAttempts = 2000;
+  Rng rng(606);
+  std::vector<Query> polite_queries;
+  for (int i = 0; i < kRounds * kPolite; ++i) {
+    polite_queries.push_back(b.workload[rng.NextBelow(b.workload.size())]);
+  }
+
+  for (int64_t cap : {int64_t{0}, int64_t{4}}) {
+    ServiceOptions so;
+    so.threads = hw;
+    so.chunk_rows = 4 * kScanBlockRows;
+    // Queries are the contended budget (the low-priority watermark admits
+    // 16); chunks stay unbounded so the comparison isolates the cap.
+    so.max_queued_queries = 32;
+    so.max_inflight_per_client = cap;
+    QueryService service(&index, so);
+
+    int64_t greedy_admitted = 0, greedy_busy = 0, greedy_full = 0;
+    int64_t polite_admitted = 0, polite_rejected = 0, polite_attempts = 0;
+    int64_t max_queue_depth = 0, max_active = 0;
+    std::vector<QueryService::Admission> greedy_tickets;
+    std::vector<double> polite_latencies;  // End-to-end, retries included.
+    SubmitOptions greedy_sub;
+    greedy_sub.client_id = 1;
+    // Tops the greedy backlog up to whatever admission will give it.
+    auto greedy_refill = [&] {
+      for (int g = 0; g < kGreedyPerRound; ++g) {
+        QueryService::Admission a = service.Submit(heavy, greedy_sub);
+        if (a.admitted()) {
+          greedy_tickets.push_back(a);
+          ++greedy_admitted;
+        } else if (a.outcome == AdmissionOutcome::kClientBusy) {
+          ++greedy_busy;
+        } else {
+          ++greedy_full;
+        }
+      }
+    };
+    size_t next_polite = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      greedy_refill();
+      ServiceStats mid = service.stats();
+      max_queue_depth = std::max(max_queue_depth, mid.queue_depth);
+      max_active = std::max(max_active, mid.active_queries);
+      for (int p = 0; p < kPolite; ++p) {
+        const Query& q = polite_queries[next_polite++];
+        SubmitOptions polite_sub;
+        polite_sub.client_id = 2 + p;
+        Timer end_to_end;
+        QueryService::Admission a;
+        int attempts = 0;
+        while (true) {
+          ++attempts;
+          a = service.Submit(q, polite_sub);
+          if (a.admitted() || attempts >= kMaxAttempts) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+        polite_attempts += attempts;
+        if (!a.admitted()) {
+          ++polite_rejected;
+          continue;
+        }
+        ++polite_admitted;
+        AwaitInfo info;
+        service.Await(a, &info);
+        if (info.outcome == QueryOutcome::kCompleted) {
+          polite_latencies.push_back(end_to_end.ElapsedSeconds());
+        }
+      }
+    }
+    for (const QueryService::Admission& t : greedy_tickets) {
+      service.Await(t);
+    }
+
+    const double p50 = Percentile(polite_latencies, 50) * 1e6;
+    const double p99 = Percentile(polite_latencies, 99) * 1e6;
+    const double mean_attempts =
+        static_cast<double>(polite_attempts) /
+        static_cast<double>(kRounds * kPolite);
+    std::printf(
+        "per-client cap %3lld: greedy admitted %3lld busy %3lld full %3lld"
+        "  |  polite admitted %3lld rejected %3lld  attempts/query %5.1f  "
+        "p50 %9.1f us  p99 %9.1f us  (max active %3lld, queue depth "
+        "%4lld)\n",
+        static_cast<long long>(cap), static_cast<long long>(greedy_admitted),
+        static_cast<long long>(greedy_busy),
+        static_cast<long long>(greedy_full),
+        static_cast<long long>(polite_admitted),
+        static_cast<long long>(polite_rejected), mean_attempts, p50, p99,
+        static_cast<long long>(max_active),
+        static_cast<long long>(max_queue_depth));
+    records->push_back(
+        bench::EnvRecord("client_fairness", tier, hw,
+                         kGreedyPerRound + kPolite)
+            .Int("hw_threads", hw)
+            .Int("per_client_cap", cap)
+            .Int("rounds", kRounds)
+            .Int("greedy_offered", kRounds * kGreedyPerRound)
+            .Int("greedy_admitted", greedy_admitted)
+            .Int("greedy_rejected_busy", greedy_busy)
+            .Int("greedy_rejected_full", greedy_full)
+            .Int("polite_offered", kRounds * kPolite)
+            .Int("polite_admitted", polite_admitted)
+            .Int("polite_rejected", polite_rejected)
+            .Num("polite_attempts_per_query", mean_attempts)
+            .Num("polite_p50_us", p50)
+            .Num("polite_p99_us", p99)
+            .Int("max_active_queries", max_active)
+            .Int("max_queue_depth", max_queue_depth)
+            .Int("rng_seed", 606)  // Polite traffic generator.
             .Finish());
   }
 }
@@ -1007,6 +1151,7 @@ int main(int argc, char** argv) {
     // Overload-only run: writes its own artifact (like --service) so it
     // never truncates a previous full run's scan-kernel sections.
     tsunami::RunOverloadBench(&records);
+    tsunami::RunClientFairnessBench(&records);
     if (tsunami::bench::WriteBenchJson("BENCH_query_service.json",
                                        "scan_kernel", records)) {
       std::printf("wrote BENCH_query_service.json\n");
@@ -1033,6 +1178,7 @@ int main(int argc, char** argv) {
   // batch-API sections a previous full run recorded.
   tsunami::RunQueryServiceBench(&records);
   tsunami::RunOverloadBench(&records);
+  tsunami::RunClientFairnessBench(&records);
   const char* json_path =
       service_only ? "BENCH_query_service.json" : "BENCH_scan_kernel.json";
   if (tsunami::bench::WriteBenchJson(json_path, "scan_kernel", records)) {

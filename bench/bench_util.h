@@ -203,10 +203,55 @@ class JsonRecord {
   std::string body_;
 };
 
+/// The git revision the benchmark binary is running against, resolved once
+/// per process ("unknown" outside a work tree / without git). A perf row
+/// that cannot be tied back to a commit is unactionable in a regression
+/// hunt.
+inline const std::string& GitRevision() {
+  static const std::string revision = [] {
+    std::string out = "unknown";
+    if (std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+      char buffer[64];
+      if (std::fgets(buffer, sizeof(buffer), p) != nullptr) {
+        std::string line(buffer);
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+        if (!line.empty()) out = line;
+      }
+      ::pclose(p);
+    }
+    return out;
+  }();
+  return revision;
+}
+
+/// Compile-time build configuration: numbers from a debug, sanitized, or
+/// fault-injected binary must never be compared against release numbers.
+inline const char* BuildConfig() {
+  return
+#if !defined(NDEBUG)
+      "debug"
+#else
+      "release"
+#endif
+#if defined(TSUNAMI_FAULT_INJECTION)
+      "+fi"
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+      "+asan"
+#elif defined(__SANITIZE_THREAD__)
+      "+tsan"
+#endif
+      ;
+}
+
 /// A BENCH_*.json record pre-stamped with the execution environment every
 /// perf record needs to stay attributable across machines and configs: the
-/// active SIMD tier, the thread count, and the batch size the measurement
-/// used (1 = per-query dispatch).
+/// active SIMD tier, the thread count, the batch size the measurement used
+/// (1 = per-query dispatch), and the provenance pair (git revision, build
+/// config) that makes the row reproducible after the fact. Benches with a
+/// synthetic workload also stamp their generator seed via `rng_seed`.
 inline JsonRecord EnvRecord(const std::string& shape,
                             const std::string& simd_tier, int threads,
                             int64_t batch_size) {
@@ -214,7 +259,9 @@ inline JsonRecord EnvRecord(const std::string& shape,
   record.Str("shape", shape)
       .Str("simd_tier", simd_tier)
       .Int("threads", threads)
-      .Int("batch_size", batch_size);
+      .Int("batch_size", batch_size)
+      .Str("git_revision", GitRevision())
+      .Str("build_config", BuildConfig());
   return record;
 }
 

@@ -14,9 +14,18 @@
 // and the self-check relaxes to fail-closed semantics: a query may come
 // back failed (identity result, truthful outcome) or flagged degraded, but
 // a result claiming to be complete and healthy must still be exact.
+//
+// With --net the same fail-closed soak runs over the real wire: a
+// TsunamiServer on an ephemeral loopback port, >=1000 concurrent client
+// connections, wire-level faults (under --soak), a stalled-reader eviction
+// check, and a graceful drain to finish.
+#include <array>
 #include <atomic>
+#include <barrier>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,15 +34,291 @@
 #include "src/common/random.h"
 #include "src/common/stats.h"
 #include "src/core/tsunami.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
 #include "src/query/engine.h"
 #include "src/serve/query_service.h"
 
 using namespace tsunami;
 
+// --- --net: soak the real wire front end over loopback -----------------------
+// Storms a TsunamiServer with 1024 simultaneously-open client connections,
+// then runs pipelined queries with bounded retry on every one. Under --soak
+// (FI builds) the wire fault sites are armed too, and the self-check is the
+// same fail-closed predicate as the in-process soak: a query may fail, shed,
+// or time out *truthfully*, but a completed, healthy answer must be
+// bit-identical to Execute(). Ends with a stalled-reader eviction check and
+// a graceful drain that must answer in-flight work while refusing new.
+static bool RunNetSoak(TsunamiIndex& index, bool soak) {
+  using namespace tsunami::net;
+  std::printf("\n--- net soak: tsunami_serverd front end over loopback ---\n");
+
+  ServiceOptions sv;
+  sv.max_queued_queries = 256;
+  sv.max_inflight_per_client = 32;
+  QueryService service(&index, sv);
+
+  ServerOptions so;
+  so.listen_backlog = 1024;
+  so.max_connections = 2048;
+  so.max_inflight_per_conn = 8;
+  // Small socket buffers + low watermarks: the stalled-reader check below
+  // backs the write path up within a handful of frames.
+  so.sndbuf_bytes = 4096;
+  so.pause_read_watermark = 16u << 10;
+  so.resume_read_watermark = 4u << 10;
+  so.write_stall_timeout_seconds = 0.5;
+  so.idle_timeout_seconds = 30.0;
+  so.drain_timeout_seconds = 10.0;
+  TsunamiServer server(&service, so);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::printf("net soak: server start failed: %s\n", err.c_str());
+    return false;
+  }
+  std::thread loop([&] { server.Run(); });
+
+  bool faults_armed = false;
+  if (soak) {
+#if defined(TSUNAMI_FAULT_INJECTION)
+    auto arm = [](const char* site, double p, uint64_t seed) {
+      fault::FaultSpec spec;
+      spec.probability = p;
+      spec.seed = seed;
+      fault::Arm(site, spec);
+    };
+    arm("net.accept_fail", 0.01, 91);
+    arm("net.short_write", 0.05, 92);
+    arm("net.reset", 0.004, 93);
+    arm("net.partial_frame", 0.01, 94);
+    arm("sched.task_throw", 0.02, 95);
+    arm("storage.checksum", 0.01, 96);
+    for (int d = 0; d < index.store().dims(); ++d) {
+      index.store().encoded(d).MarkAllUnverified();
+    }
+    faults_armed = true;
+    std::printf("net soak: wire + service faults armed\n");
+#else
+    std::printf("net soak: no TSUNAMI_FAULT_INJECTION — running fault-free\n");
+#endif
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kConnsPerThread = 128;  // 1024 concurrent connections.
+  constexpr int kQueriesPerConn = 4;
+  std::atomic<int64_t> offered{0}, completed{0}, mismatches{0};
+  std::atomic<int64_t> failed_closed{0}, degraded{0}, transport_failed{0};
+  // Indexed by QueryOutcome; printed with ToString below.
+  std::array<std::atomic<int64_t>, 7> outcome_tally{};
+  std::barrier sync(kThreads + 1);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng thread_rng(500 + t);
+      ClientOptions copts;
+      copts.port = server.port();
+      copts.rng_seed = 700 + static_cast<uint64_t>(t);
+      std::vector<std::unique_ptr<TsunamiClient>> conns;
+      conns.reserve(kConnsPerThread);
+      for (int i = 0; i < kConnsPerThread; ++i) {
+        conns.push_back(std::make_unique<TsunamiClient>(copts));
+        conns.back()->Connect();
+      }
+      sync.arrive_and_wait();  // All 1024 connections are open right now.
+      sync.arrive_and_wait();  // Main thread has checked the gauge.
+      for (std::unique_ptr<TsunamiClient>& conn : conns) {
+        for (int q = 0; q < kQueriesPerConn; ++q) {
+          Query needle;
+          Value lo = thread_rng.UniformValue(0, 990000);
+          needle.filters.push_back(Predicate{0, lo, lo + 4000});
+          offered.fetch_add(1, std::memory_order_relaxed);
+          ClientResult r = conn->Run(needle, /*priority=*/0,
+                                     /*deadline_seconds=*/5.0);
+          if (!r.transport_ok) {
+            transport_failed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (r.error != WireError::kNone) {
+            // Typed refusal (queue full / busy / draining): fail-closed.
+            failed_closed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const size_t idx = static_cast<size_t>(r.outcome);
+          if (idx < outcome_tally.size()) {
+            outcome_tally[idx].fetch_add(1, std::memory_order_relaxed);
+          }
+          if (r.outcome != QueryOutcome::kCompleted) {
+            failed_closed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          QueryResult want = index.Execute(needle);
+          if (r.result.degraded || want.degraded) {
+            degraded.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          completed.fetch_add(1, std::memory_order_relaxed);
+          if (r.result.agg != want.agg ||
+              r.result.matched != want.matched ||
+              r.result.scanned != want.scanned) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  sync.arrive_and_wait();
+  // Every client socket is open; give the accept loop time to chew through
+  // the SYN backlog, then verify the server really holds >=1000 at once.
+  bool concurrency_ok = false;
+  {
+    Timer hold;
+    while (hold.ElapsedSeconds() < 15.0) {
+      if (server.stats().active_connections >= 1000) {
+        concurrency_ok = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  std::printf("net soak: concurrent connections peak %lld (want >= 1000)\n",
+              static_cast<long long>(server.stats().active_connections));
+  sync.arrive_and_wait();
+  for (std::thread& th : threads) th.join();
+
+#if defined(TSUNAMI_FAULT_INJECTION)
+  if (faults_armed) {
+    std::printf(
+        "net soak faults: accept_fail=%lld short_write=%lld reset=%lld "
+        "partial_frame=%lld chunk_throws=%lld checksum_flips=%lld\n",
+        static_cast<long long>(fault::FireCount("net.accept_fail")),
+        static_cast<long long>(fault::FireCount("net.short_write")),
+        static_cast<long long>(fault::FireCount("net.reset")),
+        static_cast<long long>(fault::FireCount("net.partial_frame")),
+        static_cast<long long>(fault::FireCount("sched.task_throw")),
+        static_cast<long long>(fault::FireCount("storage.checksum")));
+    // The stall and drain checks below are deterministic contracts; run
+    // them fault-free.
+    fault::DisarmAll();
+  }
+#endif
+
+  // A reader that never reads: ~3KB responses against 4KB socket buffers
+  // must trip the write-stall timer, not buffer without bound. The
+  // empty-range filter keeps execution free; the response still carries
+  // all 3000 accumulators.
+  {
+    ClientOptions copts;
+    copts.port = server.port();
+    copts.rcvbuf_bytes = 4096;
+    TsunamiClient stalled(copts);
+    Query wide;
+    wide.filters.push_back(Predicate{0, 1, 0});
+    std::vector<AggregateSpec> specs;
+    for (int i = 0; i < 3000; ++i) {
+      specs.push_back(AggregateSpec{AggKind::kCount, 0});
+    }
+    wide.SetAggregates(std::move(specs));
+    for (int i = 0; i < 8; ++i) stalled.Submit(wide);
+    Timer timer;
+    while (timer.ElapsedSeconds() < 20.0 &&
+           server.stats().evicted_stalled < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  const bool stall_evicted = server.stats().evicted_stalled >= 1;
+  std::printf("net soak: stalled reader %s\n",
+              stall_evicted ? "evicted by the stall timer" : "NOT evicted");
+
+  // Graceful drain: park a pipelined burst in flight, issue the
+  // SIGTERM-equivalent drain, and verify every in-flight query is answered
+  // while new work is refused (typed kDraining or EOF — never a hang).
+  int drain_answered = 0;
+  bool drain_rejects_new = false;
+  {
+    ClientOptions copts;
+    copts.port = server.port();
+    TsunamiClient client(copts);
+    Query region;
+    region.filters.push_back(Predicate{0, 10000, 990000});
+    region.SetAggregates({{AggKind::kSum, 1}, {AggKind::kCount, 0}});
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 6; ++i) {
+      const uint64_t id = client.Submit(region);
+      if (id != 0) ids.push_back(id);
+    }
+    server.RequestDrain();
+    for (uint64_t id : ids) {
+      ClientResult r;
+      if (client.Await(id, &r) && r.error == WireError::kNone &&
+          r.outcome == QueryOutcome::kCompleted) {
+        ++drain_answered;
+      } else if (r.error != WireError::kNone) {
+        std::printf("net soak: drain answered %llu with %s\n",
+                    static_cast<unsigned long long>(id), ToString(r.error));
+      }
+    }
+    const uint64_t late = client.Submit(region);
+    ClientResult r;
+    if (late == 0 || !client.Await(late, &r) ||
+        r.error == WireError::kDraining) {
+      drain_rejects_new = true;
+    }
+  }  // Client closes here; its EOF lets the drain finish.
+  loop.join();
+
+  const ServerStats ss = server.stats();
+  std::printf(
+      "net soak: %lld offered -> %lld completed-exact, %lld failed closed, "
+      "%lld degraded-flagged, %lld transport-failed, %lld MISMATCHES\n",
+      static_cast<long long>(offered.load()),
+      static_cast<long long>(completed.load()),
+      static_cast<long long>(failed_closed.load()),
+      static_cast<long long>(degraded.load()),
+      static_cast<long long>(transport_failed.load()),
+      static_cast<long long>(mismatches.load()));
+  for (size_t i = 0; i < outcome_tally.size(); ++i) {
+    const int64_t n = outcome_tally[i].load();
+    if (n > 0) {
+      std::printf("  outcome %-16s %lld\n",
+                  ToString(static_cast<QueryOutcome>(i)),
+                  static_cast<long long>(n));
+    }
+  }
+  std::printf(
+      "net server: accepted=%lld peak=%lld frames_in=%lld results=%lld "
+      "errors=%lld evicted_stalled=%lld orphaned=%lld inflight=%lld\n",
+      static_cast<long long>(ss.accepted),
+      static_cast<long long>(ss.peak_connections),
+      static_cast<long long>(ss.frames_in),
+      static_cast<long long>(ss.results_sent),
+      static_cast<long long>(ss.errors_sent),
+      static_cast<long long>(ss.evicted_stalled),
+      static_cast<long long>(ss.orphaned_awaited),
+      static_cast<long long>(ss.inflight));
+  std::printf("net soak: drain answered %d/6 in-flight, %s new work\n",
+              drain_answered, drain_rejects_new ? "refused" : "ACCEPTED");
+
+  // Fail-closed floor: without faults every query must complete exactly;
+  // under the fault storm a bounded fraction may fail closed, but nothing
+  // may lie, leak a ticket, or hang.
+  const int64_t floor =
+      faults_armed ? offered.load() * 3 / 5 : offered.load();
+  const bool ok = mismatches.load() == 0 && completed.load() >= floor &&
+                  concurrency_ok && stall_evicted && drain_answered == 6 &&
+                  drain_rejects_new && ss.inflight == 0;
+  std::printf("net soak: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
 int main(int argc, char** argv) {
   bool soak = false;
+  bool net = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--soak") == 0) soak = true;
+    if (std::strcmp(argv[i], "--net") == 0) net = true;
   }
   Rng rng(11);
   const int64_t n = 200000;
@@ -236,7 +521,12 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.scheduler.steals),
       static_cast<long long>(stats.queue_depth));
 
-  const bool ok = sql_mismatches.load() == 0 && batch_mismatches.load() == 0;
+  // --- --net: the same soak over the real wire front end --------------------
+  bool net_ok = true;
+  if (net) net_ok = RunNetSoak(index, soak);
+
+  const bool ok =
+      sql_mismatches.load() == 0 && batch_mismatches.load() == 0 && net_ok;
   std::printf("%s\n", ok ? "OK: service results bit-identical to Execute"
                          : "FAILED: mismatches detected");
   return ok ? 0 : 1;

@@ -2,7 +2,7 @@
 # CI entry point: configure, build, and run the tier-1 test suite, with
 # -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
 #
-# Six passes:
+# Seven passes:
 #  1. the default build (SIMD tiers compiled in, runtime-dispatched; column
 #     blocks FOR + bit-width encoded);
 #  2. a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
@@ -22,7 +22,12 @@
 #  6. an AddressSanitizer+UBSanitizer build, also with fault injection on,
 #     over the robustness-relevant suites — corrupt-block quarantine,
 #     short-read/truncation handling, and exception unwinding through the
-#     scheduler must not scribble, leak-on-throw, or hit UB.
+#     scheduler must not scribble, leak-on-throw, or hit UB;
+#  7. the network front end under the same ASan+UBSan+FI build:
+#     tsunami_serverd + net_test (which gates the wire-level NetFaultTest
+#     fault soaks on TSUNAMI_FAULT_INJECTION), a loopback daemon smoke via
+#     tsunami_serverd itself (SIGTERM drain must exit 0), and the
+#     1000-connection fault-injected `query_service --soak --net` soak.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,3 +74,30 @@ cmake --build build-asan -j"$(nproc)" --target \
   task_scheduler_test query_service_test tsunami_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" -R \
   'io_test|encoded_column_test|storage_test|scan_kernel_test|task_scheduler_test|query_service_test|tsunami_test'
+
+# Seventh pass: the network front end, reusing the ASan+UBSan+FI build.
+# net_test's NetFaultTest suite (injected accept failures, short writes,
+# RSTs, torn frames) and io_test's short-read sweep only compile with fault
+# injection on, so this is where the wire-level error paths run sanitized.
+cmake --build build-asan -j"$(nproc)" --target \
+  net_test tsunami_serverd query_service
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)" -R net_test
+
+# Daemon smoke: boot tsunami_serverd on an ephemeral port, then SIGTERM —
+# the graceful drain must run to completion and exit 0.
+./build-asan/tsunami_serverd --rows=50000 --port=0 >serverd-smoke.log 2>&1 &
+serverd_pid=$!
+for _ in $(seq 1 120); do
+  grep -q "listening" serverd-smoke.log && break
+  sleep 0.5
+done
+grep -q "listening" serverd-smoke.log
+kill -TERM "$serverd_pid"
+wait "$serverd_pid"
+cat serverd-smoke.log
+rm -f serverd-smoke.log
+
+# The >=1000-connection loopback soak with the wire + service fault sites
+# armed: zero hangs, zero leaks (ASan), zero wrong results (fail-closed
+# predicate inside the binary).
+./build-asan/query_service --soak --net

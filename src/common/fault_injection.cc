@@ -92,6 +92,13 @@ int64_t FireCount(std::string_view site) {
   return it == r.sites.end() ? 0 : it->second.fires;
 }
 
+int64_t Param(std::string_view site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? -1 : it->second.spec.param;
+}
+
 }  // namespace fault
 }  // namespace tsunami
 

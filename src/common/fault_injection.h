@@ -3,7 +3,9 @@
 // Production code marks *fault sites* with TSUNAMI_FAULT_FIRES("name", arg):
 // the scheduler's task dispatch ("sched.task_throw", "sched.stall"), the
 // encoded-column checksum verifier ("storage.checksum"), the framed-file
-// reader ("io.short_read"). Tests and the examples' soak mode arm a site
+// reader ("io.short_read"), and the network front end's socket paths
+// ("net.accept_fail", "net.short_write", "net.reset", "net.partial_frame").
+// Tests and the examples' soak mode arm a site
 // with a FaultSpec — a seeded fire probability plus match/skip/limit
 // filters — and the site then fires deterministically: the decision for the
 // k-th matching hit depends only on (seed, k), never on wall clock, thread
@@ -39,6 +41,11 @@ struct FaultSpec {
   int64_t skip_hits = 0;
   /// Stop firing after N fires; -1 = unlimited.
   int64_t max_fires = -1;
+  /// Site-interpreted payload carried with the armed spec, readable at the
+  /// site via Param(). E.g. "io.short_read" treats it as the exact byte
+  /// offset to truncate at (so a test can cut a file at every section
+  /// boundary); -1 = unset, the site uses its default behaviour.
+  int64_t param = -1;
 };
 
 /// Arms `site` with `spec` (replacing any previous spec and resetting its
@@ -57,6 +64,10 @@ bool Fires(std::string_view site, int64_t arg);
 /// Times `site` has fired since it was last armed (0 when not armed).
 int64_t FireCount(std::string_view site);
 
+/// The armed spec's `param` for `site` (-1 when not armed or unset). Sites
+/// read it *after* Fires() returns true to shape the injected fault.
+int64_t Param(std::string_view site);
+
 }  // namespace fault
 }  // namespace tsunami
 
@@ -64,6 +75,19 @@ int64_t FireCount(std::string_view site);
   ::tsunami::fault::Fires((site), static_cast<int64_t>(arg))
 
 #else  // !TSUNAMI_FAULT_INJECTION
+
+#include <cstdint>
+#include <string_view>
+
+namespace tsunami {
+namespace fault {
+
+/// Compiled-out stub so `if (TSUNAMI_FAULT_FIRES(...)) { ... Param(...) }`
+/// bodies still parse; the enclosing constant-false branch folds away.
+inline int64_t Param(std::string_view) { return -1; }
+
+}  // namespace fault
+}  // namespace tsunami
 
 // Fault injection compiled out: sites are a constant false (the argument
 // expressions are not evaluated), so the branches fold away entirely.

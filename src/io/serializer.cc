@@ -310,8 +310,15 @@ bool ReadFramedFile(const std::string& path, FileKind kind,
 
   // Fault site: simulate a short read (a crash mid-write, a torn copy). The
   // truncation checks below must turn this into a typed error, never UB.
+  // The armed spec's `param` is the exact byte offset to cut at (tests sweep
+  // it across every section boundary); unset keeps the halve-the-file
+  // default.
   if (TSUNAMI_FAULT_FIRES("io.short_read", contents.size())) {
-    contents.resize(contents.size() / 2);
+    int64_t cut = fault::Param("io.short_read");
+    if (cut < 0 || cut > static_cast<int64_t>(contents.size())) {
+      cut = static_cast<int64_t>(contents.size() / 2);
+    }
+    contents.resize(static_cast<size_t>(cut));
   }
 
   constexpr size_t kHeaderSize = 4 + 4 + 4 + 8 + 4;

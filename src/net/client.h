@@ -1,0 +1,142 @@
+// TsunamiClient: blocking client for the tsunami wire protocol with the
+// robustness knobs a caller facing a faulty network needs:
+//
+//   - Connect / read / write timeouts (poll()-based; the client never
+//     blocks indefinitely on a dead or stalled peer).
+//   - Pipelining: Submit() many queries before Await()ing any; responses
+//     arrive in completion order and are stashed by request id, so awaiting
+//     in submission order still works.
+//   - Deadline propagation: a per-call deadline budget is stamped into the
+//     frame header (remaining micros, recomputed per attempt) and becomes
+//     the query's SubmitOptions deadline on the server.
+//   - Bounded retry with jittered exponential backoff (Run()): retried are
+//     *only* outcomes where the query provably did not complete —
+//     retryable wire errors (kQueueFull / kClientBusy / kDraining), the
+//     kShed outcome, and transport loss (safe here because queries are
+//     read-only; re-executing one cannot corrupt anything). kCompleted and
+//     kFailed are never retried.
+//
+// One client drives one connection and is NOT thread-safe; give each
+// client thread its own TsunamiClient.
+//
+// Fault-injection sites (client-side): "net.partial_frame" makes Submit
+// write only a prefix of the frame and drop the connection (a torn frame —
+// the server must discard it without ever seeing a parseable query), and
+// "net.short_write" truncates socket writes (the send loop resumes).
+#ifndef TSUNAMI_NET_CLIENT_H_
+#define TSUNAMI_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/random.h"
+#include "src/net/wire.h"
+
+namespace tsunami {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  double connect_timeout_seconds = 5.0;
+  /// Per-poll read/write timeout: how long one Await/Submit may sit on a
+  /// silent socket before declaring transport loss.
+  double io_timeout_seconds = 10.0;
+  /// Run() attempts beyond the first (0 = never retry).
+  int max_retries = 3;
+  double backoff_initial_seconds = 0.005;
+  double backoff_max_seconds = 0.25;
+  /// Seed for backoff jitter (deterministic per client).
+  uint64_t rng_seed = 1;
+  uint32_t max_frame_payload = kMaxFramePayload;
+  /// SO_RCVBUF for the socket (0 = kernel default). Tests shrink it to
+  /// starve the server's flush and exercise its backpressure/stall paths.
+  int rcvbuf_bytes = 0;
+};
+
+/// Everything one query attempt (or Run() retry loop) produced.
+struct ClientResult {
+  /// A response frame (result or typed error) was received for this
+  /// request. False = transport-level loss: connect/send/recv failure,
+  /// timeout, torn frame, or connection reset.
+  bool transport_ok = false;
+  /// Wire-level error from a kError frame (kNone on a result frame).
+  WireError error = WireError::kNone;
+  std::string error_message;
+  /// Valid when transport_ok && error == kNone.
+  QueryOutcome outcome = QueryOutcome::kFailed;
+  double server_latency_seconds = 0.0;
+  QueryResult result;
+  int attempts = 1;
+
+  /// A real, completed answer.
+  bool ok() const {
+    return transport_ok && error == WireError::kNone &&
+           outcome == QueryOutcome::kCompleted;
+  }
+};
+
+class TsunamiClient {
+ public:
+  explicit TsunamiClient(const ClientOptions& options);
+  ~TsunamiClient();
+
+  TsunamiClient(const TsunamiClient&) = delete;
+  TsunamiClient& operator=(const TsunamiClient&) = delete;
+
+  /// Connects (with timeout). Returns false with `*error` set on failure.
+  /// Idempotent when already connected.
+  bool Connect(std::string* error = nullptr);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one query frame (pipelining-safe: call repeatedly before
+  /// Await). `deadline_seconds` (0 = none) rides the frame header.
+  /// Returns the request id, or 0 on transport failure (connection is
+  /// closed; the query was not reliably delivered).
+  uint64_t Submit(const Query& query, int priority = 0,
+                  double deadline_seconds = 0.0);
+
+  /// Blocks (bounded by the io timeout) until `request_id`'s response
+  /// arrives; responses for other pipelined requests encountered on the
+  /// way are stashed. Returns false on transport loss (connection closed).
+  bool Await(uint64_t request_id, ClientResult* out);
+
+  /// Submit + Await + bounded jittered-backoff retry. With a deadline, the
+  /// *overall* budget spans all attempts and the remaining budget is
+  /// re-stamped on each one.
+  ClientResult Run(const Query& query, int priority = 0,
+                   double deadline_seconds = 0.0);
+
+  /// Round-trips a kPing frame. False on transport loss.
+  bool Ping();
+
+  /// Writes raw bytes on the connection — the test/fuzz hook for speaking
+  /// malformed or hand-rolled frames. False on transport failure.
+  bool SendRaw(std::string_view bytes);
+
+ private:
+  bool SendAll(std::string_view data);
+  /// Reads one whole frame (poll + recv loop). False on timeout, EOF,
+  /// protocol violation, or socket error — the connection is closed.
+  bool ReadFrame(FrameHeader* header, std::string* payload);
+  /// Parses a buffered response frame into a ClientResult keyed by its
+  /// request id; returns false on a protocol violation.
+  bool StashResponse(const FrameHeader& header, std::string_view payload);
+  void Backoff(int attempt, double remaining_seconds);
+
+  const ClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string rbuf_;
+  std::unordered_map<uint64_t, ClientResult> ready_;
+  uint64_t pongs_ = 0;
+  Rng rng_;
+};
+
+}  // namespace net
+}  // namespace tsunami
+
+#endif  // TSUNAMI_NET_CLIENT_H_

@@ -1,0 +1,150 @@
+// tsunami_serverd: the standalone network serving daemon.
+//
+// Builds a Tsunami index over a synthetic correlated table (the same shape
+// the examples and benchmarks use), wraps it in a bounded-admission
+// QueryService, and serves the tsunami wire protocol (src/net/wire.h) until
+// told to stop:
+//
+//   tsunami_serverd [--port=N] [--host=A.B.C.D] [--rows=N]
+//                   [--max-queued-queries=N] [--max-queued-chunks=N]
+//                   [--max-inflight-per-client=N] [--max-inflight-per-conn=N]
+//                   [--idle-timeout=SECONDS] [--drain-timeout=SECONDS]
+//
+// SIGTERM / SIGINT trigger a *graceful drain*: the listener closes, new
+// queries are answered with typed kDraining errors, in-flight queries
+// finish and flush, then the daemon exits 0. A second signal forces a hard
+// stop (in-flight tickets are still awaited — never leaked — but unflushed
+// responses are dropped).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/core/tsunami.h"
+#include "src/net/server.h"
+#include "src/serve/query_service.h"
+
+using namespace tsunami;
+
+namespace {
+
+net::TsunamiServer* g_server = nullptr;
+volatile std::sig_atomic_t g_signals_seen = 0;
+
+// Async-signal-safe: RequestDrain/RequestStop are an atomic store plus an
+// eventfd write.
+void HandleSignal(int) {
+  if (g_server == nullptr) return;
+  const std::sig_atomic_t seen = g_signals_seen;
+  g_signals_seen = seen + 1;
+  if (seen == 0) {
+    g_server->RequestDrain();
+  } else {
+    g_server->RequestStop();
+  }
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::ServerOptions server_options;
+  server_options.port = 7411;
+  ServiceOptions service_options;
+  service_options.max_queued_queries = 256;
+  service_options.max_queued_chunks = 4096;
+  service_options.max_inflight_per_client = 32;
+  int64_t rows = 200000;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--port", &v)) {
+      server_options.port = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--host", &v)) {
+      server_options.host = v;
+    } else if (ParseFlag(argv[i], "--rows", &v)) {
+      rows = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--max-queued-queries", &v)) {
+      service_options.max_queued_queries = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--max-queued-chunks", &v)) {
+      service_options.max_queued_chunks = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--max-inflight-per-client", &v)) {
+      service_options.max_inflight_per_client = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--max-inflight-per-conn", &v)) {
+      server_options.max_inflight_per_conn = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--idle-timeout", &v)) {
+      server_options.idle_timeout_seconds = std::atof(v);
+    } else if (ParseFlag(argv[i], "--drain-timeout", &v)) {
+      server_options.drain_timeout_seconds = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Rng rng(11);
+  Dataset data(3, {});
+  data.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    Value x = rng.UniformValue(0, 1000000);
+    data.AppendRow(
+        {x, x + rng.UniformValue(-5000, 5000), rng.UniformValue(0, 10000)});
+  }
+  Workload workload;
+  for (int i = 0; i < 256; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(0, 900000);
+    q.filters.push_back(Predicate{0, lo, lo + 50000});
+    q.type = i % 2;
+    workload.push_back(q);
+  }
+  TsunamiOptions index_options;
+  index_options.cluster_queries = false;
+  TsunamiIndex index(data, workload, index_options);
+  std::printf("tsunami_serverd: built %s over %lld rows\n",
+              index.Name().c_str(), static_cast<long long>(data.size()));
+
+  QueryService service(&index, service_options);
+  net::TsunamiServer server(&service, server_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "tsunami_serverd: start failed: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("tsunami_serverd: listening on %s:%d (%d workers)\n",
+              server_options.host.c_str(), server.port(),
+              service.scheduler().num_threads());
+  std::fflush(stdout);
+
+  server.Run();
+
+  const net::ServerStats stats = server.stats();
+  std::printf(
+      "tsunami_serverd: drained. conns accepted=%lld frames in/out=%lld/%lld "
+      "queries=%lld results=%lld errors=%lld orphaned=%lld evicted "
+      "idle/stalled=%lld/%lld\n",
+      static_cast<long long>(stats.accepted),
+      static_cast<long long>(stats.frames_in),
+      static_cast<long long>(stats.frames_out),
+      static_cast<long long>(stats.queries_admitted),
+      static_cast<long long>(stats.results_sent),
+      static_cast<long long>(stats.errors_sent),
+      static_cast<long long>(stats.orphaned_awaited),
+      static_cast<long long>(stats.evicted_idle),
+      static_cast<long long>(stats.evicted_stalled));
+  g_server = nullptr;
+  return 0;
+}

@@ -2,13 +2,60 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
+#include <ostream>
+#include <thread>
 #include <utility>
 
 #include "src/exec/runner.h"
 #include "src/exec/thread_pool.h"
 
 namespace tsunami {
+
+const char* ToString(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kQueueFull:
+      return "queue-full";
+    case AdmissionOutcome::kDeadlineInfeasible:
+      return "deadline-infeasible";
+    case AdmissionOutcome::kClientBusy:
+      return "client-busy";
+    case AdmissionOutcome::kDraining:
+      return "draining";
+  }
+  return "unknown-admission-outcome";
+}
+
+const char* ToString(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kCompleted:
+      return "completed";
+    case QueryOutcome::kCancelled:
+      return "cancelled";
+    case QueryOutcome::kTimedOut:
+      return "timed-out";
+    case QueryOutcome::kShed:
+      return "shed";
+    case QueryOutcome::kFailed:
+      return "failed";
+    case QueryOutcome::kRejected:
+      return "rejected";
+    case QueryOutcome::kAlreadyConsumed:
+      return "already-consumed";
+  }
+  return "unknown-query-outcome";
+}
+
+std::ostream& operator<<(std::ostream& os, AdmissionOutcome outcome) {
+  return os << ToString(outcome);
+}
+
+std::ostream& operator<<(std::ostream& os, QueryOutcome outcome) {
+  return os << ToString(outcome);
+}
 
 namespace {
 
@@ -117,7 +164,60 @@ void QueryService::ReleaseQuery(Pending* p) {
   if (p->query_released.compare_exchange_strong(expected, true,
                                                 std::memory_order_acq_rel)) {
     active_queries_.fetch_sub(1, std::memory_order_relaxed);
+    ReleaseClientSlot(p->client_id, p->client_count);
   }
+}
+
+std::shared_ptr<std::atomic<int64_t>> QueryService::ReserveClientSlot(
+    int64_t client_id) {
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  std::shared_ptr<std::atomic<int64_t>>& slot = client_inflight_[client_id];
+  if (slot == nullptr) slot = std::make_shared<std::atomic<int64_t>>(0);
+  if (slot->load(std::memory_order_relaxed) >=
+      options_.max_inflight_per_client) {
+    return nullptr;
+  }
+  slot->fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void QueryService::ReleaseClientSlot(
+    int64_t client_id, const std::shared_ptr<std::atomic<int64_t>>& count) {
+  if (count == nullptr) return;
+  if (count->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Opportunistic cleanup so ephemeral client ids don't grow the map
+    // without bound. Re-checked under the lock: an admitter that already
+    // took the map slot increments under clients_mu_, so a zero observed
+    // here while we still own the mapping really is idle.
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    auto it = client_inflight_.find(client_id);
+    if (it != client_inflight_.end() && it->second == count &&
+        it->second->load(std::memory_order_relaxed) == 0) {
+      client_inflight_.erase(it);
+    }
+  }
+}
+
+void QueryService::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void QueryService::Drain() {
+  BeginDrain();
+  // Drain is a shutdown-path rarity: a poll loop is simpler and no less
+  // correct than wiring a condition variable through every release path.
+  while (active_queries_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+bool QueryService::Ready(Ticket ticket) const {
+  if (ticket == 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return true;  // Await returns at once anyway.
+  const TaskScheduler::JobRef& job = it->second->job;
+  return job == nullptr || job->finished();
 }
 
 void QueryService::ShedVictims(int priority, int64_t num_chunks) {
@@ -187,6 +287,13 @@ QueryService::Admission QueryService::Admit(
 
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
+  // A draining service is on its way down: it finishes what it admitted,
+  // it starts nothing new.
+  if (draining_.load(std::memory_order_acquire)) {
+    rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+    return Admission{0, AdmissionOutcome::kDraining};
+  }
+
   // Fail fast on work that could not finish in budget even on an idle
   // machine: burning workers on a query that must time out only adds queue
   // wait to every other query's deadline.
@@ -196,6 +303,18 @@ QueryService::Admission QueryService::Admit(
       rejected_infeasible_.fetch_add(1, std::memory_order_relaxed);
       return Admission{0, AdmissionOutcome::kDeadlineInfeasible};
     }
+  }
+
+  // Per-client fairness cap: reserve this client's slot before the global
+  // budget so a greedy client is turned away without ever contending for
+  // (or holding) shared admission capacity.
+  if (options_.max_inflight_per_client > 0 && options.client_id >= 0) {
+    p->client_count = ReserveClientSlot(options.client_id);
+    if (p->client_count == nullptr) {
+      rejected_client_busy_.fetch_add(1, std::memory_order_relaxed);
+      return Admission{0, AdmissionOutcome::kClientBusy};
+    }
+    p->client_id = options.client_id;
   }
 
   int64_t num_chunks;
@@ -221,6 +340,8 @@ QueryService::Admission QueryService::Admit(
       if (options.priority > 0) ShedVictims(options.priority, num_chunks);
       if (!HasRoom(num_chunks, options.priority)) {
         rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+        // Hand back the per-client slot this rejected query reserved.
+        ReleaseClientSlot(p->client_id, p->client_count);
         return Admission{0, AdmissionOutcome::kQueueFull};
       }
     }
@@ -445,6 +566,10 @@ ServiceStats QueryService::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
   s.rejected_infeasible = rejected_infeasible_.load(std::memory_order_relaxed);
+  s.rejected_client_busy =
+      rejected_client_busy_.load(std::memory_order_relaxed);
+  s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
+  s.draining = draining_.load(std::memory_order_acquire);
   s.queue_depth = scheduler_.queue_depth();
   s.active_queries = active_queries_.load(std::memory_order_relaxed);
   s.admitted_chunks = admitted_chunks_.load(std::memory_order_relaxed);

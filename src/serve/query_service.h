@@ -66,6 +66,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -91,7 +92,19 @@ enum class AdmissionOutcome : uint8_t {
   /// The cost model predicts the plan cannot finish inside its deadline
   /// budget even on an idle machine (reject_infeasible_deadlines only).
   kDeadlineInfeasible,
+  /// This client already holds `max_inflight_per_client` admitted queries —
+  /// the per-client fairness cap layered under the global bounds. Retryable:
+  /// room opens as the client's own queries finish.
+  kClientBusy,
+  /// The service is draining (Drain()/BeginDrain() was called): it finishes
+  /// in-flight work but admits nothing new.
+  kDraining,
 };
+
+/// Stable names for logs, test failure messages, and wire errors (the enums
+/// otherwise print as opaque ints).
+const char* ToString(AdmissionOutcome outcome);
+std::ostream& operator<<(std::ostream& os, AdmissionOutcome outcome);
 
 /// How an admitted query's life ended, reported by Await. Everything but
 /// kCompleted also sets AwaitInfo::cancelled and returns the identity
@@ -105,6 +118,9 @@ enum class QueryOutcome : uint8_t {
   kRejected,         // Awaited a never-admitted ticket (Admission.ticket 0).
   kAlreadyConsumed,  // Ticket already awaited (or never issued).
 };
+
+const char* ToString(QueryOutcome outcome);
+std::ostream& operator<<(std::ostream& os, QueryOutcome outcome);
 
 struct ServiceOptions {
   /// Scheduler workers. -1 = hardware concurrency; 0 = inline execution on
@@ -144,6 +160,13 @@ struct ServiceOptions {
   /// CalibrateCostWeights for real nanoseconds; the defaults are sane
   /// relative costs).
   CostWeights cost_weights;
+  /// Per-client fairness cap: a client (SubmitOptions::client_id >= 0) may
+  /// hold at most this many admitted-and-unfinished queries; beyond it,
+  /// Submit rejects with kClientBusy so one greedy client cannot consume
+  /// the whole global admission budget and starve the rest. 0 = no
+  /// per-client cap; anonymous submissions (client_id < 0) are never
+  /// capped per-client.
+  int64_t max_inflight_per_client = 0;
 };
 
 /// Per-query admission options.
@@ -157,6 +180,9 @@ struct SubmitOptions {
   const std::atomic<bool>* cancel = nullptr;
   /// Kernel mode / forced SIMD tier for this query's scans.
   ScanOptions scan;
+  /// Stable client identity for the per-client fairness cap (the network
+  /// front end stamps one per connection). -1 = anonymous, never capped.
+  int64_t client_id = -1;
 };
 
 /// Per-query completion report, filled by Await. `latency_seconds` is
@@ -185,6 +211,9 @@ struct ServiceStats {
   int64_t failed = 0;     // A chunk threw; partials discarded.
   int64_t rejected_queue_full = 0;
   int64_t rejected_infeasible = 0;
+  int64_t rejected_client_busy = 0;  // Per-client fairness cap hits.
+  int64_t rejected_draining = 0;     // Submissions refused mid-drain.
+  bool draining = false;             // Drain()/BeginDrain() was called.
   int64_t queue_depth = 0;        // Chunks queued, not yet picked up.
   int64_t active_queries = 0;     // Admitted, not yet finished (gauge).
   int64_t admitted_chunks = 0;    // Their unfinished chunks (gauge; the
@@ -252,6 +281,28 @@ class QueryService {
   /// completion latency (see AwaitInfo).
   QueryResult Await(Ticket ticket, AwaitInfo* info);
 
+  /// Non-blocking readiness probe: true when Await(ticket) would return
+  /// without blocking (the query's job finished — by completion, stop, or
+  /// failure — or the ticket was never issued / already consumed). The
+  /// network front end polls this from its event loop so it never parks a
+  /// thread per in-flight request.
+  bool Ready(Ticket ticket) const;
+
+  /// Puts the service into drain mode: every subsequent Submit is rejected
+  /// with AdmissionOutcome::kDraining while already-admitted queries keep
+  /// executing and their Awaits keep working. Idempotent; there is no
+  /// un-drain — a drained service is on its way down.
+  void BeginDrain();
+
+  /// BeginDrain(), then blocks until every admitted query has finished
+  /// executing (its chunks drained off the workers). Tickets still hold
+  /// their results afterwards; callers flush them with Await as usual.
+  void Drain();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
   /// Synchronous convenience: Submit + Await. The calling thread blocks,
   /// but the chunks still run on (all) the workers. A rejected admission
   /// reports `*cancelled = true` with the identity result.
@@ -312,6 +363,11 @@ class QueryService {
     std::atomic<int64_t> gauge_held{0};
     std::atomic<bool> query_released{false};  // active_queries released?
     std::atomic<bool> boosted{false};         // Boost() already applied?
+    /// The submitting client's in-flight counter (per-client fairness cap);
+    /// null for anonymous/uncapped submissions. Released with the query
+    /// unit in ReleaseQuery.
+    std::shared_ptr<std::atomic<int64_t>> client_count;
+    int64_t client_id = -1;
     TaskScheduler::JobRef job;
   };
 
@@ -340,6 +396,13 @@ class QueryService {
   /// Records `cause` first-writer-wins; true when this call installed it.
   static bool RecordStop(const Pending* p, uint8_t cause);
   static uint8_t CauseOf(const ExecContext& ctx);
+  /// Takes one per-client in-flight slot for `client_id`, or null when the
+  /// client is at its cap. Only called when the cap is configured.
+  std::shared_ptr<std::atomic<int64_t>> ReserveClientSlot(int64_t client_id);
+  /// Returns a slot taken by ReserveClientSlot (null-safe, exactly once per
+  /// reservation — guarded by Pending::query_released).
+  void ReleaseClientSlot(int64_t client_id,
+                         const std::shared_ptr<std::atomic<int64_t>>& count);
 
   const MultiDimIndex* index_;
   const ServiceOptions options_;
@@ -361,8 +424,21 @@ class QueryService {
   std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> rejected_queue_full_{0};
   std::atomic<int64_t> rejected_infeasible_{0};
+  std::atomic<int64_t> rejected_client_busy_{0};
+  std::atomic<int64_t> rejected_draining_{0};
   std::atomic<int64_t> active_queries_{0};
   std::atomic<int64_t> admitted_chunks_{0};
+  std::atomic<bool> draining_{false};
+
+  /// Per-client in-flight counters (only touched when
+  /// max_inflight_per_client > 0). Increments happen under clients_mu_ so
+  /// the cap check is atomic; decrements are lock-free on the shared
+  /// counter, and a counter that reaches zero is opportunistically erased
+  /// under the lock (re-checked, so a racing admitter never loses its
+  /// reservation).
+  mutable std::mutex clients_mu_;
+  std::unordered_map<int64_t, std::shared_ptr<std::atomic<int64_t>>>
+      client_inflight_;
 
   /// Declared last: destroyed first, draining every in-flight chunk while
   /// the Pendings they borrow are still alive.

@@ -7,7 +7,11 @@
 #include <fstream>
 #include <cstring>
 #include <limits>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include "src/common/fault_injection.h"
 
 #include "src/common/linear_model.h"
 #include "src/common/random.h"
@@ -222,6 +226,85 @@ TEST_F(FramedFileTest, BitFlipDetectedByChecksum) {
   EXPECT_FALSE(ReadFramedFile(path_, FileKind::kDataset, &payload, &error));
   EXPECT_NE(error.find("checksum"), std::string::npos);
 }
+
+TEST_F(FramedFileTest, TruncationAtEveryByteIsTypedAndLoadsNothing) {
+  // A crash mid-write or a torn copy can leave the file cut at ANY byte.
+  // Every prefix must produce the exact typed error — kTruncated — with no
+  // crash and no partial payload escaping to the caller.
+  const std::string body = "framed-truncation-sweep-payload";
+  std::string error;
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset, body, &error));
+  std::string whole;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    whole = ss.str();
+  }
+  constexpr size_t kHeaderSize = 4 + 4 + 4 + 8 + 4;
+  ASSERT_EQ(whole.size(), kHeaderSize + body.size());
+  for (size_t cut = 0; cut < whole.size(); ++cut) {
+    std::ofstream(path_, std::ios::binary) << whole.substr(0, cut);
+    std::string payload = "sentinel";
+    FileError code = FileError::kNone;
+    error.clear();
+    EXPECT_FALSE(
+        ReadFramedFile(path_, FileKind::kDataset, &payload, &error, &code))
+        << "cut at " << cut;
+    EXPECT_EQ(code, FileError::kTruncated) << "cut at " << cut << ": " << error;
+    EXPECT_EQ(payload, "sentinel") << "partial load at cut " << cut;
+  }
+}
+
+#if defined(TSUNAMI_FAULT_INJECTION)
+TEST_F(FramedFileTest, ShortReadFaultSweepAcrossSectionBoundaries) {
+  // Same contract, driven through the io.short_read fault site: the armed
+  // spec's param is the exact byte offset to cut at, so the sweep lands on
+  // every section boundary of the v3 layout — magic | version | kind |
+  // payload_size | crc | payload — plus the off-by-one positions around
+  // each.
+  const std::string body(257, 'z');
+  std::string error;
+  ASSERT_TRUE(WriteFramedFile(path_, FileKind::kDataset, body, &error));
+  constexpr int64_t kHeaderSize = 4 + 4 + 4 + 8 + 4;
+  const int64_t total = kHeaderSize + static_cast<int64_t>(body.size());
+  std::vector<int64_t> cuts;
+  for (int64_t boundary : {int64_t{0}, int64_t{4}, int64_t{8}, int64_t{12},
+                           int64_t{20}, kHeaderSize, total / 2, total - 1}) {
+    for (int64_t delta : {int64_t{-1}, int64_t{0}, int64_t{1}}) {
+      const int64_t cut = boundary + delta;
+      if (cut >= 0 && cut < total) cuts.push_back(cut);
+    }
+  }
+  for (int64_t cut : cuts) {
+    fault::FaultSpec spec;
+    spec.param = cut;
+    fault::Arm("io.short_read", spec);
+    std::string payload = "sentinel";
+    FileError code = FileError::kNone;
+    error.clear();
+    EXPECT_FALSE(
+        ReadFramedFile(path_, FileKind::kDataset, &payload, &error, &code))
+        << "cut at " << cut;
+    EXPECT_EQ(code, FileError::kTruncated) << "cut at " << cut << ": " << error;
+    EXPECT_EQ(payload, "sentinel") << "partial load at cut " << cut;
+  }
+  // The default (param unset) halves the file — still a typed truncation.
+  fault::Arm("io.short_read", fault::FaultSpec{});
+  std::string payload = "sentinel";
+  FileError code = FileError::kNone;
+  EXPECT_FALSE(
+      ReadFramedFile(path_, FileKind::kDataset, &payload, &error, &code));
+  EXPECT_EQ(code, FileError::kTruncated);
+  EXPECT_EQ(payload, "sentinel");
+  fault::DisarmAll();
+
+  // Disarmed, the very same file loads bit-exactly.
+  std::string ok_payload;
+  ASSERT_TRUE(ReadFramedFile(path_, FileKind::kDataset, &ok_payload, &error));
+  EXPECT_EQ(ok_payload, body);
+}
+#endif  // TSUNAMI_FAULT_INJECTION
 
 TEST(SerializerTest, XxHash64KnownVectorsAndSeeding) {
   // XXH64 reference check values.

@@ -903,5 +903,102 @@ TEST_F(QueryServiceTest, FailedChunksReturnBoundedAdmissionBudget) {
 #endif
 }
 
+TEST_F(QueryServiceTest, PerClientCapIsolatesGreedyClientOnly) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 1;
+  options.max_inflight_per_client = 1;
+  QueryService service(&index, options);
+  WorkerJam jam(&service.scheduler(), 1);
+
+  Rng rng(210);
+  Query needle = Needle(rng);
+  SubmitOptions greedy;
+  greedy.client_id = 7;
+  QueryService::Admission first = service.Submit(needle, greedy);
+  ASSERT_TRUE(first.admitted()) << ToString(first.outcome);
+  // The same client's second query exceeds its fairness slot...
+  QueryService::Admission second = service.Submit(needle, greedy);
+  EXPECT_FALSE(second.admitted());
+  EXPECT_EQ(second.outcome, AdmissionOutcome::kClientBusy)
+      << ToString(second.outcome);
+  // ...while other clients and anonymous submissions are untouched.
+  SubmitOptions other;
+  other.client_id = 8;
+  QueryService::Admission third = service.Submit(needle, other);
+  EXPECT_TRUE(third.admitted()) << ToString(third.outcome);
+  QueryService::Admission anon = service.Submit(needle);
+  EXPECT_TRUE(anon.admitted()) << ToString(anon.outcome);
+
+  jam.Release();
+  ExpectBitIdentical(service.Await(first), index.Execute(needle), "first");
+  ExpectBitIdentical(service.Await(third), index.Execute(needle), "third");
+  ExpectBitIdentical(service.Await(anon), index.Execute(needle), "anon");
+  AwaitInfo info;
+  QueryResult got = service.Await(second, &info);
+  EXPECT_EQ(info.outcome, QueryOutcome::kRejected) << ToString(info.outcome);
+  EXPECT_EQ(got.matched, 0);
+
+  // The slot is released with the query: the capped client admits again.
+  QueryService::Admission retry = service.Submit(needle, greedy);
+  EXPECT_TRUE(retry.admitted()) << ToString(retry.outcome);
+  ExpectBitIdentical(service.Await(retry), index.Execute(needle), "retry");
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_client_busy, 1);
+  EXPECT_EQ(stats.active_queries, 0);
+}
+
+TEST_F(QueryServiceTest, DrainRejectsNewWhileFinishingInflight) {
+  FloodIndex index(data_, workload_);
+  ServiceOptions options;
+  options.threads = 1;
+  QueryService service(&index, options);
+  WorkerJam jam(&service.scheduler(), 1);
+
+  Rng rng(211);
+  std::vector<Query> queries;
+  std::vector<QueryService::Admission> admitted;
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back(Needle(rng));
+    QueryService::Admission a = service.Submit(queries.back());
+    ASSERT_TRUE(a.admitted()) << ToString(a.outcome);
+    admitted.push_back(a);
+  }
+
+  service.BeginDrain();
+  EXPECT_TRUE(service.draining());
+  QueryService::Admission late = service.Submit(Needle(rng));
+  EXPECT_FALSE(late.admitted());
+  EXPECT_EQ(late.outcome, AdmissionOutcome::kDraining)
+      << ToString(late.outcome);
+  AwaitInfo late_info;
+  QueryResult late_result = service.Await(late, &late_info);
+  EXPECT_EQ(late_info.outcome, QueryOutcome::kRejected)
+      << ToString(late_info.outcome);
+  EXPECT_EQ(late_result.matched, 0);
+
+  // Drain() blocks until the already-admitted work has executed; the
+  // answers stay parked behind their tickets and come back intact.
+  jam.Release();
+  service.Drain();
+  for (size_t i = 0; i < admitted.size(); ++i) {
+    AwaitInfo info;
+    QueryResult got = service.Await(admitted[i], &info);
+    EXPECT_EQ(info.outcome, QueryOutcome::kCompleted) << ToString(info.outcome);
+    ExpectBitIdentical(got, index.Execute(queries[i]),
+                       "drained " + std::to_string(i));
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_TRUE(stats.draining);
+  EXPECT_EQ(stats.rejected_draining, 1);
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.active_queries, 0);
+
+  // Draining is one-way: fresh work keeps bouncing after the drain ends.
+  QueryService::Admission post = service.Submit(Needle(rng));
+  EXPECT_EQ(post.outcome, AdmissionOutcome::kDraining)
+      << ToString(post.outcome);
+}
+
 }  // namespace
 }  // namespace tsunami
