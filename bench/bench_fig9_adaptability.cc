@@ -1,49 +1,207 @@
-// Reproduces Fig. 9: (a) the midnight workload shift on TPC-H — query time
-// before the shift, degraded performance on the new workload, and recovery
-// after Tsunami re-optimizes and re-organizes; (b) index creation time
-// broken into data-sorting and optimization phases.
+// Reproduces Fig. 9 — adaptability — as a *live* system instead of an
+// offline rebuild: (a) the midnight workload shift on TPC-H happens under
+// concurrent load. A writer thread ingests rows throughout, dashboard
+// queries keep flowing through the QueryService, and the re-organization
+// for the shifted workload is requested while both run: the grid rebuild
+// happens off to the side and swaps in via the epoch-snapshot mechanism
+// (src/ingest/), so the serving path is never blocked — the cost of
+// adapting shows up only as background CPU, not as a serving outage. The
+// bench measures query p50/p99 in four phases (optimized, shifted-degraded,
+// shifted *during* the reorg, recovered), the ingest rate sustained
+// throughout, the reorg wall time, and the epoch retirement lag, and emits
+// a provenance-stamped `concurrent_shift` record (hand-merged into
+// BENCH_query_service.json, which `bench_micro --overload` owns).
+// (b) keeps the paper's index-creation-time breakdown (sort vs optimize).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/ingest/ingest_store.h"
+#include "src/serve/query_service.h"
+
+namespace tsunami {
+namespace {
+
+struct PhaseLatencies {
+  std::vector<double> seconds;  // Worker-stamped completion latencies.
+  double p50_us() const { return Percentile(seconds, 50) * 1e6; }
+  double p99_us() const { return Percentile(seconds, 99) * 1e6; }
+};
+
+/// Closed-loop: `num_queries` through the service, one at a time. Only
+/// completed queries contribute latencies.
+PhaseLatencies DriveQueries(QueryService& service, const Workload& workload,
+                            int num_queries) {
+  PhaseLatencies out;
+  int64_t sink = 0;
+  for (int i = 0; i < num_queries; ++i) {
+    const Query& q = workload[static_cast<size_t>(i) % workload.size()];
+    AwaitInfo info;
+    sink += service.Await(service.Submit(q), &info).agg;
+    if (info.outcome == QueryOutcome::kCompleted) {
+      out.seconds.push_back(info.latency_seconds);
+    }
+  }
+  if (sink == INT64_MIN) std::fprintf(stderr, "impossible\n");
+  return out;
+}
+
+void RunConcurrentShift(int64_t rows) {
+  bench::PrintHeader(
+      "Fig 9a: workload shift on TPC-H at 'midnight' — under live load");
+  Benchmark b = MakeTpchBenchmark(rows);
+  Workload shifted = MakeTpchShiftedWorkload(b.data);
+
+  ingest::IngestOptions iopt;
+  iopt.index = bench::BenchTsunami(rows);
+  // Folds run continuously under load here (not once, offline): scale the
+  // optimizer's sampling so one fold is sub-second at laptop scale, and
+  // fold every ~32k ingested rows instead of every chunk roll.
+  iopt.index.sample_rows = 20000;
+  iopt.index.agd.max_sample_points = 1024;
+  iopt.index.agd.max_iters = 2;
+  iopt.index.agd.max_cells = 1 << 16;
+  iopt.chunk_capacity = 8 * kScanBlockRows;
+  iopt.compact_min_chunks = 4;
+  iopt.background_compaction = true;
+  iopt.compact_poll_ms = 5;
+  ingest::IngestStore store(b.data, b.workload, iopt);
+  QueryService service(&store);
+  store.AddPublishListener(
+      [&service, &store](uint64_t) { service.plan_cache().InvalidateIndex(store); });
+
+  // The writer: a steady trickle of in-domain rows (recycled base rows) for
+  // the whole run, so every phase below is measured *under ingest*.
+  std::atomic<bool> ingest_stop{false};
+  std::atomic<int64_t> ingested{0};
+  Timer ingest_timer;
+  std::thread writer([&] {
+    const int dims = b.data.dims();
+    const int64_t n = b.data.size();
+    // ~16k rows/s: brisk enough that every phase is genuinely under
+    // ingest, slow enough that background folds keep up on small hosts.
+    std::vector<std::vector<Value>> batch(64, std::vector<Value>(dims));
+    int64_t cursor = 0;
+    while (!ingest_stop.load(std::memory_order_acquire)) {
+      for (auto& row : batch) {
+        for (int d = 0; d < dims; ++d) row[static_cast<size_t>(d)] =
+            b.data.at(cursor % n, d);
+        ++cursor;
+      }
+      ingested.fetch_add(store.InsertBatch(batch),
+                         std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    }
+  });
+
+  const int kPhaseQueries = static_cast<int>(b.workload.size());
+
+  // Phase 1 — optimized: the layout matches the workload.
+  PhaseLatencies old_lat = DriveQueries(service, b.workload, kPhaseQueries);
+  // Phase 2 — midnight: traffic shifts, layout is now wrong. This is also
+  // the *quiesced* comparator for phase 3: same layout, no reorg running.
+  PhaseLatencies shift_lat = DriveQueries(service, shifted, kPhaseQueries);
+
+  // Phase 3 — adapt under load: request the reorganization and keep
+  // serving the shifted traffic while the grid rebuilds off to the side.
+  // The compactor runs niced (IngestOptions::background_nice), so on a
+  // saturated host the fold mostly soaks idle cycles: the during-reorg
+  // window is a fixed query count (guaranteed to overlap the rebuild),
+  // and any remaining rebuild drains once the burst ends — reorg_seconds
+  // includes both, making the stretched adaptation time visible.
+  const int64_t reorgs_before = store.stats().reorgs;
+  Timer reorg_timer;
+  store.RequestReorganize(shifted);
+  PhaseLatencies during_lat =
+      DriveQueries(service, shifted, 4 * kPhaseQueries);
+  while (store.stats().reorgs == reorgs_before &&
+         reorg_timer.ElapsedSeconds() < 300.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double reorg_seconds = reorg_timer.ElapsedSeconds();
+
+  // Phase 4 — recovered: the new layout serves the new workload.
+  PhaseLatencies rec_lat = DriveQueries(service, shifted, kPhaseQueries);
+
+  ingest_stop.store(true, std::memory_order_release);
+  writer.join();
+  // Join the compactor before `service` (declared after `store`, destroyed
+  // first) dies: a fold landing during teardown would notify the publish
+  // listener, which touches the service's plan cache.
+  store.StopBackground();
+  const double ingest_seconds = ingest_timer.ElapsedSeconds();
+  const double ingest_rate =
+      ingest_seconds > 0 ? static_cast<double>(ingested.load()) / ingest_seconds
+                         : 0.0;
+  const ingest::IngestStore::Stats st = store.stats();
+
+  std::printf("%-28s %12s %12s %8s\n", "phase", "p50 (us)", "p99 (us)",
+              "queries");
+  auto print_phase = [](const char* name, const PhaseLatencies& lat) {
+    std::printf("%-28s %12.1f %12.1f %8zu\n", name, lat.p50_us(),
+                lat.p99_us(), lat.seconds.size());
+  };
+  print_phase("optimized (old workload)", old_lat);
+  print_phase("shifted, pre-reorg", shift_lat);
+  print_phase("shifted, DURING reorg", during_lat);
+  print_phase("recovered (new layout)", rec_lat);
+  const double p99_ratio =
+      shift_lat.p99_us() > 0 ? during_lat.p99_us() / shift_lat.p99_us() : 0.0;
+  std::printf(
+      "reorg: %.2fs wall under load; during-reorg p99 is %.2fx the quiesced\n"
+      "same-layout p99 (target: <2x — the rebuild must cost CPU, not locks).\n"
+      "ingest: %lld rows at %.0f rows/s across all phases; store published\n"
+      "v%llu with max epoch retirement lag %llu.\n",
+      reorg_seconds, p99_ratio, static_cast<long long>(ingested.load()),
+      ingest_rate, static_cast<unsigned long long>(st.version),
+      static_cast<unsigned long long>(st.epochs.max_retire_lag));
+  std::printf(
+      "shape check: shifted traffic degrades on the old layout, keeps being\n"
+      "answered (never blocked) while the grid rebuilds, and recovers once\n"
+      "the new snapshot swaps in.\n");
+
+  std::vector<std::string> records;
+  records.push_back(
+      bench::EnvRecord("concurrent_shift", SimdTierName(DetectSimdTier()),
+                       ThreadPool::DefaultThreads(), /*batch_size=*/1)
+          .Int("rows", rows)
+          .Num("old_p50_us", old_lat.p50_us())
+          .Num("old_p99_us", old_lat.p99_us())
+          .Num("shifted_p50_us", shift_lat.p50_us())
+          .Num("shifted_p99_us", shift_lat.p99_us())
+          .Num("during_reorg_p50_us", during_lat.p50_us())
+          .Num("during_reorg_p99_us", during_lat.p99_us())
+          .Num("recovered_p50_us", rec_lat.p50_us())
+          .Num("recovered_p99_us", rec_lat.p99_us())
+          .Num("during_over_quiesced_p99", p99_ratio)
+          .Int("during_reorg_queries", during_lat.seconds.size())
+          .Num("reorg_seconds", reorg_seconds)
+          .Int("ingest_rows", ingested.load())
+          .Num("ingest_rows_per_sec", ingest_rate)
+          .Int("store_version", st.version)
+          .Int("epoch_max_retire_lag", st.epochs.max_retire_lag)
+          .Int("rng_seed", 4)  // MakeTpchBenchmark's default generator seed.
+          .Finish());
+  if (bench::WriteBenchJson("BENCH_concurrent_shift.json", "query_service",
+                            records)) {
+    std::printf(
+        "wrote BENCH_concurrent_shift.json (hand-merge into the committed\n"
+        "BENCH_query_service.json, which bench_micro --overload owns)\n");
+  }
+}
+
+}  // namespace
+}  // namespace tsunami
 
 int main() {
   using namespace tsunami;
   int64_t rows = RowsFromEnv(200000);
 
-  // (a) Workload shift.
-  bench::PrintHeader("Fig 9a: Workload shift on TPC-H at 'midnight'");
-  Benchmark b = MakeTpchBenchmark(rows);
-  Workload shifted = MakeTpchShiftedWorkload(b.data);
-  TsunamiIndex before(b.data, b.workload, bench::BenchTsunami(rows));
-  FloodOptions flood_options;
-  flood_options.agd = bench::BenchAgd();
-  FloodIndex flood_before(b.data, b.workload, flood_options);
-
-  double t_old = bench::MeasureAvgQueryNanos(before, b.workload, 3);
-  double t_shift = bench::MeasureAvgQueryNanos(before, shifted, 3);
-  double f_old = bench::MeasureAvgQueryNanos(flood_before, b.workload, 3);
-  double f_shift = bench::MeasureAvgQueryNanos(flood_before, shifted, 3);
-
-  Timer reopt;
-  TsunamiIndex after(b.data, shifted, bench::BenchTsunami(rows));
-  double reopt_seconds = reopt.ElapsedSeconds();
-  Timer flood_reopt;
-  FloodIndex flood_after(b.data, shifted, flood_options);
-  double flood_reopt_seconds = flood_reopt.ElapsedSeconds();
-  double t_after = bench::MeasureAvgQueryNanos(after, shifted, 3);
-  double f_after = bench::MeasureAvgQueryNanos(flood_after, shifted, 3);
-
-  std::printf("%-10s %16s %16s %16s %18s\n", "index", "old wkld (us)",
-              "shifted (us)", "re-optimized (us)", "re-opt time (s)");
-  std::printf("%-10s %16.1f %16.1f %16.1f %18.2f\n", "Tsunami",
-              t_old / 1000, t_shift / 1000, t_after / 1000, reopt_seconds);
-  std::printf("%-10s %16.1f %16.1f %16.1f %18.2f\n", "Flood",
-              f_old / 1000, f_shift / 1000, f_after / 1000,
-              flood_reopt_seconds);
-  std::printf(
-      "shape check: performance degrades on the shifted workload and is\n"
-      "restored after re-optimization; re-organization takes seconds at\n"
-      "this scale (paper: <4 min at 300M rows).\n");
+  // (a) Workload shift under concurrent ingest + serving.
+  RunConcurrentShift(rows);
 
   // (b) Index creation time, sort vs optimization.
   bench::PrintHeader("Fig 9b: Index creation time (seconds)");

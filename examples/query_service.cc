@@ -19,6 +19,15 @@
 // TsunamiServer on an ephemeral loopback port, >=1000 concurrent client
 // connections, wire-level faults (under --soak), a stalled-reader eviction
 // check, and a graceful drain to finish.
+//
+// With --ingest the static index is replaced by an ingest::IngestStore and
+// the soak becomes writers-vs-readers-vs-reorganization: writer threads
+// append rows while reader threads run count-all queries whose answers must
+// stay inside the monotone visibility window, a chaos thread forces chunk
+// rolls, compactions, and workload reorganizations, and (under --soak on an
+// FI build) the ingest fault sites abort compactions and stall publishes
+// mid-swap. The run ends with a quiesced replay that must be bit-identical
+// to a full-scan reference over base + every inserted row.
 #include <array>
 #include <atomic>
 #include <barrier>
@@ -30,10 +39,12 @@
 #include <thread>
 #include <vector>
 
+#include "src/baselines/full_scan.h"
 #include "src/common/fault_injection.h"
 #include "src/common/random.h"
 #include "src/common/stats.h"
 #include "src/core/tsunami.h"
+#include "src/ingest/ingest_store.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/query/engine.h"
@@ -313,12 +324,299 @@ static bool RunNetSoak(TsunamiIndex& index, bool soak) {
   return ok;
 }
 
+// --- --ingest: writers, readers, and reorganization racing ------------------
+// The concurrent-ingest soak: a QueryService over an ingest::IngestStore
+// whose background compactor runs throughout. Writers append pre-generated
+// rows, readers run count-all queries through the service and check the
+// *monotone visibility window* — a completed count must land between the
+// rows visible before the query was submitted and the rows visible after it
+// returned (a torn read or a lost publish lands outside it) — and a chaos
+// thread forces rolls, synchronous compactions, and workload
+// reorganizations under everything. Under --soak (FI builds) compactions
+// abort (`ingest.compact_throw` must fail closed), the publish critical
+// section stalls (`ingest.swap_delay`), and scheduler chunks throw
+// (`sched.task_throw` — a reader may fail closed, never lie). The epilogue
+// quiesces (roll + compact until the delta drains) and replays range
+// queries against a FullScanIndex over base + every writer's rows: the
+// answers must be bit-identical.
+static bool RunIngestSoak(bool soak) {
+  using namespace tsunami::ingest;
+  std::printf("\n--- ingest soak: writers vs readers vs reorganization ---\n");
+
+  Rng rng(31);
+  const int64_t kBaseRows = 60000;
+  Dataset data(3, {});
+  data.Reserve(kBaseRows);
+  for (int64_t i = 0; i < kBaseRows; ++i) {
+    Value x = rng.UniformValue(0, 1000000);
+    data.AppendRow(
+        {x, x + rng.UniformValue(-5000, 5000), rng.UniformValue(0, 10000)});
+  }
+  Workload workload;
+  for (int i = 0; i < 64; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(0, 900000);
+    q.filters.push_back(Predicate{0, lo, lo + 50000});
+    workload.push_back(q);
+  }
+  // The reorganization target: the same shape shifted onto dimension 1, so
+  // every RequestReorganize below really rebuilds the grid.
+  Workload shifted;
+  for (int i = 0; i < 64; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(0, 900000);
+    q.filters.push_back(Predicate{1, lo, lo + 50000});
+    shifted.push_back(q);
+  }
+
+  IngestOptions iopt;
+  iopt.index.cluster_queries = false;
+  // Keep rebuilds cheap: this soak folds dozens of times (and runs under
+  // TSan in CI), so cap the optimizer's sampling work per build.
+  iopt.index.sample_rows = 20000;
+  iopt.index.agd.max_sample_points = 512;
+  iopt.index.agd.max_sample_queries = 32;
+  iopt.index.agd.max_iters = 2;
+  iopt.index.agd.max_cells = 1 << 12;
+  iopt.chunk_capacity = 2 * kScanBlockRows;
+  iopt.compact_min_chunks = 2;
+  iopt.background_compaction = true;
+  iopt.compact_poll_ms = 2;
+  IngestStore store(data, workload, iopt);
+  QueryService service(&store);
+  store.AddPublishListener(
+      [&service, &store](uint64_t) { service.plan_cache().InvalidateIndex(store); });
+  std::printf("ingest soak: store v%llu over %lld base rows, %d workers\n",
+              static_cast<unsigned long long>(store.version()),
+              static_cast<long long>(kBaseRows),
+              service.scheduler().num_threads());
+
+  bool faults_armed = false;
+  if (soak) {
+#if defined(TSUNAMI_FAULT_INJECTION)
+    auto arm = [](const char* site, double p, uint64_t seed, int64_t param) {
+      fault::FaultSpec spec;
+      spec.probability = p;
+      spec.seed = seed;
+      spec.param = param;
+      fault::Arm(site, spec);
+    };
+    arm("ingest.compact_throw", 0.30, 41, -1);
+    arm("ingest.swap_delay", 0.50, 42, 200);  // 200us inside publish_mu_.
+    arm("sched.task_throw", 0.01, 43, -1);
+    faults_armed = true;
+    std::printf("ingest soak: faults armed (compact_throw, swap_delay, "
+                "task_throw)\n");
+#else
+    std::printf(
+        "ingest soak: no TSUNAMI_FAULT_INJECTION — running fault-free\n");
+#endif
+  }
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 3;
+  constexpr int kRowsPerWriter = 8000;
+  constexpr int kBatchRows = 64;
+  // Rows are pre-generated so the epilogue can rebuild base + inserts as
+  // the full-scan reference.
+  std::vector<std::vector<std::vector<Value>>> writer_rows(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    Rng wrng(900 + static_cast<uint64_t>(w));
+    writer_rows[w].reserve(kRowsPerWriter);
+    for (int i = 0; i < kRowsPerWriter; ++i) {
+      Value x = wrng.UniformValue(0, 1000000);
+      writer_rows[w].push_back({x, x + wrng.UniformValue(-5000, 5000),
+                                wrng.UniformValue(0, 10000)});
+    }
+  }
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<int64_t> reads_offered{0}, reads_completed{0};
+  std::atomic<int64_t> reads_failed_closed{0}, reads_degraded{0};
+  std::atomic<int64_t> monotone_violations{0};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<std::vector<Value>> batch;
+      batch.reserve(kBatchRows);
+      for (int i = 0; i < kRowsPerWriter; i += kBatchRows) {
+        batch.assign(writer_rows[w].begin() + i,
+                     writer_rows[w].begin() + i + kBatchRows);
+        store.InsertBatch(batch);
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng reader_rng(300 + static_cast<uint64_t>(r));
+      // Keep reading a beat past the last insert so the tail rows are
+      // queried too.
+      while (true) {
+        const bool final_pass = writers_done.load(std::memory_order_acquire);
+        // Monotone visibility: a count-all submitted now must see at least
+        // the rows committed before Submit and at most the rows committed
+        // by the time it returned.
+        const int64_t before = kBaseRows + store.stats().rows_ingested;
+        Query all;
+        all.SetAggregates({{AggKind::kCount, 0}});
+        reads_offered.fetch_add(1, std::memory_order_relaxed);
+        AwaitInfo info;
+        QueryResult got = service.Await(service.Submit(all), &info);
+        const int64_t after = kBaseRows + store.stats().rows_ingested;
+        if (info.outcome != QueryOutcome::kCompleted) {
+          reads_failed_closed.fetch_add(1, std::memory_order_relaxed);
+        } else if (got.degraded) {
+          reads_degraded.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          reads_completed.fetch_add(1, std::memory_order_relaxed);
+          if (got.matched < before || got.matched > after) {
+            monotone_violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        // A needle range too, exercising plan-cache churn across publishes
+        // (fail-closed only: no stable reference exists mid-churn).
+        Query needle;
+        Value lo = reader_rng.UniformValue(0, 990000);
+        needle.filters.push_back(Predicate{0, lo, lo + 4000});
+        reads_offered.fetch_add(1, std::memory_order_relaxed);
+        QueryResult nr = service.Await(service.Submit(needle), &info);
+        if (info.outcome != QueryOutcome::kCompleted) {
+          reads_failed_closed.fetch_add(1, std::memory_order_relaxed);
+        } else if (nr.degraded) {
+          reads_degraded.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          reads_completed.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (final_pass) break;
+      }
+    });
+  }
+  // The chaos thread: force rolls, synchronous folds, and reorganizations
+  // under the readers and writers (the background compactor runs too).
+  threads.emplace_back([&] {
+    for (int k = 0; !writers_done.load(std::memory_order_acquire); ++k) {
+      store.ForceRoll();
+      if (k % 3 == 0) store.RequestReorganize(k % 6 == 0 ? shifted : workload);
+      if (k % 5 == 4) store.CompactNow();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  // Join writers (the first kWriters threads), then release the readers
+  // and the chaos thread for their final pass.
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  writers_done.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  IngestStore::Stats mid = store.stats();
+  std::printf(
+      "ingest soak: %lld rows ingested, %lld rolls, %lld sealed, "
+      "%lld compactions (%lld failed closed), %lld reorgs\n",
+      static_cast<long long>(mid.rows_ingested),
+      static_cast<long long>(mid.chunk_rolls),
+      static_cast<long long>(mid.chunks_sealed),
+      static_cast<long long>(mid.compactions),
+      static_cast<long long>(mid.failed_compactions),
+      static_cast<long long>(mid.reorgs));
+  std::printf(
+      "ingest soak: %lld reads -> %lld completed, %lld failed closed, "
+      "%lld degraded, %lld MONOTONE VIOLATIONS\n",
+      static_cast<long long>(reads_offered.load()),
+      static_cast<long long>(reads_completed.load()),
+      static_cast<long long>(reads_failed_closed.load()),
+      static_cast<long long>(reads_degraded.load()),
+      static_cast<long long>(monotone_violations.load()));
+#if defined(TSUNAMI_FAULT_INJECTION)
+  if (faults_armed) {
+    std::printf(
+        "ingest soak faults: compact_throw=%lld swap_delay=%lld "
+        "task_throw=%lld\n",
+        static_cast<long long>(fault::FireCount("ingest.compact_throw")),
+        static_cast<long long>(fault::FireCount("ingest.swap_delay")),
+        static_cast<long long>(fault::FireCount("sched.task_throw")));
+    // The quiesced replay below is a deterministic contract; run it
+    // fault-free.
+    fault::DisarmAll();
+  }
+#endif
+
+  // Quiesce: retire the open tail, drain any pending reorganization, and
+  // fold everything. After this no publish can happen again, so the
+  // service (destroyed before the store) cannot be called back.
+  store.StopBackground();  // Join the compactor: all publishes synchronous
+                           // from here, so none can outlive the service.
+  store.ForceRoll();
+  store.BackgroundTick();
+  store.CompactNow();
+  store.BackgroundTick();
+  IngestStore::Stats quiesced = store.stats();
+
+  // The reference: base rows + every writer's rows, answered by full scan.
+  Dataset full(3, {});
+  full.Reserve(kBaseRows + int64_t{kWriters} * kRowsPerWriter);
+  for (int64_t i = 0; i < data.size(); ++i) {
+    full.AppendRow({data.at(i, 0), data.at(i, 1), data.at(i, 2)});
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    for (const std::vector<Value>& row : writer_rows[w]) full.AppendRow(row);
+  }
+  FullScanIndex reference(full);
+  int64_t replay_mismatches = 0;
+  Rng replay_rng(555);
+  for (int i = 0; i < 32; ++i) {
+    Query q;
+    if (i > 0) {
+      const int dim = i % 3;
+      Value lo = replay_rng.UniformValue(0, dim == 2 ? 9000 : 990000);
+      q.filters.push_back(Predicate{dim, lo, lo + (dim == 2 ? 500 : 30000)});
+    }  // i == 0: the unfiltered count-all.
+    q.SetAggregates({{AggKind::kCount, 0}, {AggKind::kSum, 1}});
+    QueryResult got = service.Run(q);
+    QueryResult want = reference.Execute(q);
+    if (got.agg != want.agg || got.matched != want.matched ||
+        got.extra != want.extra || got.degraded) {
+      ++replay_mismatches;
+    }
+  }
+  std::printf(
+      "ingest soak: quiesced store v%llu (%lld sorted rows, %lld delta), "
+      "epoch lag max %llu, %lld/32 replay mismatches\n",
+      static_cast<unsigned long long>(quiesced.version),
+      static_cast<long long>(quiesced.store_rows),
+      static_cast<long long>(quiesced.delta_rows),
+      static_cast<unsigned long long>(quiesced.epochs.max_retire_lag),
+      static_cast<long long>(replay_mismatches));
+
+  // Fail-closed floor: fault-free every read completes; under the fault
+  // storm a bounded fraction may fail closed, but nothing may lie.
+  const int64_t floor =
+      faults_armed ? reads_offered.load() * 3 / 5 : reads_offered.load();
+  const bool ok =
+      monotone_violations.load() == 0 && replay_mismatches == 0 &&
+      reads_completed.load() >= floor &&
+      mid.rows_ingested == int64_t{kWriters} * kRowsPerWriter &&
+      quiesced.delta_rows == 0 && quiesced.compactions >= 1;
+  std::printf("ingest soak: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
 int main(int argc, char** argv) {
   bool soak = false;
   bool net = false;
+  bool ingest = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--soak") == 0) soak = true;
     if (std::strcmp(argv[i], "--net") == 0) net = true;
+    if (std::strcmp(argv[i], "--ingest") == 0) ingest = true;
+  }
+  if (ingest) {
+    // The concurrent-ingest soak replaces the static-index soak entirely:
+    // it builds (and continuously rebuilds) its own store.
+    const bool ok = RunIngestSoak(soak);
+    std::printf("%s\n", ok ? "OK: ingest soak held its invariants"
+                           : "FAILED: ingest soak violated an invariant");
+    return ok ? 0 : 1;
   }
   Rng rng(11);
   const int64_t n = 200000;

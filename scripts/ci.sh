@@ -2,7 +2,7 @@
 # CI entry point: configure, build, and run the tier-1 test suite, with
 # -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
 #
-# Seven passes:
+# Eight passes:
 #  1. the default build (SIMD tiers compiled in, runtime-dispatched; column
 #     blocks FOR + bit-width encoded);
 #  2. a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
@@ -27,7 +27,13 @@
 #     tsunami_serverd + net_test (which gates the wire-level NetFaultTest
 #     fault soaks on TSUNAMI_FAULT_INJECTION), a loopback daemon smoke via
 #     tsunami_serverd itself (SIGTERM drain must exit 0), and the
-#     1000-connection fault-injected `query_service --soak --net` soak.
+#     1000-connection fault-injected `query_service --soak --net` soak;
+#  8. the concurrent-ingest path under the TSan+FI build: ingest_test rides
+#     in pass 5/6, and `query_service --soak --ingest` races writers,
+#     readers, and grid reorganization with the ingest fault sites
+#     (ingest.compact_throw, ingest.swap_delay) armed — epoch-based
+#     snapshot publication must stay race-clean under injected aborts and
+#     widened swap windows, and the quiesced replay must be bit-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,9 +64,9 @@ TSUNAMI_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
 cmake -B build-tsan -S . -DTSUNAMI_WERROR=ON -DTSUNAMI_SANITIZE=thread \
   -DTSUNAMI_FAULT_INJECTION=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j"$(nproc)" --target \
-  task_scheduler_test query_service_test exec_test
+  task_scheduler_test query_service_test exec_test ingest_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'task_scheduler_test|query_service_test|exec_test'
+  -R 'task_scheduler_test|query_service_test|exec_test|ingest_test'
 
 # Sixth pass: ASan+UBSan on the robustness suites (storage integrity, file
 # error paths, scheduler exception-safety, service overload/degrade), fault
@@ -71,9 +77,9 @@ cmake -B build-asan -S . -DTSUNAMI_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j"$(nproc)" --target \
   io_test encoded_column_test storage_test scan_kernel_test \
-  task_scheduler_test query_service_test tsunami_test
+  task_scheduler_test query_service_test tsunami_test ingest_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" -R \
-  'io_test|encoded_column_test|storage_test|scan_kernel_test|task_scheduler_test|query_service_test|tsunami_test'
+  'io_test|encoded_column_test|storage_test|scan_kernel_test|task_scheduler_test|query_service_test|tsunami_test|ingest_test'
 
 # Seventh pass: the network front end, reusing the ASan+UBSan+FI build.
 # net_test's NetFaultTest suite (injected accept failures, short writes,
@@ -101,3 +107,13 @@ rm -f serverd-smoke.log
 # armed: zero hangs, zero leaks (ASan), zero wrong results (fail-closed
 # predicate inside the binary).
 ./build-asan/query_service --soak --net
+
+# Eighth pass: the concurrent-ingest soak under TSan with the ingest fault
+# sites armed — writers, readers, and grid reorganization race while
+# compactions abort (ingest.compact_throw must fail closed) and the
+# snapshot-publish critical section stalls (ingest.swap_delay widens the
+# race window TSan watches). The binary's own invariants (monotone
+# visibility, fail-closed floor, quiesced bit-identical replay) plus TSan's
+# race detection are the pass/fail signal.
+cmake --build build-tsan -j"$(nproc)" --target query_service
+./build-tsan/query_service --soak --ingest

@@ -3,8 +3,10 @@
 // Production code marks *fault sites* with TSUNAMI_FAULT_FIRES("name", arg):
 // the scheduler's task dispatch ("sched.task_throw", "sched.stall"), the
 // encoded-column checksum verifier ("storage.checksum"), the framed-file
-// reader ("io.short_read"), and the network front end's socket paths
-// ("net.accept_fail", "net.short_write", "net.reset", "net.partial_frame").
+// reader ("io.short_read"), the network front end's socket paths
+// ("net.accept_fail", "net.short_write", "net.reset", "net.partial_frame"),
+// and the ingest store's compaction/publish paths ("ingest.compact_throw",
+// "ingest.swap_delay").
 // Tests and the examples' soak mode arm a site
 // with a FaultSpec — a seeded fire probability plus match/skip/limit
 // filters — and the site then fires deterministically: the decision for the

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -47,6 +48,15 @@ struct QueryPlan {
   /// Position of the owning access path within a routing layer; set by
   /// AccessPathRouter::Prepare so replays skip re-routing. -1 = not routed.
   int routed_index = -1;
+  /// Snapshot pin for versioned stores (src/ingest): an opaque owning
+  /// reference that keeps the store version the tasks address alive (and
+  /// its read epoch pinned) for the plan's lifetime; PlanTarget resolves
+  /// through it. Null for static indexes, which borrow nothing.
+  std::shared_ptr<const void> pin;
+  /// The producing index's StoreVersion() at Prepare time. The plan cache
+  /// treats a mismatch with the current version as a miss, so cached plans
+  /// never scan a superseded snapshot.
+  uint64_t store_version = 0;
 };
 
 /// Aggregate counters for one ExecuteBatch call (accumulated across calls
@@ -247,6 +257,12 @@ class MultiDimIndex {
   /// as ExecuteBatch, and the same results as executing each plan's query.
   std::vector<QueryResult> ExecutePlans(std::span<const QueryPlan> plans,
                                         ExecContext& ctx) const;
+
+  /// Version of the clustered store plans bind to. Static indexes are
+  /// always version 0; versioned stores (src/ingest) bump it on every
+  /// published snapshot so plan caches can detect staleness. Must be safe
+  /// to call concurrently with publishes.
+  virtual uint64_t StoreVersion() const { return 0; }
 
   /// Index structure overhead in bytes (lookup tables, models, tree nodes,
   /// page metadata) — excludes the column data itself.

@@ -15,6 +15,38 @@ void IntersectRange(Value lo2, Value hi2, Value* lo, Value* hi) {
 
 }  // namespace
 
+AugmentedGrid::AugmentedGrid(const AugmentedGrid& other) { *this = other; }
+
+AugmentedGrid& AugmentedGrid::operator=(const AugmentedGrid& other) {
+  if (this == &other) return *this;
+  dims_ = other.dims_;
+  num_rows_ = other.num_rows_;
+  grid_rows_ = other.grid_rows_;
+  skeleton_ = other.skeleton_;
+  partitions_ = other.partitions_;
+  grid_dims_ = other.grid_dims_;
+  strides_ = other.strides_;
+  sort_dim_ = other.sort_dim_;
+  num_cells_ = other.num_cells_;
+  models_.clear();
+  models_.reserve(other.models_.size());
+  for (const auto& model : other.models_) {
+    models_.push_back(model != nullptr
+                          ? std::make_unique<EquiDepthCdf>(*model)
+                          : nullptr);
+  }
+  ccdfs_ = other.ccdfs_;
+  fms_ = other.fms_;
+  part_min_ = other.part_min_;
+  part_max_ = other.part_max_;
+  dim_min_ = other.dim_min_;
+  dim_max_ = other.dim_max_;
+  cell_start_ = other.cell_start_;
+  store_ = other.store_;
+  base_ = other.base_;
+  return *this;
+}
+
 void AugmentedGrid::Build(const Dataset& data, std::vector<uint32_t>* rows,
                           const Skeleton& skeleton,
                           std::vector<int> partitions,

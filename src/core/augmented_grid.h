@@ -39,6 +39,14 @@ class AugmentedGrid {
   };
 
   AugmentedGrid() = default;
+  AugmentedGrid(AugmentedGrid&&) = default;
+  AugmentedGrid& operator=(AugmentedGrid&&) = default;
+  /// Deep copy: the CDF models sit behind unique_ptrs purely to keep them
+  /// polymorphic, so a clone duplicates them. The store attachment copies
+  /// verbatim — a caller cloning a whole index must re-Attach the copy to
+  /// its own store (the LoadFromFile / RepairedCopy pattern).
+  AugmentedGrid(const AugmentedGrid& other);
+  AugmentedGrid& operator=(const AugmentedGrid& other);
 
   /// Builds the grid over the rows `(*rows)[i]` of `data` and reorders
   /// *rows into the grid's clustered order (cells ascending; within a cell,

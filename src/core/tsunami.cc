@@ -29,6 +29,23 @@ TsunamiIndex::TsunamiIndex(const TsunamiIndex& previous,
   BuildIndex(data, new_workload, options, &previous);
 }
 
+TsunamiIndex::TsunamiIndex(const TsunamiIndex& previous,
+                           const Dataset& extra_rows,
+                           const Workload& new_workload,
+                           const TsunamiOptions& options)
+    : name_(options.name),
+      use_grid_tree_(options.use_grid_tree),
+      delta_cols_(previous.store_.dims()) {
+  Dataset data = previous.MaterializeData();
+  data.Reserve(data.size() + extra_rows.size());
+  std::vector<Value> row(data.dims());
+  for (int64_t r = 0; r < extra_rows.size(); ++r) {
+    for (int d = 0; d < data.dims(); ++d) row[d] = extra_rows.at(r, d);
+    data.AppendRow(row);
+  }
+  BuildIndex(data, new_workload, options, &previous);
+}
+
 void TsunamiIndex::BuildIndex(const Dataset& data, const Workload& workload,
                               const TsunamiOptions& options,
                               const TsunamiIndex* previous) {
@@ -212,8 +229,11 @@ void TsunamiIndex::BuildIndex(const Dataset& data, const Workload& workload,
   // lets RepairQuarantinedFromDelta re-encode a freshly folded block whose
   // checksum later fails, instead of serving it degraded until the next
   // full rebuild.
+  // (Both the previous index's buffered rows and any external extra rows
+  // appended by the fold constructor count: everything past the previous
+  // store's size is fold-origin.)
   fold_backup_ = FoldBackup{};
-  if (previous != nullptr && previous->delta_rows_ > 0) {
+  if (previous != nullptr && data.size() > previous->store_.size()) {
     const uint32_t first_delta =
         static_cast<uint32_t>(previous->store_.size());
     fold_backup_.cols.assign(data.dims(), {});
@@ -253,6 +273,22 @@ int64_t TsunamiIndex::RepairQuarantinedFromDelta() {
     }
   }
   return repaired;
+}
+
+std::unique_ptr<TsunamiIndex> TsunamiIndex::RepairedCopy(
+    int64_t* repaired) const {
+  // Member-wise copy is deep for everything that matters (ColumnStore and
+  // the grids hold value vectors; EncodedColumn's per-block verification
+  // state copies via relaxed atomic loads) — except each grid's raw store
+  // pointer, which must be re-bound to the clone's store, exactly as
+  // LoadFromFile does after deserializing.
+  std::unique_ptr<TsunamiIndex> clone(new TsunamiIndex(*this));
+  for (Region& reg : clone->regions_) {
+    if (reg.has_grid) reg.grid.Attach(&clone->store_, reg.begin);
+  }
+  const int64_t healed = clone->RepairQuarantinedFromDelta();
+  if (repaired != nullptr) *repaired = healed;
+  return clone;
 }
 
 void TsunamiIndex::Insert(const std::vector<Value>& row) {

@@ -80,6 +80,13 @@ class TsunamiIndex : public MultiDimIndex {
   TsunamiIndex(const TsunamiIndex& previous, const Workload& new_workload,
                const TsunamiOptions& options);
 
+  /// Incremental re-optimization that additionally folds `extra_rows` in
+  /// (the ingest compactor's path: `previous` is an immutable published
+  /// index whose delta buffer is empty, and the rows to merge live in
+  /// external delta chunks). Same tree/plan reuse as the constructor above.
+  TsunamiIndex(const TsunamiIndex& previous, const Dataset& extra_rows,
+               const Workload& new_workload, const TsunamiOptions& options);
+
   std::string Name() const override { return name_; }
   QueryResult Execute(const Query& query) const override;
 
@@ -131,6 +138,15 @@ class TsunamiIndex : public MultiDimIndex {
   /// loaded from a snapshot — the backup is not persisted) are left
   /// quarantined for a full rebuild to clear.
   int64_t RepairQuarantinedFromDelta();
+
+  /// Copy-on-repair: clones this index, repairs the clone's quarantined
+  /// fold-origin blocks (exactly RepairQuarantinedFromDelta, but on the
+  /// copy), and returns it — `this` is never mutated, so readers pinned on
+  /// a snapshot holding it can never observe a half-repaired block. The
+  /// ingest layer publishes the clone as a new snapshot version. Safe to
+  /// call concurrently with scans of `this` (all mutable block state is
+  /// atomic); `repaired` receives the number of blocks healed.
+  std::unique_ptr<TsunamiIndex> RepairedCopy(int64_t* repaired = nullptr) const;
 
   // --- Persistence (§8 "Persistence") ---
   // A snapshot holds the clustered column store, the Grid Tree, every

@@ -1,0 +1,83 @@
+#include "src/ingest/epoch.h"
+
+#include <cassert>
+
+namespace tsunami {
+namespace ingest {
+
+uint64_t EpochManager::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[current_];
+  ++pinned_;
+  return current_;
+}
+
+void EpochManager::Unpin(uint64_t epoch) {
+  std::vector<std::function<void()>> runnable;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = pins_.find(epoch);
+    assert(it != pins_.end() && it->second > 0);
+    if (it == pins_.end()) return;
+    if (--it->second == 0) pins_.erase(it);
+    --pinned_;
+    runnable = CollectReclaimable(lock);
+  }
+  for (auto& fn : runnable) fn();
+}
+
+void EpochManager::Retire(std::function<void()> reclaim) {
+  std::vector<std::function<void()>> runnable;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    retired_.push_back(Retired{current_, std::move(reclaim)});
+    ++retired_count_;
+    ++current_;
+    runnable = CollectReclaimable(lock);
+  }
+  for (auto& fn : runnable) fn();
+}
+
+int64_t EpochManager::TryReclaim() {
+  std::vector<std::function<void()>> runnable;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    runnable = CollectReclaimable(lock);
+  }
+  for (auto& fn : runnable) fn();
+  return static_cast<int64_t>(runnable.size());
+}
+
+std::vector<std::function<void()>> EpochManager::CollectReclaimable(
+    const std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  // A retired entry at epoch E is reclaimable once no pin at epoch <= E
+  // remains. retired_ is epoch-ordered, so pop from the front.
+  const uint64_t oldest_pin =
+      pins_.empty() ? current_ + 1 : pins_.begin()->first;
+  std::vector<std::function<void()>> runnable;
+  while (!retired_.empty() && retired_.front().epoch < oldest_pin) {
+    const uint64_t lag = current_ - retired_.front().epoch;
+    if (lag > max_retire_lag_) max_retire_lag_ = lag;
+    runnable.push_back(std::move(retired_.front().fn));
+    retired_.pop_front();
+    ++reclaimed_count_;
+  }
+  return runnable;
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.current_epoch = current_;
+  s.oldest_pinned = pins_.empty() ? current_ : pins_.begin()->first;
+  s.pinned = pinned_;
+  s.retired = retired_count_;
+  s.reclaimed = reclaimed_count_;
+  s.pending = retired_count_ - reclaimed_count_;
+  s.max_retire_lag = max_retire_lag_;
+  return s;
+}
+
+}  // namespace ingest
+}  // namespace tsunami

@@ -1,0 +1,119 @@
+// Epoch-based reclamation for the snapshot store.
+//
+// Readers Pin() before touching a published snapshot and Unpin() when done;
+// publishers Retire() the superseded version with a reclaim callback that
+// runs once every reader pinned at or before the retire point has advanced.
+// The shared_ptr held by each reader is the memory-safety net — epochs exist
+// for *deterministic* reclamation (a quiesced store frees superseded
+// versions immediately instead of at unpredictable ref-count zeros) and for
+// the retirement-lag statistics the bench reports.
+//
+// Ordering contract (what makes reclamation safe): Pin() and Retire() both
+// take the manager mutex. A publisher swaps the snapshot pointer *before*
+// calling Retire(), so any reader whose Pin() observes an epoch newer than
+// the retire point also observes the new pointer; readers on older epochs
+// hold the retired version alive until they Unpin().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tsunami {
+namespace ingest {
+
+class EpochManager {
+ public:
+  struct Stats {
+    uint64_t current_epoch = 0;
+    // Oldest epoch a live reader holds; == current_epoch when idle.
+    uint64_t oldest_pinned = 0;
+    int64_t pinned = 0;     // live pins
+    int64_t retired = 0;    // Retire() calls so far
+    int64_t reclaimed = 0;  // reclaim callbacks that have run
+    int64_t pending = 0;    // retired - reclaimed
+    // Largest (reclaim epoch - retire epoch) observed: how far the slowest
+    // reader dragged a dead version behind the current epoch.
+    uint64_t max_retire_lag = 0;
+  };
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Enters the current epoch; the returned value must be passed to Unpin().
+  uint64_t Pin();
+
+  // Leaves `epoch`; runs any reclaim callbacks this unblocks (outside the
+  // manager lock, so a callback may re-enter Pin/Retire).
+  void Unpin(uint64_t epoch);
+
+  // Registers `reclaim` to run once no reader is pinned at or before the
+  // current epoch, then advances the epoch. Runs immediately when no reader
+  // is pinned. `reclaim` typically drops the last owning reference to a
+  // superseded snapshot.
+  void Retire(std::function<void()> reclaim);
+
+  // Runs every reclaim callback whose epoch has quiesced; returns how many
+  // ran. Unpin() calls this automatically — exposed for tests and shutdown.
+  int64_t TryReclaim();
+
+  Stats stats() const;
+
+ private:
+  struct Retired {
+    uint64_t epoch = 0;
+    std::function<void()> fn;
+  };
+
+  // Collects runnable callbacks under `lock`, leaving them to the caller to
+  // run after unlocking.
+  std::vector<std::function<void()>> CollectReclaimable(
+      const std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  uint64_t current_ = 1;
+  std::map<uint64_t, int64_t> pins_;  // epoch -> live pin count
+  std::deque<Retired> retired_;
+  int64_t pinned_ = 0;
+  int64_t retired_count_ = 0;
+  int64_t reclaimed_count_ = 0;
+  uint64_t max_retire_lag_ = 0;
+};
+
+// RAII pin. Move-only; default-constructed instances are inert.
+class EpochPin {
+ public:
+  EpochPin() = default;
+  explicit EpochPin(EpochManager* mgr) : mgr_(mgr), epoch_(mgr->Pin()) {}
+  ~EpochPin() { Release(); }
+  EpochPin(EpochPin&& other) noexcept
+      : mgr_(std::exchange(other.mgr_, nullptr)), epoch_(other.epoch_) {}
+  EpochPin& operator=(EpochPin&& other) noexcept {
+    if (this != &other) {
+      Release();
+      mgr_ = std::exchange(other.mgr_, nullptr);
+      epoch_ = other.epoch_;
+    }
+    return *this;
+  }
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+  bool held() const { return mgr_ != nullptr; }
+  uint64_t epoch() const { return epoch_; }
+  void Release() {
+    if (mgr_ != nullptr) std::exchange(mgr_, nullptr)->Unpin(epoch_);
+  }
+
+ private:
+  EpochManager* mgr_ = nullptr;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace ingest
+}  // namespace tsunami

@@ -210,11 +210,24 @@ bool TsunamiClient::StashResponse(const FrameHeader& header,
       ready_[header.request_id] = std::move(r);
       return true;
     }
+    case FrameType::kInsertAck: {
+      InsertAckPayload decoded;
+      if (!DecodeInsertAckPayload(payload, &decoded)) return false;
+      ClientResult r;
+      r.transport_ok = true;
+      r.error = WireError::kNone;
+      r.outcome = QueryOutcome::kCompleted;
+      r.inserted = decoded.accepted;
+      r.store_version = decoded.store_version;
+      ready_[header.request_id] = std::move(r);
+      return true;
+    }
     case FrameType::kPong:
       ++pongs_;
       return true;
     case FrameType::kPing:
     case FrameType::kQuery:
+    case FrameType::kInsert:
       return false;  // The server never sends these.
   }
   return false;
@@ -237,6 +250,37 @@ bool TsunamiClient::Await(uint64_t request_id, ClientResult* out) {
       return false;
     }
   }
+}
+
+uint64_t TsunamiClient::SubmitInsert(
+    const std::vector<std::vector<Value>>& rows) {
+  if (fd_ < 0 && !Connect()) return 0;
+  const uint64_t request_id = next_request_id_++;
+  FrameHeader header;
+  header.type = FrameType::kInsert;
+  header.request_id = request_id;
+  std::string frame;
+  AppendFrame(header, EncodeInsertPayload(rows), &frame);
+  if (!SendAll(frame)) {
+    Close();
+    return 0;
+  }
+  return request_id;
+}
+
+ClientResult TsunamiClient::Insert(
+    const std::vector<std::vector<Value>>& rows) {
+  ClientResult r;
+  const uint64_t request_id = SubmitInsert(rows);
+  if (request_id == 0) {
+    r.error_message = "submit-insert: transport loss";
+    return r;
+  }
+  if (!AwaitInsert(request_id, &r)) {
+    r = ClientResult{};
+    r.error_message = "await-insert: transport loss";
+  }
+  return r;
 }
 
 bool TsunamiClient::SendRaw(std::string_view bytes) {

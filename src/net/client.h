@@ -69,6 +69,10 @@ struct ClientResult {
   QueryOutcome outcome = QueryOutcome::kFailed;
   double server_latency_seconds = 0.0;
   QueryResult result;
+  /// kInsertAck fields (insert requests only): rows the server appended
+  /// and the store version it observed afterwards.
+  int64_t inserted = 0;
+  uint64_t store_version = 0;
   int attempts = 1;
 
   /// A real, completed answer.
@@ -109,6 +113,21 @@ class TsunamiClient {
   /// re-stamped on each one.
   ClientResult Run(const Query& query, int priority = 0,
                    double deadline_seconds = 0.0);
+
+  /// Sends one kInsert row batch (pipelining-safe, like Submit). Returns
+  /// the request id, or 0 on transport failure.
+  uint64_t SubmitInsert(const std::vector<std::vector<Value>>& rows);
+
+  /// Awaits an insert's kInsertAck (or typed error); `out->inserted` and
+  /// `out->store_version` carry the ack. False on transport loss.
+  bool AwaitInsert(uint64_t request_id, ClientResult* out) {
+    return Await(request_id, out);
+  }
+
+  /// SubmitInsert + AwaitInsert, no retry: unlike queries, an insert whose
+  /// ack was lost may still have been applied, so blind re-sending would
+  /// double-insert. The caller owns dedup if it wants at-least-once.
+  ClientResult Insert(const std::vector<std::vector<Value>>& rows);
 
   /// Round-trips a kPing frame. False on transport loss.
   bool Ping();

@@ -348,6 +348,8 @@ bool TsunamiServer::HandleFrame(Conn* c, const FrameHeader& header,
   switch (header.type) {
     case FrameType::kQuery:
       return HandleQuery(c, header, payload);
+    case FrameType::kInsert:
+      return HandleInsert(c, header, payload);
     case FrameType::kPing: {
       ++stats_.pings;
       FrameHeader pong;
@@ -416,6 +418,47 @@ bool TsunamiServer::HandleQuery(Conn* c, const FrameHeader& header,
   routes_[admission.ticket] = Route{c->id, header.request_id};
   stats_.inflight = static_cast<int64_t>(routes_.size());
   return true;
+}
+
+bool TsunamiServer::HandleInsert(Conn* c, const FrameHeader& header,
+                                 std::string_view payload) {
+  std::vector<std::vector<Value>> rows;
+  if (!DecodeInsertPayload(payload, &rows)) {
+    ++stats_.malformed_frames;
+    ++stats_.inserts_rejected;
+    return SendError(c, header.request_id, WireError::kMalformedFrame,
+                     "insert payload failed strict decode");
+  }
+  if (!options_.insert_sink) {
+    ++stats_.inserts_rejected;
+    return SendError(c, header.request_id, WireError::kReadOnly,
+                     "server has no writable store");
+  }
+  if (draining_active_ || service_->draining()) {
+    ++stats_.drain_rejected;
+    ++stats_.inserts_rejected;
+    return SendError(c, header.request_id, WireError::kDraining,
+                     "server is draining");
+  }
+  // The sink runs on the loop thread: appends are a few cache-line writes
+  // per row into an open delta chunk (never an index rebuild — compaction
+  // happens on the store's own background thread), so this costs less than
+  // a query decode. A sink that rejects the batch (wrong arity, store
+  // full) returns a negative count.
+  InsertAckPayload ack;
+  const int64_t accepted = options_.insert_sink(rows, &ack.store_version);
+  if (accepted < 0) {
+    ++stats_.inserts_rejected;
+    return SendError(c, header.request_id, WireError::kMalformedFrame,
+                     "store rejected the insert batch");
+  }
+  ack.accepted = accepted;
+  ++stats_.inserts_accepted;
+  stats_.rows_inserted += accepted;
+  FrameHeader reply;
+  reply.type = FrameType::kInsertAck;
+  reply.request_id = header.request_id;
+  return SendFrame(c, reply, EncodeInsertAckPayload(ack));
 }
 
 void TsunamiServer::PollInflight() {

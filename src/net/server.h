@@ -46,6 +46,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -96,6 +97,15 @@ struct ServerOptions {
   /// Whether RequestDrain() also calls QueryService::BeginDrain(). On by
   /// default; a test sharing one service across servers can opt out.
   bool drain_service = true;
+  /// Write path for kInsert frames: returns rows appended (all-or-nothing)
+  /// and, via *version, the store version observed after the append.
+  /// Unset (the default) makes the server read-only — kInsert answers
+  /// kReadOnly. A std::function rather than an ingest::IngestStore* so the
+  /// net layer stays independent of src/ingest; tsunami_serverd wires it to
+  /// IngestStore::InsertBatch.
+  std::function<int64_t(const std::vector<std::vector<Value>>& rows,
+                        uint64_t* version)>
+      insert_sink;
 };
 
 /// Loop-thread counters, published once per tick; stats() may be called
@@ -111,6 +121,9 @@ struct ServerStats {
   int64_t bytes_in = 0;
   int64_t bytes_out = 0;
   int64_t queries_admitted = 0;
+  int64_t inserts_accepted = 0;      // kInsert frames answered kInsertAck.
+  int64_t rows_inserted = 0;         // Rows across those frames.
+  int64_t inserts_rejected = 0;      // kInsert answered with a typed error.
   int64_t results_sent = 0;
   int64_t errors_sent = 0;           // Typed kError frames.
   int64_t pings = 0;
@@ -250,6 +263,8 @@ class TsunamiServer {
                    std::string_view payload);
   bool HandleQuery(Conn* c, const FrameHeader& header,
                    std::string_view payload);
+  bool HandleInsert(Conn* c, const FrameHeader& header,
+                    std::string_view payload);
   bool SendFrame(Conn* c, const FrameHeader& header, std::string_view payload);
   bool SendError(Conn* c, uint64_t request_id, WireError error,
                  std::string_view message);

@@ -23,6 +23,7 @@
 
 #include "src/common/random.h"
 #include "src/core/tsunami.h"
+#include "src/ingest/ingest_store.h"
 #include "src/net/server.h"
 #include "src/serve/query_service.h"
 
@@ -106,13 +107,28 @@ int main(int argc, char** argv) {
     q.type = i % 2;
     workload.push_back(q);
   }
-  TsunamiOptions index_options;
-  index_options.cluster_queries = false;
-  TsunamiIndex index(data, workload, index_options);
+  ingest::IngestOptions ingest_options;
+  ingest_options.index.cluster_queries = false;
+  ingest::IngestStore index(data, workload, ingest_options);
   std::printf("tsunami_serverd: built %s over %lld rows\n",
               index.Name().c_str(), static_cast<long long>(data.size()));
 
   QueryService service(&index, service_options);
+  // Publishes (fold, reorg, repair, chunk roll) eagerly drop cached plans
+  // bound to the superseded snapshot so idle cache entries stop pinning it.
+  index.AddPublishListener(
+      [&service, &index](uint64_t) { service.plan_cache().InvalidateIndex(index); });
+  const int dims = data.dims();
+  server_options.insert_sink =
+      [&index, dims](const std::vector<std::vector<Value>>& rows,
+                     uint64_t* version) -> int64_t {
+    for (const std::vector<Value>& row : rows) {
+      if (static_cast<int>(row.size()) != dims) return -1;
+    }
+    const int64_t accepted = index.InsertBatch(rows);
+    *version = index.version();
+    return accepted;
+  };
   net::TsunamiServer server(&service, server_options);
   std::string error;
   if (!server.Start(&error)) {
@@ -131,11 +147,18 @@ int main(int argc, char** argv) {
 
   server.Run();
 
+  // Join the background compactor before teardown: `service` (declared
+  // after `index`) is destroyed first, and a fold landing during exit would
+  // notify the publish listener into its plan cache.
+  index.StopBackground();
+
   const net::ServerStats stats = server.stats();
+  const ingest::IngestStore::Stats store_stats = index.stats();
   std::printf(
       "tsunami_serverd: drained. conns accepted=%lld frames in/out=%lld/%lld "
       "queries=%lld results=%lld errors=%lld orphaned=%lld evicted "
-      "idle/stalled=%lld/%lld\n",
+      "idle/stalled=%lld/%lld rows_inserted=%lld compactions=%lld "
+      "store_version=%llu\n",
       static_cast<long long>(stats.accepted),
       static_cast<long long>(stats.frames_in),
       static_cast<long long>(stats.frames_out),
@@ -144,7 +167,10 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.errors_sent),
       static_cast<long long>(stats.orphaned_awaited),
       static_cast<long long>(stats.evicted_idle),
-      static_cast<long long>(stats.evicted_stalled));
+      static_cast<long long>(stats.evicted_stalled),
+      static_cast<long long>(store_stats.rows_ingested),
+      static_cast<long long>(store_stats.compactions),
+      static_cast<unsigned long long>(store_stats.version));
   g_server = nullptr;
   return 0;
 }

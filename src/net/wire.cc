@@ -74,6 +74,8 @@ const char* ToString(WireError error) {
       return "client-busy";
     case WireError::kDraining:
       return "draining";
+    case WireError::kReadOnly:
+      return "read-only";
   }
   return "unknown-wire-error";
 }
@@ -224,11 +226,63 @@ bool DecodeErrorPayload(std::string_view payload, WireError* error,
                         std::string* message) {
   BinaryReader r(payload);
   const uint8_t code = r.GetU8();
-  if (code > static_cast<uint8_t>(WireError::kDraining)) return false;
+  if (code > static_cast<uint8_t>(WireError::kReadOnly)) return false;
   std::string text = r.GetString();
   if (!r.ok() || !r.AtEnd()) return false;
   *error = static_cast<WireError>(code);
   if (message != nullptr) *message = std::move(text);
+  return true;
+}
+
+std::string EncodeInsertPayload(const std::vector<std::vector<Value>>& rows) {
+  BinaryWriter w;
+  w.PutVarU64(rows.size());
+  const uint64_t dims = rows.empty() ? 0 : rows[0].size();
+  w.PutVarU64(dims);
+  for (const std::vector<Value>& row : rows) {
+    for (Value v : row) w.PutVarI64(v);
+  }
+  return w.Release();
+}
+
+bool DecodeInsertPayload(std::string_view payload,
+                         std::vector<std::vector<Value>>* out) {
+  BinaryReader r(payload);
+  const uint64_t num_rows = r.GetVarU64();
+  const uint64_t dims = r.GetVarU64();
+  if (!r.ok() || num_rows > static_cast<uint64_t>(kMaxInsertRows) ||
+      dims > static_cast<uint64_t>(kMaxInsertDims)) {
+    return false;
+  }
+  // An empty batch is legal (a client-side flush with nothing buffered); a
+  // row with zero columns is not.
+  if (num_rows > 0 && dims == 0) return false;
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(num_rows);
+  for (uint64_t i = 0; i < num_rows && r.ok(); ++i) {
+    std::vector<Value> row(dims);
+    for (uint64_t d = 0; d < dims; ++d) row[d] = r.GetVarI64();
+    rows.push_back(std::move(row));
+  }
+  if (!r.ok() || !r.AtEnd()) return false;
+  *out = std::move(rows);
+  return true;
+}
+
+std::string EncodeInsertAckPayload(const InsertAckPayload& payload) {
+  BinaryWriter w;
+  w.PutVarI64(payload.accepted);
+  w.PutVarU64(payload.store_version);
+  return w.Release();
+}
+
+bool DecodeInsertAckPayload(std::string_view payload, InsertAckPayload* out) {
+  BinaryReader r(payload);
+  InsertAckPayload p;
+  p.accepted = r.GetVarI64();
+  p.store_version = r.GetVarU64();
+  if (!r.ok() || !r.AtEnd() || p.accepted < 0) return false;
+  *out = p;
   return true;
 }
 

@@ -55,6 +55,8 @@ enum class FrameType : uint8_t {
   kError = 3,   // server -> client: EncodeErrorPayload
   kPing = 4,    // either direction; answered with kPong, same request_id
   kPong = 5,
+  kInsert = 6,     // client -> server: EncodeInsertPayload (row batch)
+  kInsertAck = 7,  // server -> client: EncodeInsertAckPayload
 };
 
 /// Typed wire-level error causes carried by kError frames (and produced
@@ -84,6 +86,9 @@ enum class WireError : uint8_t {
   /// Server is draining; it finishes in-flight work but admits nothing
   /// new. Retryable against another instance, not this one.
   kDraining = 8,
+  /// kInsert sent to a server without an ingest-capable store. Not
+  /// retryable here: this instance will never accept writes.
+  kReadOnly = 9,
 };
 
 const char* ToString(WireError error);
@@ -137,6 +142,27 @@ bool DecodeResultPayload(std::string_view payload, ResultPayload* out);
 std::string EncodeErrorPayload(WireError error, std::string_view message);
 bool DecodeErrorPayload(std::string_view payload, WireError* error,
                         std::string* message);
+
+/// Row batch for a kInsert frame: every row carries one Value per store
+/// dimension. Bounded (kMaxInsertRows / kMaxInsertDims) so a hostile count
+/// can never balloon the decode.
+inline constexpr int64_t kMaxInsertRows = 65536;
+inline constexpr int64_t kMaxInsertDims = 4096;
+
+std::string EncodeInsertPayload(const std::vector<std::vector<Value>>& rows);
+bool DecodeInsertPayload(std::string_view payload,
+                         std::vector<std::vector<Value>>* out);
+
+/// kInsertAck: rows the server appended (all-or-nothing today) and the
+/// store version observed after the append — a client can tell when its
+/// writes have been folded by watching the version advance.
+struct InsertAckPayload {
+  int64_t accepted = 0;
+  uint64_t store_version = 0;
+};
+
+std::string EncodeInsertAckPayload(const InsertAckPayload& payload);
+bool DecodeInsertAckPayload(std::string_view payload, InsertAckPayload* out);
 
 }  // namespace net
 }  // namespace tsunami

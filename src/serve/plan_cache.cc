@@ -30,9 +30,22 @@ PlanCache::LruList::iterator PlanCache::FindLocked(const MultiDimIndex& index,
 
 std::shared_ptr<const QueryPlan> PlanCache::LookupKeyed(
     const MultiDimIndex& index, const Key& key) {
+  // Read the version outside the lock (it's an atomic on versioned stores,
+  // a constant 0 elsewhere).
+  const uint64_t version = index.StoreVersion();
   std::lock_guard<std::mutex> lock(mu_);
   LruList::iterator entry = FindLocked(index, key);
   if (entry == lru_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (entry->plan->store_version != version) {
+    // The store published a new snapshot since this plan was prepared: the
+    // plan's tasks (and its pin) address a superseded version. Drop the
+    // entry — releasing the stale snapshot pin — and miss, so the caller
+    // re-prepares against the current version.
+    EraseLocked(entry);
+    ++stats_.stale;
     ++stats_.misses;
     return nullptr;
   }
@@ -78,17 +91,34 @@ void PlanCache::InsertKeyed(const MultiDimIndex& index, Key key,
   lru_.push_front(Entry{&index, std::move(key), std::move(plan)});
   map_.emplace(fp, lru_.begin());
   if (static_cast<int64_t>(lru_.size()) > capacity_) {
-    LruList::iterator victim = std::prev(lru_.end());
-    auto [first, last] = map_.equal_range(victim->key.fingerprint);
-    for (auto it = first; it != last; ++it) {
-      if (it->second == victim) {
-        map_.erase(it);
-        break;
-      }
-    }
-    lru_.erase(victim);
+    EraseLocked(std::prev(lru_.end()));
     ++stats_.evictions;
   }
+}
+
+void PlanCache::EraseLocked(LruList::iterator entry) {
+  auto [first, last] = map_.equal_range(entry->key.fingerprint);
+  for (auto it = first; it != last; ++it) {
+    if (it->second == entry) {
+      map_.erase(it);
+      break;
+    }
+  }
+  lru_.erase(entry);
+}
+
+int64_t PlanCache::InvalidateIndex(const MultiDimIndex& index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    LruList::iterator entry = it++;
+    if (entry->index == &index) {
+      EraseLocked(entry);
+      ++dropped;
+    }
+  }
+  stats_.stale += dropped;
+  return dropped;
 }
 
 void PlanCache::Insert(const MultiDimIndex& index, const Query& query,

@@ -18,11 +18,18 @@
 // probe plus a refcount, never a task-vector copy, and an evicted plan
 // stays alive for whoever is still executing it.
 //
-// Invalidation is the owner's job: plans address an index's clustered
-// store, so a cache must not outlive its index or survive an index rebuild
-// (QueryService owns one cache per index for exactly this reason). Delta
-// inserts (TsunamiIndex::Insert) do NOT invalidate — the delta buffer is a
-// FinishPlan epilogue read at execution time, not part of the plan.
+// Invalidation: plans record the producing index's StoreVersion(); a hit
+// whose version no longer matches is dropped (releasing the plan's snapshot
+// pin) and counted as a stale miss, so cached plans never scan a superseded
+// snapshot. Static indexes are always version 0, where this check is free
+// and never fires — for those, a cache still must not outlive its index or
+// survive an in-place rebuild (QueryService owns one cache per index for
+// exactly this reason). Versioned stores (src/ingest) bump the version on
+// every publish; wiring IngestStore::AddPublishListener to InvalidateIndex
+// additionally drops stale entries eagerly, bounding how long a dead
+// version stays pinned by idle cache entries. Delta inserts do NOT
+// invalidate — delta rows are a FinishPlan epilogue read at execution time,
+// not part of the plan (and a chunk roll bumps the version anyway).
 //
 // Thread-safe; one mutex. Lookups are a short critical section and misses
 // prepare *outside* the lock, so concurrent submitters never serialize
@@ -50,6 +57,9 @@ class PlanCache {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
+    /// Entries dropped because their store_version fell behind the index
+    /// (each also counted as a miss when dropped on lookup).
+    int64_t stale = 0;
     int64_t size = 0;  // Entries currently cached.
 
     double HitRate() const {
@@ -84,6 +94,12 @@ class PlanCache {
   /// rebuilt in place.
   void Clear();
 
+  /// Drops every entry for `index`, returning how many. The eager arm of
+  /// version invalidation: a versioned store's publish listener calls this
+  /// so idle cached plans release their superseded snapshot pins promptly
+  /// instead of waiting to be looked up or evicted.
+  int64_t InvalidateIndex(const MultiDimIndex& index);
+
   Stats stats() const;
 
  private:
@@ -108,6 +124,9 @@ class PlanCache {
   /// Finds the entry for (index, key) in the bucket map, confirming
   /// semantic equivalence allocation-free. Caller holds mu_.
   LruList::iterator FindLocked(const MultiDimIndex& index, const Key& key);
+
+  /// Removes one entry from the list and its bucket. Caller holds mu_.
+  void EraseLocked(LruList::iterator entry);
 
   std::shared_ptr<const QueryPlan> LookupKeyed(const MultiDimIndex& index,
                                                const Key& key);

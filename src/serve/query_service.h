@@ -239,8 +239,14 @@ class QueryService {
     operator Ticket() const { return ticket; }
   };
 
-  /// `index` is borrowed and must outlive the service (and must not be
-  /// rebuilt under it — cached plans address its clustered store).
+  /// `index` is borrowed and must outlive the service. A *static* index
+  /// must not be rebuilt under it — cached plans address its clustered
+  /// store. A *versioned* store (ingest::IngestStore) may fold, reorganize,
+  /// and repair freely while the service runs: each query's plan pins the
+  /// snapshot it was prepared against (QueryPlan::pin), every chunk of that
+  /// query scans the pinned version via PlanTarget, and the plan cache
+  /// drops plans whose StoreVersion() fell behind — so concurrent publishes
+  /// never block, tear, or stale-serve a query.
   explicit QueryService(const MultiDimIndex* index,
                         const ServiceOptions& options = {});
   ~QueryService();

@@ -19,6 +19,7 @@
 #include "src/common/fault_injection.h"
 #include "src/common/random.h"
 #include "src/common/stats.h"
+#include "src/ingest/ingest_store.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/net/wire.h"
@@ -161,6 +162,43 @@ TEST(WireCodec, ResultAndErrorPayloadRoundTrip) {
   EXPECT_FALSE(net::IsRetryable(WireError::kMalformedFrame));
 }
 
+TEST(WireCodec, InsertPayloadRoundTripAndStrictDecode) {
+  std::vector<std::vector<Value>> rows = {
+      {1, -2, 300000}, {4, 5, 6}, {-7, 8, 9}};
+  const std::string payload = net::EncodeInsertPayload(rows);
+  std::vector<std::vector<Value>> out;
+  ASSERT_TRUE(net::DecodeInsertPayload(payload, &out));
+  EXPECT_EQ(out, rows);
+
+  // Empty batch is legal; every truncation and trailing byte is rejected.
+  ASSERT_TRUE(net::DecodeInsertPayload(net::EncodeInsertPayload({}), &out));
+  EXPECT_TRUE(out.empty());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(net::DecodeInsertPayload(
+        std::string_view(payload).substr(0, cut), &out))
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(net::DecodeInsertPayload(payload + "x", &out));
+
+  // Hostile counts are capped before any allocation happens.
+  {
+    std::string huge;
+    huge.push_back(static_cast<char>(0xFF));  // varint continuation bytes
+    huge.append(8, static_cast<char>(0xFF));
+    huge.push_back(1);
+    EXPECT_FALSE(net::DecodeInsertPayload(huge, &out));
+  }
+
+  const net::InsertAckPayload ack_in{12345, 42};
+  net::InsertAckPayload ack_out;
+  ASSERT_TRUE(net::DecodeInsertAckPayload(
+      net::EncodeInsertAckPayload(ack_in), &ack_out));
+  EXPECT_EQ(ack_out.accepted, 12345);
+  EXPECT_EQ(ack_out.store_version, 42u);
+  EXPECT_STREQ(net::ToString(WireError::kReadOnly), "read-only");
+  EXPECT_FALSE(net::IsRetryable(WireError::kReadOnly));
+}
+
 TEST(TimerWheelTest, FiresAtDueTickAcrossLaps) {
   TimerWheel wheel(8);  // Tiny wheel: laps exercised immediately.
   std::vector<uint64_t> fired;
@@ -291,6 +329,79 @@ TEST_F(NetTest, LoopbackSmokeMatchesExecute) {
   EXPECT_EQ(stats.results_sent, 32);
   EXPECT_EQ(stats.orphaned_awaited, 0);
   EXPECT_EQ(stats.malformed_frames, 0);
+}
+
+TEST_F(NetTest, ReadOnlyServerRejectsInsertsWithTypedError) {
+  QueryService service(index_.get());
+  ServerHarness harness(&service);  // No insert_sink configured.
+  TsunamiClient client(harness.ClientFor());
+  const ClientResult r = client.Insert({{1, 2, 3}});
+  ASSERT_TRUE(r.transport_ok);
+  EXPECT_EQ(r.error, WireError::kReadOnly);
+  EXPECT_EQ(r.inserted, 0);
+  // The connection survives the typed error: queries still work.
+  Rng rng(3);
+  EXPECT_TRUE(client.Run(Needle(rng)).ok());
+  harness.Stop();
+  EXPECT_EQ(harness.server().stats().inserts_rejected, 1);
+}
+
+TEST_F(NetTest, InsertsOverTheWireBecomeQueryableRows) {
+  ingest::IngestOptions ingest_options;
+  ingest_options.index.sample_rows = 20000;
+  ingest_options.index.agd.max_sample_points = 512;
+  ingest_options.index.agd.max_sample_queries = 32;
+  ingest_options.index.agd.max_iters = 2;
+  ingest_options.background_compaction = false;
+  ingest_options.chunk_capacity = 256;
+  ingest::IngestStore store(data_, Workload{}, ingest_options);
+  QueryService service(&store);
+
+  ServerOptions server_options;
+  server_options.insert_sink =
+      [&store](const std::vector<std::vector<Value>>& rows,
+               uint64_t* version) -> int64_t {
+    for (const auto& row : rows) {
+      if (row.size() != 3u) return -1;
+    }
+    const int64_t accepted = store.InsertBatch(rows);
+    *version = store.version();
+    return accepted;
+  };
+  ServerHarness harness(&service, server_options);
+  TsunamiClient client(harness.ClientFor());
+
+  // Rows far outside the synthetic table's dim-0 range: countable exactly.
+  std::vector<std::vector<Value>> batch;
+  for (Value i = 0; i < 600; ++i) batch.push_back({900000 + i, i, i % 7});
+  const ClientResult ack = client.Insert(batch);
+  ASSERT_TRUE(ack.transport_ok);
+  ASSERT_EQ(ack.error, WireError::kNone);
+  EXPECT_EQ(ack.inserted, 600);
+  // 600 rows through 256-row chunks rolled at least twice: the acked store
+  // version must have advanced past the initial publish.
+  EXPECT_GT(ack.store_version, 1u);
+
+  // A mismatched-arity batch is rejected without killing the connection.
+  const ClientResult bad = client.Insert({{1, 2}});
+  ASSERT_TRUE(bad.transport_ok);
+  EXPECT_EQ(bad.error, WireError::kMalformedFrame);
+
+  Query over_new;
+  over_new.filters.push_back(Predicate{0, 900000, 901000});
+  over_new.SetAggregates({{AggKind::kCount, 0}, {AggKind::kSum, 1}});
+  const ClientResult got = client.Run(over_new);
+  ASSERT_TRUE(got.ok()) << net::ToString(got.error) << " "
+                        << got.error_message;
+  EXPECT_EQ(got.result.matched, 600);
+  EXPECT_EQ(got.result.agg, 600);  // COUNT.
+  EXPECT_EQ(got.result.extra[0], 600 * 599 / 2);  // SUM of 0..599.
+
+  harness.Stop();
+  const net::ServerStats stats = harness.server().stats();
+  EXPECT_EQ(stats.inserts_accepted, 1);
+  EXPECT_EQ(stats.rows_inserted, 600);
+  EXPECT_EQ(stats.inserts_rejected, 1);
 }
 
 TEST_F(NetTest, PipelinedRequestsAwaitedOutOfOrder) {
