@@ -1,0 +1,440 @@
+// Durable-ingest benchmark (ROADMAP "Durable ingest"): what the WAL's
+// fsync'd group commit costs on the insert path, how well concurrent
+// writers coalesce onto shared fsyncs, and how recovery wall time scales
+// with the WAL tail it must replay.
+//
+//   durable_insert          insert throughput + per-batch latency vs batch
+//                           size, WAL off (in-memory IngestStore) against
+//                           two WAL-on modes: sync acks (every batch blocks
+//                           on its fsync — the per-ack durability price) and
+//                           pipelined acks (durable_acks=false; the group
+//                           committer drains concurrently and the clock
+//                           stops only after CommitPending() has every row
+//                           on stable storage). The pipelined ratio is the
+//                           acceptance floor: group commit must sustain
+//                           >= 80% of in-memory throughput at batch >= 64.
+//   group_commit_coalescing N writers x batch-1 durable inserts: the group
+//                           committer must merge their records into far
+//                           fewer write+fsync batches than appends.
+//   durable_recovery        reopen wall time vs WAL tail length (rows
+//                           replayed into fresh delta chunks).
+//
+// Emits BENCH_durability.json; the summary rows are hand-merged into
+// BENCH_query_service.json alongside the other serving-path benches. The
+// durability directory lives under the system temp root — on a tmpfs /tmp
+// fsync measures the syscall + page-cache path, not rotational latency;
+// build_config and git_revision are stamped per row as always.
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/durability/durable_store.h"
+#include "src/ingest/ingest_store.h"
+
+using namespace tsunami;
+
+namespace {
+
+constexpr int64_t kBaseRows = 60000;
+// Both divisible by every batch size. The sync-ack run pays one real fsync
+// per batch, so it gets the short stream; the pipelined/in-memory pair runs
+// long enough to amortize the final drain fsync into the steady state.
+constexpr int64_t kInsertRows = 98304;
+constexpr int64_t kSyncInsertRows = 24576;
+constexpr uint64_t kSeed = 11;
+
+Dataset BaseData() {
+  Rng rng(kSeed);
+  Dataset data(3, {});
+  data.Reserve(kBaseRows);
+  for (int64_t i = 0; i < kBaseRows; ++i) {
+    Value x = rng.UniformValue(0, 1000000);
+    data.AppendRow(
+        {x, x + rng.UniformValue(-5000, 5000), rng.UniformValue(0, 10000)});
+  }
+  return data;
+}
+
+Workload BaseWorkload() {
+  Rng rng(kSeed + 1);
+  Workload workload;
+  for (int i = 0; i < 64; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(0, 900000);
+    q.filters.push_back(Predicate{0, lo, lo + 50000});
+    workload.push_back(q);
+  }
+  return workload;
+}
+
+ingest::IngestOptions InsertOptions() {
+  ingest::IngestOptions o;
+  o.index.cluster_queries = false;
+  o.index.sample_rows = 20000;
+  o.index.agd.max_sample_points = 512;
+  o.index.agd.max_sample_queries = 32;
+  o.index.agd.max_iters = 2;
+  o.index.agd.max_cells = 1 << 12;
+  // No folds during the measurement: this isolates the logging cost from
+  // the (separately benchmarked) compaction pipeline.
+  o.background_compaction = false;
+  return o;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("tsunami_bench_durability_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+std::vector<std::vector<Value>> MakeRows(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    Value x = rng.UniformValue(0, 1000000);
+    rows.push_back(
+        {x, x + rng.UniformValue(-5000, 5000), rng.UniformValue(0, 10000)});
+  }
+  return rows;
+}
+
+struct InsertRun {
+  double seconds = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Inserts `rows` in `batch_size` chunks through `insert`, timing each call.
+template <typename InsertFn>
+InsertRun TimeInserts(const std::vector<std::vector<Value>>& rows,
+                      int64_t batch_size, const InsertFn& insert) {
+  std::vector<std::vector<Value>> batch;
+  batch.reserve(batch_size);
+  std::vector<double> lat_us;
+  lat_us.reserve(rows.size() / batch_size + 1);
+  Timer total;
+  for (size_t i = 0; i < rows.size(); i += batch_size) {
+    batch.assign(rows.begin() + i, rows.begin() + i + batch_size);
+    Timer t;
+    insert(batch);
+    lat_us.push_back(static_cast<double>(t.ElapsedNanos()) / 1000.0);
+  }
+  InsertRun run;
+  run.seconds = total.ElapsedSeconds();
+  run.p50_us = Percentile(lat_us, 50);
+  run.p99_us = Percentile(lat_us, 99);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const std::string tier = SimdTierName(DetectSimdTier());
+  const Dataset data = BaseData();
+  const Workload workload = BaseWorkload();
+  const std::vector<std::vector<Value>> rows = MakeRows(kInsertRows, kSeed + 2);
+  std::vector<std::string> records;
+
+  // --- durable_insert: throughput vs batch size, WAL off / sync / pipelined -
+  bench::PrintHeader(
+      "durable insert: WAL + fsync'd group commit vs in-memory");
+  std::printf("%8s %14s %14s %14s %7s %12s %12s\n", "batch", "mem rows/s",
+              "sync rows/s", "pipe rows/s", "ratio", "sync p50 us",
+              "sync p99 us");
+  for (int64_t batch_size : {int64_t{1}, int64_t{16}, int64_t{64},
+                             int64_t{256}}) {
+    ingest::IngestStore mem(data, workload, InsertOptions());
+    const InsertRun mem_run = TimeInserts(
+        rows, batch_size,
+        [&mem](const std::vector<std::vector<Value>>& b) { mem.InsertBatch(b); });
+
+    // Sync acks: each batch blocks until its own record is fsync'd. A
+    // single writer pays one full fsync per batch, so this measures the
+    // per-ack durability price, not the group committer's ceiling.
+    const std::string sync_dir =
+        FreshDir("insert_sync_b" + std::to_string(batch_size));
+    durability::DurabilityOptions dopts;
+    dopts.dir = sync_dir;
+    dopts.ingest = InsertOptions();
+    std::string error;
+    std::unique_ptr<durability::DurableIngestStore> durable =
+        durability::DurableIngestStore::Open(data, workload, dopts, &error);
+    if (durable == nullptr) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    const std::vector<std::vector<Value>> sync_rows(
+        rows.begin(), rows.begin() + kSyncInsertRows);
+    const InsertRun sync_run = TimeInserts(
+        sync_rows, batch_size,
+        [&durable](const std::vector<std::vector<Value>>& b) {
+          durable->InsertBatch(b);
+        });
+    const durability::DurableIngestStore::Stats sync_stats = durable->stats();
+    durable.reset();
+    std::filesystem::remove_all(sync_dir);
+
+    // Pipelined acks: inserts do not wait per batch; the group committer
+    // drains concurrently and the clock stops only after CommitPending()
+    // reports every logged row on stable storage. This is the sustained
+    // group-commit throughput the acceptance floor is about.
+    const std::string pipe_dir =
+        FreshDir("insert_pipe_b" + std::to_string(batch_size));
+    dopts.dir = pipe_dir;
+    dopts.durable_acks = false;
+    durable =
+        durability::DurableIngestStore::Open(data, workload, dopts, &error);
+    if (durable == nullptr) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    Timer pipe_timer;
+    TimeInserts(rows, batch_size,
+                [&durable](const std::vector<std::vector<Value>>& b) {
+                  durable->InsertBatch(b);
+                });
+    if (!durable->wal().CommitPending()) {
+      std::fprintf(stderr, "pipelined drain failed\n");
+      return 1;
+    }
+    const double pipe_seconds = pipe_timer.ElapsedSeconds();
+    const durability::DurableIngestStore::Stats pipe_stats = durable->stats();
+    durable.reset();
+    std::filesystem::remove_all(pipe_dir);
+    dopts.durable_acks = true;
+
+    const double mem_rps = kInsertRows / mem_run.seconds;
+    const double sync_rps = kSyncInsertRows / sync_run.seconds;
+    const double pipe_rps = kInsertRows / pipe_seconds;
+    const double ratio = pipe_rps / mem_rps;
+    std::printf("%8lld %14.0f %14.0f %14.0f %6.0f%% %12.2f %12.2f\n",
+                static_cast<long long>(batch_size), mem_rps, sync_rps,
+                pipe_rps, 100.0 * ratio, sync_run.p50_us, sync_run.p99_us);
+    records.push_back(
+        bench::EnvRecord("durable_insert", tier, /*threads=*/1, batch_size)
+            .Int("rows", kInsertRows)
+            .Num("mem_rows_per_sec", mem_rps)
+            .Num("sync_ack_rows_per_sec", sync_rps)
+            .Num("sync_ack_ratio", sync_rps / mem_rps)
+            .Num("pipelined_rows_per_sec", pipe_rps)
+            .Num("throughput_ratio", ratio)
+            .Num("mem_p50_us", mem_run.p50_us)
+            .Num("sync_p50_us", sync_run.p50_us)
+            .Num("sync_p99_us", sync_run.p99_us)
+            .Int("sync_group_commits", sync_stats.wal.group_commits)
+            .Int("pipelined_group_commits", pipe_stats.wal.group_commits)
+            .Int("pipelined_max_group_records",
+                 pipe_stats.wal.max_group_records)
+            .Int("rng_seed", static_cast<int64_t>(kSeed))
+            .Finish());
+  }
+
+  // --- durable_insert_mt: concurrent writers, payload encode in parallel ----
+  // Writers encode their WAL payloads outside the sequencer lock, so with a
+  // few concurrent writers the durable path approaches the in-memory rate:
+  // the serial section is just frame prefix + memcpy + the same in-memory
+  // apply the baseline pays.
+  bench::PrintHeader("durable insert, concurrent writers (pipelined acks)");
+  constexpr int kWriters = 4;
+  for (int64_t batch_size : {int64_t{64}, int64_t{256}}) {
+    const int64_t per_writer = kInsertRows / kWriters;
+    const auto run_mt = [&](const auto& insert) {
+      std::vector<std::thread> threads;
+      for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+          std::vector<std::vector<Value>> batch;
+          batch.reserve(batch_size);
+          for (int64_t i = w * per_writer; i < (w + 1) * per_writer;
+               i += batch_size) {
+            batch.assign(rows.begin() + i, rows.begin() + i + batch_size);
+            insert(batch);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    };
+
+    ingest::IngestStore mem(data, workload, InsertOptions());
+    Timer mem_timer;
+    run_mt([&mem](const std::vector<std::vector<Value>>& b) {
+      mem.InsertBatch(b);
+    });
+    const double mem_seconds = mem_timer.ElapsedSeconds();
+
+    const std::string dir = FreshDir("insert_mt_b" + std::to_string(batch_size));
+    durability::DurabilityOptions dopts;
+    dopts.dir = dir;
+    dopts.ingest = InsertOptions();
+    dopts.durable_acks = false;
+    std::string error;
+    std::unique_ptr<durability::DurableIngestStore> durable =
+        durability::DurableIngestStore::Open(data, workload, dopts, &error);
+    if (durable == nullptr) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    Timer wal_timer;
+    run_mt([&durable](const std::vector<std::vector<Value>>& b) {
+      durable->InsertBatch(b);
+    });
+    if (!durable->wal().CommitPending()) {
+      std::fprintf(stderr, "mt drain failed\n");
+      return 1;
+    }
+    const double wal_seconds = wal_timer.ElapsedSeconds();
+    const durability::DurableIngestStore::Stats stats = durable->stats();
+    durable.reset();
+    std::filesystem::remove_all(dir);
+
+    const double mem_rps = kInsertRows / mem_seconds;
+    const double wal_rps = kInsertRows / wal_seconds;
+    const double ratio = wal_rps / mem_rps;
+    std::printf(
+        "batch %4lld x %d writers: mem %8.0f rows/s, wal %8.0f rows/s "
+        "(%3.0f%%), %lld commits, max group %lld\n",
+        static_cast<long long>(batch_size), kWriters, mem_rps, wal_rps,
+        100.0 * ratio, static_cast<long long>(stats.wal.group_commits),
+        static_cast<long long>(stats.wal.max_group_records));
+    records.push_back(
+        bench::EnvRecord("durable_insert_mt", tier, kWriters, batch_size)
+            .Int("rows", kInsertRows)
+            .Num("mem_rows_per_sec", mem_rps)
+            .Num("wal_rows_per_sec", wal_rps)
+            .Num("throughput_ratio", ratio)
+            .Int("group_commits", stats.wal.group_commits)
+            .Int("max_group_records", stats.wal.max_group_records)
+            .Int("rng_seed", static_cast<int64_t>(kSeed))
+            .Finish());
+  }
+
+  // --- group_commit_coalescing: N writers share fsyncs ----------------------
+  bench::PrintHeader("group commit: concurrent batch-1 writers");
+  for (int writers : {1, 4, 8}) {
+    const std::string dir = FreshDir("coalesce_w" + std::to_string(writers));
+    durability::DurabilityOptions dopts;
+    dopts.dir = dir;
+    dopts.ingest = InsertOptions();
+    std::string error;
+    std::unique_ptr<durability::DurableIngestStore> durable =
+        durability::DurableIngestStore::Open(data, workload, dopts, &error);
+    if (durable == nullptr) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    constexpr int64_t kAcksPerWriter = 2048;
+    std::atomic<int64_t> failed{0};
+    Timer timer;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; ++w) {
+      threads.emplace_back([&durable, &failed, w] {
+        Rng rng(9000 + static_cast<uint64_t>(w));
+        for (int64_t i = 0; i < kAcksPerWriter; ++i) {
+          Value x = rng.UniformValue(0, 1000000);
+          if (!durable->Insert({x, x + rng.UniformValue(-5000, 5000),
+                                rng.UniformValue(0, 10000)})) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double seconds = timer.ElapsedSeconds();
+    const durability::DurableIngestStore::Stats stats = durable->stats();
+    durable.reset();
+    std::filesystem::remove_all(dir);
+
+    const int64_t acks = int64_t{writers} * kAcksPerWriter;
+    const double acks_per_commit =
+        stats.wal.group_commits > 0
+            ? static_cast<double>(stats.wal.records_committed) /
+                  static_cast<double>(stats.wal.group_commits)
+            : 0.0;
+    std::printf(
+        "%d writers: %7.0f acks/s, %lld group commits for %lld acks "
+        "(%.2f acks/fsync, max group %lld)%s\n",
+        writers, acks / seconds,
+        static_cast<long long>(stats.wal.group_commits),
+        static_cast<long long>(acks), acks_per_commit,
+        static_cast<long long>(stats.wal.max_group_records),
+        failed.load() > 0 ? "  [FAILED ACKS]" : "");
+    records.push_back(
+        bench::EnvRecord("group_commit_coalescing", tier, writers,
+                         /*batch_size=*/1)
+            .Int("acks", acks)
+            .Num("acks_per_sec", acks / seconds)
+            .Int("group_commits", stats.wal.group_commits)
+            .Num("acks_per_fsync", acks_per_commit)
+            .Int("max_group_records", stats.wal.max_group_records)
+            .Int("failed_acks", failed.load())
+            .Int("rng_seed", static_cast<int64_t>(kSeed))
+            .Finish());
+  }
+
+  // --- durable_recovery: reopen wall time vs WAL tail length ----------------
+  bench::PrintHeader("recovery: wall time vs WAL tail length");
+  for (int64_t tail_rows : {int64_t{8192}, int64_t{32768}, int64_t{131072}}) {
+    const std::string dir = FreshDir("recover_t" + std::to_string(tail_rows));
+    durability::DurabilityOptions dopts;
+    dopts.dir = dir;
+    dopts.ingest = InsertOptions();
+    std::string error;
+    std::unique_ptr<durability::DurableIngestStore> durable =
+        durability::DurableIngestStore::Open(data, workload, dopts, &error);
+    if (durable == nullptr) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    const std::vector<std::vector<Value>> tail =
+        MakeRows(tail_rows, kSeed + 3);
+    for (size_t i = 0; i < tail.size(); i += 256) {
+      durable->InsertBatch(std::vector<std::vector<Value>>(
+          tail.begin() + i, tail.begin() + i + 256));
+    }
+    durable.reset();
+
+    durable =
+        durability::DurableIngestStore::Open(data, workload, dopts, &error);
+    if (durable == nullptr) {
+      std::fprintf(stderr, "reopen failed: %s\n", error.c_str());
+      return 1;
+    }
+    const durability::RecoveryInfo rec = durable->recovery();
+    durable.reset();
+    std::filesystem::remove_all(dir);
+
+    std::printf(
+        "tail %7lld rows: recovered in %8.4fs (%9.0f rows/s replay, "
+        "checkpoint %lld rows, %lld segments)\n",
+        static_cast<long long>(tail_rows), rec.seconds,
+        static_cast<double>(rec.replayed_rows) / rec.seconds,
+        static_cast<long long>(rec.checkpoint_rows),
+        static_cast<long long>(rec.segments_read));
+    records.push_back(
+        bench::EnvRecord("durable_recovery", tier, /*threads=*/1,
+                         /*batch_size=*/256)
+            .Int("wal_tail_rows", tail_rows)
+            .Num("recovery_seconds", rec.seconds)
+            .Num("replay_rows_per_sec",
+                 static_cast<double>(rec.replayed_rows) / rec.seconds)
+            .Int("checkpoint_rows", rec.checkpoint_rows)
+            .Int("segments_read", rec.segments_read)
+            .Int("rng_seed", static_cast<int64_t>(kSeed))
+            .Finish());
+  }
+
+  if (bench::WriteBenchJson("BENCH_durability.json", "durability", records)) {
+    std::printf("\nwrote BENCH_durability.json (merge the durability rows "
+                "into BENCH_query_service.json)\n");
+  }
+  return 0;
+}

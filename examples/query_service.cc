@@ -28,12 +28,30 @@
 // FI build) the ingest fault sites abort compactions and stall publishes
 // mid-swap. The run ends with a quiesced replay that must be bit-identical
 // to a full-scan reference over base + every inserted row.
+//
+// With --durable the soak becomes kill -9 crash recovery: a forked child
+// ingests deterministic batches through a DurableIngestStore (WAL + fsync'd
+// group commit + fold checkpoints), appending each batch index to an ack
+// file only AFTER the durable ack. The parent SIGKILLs the child mid-ingest,
+// recovers the directory in-process, and verifies the durability contract:
+// every acked batch is present, the recovered rows are an exact batch-
+// aligned prefix of the deterministic insert sequence (no unacked row
+// double-applied), and 32 range queries are bit-identical to a full-scan
+// reference. Repeats for several kill/recover cycles; under --soak (FI
+// builds) the WAL fault sites are armed inside the child too.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <array>
 #include <atomic>
 #include <barrier>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -44,6 +62,7 @@
 #include "src/common/random.h"
 #include "src/common/stats.h"
 #include "src/core/tsunami.h"
+#include "src/durability/durable_store.h"
 #include "src/ingest/ingest_store.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
@@ -601,14 +620,290 @@ static bool RunIngestSoak(bool soak) {
   return ok;
 }
 
+// --- --durable: kill -9 crash recovery ---------------------------------------
+// The durability contract under the bluntest possible crash. Batch k of the
+// insert sequence is a pure function of k, so any process — the child that
+// inserted it or the parent that recovers the directory — can regenerate it.
+namespace durable_soak {
+
+constexpr int64_t kBaseRows = 20000;
+constexpr int kBatchRows = 32;
+
+static Dataset BaseData() {
+  Rng rng(31);
+  Dataset data(3, {});
+  data.Reserve(kBaseRows);
+  for (int64_t i = 0; i < kBaseRows; ++i) {
+    Value x = rng.UniformValue(0, 1000000);
+    data.AppendRow(
+        {x, x + rng.UniformValue(-5000, 5000), rng.UniformValue(0, 10000)});
+  }
+  return data;
+}
+
+static Workload BaseWorkload() {
+  Rng rng(32);
+  Workload workload;
+  for (int i = 0; i < 64; ++i) {
+    Query q;
+    Value lo = rng.UniformValue(0, 900000);
+    q.filters.push_back(Predicate{0, lo, lo + 50000});
+    workload.push_back(q);
+  }
+  return workload;
+}
+
+/// Batch `index` of the deterministic insert sequence.
+static std::vector<std::vector<Value>> BatchRows(int64_t index) {
+  Rng rng(7000 + static_cast<uint64_t>(index));
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(kBatchRows);
+  for (int i = 0; i < kBatchRows; ++i) {
+    Value x = rng.UniformValue(0, 1000000);
+    rows.push_back(
+        {x, x + rng.UniformValue(-5000, 5000), rng.UniformValue(0, 10000)});
+  }
+  return rows;
+}
+
+static durability::DurabilityOptions StoreOptions(const std::string& dir) {
+  durability::DurabilityOptions o;
+  o.dir = dir;
+  o.ingest.index.cluster_queries = false;
+  o.ingest.index.sample_rows = 20000;
+  o.ingest.index.agd.max_sample_points = 512;
+  o.ingest.index.agd.max_sample_queries = 32;
+  o.ingest.index.agd.max_iters = 2;
+  o.ingest.index.agd.max_cells = 1 << 12;
+  o.ingest.chunk_capacity = 2 * kScanBlockRows;
+  o.ingest.compact_min_chunks = 2;
+  // Folds (and therefore checkpoints + WAL truncations) race the inserts
+  // and the SIGKILL throughout.
+  o.ingest.background_compaction = true;
+  o.ingest.compact_poll_ms = 2;
+  return o;
+}
+
+/// Child body: open (recover), then insert deterministic batches forever,
+/// appending each batch index to the ack file only after its durable ack.
+/// Runs until SIGKILLed; never returns.
+[[noreturn]] static void RunChild(const std::string& dir, bool soak) {
+  std::string error;
+  std::unique_ptr<durability::DurableIngestStore> store =
+      durability::DurableIngestStore::Open(BaseData(), BaseWorkload(),
+                                           StoreOptions(dir), &error);
+  if (store == nullptr) {
+    std::fprintf(stderr, "durable soak child: open failed: %s\n",
+                 error.c_str());
+    _exit(3);
+  }
+  if (soak) {
+#if defined(TSUNAMI_FAULT_INJECTION)
+    // Armed only after Open so the bootstrap/recovery itself is clean. A
+    // fired WAL fault fails the log closed: the child stops acking (the
+    // parent's contract only covers acked batches); a checkpoint throw is
+    // swallowed and retried at the next fold.
+    auto arm = [](const char* site, double p, uint64_t seed) {
+      fault::FaultSpec spec;
+      spec.probability = p;
+      spec.seed = seed;
+      fault::Arm(site, spec);
+    };
+    arm("durability.checkpoint_throw", 0.30, 61);
+    arm("wal.torn_write", 0.0005, 62);
+    arm("wal.fsync_fail", 0.0005, 63);
+#endif
+  }
+  const int ack_fd = ::open((dir + "/acks.log").c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (ack_fd < 0) _exit(4);
+  // Recovered rows are always batch-aligned (verified by the parent), so
+  // the resume point is exact.
+  int64_t batch = store->next_ordinal() / kBatchRows;
+  while (true) {
+    if (!store->InsertBatch(BatchRows(batch))) break;  // Log failed closed.
+    // The ack record goes to the OS *after* the WAL fsync: a SIGKILL can
+    // lose an insert that was never acked, never the reverse.
+    char line[32];
+    const int n = std::snprintf(line, sizeof(line), "%lld\n",
+                                static_cast<long long>(batch));
+    if (::write(ack_fd, line, static_cast<size_t>(n)) != n) _exit(5);
+    ++batch;
+  }
+  // WAL failed closed (injected fault): stop acking and await the kill.
+  while (true) std::this_thread::sleep_for(std::chrono::seconds(1));
+}
+
+}  // namespace durable_soak
+
+static bool RunDurableSoak(bool soak) {
+  using namespace durable_soak;
+  std::printf("\n--- durable soak: kill -9, recover, verify acked inserts ---\n");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("tsunami_durable_soak_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const Dataset base = BaseData();
+  const Workload workload = BaseWorkload();
+  constexpr int kCycles = 3;
+  bool ok = true;
+  int64_t prev_acked = 0;
+
+  for (int cycle = 0; cycle < kCycles && ok; ++cycle) {
+    const pid_t child = ::fork();
+    if (child < 0) {
+      std::printf("durable soak: fork failed\n");
+      return false;
+    }
+    if (child == 0) RunChild(dir, soak);  // Never returns.
+
+    // Wait for the child to make progress past recovery, then kill it at an
+    // arbitrary point mid-ingest — mid-group-commit, mid-checkpoint,
+    // wherever it happens to be.
+    const std::string ack_path = dir + "/acks.log";
+    auto count_acks = [&ack_path] {
+      std::ifstream in(ack_path);
+      int64_t n = 0;
+      std::string line;
+      while (std::getline(in, line)) ++n;
+      return n;
+    };
+    Timer wait;
+    while (wait.ElapsedSeconds() < 120.0 && count_acks() < prev_acked + 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20 + 35 * cycle));
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      // The child died on its own (open failure, ack-file failure) — that
+      // is a soak failure, not a crash we injected.
+      std::printf("durable soak: child exited abnormally (status %d)\n",
+                  status);
+      ok = false;
+      break;
+    }
+
+    // Parse the ack file: every index the child acked, in order.
+    int64_t acked = 0, max_acked = -1;
+    {
+      std::ifstream in(ack_path);
+      std::string line;
+      while (std::getline(in, line)) {
+        max_acked = std::atoll(line.c_str());
+        ++acked;
+      }
+    }
+    prev_acked = acked;
+
+    // Recover in-process and verify the contract.
+    std::string error;
+    std::unique_ptr<durability::DurableIngestStore> store =
+        durability::DurableIngestStore::Open(base, workload,
+                                             StoreOptions(dir), &error);
+    if (store == nullptr) {
+      std::printf("durable soak: recovery failed: %s\n", error.c_str());
+      ok = false;
+      break;
+    }
+    const durability::RecoveryInfo& rec = store->recovery();
+    const int64_t rows = store->next_ordinal();
+    // WAL records are whole batches, so recovery lands on a batch boundary.
+    const int64_t batches = rows / kBatchRows;
+    if (rows % kBatchRows != 0) {
+      std::printf("durable soak: recovered %lld rows — not batch-aligned\n",
+                  static_cast<long long>(rows));
+      ok = false;
+    }
+    // Zero acked inserts lost: every acked batch index is below the
+    // recovered prefix length.
+    if (max_acked >= batches) {
+      std::printf(
+          "durable soak: ACKED BATCH LOST — acked up to %lld, recovered "
+          "only %lld batches\n",
+          static_cast<long long>(max_acked),
+          static_cast<long long>(batches));
+      ok = false;
+    }
+
+    // No unacked row double-applied and nothing corrupted: the recovered
+    // store must answer exactly like a full scan over base + the recovered
+    // prefix of the deterministic batch sequence. Quiesce first so the
+    // comparison is stable.
+    store->store().StopBackground();
+    store->store().ForceRoll();
+    store->store().BackgroundTick();
+    store->store().CompactNow();
+    store->store().BackgroundTick();
+
+    Dataset full(3, {});
+    full.Reserve(kBaseRows + rows);
+    for (int64_t i = 0; i < base.size(); ++i) {
+      full.AppendRow({base.at(i, 0), base.at(i, 1), base.at(i, 2)});
+    }
+    for (int64_t b = 0; b < batches; ++b) {
+      for (const std::vector<Value>& row : BatchRows(b)) full.AppendRow(row);
+    }
+    FullScanIndex reference(full);
+    int64_t mismatches = 0;
+    Rng replay_rng(555);
+    for (int i = 0; i < 32; ++i) {
+      Query q;
+      if (i > 0) {
+        const int dim = i % 3;
+        Value lo = replay_rng.UniformValue(0, dim == 2 ? 9000 : 990000);
+        q.filters.push_back(Predicate{dim, lo, lo + (dim == 2 ? 500 : 30000)});
+      }  // i == 0: the unfiltered count-all (exact-prefix check).
+      q.SetAggregates({{AggKind::kCount, 0}, {AggKind::kSum, 1}});
+      QueryResult got = store->store().Execute(q);
+      QueryResult want = reference.Execute(q);
+      if (got.agg != want.agg || got.matched != want.matched ||
+          got.extra != want.extra || got.degraded) {
+        ++mismatches;
+      }
+    }
+    if (mismatches > 0) ok = false;
+
+    std::printf(
+        "durable soak cycle %d: killed mid-ingest after %lld acks; "
+        "recovered %lld batches (%lld rows, checkpoint v%llu + %lld "
+        "replayed%s) in %.3fs, %lld/32 replay mismatches\n",
+        cycle, static_cast<long long>(acked),
+        static_cast<long long>(batches), static_cast<long long>(rows),
+        static_cast<unsigned long long>(rec.checkpoint_version),
+        static_cast<long long>(rec.replayed_rows),
+        rec.wal_tail_status != FileError::kNone ? ", torn tail tolerated"
+                                                : "",
+        rec.seconds, static_cast<long long>(mismatches));
+    // Close cleanly; the next cycle's child resumes from this state.
+  }
+
+  if (ok) std::filesystem::remove_all(dir);  // Keep the wreckage on failure.
+  std::printf("durable soak: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
 int main(int argc, char** argv) {
   bool soak = false;
   bool net = false;
   bool ingest = false;
+  bool durable = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--soak") == 0) soak = true;
     if (std::strcmp(argv[i], "--net") == 0) net = true;
     if (std::strcmp(argv[i], "--ingest") == 0) ingest = true;
+    if (std::strcmp(argv[i], "--durable") == 0) durable = true;
+  }
+  if (durable) {
+    // The kill/recover soak owns its own store and directory lifecycle.
+    const bool ok = RunDurableSoak(soak);
+    std::printf("%s\n", ok ? "OK: durable soak held its invariants"
+                           : "FAILED: durable soak violated an invariant");
+    return ok ? 0 : 1;
   }
   if (ingest) {
     // The concurrent-ingest soak replaces the static-index soak entirely:

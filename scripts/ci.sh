@@ -2,7 +2,7 @@
 # CI entry point: configure, build, and run the tier-1 test suite, with
 # -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
 #
-# Eight passes:
+# Nine passes:
 #  1. the default build (SIMD tiers compiled in, runtime-dispatched; column
 #     blocks FOR + bit-width encoded);
 #  2. a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
@@ -33,7 +33,14 @@
 #     readers, and grid reorganization with the ingest fault sites
 #     (ingest.compact_throw, ingest.swap_delay) armed — epoch-based
 #     snapshot publication must stay race-clean under injected aborts and
-#     widened swap windows, and the quiesced replay must be bit-identical.
+#     widened swap windows, and the quiesced replay must be bit-identical;
+#  9. the durability path under the ASan+UBSan+FI build: wal_test (whose
+#     WalFaultTest suite arms wal.torn_write / wal.fsync_fail /
+#     durability.checkpoint_throw and requires the log to fail closed) and
+#     the `query_service --soak --durable` crash-recovery soak, which
+#     SIGKILLs a durable-ingest child mid-stream three times and verifies
+#     every acked batch survives recovery, nothing is double-applied, and a
+#     quiesced query replay is bit-identical to a full-scan reference.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -117,3 +124,14 @@ rm -f serverd-smoke.log
 # race detection are the pass/fail signal.
 cmake --build build-tsan -j"$(nproc)" --target query_service
 ./build-tsan/query_service --soak --ingest
+
+# Ninth pass: durability under ASan+UBSan+FI. wal_test carries the
+# fail-closed fault suite (torn group writes, fsync failures, checkpoint
+# aborts); the --durable soak is the kill -9 test — a forked child ingests
+# with durable acks and armed WAL faults, the parent SIGKILLs it mid-stream,
+# recovers the directory in-process, and fails unless every acked insert is
+# present exactly once and a quiesced replay matches a never-crashed
+# full-scan reference bit for bit.
+cmake --build build-asan -j"$(nproc)" --target wal_test query_service
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)" -R wal_test
+./build-asan/query_service --soak --durable

@@ -5,8 +5,12 @@
 // encoded-column checksum verifier ("storage.checksum"), the framed-file
 // reader ("io.short_read"), the network front end's socket paths
 // ("net.accept_fail", "net.short_write", "net.reset", "net.partial_frame"),
-// and the ingest store's compaction/publish paths ("ingest.compact_throw",
-// "ingest.swap_delay").
+// the ingest store's compaction/publish paths ("ingest.compact_throw",
+// "ingest.swap_delay"), and the durability layer ("wal.torn_write" — the
+// group commit writes only a prefix, param = bytes kept; "wal.fsync_fail" —
+// fsync reports failure and the log fails closed; and
+// "durability.checkpoint_throw" — the fold checkpoint aborts, the WAL
+// retains everything).
 // Tests and the examples' soak mode arm a site
 // with a FaultSpec — a seeded fire probability plus match/skip/limit
 // filters — and the site then fires deterministically: the decision for the

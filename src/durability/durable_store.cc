@@ -1,0 +1,463 @@
+#include "src/durability/durable_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "src/common/fault_injection.h"
+
+namespace tsunami {
+namespace durability {
+
+namespace {
+
+/// Atomic, durable TsunamiIndex write: tmp + fsync + rename + dir fsync.
+bool SaveIndexDurable(const TsunamiIndex& index, const std::string& dir,
+                      const std::string& file, bool fsync,
+                      std::string* error) {
+  const std::string path = dir + "/" + file;
+  const std::string tmp = path + ".tmp";
+  if (!index.SaveToFile(tmp, error)) return false;
+  if (fsync && !FsyncPath(tmp, error)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename '" + tmp + "'";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (fsync) return FsyncDir(dir, error);
+  return true;
+}
+
+}  // namespace
+
+bool WriteManifest(const std::string& path, const Manifest& manifest,
+                   std::string* error) {
+  BinaryWriter w;
+  w.PutVarU64(manifest.seq);
+  w.PutVarU64(manifest.checkpoint_version);
+  w.PutString(manifest.snapshot_file);
+  w.PutVarI64(manifest.rows_folded);
+  w.PutVarU64(manifest.first_segment);
+  w.PutVarU64(manifest.active_segment);
+  return WriteFramedFileDurable(path, FileKind::kDurabilityManifest,
+                                w.buffer(), error);
+}
+
+bool ReadManifest(const std::string& path, Manifest* manifest,
+                  std::string* error, FileError* code) {
+  std::string payload;
+  uint32_t version = kTsunamiFormatVersion;
+  if (!ReadFramedFile(path, FileKind::kDurabilityManifest, &payload, error,
+                      code, &version)) {
+    return false;
+  }
+  BinaryReader r(payload);
+  r.set_version(version);
+  Manifest m;
+  m.seq = r.GetVarU64();
+  m.checkpoint_version = r.GetVarU64();
+  m.snapshot_file = r.GetString();
+  m.rows_folded = r.GetVarI64();
+  m.first_segment = r.GetVarU64();
+  m.active_segment = r.GetVarU64();
+  if (!r.ok() || !r.AtEnd() || m.snapshot_file.empty() ||
+      m.rows_folded < 0 || m.first_segment > m.active_segment) {
+    if (error != nullptr) *error = "'" + path + "' holds a malformed manifest";
+    if (code != nullptr) *code = FileError::kChecksumMismatch;
+    return false;
+  }
+  *manifest = m;
+  return true;
+}
+
+std::string WalSegmentPath(const std::string& dir, uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + name;
+}
+
+std::string CheckpointPath(const std::string& dir, uint64_t version) {
+  return dir + "/checkpoint-" + std::to_string(version) + ".tsnm";
+}
+
+DurableIngestStore::DurableIngestStore(const DurabilityOptions& options)
+    : options_(options) {}
+
+DurableIngestStore::~DurableIngestStore() {
+  // Quiesce maintenance first: the fold hook uses the WAL.
+  if (store_ != nullptr) store_->StopBackground();
+  if (wal_ != nullptr) wal_->Close();
+}
+
+std::string DurableIngestStore::ManifestPath() const {
+  return options_.dir + "/MANIFEST";
+}
+
+std::unique_ptr<DurableIngestStore> DurableIngestStore::Open(
+    const Dataset& base_data, const Workload& workload,
+    const DurabilityOptions& options, std::string* error) {
+  std::string err;
+  if (options.dir.empty()) {
+    if (error != nullptr) *error = "durability dir must be set";
+    return nullptr;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create '" + options.dir + "': " + ec.message();
+    }
+    return nullptr;
+  }
+  std::unique_ptr<DurableIngestStore> s(new DurableIngestStore(options));
+  if (std::filesystem::exists(s->ManifestPath())) {
+    Manifest manifest;
+    // A corrupt manifest fails Open — never silently rebuild over a
+    // directory that claims to hold data.
+    if (!ReadManifest(s->ManifestPath(), &manifest, &err) ||
+        !s->Recover(workload, manifest, &err)) {
+      if (error != nullptr) *error = err;
+      return nullptr;
+    }
+  } else if (!s->Bootstrap(base_data, workload, &err)) {
+    if (error != nullptr) *error = err;
+    return nullptr;
+  }
+  return s;
+}
+
+bool DurableIngestStore::Bootstrap(const Dataset& base_data,
+                                   const Workload& workload,
+                                   std::string* error) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ingest::IngestOptions quiet = options_.ingest;
+  quiet.background_compaction = false;
+  store_ = std::make_unique<ingest::IngestStore>(base_data, workload, quiet);
+
+  const uint64_t version = store_->version();
+  const std::string file = "checkpoint-" + std::to_string(version) + ".tsnm";
+  if (!SaveIndexDurable(store_->CurrentSnapshot()->index(), options_.dir,
+                        file, options_.fsync, error)) {
+    return false;
+  }
+
+  WalWriterOptions wopts;
+  wopts.fsync = options_.fsync;
+  wopts.background = options_.wal_background;
+  wal_ = std::make_unique<WalWriter>(WalSegmentPath(options_.dir, 1), wopts);
+  if (!wal_->ok()) {
+    if (error != nullptr) {
+      *error = "cannot open WAL segment '" + WalSegmentPath(options_.dir, 1) +
+               "'";
+    }
+    return false;
+  }
+  active_segment_ = 1;
+  next_segment_seq_ = 2;
+
+  Manifest m;
+  m.seq = 1;
+  m.checkpoint_version = version;
+  m.snapshot_file = file;
+  m.rows_folded = 0;
+  m.first_segment = 1;
+  m.active_segment = 1;
+  if (!WriteManifest(ManifestPath(), m, error)) return false;
+  manifest_ = m;
+
+  recovery_.recovered = false;
+  recovery_.checkpoint_version = version;
+  recovery_.checkpoint_rows = base_data.size();
+  recovery_.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  AttachHook();
+  if (options_.ingest.background_compaction) store_->StartBackground();
+  return true;
+}
+
+bool DurableIngestStore::Recover(const Workload& workload,
+                                 const Manifest& manifest,
+                                 std::string* error) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string err;
+  std::unique_ptr<TsunamiIndex> loaded = TsunamiIndex::LoadFromFile(
+      options_.dir + "/" + manifest.snapshot_file, &err);
+  if (loaded == nullptr) {
+    if (error != nullptr) {
+      *error = "recovery: cannot load checkpoint: " + err;
+    }
+    return false;
+  }
+  std::shared_ptr<const TsunamiIndex> index(std::move(loaded));
+  recovery_.recovered = true;
+  recovery_.checkpoint_version = manifest.checkpoint_version;
+  recovery_.checkpoint_rows = index->store().size();
+  recovery_.replay_cursor = manifest.rows_folded;
+
+  ingest::IngestOptions quiet = options_.ingest;
+  quiet.background_compaction = false;
+  store_ = std::make_unique<ingest::IngestStore>(
+      index, workload, quiet, manifest.checkpoint_version);
+  next_ordinal_ = manifest.rows_folded;
+  rows_folded_total_ = manifest.rows_folded;
+  manifest_ = manifest;
+
+  // Replay every live segment in order. A torn/corrupt tail ends that
+  // segment's records — the next segment (created by a previous recovery's
+  // rotation) continues at exactly the surviving cursor, so replay goes on;
+  // the gap check below is what guards against actual mid-log loss.
+  bool aborted = false;
+  for (uint64_t seq = manifest.first_segment;
+       seq <= manifest.active_segment && !aborted; ++seq) {
+    WalSegmentContents seg = ReadWalSegment(WalSegmentPath(options_.dir, seq));
+    if (seg.tail_status != FileError::kIoError) ++recovery_.segments_read;
+    for (WalRecord& record : seg.records) {
+      const int64_t n = static_cast<int64_t>(record.rows.size());
+      if (record.first_ordinal > next_ordinal_) {
+        // Rows missing between the cursor and this record: applying past
+        // the hole would corrupt ingestion order. Stop replay entirely.
+        recovery_.wal_tail_status = FileError::kChecksumMismatch;
+        recovery_.wal_tail_message =
+            "ordinal gap: segment " + std::to_string(seq) + " starts at " +
+            std::to_string(record.first_ordinal) + ", cursor at " +
+            std::to_string(next_ordinal_);
+        aborted = true;
+        break;
+      }
+      const int64_t skip =
+          std::min<int64_t>(n, next_ordinal_ - record.first_ordinal);
+      recovery_.skipped_rows += skip;
+      if (skip < n) {
+        std::vector<std::vector<Value>> apply(
+            record.rows.begin() + static_cast<ptrdiff_t>(skip),
+            record.rows.end());
+        store_->InsertBatch(apply);
+        next_ordinal_ += n - skip;
+        recovery_.replayed_rows += n - skip;
+      }
+      ++recovery_.replayed_records;
+    }
+    if (!aborted && seg.tail_status != FileError::kNone) {
+      recovery_.wal_tail_status = seg.tail_status;
+      recovery_.wal_tail_message = seg.message;
+    }
+    if (!aborted) closed_segment_end_[seq] = next_ordinal_;
+  }
+
+  // Never append to a possibly-torn tail: garbage mid-file would hide every
+  // later record from the next recovery. Always begin a fresh segment.
+  const uint64_t new_seg = manifest.active_segment + 1;
+  WalWriterOptions wopts;
+  wopts.fsync = options_.fsync;
+  wopts.background = options_.wal_background;
+  wal_ = std::make_unique<WalWriter>(WalSegmentPath(options_.dir, new_seg),
+                                     wopts);
+  if (!wal_->ok()) {
+    if (error != nullptr) {
+      *error = "recovery: cannot open WAL segment '" +
+               WalSegmentPath(options_.dir, new_seg) + "'";
+    }
+    return false;
+  }
+  active_segment_ = new_seg;
+  next_segment_seq_ = new_seg + 1;
+
+  Manifest m = manifest;
+  m.seq = manifest.seq + 1;
+  m.active_segment = new_seg;
+  m.first_segment = new_seg;
+  for (const auto& [seg_seq, end] : closed_segment_end_) {
+    if (end > m.rows_folded) {
+      m.first_segment = std::min(m.first_segment, seg_seq);
+    }
+  }
+  if (!WriteManifest(ManifestPath(), m, error)) return false;
+  manifest_ = m;
+  for (auto it = closed_segment_end_.begin();
+       it != closed_segment_end_.end();) {
+    if (it->second <= m.rows_folded) {
+      std::remove(WalSegmentPath(options_.dir, it->first).c_str());
+      ++stats_.segments_deleted;
+      it = closed_segment_end_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  recovery_.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  AttachHook();
+  if (options_.ingest.background_compaction) store_->StartBackground();
+  return true;
+}
+
+void DurableIngestStore::AttachHook() {
+  store_->SetFoldHook(
+      [this](const std::shared_ptr<const TsunamiIndex>& index,
+             uint64_t version, int64_t rows_folded) {
+        OnFold(index, version, rows_folded);
+      });
+}
+
+bool DurableIngestStore::Insert(const std::vector<Value>& row) {
+  return InsertBatch({row});
+}
+
+bool DurableIngestStore::InsertBatch(
+    const std::vector<std::vector<Value>>& rows) {
+  if (rows.empty()) return true;
+  // The expensive part of framing (per-value varints) does not depend on
+  // the ordinal, so concurrent writers encode in parallel here; the
+  // sequencer lock below only covers the frame prefix, a memcpy, and the
+  // in-memory apply.
+  const std::string payload = EncodeRowBatchPayload(rows);
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(seq_mu_);
+    if (write_disabled_ || wal_->failed()) {
+      write_disabled_ = true;
+      std::lock_guard<std::mutex> s(stats_mu_);
+      ++stats_.rejected_batches;
+      return false;
+    }
+    lsn = wal_->Append(FrameRowBatchPayload(next_ordinal_, rows.size(),
+                                            rows.front().size(), payload));
+    if (lsn == 0) {
+      write_disabled_ = true;
+      std::lock_guard<std::mutex> s(stats_mu_);
+      ++stats_.rejected_batches;
+      return false;
+    }
+    // Apply under seq_mu_: store append order must equal ordinal order (the
+    // prefix property recovery depends on).
+    next_ordinal_ += static_cast<int64_t>(rows.size());
+    store_->InsertBatch(rows);
+    std::lock_guard<std::mutex> s(stats_mu_);
+    ++stats_.batches_logged;
+    stats_.rows_logged += static_cast<int64_t>(rows.size());
+  }
+  if (!options_.durable_acks) return true;
+  const bool durable = wal_->WaitDurable(lsn);
+  {
+    std::lock_guard<std::mutex> s(stats_mu_);
+    if (durable) {
+      ++stats_.durable_acks;
+    } else {
+      ++stats_.failed_acks;
+    }
+  }
+  return durable;
+}
+
+void DurableIngestStore::OnFold(
+    const std::shared_ptr<const TsunamiIndex>& index, uint64_t version,
+    int64_t rows_folded) {
+  std::lock_guard<std::mutex> ck(ckpt_mu_);
+  rows_folded_total_ += rows_folded;
+  if (!options_.checkpoint_on_fold) return;
+  const std::string file = "checkpoint-" + std::to_string(version) + ".tsnm";
+  try {
+    if (TSUNAMI_FAULT_FIRES("durability.checkpoint_throw",
+                            static_cast<int64_t>(version))) {
+      throw std::runtime_error("injected: durability.checkpoint_throw");
+    }
+    std::string err;
+    if (!SaveIndexDurable(*index, options_.dir, file, options_.fsync, &err)) {
+      throw std::runtime_error(err);
+    }
+    // Rotate under seq_mu_ so the closed segment's end ordinal is exact:
+    // every record logged so far lands in it, nothing after does.
+    {
+      std::lock_guard<std::mutex> seq(seq_mu_);
+      const uint64_t new_seg = next_segment_seq_;
+      if (wal_->RotateTo(WalSegmentPath(options_.dir, new_seg))) {
+        ++next_segment_seq_;
+        closed_segment_end_[active_segment_] = next_ordinal_;
+        active_segment_ = new_seg;
+      }
+      // Rotation failure means the WAL is dead; the manifest below still
+      // advances the replay cursor, which is strictly beneficial.
+    }
+    Manifest m;
+    m.seq = manifest_.seq + 1;
+    m.checkpoint_version = version;
+    m.snapshot_file = file;
+    m.rows_folded = rows_folded_total_;
+    m.active_segment = active_segment_;
+    m.first_segment = active_segment_;
+    for (const auto& [seg_seq, end] : closed_segment_end_) {
+      if (end > m.rows_folded) {
+        m.first_segment = std::min(m.first_segment, seg_seq);
+      }
+    }
+    std::string werr;
+    if (!WriteManifest(ManifestPath(), m, &werr)) {
+      throw std::runtime_error(werr);
+    }
+    const std::string prev_snapshot = manifest_.snapshot_file;
+    manifest_ = m;
+    // Everything the checkpoint covers can go: fully folded segments and
+    // the superseded snapshot.
+    int64_t deleted = 0;
+    for (auto it = closed_segment_end_.begin();
+         it != closed_segment_end_.end();) {
+      if (it->second <= m.rows_folded) {
+        std::remove(WalSegmentPath(options_.dir, it->first).c_str());
+        ++deleted;
+        it = closed_segment_end_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!prev_snapshot.empty() && prev_snapshot != file) {
+      std::remove((options_.dir + "/" + prev_snapshot).c_str());
+    }
+    std::lock_guard<std::mutex> s(stats_mu_);
+    ++stats_.checkpoints;
+    stats_.segments_deleted += deleted;
+  } catch (const std::exception&) {
+    // Fail closed: the WAL retains every record; the next fold retries.
+    std::remove((options_.dir + "/" + file + ".tmp").c_str());
+    std::lock_guard<std::mutex> s(stats_mu_);
+    ++stats_.checkpoint_failures;
+  }
+}
+
+bool DurableIngestStore::CheckpointNow() {
+  uint64_t before;
+  {
+    std::lock_guard<std::mutex> ck(ckpt_mu_);
+    before = manifest_.seq;
+  }
+  store_->ForceRoll();
+  store_->CompactNow();
+  std::lock_guard<std::mutex> ck(ckpt_mu_);
+  return manifest_.seq != before;
+}
+
+int64_t DurableIngestStore::next_ordinal() const {
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  return next_ordinal_;
+}
+
+DurableIngestStore::Stats DurableIngestStore::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  s.wal = wal_->stats();
+  return s;
+}
+
+}  // namespace durability
+}  // namespace tsunami

@@ -1,0 +1,217 @@
+// DurableIngestStore: crash durability for ingest::IngestStore.
+//
+// Layout of a durability directory:
+//   MANIFEST              CRC-framed (FileKind::kDurabilityManifest) state:
+//                         which checkpoint file is current, the WAL replay
+//                         cursor, and the live WAL segment range. Replaced
+//                         atomically (tmp + fsync + rename + dir fsync).
+//   checkpoint-<v>.tsnm   A full TsunamiIndex snapshot (format v3) written
+//                         durably at fold time; <v> is the store version it
+//                         published as.
+//   wal-<seq>.log         WAL segments (src/durability/wal.h framing).
+//
+// The three moving parts:
+//   * Logging — InsertBatch assigns each row a global *ordinal* (ingestion
+//     order, starting at 0 for the first post-construction insert), appends
+//     one WAL record, applies the rows to the in-memory store, and — in
+//     durable-ack mode — blocks until the group committer has fsync'd the
+//     record. An ack therefore means "on stable storage", not just
+//     "visible".
+//   * Checkpointing — the IngestStore fold hook fires after every fold
+//     publish. Because a fold consumes a strict prefix of ingestion order,
+//     the cumulative folded-row count F is an exact replay cursor: the hook
+//     writes the folded index durably, rotates the WAL, persists a manifest
+//     with rows_folded = F, and deletes segments whose rows all fall below
+//     F. A checkpoint failure (including the `durability.checkpoint_throw`
+//     fault) is swallowed: the WAL keeps everything and the next fold
+//     retries.
+//   * Recovery — Open() with an existing MANIFEST loads the checkpoint,
+//     adopts it at its recorded version, replays WAL records in segment
+//     order skipping rows with ordinal < F (per-row, so a batch straddling
+//     the fold boundary is half-skipped, never double-applied), tolerates a
+//     torn tail (replay just ends there), and always begins a *fresh*
+//     segment — appending after a tear would hide later records from the
+//     next recovery.
+//
+// Failure model: fail closed. Once the WAL fails (torn write, fsync
+// failure), the store refuses further durable inserts; rows already applied
+// in memory but never acked may be lost on crash — but an acked row is never
+// lost and no row is ever applied twice.
+#ifndef TSUNAMI_DURABILITY_DURABLE_STORE_H_
+#define TSUNAMI_DURABILITY_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/durability/wal.h"
+#include "src/ingest/ingest_store.h"
+
+namespace tsunami {
+namespace durability {
+
+/// The durable state record. `rows_folded` is the WAL replay cursor F:
+/// rows with ordinal < F live in the checkpoint file; replay skips them.
+struct Manifest {
+  uint64_t seq = 0;               // Monotone manifest generation.
+  uint64_t checkpoint_version = 0;  // Store version of the checkpoint.
+  std::string snapshot_file;      // Relative filename of the checkpoint.
+  int64_t rows_folded = 0;        // Replay cursor F (ordinals < F skipped).
+  uint64_t first_segment = 0;     // Oldest live WAL segment seq.
+  uint64_t active_segment = 0;    // Segment receiving appends.
+};
+
+/// Serializes / atomically replaces the MANIFEST file at `path`.
+bool WriteManifest(const std::string& path, const Manifest& manifest,
+                   std::string* error);
+/// Reads and validates MANIFEST; typed cause in `code` on failure.
+bool ReadManifest(const std::string& path, Manifest* manifest,
+                  std::string* error, FileError* code = nullptr);
+
+/// "wal-<seq>.log" under `dir`.
+std::string WalSegmentPath(const std::string& dir, uint64_t seq);
+/// "checkpoint-<version>.tsnm" under `dir`.
+std::string CheckpointPath(const std::string& dir, uint64_t version);
+
+struct DurabilityOptions {
+  /// Durability directory (created if absent).
+  std::string dir;
+  /// InsertBatch blocks until its WAL record is fsync'd and returns whether
+  /// it is durable. Off: rows are logged asynchronously and InsertBatch
+  /// returns as soon as they are enqueued + applied (crash may lose the
+  /// tail; recovery still never double-applies).
+  bool durable_acks = true;
+  /// Write a checkpoint (snapshot + manifest + WAL truncation) at every
+  /// fold publish. Off: the WAL only ever grows (tests).
+  bool checkpoint_on_fold = true;
+  /// fsync group commits and checkpoint files. Off is never durable —
+  /// benchmark use only, to isolate the fsync cost.
+  bool fsync = true;
+  /// Run the WAL group-commit thread. Off = manual mode: nothing commits
+  /// until wal().CommitPending() (deterministic grouping for tests).
+  bool wal_background = true;
+  /// Options for the wrapped IngestStore. `background_compaction` here
+  /// controls whether Open() starts the compactor after recovery.
+  ingest::IngestOptions ingest;
+};
+
+/// What Open() found and did. `wal_tail_status` is FileError::kNone after a
+/// clean shutdown; kTruncated / kChecksumMismatch record a tolerated torn
+/// tail (with the offset in `wal_tail_message`).
+struct RecoveryInfo {
+  bool recovered = false;          // False: fresh directory, bootstrapped.
+  uint64_t checkpoint_version = 0;
+  int64_t checkpoint_rows = 0;     // Rows in the loaded snapshot.
+  int64_t replay_cursor = 0;       // Manifest rows_folded (F).
+  int64_t replayed_records = 0;
+  int64_t replayed_rows = 0;       // Applied (ordinal >= F).
+  int64_t skipped_rows = 0;        // Already in the checkpoint (< F).
+  int64_t segments_read = 0;
+  FileError wal_tail_status = FileError::kNone;
+  std::string wal_tail_message;
+  double seconds = 0;              // Recovery wall time.
+};
+
+class DurableIngestStore {
+ public:
+  /// Opens (or bootstraps) a durable store in `options.dir`. `base_data` /
+  /// `workload` seed a fresh directory; on recovery `base_data` is ignored
+  /// (the checkpoint already holds it) and `workload` is the fold target.
+  /// Returns nullptr with `error` set when the directory is unusable or its
+  /// manifest/checkpoint is corrupt — never silently rebuilds over data.
+  static std::unique_ptr<DurableIngestStore> Open(
+      const Dataset& base_data, const Workload& workload,
+      const DurabilityOptions& options, std::string* error = nullptr);
+
+  ~DurableIngestStore();
+  DurableIngestStore(const DurableIngestStore&) = delete;
+  DurableIngestStore& operator=(const DurableIngestStore&) = delete;
+
+  /// The wrapped store: queries, snapshots, listeners all live here. Writes
+  /// MUST go through the durable insert paths below, never directly.
+  ingest::IngestStore& store() { return *store_; }
+  const ingest::IngestStore& store() const { return *store_; }
+
+  /// Logs + applies one batch. In durable-ack mode, true means every row is
+  /// fsync'd; false means the log failed (fail closed — the rows may be
+  /// visible in memory but were NOT acked and may not survive a crash).
+  /// After a WAL failure the store is write-disabled: later calls return
+  /// false without applying anything.
+  bool InsertBatch(const std::vector<std::vector<Value>>& rows);
+  bool Insert(const std::vector<Value>& row);
+
+  /// Forces a checkpoint: rolls the open chunk and folds synchronously,
+  /// which drives the fold hook. Returns true when a new checkpoint
+  /// manifest landed.
+  bool CheckpointNow();
+
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const DurabilityOptions& options() const { return options_; }
+  /// Ordinal the next inserted row will get (== rows ever logged).
+  int64_t next_ordinal() const;
+
+  /// The WAL writer (tests: manual CommitPending, fault stats).
+  WalWriter& wal() { return *wal_; }
+
+  struct Stats {
+    int64_t rows_logged = 0;
+    int64_t batches_logged = 0;
+    int64_t durable_acks = 0;      // Batches acked fsync'd.
+    int64_t failed_acks = 0;       // Batches applied but never durable.
+    int64_t rejected_batches = 0;  // Refused outright (write-disabled).
+    int64_t checkpoints = 0;
+    int64_t checkpoint_failures = 0;
+    int64_t segments_deleted = 0;
+    WalWriter::Stats wal;
+  };
+  Stats stats() const;
+
+ private:
+  DurableIngestStore(const DurabilityOptions& options);
+
+  bool Bootstrap(const Dataset& base_data, const Workload& workload,
+                 std::string* error);
+  bool Recover(const Workload& workload, const Manifest& manifest,
+               std::string* error);
+  void AttachHook();
+  /// The fold hook body; runs under the store's compact_mu_.
+  void OnFold(const std::shared_ptr<const TsunamiIndex>& index,
+              uint64_t version, int64_t rows_folded);
+  std::string ManifestPath() const;
+
+  DurabilityOptions options_;
+  RecoveryInfo recovery_;
+
+  // Lock order: (store compact_mu_, via fold hook) -> seq_mu_ -> store
+  // write_mu_ / WAL internals. seq_mu_ makes ordinal assignment, WAL append
+  // order, and in-memory apply order one atomic sequence — the prefix
+  // property recovery depends on.
+  mutable std::mutex seq_mu_;
+  int64_t next_ordinal_ = 0;       // seq_mu_
+  bool write_disabled_ = false;    // seq_mu_; latched on WAL failure.
+
+  // Checkpoint state; mutated only in OnFold (serialized by compact_mu_)
+  // and during single-threaded Open.
+  mutable std::mutex ckpt_mu_;
+  Manifest manifest_;              // Last durably written manifest.
+  int64_t rows_folded_total_ = 0;  // In-memory fold cursor (>= manifest's).
+  uint64_t active_segment_ = 1;    // Segment currently receiving appends.
+  uint64_t next_segment_seq_ = 1;
+  // Closed segments still on disk -> end ordinal (one past the last row
+  // logged into it). A segment is deletable once end <= manifest rows_folded.
+  std::map<uint64_t, int64_t> closed_segment_end_;
+
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<ingest::IngestStore> store_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace durability
+}  // namespace tsunami
+
+#endif  // TSUNAMI_DURABILITY_DURABLE_STORE_H_

@@ -1,0 +1,450 @@
+#include "src/durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/fault_injection.h"
+
+namespace tsunami {
+namespace durability {
+
+namespace {
+
+uint32_t ReadFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // Little-endian hosts only, like the rest of the serializer.
+}
+
+uint64_t ReadFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+bool FsyncData(int fd) {
+#if defined(__linux__)
+  return ::fdatasync(fd) == 0;
+#else
+  return ::fsync(fd) == 0;
+#endif
+}
+
+}  // namespace
+
+namespace {
+
+std::string FrameBody(const std::string& body) {
+  BinaryWriter frame;
+  frame.PutFixed32(static_cast<uint32_t>(body.size()));
+  frame.PutFixed64(XxHash64(body, kWalHashSeed));
+  std::string out = frame.Release();
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+inline uint64_t Zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline char* PutVar(char* p, uint64_t v) {
+  while (v >= 0x80) {
+    *p++ = static_cast<char>(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  *p++ = static_cast<char>(static_cast<uint8_t>(v));
+  return p;
+}
+
+}  // namespace
+
+std::string EncodeRowBatchPayload(
+    const std::vector<std::vector<Value>>& rows) {
+  // The insert hot path: every acked row runs through here, so the payload
+  // is built in one allocation with raw varint writes instead of
+  // BinaryWriter's byte-at-a-time appends.
+  const size_t dims = rows.empty() ? 1 : rows.front().size();
+  std::string out;
+  out.resize(rows.size() * dims * 10);
+  char* p = out.data();
+  for (const std::vector<Value>& row : rows) {
+    for (Value v : row) p = PutVar(p, Zigzag(v));
+  }
+  out.resize(static_cast<size_t>(p - out.data()));
+  return out;
+}
+
+std::string FrameRowBatchPayload(int64_t first_ordinal, size_t row_count,
+                                 size_t dims, std::string_view payload) {
+  std::string out;
+  out.resize(kWalFrameHeaderSize + 1 + 3 * 10 + payload.size());
+  char* const body = out.data() + kWalFrameHeaderSize;
+  char* p = body;
+  *p++ = static_cast<char>(WalRecordType::kRowBatch);
+  p = PutVar(p, Zigzag(first_ordinal));
+  p = PutVar(p, row_count);
+  p = PutVar(p, dims);
+  std::memcpy(p, payload.data(), payload.size());
+  p += payload.size();
+  const uint32_t body_len = static_cast<uint32_t>(p - body);
+  out.resize(kWalFrameHeaderSize + body_len);
+  const uint64_t hash = XxHash64(
+      std::string_view(out.data() + kWalFrameHeaderSize, body_len),
+      kWalHashSeed);
+  // Little-endian hosts only, matching ReadFixed32/64 above.
+  std::memcpy(out.data(), &body_len, sizeof(body_len));
+  std::memcpy(out.data() + 4, &hash, sizeof(hash));
+  return out;
+}
+
+std::string EncodeRowBatchRecord(int64_t first_ordinal,
+                                 const std::vector<std::vector<Value>>& rows) {
+  // The wire bytes are identical to EncodeWalRecord's (wal_test asserts it).
+  return FrameRowBatchPayload(first_ordinal, rows.size(),
+                              rows.empty() ? 1 : rows.front().size(),
+                              EncodeRowBatchPayload(rows));
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  BinaryWriter body;
+  body.PutU8(static_cast<uint8_t>(record.type));
+  body.PutVarI64(record.first_ordinal);
+  body.PutVarU64(record.rows.size());
+  // Derive the row width from the rows themselves (record.dims is an output
+  // of decoding, not an input): a mismatch here would frame a record that
+  // fails its own decode.
+  body.PutVarU64(record.rows.empty() ? std::max(record.dims, 1)
+                                     : record.rows.front().size());
+  for (const std::vector<Value>& row : record.rows) {
+    for (Value v : row) body.PutVarI64(v);
+  }
+  return FrameBody(body.buffer());
+}
+
+FileError DecodeWalFrame(std::string_view data, size_t* offset,
+                         WalRecord* out) {
+  const size_t start = *offset;
+  if (data.size() - start < kWalFrameHeaderSize) return FileError::kTruncated;
+  const uint32_t body_len = ReadFixed32(data.data() + start);
+  const uint64_t body_hash = ReadFixed64(data.data() + start + 4);
+  // A length beyond the cap is a corrupt header, not an allocation request.
+  if (body_len > kMaxWalBodyBytes) return FileError::kChecksumMismatch;
+  if (data.size() - start - kWalFrameHeaderSize < body_len) {
+    return FileError::kTruncated;
+  }
+  std::string_view body = data.substr(start + kWalFrameHeaderSize, body_len);
+  if (XxHash64(body, kWalHashSeed) != body_hash) {
+    return FileError::kChecksumMismatch;
+  }
+
+  BinaryReader reader(body);
+  WalRecord record;
+  uint8_t type = reader.GetU8();
+  record.first_ordinal = reader.GetVarI64();
+  uint64_t row_count = reader.GetVarU64();
+  uint64_t dims = reader.GetVarU64();
+  // The hash already vouches for the bytes; these guards only catch encoder
+  // bugs, and a mismatch still fails typed instead of allocating wildly.
+  if (!reader.ok() || type != static_cast<uint8_t>(WalRecordType::kRowBatch) ||
+      dims == 0 || dims > body.size() || row_count > body.size() ||
+      row_count * dims > body.size()) {
+    return FileError::kChecksumMismatch;
+  }
+  record.dims = static_cast<int>(dims);
+  record.rows.resize(row_count);
+  for (uint64_t r = 0; r < row_count; ++r) {
+    record.rows[r].resize(dims);
+    for (uint64_t d = 0; d < dims; ++d) {
+      record.rows[r][d] = reader.GetVarI64();
+    }
+  }
+  if (!reader.ok() || !reader.AtEnd()) return FileError::kChecksumMismatch;
+  *out = std::move(record);
+  *offset = start + kWalFrameHeaderSize + body_len;
+  return FileError::kNone;
+}
+
+WalSegmentContents ReadWalSegment(const std::string& path) {
+  WalSegmentContents result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    result.tail_status = FileError::kIoError;
+    result.message = "cannot open WAL segment '" + path + "'";
+    return result;
+  }
+  std::string contents;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    contents.append(chunk, n);
+  }
+  std::fclose(f);
+
+  size_t offset = 0;
+  while (offset < contents.size()) {
+    WalRecord record;
+    FileError status = DecodeWalFrame(contents, &offset, &record);
+    if (status == FileError::kNone) {
+      result.records.push_back(std::move(record));
+      continue;
+    }
+    result.tail_status = status;
+    result.tail_offset = offset;
+    result.message =
+        "'" + path + "': " +
+        (status == FileError::kTruncated ? "record torn (truncated)"
+                                         : "record checksum mismatch") +
+        " at offset " + std::to_string(offset) + " of " +
+        std::to_string(contents.size()) + " bytes";
+    return result;
+  }
+  result.tail_offset = contents.size();
+  return result;
+}
+
+WalWriter::WalWriter(const std::string& path, const WalWriterOptions& options)
+    : options_(options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!OpenLocked(path)) {
+    failed_ = true;
+    return;
+  }
+  if (options_.background) {
+    committer_ = std::thread([this] { CommitterLoop(); });
+  }
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+bool WalWriter::OpenLocked(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  fd_ = fd;
+  path_ = path;
+  return true;
+}
+
+bool WalWriter::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !failed_ && !closed_;
+}
+
+bool WalWriter::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+uint64_t WalWriter::Append(std::string frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_ || closed_) return 0;
+  uint64_t lsn = next_lsn_++;
+  queue_.push_back(Pending{lsn, std::move(frame)});
+  ++stats_.appends;
+  pending_cv_.notify_one();
+  return lsn;
+}
+
+bool WalWriter::WaitDurable(uint64_t lsn) {
+  if (lsn == 0) return false;
+  std::unique_lock<std::mutex> lock(mu_);
+  durable_cv_.wait(lock, [&] { return failed_ || durable_lsn_ >= lsn; });
+  // Once durable, always durable — even if the log failed afterwards.
+  return durable_lsn_ >= lsn;
+}
+
+void WalWriter::FailLocked() {
+  failed_ = true;
+  queue_.clear();
+  durable_cv_.notify_all();
+  pending_cv_.notify_all();
+}
+
+bool WalWriter::CommitLocked(std::unique_lock<std::mutex>& lock) {
+  // Caller holds mu_ and has checked !committing_. The I/O runs with mu_
+  // dropped so writers keep enqueueing the next group meanwhile; committing_
+  // keeps two commits from interleaving their writes.
+  if (failed_) return false;
+  if (queue_.empty()) return true;
+  committing_ = true;
+
+  // Take the group out of the queue with pointer moves only; the byte
+  // concatenation happens after the lock drops so writers keep appending at
+  // full speed while the group is assembled and written.
+  std::vector<std::string> frames;
+  uint64_t last_lsn = 0;
+  size_t group_bytes = 0;
+  while (!queue_.empty() && group_bytes < options_.max_group_bytes) {
+    group_bytes += queue_.front().frame.size();
+    last_lsn = queue_.front().lsn;
+    frames.push_back(std::move(queue_.front().frame));
+    queue_.pop_front();
+  }
+  const int64_t group_records = static_cast<int64_t>(frames.size());
+  const int fd = fd_;
+  lock.unlock();
+
+  std::string buffer;
+  buffer.reserve(group_bytes);
+  for (const std::string& frame : frames) buffer += frame;
+
+  // Fault site: a crash tears the group mid-write. Only a prefix of the
+  // buffer reaches the file (param = bytes kept, default half) and the log
+  // fails — exactly what replay's torn-tail tolerance must absorb.
+  size_t to_write = buffer.size();
+  bool torn = false;
+  if (TSUNAMI_FAULT_FIRES("wal.torn_write", buffer.size())) {
+    int64_t keep = fault::Param("wal.torn_write");
+    if (keep < 0 || keep >= static_cast<int64_t>(buffer.size())) {
+      keep = static_cast<int64_t>(buffer.size() / 2);
+    }
+    to_write = static_cast<size_t>(keep);
+    torn = true;
+  }
+
+  bool wrote = true;
+  size_t written = 0;
+  while (written < to_write) {
+    ssize_t r = ::write(fd, buffer.data() + written, to_write - written);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      wrote = false;
+      break;
+    }
+    written += static_cast<size_t>(r);
+  }
+
+  bool synced = false;
+  bool fsync_failed = false;
+  if (wrote && !torn) {
+    // Fault site: the device lied or died at fsync. Fail closed — nothing
+    // past durable_lsn_ may ever be acked.
+    if (TSUNAMI_FAULT_FIRES("wal.fsync_fail", last_lsn)) {
+      fsync_failed = true;
+    } else if (options_.fsync) {
+      synced = FsyncData(fd);
+      fsync_failed = !synced;
+    } else {
+      synced = true;
+    }
+  }
+
+  lock.lock();
+  committing_ = false;
+  stats_.bytes_written += static_cast<int64_t>(written);
+  if (torn) ++stats_.torn_writes;
+  if (fsync_failed) ++stats_.fsync_failures;
+  bool success = wrote && !torn && synced;
+  if (success) {
+    durable_lsn_ = last_lsn;
+    stats_.records_committed += group_records;
+    ++stats_.group_commits;
+    if (group_records > stats_.max_group_records) {
+      stats_.max_group_records = group_records;
+    }
+    durable_cv_.notify_all();
+  } else {
+    FailLocked();
+  }
+  return success;
+}
+
+bool WalWriter::CommitPending() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Also wait out an in-flight group: its frames left the queue already,
+  // but they are not durable (and not counted) until it completes.
+  while (!failed_ && (!queue_.empty() || committing_)) {
+    if (committing_) {
+      durable_cv_.wait(lock);
+      continue;
+    }
+    CommitLocked(lock);
+  }
+  return !failed_;
+}
+
+bool WalWriter::RotateTo(const std::string& new_path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Drain into the old segment so the boundary is exact — including any
+  // in-flight group, which is still writing to the fd about to be closed.
+  // The caller serializes rotation against new appends (the durable store
+  // holds its sequencer lock), so this terminates.
+  while (!failed_ && (!queue_.empty() || committing_)) {
+    if (committing_) {
+      durable_cv_.wait(lock);
+      continue;
+    }
+    CommitLocked(lock);
+  }
+  if (failed_ || closed_) return false;
+  ::close(fd_);
+  fd_ = -1;
+  if (!OpenLocked(new_path)) {
+    FailLocked();
+    return false;
+  }
+  return true;
+}
+
+void WalWriter::Close() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return;
+  // Best-effort final flush (waiting out any in-flight group), then refuse
+  // further appends.
+  while (!failed_ && (!queue_.empty() || committing_)) {
+    if (committing_) {
+      durable_cv_.wait(lock);
+      continue;
+    }
+    CommitLocked(lock);
+  }
+  closed_ = true;
+  stop_ = true;
+  pending_cv_.notify_all();
+  lock.unlock();
+  if (committer_.joinable()) committer_.join();
+  lock.lock();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+uint64_t WalWriter::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+uint64_t WalWriter::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_ - 1;
+}
+
+const std::string& WalWriter::path() const { return path_; }
+
+WalWriter::Stats WalWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WalWriter::CommitterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    pending_cv_.wait(lock, [&] {
+      return stop_ || failed_ || (!queue_.empty() && !committing_);
+    });
+    if (stop_ || failed_) return;
+    CommitLocked(lock);
+  }
+}
+
+}  // namespace durability
+}  // namespace tsunami

@@ -58,7 +58,44 @@ IngestStore::IngestStore(const Dataset& data, const Workload& workload,
   }
 }
 
+IngestStore::IngestStore(std::shared_ptr<const TsunamiIndex> index,
+                         const Workload& workload,
+                         const IngestOptions& options,
+                         uint64_t initial_version)
+    : name_(options.index.name + "+ingest"),
+      options_(options),
+      dims_(index->store().dims()),
+      open_chunk_(std::make_shared<DeltaChunk>(
+          index->store().dims(), options.chunk_capacity, /*id=*/1)),
+      next_chunk_id_(2),
+      snapshots_(std::make_shared<const ColumnStoreSnapshot>(
+          initial_version, index,
+          std::vector<std::shared_ptr<const DeltaChunk>>{open_chunk_})),
+      workload_(workload) {
+  if (options_.monitor_workload) {
+    Rng rng(options_.index.agd.seed);
+    Dataset data = index->MaterializeData();
+    monitor_ = std::make_unique<WorkloadMonitor>(
+        SampleDataset(data, options_.index.sample_rows, &rng), workload,
+        options_.monitor);
+  }
+  if (options_.background_compaction) {
+    compactor_ = std::make_unique<Compactor>(this, options_.compact_poll_ms,
+                                             options_.background_nice);
+    compactor_->Start();
+  }
+}
+
 IngestStore::~IngestStore() { StopBackground(); }
+
+void IngestStore::SetFoldHook(FoldHook hook) { fold_hook_ = std::move(hook); }
+
+void IngestStore::StartBackground() {
+  if (compactor_ != nullptr) return;
+  compactor_ = std::make_unique<Compactor>(this, options_.compact_poll_ms,
+                                           options_.background_nice);
+  compactor_->Start();
+}
 
 void IngestStore::StopBackground() {
   if (compactor_ != nullptr) compactor_->Stop();
@@ -298,6 +335,15 @@ uint64_t IngestStore::CompactOnce(const Workload* reorg_workload) {
     }
     compactions_.fetch_add(1, std::memory_order_relaxed);
     NotifyListeners(published);
+    if (fold_hook_) {
+      // Checkpoint opportunity (still under compact_mu_, after publish). A
+      // throwing hook must never unpublish or fail the fold: the hook's own
+      // layer retains its WAL and retries at the next fold.
+      try {
+        fold_hook_(merged, published, extra_rows);
+      } catch (const std::exception&) {
+      }
+    }
     return published;
   } catch (const std::exception&) {
     // Fail closed: the old snapshot keeps serving; the chunks stay queued

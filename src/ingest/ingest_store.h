@@ -104,6 +104,13 @@ class IngestStore : public MultiDimIndex {
 
   IngestStore(const Dataset& data, const Workload& workload,
               const IngestOptions& options = IngestOptions());
+  /// Recovery constructor: adopts an already-built index (e.g. loaded from a
+  /// durable checkpoint) as version `initial_version` instead of building
+  /// one from a Dataset. The durability layer replays its WAL tail into the
+  /// store through the normal insert path, then calls StartBackground().
+  IngestStore(std::shared_ptr<const TsunamiIndex> index,
+              const Workload& workload, const IngestOptions& options,
+              uint64_t initial_version);
   ~IngestStore() override;
   IngestStore(const IngestStore&) = delete;
   IngestStore& operator=(const IngestStore&) = delete;
@@ -168,6 +175,28 @@ class IngestStore : public MultiDimIndex {
   /// cached plans stop pinning a superseded snapshot promptly.
   void AddPublishListener(std::function<void(uint64_t)> listener);
 
+  /// Called under compact_mu_ after every successful fold publish (never for
+  /// chunk rolls or repairs), with the newly published index, its version,
+  /// and the number of delta rows this fold consumed. Because writers append
+  /// in chunk-id order and a fold always consumes every retired chunk, the
+  /// rows a fold eats are a strict *prefix* of ingestion order — the hook's
+  /// cumulative row count is therefore an exact replay cursor for WAL
+  /// truncation. Exceptions are swallowed (a failed checkpoint must never
+  /// unpublish); the hook does its own fail-closed bookkeeping.
+  using FoldHook =
+      std::function<void(const std::shared_ptr<const TsunamiIndex>& index,
+                         uint64_t version, int64_t rows_folded)>;
+  /// Installs the fold hook. Call before any fold can run (i.e. before
+  /// StartBackground() when constructed with background compaction off).
+  void SetFoldHook(FoldHook hook);
+
+  /// Starts the background Compactor if it is not already running — even
+  /// when the options said `background_compaction = false`. The durability
+  /// layer constructs the store quiet, replays the WAL, installs the fold
+  /// hook, then starts maintenance here. Not thread-safe against concurrent
+  /// writers; call during single-threaded setup.
+  void StartBackground();
+
   /// One background-maintenance step: seals eligible retired chunks, then
   /// folds / reorganizes when thresholds or requests call for it. The
   /// Compactor calls this in its loop; synchronous callers may too.
@@ -220,6 +249,10 @@ class IngestStore : public MultiDimIndex {
 
   std::mutex listeners_mu_;
   std::vector<std::function<void(uint64_t)>> listeners_;
+
+  // Set once during single-threaded setup (SetFoldHook), read under
+  // compact_mu_ by CompactOnce.
+  FoldHook fold_hook_;
 
   mutable std::atomic<int64_t> rows_ingested_{0};
   mutable std::atomic<int64_t> chunk_rolls_{0};

@@ -1,6 +1,10 @@
 #include "src/io/serializer.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -264,6 +268,19 @@ bool BinaryReader::GetDoubleVec(std::vector<double>* out) {
   return ok_;
 }
 
+const char* ToString(FileError error) {
+  switch (error) {
+    case FileError::kNone: return "none";
+    case FileError::kIoError: return "io_error";
+    case FileError::kBadMagic: return "bad_magic";
+    case FileError::kBadVersion: return "bad_version";
+    case FileError::kBadKind: return "bad_kind";
+    case FileError::kTruncated: return "truncated";
+    case FileError::kChecksumMismatch: return "checksum_mismatch";
+  }
+  return "unknown";
+}
+
 bool WriteFramedFile(const std::string& path, FileKind kind,
                      std::string_view payload, std::string* error) {
   BinaryWriter header;
@@ -324,7 +341,9 @@ bool ReadFramedFile(const std::string& path, FileKind kind,
   constexpr size_t kHeaderSize = 4 + 4 + 4 + 8 + 4;
   if (contents.size() < kHeaderSize) {
     return fail(FileError::kTruncated,
-                "'" + path + "' is truncated (no header)");
+                "'" + path + "' is truncated at offset " +
+                    std::to_string(contents.size()) + " (header needs " +
+                    std::to_string(kHeaderSize) + " bytes)");
   }
   BinaryReader header(std::string_view(contents).substr(0, kHeaderSize));
   if (header.GetFixed32() != kMagic) {
@@ -348,16 +367,89 @@ bool ReadFramedFile(const std::string& path, FileKind kind,
   uint32_t crc = header.GetFixed32();
   if (contents.size() - kHeaderSize != payload_size) {
     return fail(FileError::kTruncated,
-                "'" + path + "' is truncated (payload size mismatch)");
+                "'" + path + "' is truncated at offset " +
+                    std::to_string(contents.size()) + " (header declares " +
+                    std::to_string(payload_size) + " payload bytes at offset " +
+                    std::to_string(kHeaderSize) + ")");
   }
   std::string_view body = std::string_view(contents).substr(kHeaderSize);
   if (Crc32(body) != crc) {
     return fail(FileError::kChecksumMismatch,
-                "'" + path + "' is corrupt (checksum mismatch)");
+                "'" + path + "' is corrupt (payload checksum mismatch over " +
+                    "bytes [" + std::to_string(kHeaderSize) + ", " +
+                    std::to_string(contents.size()) + "))");
   }
   payload->assign(body);
   if (version_out != nullptr) *version_out = version;
   return true;
+}
+
+namespace {
+
+bool FsyncFd(int fd) {
+#if defined(__linux__)
+  return ::fdatasync(fd) == 0;
+#else
+  return ::fsync(fd) == 0;
+#endif
+}
+
+}  // namespace
+
+bool FsyncPath(const std::string& path, std::string* error) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "' for fsync: " + std::strerror(errno);
+    }
+    return false;
+  }
+  bool ok = FsyncFd(fd);
+  if (!ok && error != nullptr) {
+    *error = "fsync of '" + path + "' failed: " + std::strerror(errno);
+  }
+  ::close(fd);
+  return ok;
+}
+
+bool FsyncDir(const std::string& dir, std::string* error) {
+  int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open directory '" + dir +
+               "' for fsync: " + std::strerror(errno);
+    }
+    return false;
+  }
+  // Directories want full fsync: the metadata (the new directory entry) is
+  // the payload.
+  bool ok = ::fsync(fd) == 0;
+  if (!ok && error != nullptr) {
+    *error = "fsync of directory '" + dir + "' failed: " + std::strerror(errno);
+  }
+  ::close(fd);
+  return ok;
+}
+
+bool WriteFramedFileDurable(const std::string& path, FileKind kind,
+                            std::string_view payload, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  if (!WriteFramedFile(tmp, kind, payload, error)) return false;
+  if (!FsyncPath(tmp, error)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "cannot rename '" + tmp + "' to '" + path +
+               "': " + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  return FsyncDir(dir, error);
 }
 
 }  // namespace tsunami

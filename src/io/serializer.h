@@ -108,10 +108,19 @@ enum class FileKind : uint32_t {
   kDataset = 1,
   kWorkload = 2,
   kTsunamiIndex = 3,
+  /// The durability manifest (src/durability): checkpoint version, snapshot
+  /// file, WAL replay cursor, and the live WAL segment range.
+  kDurabilityManifest = 4,
 };
 
-/// Typed failure cause for ReadFramedFile, so callers (and tests) can react
-/// to *why* a file was rejected without parsing the human-readable message.
+/// Typed failure cause for ReadFramedFile (and the WAL record reader in
+/// src/durability/wal.h, which reuses the same codes), so callers and tests
+/// can react to *why* bytes were rejected without parsing the human-readable
+/// message. The WAL layer leans on the kTruncated / kChecksumMismatch
+/// distinction: a truncated tail is the expected shape of a crash mid-write
+/// (replay ends cleanly there), while a checksum mismatch on a *complete*
+/// frame means the bytes themselves are corrupt. Every failure message
+/// includes the byte offset at which validation failed.
 enum class FileError : uint8_t {
   kNone = 0,
   kIoError,            // Missing file / unreadable.
@@ -119,8 +128,10 @@ enum class FileError : uint8_t {
   kBadVersion,         // Format version we cannot read.
   kBadKind,            // Frame holds a different object kind.
   kTruncated,          // Short read: header or payload cut off.
-  kChecksumMismatch,   // Payload bytes fail the frame CRC.
+  kChecksumMismatch,   // Payload bytes fail the frame CRC / record hash.
 };
+
+const char* ToString(FileError error);
 
 /// Writes `payload` to `path` framed as:
 ///   magic "TSNM" | format version | kind | payload length | crc32 | payload
@@ -136,6 +147,25 @@ bool WriteFramedFile(const std::string& path, FileKind kind,
 bool ReadFramedFile(const std::string& path, FileKind kind,
                     std::string* payload, std::string* error,
                     FileError* code = nullptr, uint32_t* version = nullptr);
+
+// --- Durable writes (the WAL / checkpoint substrate) -----------------------
+// A plain WriteFramedFile leaves the bytes in the page cache: a crash can
+// lose or tear them. The durable variants push bytes to stable storage and
+// make the *rename* the commit point, so a reader never observes a
+// half-written file — it sees the old version or the new one.
+
+/// fsync (fdatasync where available) an existing file by path.
+bool FsyncPath(const std::string& path, std::string* error = nullptr);
+
+/// fsync a directory, making completed renames/creates/unlinks in it
+/// durable. Required after the rename in an atomic-replace sequence.
+bool FsyncDir(const std::string& dir, std::string* error = nullptr);
+
+/// Atomically replaces `path` with a framed file holding `payload`:
+/// write to "<path>.tmp", fsync the file, rename over `path`, fsync the
+/// parent directory. On failure the previous `path` (if any) is intact.
+bool WriteFramedFileDurable(const std::string& path, FileKind kind,
+                            std::string_view payload, std::string* error);
 
 }  // namespace tsunami
 

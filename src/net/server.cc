@@ -449,6 +449,10 @@ bool TsunamiServer::HandleInsert(Conn* c, const FrameHeader& header,
   const int64_t accepted = options_.insert_sink(rows, &ack.store_version);
   if (accepted < 0) {
     ++stats_.inserts_rejected;
+    if (accepted == ServerOptions::kSinkNotDurable) {
+      return SendError(c, header.request_id, WireError::kDurabilityFailed,
+                       "insert batch could not be made durable");
+    }
     return SendError(c, header.request_id, WireError::kMalformedFrame,
                      "store rejected the insert batch");
   }

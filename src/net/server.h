@@ -100,12 +100,20 @@ struct ServerOptions {
   /// Write path for kInsert frames: returns rows appended (all-or-nothing)
   /// and, via *version, the store version observed after the append.
   /// Unset (the default) makes the server read-only — kInsert answers
-  /// kReadOnly. A std::function rather than an ingest::IngestStore* so the
-  /// net layer stays independent of src/ingest; tsunami_serverd wires it to
-  /// IngestStore::InsertBatch.
+  /// kReadOnly. Negative returns reject the batch: kSinkRejected answers
+  /// kMalformedFrame (wrong arity, store full); kSinkNotDurable answers
+  /// kDurabilityFailed (durable mode: the WAL failed before the batch was
+  /// fsync'd — the rows were NOT acked). A std::function rather than an
+  /// ingest::IngestStore* so the net layer stays independent of
+  /// src/ingest; tsunami_serverd wires it to IngestStore::InsertBatch (or
+  /// DurableIngestStore::InsertBatch with --wal-dir).
   std::function<int64_t(const std::vector<std::vector<Value>>& rows,
                         uint64_t* version)>
       insert_sink;
+  /// insert_sink return codes (any other negative value maps to
+  /// kSinkRejected).
+  static constexpr int64_t kSinkRejected = -1;
+  static constexpr int64_t kSinkNotDurable = -2;
 };
 
 /// Loop-thread counters, published once per tick; stats() may be called

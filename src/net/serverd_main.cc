@@ -9,6 +9,13 @@
 //                   [--max-queued-queries=N] [--max-queued-chunks=N]
 //                   [--max-inflight-per-client=N] [--max-inflight-per-conn=N]
 //                   [--idle-timeout=SECONDS] [--drain-timeout=SECONDS]
+//                   [--wal-dir=PATH] [--no-durable-acks]
+//
+// --wal-dir turns on durable ingest (src/durability): inserts are logged to
+// a write-ahead log with fsync'd group commit, folds checkpoint durably, and
+// a restart with the same --wal-dir recovers every acknowledged insert — a
+// kInsertAck then means *fsync'd*, not just visible. --no-durable-acks keeps
+// the WAL but acks on enqueue (async logging).
 //
 // SIGTERM / SIGINT trigger a *graceful drain*: the listener closes, new
 // queries are answered with typed kDraining errors, in-flight queries
@@ -21,8 +28,11 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+
 #include "src/common/random.h"
 #include "src/core/tsunami.h"
+#include "src/durability/durable_store.h"
 #include "src/ingest/ingest_store.h"
 #include "src/net/server.h"
 #include "src/serve/query_service.h"
@@ -64,10 +74,16 @@ int main(int argc, char** argv) {
   service_options.max_queued_chunks = 4096;
   service_options.max_inflight_per_client = 32;
   int64_t rows = 200000;
+  std::string wal_dir;
+  bool durable_acks = true;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
-    if (ParseFlag(argv[i], "--port", &v)) {
+    if (std::strcmp(argv[i], "--no-durable-acks") == 0) {
+      durable_acks = false;
+    } else if (ParseFlag(argv[i], "--wal-dir", &v)) {
+      wal_dir = v;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
       server_options.port = std::atoi(v);
     } else if (ParseFlag(argv[i], "--host", &v)) {
       server_options.host = v;
@@ -109,7 +125,38 @@ int main(int argc, char** argv) {
   }
   ingest::IngestOptions ingest_options;
   ingest_options.index.cluster_queries = false;
-  ingest::IngestStore index(data, workload, ingest_options);
+  // Destruction order: `service` (declared below) dies first, then these.
+  std::unique_ptr<durability::DurableIngestStore> durable;
+  std::unique_ptr<ingest::IngestStore> owned_index;
+  if (!wal_dir.empty()) {
+    durability::DurabilityOptions dopts;
+    dopts.dir = wal_dir;
+    dopts.durable_acks = durable_acks;
+    dopts.ingest = ingest_options;
+    std::string derr;
+    durable = durability::DurableIngestStore::Open(data, workload, dopts,
+                                                  &derr);
+    if (durable == nullptr) {
+      std::fprintf(stderr, "tsunami_serverd: durable open failed: %s\n",
+                   derr.c_str());
+      return 1;
+    }
+    const durability::RecoveryInfo& rec = durable->recovery();
+    std::printf(
+        "tsunami_serverd: durable store at %s (%s: checkpoint v%llu, "
+        "%lld rows, replayed %lld rows in %.3fs%s)\n",
+        wal_dir.c_str(), rec.recovered ? "recovered" : "bootstrapped",
+        static_cast<unsigned long long>(rec.checkpoint_version),
+        static_cast<long long>(rec.checkpoint_rows),
+        static_cast<long long>(rec.replayed_rows), rec.seconds,
+        rec.wal_tail_status != FileError::kNone ? ", torn tail tolerated"
+                                                : "");
+  } else {
+    owned_index =
+        std::make_unique<ingest::IngestStore>(data, workload, ingest_options);
+  }
+  ingest::IngestStore& index =
+      durable != nullptr ? durable->store() : *owned_index;
   std::printf("tsunami_serverd: built %s over %lld rows\n",
               index.Name().c_str(), static_cast<long long>(data.size()));
 
@@ -119,14 +166,27 @@ int main(int argc, char** argv) {
   index.AddPublishListener(
       [&service, &index](uint64_t) { service.plan_cache().InvalidateIndex(index); });
   const int dims = data.dims();
+  durability::DurableIngestStore* dur = durable.get();
+  ingest::IngestStore* idx = &index;
   server_options.insert_sink =
-      [&index, dims](const std::vector<std::vector<Value>>& rows,
-                     uint64_t* version) -> int64_t {
+      [dur, idx, dims](const std::vector<std::vector<Value>>& rows,
+                       uint64_t* version) -> int64_t {
     for (const std::vector<Value>& row : rows) {
-      if (static_cast<int>(row.size()) != dims) return -1;
+      if (static_cast<int>(row.size()) != dims) {
+        return net::ServerOptions::kSinkRejected;
+      }
     }
-    const int64_t accepted = index.InsertBatch(rows);
-    *version = index.version();
+    if (dur != nullptr) {
+      // Durable mode: the ack is released only after the WAL group commit
+      // fsyncs the batch (or immediately with --no-durable-acks).
+      if (!dur->InsertBatch(rows)) {
+        return net::ServerOptions::kSinkNotDurable;
+      }
+      *version = idx->version();
+      return static_cast<int64_t>(rows.size());
+    }
+    const int64_t accepted = idx->InsertBatch(rows);
+    *version = idx->version();
     return accepted;
   };
   net::TsunamiServer server(&service, server_options);
@@ -151,6 +211,22 @@ int main(int argc, char** argv) {
   // after `index`) is destroyed first, and a fold landing during exit would
   // notify the publish listener into its plan cache.
   index.StopBackground();
+
+  if (durable != nullptr) {
+    const durability::DurableIngestStore::Stats d = durable->stats();
+    std::printf(
+        "tsunami_serverd: durability: batches=%lld rows=%lld acked=%lld "
+        "failed_acks=%lld group_commits=%lld checkpoints=%lld (+%lld "
+        "failed) segments_deleted=%lld\n",
+        static_cast<long long>(d.batches_logged),
+        static_cast<long long>(d.rows_logged),
+        static_cast<long long>(d.durable_acks),
+        static_cast<long long>(d.failed_acks),
+        static_cast<long long>(d.wal.group_commits),
+        static_cast<long long>(d.checkpoints),
+        static_cast<long long>(d.checkpoint_failures),
+        static_cast<long long>(d.segments_deleted));
+  }
 
   const net::ServerStats stats = server.stats();
   const ingest::IngestStore::Stats store_stats = index.stats();

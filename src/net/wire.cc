@@ -76,6 +76,8 @@ const char* ToString(WireError error) {
       return "draining";
     case WireError::kReadOnly:
       return "read-only";
+    case WireError::kDurabilityFailed:
+      return "durability-failed";
   }
   return "unknown-wire-error";
 }
@@ -226,7 +228,7 @@ bool DecodeErrorPayload(std::string_view payload, WireError* error,
                         std::string* message) {
   BinaryReader r(payload);
   const uint8_t code = r.GetU8();
-  if (code > static_cast<uint8_t>(WireError::kReadOnly)) return false;
+  if (code > static_cast<uint8_t>(WireError::kDurabilityFailed)) return false;
   std::string text = r.GetString();
   if (!r.ok() || !r.AtEnd()) return false;
   *error = static_cast<WireError>(code);

@@ -89,6 +89,12 @@ enum class WireError : uint8_t {
   /// kInsert sent to a server without an ingest-capable store. Not
   /// retryable here: this instance will never accept writes.
   kReadOnly = 9,
+  /// Durable mode only: the batch could not be made durable (WAL failed —
+  /// torn write, fsync failure). Fail closed: the rows were NOT acked and
+  /// the store is write-disabled. Not retryable against this instance, and
+  /// a retry elsewhere risks a duplicate — the rows may still be visible
+  /// (and may even survive) here.
+  kDurabilityFailed = 10,
 };
 
 const char* ToString(WireError error);
