@@ -16,6 +16,16 @@
 //   group_commit_coalescing N writers x batch-1 durable inserts: the group
 //                           committer must merge their records into far
 //                           fewer write+fsync batches than appends.
+//   commit_delay            WalOptions::max_commit_delay_micros sweep: per-ack
+//                           p50/p99 vs acks-per-fsync — the latency the knob
+//                           spends and the fsync coalescing it buys.
+//   governed_ingest         4-writer TryInsertBatch throughput at 100%/75%/50%
+//                           of the delta-backlog memory budget: how much
+//                           ingest rate survives when admission control, not
+//                           CPU, paces the writers.
+//   scrubber_overhead       serving p50/p99 with the background Scrubber off
+//                           vs on (niced, 1 ms cadence) — the p99 overhead
+//                           must stay under the 5% target.
 //   durable_recovery        reopen wall time vs WAL tail length (rows
 //                           replayed into fresh delta chunks).
 //
@@ -34,9 +44,11 @@
 
 #include "bench/bench_util.h"
 #include "src/common/random.h"
+#include "src/common/resource_governor.h"
 #include "src/common/stats.h"
 #include "src/durability/durable_store.h"
 #include "src/ingest/ingest_store.h"
+#include "src/ingest/scrubber.h"
 
 using namespace tsunami;
 
@@ -376,6 +388,219 @@ int main() {
             .Num("acks_per_fsync", acks_per_commit)
             .Int("max_group_records", stats.wal.max_group_records)
             .Int("failed_acks", failed.load())
+            .Int("rng_seed", static_cast<int64_t>(kSeed))
+            .Finish());
+  }
+
+  // --- commit_delay: the p50-vs-acks-per-fsync trade --------------------------
+  // WalOptions::max_commit_delay_micros holds the group committer open after
+  // the first pending record so more acks coalesce into one fsync. The price
+  // is per-ack p50 latency; the payoff is fewer fsyncs for the same acks.
+  bench::PrintHeader("commit delay: ack latency vs fsync coalescing");
+  for (uint32_t delay_us : {uint32_t{0}, uint32_t{200}, uint32_t{1000}}) {
+    const std::string dir = FreshDir("delay_" + std::to_string(delay_us));
+    durability::DurabilityOptions dopts;
+    dopts.dir = dir;
+    dopts.ingest = InsertOptions();
+    dopts.wal_commit_delay_micros = delay_us;
+    std::string error;
+    std::unique_ptr<durability::DurableIngestStore> durable =
+        durability::DurableIngestStore::Open(data, workload, dopts, &error);
+    if (durable == nullptr) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    constexpr int kDelayWriters = 4;
+    constexpr int64_t kAcks = 1024;
+    std::vector<std::vector<double>> lat_us(kDelayWriters);
+    Timer timer;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kDelayWriters; ++w) {
+      threads.emplace_back([&durable, &lat_us, w] {
+        Rng rng(9500 + static_cast<uint64_t>(w));
+        lat_us[static_cast<size_t>(w)].reserve(kAcks);
+        for (int64_t i = 0; i < kAcks; ++i) {
+          Value x = rng.UniformValue(0, 1000000);
+          Timer t;
+          durable->Insert({x, x + rng.UniformValue(-5000, 5000),
+                           rng.UniformValue(0, 10000)});
+          lat_us[static_cast<size_t>(w)].push_back(
+              static_cast<double>(t.ElapsedNanos()) / 1000.0);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double seconds = timer.ElapsedSeconds();
+    const durability::DurableIngestStore::Stats stats = durable->stats();
+    durable.reset();
+    std::filesystem::remove_all(dir);
+
+    std::vector<double> all;
+    for (const std::vector<double>& v : lat_us) {
+      all.insert(all.end(), v.begin(), v.end());
+    }
+    const int64_t acks = int64_t{kDelayWriters} * kAcks;
+    const double acks_per_commit =
+        stats.wal.group_commits > 0
+            ? static_cast<double>(stats.wal.records_committed) /
+                  static_cast<double>(stats.wal.group_commits)
+            : 0.0;
+    std::printf(
+        "delay %4u us: p50 %7.1f us, p99 %8.1f us, %6.2f acks/fsync "
+        "(%lld commits, %lld delayed), %7.0f acks/s\n",
+        delay_us, Percentile(all, 50), Percentile(all, 99), acks_per_commit,
+        static_cast<long long>(stats.wal.group_commits),
+        static_cast<long long>(stats.wal.delayed_commits), acks / seconds);
+    records.push_back(
+        bench::EnvRecord("commit_delay", tier, kDelayWriters,
+                         /*batch_size=*/1)
+            .Int("max_commit_delay_micros", delay_us)
+            .Int("acks", acks)
+            .Num("ack_p50_us", Percentile(all, 50))
+            .Num("ack_p99_us", Percentile(all, 99))
+            .Num("acks_per_fsync", acks_per_commit)
+            .Int("group_commits", stats.wal.group_commits)
+            .Int("delayed_commits", stats.wal.delayed_commits)
+            .Num("acks_per_sec", acks / seconds)
+            .Int("rng_seed", static_cast<int64_t>(kSeed))
+            .Finish());
+  }
+
+  // --- governed_ingest: throughput vs delta-backlog budget --------------------
+  // The 100% budget admits the whole insert stream without a single refusal;
+  // 75% and 50% force admission control to pace the writers against the
+  // compactor's fold-and-release rate. The interesting number is how much
+  // throughput survives when memory, not CPU, is the binding constraint.
+  bench::PrintHeader("governed ingest: throughput vs delta-backlog budget");
+  {
+    constexpr int kGovWriters = 4;
+    constexpr int64_t kGovRows = 65536;
+    constexpr int64_t kGovBatch = 256;
+    const std::vector<std::vector<Value>> gov_rows =
+        MakeRows(kGovRows, kSeed + 4);
+    const int64_t full_budget = kGovRows * 3 * 8;  // Every row in flight.
+    for (int pct : {100, 75, 50}) {
+      ResourceGovernor::Budgets budgets;
+      budgets.delta_backlog_bytes = full_budget * pct / 100;
+      ResourceGovernor governor(budgets);
+      ingest::IngestOptions iopt = InsertOptions();
+      iopt.background_compaction = true;  // The compactor is the release path.
+      iopt.compact_poll_ms = 1;
+      iopt.chunk_capacity = 4096;
+      iopt.compact_min_chunks = 2;
+      iopt.governor = &governor;
+      ingest::IngestStore store(data, workload, iopt);
+      std::atomic<int64_t> retries{0};
+      const int64_t per_writer = kGovRows / kGovWriters;
+      Timer timer;
+      std::vector<std::thread> threads;
+      for (int w = 0; w < kGovWriters; ++w) {
+        threads.emplace_back([&, w] {
+          std::vector<std::vector<Value>> batch;
+          for (int64_t i = w * per_writer; i < (w + 1) * per_writer;
+               i += kGovBatch) {
+            batch.assign(gov_rows.begin() + i,
+                         gov_rows.begin() + i + kGovBatch);
+            int attempts = 0;
+            while (store.TryInsertBatch(batch) !=
+                   ingest::InsertAdmit::kOk) {
+              retries.fetch_add(1, std::memory_order_relaxed);
+              if (++attempts % 4 == 1) store.ForceRoll();
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double seconds = timer.ElapsedSeconds();
+      store.StopBackground();
+      const ResourceGovernor::Stats gstats = governor.stats();
+      const auto& pool =
+          gstats.pools[static_cast<size_t>(ResourcePool::kDeltaBacklog)];
+      std::printf(
+          "budget %3d%% (%8lld B): %8.0f rows/s, %6lld rejections, peak "
+          "backlog %lld B\n",
+          pct, static_cast<long long>(budgets.delta_backlog_bytes),
+          kGovRows / seconds, static_cast<long long>(pool.rejections),
+          static_cast<long long>(pool.peak));
+      records.push_back(
+          bench::EnvRecord("governed_ingest", tier, kGovWriters, kGovBatch)
+              .Int("rows", kGovRows)
+              .Int("budget_pct", pct)
+              .Int("budget_bytes", budgets.delta_backlog_bytes)
+              .Num("rows_per_sec", kGovRows / seconds)
+              .Int("rejections", pool.rejections)
+              .Int("retries", retries.load())
+              .Int("peak_backlog_bytes", pool.peak)
+              .Int("rng_seed", static_cast<int64_t>(kSeed))
+              .Finish());
+    }
+  }
+
+  // --- scrubber_overhead: serving p99 with the scrubber on vs off -------------
+  // The scrubber runs niced at the lowest cadence that still sweeps the
+  // store continuously; its cost on foreground serving must stay under 5%
+  // at the p99 — proactive integrity is supposed to be free-ish.
+  bench::PrintHeader("scrubber: serving p99 overhead (target < 5%)");
+  {
+    ingest::IngestOptions iopt = InsertOptions();
+    ingest::IngestStore store(data, workload, iopt);
+    Rng qrng(kSeed + 5);
+    Workload queries;
+    for (int i = 0; i < 2000; ++i) {
+      Query q;
+      Value lo = qrng.UniformValue(0, 900000);
+      q.filters.push_back(Predicate{0, lo, lo + 50000});
+      q.SetAggregates({{AggKind::kCount, 0}, {AggKind::kSum, 1}});
+      queries.push_back(q);
+    }
+    // Each side runs for a fixed minimum wall time, not a fixed query
+    // count: the store is small enough that one pass finishes in
+    // milliseconds, before the niced scrubber would even wake up.
+    const auto time_queries = [&] {
+      std::vector<double> lat;
+      Timer wall;
+      do {
+        for (const Query& q : queries) {
+          Timer t;
+          store.Execute(q);
+          lat.push_back(static_cast<double>(t.ElapsedNanos()) / 1000.0);
+        }
+      } while (wall.ElapsedSeconds() < 0.5);
+      return lat;
+    };
+    time_queries();  // Warm up (first-touch verification, caches).
+    const std::vector<double> off = time_queries();
+
+    ingest::ScrubberOptions sopts;
+    sopts.poll_ms = 1;
+    sopts.blocks_per_slice = 256;
+    ingest::Scrubber scrubber(&store, sopts);
+    scrubber.Start();
+    const std::vector<double> on = time_queries();
+    scrubber.Stop();
+    const ingest::Scrubber::Stats sstats = scrubber.stats();
+
+    const double p99_off = Percentile(off, 99);
+    const double p99_on = Percentile(on, 99);
+    const double overhead = p99_off > 0 ? (p99_on - p99_off) / p99_off : 0.0;
+    std::printf(
+        "scrubber off: p50 %7.1f us p99 %8.1f us | on: p50 %7.1f us p99 "
+        "%8.1f us -> %+.1f%% p99 (%lld sweeps, %lld blocks during run)\n",
+        Percentile(off, 50), p99_off, Percentile(on, 50), p99_on,
+        100.0 * overhead, static_cast<long long>(sstats.sweeps),
+        static_cast<long long>(sstats.blocks_scrubbed));
+    records.push_back(
+        bench::EnvRecord("scrubber_overhead", tier, /*threads=*/1,
+                         /*batch_size=*/0)
+            .Int("queries", static_cast<int64_t>(queries.size()))
+            .Num("p50_off_us", Percentile(off, 50))
+            .Num("p99_off_us", p99_off)
+            .Num("p50_on_us", Percentile(on, 50))
+            .Num("p99_on_us", p99_on)
+            .Num("p99_overhead_ratio", overhead)
+            .Int("sweeps_during_run", sstats.sweeps)
+            .Int("blocks_scrubbed_during_run", sstats.blocks_scrubbed)
             .Int("rng_seed", static_cast<int64_t>(kSeed))
             .Finish());
   }

@@ -38,7 +38,17 @@
 // aligned prefix of the deterministic insert sequence (no unacked row
 // double-applied), and 32 range queries are bit-identical to a full-scan
 // reference. Repeats for several kill/recover cycles; under --soak (FI
-// builds) the WAL fault sites are armed inside the child too.
+// builds) the WAL fault sites — including injected fs.enospc disk-full
+// latches — are armed inside the child too.
+//
+// With --pressure the soak runs the system against its resource budgets:
+// phase 1 paces concurrent writers through a ResourceGovernor delta-backlog
+// budget (with gov.mem_pressure and scrub.corrupt_block armed under --soak)
+// while a Scrubber repairs rotted blocks in place; phase 2 runs a durable
+// store against a tiny WAL-disk budget, small segment rotation, and a
+// persistent fs.enospc storm — inserts latch, retry, drain, and re-arm —
+// and both phases end with a quiesced replay that must be bit-identical to
+// a full-scan reference over base + every admitted row.
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -60,10 +70,12 @@
 #include "src/baselines/full_scan.h"
 #include "src/common/fault_injection.h"
 #include "src/common/random.h"
+#include "src/common/resource_governor.h"
 #include "src/common/stats.h"
 #include "src/core/tsunami.h"
 #include "src/durability/durable_store.h"
 #include "src/ingest/ingest_store.h"
+#include "src/ingest/scrubber.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/query/engine.h"
@@ -712,6 +724,11 @@ static durability::DurabilityOptions StoreOptions(const std::string& dir) {
     arm("durability.checkpoint_throw", 0.30, 61);
     arm("wal.torn_write", 0.0005, 62);
     arm("wal.fsync_fail", 0.0005, 63);
+    // Injected disk-full hits latch the store recoverably: acks fail
+    // closed (the parent's contract only covers *acked* batches) and the
+    // retry loop below drives the checkpoint-drain re-arm — so the kill
+    // can also land mid-latch or mid-re-arm.
+    arm("fs.enospc", 0.0005, 64);
 #endif
   }
   const int ack_fd = ::open((dir + "/acks.log").c_str(),
@@ -721,7 +738,15 @@ static durability::DurabilityOptions StoreOptions(const std::string& dir) {
   // the resume point is exact.
   int64_t batch = store->next_ordinal() / kBatchRows;
   while (true) {
-    if (!store->InsertBatch(BatchRows(batch))) break;  // Log failed closed.
+    const durability::InsertResult r = store->TryInsertBatch(BatchRows(batch));
+    if (r == durability::InsertResult::kResourceExhausted) {
+      // Disk-full latch (injected fs.enospc): nothing was applied or
+      // logged, so the retry is safe — and each retry is what drives the
+      // drain-and-re-arm checkpoint.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (r != durability::InsertResult::kOk) break;  // Log failed closed.
     // The ack record goes to the OS *after* the WAL fsync: a SIGKILL can
     // lose an insert that was never acked, never the reverse.
     char line[32];
@@ -887,16 +912,485 @@ static bool RunDurableSoak(bool soak) {
   return ok;
 }
 
+// --- --pressure: serve correctly while every resource budget pushes back -----
+// Two phases, both ending in a quiesced replay that must be bit-identical to
+// a full-scan reference over base + every admitted row.
+//
+// Phase 1 (memory): writer threads push through TryInsertBatch against a
+// delta-backlog budget far smaller than their appetite, so admission control
+// — not luck — paces them; a Scrubber sweeps checksums under the churn
+// (with scrub.corrupt_block rotting blocks on FI builds, repaired in place);
+// readers verify the monotone-visibility contract throughout.
+//
+// Phase 2 (disk): a DurableIngestStore with a tiny WAL-disk budget, small
+// segment rotation, and (on FI builds) a persistent fs.enospc storm across
+// all four filesystem sites. Writers retry kResourceExhausted refusals —
+// each retry drives the drain-and-re-arm checkpoint — and tolerate
+// fail-closed kNotDurable acks; a final sentinel insert must land kOk,
+// proving the store re-armed itself after the storm.
+static bool RunPressureSoak(bool soak) {
+  using namespace tsunami::ingest;
+  std::printf(
+      "\n--- pressure soak: budgets, disk-full latches, scrub repair ---\n");
+  bool ok = true;
+
+  // ---- Phase 1: memory backpressure + scrubber under ingest churn ----------
+  {
+    Rng rng(91);
+    const int64_t kBaseRows = 30000;
+    Dataset data(3, {});
+    data.Reserve(kBaseRows);
+    for (int64_t i = 0; i < kBaseRows; ++i) {
+      Value x = rng.UniformValue(0, 1000000);
+      data.AppendRow(
+          {x, x + rng.UniformValue(-5000, 5000), rng.UniformValue(0, 10000)});
+    }
+    Workload workload;
+    for (int i = 0; i < 64; ++i) {
+      Query q;
+      Value lo = rng.UniformValue(0, 900000);
+      q.filters.push_back(Predicate{0, lo, lo + 50000});
+      workload.push_back(q);
+    }
+
+    // The budget is ~2 chunks of delta: writers can outrun the compactor
+    // for only milliseconds before admission control paces them.
+    ResourceGovernor::Budgets budgets;
+    budgets.delta_backlog_bytes = 48 << 10;
+    budgets.sealed_chunk_bytes = 1 << 20;
+    ResourceGovernor governor(budgets);
+
+    IngestOptions iopt;
+    iopt.index.cluster_queries = false;
+    iopt.index.sample_rows = 20000;
+    iopt.index.agd.max_sample_points = 512;
+    iopt.index.agd.max_sample_queries = 32;
+    iopt.index.agd.max_iters = 2;
+    iopt.index.agd.max_cells = 1 << 12;
+    iopt.chunk_capacity = kScanBlockRows;  // Seals fit inside the budget.
+    iopt.compact_min_chunks = 1;
+    iopt.background_compaction = true;
+    iopt.compact_poll_ms = 2;
+    iopt.governor = &governor;
+    IngestStore store(data, workload, iopt);
+
+    ScrubberOptions sopts;
+    sopts.poll_ms = 1;
+    sopts.blocks_per_slice = 256;
+    sopts.repair = true;
+    Scrubber scrubber(&store, sopts);
+    scrubber.Start();
+
+    bool faults_armed = false;
+    if (soak) {
+#if defined(TSUNAMI_FAULT_INJECTION)
+      auto arm = [](const char* site, double p, uint64_t seed, int64_t match) {
+        fault::FaultSpec spec;
+        spec.probability = p;
+        spec.seed = seed;
+        spec.match_arg = match;
+        fault::Arm(site, spec);
+      };
+      arm("gov.mem_pressure", 0.05, 72,
+          static_cast<int64_t>(ResourcePool::kDeltaBacklog));
+      arm("scrub.corrupt_block", 0.005, 73, -1);
+      faults_armed = true;
+      std::printf(
+          "pressure soak: faults armed (gov.mem_pressure, "
+          "scrub.corrupt_block)\n");
+#else
+      std::printf(
+          "pressure soak: no TSUNAMI_FAULT_INJECTION — budgets only\n");
+#endif
+    }
+
+    constexpr int kWriters = 3;
+    constexpr int kBatches = 78;
+    constexpr int kBatchRows = 64;
+    std::vector<std::vector<std::vector<Value>>> writer_rows(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+      Rng wrng(910 + static_cast<uint64_t>(w));
+      writer_rows[w].reserve(int64_t{kBatches} * kBatchRows);
+      for (int i = 0; i < kBatches * kBatchRows; ++i) {
+        Value x = wrng.UniformValue(0, 1000000);
+        writer_rows[w].push_back({x, x + wrng.UniformValue(-5000, 5000),
+                                  wrng.UniformValue(0, 10000)});
+      }
+    }
+
+    std::atomic<bool> writers_done{false};
+    std::atomic<bool> writer_stuck{false};
+    std::atomic<int64_t> retries{0};
+    std::atomic<int64_t> monotone_violations{0};
+    std::atomic<int64_t> reads{0}, reads_degraded{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        std::vector<std::vector<Value>> batch;
+        for (int b = 0; b < kBatches; ++b) {
+          batch.assign(writer_rows[w].begin() + int64_t{b} * kBatchRows,
+                       writer_rows[w].begin() + int64_t{b + 1} * kBatchRows);
+          int attempts = 0;
+          while (store.TryInsertBatch(batch) != InsertAdmit::kOk) {
+            retries.fetch_add(1, std::memory_order_relaxed);
+            // The refusal means the backlog is over budget: seal the open
+            // chunk so the compactor can fold (and so release) it, then
+            // wait out the fold instead of spinning.
+            if (++attempts % 4 == 1) store.ForceRoll();
+            if (attempts > 20000) {
+              writer_stuck.store(true, std::memory_order_release);
+              return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      // Reader: the monotone-visibility contract must hold no matter how
+      // hard admission control and the scrubber are working.
+      while (!writers_done.load(std::memory_order_acquire)) {
+        const int64_t before = kBaseRows + store.stats().rows_ingested;
+        Query all;
+        all.SetAggregates({{AggKind::kCount, 0}});
+        QueryResult got = store.Execute(all);
+        const int64_t after = kBaseRows + store.stats().rows_ingested;
+        reads.fetch_add(1, std::memory_order_relaxed);
+        if (got.degraded) {
+          // A scrub-quarantined block: truthfully flagged, value excused.
+          reads_degraded.fetch_add(1, std::memory_order_relaxed);
+        } else if (got.matched < before || got.matched > after) {
+          monotone_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+    writers_done.store(true, std::memory_order_release);
+    threads.back().join();
+
+#if defined(TSUNAMI_FAULT_INJECTION)
+    const int64_t mem_fires = fault::FireCount("gov.mem_pressure");
+    const int64_t rot_fires = fault::FireCount("scrub.corrupt_block");
+    if (faults_armed) fault::DisarmAll();
+#else
+    const int64_t mem_fires = 0, rot_fires = 0;
+    (void)faults_armed;
+#endif
+
+    // Sentinel fold: guarantees the quiesce below publishes a fresh store,
+    // so any block still quarantined from the rot storm is rebuilt clean.
+    Rng srng(919);
+    std::vector<std::vector<Value>> sentinel;
+    for (int i = 0; i < kBatchRows; ++i) {
+      Value x = srng.UniformValue(0, 1000000);
+      sentinel.push_back({x, x + srng.UniformValue(-5000, 5000),
+                          srng.UniformValue(0, 10000)});
+    }
+    store.InsertBatch(sentinel);
+
+    scrubber.Stop();
+    store.StopBackground();
+    store.ForceRoll();
+    store.BackgroundTick();
+    store.CompactNow();
+    store.BackgroundTick();
+
+    const ResourceGovernor::Stats gstats = governor.stats();
+    const auto& delta_pool =
+        gstats.pools[static_cast<size_t>(ResourcePool::kDeltaBacklog)];
+    const Scrubber::Stats sstats = scrubber.stats();
+    std::printf(
+        "pressure soak (mem): %lld retries (%lld pool rejections, peak "
+        "%lld/%lld bytes), %lld reads (%lld degraded), %lld MONOTONE "
+        "VIOLATIONS\n",
+        static_cast<long long>(retries.load()),
+        static_cast<long long>(delta_pool.rejections),
+        static_cast<long long>(delta_pool.peak),
+        static_cast<long long>(delta_pool.budget),
+        static_cast<long long>(reads.load()),
+        static_cast<long long>(reads_degraded.load()),
+        static_cast<long long>(monotone_violations.load()));
+    std::printf(
+        "pressure soak (mem): scrubber %lld sweeps / %lld blocks, %lld "
+        "corruptions found, %lld repaired (faults: mem=%lld rot=%lld)\n",
+        static_cast<long long>(sstats.sweeps),
+        static_cast<long long>(sstats.blocks_scrubbed),
+        static_cast<long long>(sstats.corruptions_found),
+        static_cast<long long>(sstats.blocks_repaired),
+        static_cast<long long>(mem_fires), static_cast<long long>(rot_fires));
+
+    // Replay: base + every writer row + the sentinel, bit-identical.
+    Dataset full(3, {});
+    full.Reserve(kBaseRows + int64_t{kWriters} * kBatches * kBatchRows +
+                 kBatchRows);
+    for (int64_t i = 0; i < data.size(); ++i) {
+      full.AppendRow({data.at(i, 0), data.at(i, 1), data.at(i, 2)});
+    }
+    for (int w = 0; w < kWriters; ++w) {
+      for (const std::vector<Value>& row : writer_rows[w]) full.AppendRow(row);
+    }
+    for (const std::vector<Value>& row : sentinel) full.AppendRow(row);
+    FullScanIndex reference(full);
+    int64_t mismatches = 0;
+    Rng replay_rng(555);
+    for (int i = 0; i < 32; ++i) {
+      Query q;
+      if (i > 0) {
+        const int dim = i % 3;
+        Value lo = replay_rng.UniformValue(0, dim == 2 ? 9000 : 990000);
+        q.filters.push_back(Predicate{dim, lo, lo + (dim == 2 ? 500 : 30000)});
+      }
+      q.SetAggregates({{AggKind::kCount, 0}, {AggKind::kSum, 1}});
+      QueryResult got = store.Execute(q);
+      QueryResult want = reference.Execute(q);
+      if (got.agg != want.agg || got.matched != want.matched ||
+          got.extra != want.extra || got.degraded) {
+        ++mismatches;
+      }
+    }
+    const int64_t quarantined = store.store().QuarantinedBlocks();
+    std::printf(
+        "pressure soak (mem): quiesced delta=%lld used=%lld quarantined=%lld, "
+        "%lld/32 replay mismatches\n",
+        static_cast<long long>(store.stats().delta_rows),
+        static_cast<long long>(governor.used(ResourcePool::kDeltaBacklog)),
+        static_cast<long long>(quarantined),
+        static_cast<long long>(mismatches));
+    const bool phase_ok = !writer_stuck.load() && mismatches == 0 &&
+                          monotone_violations.load() == 0 &&
+                          delta_pool.rejections > 0 && quarantined == 0 &&
+                          governor.used(ResourcePool::kDeltaBacklog) == 0;
+    std::printf("pressure soak (mem): %s\n", phase_ok ? "OK" : "FAILED");
+    ok = ok && phase_ok;
+  }
+
+  // ---- Phase 2: WAL-disk budget + fs.enospc storm on the durable store -----
+  {
+    using namespace durable_soak;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("tsunami_pressure_soak_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    ResourceGovernor::Budgets budgets;
+    budgets.wal_disk_bytes = 16 << 10;  // A fraction of one fold's backlog.
+    ResourceGovernor governor(budgets);
+
+    durability::DurabilityOptions dopt = StoreOptions(dir);
+    dopt.max_segment_bytes = 4096;       // Checkpoints reclaim in small steps.
+    dopt.wal_commit_delay_micros = 500;  // Coalesce acks under the storm.
+    dopt.rearm_backoff_millis = 1;
+    dopt.ingest.governor = &governor;
+    std::string error;
+    std::unique_ptr<durability::DurableIngestStore> store =
+        durability::DurableIngestStore::Open(BaseData(), BaseWorkload(), dopt,
+                                             &error);
+    if (store == nullptr) {
+      std::printf("pressure soak (disk): open failed: %s\n", error.c_str());
+      return false;
+    }
+
+    bool faults_armed = false;
+    if (soak) {
+#if defined(TSUNAMI_FAULT_INJECTION)
+      // One armed site, all four filesystem surfaces (match_arg = -1): WAL
+      // writes and fsyncs latch recoverably, checkpoint renames spend the
+      // reserve, manifest writes fail that checkpoint closed.
+      fault::FaultSpec spec;
+      spec.probability = 0.04;
+      spec.seed = 81;
+      fault::Arm("fs.enospc", spec);
+      faults_armed = true;
+      std::printf("pressure soak: fs.enospc armed on all four sites\n");
+#endif
+    }
+
+    constexpr int kWriters = 2;
+    constexpr int kBatchesPerWriter = 120;
+    std::atomic<bool> writer_failed{false};
+    std::atomic<int64_t> acked{0}, not_durable{0}, retries{0};
+    std::atomic<int64_t> monotone_violations{0};
+    std::atomic<bool> writers_done{false};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        for (int b = 0; b < kBatchesPerWriter && !writer_failed.load(); ++b) {
+          const int64_t index = int64_t{w} * kBatchesPerWriter + b;
+          const std::vector<std::vector<Value>> rows = BatchRows(index);
+          int attempts = 0;
+          for (;;) {
+            const durability::InsertResult r = store->TryInsertBatch(rows);
+            if (r == durability::InsertResult::kOk) {
+              acked.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            if (r == durability::InsertResult::kNotDurable) {
+              // Applied but the ack failed closed mid-storm: NOT retryable
+              // (a retry would double-apply); the replay still expects it.
+              not_durable.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            if (r == durability::InsertResult::kRejected) {
+              writer_failed.store(true, std::memory_order_release);
+              return;  // Permanent write-death must never happen here.
+            }
+            // kResourceExhausted: retryable by contract. Periodically force
+            // a checkpoint so the WAL-budget path (which has no automatic
+            // re-arm — only latches do) gets its segments reclaimed.
+            retries.fetch_add(1, std::memory_order_relaxed);
+            if (++attempts % 8 == 1) {
+              store->store().ForceRoll();
+              store->CheckpointNow();
+            }
+            if (attempts > 20000) {
+              writer_failed.store(true, std::memory_order_release);
+              return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      while (!writers_done.load(std::memory_order_acquire)) {
+        const int64_t before = kBaseRows + store->store().stats().rows_ingested;
+        Query all;
+        all.SetAggregates({{AggKind::kCount, 0}});
+        QueryResult got = store->store().Execute(all);
+        const int64_t after = kBaseRows + store->store().stats().rows_ingested;
+        if (!got.degraded && (got.matched < before || got.matched > after)) {
+          monotone_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+    writers_done.store(true, std::memory_order_release);
+    threads.back().join();
+
+#if defined(TSUNAMI_FAULT_INJECTION)
+    const int64_t enospc_fires = fault::FireCount("fs.enospc");
+    if (faults_armed) fault::DisarmAll();
+#else
+    const int64_t enospc_fires = 0;
+    (void)faults_armed;
+#endif
+
+    // The storm is over: one sentinel batch must land a durable kOk,
+    // proving the store re-armed itself (no restart, no operator).
+    const int64_t sentinel_index = int64_t{kWriters} * kBatchesPerWriter;
+    bool rearmed = false;
+    {
+      Timer deadline;
+      while (deadline.ElapsedSeconds() < 60.0) {
+        const durability::InsertResult r =
+            store->TryInsertBatch(BatchRows(sentinel_index));
+        if (r == durability::InsertResult::kOk) {
+          rearmed = true;
+          break;
+        }
+        if (r != durability::InsertResult::kResourceExhausted) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+
+    store->store().StopBackground();
+    store->store().ForceRoll();
+    store->store().BackgroundTick();
+    store->store().CompactNow();
+    store->store().BackgroundTick();
+
+    const durability::DurableIngestStore::Stats dstats = store->stats();
+    std::printf(
+        "pressure soak (disk): %lld acked + %lld fail-closed of %lld "
+        "batches, %lld retries (%lld pool rejections), %lld enospc fires\n",
+        static_cast<long long>(acked.load()),
+        static_cast<long long>(not_durable.load()),
+        static_cast<long long>(int64_t{kWriters} * kBatchesPerWriter),
+        static_cast<long long>(retries.load()),
+        static_cast<long long>(dstats.resource_rejections),
+        static_cast<long long>(enospc_fires));
+    std::printf(
+        "pressure soak (disk): %lld latches / %lld rearms, %lld reserve "
+        "drops, %lld size rotations, %lld checkpoint failures, %lld delayed "
+        "commits, sentinel %s\n",
+        static_cast<long long>(dstats.enospc_latches),
+        static_cast<long long>(dstats.rearms),
+        static_cast<long long>(dstats.reserve_drops),
+        static_cast<long long>(dstats.size_rotations),
+        static_cast<long long>(dstats.checkpoint_failures),
+        static_cast<long long>(dstats.wal.delayed_commits),
+        rearmed ? "re-armed" : "STUCK");
+
+    // Replay: base + every batch (acked *and* fail-closed — all applied)
+    // + the sentinel, bit-identical to the full scan.
+    Dataset full(3, {});
+    const int64_t total_batches = int64_t{kWriters} * kBatchesPerWriter + 1;
+    full.Reserve(kBaseRows + total_batches * durable_soak::kBatchRows);
+    const Dataset base = BaseData();
+    for (int64_t i = 0; i < base.size(); ++i) {
+      full.AppendRow({base.at(i, 0), base.at(i, 1), base.at(i, 2)});
+    }
+    for (int64_t b = 0; b <= sentinel_index; ++b) {
+      for (const std::vector<Value>& row : BatchRows(b)) full.AppendRow(row);
+    }
+    FullScanIndex reference(full);
+    int64_t mismatches = 0;
+    Rng replay_rng(555);
+    for (int i = 0; i < 32; ++i) {
+      Query q;
+      if (i > 0) {
+        const int dim = i % 3;
+        Value lo = replay_rng.UniformValue(0, dim == 2 ? 9000 : 990000);
+        q.filters.push_back(Predicate{dim, lo, lo + (dim == 2 ? 500 : 30000)});
+      }
+      q.SetAggregates({{AggKind::kCount, 0}, {AggKind::kSum, 1}});
+      QueryResult got = store->store().Execute(q);
+      QueryResult want = reference.Execute(q);
+      if (got.agg != want.agg || got.matched != want.matched ||
+          got.extra != want.extra || got.degraded) {
+        ++mismatches;
+      }
+    }
+    std::printf("pressure soak (disk): %lld/32 replay mismatches\n",
+                static_cast<long long>(mismatches));
+    const bool all_applied =
+        acked.load() + not_durable.load() ==
+        int64_t{kWriters} * kBatchesPerWriter;
+    const bool phase_ok = !writer_failed.load() && all_applied && rearmed &&
+                          mismatches == 0 && monotone_violations.load() == 0 &&
+                          dstats.resource_rejections > 0;
+    std::printf("pressure soak (disk): %s\n", phase_ok ? "OK" : "FAILED");
+    ok = ok && phase_ok;
+    store.reset();
+    if (ok) std::filesystem::remove_all(dir);
+  }
+
+  std::printf("pressure soak: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
 int main(int argc, char** argv) {
   bool soak = false;
   bool net = false;
   bool ingest = false;
   bool durable = false;
+  bool pressure = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--soak") == 0) soak = true;
     if (std::strcmp(argv[i], "--net") == 0) net = true;
     if (std::strcmp(argv[i], "--ingest") == 0) ingest = true;
     if (std::strcmp(argv[i], "--durable") == 0) durable = true;
+    if (std::strcmp(argv[i], "--pressure") == 0) pressure = true;
+  }
+  if (pressure) {
+    const bool ok = RunPressureSoak(soak);
+    std::printf("%s\n", ok ? "OK: pressure soak held its invariants"
+                           : "FAILED: pressure soak violated an invariant");
+    return ok ? 0 : 1;
   }
   if (durable) {
     // The kill/recover soak owns its own store and directory lifecycle.

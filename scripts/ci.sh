@@ -2,7 +2,7 @@
 # CI entry point: configure, build, and run the tier-1 test suite, with
 # -Werror applied to the files this PR introduced (TSUNAMI_WERROR).
 #
-# Nine passes:
+# Ten passes:
 #  1. the default build (SIMD tiers compiled in, runtime-dispatched; column
 #     blocks FOR + bit-width encoded);
 #  2. a -DTSUNAMI_DISABLE_SIMD=ON build that pins the portable scalar
@@ -40,7 +40,13 @@
 #     the `query_service --soak --durable` crash-recovery soak, which
 #     SIGKILLs a durable-ingest child mid-stream three times and verifies
 #     every acked batch survives recovery, nothing is double-applied, and a
-#     quiesced query replay is bit-identical to a full-scan reference.
+#     quiesced query replay is bit-identical to a full-scan reference;
+# 10. resource pressure under the same ASan+UBSan+FI build: resource_test
+#     (governor accounting, backpressure determinism, the fs.enospc sweep
+#     over all four filesystem sites, and the scrubber's find-before-touch
+#     repair) plus the `query_service --soak --pressure` soak, which runs
+#     memory budgets, WAL-disk budgets, disk-full latch/re-arm, and
+#     background scrubbing against racing writers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -135,3 +141,16 @@ cmake --build build-tsan -j"$(nproc)" --target query_service
 cmake --build build-asan -j"$(nproc)" --target wal_test query_service
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" -R wal_test
 ./build-asan/query_service --soak --durable
+
+# Tenth pass: resource pressure under ASan+UBSan+FI. resource_test sweeps
+# injected fs.enospc over all four filesystem sites (WAL write, WAL fsync,
+# checkpoint rename, manifest write) and requires the latch/drain/re-arm
+# protocol to hold bit-exactly; the --pressure soak then races concurrent
+# writers against a delta-backlog budget (gov.mem_pressure armed), a
+# Scrubber against scrub.corrupt_block rot, and a durable store against a
+# WAL-disk budget plus a persistent fs.enospc storm — admission control,
+# not luck, must pace the writers, and the quiesced replays must match a
+# full-scan reference bit for bit with zero leaks and zero UB.
+cmake --build build-asan -j"$(nproc)" --target resource_test query_service
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)" -R resource_test
+./build-asan/query_service --soak --pressure

@@ -6,11 +6,17 @@
 // reader ("io.short_read"), the network front end's socket paths
 // ("net.accept_fail", "net.short_write", "net.reset", "net.partial_frame"),
 // the ingest store's compaction/publish paths ("ingest.compact_throw",
-// "ingest.swap_delay"), and the durability layer ("wal.torn_write" — the
+// "ingest.swap_delay"), the durability layer ("wal.torn_write" — the
 // group commit writes only a prefix, param = bytes kept; "wal.fsync_fail" —
 // fsync reports failure and the log fails closed; and
 // "durability.checkpoint_throw" — the fold checkpoint aborts, the WAL
-// retains everything).
+// retains everything), and the resource-pressure layer ("fs.enospc" — a
+// filesystem write path reports ENOSPC, with match_arg selecting the call
+// site: 0 = wal.write, 1 = wal.fsync, 2 = checkpoint.rename, 3 =
+// manifest.write; "gov.mem_pressure" — ResourceGovernor::TryCharge rejects
+// as if over budget, arg = pool index; and "scrub.corrupt_block" — the
+// integrity scrubber sees a checksum mismatch on the matching block, arg =
+// block index).
 // Tests and the examples' soak mode arm a site
 // with a FaultSpec — a seeded fire probability plus match/skip/limit
 // filters — and the site then fires deterministically: the decision for the

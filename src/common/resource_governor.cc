@@ -1,0 +1,123 @@
+#include "src/common/resource_governor.h"
+
+#include "src/common/fault_injection.h"
+
+namespace tsunami {
+
+const char* ToString(ResourcePool pool) {
+  switch (pool) {
+    case ResourcePool::kDeltaBacklog:
+      return "delta_backlog";
+    case ResourcePool::kSealedChunks:
+      return "sealed_chunks";
+    case ResourcePool::kWalDisk:
+      return "wal_disk";
+    case ResourcePool::kNetBuffers:
+      return "net_buffers";
+    case ResourcePool::kPlanCache:
+      return "plan_cache";
+  }
+  return "unknown";
+}
+
+ResourceGovernor::ResourceGovernor(const Budgets& budgets) {
+  SetBudget(ResourcePool::kDeltaBacklog, budgets.delta_backlog_bytes);
+  SetBudget(ResourcePool::kSealedChunks, budgets.sealed_chunk_bytes);
+  SetBudget(ResourcePool::kWalDisk, budgets.wal_disk_bytes);
+  SetBudget(ResourcePool::kNetBuffers, budgets.net_buffer_bytes);
+  SetBudget(ResourcePool::kPlanCache, budgets.plan_cache_bytes);
+}
+
+void ResourceGovernor::SetBudget(ResourcePool p, int64_t bytes) {
+  pool(p).budget.store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
+}
+
+int64_t ResourceGovernor::budget(ResourcePool p) const {
+  return pool(p).budget.load(std::memory_order_relaxed);
+}
+
+int64_t ResourceGovernor::used(ResourcePool p) const {
+  return pool(p).used.load(std::memory_order_relaxed);
+}
+
+void ResourceGovernor::NotePeak(Pool& pool, int64_t used_now) {
+  int64_t peak = pool.peak.load(std::memory_order_relaxed);
+  while (used_now > peak &&
+         !pool.peak.compare_exchange_weak(peak, used_now,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+bool ResourceGovernor::TryCharge(ResourcePool p, int64_t bytes) {
+  if (bytes <= 0) return true;
+  Pool& pl = pool(p);
+  // Injected memory pressure: reject as if over budget, so backpressure
+  // paths are exercised without actually exhausting anything.
+  if (TSUNAMI_FAULT_FIRES("gov.mem_pressure", static_cast<int64_t>(p))) {
+    pl.rejections.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const int64_t budget = pl.budget.load(std::memory_order_relaxed);
+  const int64_t now = pl.used.fetch_add(bytes, std::memory_order_relaxed) +
+                      bytes;
+  if (budget > 0 && now > budget) {
+    pl.used.fetch_sub(bytes, std::memory_order_relaxed);
+    pl.rejections.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  pl.charges.fetch_add(1, std::memory_order_relaxed);
+  NotePeak(pl, now);
+  return true;
+}
+
+void ResourceGovernor::Charge(ResourcePool p, int64_t bytes) {
+  if (bytes <= 0) return;
+  Pool& pl = pool(p);
+  const int64_t now = pl.used.fetch_add(bytes, std::memory_order_relaxed) +
+                      bytes;
+  pl.charges.fetch_add(1, std::memory_order_relaxed);
+  NotePeak(pl, now);
+}
+
+void ResourceGovernor::Release(ResourcePool p, int64_t bytes) {
+  if (bytes <= 0) return;
+  Pool& pl = pool(p);
+  const int64_t now = pl.used.fetch_sub(bytes, std::memory_order_relaxed) -
+                      bytes;
+  // Release more than was charged is an accounting bug upstream; clamp so a
+  // transiently negative gauge cannot wedge TryCharge forever.
+  if (now < 0) {
+    int64_t cur = now;
+    while (cur < 0 && !pl.used.compare_exchange_weak(
+                          cur, 0, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void ResourceGovernor::SetUsed(ResourcePool p, int64_t bytes) {
+  Pool& pl = pool(p);
+  pl.used.store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
+  NotePeak(pl, bytes);
+}
+
+bool ResourceGovernor::WouldExceed(ResourcePool p, int64_t bytes) const {
+  const Pool& pl = pool(p);
+  const int64_t budget = pl.budget.load(std::memory_order_relaxed);
+  if (budget <= 0) return false;
+  return pl.used.load(std::memory_order_relaxed) + bytes > budget;
+}
+
+ResourceGovernor::Stats ResourceGovernor::stats() const {
+  Stats s;
+  for (int i = 0; i < kResourcePoolCount; ++i) {
+    const Pool& pl = pools_[i];
+    s.pools[i].used = pl.used.load(std::memory_order_relaxed);
+    s.pools[i].peak = pl.peak.load(std::memory_order_relaxed);
+    s.pools[i].budget = pl.budget.load(std::memory_order_relaxed);
+    s.pools[i].charges = pl.charges.load(std::memory_order_relaxed);
+    s.pools[i].rejections = pl.rejections.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,170 @@
+// ResourceGovernor: live byte accounting and budgets for the process's
+// major memory/disk pools, so resource pressure degrades service instead of
+// killing it.
+//
+// Every pool a serving process leans on — the delta-chunk backlog a slow
+// compactor lets grow, sealed-but-unfolded chunk payloads, the WAL's
+// on-disk segments plus its pending group-commit queue, the network front
+// end's read/write buffers, the plan cache — is tracked here as one atomic
+// gauge with an optional budget. Enforcement lives at the call sites:
+//
+//   * ingest::IngestStore checks the delta-backlog pool in TryInsert /
+//     TryInsertBatch and returns a typed kResourceExhausted instead of
+//     appending past budget (backpressure, retryable — nothing was applied).
+//   * durability::DurableIngestStore charges WAL bytes per appended frame
+//     and releases them when checkpoints delete covered segments; an
+//     over-budget WAL rejects new inserts the same typed way.
+//   * net::TsunamiServer publishes its aggregate buffered bytes into the
+//     net-buffers pool once per event-loop tick (a gauge — the wire layer
+//     already enforces its own watermarks per connection).
+//   * PlanCache charges each cached plan's estimated footprint and evicts
+//     by bytes, not just entry count.
+//
+// Charge/release are single fetch_add/fetch_sub pairs — cheap enough for
+// per-batch ingest paths. TryCharge is optimistic: add, then back out on
+// overshoot, so concurrent chargers never serialize on a lock. A budget of
+// 0 means unlimited (tracking only).
+//
+// Fault site (src/common/fault_injection.h): `gov.mem_pressure` — an armed
+// TryCharge rejects as if the pool were over budget (arg = pool index), so
+// backpressure paths are soak-testable without actually exhausting memory.
+#ifndef TSUNAMI_COMMON_RESOURCE_GOVERNOR_H_
+#define TSUNAMI_COMMON_RESOURCE_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace tsunami {
+
+enum class ResourcePool : int {
+  kDeltaBacklog = 0,  // Committed delta-chunk bytes not yet folded.
+  kSealedChunks = 1,  // Sealed-but-unfolded chunk payload bytes.
+  kWalDisk = 2,       // WAL segment bytes on disk + pending group frames.
+  kNetBuffers = 3,    // Network read/write buffer bytes (gauge).
+  kPlanCache = 4,     // Cached QueryPlan footprint bytes.
+};
+inline constexpr int kResourcePoolCount = 5;
+
+const char* ToString(ResourcePool pool);
+
+class ResourceGovernor {
+ public:
+  /// Per-pool byte budgets; 0 = unlimited (the pool is tracked but never
+  /// rejects).
+  struct Budgets {
+    int64_t delta_backlog_bytes = 0;
+    int64_t sealed_chunk_bytes = 0;
+    int64_t wal_disk_bytes = 0;
+    int64_t net_buffer_bytes = 0;
+    int64_t plan_cache_bytes = 0;
+  };
+
+  ResourceGovernor() = default;
+  explicit ResourceGovernor(const Budgets& budgets);
+
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  /// Budget may be adjusted at runtime (ops lever); lowering it below the
+  /// current usage does not evict anything — it just makes the next
+  /// TryCharge reject until usage drains below the new budget.
+  void SetBudget(ResourcePool pool, int64_t bytes);
+  int64_t budget(ResourcePool pool) const;
+  int64_t used(ResourcePool pool) const;
+
+  /// Optimistic conditional charge: adds `bytes`, and if that pushed the
+  /// pool over its budget (or the `gov.mem_pressure` fault fired), backs
+  /// the charge out and returns false. `bytes` <= 0 always succeeds.
+  bool TryCharge(ResourcePool pool, int64_t bytes);
+
+  /// Unconditional accounting (work already admitted elsewhere, or pools
+  /// that enforce at a different point than they charge).
+  void Charge(ResourcePool pool, int64_t bytes);
+  void Release(ResourcePool pool, int64_t bytes);
+
+  /// Gauge-style pools (net buffers): overwrite the usage outright.
+  void SetUsed(ResourcePool pool, int64_t bytes);
+
+  /// True when charging `bytes` more would exceed the pool's budget — a
+  /// peek for call sites that reject before doing any work. Never consults
+  /// the fault site (TryCharge does).
+  bool WouldExceed(ResourcePool pool, int64_t bytes) const;
+
+  struct PoolStats {
+    int64_t used = 0;
+    int64_t peak = 0;
+    int64_t budget = 0;
+    int64_t charges = 0;     // Successful TryCharge/Charge calls.
+    int64_t rejections = 0;  // TryCharge refusals (incl. injected).
+  };
+  struct Stats {
+    PoolStats pools[kResourcePoolCount];
+  };
+  Stats stats() const;
+
+ private:
+  struct Pool {
+    std::atomic<int64_t> used{0};
+    std::atomic<int64_t> peak{0};
+    std::atomic<int64_t> budget{0};
+    std::atomic<int64_t> charges{0};
+    std::atomic<int64_t> rejections{0};
+  };
+  Pool& pool(ResourcePool p) { return pools_[static_cast<int>(p)]; }
+  const Pool& pool(ResourcePool p) const {
+    return pools_[static_cast<int>(p)];
+  }
+  void NotePeak(Pool& pool, int64_t used_now);
+
+  Pool pools_[kResourcePoolCount];
+};
+
+/// RAII handle for one charge: releases on destruction. Move-only; the
+/// default-constructed handle owns nothing. Used where the charge's
+/// lifetime matches a scope (e.g. a pending WAL group frame).
+class ResourceCharge {
+ public:
+  ResourceCharge() = default;
+  ResourceCharge(ResourceGovernor* governor, ResourcePool pool, int64_t bytes)
+      : governor_(governor), pool_(pool), bytes_(bytes) {
+    if (governor_ != nullptr && bytes_ > 0) governor_->Charge(pool_, bytes_);
+  }
+  ~ResourceCharge() { Reset(); }
+
+  ResourceCharge(ResourceCharge&& o) noexcept
+      : governor_(o.governor_), pool_(o.pool_), bytes_(o.bytes_) {
+    o.governor_ = nullptr;
+    o.bytes_ = 0;
+  }
+  ResourceCharge& operator=(ResourceCharge&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      governor_ = o.governor_;
+      pool_ = o.pool_;
+      bytes_ = o.bytes_;
+      o.governor_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  ResourceCharge(const ResourceCharge&) = delete;
+  ResourceCharge& operator=(const ResourceCharge&) = delete;
+
+  /// Releases the held charge now (idempotent).
+  void Reset() {
+    if (governor_ != nullptr && bytes_ > 0) governor_->Release(pool_, bytes_);
+    governor_ = nullptr;
+    bytes_ = 0;
+  }
+
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  ResourceGovernor* governor_ = nullptr;
+  ResourcePool pool_ = ResourcePool::kDeltaBacklog;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace tsunami
+
+#endif  // TSUNAMI_COMMON_RESOURCE_GOVERNOR_H_

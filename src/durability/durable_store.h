@@ -37,9 +37,26 @@
 // failure), the store refuses further durable inserts; rows already applied
 // in memory but never acked may be lost on crash — but an acked row is never
 // lost and no row is ever applied twice.
+//
+// ENOSPC is the one *recoverable* failure. When the WAL dies with
+// WalFailure::kNoSpace (real errno or the `fs.enospc` fault), the store
+// latches a disk-full state instead of the permanent write-disable: acks
+// fail closed, inserts return kResourceExhausted (retryable — nothing was
+// applied), and read serving continues untouched. Re-arming is gated on a
+// *full checkpoint drain*: every ordinal ever assigned must be covered by a
+// durable checkpoint before a fresh WAL segment opens, because rows that
+// were applied in memory but never fsync'd still occupy ordinals — resuming
+// a new segment without draining them would leave an ordinal gap that makes
+// recovery discard every later record. The store retries the drain on each
+// rejected insert (throttled) and opportunistically after every fold, so
+// ingest resumes on its own once space frees. A preallocated RESERVE file
+// is dropped (and the write retried once) when a checkpoint or manifest
+// write itself hits ENOSPC, so the small renames that advance the replay
+// cursor can always complete even on a full disk.
 #ifndef TSUNAMI_DURABILITY_DURABLE_STORE_H_
 #define TSUNAMI_DURABILITY_DURABLE_STORE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -93,10 +110,49 @@ struct DurabilityOptions {
   /// Run the WAL group-commit thread. Off = manual mode: nothing commits
   /// until wal().CommitPending() (deterministic grouping for tests).
   bool wal_background = true;
+  /// Group-commit latency shaping (WalWriterOptions::max_commit_delay_micros):
+  /// the committer waits up to this long after the first pending record to
+  /// coalesce more acks into one fsync. 0 = commit immediately.
+  uint32_t wal_commit_delay_micros = 0;
+  /// Rotate the active WAL segment once it exceeds this many bytes, without
+  /// waiting for a checkpoint (recovery forward-scans past the manifest's
+  /// active_segment, so no manifest write is needed per rotation). Bounds
+  /// the recovery replay window and lets checkpoints reclaim disk in
+  /// segment-sized steps. 0 = rotate only at checkpoints.
+  int64_t max_segment_bytes = 0;
+  /// Size of the preallocated RESERVE file dropped to guarantee checkpoint
+  /// and manifest writes complete on a full disk. 0 = no reserve.
+  int64_t reserve_bytes = int64_t{256} * 1024;
+  /// Minimum delay between disk-full re-arm attempts driven by rejected
+  /// inserts (each attempt forces a checkpoint drain, which is not free).
+  /// Tests set 0 for deterministic single-call re-arm.
+  int64_t rearm_backoff_millis = 200;
   /// Options for the wrapped IngestStore. `background_compaction` here
-  /// controls whether Open() starts the compactor after recovery.
+  /// controls whether Open() starts the compactor after recovery. The
+  /// embedded `governor` (when set) is also used by the durable layer to
+  /// account WAL on-disk bytes against ResourcePool::kWalDisk.
   ingest::IngestOptions ingest;
 };
+
+/// Typed outcome of a durable insert. The bool Insert/InsertBatch wrappers
+/// collapse this to `result == kOk`.
+enum class InsertResult : uint8_t {
+  /// Logged, applied, and (in durable-ack mode) fsync'd.
+  kOk = 0,
+  /// Refused *pre-admission* — no ordinal assigned, nothing applied, nothing
+  /// logged — because the governor's WAL-disk budget is exhausted or the
+  /// store is in the disk-full latch. Safe to retry after backoff.
+  kResourceExhausted,
+  /// The rows were applied in memory but the log failed before the ack
+  /// fsync'd; they may not survive a crash. NOT retryable (a retry would
+  /// double-apply).
+  kNotDurable,
+  /// Refused outright: the log failed for a non-recoverable reason and the
+  /// store is permanently write-disabled.
+  kRejected,
+};
+
+const char* ToString(InsertResult r);
 
 /// What Open() found and did. `wal_tail_status` is FileError::kNone after a
 /// clean shutdown; kTruncated / kChecksumMismatch record a tolerated torn
@@ -143,6 +199,17 @@ class DurableIngestStore {
   bool InsertBatch(const std::vector<std::vector<Value>>& rows);
   bool Insert(const std::vector<Value>& row);
 
+  /// Typed variants: distinguish retryable pre-admission refusals
+  /// (kResourceExhausted) from applied-but-not-durable (kNotDurable) and
+  /// permanent write-disable (kRejected). When the store is in the
+  /// disk-full latch this first attempts a (throttled) re-arm, so ingest
+  /// resumes automatically once space frees.
+  InsertResult TryInsertBatch(const std::vector<std::vector<Value>>& rows);
+  InsertResult TryInsert(const std::vector<Value>& row);
+
+  /// True while the store is latched in the recoverable disk-full state.
+  bool enospc_latched() const;
+
   /// Forces a checkpoint: rolls the open chunk and folds synchronously,
   /// which drives the fold hook. Returns true when a new checkpoint
   /// manifest landed.
@@ -153,7 +220,8 @@ class DurableIngestStore {
   /// Ordinal the next inserted row will get (== rows ever logged).
   int64_t next_ordinal() const;
 
-  /// The WAL writer (tests: manual CommitPending, fault stats).
+  /// The WAL writer (tests: manual CommitPending, fault stats). Unsafe to
+  /// hold across a disk-full re-arm, which swaps in a fresh writer.
   WalWriter& wal() { return *wal_; }
 
   struct Stats {
@@ -162,9 +230,14 @@ class DurableIngestStore {
     int64_t durable_acks = 0;      // Batches acked fsync'd.
     int64_t failed_acks = 0;       // Batches applied but never durable.
     int64_t rejected_batches = 0;  // Refused outright (write-disabled).
+    int64_t resource_rejections = 0;  // kResourceExhausted refusals.
     int64_t checkpoints = 0;
     int64_t checkpoint_failures = 0;
     int64_t segments_deleted = 0;
+    int64_t size_rotations = 0;    // Segment rolls from max_segment_bytes.
+    int64_t enospc_latches = 0;    // Times the disk-full latch engaged.
+    int64_t rearms = 0;            // Successful disk-full recoveries.
+    int64_t reserve_drops = 0;     // RESERVE spent to finish a checkpoint.
     WalWriter::Stats wal;
   };
   Stats stats() const;
@@ -181,30 +254,64 @@ class DurableIngestStore {
   void OnFold(const std::shared_ptr<const TsunamiIndex>& index,
               uint64_t version, int64_t rows_folded);
   std::string ManifestPath() const;
+  std::string ReservePath() const;
+  /// (Re)creates the preallocated RESERVE file. Best effort.
+  void CreateReserve();
+  /// Frees the reserve ahead of retrying a failed checkpoint/manifest
+  /// write. True if a reserve was actually on disk to drop.
+  bool DropReserve();
+  /// Latches the recoverable/permanent failure state matching the WAL's
+  /// failure reason. Caller holds seq_mu_.
+  InsertResult LatchFailureLocked(WalFailure reason);
+  /// Rotates to a fresh segment when the active one outgrew
+  /// max_segment_bytes. Takes ckpt_mu_ then seq_mu_ (the OnFold order) —
+  /// callers must hold neither.
+  void MaybeRotateBySize();
+  /// Disk-full recovery driver: forces a checkpoint drain, then re-arms if
+  /// it covered every ordinal. Throttled by rearm_backoff_millis. Callers
+  /// must hold neither lock. True when the latch is clear on return.
+  bool AttemptRearm();
+  /// Re-arm step: if the latch is set and the durable manifest covers every
+  /// assigned ordinal, opens a fresh WAL segment, persists a manifest for
+  /// it, swaps the writer, and clears the latch. Caller holds ckpt_mu_
+  /// only. True when the store is armed on return.
+  bool RearmLocked();
+  /// Charges/releases ResourcePool::kWalDisk when a governor is configured.
+  void ChargeWalBytes(int64_t bytes);
+  void ReleaseWalBytes(int64_t bytes);
 
   DurabilityOptions options_;
   RecoveryInfo recovery_;
 
-  // Lock order: (store compact_mu_, via fold hook) -> seq_mu_ -> store
-  // write_mu_ / WAL internals. seq_mu_ makes ordinal assignment, WAL append
-  // order, and in-memory apply order one atomic sequence — the prefix
-  // property recovery depends on.
+  // Lock order: (store compact_mu_, via fold hook) -> ckpt_mu_ -> seq_mu_ ->
+  // store write_mu_ / WAL internals. seq_mu_ makes ordinal assignment, WAL
+  // append order, and in-memory apply order one atomic sequence — the
+  // prefix property recovery depends on.
   mutable std::mutex seq_mu_;
   int64_t next_ordinal_ = 0;       // seq_mu_
   bool write_disabled_ = false;    // seq_mu_; latched on WAL failure.
+  bool enospc_latched_ = false;    // seq_mu_; recoverable disk-full state.
+  int64_t active_segment_bytes_ = 0;  // seq_mu_; frame bytes this segment.
 
-  // Checkpoint state; mutated only in OnFold (serialized by compact_mu_)
-  // and during single-threaded Open.
+  // Checkpoint state; mutated under ckpt_mu_ (OnFold, size rotation,
+  // re-arm) and during single-threaded Open.
   mutable std::mutex ckpt_mu_;
   Manifest manifest_;              // Last durably written manifest.
   int64_t rows_folded_total_ = 0;  // In-memory fold cursor (>= manifest's).
   uint64_t active_segment_ = 1;    // Segment currently receiving appends.
   uint64_t next_segment_seq_ = 1;
+  std::chrono::steady_clock::time_point last_rearm_attempt_{};  // ckpt_mu_
   // Closed segments still on disk -> end ordinal (one past the last row
   // logged into it). A segment is deletable once end <= manifest rows_folded.
   std::map<uint64_t, int64_t> closed_segment_end_;
+  // Closed segments still on disk -> their on-disk bytes, released from the
+  // governor's kWalDisk pool when the segment is deleted.
+  std::map<uint64_t, int64_t> closed_segment_bytes_;
 
-  std::unique_ptr<WalWriter> wal_;
+  // shared_ptr because InsertBatch calls WaitDurable outside seq_mu_ while
+  // a concurrent re-arm may swap in a fresh writer: each waiter pins the
+  // writer it appended to.
+  std::shared_ptr<WalWriter> wal_;
   std::unique_ptr<ingest::IngestStore> store_;
 
   mutable std::mutex stats_mu_;

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -243,6 +244,11 @@ bool WalWriter::failed() const {
   return failed_;
 }
 
+WalFailure WalWriter::failure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failure_;
+}
+
 uint64_t WalWriter::Append(std::string frame) {
   std::lock_guard<std::mutex> lock(mu_);
   if (failed_ || closed_) return 0;
@@ -261,8 +267,9 @@ bool WalWriter::WaitDurable(uint64_t lsn) {
   return durable_lsn_ >= lsn;
 }
 
-void WalWriter::FailLocked() {
+void WalWriter::FailLocked(WalFailure reason) {
   failed_ = true;
+  if (failure_ == WalFailure::kNone) failure_ = reason;
   queue_.clear();
   durable_cv_.notify_all();
   pending_cv_.notify_all();
@@ -311,11 +318,20 @@ bool WalWriter::CommitLocked(std::unique_lock<std::mutex>& lock) {
   }
 
   bool wrote = true;
+  bool no_space = false;
   size_t written = 0;
-  while (written < to_write) {
+  // Fault site: the filesystem fills up under the group write. Nothing
+  // reaches the file; the log fails closed with a *recoverable* reason so
+  // the durable store can re-arm once space frees.
+  if (TSUNAMI_FAULT_FIRES("fs.enospc", kEnospcWalWrite)) {
+    wrote = false;
+    no_space = true;
+  }
+  while (wrote && written < to_write) {
     ssize_t r = ::write(fd, buffer.data() + written, to_write - written);
     if (r <= 0) {
       if (r < 0 && errno == EINTR) continue;
+      if (r < 0 && errno == ENOSPC) no_space = true;
       wrote = false;
       break;
     }
@@ -325,13 +341,20 @@ bool WalWriter::CommitLocked(std::unique_lock<std::mutex>& lock) {
   bool synced = false;
   bool fsync_failed = false;
   if (wrote && !torn) {
-    // Fault site: the device lied or died at fsync. Fail closed — nothing
-    // past durable_lsn_ may ever be acked.
+    // Fault sites: the device lied or died at fsync (wal.fsync_fail), or
+    // the delayed-allocation write only surfaces ENOSPC at sync time
+    // (fs.enospc). Fail closed either way — nothing past durable_lsn_ may
+    // ever be acked.
     if (TSUNAMI_FAULT_FIRES("wal.fsync_fail", last_lsn)) {
       fsync_failed = true;
+    } else if (TSUNAMI_FAULT_FIRES("fs.enospc", kEnospcWalFsync)) {
+      fsync_failed = true;
+      no_space = true;
     } else if (options_.fsync) {
+      errno = 0;
       synced = FsyncData(fd);
       fsync_failed = !synced;
+      if (fsync_failed && errno == ENOSPC) no_space = true;
     } else {
       synced = true;
     }
@@ -342,6 +365,7 @@ bool WalWriter::CommitLocked(std::unique_lock<std::mutex>& lock) {
   stats_.bytes_written += static_cast<int64_t>(written);
   if (torn) ++stats_.torn_writes;
   if (fsync_failed) ++stats_.fsync_failures;
+  if (no_space) ++stats_.enospc_failures;
   bool success = wrote && !torn && synced;
   if (success) {
     durable_lsn_ = last_lsn;
@@ -352,7 +376,8 @@ bool WalWriter::CommitLocked(std::unique_lock<std::mutex>& lock) {
     }
     durable_cv_.notify_all();
   } else {
-    FailLocked();
+    FailLocked(no_space ? WalFailure::kNoSpace
+                        : torn ? WalFailure::kTornWrite : WalFailure::kIoError);
   }
   return success;
 }
@@ -388,7 +413,7 @@ bool WalWriter::RotateTo(const std::string& new_path) {
   ::close(fd_);
   fd_ = -1;
   if (!OpenLocked(new_path)) {
-    FailLocked();
+    FailLocked(errno == ENOSPC ? WalFailure::kNoSpace : WalFailure::kIoError);
     return false;
   }
   return true;
@@ -442,6 +467,20 @@ void WalWriter::CommitterLoop() {
       return stop_ || failed_ || (!queue_.empty() && !committing_);
     });
     if (stop_ || failed_) return;
+    if (options_.max_commit_delay_micros > 0) {
+      // Latency shaping: hold the group open briefly so concurrent writers
+      // land in this fsync instead of the next one. New appends notify
+      // pending_cv_, but the predicate only releases the wait on stop/fail,
+      // so the full delay elapses (bounded ack latency, bigger groups).
+      const size_t before = queue_.size();
+      pending_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.max_commit_delay_micros),
+          [&] { return stop_ || failed_; });
+      if (stop_ || failed_) return;
+      if (committing_) continue;  // A manual CommitPending took the group.
+      if (queue_.empty()) continue;
+      if (queue_.size() > before) ++stats_.delayed_commits;
+    }
     CommitLocked(lock);
   }
 }

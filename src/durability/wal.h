@@ -25,6 +25,12 @@
 //   wal.fsync_fail  — fsync reports failure; the log fails closed: every
 //                     pending and future ack returns false, nothing is ever
 //                     acked that is not on stable storage.
+//   fs.enospc       — the write (match_arg kEnospcWalWrite) or fsync
+//                     (kEnospcWalFsync) path reports ENOSPC. The log fails
+//                     closed like any other I/O failure, but records
+//                     failure() == kNoSpace so the durable store can latch
+//                     a *recoverable* disk-full state and re-arm with a
+//                     fresh writer once a checkpoint drains the backlog.
 #ifndef TSUNAMI_DURABILITY_WAL_H_
 #define TSUNAMI_DURABILITY_WAL_H_
 
@@ -56,6 +62,27 @@ inline constexpr uint32_t kMaxWalBodyBytes = 64u << 20;
 
 enum class WalRecordType : uint8_t {
   kRowBatch = 1,
+};
+
+/// match_arg values for the `fs.enospc` fault site — one per filesystem
+/// call site that can hit a full disk. Arming with match_arg = -1 fires at
+/// every site.
+enum EnospcSite : int64_t {
+  kEnospcWalWrite = 0,
+  kEnospcWalFsync = 1,
+  kEnospcCheckpointRename = 2,
+  kEnospcManifestWrite = 3,
+};
+
+/// Why the log failed (latched; kNone while healthy). kNoSpace is the one
+/// recoverable cause: the durable store keeps serving reads, fails acks
+/// closed, and re-arms with a fresh writer once a checkpoint has drained
+/// everything the dead log covered.
+enum class WalFailure : uint8_t {
+  kNone = 0,
+  kTornWrite,  // Injected torn group write (wal.torn_write).
+  kIoError,    // write/fsync/open failed for a non-ENOSPC reason.
+  kNoSpace,    // ENOSPC (real errno or injected fs.enospc).
 };
 
 /// One logical WAL record: a batch of rows with the global insert ordinal of
@@ -121,6 +148,13 @@ struct WalWriterOptions {
   bool background = true;
   /// Cap on bytes coalesced into one group write.
   size_t max_group_bytes = size_t{4} << 20;
+  /// Group-commit latency shaping: after the first record of a group
+  /// arrives, the background committer waits up to this long for more
+  /// records before issuing the write+fsync, trading sync-ack p50 for more
+  /// acks per fsync under light concurrency. 0 (default) commits as soon
+  /// as the committer wakes — the lowest-latency behavior. Ignored in
+  /// manual mode (CommitPending commits immediately either way).
+  uint32_t max_commit_delay_micros = 0;
 };
 
 /// Append-only writer for one-or-more WAL segments with group commit.
@@ -142,6 +176,8 @@ class WalWriter {
   /// False when the segment could not be opened or the log has failed.
   bool ok() const;
   bool failed() const;
+  /// Why the log failed (kNone while healthy). Latched with failed_.
+  WalFailure failure() const;
 
   /// Enqueues one framed record (from EncodeWalRecord) and returns its LSN
   /// (1-based, monotone across rotations). Returns 0 if the log has failed.
@@ -179,6 +215,8 @@ class WalWriter {
     int64_t bytes_written = 0;
     int64_t fsync_failures = 0;    // Includes injected wal.fsync_fail.
     int64_t torn_writes = 0;       // Injected wal.torn_write fires.
+    int64_t enospc_failures = 0;   // ENOSPC hits (real or injected).
+    int64_t delayed_commits = 0;   // Groups shaped by max_commit_delay.
   };
   Stats stats() const;
 
@@ -192,7 +230,7 @@ class WalWriter {
   // Writes + fsyncs every queued record; updates durable_lsn_ and stats.
   // Both mu_ and commit_mu_ rules: see the .cc.
   bool CommitLocked(std::unique_lock<std::mutex>& lock);
-  void FailLocked();
+  void FailLocked(WalFailure reason);
   void CommitterLoop();
 
   WalWriterOptions options_;
@@ -206,6 +244,7 @@ class WalWriter {
   uint64_t next_lsn_ = 1;
   uint64_t durable_lsn_ = 0;
   bool failed_ = false;
+  WalFailure failure_ = WalFailure::kNone;
   bool closed_ = false;
   bool stop_ = false;
   bool committing_ = false;  // A CommitLocked is in flight (drops mu_ for IO).

@@ -160,17 +160,48 @@ void IngestStore::Observe(const Query& query) const {
 
 void IngestStore::Insert(const std::vector<Value>& row) {
   assert(static_cast<int>(row.size()) == dims_);
+  if (options_.governor != nullptr) {
+    options_.governor->Charge(ResourcePool::kDeltaBacklog, RowBytes());
+  }
   std::lock_guard<std::mutex> lock(write_mu_);
   InsertLocked(row.data());
 }
 
 int64_t IngestStore::InsertBatch(const std::vector<std::vector<Value>>& rows) {
+  if (options_.governor != nullptr) {
+    options_.governor->Charge(ResourcePool::kDeltaBacklog,
+                              static_cast<int64_t>(rows.size()) * RowBytes());
+  }
   std::lock_guard<std::mutex> lock(write_mu_);
   for (const std::vector<Value>& row : rows) {
     assert(static_cast<int>(row.size()) == dims_);
     InsertLocked(row.data());
   }
   return static_cast<int64_t>(rows.size());
+}
+
+InsertAdmit IngestStore::TryInsert(const std::vector<Value>& row) {
+  return TryInsertBatch({row});
+}
+
+InsertAdmit IngestStore::TryInsertBatch(
+    const std::vector<std::vector<Value>>& rows) {
+  if (rows.empty()) return InsertAdmit::kOk;
+  const int64_t bytes = static_cast<int64_t>(rows.size()) * RowBytes();
+  // Backpressure is decided *before* the writer lock and before any append:
+  // a refused batch touched nothing, so the caller can retry verbatim once
+  // the compactor folds the backlog down (kick it so that happens soon).
+  if (options_.governor != nullptr &&
+      !options_.governor->TryCharge(ResourcePool::kDeltaBacklog, bytes)) {
+    if (compactor_ != nullptr) compactor_->Kick();
+    return InsertAdmit::kResourceExhausted;
+  }
+  std::lock_guard<std::mutex> lock(write_mu_);
+  for (const std::vector<Value>& row : rows) {
+    assert(static_cast<int>(row.size()) == dims_);
+    InsertLocked(row.data());
+  }
+  return InsertAdmit::kOk;
 }
 
 void IngestStore::InsertLocked(const Value* row) {
@@ -238,6 +269,12 @@ void IngestStore::BackgroundTick() {
       if (chunk->full() && !chunk->sealed()) {
         chunk->Seal();
         chunks_sealed_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.governor != nullptr) {
+          // A sealed chunk holds its encoded payload alongside the raw
+          // rows until a fold consumes it; track that residency.
+          options_.governor->Charge(ResourcePool::kSealedChunks,
+                                    chunk->MemoryBytes());
+        }
       }
     }
   }
@@ -334,6 +371,19 @@ uint64_t IngestStore::CompactOnce(const Workload* reorg_workload) {
       reorgs_.fetch_add(1, std::memory_order_relaxed);
     }
     compactions_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.governor != nullptr) {
+      // The fold consumed these rows out of the delta backlog (and any
+      // sealed payloads riding with them); give the bytes back so
+      // backpressured writers unblock.
+      options_.governor->Release(ResourcePool::kDeltaBacklog,
+                                 extra_rows * RowBytes());
+      for (const auto& chunk : fold) {
+        if (chunk->sealed()) {
+          options_.governor->Release(ResourcePool::kSealedChunks,
+                                     chunk->MemoryBytes());
+        }
+      }
+    }
     NotifyListeners(published);
     if (fold_hook_) {
       // Checkpoint opportunity (still under compact_mu_, after publish). A

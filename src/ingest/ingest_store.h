@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "src/common/index.h"
+#include "src/common/resource_governor.h"
 #include "src/common/types.h"
 #include "src/core/tsunami.h"
 #include "src/core/workload_monitor.h"
@@ -84,6 +85,21 @@ struct IngestOptions {
   /// reader skips it rather than wait.
   bool monitor_workload = false;
   WorkloadMonitorOptions monitor;
+  /// Borrowed resource governor (must outlive the store; null = ungoverned).
+  /// The store charges the delta-backlog pool per committed row and the
+  /// sealed-chunks pool per sealed chunk, releasing both when a fold
+  /// consumes them. TryInsert/TryInsertBatch enforce the delta budget;
+  /// the unconditional Insert/InsertBatch only account.
+  ResourceGovernor* governor = nullptr;
+};
+
+/// Typed admission result for the backpressured write paths.
+enum class InsertAdmit : uint8_t {
+  kOk = 0,
+  /// The governor's delta-backlog budget (or an injected gov.mem_pressure)
+  /// refused the bytes. Nothing was applied — safely retryable once the
+  /// compactor folds the backlog below budget.
+  kResourceExhausted = 1,
 };
 
 class IngestStore : public MultiDimIndex {
@@ -138,6 +154,12 @@ class IngestStore : public MultiDimIndex {
   /// Appends a batch of rows under one writer-lock acquisition; returns
   /// rows appended.
   int64_t InsertBatch(const std::vector<std::vector<Value>>& rows);
+  /// Governed variants: charge the delta-backlog pool *before* appending
+  /// and return kResourceExhausted — applying nothing — when the budget
+  /// (or an injected gov.mem_pressure) refuses. With no governor they
+  /// behave exactly like Insert/InsertBatch.
+  InsertAdmit TryInsert(const std::vector<Value>& row);
+  InsertAdmit TryInsertBatch(const std::vector<std::vector<Value>>& rows);
   /// Retires a non-empty open chunk so every ingested row becomes a fold
   /// candidate (CompactNow() after ForceRoll() drains the delta entirely).
   void ForceRoll();
@@ -219,6 +241,12 @@ class IngestStore : public MultiDimIndex {
   uint64_t CompactOnce(const Workload* reorg_workload);
   void NotifyListeners(uint64_t version);
   int64_t RetiredChunks() const;
+  /// Raw bytes one committed row occupies in a delta chunk (the unit the
+  /// governor's delta-backlog pool is charged in).
+  int64_t RowBytes() const {
+    return static_cast<int64_t>(dims_) *
+           static_cast<int64_t>(sizeof(Value));
+  }
 
   std::string name_;
   IngestOptions options_;

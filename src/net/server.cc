@@ -129,6 +129,16 @@ ServerStats TsunamiServer::stats() const {
 }
 
 void TsunamiServer::PublishStats() {
+  if (options_.governor != nullptr) {
+    // Gauge, not admission: per-connection buffers are already bounded by
+    // the watermarks, so the governor just observes their aggregate to
+    // complete the process-wide memory picture.
+    int64_t buffered = 0;
+    for (const auto& [id, c] : conns_) {
+      buffered += static_cast<int64_t>(c->rbuf.size() + c->wbuf.size());
+    }
+    options_.governor->SetUsed(ResourcePool::kNetBuffers, buffered);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   published_stats_ = stats_;
 }
@@ -452,6 +462,14 @@ bool TsunamiServer::HandleInsert(Conn* c, const FrameHeader& header,
     if (accepted == ServerOptions::kSinkNotDurable) {
       return SendError(c, header.request_id, WireError::kDurabilityFailed,
                        "insert batch could not be made durable");
+    }
+    if (accepted == ServerOptions::kSinkResourceExhausted) {
+      // Pre-admission refusal: nothing was applied or logged. The
+      // connection stays open and the client may retry after backoff —
+      // the store re-arms itself as backlog folds or disk space frees.
+      ++stats_.inserts_resource_rejected;
+      return SendError(c, header.request_id, WireError::kResourceExhausted,
+                       "store under resource pressure; retry after backoff");
     }
     return SendError(c, header.request_id, WireError::kMalformedFrame,
                      "store rejected the insert batch");

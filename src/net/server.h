@@ -53,6 +53,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/resource_governor.h"
 #include "src/common/stats.h"
 #include "src/net/wire.h"
 #include "src/serve/query_service.h"
@@ -103,10 +104,13 @@ struct ServerOptions {
   /// kReadOnly. Negative returns reject the batch: kSinkRejected answers
   /// kMalformedFrame (wrong arity, store full); kSinkNotDurable answers
   /// kDurabilityFailed (durable mode: the WAL failed before the batch was
-  /// fsync'd — the rows were NOT acked). A std::function rather than an
+  /// fsync'd — the rows were NOT acked); kSinkResourceExhausted answers the
+  /// retryable kResourceExhausted (the batch was refused *before*
+  /// admission — governor budget or latched ENOSPC — nothing applied, the
+  /// connection stays open). A std::function rather than an
   /// ingest::IngestStore* so the net layer stays independent of
   /// src/ingest; tsunami_serverd wires it to IngestStore::InsertBatch (or
-  /// DurableIngestStore::InsertBatch with --wal-dir).
+  /// DurableIngestStore::TryInsertBatch with --wal-dir).
   std::function<int64_t(const std::vector<std::vector<Value>>& rows,
                         uint64_t* version)>
       insert_sink;
@@ -114,6 +118,14 @@ struct ServerOptions {
   /// kSinkRejected).
   static constexpr int64_t kSinkRejected = -1;
   static constexpr int64_t kSinkNotDurable = -2;
+  static constexpr int64_t kSinkResourceExhausted = -3;
+  /// Optional process resource governor (borrowed; must outlive the
+  /// server). The loop publishes its aggregate read/write buffer bytes
+  /// into ResourcePool::kNetBuffers once per tick — a gauge, not
+  /// admission: the buffers are already bounded per connection by the
+  /// watermarks above, so the governor only *observes* them to complete
+  /// the process-wide memory picture.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Loop-thread counters, published once per tick; stats() may be called
@@ -132,6 +144,9 @@ struct ServerStats {
   int64_t inserts_accepted = 0;      // kInsert frames answered kInsertAck.
   int64_t rows_inserted = 0;         // Rows across those frames.
   int64_t inserts_rejected = 0;      // kInsert answered with a typed error.
+  /// Subset of inserts_rejected answered with the retryable
+  /// kResourceExhausted (governor budget / latched ENOSPC).
+  int64_t inserts_resource_rejected = 0;
   int64_t results_sent = 0;
   int64_t errors_sent = 0;           // Typed kError frames.
   int64_t pings = 0;

@@ -10,12 +10,28 @@
 //                   [--max-inflight-per-client=N] [--max-inflight-per-conn=N]
 //                   [--idle-timeout=SECONDS] [--drain-timeout=SECONDS]
 //                   [--wal-dir=PATH] [--no-durable-acks]
+//                   [--memory-budget=BYTES] [--wal-budget=BYTES]
+//                   [--plan-cache-bytes=BYTES] [--max-segment-bytes=BYTES]
+//                   [--commit-delay-micros=N] [--scrub-ms=N]
 //
 // --wal-dir turns on durable ingest (src/durability): inserts are logged to
 // a write-ahead log with fsync'd group commit, folds checkpoint durably, and
 // a restart with the same --wal-dir recovers every acknowledged insert — a
 // kInsertAck then means *fsync'd*, not just visible. --no-durable-acks keeps
 // the WAL but acks on enqueue (async logging).
+//
+// Resource governance (src/common/resource_governor.h): --memory-budget
+// bounds the in-memory ingest backlog (delta chunks + sealed-but-unfolded
+// chunks, half each), --wal-budget bounds WAL bytes on disk, and
+// --plan-cache-bytes bounds the serving plan cache. Over-budget inserts are
+// answered with the *retryable* kResourceExhausted wire error — refused
+// before admission, connection stays open — and admission resumes by itself
+// as the backlog folds or disk space frees (the durable store re-arms after
+// ENOSPC without a restart). --max-segment-bytes rotates WAL segments by
+// size between checkpoints; --commit-delay-micros shapes group commit
+// (larger batches per fsync at the cost of ack latency); --scrub-ms runs a
+// background scrubber that re-verifies block checksums on idle cycles and
+// repairs what it finds through the quarantine path (0 = off).
 //
 // SIGTERM / SIGINT trigger a *graceful drain*: the listener closes, new
 // queries are answered with typed kDraining errors, in-flight queries
@@ -31,9 +47,11 @@
 #include <memory>
 
 #include "src/common/random.h"
+#include "src/common/resource_governor.h"
 #include "src/core/tsunami.h"
 #include "src/durability/durable_store.h"
 #include "src/ingest/ingest_store.h"
+#include "src/ingest/scrubber.h"
 #include "src/net/server.h"
 #include "src/serve/query_service.h"
 
@@ -76,6 +94,12 @@ int main(int argc, char** argv) {
   int64_t rows = 200000;
   std::string wal_dir;
   bool durable_acks = true;
+  int64_t memory_budget = 0;
+  int64_t wal_budget = 0;
+  int64_t plan_cache_bytes = 0;
+  int64_t max_segment_bytes = 0;
+  int64_t commit_delay_micros = 0;
+  int64_t scrub_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -83,6 +107,18 @@ int main(int argc, char** argv) {
       durable_acks = false;
     } else if (ParseFlag(argv[i], "--wal-dir", &v)) {
       wal_dir = v;
+    } else if (ParseFlag(argv[i], "--memory-budget", &v)) {
+      memory_budget = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--wal-budget", &v)) {
+      wal_budget = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--plan-cache-bytes", &v)) {
+      plan_cache_bytes = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--max-segment-bytes", &v)) {
+      max_segment_bytes = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--commit-delay-micros", &v)) {
+      commit_delay_micros = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--scrub-ms", &v)) {
+      scrub_ms = std::atoll(v);
     } else if (ParseFlag(argv[i], "--port", &v)) {
       server_options.port = std::atoi(v);
     } else if (ParseFlag(argv[i], "--host", &v)) {
@@ -123,8 +159,19 @@ int main(int argc, char** argv) {
     q.type = i % 2;
     workload.push_back(q);
   }
+  // The governor outlives everything that charges it (declared first =
+  // destroyed last).
+  ResourceGovernor::Budgets budgets;
+  // --memory-budget covers the whole ingest backlog: open delta chunks and
+  // sealed-but-unfolded chunks, half each.
+  budgets.delta_backlog_bytes = memory_budget / 2;
+  budgets.sealed_chunk_bytes = memory_budget - memory_budget / 2;
+  budgets.wal_disk_bytes = wal_budget;
+  budgets.plan_cache_bytes = plan_cache_bytes;
+  ResourceGovernor governor(budgets);
   ingest::IngestOptions ingest_options;
   ingest_options.index.cluster_queries = false;
+  ingest_options.governor = &governor;
   // Destruction order: `service` (declared below) dies first, then these.
   std::unique_ptr<durability::DurableIngestStore> durable;
   std::unique_ptr<ingest::IngestStore> owned_index;
@@ -132,6 +179,9 @@ int main(int argc, char** argv) {
     durability::DurabilityOptions dopts;
     dopts.dir = wal_dir;
     dopts.durable_acks = durable_acks;
+    dopts.max_segment_bytes = max_segment_bytes;
+    dopts.wal_commit_delay_micros =
+        static_cast<uint32_t>(commit_delay_micros);
     dopts.ingest = ingest_options;
     std::string derr;
     durable = durability::DurableIngestStore::Open(data, workload, dopts,
@@ -160,6 +210,8 @@ int main(int argc, char** argv) {
   std::printf("tsunami_serverd: built %s over %lld rows\n",
               index.Name().c_str(), static_cast<long long>(data.size()));
 
+  service_options.plan_cache_max_bytes = plan_cache_bytes;
+  service_options.governor = &governor;
   QueryService service(&index, service_options);
   // Publishes (fold, reorg, repair, chunk roll) eagerly drop cached plans
   // bound to the superseded snapshot so idle cache entries stop pinning it.
@@ -179,16 +231,29 @@ int main(int argc, char** argv) {
     if (dur != nullptr) {
       // Durable mode: the ack is released only after the WAL group commit
       // fsyncs the batch (or immediately with --no-durable-acks).
-      if (!dur->InsertBatch(rows)) {
-        return net::ServerOptions::kSinkNotDurable;
+      switch (dur->TryInsertBatch(rows)) {
+        case durability::InsertResult::kOk:
+          break;
+        case durability::InsertResult::kResourceExhausted:
+          // Refused before admission (budget or latched ENOSPC): nothing
+          // applied or logged — retryable, and the store re-arms itself.
+          return net::ServerOptions::kSinkResourceExhausted;
+        case durability::InsertResult::kNotDurable:
+        case durability::InsertResult::kRejected:
+          return net::ServerOptions::kSinkNotDurable;
       }
       *version = idx->version();
       return static_cast<int64_t>(rows.size());
     }
-    const int64_t accepted = idx->InsertBatch(rows);
+    // In-memory mode: TryInsertBatch applies the governor's backlog budget
+    // (plain InsertBatch charges but never refuses).
+    if (idx->TryInsertBatch(rows) == ingest::InsertAdmit::kResourceExhausted) {
+      return net::ServerOptions::kSinkResourceExhausted;
+    }
     *version = idx->version();
-    return accepted;
+    return static_cast<int64_t>(rows.size());
   };
+  server_options.governor = &governor;
   net::TsunamiServer server(&service, server_options);
   std::string error;
   if (!server.Start(&error)) {
@@ -205,7 +270,20 @@ int main(int argc, char** argv) {
               service.scheduler().num_threads());
   std::fflush(stdout);
 
+  // Optional background checksum scrubber: re-verifies block checksums on
+  // idle cycles (niced, pace-limited) and repairs hits through the
+  // quarantine path before a query ever touches the rotted block.
+  std::unique_ptr<ingest::Scrubber> scrubber;
+  if (scrub_ms > 0) {
+    ingest::ScrubberOptions sopts;
+    sopts.poll_ms = static_cast<int>(scrub_ms);
+    scrubber = std::make_unique<ingest::Scrubber>(&index, sopts);
+    scrubber->Start();
+  }
+
   server.Run();
+
+  if (scrubber != nullptr) scrubber->Stop();
 
   // Join the background compactor before teardown: `service` (declared
   // after `index`) is destroyed first, and a fold landing during exit would
@@ -226,6 +304,26 @@ int main(int argc, char** argv) {
         static_cast<long long>(d.checkpoints),
         static_cast<long long>(d.checkpoint_failures),
         static_cast<long long>(d.segments_deleted));
+    if (d.enospc_latches > 0 || d.resource_rejections > 0 ||
+        d.size_rotations > 0) {
+      std::printf(
+          "tsunami_serverd: pressure: resource_rejections=%lld "
+          "enospc_latches=%lld rearms=%lld size_rotations=%lld\n",
+          static_cast<long long>(d.resource_rejections),
+          static_cast<long long>(d.enospc_latches),
+          static_cast<long long>(d.rearms),
+          static_cast<long long>(d.size_rotations));
+    }
+  }
+  if (scrubber != nullptr) {
+    const ingest::Scrubber::Stats sc = scrubber->stats();
+    std::printf(
+        "tsunami_serverd: scrubber: sweeps=%lld blocks=%lld corrupt=%lld "
+        "repaired=%lld\n",
+        static_cast<long long>(sc.sweeps),
+        static_cast<long long>(sc.blocks_scrubbed),
+        static_cast<long long>(sc.corruptions_found),
+        static_cast<long long>(sc.blocks_repaired));
   }
 
   const net::ServerStats stats = server.stats();

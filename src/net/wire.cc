@@ -78,6 +78,8 @@ const char* ToString(WireError error) {
       return "read-only";
     case WireError::kDurabilityFailed:
       return "durability-failed";
+    case WireError::kResourceExhausted:
+      return "resource-exhausted";
   }
   return "unknown-wire-error";
 }
@@ -87,6 +89,9 @@ bool IsRetryable(WireError error) {
     case WireError::kQueueFull:
     case WireError::kClientBusy:
     case WireError::kDraining:
+    // Refused before admission: nothing was applied or logged, so a retry
+    // cannot duplicate work; the store re-arms itself as pressure clears.
+    case WireError::kResourceExhausted:
       return true;
     default:
       return false;
@@ -228,7 +233,7 @@ bool DecodeErrorPayload(std::string_view payload, WireError* error,
                         std::string* message) {
   BinaryReader r(payload);
   const uint8_t code = r.GetU8();
-  if (code > static_cast<uint8_t>(WireError::kDurabilityFailed)) return false;
+  if (code > static_cast<uint8_t>(WireError::kResourceExhausted)) return false;
   std::string text = r.GetString();
   if (!r.ok() || !r.AtEnd()) return false;
   *error = static_cast<WireError>(code);

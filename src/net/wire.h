@@ -95,6 +95,11 @@ enum class WireError : uint8_t {
   /// a retry elsewhere risks a duplicate — the rows may still be visible
   /// (and may even survive) here.
   kDurabilityFailed = 10,
+  /// Resource governor refused the work *before* admission (memory budget,
+  /// WAL-disk budget, or a latched ENOSPC store): nothing was applied or
+  /// logged, so a retry after backoff is safe — the store re-arms itself
+  /// once pressure clears (backlog folded, disk space freed).
+  kResourceExhausted = 11,
 };
 
 const char* ToString(WireError error);

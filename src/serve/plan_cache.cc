@@ -4,6 +4,36 @@
 
 namespace tsunami {
 
+int64_t PlanCache::EstimatePlanBytes(const QueryPlan& plan) {
+  // The dominant variable cost is the task vector — a broad rectangle over
+  // a fragmented grid can plan thousands of ranges while a point lookup
+  // plans one — plus the bound query's own vectors. The cache entry's key
+  // (normalized rect + aggregate list) and list/map node overhead ride in
+  // the sizeof(Entry) constant added at insert time.
+  int64_t bytes = static_cast<int64_t>(sizeof(QueryPlan));
+  bytes += static_cast<int64_t>(plan.tasks.capacity() * sizeof(RangeTask));
+  bytes += static_cast<int64_t>(plan.query.filters.capacity() *
+                                sizeof(Predicate));
+  bytes += static_cast<int64_t>(plan.query.aggs.capacity() *
+                                sizeof(AggregateSpec));
+  bytes += static_cast<int64_t>(plan.counters.extra.capacity() *
+                                sizeof(int64_t));
+  return bytes;
+}
+
+namespace {
+
+/// Footprint of one Entry beyond the plan itself: the entry, its key's
+/// vectors, and the bucket-map node.
+int64_t EntryOverheadBytes(const std::vector<Predicate>& rect,
+                           const std::vector<AggregateSpec>& aggs) {
+  return static_cast<int64_t>(rect.capacity() * sizeof(Predicate)) +
+         static_cast<int64_t>(aggs.capacity() * sizeof(AggregateSpec)) +
+         64;  // List/map node bookkeeping, amortized.
+}
+
+}  // namespace
+
 PlanCache::Key PlanCache::Key::Of(const Query& query) {
   Key key;
   key.rect = NormalizedFilters(query);
@@ -78,21 +108,44 @@ std::shared_ptr<const QueryPlan> PlanCache::GetOrPrepare(
 void PlanCache::InsertKeyed(const MultiDimIndex& index, Key key,
                             std::shared_ptr<const QueryPlan> plan) {
   if (capacity_ <= 0) return;
+  const int64_t entry_bytes = static_cast<int64_t>(sizeof(Entry)) +
+                              EstimatePlanBytes(*plan) +
+                              EntryOverheadBytes(key.rect, key.aggs);
   std::lock_guard<std::mutex> lock(mu_);
   LruList::iterator existing = FindLocked(index, key);
   if (existing != lru_.end()) {
     // Racing preparer got here first: refresh (the plans are equivalent)
-    // and touch.
+    // and touch. Re-account: the fresh plan's footprint can differ.
+    AccountLocked(entry_bytes - existing->bytes);
+    existing->bytes = entry_bytes;
     existing->plan = std::move(plan);
     lru_.splice(lru_.begin(), lru_, existing);
-    return;
+  } else {
+    const uint64_t fp = key.fingerprint;
+    lru_.push_front(Entry{&index, std::move(key), std::move(plan),
+                          entry_bytes});
+    map_.emplace(fp, lru_.begin());
+    AccountLocked(entry_bytes);
   }
-  const uint64_t fp = key.fingerprint;
-  lru_.push_front(Entry{&index, std::move(key), std::move(plan)});
-  map_.emplace(fp, lru_.begin());
-  if (static_cast<int64_t>(lru_.size()) > capacity_) {
+  // Evict by entries AND bytes: a giant plan costs what it costs, not
+  // "one slot". The newest entry itself is never evicted — a cache whose
+  // budget fits nothing degenerates to caching exactly the MRU plan.
+  while (lru_.size() > 1 &&
+         (static_cast<int64_t>(lru_.size()) > capacity_ ||
+          (max_bytes_ > 0 && bytes_ > max_bytes_))) {
     EraseLocked(std::prev(lru_.end()));
     ++stats_.evictions;
+  }
+}
+
+void PlanCache::AccountLocked(int64_t delta) {
+  bytes_ += delta;
+  if (governor_ != nullptr) {
+    if (delta >= 0) {
+      governor_->Charge(ResourcePool::kPlanCache, delta);
+    } else {
+      governor_->Release(ResourcePool::kPlanCache, -delta);
+    }
   }
 }
 
@@ -104,6 +157,7 @@ void PlanCache::EraseLocked(LruList::iterator entry) {
       break;
     }
   }
+  AccountLocked(-entry->bytes);
   lru_.erase(entry);
 }
 
@@ -130,12 +184,14 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
   lru_.clear();
+  AccountLocked(-bytes_);
 }
 
 PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats out = stats_;
   out.size = static_cast<int64_t>(lru_.size());
+  out.bytes = bytes_;
   return out;
 }
 

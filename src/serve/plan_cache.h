@@ -1,5 +1,8 @@
 // Bounded LRU cache of prepared QueryPlans, keyed on a normalized
-// filter-rectangle fingerprint.
+// filter-rectangle fingerprint. Bounded two ways: by entry count and —
+// because plans vary enormously in size (a point lookup plans one range, a
+// broad rectangle over a fragmented grid plans thousands) — by estimated
+// bytes, optionally mirrored into a ResourceGovernor's plan-cache pool.
 //
 // The serving path's planning cost (region collection, grid cell
 // enumeration, binary-search refinement, secondary-range merging) repeats
@@ -47,6 +50,7 @@
 #include <vector>
 
 #include "src/common/index.h"
+#include "src/common/resource_governor.h"
 #include "src/common/types.h"
 
 namespace tsunami {
@@ -60,7 +64,8 @@ class PlanCache {
     /// Entries dropped because their store_version fell behind the index
     /// (each also counted as a miss when dropped on lookup).
     int64_t stale = 0;
-    int64_t size = 0;  // Entries currently cached.
+    int64_t size = 0;   // Entries currently cached.
+    int64_t bytes = 0;  // Estimated footprint of the cached entries.
 
     double HitRate() const {
       int64_t total = hits + misses;
@@ -72,8 +77,19 @@ class PlanCache {
 
   /// `capacity` caps the number of cached plans; 0 disables caching
   /// entirely (every GetOrPrepare prepares fresh — the cold baseline the
-  /// bench A/Bs against).
-  explicit PlanCache(int64_t capacity) : capacity_(capacity) {}
+  /// bench A/Bs against). `max_bytes` additionally caps the cache's
+  /// estimated footprint (a giant plan — many tasks — counts for what it
+  /// actually costs, not "one entry"); 0 = entries-only. `governor` (when
+  /// set; must outlive the cache) mirrors the footprint into
+  /// ResourcePool::kPlanCache so the process-wide resource picture
+  /// includes cached plans.
+  explicit PlanCache(int64_t capacity, int64_t max_bytes = 0,
+                     ResourceGovernor* governor = nullptr)
+      : capacity_(capacity), max_bytes_(max_bytes), governor_(governor) {}
+  ~PlanCache() { Clear(); }
+
+  /// Estimated heap footprint of one cached plan (the eviction currency).
+  static int64_t EstimatePlanBytes(const QueryPlan& plan);
 
   /// The cached plan for a query answer-equivalent to `query` on `index`,
   /// or nullptr. Counts a hit or miss.
@@ -118,6 +134,7 @@ class PlanCache {
     const MultiDimIndex* index = nullptr;
     Key key;  // For collision confirmation on fingerprint match.
     std::shared_ptr<const QueryPlan> plan;
+    int64_t bytes = 0;  // Estimated footprint charged for this entry.
   };
   using LruList = std::list<Entry>;
 
@@ -128,17 +145,24 @@ class PlanCache {
   /// Removes one entry from the list and its bucket. Caller holds mu_.
   void EraseLocked(LruList::iterator entry);
 
+  /// Adjusts bytes_ by `delta` and mirrors it into the governor's
+  /// plan-cache pool. Caller holds mu_.
+  void AccountLocked(int64_t delta);
+
   std::shared_ptr<const QueryPlan> LookupKeyed(const MultiDimIndex& index,
                                                const Key& key);
   void InsertKeyed(const MultiDimIndex& index, Key key,
                    std::shared_ptr<const QueryPlan> plan);
 
   int64_t capacity_;
+  int64_t max_bytes_;
+  ResourceGovernor* governor_;
   mutable std::mutex mu_;
   LruList lru_;  // Front = most recently used.
   /// fingerprint -> entries (collisions chain); iterators into lru_ stay
   /// valid across splices.
   std::unordered_multimap<uint64_t, LruList::iterator> map_;
+  int64_t bytes_ = 0;  // Sum of Entry::bytes (mu_).
   Stats stats_;
 };
 

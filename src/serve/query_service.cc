@@ -74,7 +74,8 @@ QueryService::QueryService(const MultiDimIndex* index,
                            const ServiceOptions& options)
     : index_(index),
       options_(SanitizeOptions(options)),
-      cache_(options.plan_cache_capacity),
+      cache_(options.plan_cache_capacity, options.plan_cache_max_bytes,
+             options.governor),
       scheduler_(options.threads < 0 ? ThreadPool::DefaultThreads()
                                      : options.threads) {}
 

@@ -128,6 +128,14 @@ struct ServiceOptions {
   int threads = -1;
   /// Plan-cache entries; 0 disables caching (every Submit re-plans).
   int64_t plan_cache_capacity = 1024;
+  /// Plan-cache byte budget (estimated footprint); 0 = entries-only. See
+  /// PlanCache: plans vary enormously in size, so a serving process that
+  /// must bound memory sets this rather than guessing an entry count.
+  int64_t plan_cache_max_bytes = 0;
+  /// Borrowed resource governor (must outlive the service; null =
+  /// ungoverned). The plan cache mirrors its footprint into
+  /// ResourcePool::kPlanCache.
+  ResourceGovernor* governor = nullptr;
   /// Decomposition grain: target rows per scheduler chunk. Smaller chunks
   /// steal and cancel at finer granularity but pay more per-chunk
   /// bookkeeping.

@@ -186,6 +186,27 @@ bool EncodedColumn::VerifyAll() const {
   return quarantined_blocks() == 0;
 }
 
+bool EncodedColumn::ScrubBlock(int64_t b) const {
+  const uint8_t state = integrity_[b].v.load(std::memory_order_acquire);
+  if (state == kIntegrityQuarantined) return false;
+  uint64_t computed = ComputeBlockChecksum(b);
+  // Fault site: the scrubber observes a rotted bit in block b without
+  // actually corrupting memory (deterministic soak/test hook).
+  if (TSUNAMI_FAULT_FIRES("scrub.corrupt_block", b)) computed ^= 1;
+  if (computed != checksums_[b]) {
+    Quarantine(b);
+    return false;
+  }
+  if (state == kIntegrityUnverified) {
+    uint8_t expected = kIntegrityUnverified;
+    if (integrity_[b].v.compare_exchange_strong(expected, kIntegrityVerified,
+                                                std::memory_order_acq_rel)) {
+      unverified_left_.v.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  return true;
+}
+
 void EncodedColumn::Quarantine(int64_t b) const {
   const uint8_t prev =
       integrity_[b].v.exchange(kIntegrityQuarantined,

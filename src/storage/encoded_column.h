@@ -188,6 +188,15 @@ class EncodedColumn {
   /// Returns true when no block is quarantined afterwards.
   bool VerifyAll() const;
 
+  /// Scrubber hook: recomputes block b's checksum even when the block was
+  /// already verified (EnsureReadable hashes a block only once — a bit
+  /// that rots *after* that first touch is invisible to it). A mismatch
+  /// quarantines the block; a healthy unverified block is promoted to
+  /// verified. Thread-safe against concurrent scans. False = the block is
+  /// (now) quarantined. The `scrub.corrupt_block` fault site (arg = b)
+  /// makes the recomputed hash mismatch without touching memory.
+  bool ScrubBlock(int64_t b) const;
+
   /// Ops/test hook: marks block b quarantined as if its checksum failed.
   void Quarantine(int64_t b) const;
 
